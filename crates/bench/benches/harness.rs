@@ -1,0 +1,85 @@
+//! Criterion benches of the simulator's hot paths: these measure the
+//! *reproduction harness itself* (wall-clock), complementing the per-figure
+//! binaries which report virtual time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vclock::Clock;
+use visa::{assemble, CpuConfig, Machine};
+use wasp::{HypercallMask, Invocation, Wasp};
+
+const FIB15: &str = "
+.org 0x8000
+  mov sp, 0x7000
+  mov r1, 15
+  call fib
+  hlt
+fib:
+  cmp r1, 2
+  jl .base
+  push r1
+  sub r1, 1
+  call fib
+  pop r1
+  push r0
+  sub r1, 2
+  call fib
+  pop r2
+  add r0, r2
+  ret
+.base:
+  mov r0, r1
+  ret
+";
+
+fn bench_assembler(c: &mut Criterion) {
+    c.bench_function("assemble_fib", |b| {
+        b.iter(|| assemble(std::hint::black_box(FIB15)).expect("assemble"))
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let img = assemble(FIB15).expect("assemble");
+    c.bench_function("interpret_fib15", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(Clock::new(), CpuConfig::native(), 64 * 1024, img.entry);
+            m.load_image(&img);
+            m.run(10_000_000).expect("run")
+        })
+    });
+}
+
+fn bench_wasp_invoke(c: &mut Criterion) {
+    let wasp = Wasp::new_kvm_default();
+    let img = assemble(".org 0x8000\n mov r0, 1\n hlt\n").expect("assemble");
+    let id = wasp
+        .register(
+            wasp::VirtineSpec::new("hlt", img, 64 * 1024)
+                .with_policy(HypercallMask::DENY_ALL)
+                .with_snapshot(false),
+        )
+        .expect("register");
+    c.bench_function("wasp_invoke_minimal", |b| {
+        b.iter(|| wasp.run(id, &[], Invocation::default()).expect("run"))
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let src = "virtine int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }";
+    c.bench_function("vcc_compile_fib", |b| {
+        b.iter(|| vcc::compile(std::hint::black_box(src)).expect("compile"))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_assembler, bench_interpreter, bench_wasp_invoke, bench_compiler
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! §6.4: `openssl speed -evp aes-128-cbc` analogue — AES-128-CBC
+//! throughput natively and in a per-call virtine with snapshotting.
+
+use vaes::run_speed;
+
+fn main() {
+    let iters = bench::trials(5);
+    bench::header(
+        "OpenSSL study (6.4): AES-128-CBC speed, native vs virtine+snapshot",
+        "virtine invocation is memory-bound on the ~21KB image copy; \
+         slowdown shrinks as the cipher block grows (paper: 17x at 16KB \
+         against an AES-NI native; see EXPERIMENTS.md on the scale shift)",
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "block(B)", "native(MB/s)", "virtine(MB/s)", "slowdown"
+    );
+    for row in run_speed(&[16, 64, 256, 1024, 4096, 16 * 1024], iters) {
+        println!(
+            "{:>10} {:>14.2} {:>14.2} {:>9.2}x",
+            row.block_size, row.native_mbps, row.virtine_mbps, row.slowdown
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 11: latency of `virtine int fib(n)` as computation grows.
+//!
+//! Native vs virtine vs virtine+snapshot across n; fib(0) exposes raw
+//! creation overhead, larger n amortizes it (paper: ~100 µs of work).
+
+use hostsim::HostKernel;
+use kvmsim::Hypervisor;
+use vclock::stats::Summary;
+use vclock::Clock;
+use wasp::{Invocation, NativeRunner, Wasp, WaspConfig};
+
+const FIB_C: &str = "
+virtine int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+";
+
+fn main() {
+    let base_trials = bench::trials(50);
+    bench::header(
+        "Figure 11: fib(n) latency, native vs virtine vs virtine+snapshot (µs)",
+        "fib(0): snapshot ~2.5x faster than cold virtine, several x slower \
+         than native; slowdown ~1.0x by n=25..30 (~100µs of work amortizes)",
+    );
+    let unit = vcc::compile(FIB_C).expect("compile fib");
+    let v = unit.virtine("fib").expect("fib");
+
+    println!(
+        "{:>3} {:>7} {:>14} {:>14} {:>14} {:>9} {:>9}",
+        "n", "trials", "native(µs)", "virtine(µs)", "snapshot(µs)", "slow", "slow+snap"
+    );
+    for n in [0i64, 5, 10, 15, 20, 25] {
+        // Recursion cost explodes with n; scale trials down.
+        let trials = match n {
+            0..=10 => base_trials,
+            11..=20 => (base_trials / 5).max(3),
+            _ => 3,
+        };
+
+        // Native: the same image run as ordinary code.
+        let native_clock = Clock::new();
+        let native = NativeRunner::new(HostKernel::new(native_clock.clone(), None));
+        let native_us: Vec<f64> = (0..trials)
+            .map(|_| {
+                let t0 = native_clock.now();
+                let out = native.run(
+                    &v.image,
+                    v.image.entry,
+                    &vcc::marshal_args(&[n]),
+                    Invocation::default(),
+                    v.mem_size,
+                );
+                assert!(matches!(
+                    out.exit,
+                    wasp::NativeExit::Returned(_) | wasp::NativeExit::Exited(_)
+                ));
+                (native_clock.now() - t0).as_micros()
+            })
+            .collect();
+
+        let run_virtine = |snapshot: bool| -> Vec<f64> {
+            let clock = Clock::new();
+            let w = Wasp::new(
+                Hypervisor::kvm(HostKernel::new(clock.clone(), None)),
+                WaspConfig {
+                    disable_snapshots: !snapshot,
+                    ..WaspConfig::default()
+                },
+            );
+            let id = v.register(&w).expect("register");
+            (0..trials)
+                .map(|_| {
+                    let out = vcc::invoke(&w, id, &[n]).expect("invoke");
+                    assert!(out.exit.is_normal(), "fib({n}): {:?}", out.exit);
+                    out.breakdown.total.as_micros()
+                })
+                .collect()
+        };
+        let virt_us = run_virtine(false);
+        let snap_us = run_virtine(true);
+
+        let nm = Summary::of(&native_us).mean;
+        let vm = Summary::of(&virt_us).mean;
+        let sm = Summary::of(&snap_us).mean;
+        println!(
+            "{n:>3} {trials:>7} {nm:>14.2} {vm:>14.2} {sm:>14.2} {:>8.2}x {:>8.2}x",
+            vm / nm,
+            sm / nm
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Figure 12: impact of virtine image size on start-up latency.
+//!
+//! A minimal halting image is zero-padded from 16 KB to 16 MB; start-up
+//! cost becomes memcpy-bound (the paper measures 6.7 GB/s, a 2.3 ms
+//! start-up at 16 MB, with the knee at 1–2 MB).
+
+use hostsim::HostKernel;
+use kvmsim::Hypervisor;
+use vclock::stats::Summary;
+use vclock::Clock;
+use wasp::{HypercallMask, Invocation, VirtineSpec, Wasp, WaspConfig};
+
+fn main() {
+    let trials = bench::trials(20);
+    bench::header(
+        "Figure 12: image size vs start-up latency",
+        "linear in image size at memcpy bandwidth (6.7 GB/s => ~2.3ms at \
+         16MB); knee at 1-2MB where copying starts to dominate",
+    );
+    println!(
+        "{:>10} {:>14} {:>12} {:>12}",
+        "size(KB)", "latency(µs)", "std(µs)", "MB/s"
+    );
+
+    let mut sizes = vec![16 * 1024usize];
+    while *sizes.last().expect("nonempty") < 16 * 1024 * 1024 {
+        sizes.push(sizes.last().expect("nonempty") * 2);
+    }
+    for size in sizes {
+        let mut img = visa::assemble(".org 0x8000\n hlt\n").expect("image");
+        img.pad_to(size);
+        let mem_size = (size + 0x8000 + 4096).next_power_of_two().max(64 * 1024);
+
+        let clock = Clock::new();
+        let wasp = Wasp::new(
+            Hypervisor::kvm(HostKernel::new(clock.clone(), None)),
+            WaspConfig::default(),
+        );
+        let id = wasp
+            .register(
+                VirtineSpec::new("padded", img, mem_size)
+                    .with_policy(HypercallMask::DENY_ALL)
+                    .with_snapshot(false),
+            )
+            .expect("register");
+        wasp.run(id, &[], Invocation::default()).expect("warm");
+
+        let us: Vec<f64> = (0..trials)
+            .map(|_| {
+                let out = wasp.run(id, &[], Invocation::default()).expect("run");
+                out.breakdown.total.as_micros()
+            })
+            .collect();
+        let s = Summary::of(&us);
+        let mbps = (size as f64 / (1024.0 * 1024.0)) / (s.mean / 1e6);
+        println!(
+            "{:>10} {:>14.1} {:>12.2} {:>12.0}",
+            size / 1024,
+            s.mean,
+            s.std_dev,
+            mbps
+        );
+    }
+}

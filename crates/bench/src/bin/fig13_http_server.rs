@@ -1,0 +1,48 @@
+//! Figure 13: HTTP static-content server — mean response latency and
+//! harmonic-mean throughput, native vs virtine vs virtine+snapshot.
+
+use vclock::stats::{harmonic_mean, Summary};
+use vhttp::server::{run_server, ServerMode};
+
+fn main() {
+    let trials = bench::trials(200);
+    bench::header(
+        "Figure 13: HTTP server latency (a) and throughput (b)",
+        "virtines with snapshots lose ~12% throughput vs native on tinker \
+         (artifact notes up to ~2x elsewhere); 7 hypercalls per request are \
+         most of the cost",
+    );
+    println!(
+        "{:<22} {:>14} {:>12} {:>14} {:>8}",
+        "mode", "latency(µs)", "std(µs)", "tput(req/s)", "hc/req"
+    );
+    let mut rows = Vec::new();
+    for mode in [
+        ServerMode::Native,
+        ServerMode::Virtine,
+        ServerMode::VirtineSnapshot,
+    ] {
+        let run = run_server(mode, trials, 4096, Some(13));
+        let us: Vec<f64> = run.latencies.iter().map(|c| c.as_micros()).collect();
+        let s = Summary::of(&us);
+        // The paper aggregates throughput with the harmonic mean; compute
+        // it over per-request rates.
+        let rates: Vec<f64> = us.iter().map(|l| 1e6 / l).collect();
+        let hm = harmonic_mean(&rates);
+        println!(
+            "{:<22} {:>14.1} {:>12.1} {:>14.0} {:>8.1}",
+            format!("{:?}", run.mode),
+            s.mean,
+            s.std_dev,
+            hm,
+            run.interactions_per_request
+        );
+        rows.push((mode, hm));
+    }
+    let native = rows[0].1;
+    let snap = rows[2].1;
+    println!(
+        "#\n# snapshot throughput drop vs native: {:.1}%",
+        (1.0 - snap / native) * 100.0
+    );
+}

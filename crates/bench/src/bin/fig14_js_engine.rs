@@ -1,0 +1,20 @@
+//! Figure 14: slowdown of JavaScript virtines relative to native Duktide.
+
+use vjs::study::run_js_study;
+
+fn main() {
+    let trials = bench::trials(20);
+    bench::header(
+        "Figure 14: JS engine slowdown vs native (base64 workload)",
+        "plain virtine 1.5-2x; +snapshot ~2x overhead reduction; \
+         +snapshot+NT drops below native (137µs vs 419µs in the paper) \
+         by keeping engine setup/teardown off the path",
+    );
+    println!("{:<24} {:>12} {:>10}", "configuration", "mean(µs)", "slowdown");
+    for bar in run_js_study(trials, 4096) {
+        println!(
+            "{:<24} {:>12.1} {:>9.2}x",
+            bar.name, bar.micros, bar.slowdown
+        );
+    }
+}

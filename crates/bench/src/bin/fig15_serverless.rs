@@ -1,0 +1,54 @@
+//! Figure 15: serverless virtine performance (Vespid) vs an OpenWhisk-like
+//! container platform under the Locust burst pattern.
+
+use vespid::{
+    load::{locust_pattern, pattern_arrivals},
+    simulate, OpenWhiskModel, SimResult, VespidPlatform,
+};
+
+fn report(run: &SimResult) {
+    println!("## {} ({} workers)", run.platform, run.workers);
+    println!(
+        "requests={} p50={:.2}ms p95={:.2}ms p99={:.2}ms makespan={:.1}s",
+        run.completed.len(),
+        run.latency_percentile(50.0) * 1e3,
+        run.latency_percentile(95.0) * 1e3,
+        run.latency_percentile(99.0) * 1e3,
+        run.makespan()
+    );
+    println!("{:>8} {:>12} {:>14}", "t(s)", "tput(req/s)", "p50 lat(ms)");
+    let tput = run.throughput_series(2.0);
+    for (t, rps) in tput {
+        let window: Vec<f64> = run
+            .completed
+            .iter()
+            .filter(|c| c.arrival >= t && c.arrival < t + 2.0)
+            .map(|c| c.latency)
+            .collect();
+        let lat = if window.is_empty() {
+            0.0
+        } else {
+            vclock::stats::percentile(&window, 50.0) * 1e3
+        };
+        println!("{t:>8.0} {rps:>12.1} {lat:>14.2}");
+    }
+}
+
+fn main() {
+    // Scale: fraction of the full Locust pattern to generate (the full
+    // pattern is ~4600 requests; Vespid executes each one for real).
+    let scale = bench::trials(25) as f64 / 100.0;
+    bench::header(
+        "Figure 15: serverless platform comparison under bursty load",
+        "Vespid sustains low latency through both bursts; vanilla \
+         OpenWhisk-style containers queue and fall behind",
+    );
+    let arrivals = pattern_arrivals(&locust_pattern(), scale);
+    println!("# offered load: {} requests over 42s (scale {scale})", arrivals.len());
+
+    let mut vespid = VespidPlatform::new(4096).expect("vespid engine");
+    report(&simulate(&mut vespid, &arrivals, 8));
+
+    let mut ow = OpenWhiskModel::default_vanilla();
+    report(&simulate(&mut ow, &arrivals, 8));
+}

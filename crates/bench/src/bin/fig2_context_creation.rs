@@ -1,0 +1,77 @@
+//! Figure 2: lower bounds on execution-context creation.
+//!
+//! Four bars: full KVM VM creation (create + enter + hlt), bare `vmrun`
+//! (`KVM_RUN` only, reusing the context), `pthread_create`+`join`, and a
+//! null function call.
+
+use hostsim::HostKernel;
+use kvmsim::Hypervisor;
+use vclock::stats::Summary;
+use vclock::Clock;
+
+fn main() {
+    let trials = bench::trials(1000);
+    bench::header(
+        "Figure 2: lower bounds on execution context creation (cycles)",
+        "function << vmrun << pthread << KVM create; virtine creation \
+         competes with threads and far outstrips processes",
+    );
+    let hlt = visa::assemble(".org 0x8000\n hlt\n hlt\n hlt\n").expect("image");
+
+    // KVM: create VM + enter + hlt, from scratch each trial.
+    let mut kvm = Vec::new();
+    for _ in 0..trials {
+        let clock = Clock::new();
+        let hv = Hypervisor::kvm(HostKernel::new(clock.clone(), None));
+        let t0 = clock.now();
+        let vm = hv.create_vm(64 * 1024, 0x8000);
+        vm.load_image(&hlt);
+        vm.vcpu().run(100).expect("run");
+        kvm.push((clock.now() - t0).get() as f64);
+    }
+
+    // vmrun: KVM_RUN on an existing context.
+    let mut vmrun = Vec::new();
+    {
+        let clock = Clock::new();
+        let hv = Hypervisor::kvm(HostKernel::new(clock.clone(), None));
+        let vm = hv.create_vm(64 * 1024, 0x8000);
+        vm.load_image(&hlt);
+        let vcpu = vm.vcpu();
+        vcpu.run(100).expect("warm");
+        for _ in 0..trials.min(2) {
+            // Only two further hlts in the image; re-load for more.
+            let t0 = clock.now();
+            vcpu.run(100).expect("run");
+            vmrun.push((clock.now() - t0).get() as f64);
+        }
+        for _ in vmrun.len()..trials {
+            vm.load_image(&hlt);
+            let vcpu = vm.vcpu();
+            let t0 = clock.now();
+            vcpu.run(100).expect("run");
+            vmrun.push((clock.now() - t0).get() as f64);
+        }
+    }
+
+    // pthread create+join and null function call.
+    let clock = Clock::new();
+    let kernel = HostKernel::new(clock.clone(), None);
+    let mut pthread = Vec::new();
+    let mut func = Vec::new();
+    for _ in 0..trials {
+        let (_, d) = clock.time(|| kernel.pthread_create_join());
+        pthread.push(d.get() as f64);
+        let (_, d) = clock.time(|| kernel.function_call());
+        func.push(d.get() as f64);
+    }
+
+    for (label, xs) in [
+        ("KVM (create+enter+hlt)", &kvm),
+        ("vmrun (KVM_RUN only)", &vmrun),
+        ("Linux pthread", &pthread),
+        ("function", &func),
+    ] {
+        bench::row(label, &Summary::of(xs));
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 3: latency to run fib(20) in the three classic x86 modes.
+//!
+//! Each trial enters a fresh virtual context, brings it up to the target
+//! mode (16-bit does nothing, 32-bit does lgdt+PE+ljmp, 64-bit does the
+//! full boot with paging), runs a recursive fib(20), and exits. Outliers
+//! are removed with Tukey's method, as in the paper (footnote 3).
+
+use vclock::stats::Summary;
+use wasp::{HypercallMask, Invocation, PoolMode, Wasp, WaspConfig};
+use kvmsim::Hypervisor;
+use hostsim::HostKernel;
+use vclock::Clock;
+
+const FIB_BODY: &str = "
+  mov r1, 20
+  call fib
+  hlt
+fib:
+  cmp r1, 2
+  jl .base
+  push r1
+  sub r1, 1
+  call fib
+  pop r1
+  push r0
+  sub r1, 2
+  call fib
+  pop r2
+  add r0, r2
+  ret
+.base:
+  mov r0, r1
+  ret
+";
+
+fn image_for_mode(mode: u32) -> visa::Image {
+    let src = match mode {
+        16 => format!(".org 0x8000\n  mov sp, 0x7000\n{FIB_BODY}"),
+        32 => format!(
+            ".org 0x8000
+  lgdt gdt
+  mov r0, 1
+  mov cr0, r0
+  ljmp32 prot
+prot:
+  mov sp, 0x100000
+{FIB_BODY}
+gdt: .dq 0
+"
+        ),
+        64 => format!(
+            ".org 0x8000
+.equ EFER, 0xC0000080
+  lgdt gdt
+  mov r0, 1
+  mov cr0, r0
+  ljmp32 prot
+prot:
+  mov r1, 0x1000
+  mov r2, 0x2003
+  store.q [r1], r2
+  mov r1, 0x2000
+  mov r2, 0x3003
+  store.q [r1], r2
+  mov r3, 0
+  mov r4, 0x83
+  mov r5, 0x3000
+ptloop:
+  store.q [r5], r4
+  add r5, 8
+  add r4, 0x200000
+  add r3, 1
+  cmp r3, 512
+  jl ptloop
+  mov r7, 0x1000
+  mov cr3, r7
+  mov r7, 0x20
+  mov cr4, r7
+  mov r7, 0x100
+  wrmsr EFER, r7
+  mov r7, 0x80000001
+  mov cr0, r7
+  ljmp64 longm
+longm:
+  mov sp, 0x200000
+{FIB_BODY}
+gdt: .dq 0
+"
+        ),
+        _ => unreachable!(),
+    };
+    visa::assemble(&src).expect("fib image")
+}
+
+fn main() {
+    let trials = bench::trials(200);
+    bench::header(
+        "Figure 3: fib(20) latency by processor mode (cycles, Tukey-filtered)",
+        "16-bit cheapest (skips paging+PE costs); 32 and 64-bit essentially \
+         equal; ~10K cycles separate real mode from long mode",
+    );
+
+    for mode in [16u32, 32, 64] {
+        let img = image_for_mode(mode);
+        let clock = Clock::new();
+        let wasp = Wasp::new(
+            Hypervisor::kvm(HostKernel::new(clock.clone(), None)),
+            WaspConfig {
+                pool_mode: PoolMode::CachedAsync,
+                ..WaspConfig::default()
+            },
+        );
+        let id = wasp
+            .register(
+                wasp::VirtineSpec::new(format!("fib{mode}"), img, 4 << 20).with_snapshot(false),
+            )
+            .expect("register");
+        let mut xs = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let out = wasp.run(id, &[], Invocation::default()).expect("run");
+            assert_eq!(out.ret, 6765, "fib(20) in {mode}-bit mode");
+            xs.push(out.breakdown.total.get() as f64);
+        }
+        let _ = HypercallMask::DENY_ALL; // Policy is default-deny already.
+        bench::row(&format!("{mode}-bit mode"), &Summary::of_tukey(&xs));
+    }
+}

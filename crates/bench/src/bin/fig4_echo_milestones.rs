@@ -1,0 +1,33 @@
+//! Figure 4: echo-server startup milestones in protected mode (no paging).
+
+use vclock::stats::Summary;
+use vhttp::echo::run_echo_server;
+
+fn main() {
+    let trials = bench::trials(500);
+    bench::header(
+        "Figure 4: echo server startup milestones (cycles from launch)",
+        "main entry ~10K cycles; request/response complete within 100-500K \
+         cycles (<300µs); large stddev from the host network stack",
+    );
+    let runs = run_echo_server(trials, Some(42));
+    let series = |f: fn(&vhttp::echo::EchoMilestones) -> f64| -> Vec<f64> {
+        runs.iter().map(f).collect()
+    };
+    bench::row(
+        "main entry (C code)",
+        &Summary::of(&series(|m| m.to_main.get() as f64)),
+    );
+    bench::row(
+        "recv() returned",
+        &Summary::of(&series(|m| m.to_recv.get() as f64)),
+    );
+    bench::row(
+        "send() complete",
+        &Summary::of(&series(|m| m.to_send.get() as f64)),
+    );
+    bench::row(
+        "client end-to-end",
+        &Summary::of(&series(|m| m.total.get() as f64)),
+    );
+}

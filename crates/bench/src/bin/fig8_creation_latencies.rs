@@ -1,0 +1,156 @@
+//! Figure 8: creation latencies for execution contexts, including Wasp's
+//! pooled variants and the SGX comparison points (log-scale bars in the
+//! paper).
+//!
+//! Wasp rows use a paper-realistic ~16 KB minimal image (§2: "virtine
+//! images are typically small (~16KB)"), so the synchronous cleaning cost
+//! of Wasp+C is visible while Wasp+CA hides it in the background.
+
+use hostsim::HostKernel;
+use kvmsim::Hypervisor;
+use vclock::stats::Summary;
+use vclock::Clock;
+use wasp::{HypercallMask, Invocation, PoolMode, VirtineSpec, Wasp, WaspConfig};
+
+fn minimal_image() -> visa::Image {
+    let mut img = visa::assemble(".org 0x8000\n hlt\n").expect("image");
+    img.pad_to(16 * 1024);
+    img
+}
+
+fn wasp_times(mode: PoolMode, trials: usize) -> Vec<f64> {
+    let clock = Clock::new();
+    let wasp = Wasp::new(
+        Hypervisor::kvm(HostKernel::new(clock.clone(), None)),
+        WaspConfig {
+            pool_mode: mode,
+            ..WaspConfig::default()
+        },
+    );
+    let id = wasp
+        .register(
+            VirtineSpec::new("hlt", minimal_image(), 64 * 1024)
+                .with_policy(HypercallMask::DENY_ALL)
+                .with_snapshot(false),
+        )
+        .expect("register");
+    // Warm the pool once so cached modes measure reuse.
+    wasp.run(id, &[], Invocation::default()).expect("warm");
+    let mut xs = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let out = wasp.run(id, &[], Invocation::default()).expect("run");
+        xs.push(out.breakdown.total.get() as f64);
+    }
+    xs
+}
+
+/// Shell provisioning only (§5.2's "cost of provisioning a virtine shell"):
+/// the invocation minus the per-request image install.
+fn wasp_provision_times(trials: usize) -> Vec<f64> {
+    let clock = Clock::new();
+    let wasp = Wasp::new(
+        Hypervisor::kvm(HostKernel::new(clock.clone(), None)),
+        WaspConfig::default(),
+    );
+    let id = wasp
+        .register(
+            VirtineSpec::new("hlt", minimal_image(), 64 * 1024)
+                .with_policy(HypercallMask::DENY_ALL)
+                .with_snapshot(false),
+        )
+        .expect("register");
+    wasp.run(id, &[], Invocation::default()).expect("warm");
+    (0..trials)
+        .map(|_| {
+            let out = wasp.run(id, &[], Invocation::default()).expect("run");
+            (out.breakdown.total - out.breakdown.image).get() as f64
+        })
+        .collect()
+}
+
+fn main() {
+    let trials = bench::trials(500);
+    bench::header(
+        "Figure 8: creation latencies on the simulated tinker (cycles, log-scale in paper)",
+        "Wasp+C / Wasp+CA approach the vmrun floor (CA within ~4%), beat \
+         pthreads; process and SGX creation are orders of magnitude above",
+    );
+
+    let clock = Clock::new();
+    let kernel = HostKernel::new(clock.clone(), None);
+
+    // Host primitives.
+    let sample = |f: &mut dyn FnMut()| -> Vec<f64> {
+        (0..trials)
+            .map(|_| {
+                let (_, d) = clock.time(|| f());
+                d.get() as f64
+            })
+            .collect()
+    };
+    let process = sample(&mut || kernel.process_spawn());
+    let pthread = sample(&mut || kernel.pthread_create_join());
+    let sgx_ecall = sample(&mut || kernel.sgx_ecall());
+    let sgx_create: Vec<f64> = (0..trials.min(20))
+        .map(|_| {
+            let (_, d) = clock.time(|| kernel.sgx_create_enclave());
+            d.get() as f64
+        })
+        .collect();
+
+    // KVM create and the bare vmrun floor.
+    let hv = Hypervisor::kvm(kernel.clone());
+    let img = minimal_image();
+    let kvm: Vec<f64> = (0..trials)
+        .map(|_| {
+            let t0 = clock.now();
+            let vm = hv.create_vm(64 * 1024, 0x8000);
+            vm.load_image(&img);
+            vm.vcpu().run(100).expect("run");
+            (clock.now() - t0).get() as f64
+        })
+        .collect();
+    let vmrun: Vec<f64> = {
+        let vm = hv.create_vm(64 * 1024, 0x8000);
+        (0..trials)
+            .map(|_| {
+                vm.load_image(&visa::assemble(".org 0x8000\n hlt\n").expect("tiny"));
+                let vcpu = vm.vcpu();
+                let t0 = clock.now();
+                vcpu.run(100).expect("run");
+                (clock.now() - t0).get() as f64
+            })
+            .collect()
+    };
+
+    let wasp_fresh = wasp_times(PoolMode::Disabled, trials);
+    let wasp_c = wasp_times(PoolMode::Cached, trials);
+    let wasp_ca = wasp_times(PoolMode::CachedAsync, trials);
+    let wasp_shell = wasp_provision_times(trials);
+
+    for (label, xs) in [
+        ("process (fork+exec)", &process),
+        ("Linux pthread", &pthread),
+        ("KVM (create VM)", &kvm),
+        ("Wasp (no pooling)", &wasp_fresh),
+        ("Wasp+C (cached)", &wasp_c),
+        ("Wasp+CA (cached+async)", &wasp_ca),
+        ("Wasp+CA shell provision", &wasp_shell),
+        ("vmrun (floor)", &vmrun),
+        ("SGX ECALL", &sgx_ecall),
+        ("SGX Create", &sgx_create),
+    ] {
+        bench::row(label, &Summary::of(xs));
+    }
+
+    let floor = Summary::of(&vmrun).mean;
+    let ca = Summary::of(&wasp_ca).mean;
+    let shell = Summary::of(&wasp_shell).mean;
+    println!(
+        "#\n# Wasp+CA shell provisioning vs bare vmrun: {:+.1}% (paper: within 4%)\n\
+         # Wasp+CA incl. 16KB image install: {:+.1}% (the install is the\n\
+         # memcpy-bound cost Figure 12 studies)",
+        (shell / floor - 1.0) * 100.0,
+        (ca / floor - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,111 @@
+//! Table 1: boot-time breakdown for the minimal runtime environment.
+//!
+//! Instruments the classic bring-up with zero-cost milestone marks and
+//! reports minimum per-component latencies in cycles, like the paper
+//! (which reports minima to exclude scheduling noise).
+
+use vclock::stats::Summary;
+use vclock::Clock;
+use visa::{assemble, CpuConfig, Machine};
+
+/// Boot sequence with a mark around every Table 1 component.
+const BOOT: &str = "
+.org 0x8000
+.equ EFER, 0xC0000080
+  mark 0               ; entry (first-instruction cost already charged)
+  lgdt gdt
+  mark 1               ; after 16-bit lgdt
+  mov r0, 1
+  mov cr0, r0
+  mark 2               ; after protected transition (CR0.PE)
+  ljmp32 prot
+prot:
+  mark 3               ; after jump to 32-bit
+  lgdt gdt
+  mark 4               ; after 32-bit lgdt reload ('long transition')
+  mov r1, 0x1000
+  mov r2, 0x2003
+  store.q [r1], r2
+  mov r1, 0x2000
+  mov r2, 0x3003
+  store.q [r1], r2
+  mov r3, 0
+  mov r4, 0x83
+  mov r5, 0x3000
+loop:
+  store.q [r5], r4
+  add r5, 8
+  add r4, 0x200000
+  add r3, 1
+  cmp r3, 512
+  jl loop
+  mov r7, 0x1000
+  mov cr3, r7
+  mov r7, 0x20
+  mov cr4, r7
+  mov r7, 0x100
+  wrmsr EFER, r7
+  mov r7, 0x80000001
+  mov cr0, r7
+  mark 5               ; after identity map + EPT construction
+  ljmp64 longm
+longm:
+  mark 6               ; after jump to 64-bit
+  hlt
+gdt: .dq 0
+";
+
+fn main() {
+    let trials = bench::trials(100);
+    bench::header(
+        "Table 1: boot-time breakdown (KVM, cycles)",
+        "ident map ~28109, protected transition ~3217, lgdt(16) ~4118, \
+         long transition (lgdt) ~681, ljmp32 ~175, ljmp64 ~190, first inst ~74",
+    );
+
+    let img = assemble(BOOT).expect("boot");
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 7];
+    for _ in 0..trials {
+        let clock = Clock::new();
+        let mut m = Machine::new(clock.clone(), CpuConfig::default(), 4 << 20, img.entry);
+        m.load_image(&img);
+        // Model VM entry so the first-instruction charge applies.
+        m.cpu.note_vmentry();
+        let t0 = clock.now();
+        m.run(100_000).expect("boot runs");
+        let at = |id: u8| {
+            m.cpu
+                .marks
+                .iter()
+                .find(|(i, _)| *i == id)
+                .map(|(_, t)| *t)
+                .expect("mark")
+        };
+        rows[0].push((at(0) - t0).get() as f64); // First instruction.
+        rows[1].push((at(1) - at(0)).get() as f64); // lgdt from 16-bit.
+        rows[2].push((at(2) - at(1)).get() as f64); // CR0.PE.
+        rows[3].push((at(3) - at(2)).get() as f64); // ljmp32.
+        rows[4].push((at(4) - at(3)).get() as f64); // lgdt from 32-bit.
+        rows[5].push((at(5) - at(4)).get() as f64); // Ident map + EPT.
+        rows[6].push((at(6) - at(5)).get() as f64); // ljmp64.
+    }
+
+    println!("{:<34} {:>10} {:>10}", "component", "min(cyc)", "paper");
+    let paper = [74.0, 4118.0, 3217.0, 175.0, 681.0, 28109.0, 190.0];
+    let labels = [
+        "First instruction",
+        "Load 32-bit GDT (lgdt, 16-bit)",
+        "Protected transition (CR0.PE)",
+        "Jump to 32-bit (ljmp)",
+        "Long transition (lgdt, 32-bit)",
+        "Paging identity mapping (+EPT)",
+        "Jump to 64-bit (ljmp)",
+    ];
+    let mut total = 0.0;
+    for ((label, samples), paper) in labels.iter().zip(&rows).zip(paper) {
+        let s = Summary::of(samples);
+        total += s.min;
+        println!("{label:<34} {:>10.0} {paper:>10.0}", s.min);
+    }
+    println!("{:<34} {total:>10.0}", "total");
+}

@@ -1,0 +1,59 @@
+//! §6.2's boot-time discussion: virtine start-up vs unikernel boots.
+//!
+//! The unikernel rows are the published numbers §6.2 quotes (Unikraft
+//! 10s–100s of µs; MirageOS/Solo5-HVT ~12 ms; OSv ~600 ms on the paper's
+//! testbed); the virtine rows are measured on this substrate.
+
+use vclock::stats::Summary;
+use wasp::{Invocation, Wasp};
+
+fn main() {
+    let trials = bench::trials(100);
+    bench::header(
+        "Unikernel comparison (6.2): no-op boot-to-exit latency",
+        "virtines boot in tens of µs cold and ~µs from snapshot, below \
+         even the fastest unikernels the paper cites",
+    );
+
+    let unit = vcc::compile("virtine int nop(int x) { return x; }").expect("compile");
+    let v = unit.virtine("nop").expect("nop");
+
+    let measure = |snapshot: bool| -> f64 {
+        let wasp = Wasp::new_kvm_default();
+        let id = v
+            .register(&wasp)
+            .map(|id| {
+                if !snapshot {
+                    wasp.invalidate_snapshot(id);
+                }
+                id
+            })
+            .expect("register");
+        if snapshot {
+            vcc::invoke(&wasp, id, &[0]).expect("warm snapshot");
+        }
+        let us: Vec<f64> = (0..trials)
+            .map(|_| {
+                if !snapshot {
+                    wasp.invalidate_snapshot(id);
+                }
+                let out = vcc::invoke(&wasp, id, &[0]).expect("invoke");
+                assert!(out.exit.is_normal());
+                out.breakdown.total.as_micros()
+            })
+            .collect();
+        Summary::of(&us).mean
+    };
+
+    let cold = measure(false);
+    let warm = measure(true);
+
+    println!("{:<28} {:>14}", "system", "no-op latency");
+    println!("{:<28} {:>11.1} µs   (measured)", "virtine (cold boot)", cold);
+    println!("{:<28} {:>11.1} µs   (measured)", "virtine (snapshot)", warm);
+    println!("{:<28} {:>14}", "Unikraft", "10s-100s µs");
+    println!("{:<28} {:>14}", "MirageOS / Solo5 HVT", "~12 ms");
+    println!("{:<28} {:>14}", "HermiTux/Rump/Lupine", "10s-100s ms");
+    println!("{:<28} {:>14}", "OSv", "~600 ms");
+    let _ = Invocation::default();
+}

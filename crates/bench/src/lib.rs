@@ -1,0 +1,75 @@
+//! Shared helpers for the per-figure benchmark binaries.
+//!
+//! Every binary regenerates one table or figure from the paper's
+//! evaluation, printing the same rows/series the paper reports (in cycles
+//! and/or µs of virtual time at 2.69 GHz). Trial counts follow the paper's
+//! "1000 trials unless otherwise noted", scaled down by default for quick
+//! runs; pass `--trials N` (or set `TRIALS=N`) to override.
+
+use vclock::stats::Summary;
+use vclock::Cycles;
+
+/// Parses `--trials N` from argv or `TRIALS` from the environment,
+/// defaulting to `default`.
+pub fn trials(default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trials" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        }
+    }
+    std::env::var("TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Converts per-trial cycle samples into floats.
+pub fn cycles_f64(samples: &[Cycles]) -> Vec<f64> {
+    samples.iter().map(|c| c.get() as f64).collect()
+}
+
+/// Prints a header for a figure/table reproduction.
+pub fn header(title: &str, claim: &str) {
+    println!("# {title}");
+    println!("# paper claim: {claim}");
+    println!("#");
+}
+
+/// Formats a `Summary` of cycle samples as `mean ± std (min)` with µs.
+pub fn fmt_cycles(s: &Summary) -> String {
+    let us = Cycles(s.mean as u64).as_micros();
+    format!(
+        "{:>12.0} ± {:>8.0} cyc  ({:>9.2} µs, min {:>10.0})",
+        s.mean, s.std_dev, us, s.min
+    )
+}
+
+/// One labelled measurement row.
+pub fn row(label: &str, s: &Summary) {
+    println!("{label:<28} {}", fmt_cycles(s));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_env_default() {
+        // No --trials in the test harness argv; default comes back unless
+        // TRIALS happens to be set.
+        if std::env::var("TRIALS").is_err() {
+            assert_eq!(trials(123), 123);
+        }
+    }
+
+    #[test]
+    fn cycle_formatting_contains_units() {
+        let s = Summary::of(&[1000.0, 2000.0]);
+        let out = fmt_cycles(&s);
+        assert!(out.contains("cyc"));
+        assert!(out.contains("µs"));
+    }
+}

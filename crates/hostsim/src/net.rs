@@ -1,0 +1,219 @@
+//! Loopback socket layer.
+//!
+//! The paper's network experiments (the §4.2 echo server, the §6.3 HTTP
+//! server) generate requests "from localhost"; this module is the
+//! deterministic loopback fabric those bytes travel over. Message-oriented
+//! FIFO queues per direction are sufficient for the request/response
+//! patterns the experiments use.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// A socket handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SockId(pub u64);
+
+/// Socket-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No listener on the port.
+    ConnectionRefused(u16),
+    /// Port already has a listener.
+    AddrInUse(u16),
+    /// Socket is not open.
+    BadSocket(SockId),
+    /// Accept on a port that is not listening.
+    NotListening(u16),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ConnectionRefused(p) => write!(f, "connection refused on port {p}"),
+            NetError::AddrInUse(p) => write!(f, "address in use: port {p}"),
+            NetError::BadSocket(s) => write!(f, "bad socket {}", s.0),
+            NetError::NotListening(p) => write!(f, "port {p} is not listening"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[derive(Debug, Default)]
+struct Endpoint {
+    /// Messages waiting to be received by this endpoint.
+    rx: VecDeque<Vec<u8>>,
+    /// The other end of the connection, if still open.
+    peer: Option<SockId>,
+}
+
+/// The loopback network: listeners, accept queues, and per-socket queues.
+#[derive(Debug, Default)]
+pub struct LoopbackNet {
+    listeners: HashMap<u16, VecDeque<SockId>>,
+    sockets: HashMap<SockId, Endpoint>,
+    next_id: u64,
+}
+
+impl LoopbackNet {
+    fn fresh(&mut self) -> SockId {
+        self.next_id += 1;
+        SockId(self.next_id)
+    }
+
+    /// Binds a listener to `port`.
+    pub fn listen(&mut self, port: u16) -> Result<(), NetError> {
+        if self.listeners.contains_key(&port) {
+            return Err(NetError::AddrInUse(port));
+        }
+        self.listeners.insert(port, VecDeque::new());
+        Ok(())
+    }
+
+    /// Creates a connection to `port`; the peer socket waits in the
+    /// listener's accept queue.
+    pub fn connect(&mut self, port: u16) -> Result<SockId, NetError> {
+        if !self.listeners.contains_key(&port) {
+            return Err(NetError::ConnectionRefused(port));
+        }
+        let client = self.fresh();
+        let server = self.fresh();
+        self.sockets.insert(
+            client,
+            Endpoint {
+                rx: VecDeque::new(),
+                peer: Some(server),
+            },
+        );
+        self.sockets.insert(
+            server,
+            Endpoint {
+                rx: VecDeque::new(),
+                peer: Some(client),
+            },
+        );
+        self.listeners
+            .get_mut(&port)
+            .expect("checked above")
+            .push_back(server);
+        Ok(client)
+    }
+
+    /// Pops one pending connection off the accept queue.
+    pub fn accept(&mut self, port: u16) -> Result<Option<SockId>, NetError> {
+        let q = self
+            .listeners
+            .get_mut(&port)
+            .ok_or(NetError::NotListening(port))?;
+        Ok(q.pop_front())
+    }
+
+    /// Sends one message to the peer.
+    pub fn send(&mut self, sock: SockId, data: &[u8]) -> Result<(), NetError> {
+        let peer = self
+            .sockets
+            .get(&sock)
+            .ok_or(NetError::BadSocket(sock))?
+            .peer
+            .ok_or(NetError::BadSocket(sock))?;
+        let peer_ep = self
+            .sockets
+            .get_mut(&peer)
+            .ok_or(NetError::BadSocket(peer))?;
+        peer_ep.rx.push_back(data.to_vec());
+        Ok(())
+    }
+
+    /// Receives one message (truncated to `max_len`); `None` would block.
+    pub fn recv(&mut self, sock: SockId, max_len: usize) -> Result<Option<Vec<u8>>, NetError> {
+        let ep = self.sockets.get_mut(&sock).ok_or(NetError::BadSocket(sock))?;
+        Ok(ep.rx.pop_front().map(|mut m| {
+            m.truncate(max_len);
+            m
+        }))
+    }
+
+    /// Closes a socket; the peer keeps its queued data but loses the link.
+    pub fn close(&mut self, sock: SockId) -> Result<(), NetError> {
+        let ep = self.sockets.remove(&sock).ok_or(NetError::BadSocket(sock))?;
+        if let Some(peer) = ep.peer {
+            if let Some(pe) = self.sockets.get_mut(&peer) {
+                pe.peer = None;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_requires_listener() {
+        let mut n = LoopbackNet::default();
+        assert_eq!(n.connect(80), Err(NetError::ConnectionRefused(80)));
+        n.listen(80).unwrap();
+        assert!(n.connect(80).is_ok());
+    }
+
+    #[test]
+    fn double_listen_is_refused() {
+        let mut n = LoopbackNet::default();
+        n.listen(80).unwrap();
+        assert_eq!(n.listen(80), Err(NetError::AddrInUse(80)));
+    }
+
+    #[test]
+    fn messages_flow_both_ways_in_order() {
+        let mut n = LoopbackNet::default();
+        n.listen(80).unwrap();
+        let c = n.connect(80).unwrap();
+        let s = n.accept(80).unwrap().unwrap();
+
+        n.send(c, b"one").unwrap();
+        n.send(c, b"two").unwrap();
+        assert_eq!(n.recv(s, 64).unwrap().unwrap(), b"one");
+        assert_eq!(n.recv(s, 64).unwrap().unwrap(), b"two");
+        assert_eq!(n.recv(s, 64).unwrap(), None);
+
+        n.send(s, b"reply").unwrap();
+        assert_eq!(n.recv(c, 64).unwrap().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn recv_truncates_to_max_len() {
+        let mut n = LoopbackNet::default();
+        n.listen(1).unwrap();
+        let c = n.connect(1).unwrap();
+        let s = n.accept(1).unwrap().unwrap();
+        n.send(c, b"0123456789").unwrap();
+        assert_eq!(n.recv(s, 4).unwrap().unwrap(), b"0123");
+    }
+
+    #[test]
+    fn multiple_pending_connections_queue_up() {
+        let mut n = LoopbackNet::default();
+        n.listen(7).unwrap();
+        let c1 = n.connect(7).unwrap();
+        let c2 = n.connect(7).unwrap();
+        assert_ne!(c1, c2);
+        assert!(n.accept(7).unwrap().is_some());
+        assert!(n.accept(7).unwrap().is_some());
+        assert!(n.accept(7).unwrap().is_none());
+    }
+
+    #[test]
+    fn close_detaches_peer() {
+        let mut n = LoopbackNet::default();
+        n.listen(9).unwrap();
+        let c = n.connect(9).unwrap();
+        let s = n.accept(9).unwrap().unwrap();
+        n.send(c, b"x").unwrap();
+        n.close(c).unwrap();
+        // Peer can still drain queued data but cannot send back.
+        assert_eq!(n.recv(s, 8).unwrap().unwrap(), b"x");
+        assert!(n.send(s, b"y").is_err());
+        assert!(n.recv(c, 8).is_err());
+    }
+}

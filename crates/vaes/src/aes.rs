@@ -1,0 +1,288 @@
+//! AES-128 reference implementation (the OpenSSL stand-in of §6.4).
+//!
+//! A straightforward FIPS-197 implementation: S-box substitution, row
+//! shifts, column mixing over GF(2⁸), and the 11-round-key expansion, plus
+//! CBC mode. This is the host-side reference; the guest-side mini-C cipher
+//! in [`crate::guest`] is generated from the same tables and is checked
+//! against this implementation in tests.
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &v) in SBOX.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+fn xtime(x: u8) -> u8 {
+    let w = (x as u16) << 1;
+    if w & 0x100 != 0 {
+        (w ^ 0x11b) as u8
+    } else {
+        w as u8
+    }
+}
+
+/// GF(2⁸) multiplication.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Expanded round keys: 11 × 16 bytes.
+#[derive(Debug, Clone)]
+pub struct RoundKeys([u8; 176]);
+
+/// Expands a 128-bit key.
+pub fn key_expansion(key: &[u8; 16]) -> RoundKeys {
+    let mut w = [0u8; 176];
+    w[..16].copy_from_slice(key);
+    let mut rcon: u8 = 1;
+    for i in 4..44 {
+        let mut t = [
+            w[4 * (i - 1)],
+            w[4 * (i - 1) + 1],
+            w[4 * (i - 1) + 2],
+            w[4 * (i - 1) + 3],
+        ];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = SBOX[*b as usize];
+            }
+            t[0] ^= rcon;
+            rcon = xtime(rcon);
+        }
+        for j in 0..4 {
+            w[4 * i + j] = w[4 * (i - 4) + j] ^ t[j];
+        }
+    }
+    RoundKeys(w)
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &RoundKeys, round: usize) {
+    for (i, b) in state.iter_mut().enumerate() {
+        *b ^= rk.0[16 * round + i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for r in 0..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let a = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = xtime(a[0]) ^ xtime(a[1]) ^ a[1] ^ a[2] ^ a[3];
+        state[4 * c + 1] = a[0] ^ xtime(a[1]) ^ xtime(a[2]) ^ a[2] ^ a[3];
+        state[4 * c + 2] = a[0] ^ a[1] ^ xtime(a[2]) ^ xtime(a[3]) ^ a[3];
+        state[4 * c + 3] = xtime(a[0]) ^ a[0] ^ a[1] ^ a[2] ^ xtime(a[3]);
+    }
+}
+
+/// Encrypts one 16-byte block in place.
+pub fn encrypt_block(rk: &RoundKeys, block: &mut [u8; 16]) {
+    add_round_key(block, rk, 0);
+    for round in 1..10 {
+        sub_bytes(block);
+        shift_rows(block);
+        mix_columns(block);
+        add_round_key(block, rk, round);
+    }
+    sub_bytes(block);
+    shift_rows(block);
+    add_round_key(block, rk, 10);
+}
+
+/// Decrypts one 16-byte block in place.
+pub fn decrypt_block(rk: &RoundKeys, block: &mut [u8; 16]) {
+    let inv = inv_sbox();
+    let inv_shift = |state: &mut [u8; 16]| {
+        let old = *state;
+        for r in 0..4 {
+            for c in 0..4 {
+                state[r + 4 * ((c + r) % 4)] = old[r + 4 * c];
+            }
+        }
+    };
+    let inv_mix = |state: &mut [u8; 16]| {
+        for c in 0..4 {
+            let a = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] = gmul(a[0], 14) ^ gmul(a[1], 11) ^ gmul(a[2], 13) ^ gmul(a[3], 9);
+            state[4 * c + 1] = gmul(a[0], 9) ^ gmul(a[1], 14) ^ gmul(a[2], 11) ^ gmul(a[3], 13);
+            state[4 * c + 2] = gmul(a[0], 13) ^ gmul(a[1], 9) ^ gmul(a[2], 14) ^ gmul(a[3], 11);
+            state[4 * c + 3] = gmul(a[0], 11) ^ gmul(a[1], 13) ^ gmul(a[2], 9) ^ gmul(a[3], 14);
+        }
+    };
+
+    add_round_key(block, rk, 10);
+    for round in (1..10).rev() {
+        inv_shift(block);
+        for b in block.iter_mut() {
+            *b = inv[*b as usize];
+        }
+        add_round_key(block, rk, round);
+        inv_mix(block);
+    }
+    inv_shift(block);
+    for b in block.iter_mut() {
+        *b = inv[*b as usize];
+    }
+    add_round_key(block, rk, 0);
+}
+
+/// CBC-encrypts `data` (length must be a multiple of 16) in place.
+///
+/// # Panics
+///
+/// Panics if `data.len() % 16 != 0`.
+pub fn cbc_encrypt(key: &[u8; 16], iv: &[u8; 16], data: &mut [u8]) {
+    assert_eq!(data.len() % 16, 0, "CBC needs whole blocks");
+    let rk = key_expansion(key);
+    let mut prev = *iv;
+    for chunk in data.chunks_exact_mut(16) {
+        let mut block: [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        encrypt_block(&rk, &mut block);
+        chunk.copy_from_slice(&block);
+        prev = block;
+    }
+}
+
+/// CBC-decrypts `data` (length must be a multiple of 16) in place.
+///
+/// # Panics
+///
+/// Panics if `data.len() % 16 != 0`.
+pub fn cbc_decrypt(key: &[u8; 16], iv: &[u8; 16], data: &mut [u8]) {
+    assert_eq!(data.len() % 16, 0, "CBC needs whole blocks");
+    let rk = key_expansion(key);
+    let mut prev = *iv;
+    for chunk in data.chunks_exact_mut(16) {
+        let cipher: [u8; 16] = chunk.try_into().expect("chunk is 16 bytes");
+        let mut block = cipher;
+        decrypt_block(&rk, &mut block);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        chunk.copy_from_slice(&block);
+        prev = cipher;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips_197_appendix_b_vector() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let rk = key_expansion(&key);
+        encrypt_block(&rk, &mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        decrypt_block(&rk, &mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_cbc_vector() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let iv: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a");
+        cbc_encrypt(&key, &iv, &mut data);
+        assert_eq!(data, hex("7649abac8119b246cee98e9b12e9197d"));
+        cbc_decrypt(&key, &iv, &mut data);
+        assert_eq!(data, hex("6bc1bee22e409f96e93d7e117393172a"));
+    }
+
+    #[test]
+    fn multi_block_cbc_round_trips() {
+        let key = [7u8; 16];
+        let iv = [9u8; 16];
+        let original: Vec<u8> = (0..64u8).collect();
+        let mut data = original.clone();
+        cbc_encrypt(&key, &iv, &mut data);
+        assert_ne!(data, original);
+        // Blocks must chain: identical plaintext blocks encrypt differently.
+        let mut rep = vec![0xAAu8; 32];
+        cbc_encrypt(&key, &iv, &mut rep);
+        assert_ne!(rep[..16], rep[16..]);
+        cbc_decrypt(&key, &iv, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole blocks")]
+    fn partial_block_panics() {
+        cbc_encrypt(&[0; 16], &[0; 16], &mut [0u8; 15]);
+    }
+
+    #[test]
+    fn gmul_agrees_with_xtime() {
+        for x in 0..=255u8 {
+            assert_eq!(gmul(x, 2), xtime(x));
+            assert_eq!(gmul(x, 1), x);
+            assert_eq!(gmul(x, 3), xtime(x) ^ x);
+        }
+    }
+}

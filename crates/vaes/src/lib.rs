@@ -1,0 +1,20 @@
+//! # vaes — AES-128-CBC, host and virtine (the OpenSSL case study of §6.4)
+//!
+//! The paper modifies OpenSSL so its 128-bit AES block cipher runs in
+//! virtine context, annotated with one `virtine` keyword — "a deeply
+//! buried, heavily optimized function in a large codebase". This crate
+//! rebuilds that study:
+//!
+//! * [`aes`] — a FIPS-197 reference implementation (the "native" library);
+//! * [`guest`] — the same cipher in mini-C, compiled by `vcc` into a
+//!   ~20 KB virtine image (matching the paper's "roughly 21KB");
+//! * [`speed`] — the `openssl speed -evp aes-128-cbc` analogue comparing
+//!   native and virtine throughput across block sizes.
+
+pub mod aes;
+pub mod guest;
+pub mod speed;
+
+pub use aes::{cbc_decrypt, cbc_encrypt, encrypt_block, key_expansion};
+pub use guest::{aes_c_source, compile_aes_virtine, payload, MAX_DATA};
+pub use speed::{run_speed, SpeedRow};

@@ -1,0 +1,975 @@
+//! Mini-C → VISA assembly code generation with call-graph packaging.
+//!
+//! The generator mirrors the paper's LLVM pass (§5.3): starting from an
+//! annotated root function it "generates a call graph rooted at that
+//! function" and "automatically packages a subset of the source program into
+//! the virtine context based on what that virtine needs" — unreachable
+//! functions and unreferenced globals are simply not emitted, keeping images
+//! small (§2: "virtine images are typically small").
+//!
+//! Code shape: a simple stack machine. Expression results live in `r0`;
+//! `r10` is the RHS scratch; `fp` (`r14`) frames locals at negative offsets
+//! and arguments at `fp+16, fp+24, …` (pushed right-to-left); the caller
+//! pops arguments.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+use crate::ast::*;
+use crate::lex::{cerr, CError};
+
+/// Generated assembly for one virtine image.
+#[derive(Debug, Clone)]
+pub struct GenOutput {
+    /// Function bodies (text section).
+    pub text: String,
+    /// Globals and interned strings (data section).
+    pub data: String,
+    /// Functions that made it into the image.
+    pub reachable: BTreeSet<String>,
+    /// Called names with prototypes but no mini-C body (satisfied by
+    /// assembly stubs such as `hypercall`).
+    pub externs: BTreeSet<String>,
+}
+
+#[derive(Clone)]
+struct FnSig {
+    ret: Type,
+    params: Vec<Type>,
+    has_body: bool,
+}
+
+/// Generates code for everything reachable from `roots`.
+pub fn generate(program: &Program, roots: &[&str]) -> Result<GenOutput, CError> {
+    let mut sigs: HashMap<String, FnSig> = HashMap::new();
+    for p in &program.protos {
+        sigs.insert(
+            p.name.clone(),
+            FnSig {
+                ret: p.ret.clone(),
+                params: p.params.clone(),
+                has_body: false,
+            },
+        );
+    }
+    for f in &program.funcs {
+        sigs.insert(
+            f.name.clone(),
+            FnSig {
+                ret: f.ret.clone(),
+                params: f.params.iter().map(|(_, t)| t.clone()).collect(),
+                has_body: true,
+            },
+        );
+    }
+
+    // Reachability over the call graph (the §5.3 "cut").
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    let mut externs: BTreeSet<String> = BTreeSet::new();
+    let mut work: Vec<String> = roots.iter().map(|s| s.to_string()).collect();
+    while let Some(name) = work.pop() {
+        let Some(sig) = sigs.get(&name) else {
+            return cerr(0, format!("call to undefined function `{name}`"));
+        };
+        if !sig.has_body {
+            externs.insert(name);
+            continue;
+        }
+        if !reachable.insert(name.clone()) {
+            continue;
+        }
+        let f = program.func(&name).expect("has_body implies def");
+        let mut callees = Vec::new();
+        collect_calls_stmts(&f.body, &mut callees);
+        work.extend(callees);
+    }
+
+    let mut cg = Codegen {
+        program,
+        sigs,
+        text: String::new(),
+        data: String::new(),
+        strings: Vec::new(),
+        used_globals: BTreeSet::new(),
+        label_counter: 0,
+        globals: program
+            .globals
+            .iter()
+            .map(|g| (g.name.clone(), g.ty.clone()))
+            .collect(),
+    };
+
+    for name in &reachable {
+        let f = program.func(name).expect("reachable implies def");
+        cg.gen_func(f)?;
+    }
+    cg.emit_data()?;
+
+    Ok(GenOutput {
+        text: cg.text,
+        data: cg.data,
+        reachable,
+        externs,
+    })
+}
+
+fn collect_calls_stmts(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Decl { init, .. } => {
+                if let Some(e) = init {
+                    collect_calls_expr(e, out);
+                }
+            }
+            Stmt::Expr(e) => collect_calls_expr(e, out),
+            Stmt::If { cond, then, els } => {
+                collect_calls_expr(cond, out);
+                collect_calls_stmts(then, out);
+                collect_calls_stmts(els, out);
+            }
+            Stmt::While { cond, body } => {
+                collect_calls_expr(cond, out);
+                collect_calls_stmts(body, out);
+            }
+            Stmt::For {
+                init,
+                cond,
+                post,
+                body,
+            } => {
+                if let Some(i) = init {
+                    collect_calls_stmts(std::slice::from_ref(i), out);
+                }
+                if let Some(c) = cond {
+                    collect_calls_expr(c, out);
+                }
+                if let Some(p) = post {
+                    collect_calls_expr(p, out);
+                }
+                collect_calls_stmts(body, out);
+            }
+            Stmt::Return(Some(e), _) => collect_calls_expr(e, out),
+            Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) => {}
+            Stmt::Block(b) => collect_calls_stmts(b, out),
+        }
+    }
+}
+
+fn collect_calls_expr(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Call(name, args, _) => {
+            out.push(name.clone());
+            for a in args {
+                collect_calls_expr(a, out);
+            }
+        }
+        Expr::Unary(_, a, _) | Expr::Cast(_, a) => collect_calls_expr(a, out),
+        Expr::Binary(_, a, b, _) | Expr::Assign(a, b, _) | Expr::Index(a, b, _) => {
+            collect_calls_expr(a, out);
+            collect_calls_expr(b, out);
+        }
+        Expr::Member(a, _, _, _) => collect_calls_expr(a, out),
+        Expr::Int(_) | Expr::Str(_) | Expr::Ident(..) | Expr::SizeofType(_) => {}
+    }
+}
+
+struct Codegen<'a> {
+    program: &'a Program,
+    sigs: HashMap<String, FnSig>,
+    text: String,
+    data: String,
+    strings: Vec<(String, Vec<u8>)>,
+    used_globals: BTreeSet<String>,
+    label_counter: usize,
+    globals: HashMap<String, Type>,
+}
+
+/// Per-function state.
+struct FuncCtx {
+    /// Scope stack: name → (fp offset, type). Negative offsets are locals;
+    /// positive are arguments.
+    scopes: Vec<HashMap<String, (i64, Type)>>,
+    frame: u64,
+    body: String,
+    break_labels: Vec<String>,
+    continue_labels: Vec<String>,
+}
+
+impl FuncCtx {
+    fn lookup(&self, name: &str) -> Option<(i64, Type)> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn alloc_local(&mut self, name: &str, ty: Type, size: u64) -> i64 {
+        let sz = size.div_ceil(8) * 8;
+        self.frame += sz;
+        let off = -(self.frame as i64);
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), (off, ty));
+        off
+    }
+}
+
+impl Codegen<'_> {
+    fn fresh(&mut self, tag: &str) -> String {
+        self.label_counter += 1;
+        format!(".L{}_{}", tag, self.label_counter)
+    }
+
+    fn intern_string(&mut self, bytes: &[u8]) -> String {
+        if let Some((label, _)) = self.strings.iter().find(|(_, b)| b == bytes) {
+            return label.clone();
+        }
+        let label = format!("__str{}", self.strings.len());
+        self.strings.push((label.clone(), bytes.to_vec()));
+        label
+    }
+
+    fn gen_func(&mut self, f: &Func) -> Result<(), CError> {
+        let mut cx = FuncCtx {
+            scopes: vec![HashMap::new()],
+            frame: 0,
+            body: String::new(),
+            break_labels: Vec::new(),
+            continue_labels: Vec::new(),
+        };
+        // Arguments at fp+16, fp+24, ... (return address and saved fp below).
+        for (i, (name, ty)) in f.params.iter().enumerate() {
+            // Array parameters decay to pointers.
+            let ty = match ty {
+                Type::Array(el, _) => el.clone().ptr(),
+                other => other.clone(),
+            };
+            cx.scopes[0].insert(name.clone(), (16 + 8 * i as i64, ty));
+        }
+        self.gen_stmts(&mut cx, &f.body)?;
+        // Implicit `return 0` for control flow that falls off the end.
+        cx.body.push_str("  mov r0, 0\n  mov sp, fp\n  pop fp\n  ret\n");
+
+        let _ = writeln!(self.text, "{}:", f.name);
+        self.text.push_str("  push fp\n  mov fp, sp\n");
+        if cx.frame > 0 {
+            let _ = writeln!(self.text, "  sub sp, {}", cx.frame);
+        }
+        self.text.push_str(&cx.body);
+        Ok(())
+    }
+
+    fn gen_stmts(&mut self, cx: &mut FuncCtx, stmts: &[Stmt]) -> Result<(), CError> {
+        cx.scopes.push(HashMap::new());
+        for s in stmts {
+            self.gen_stmt(cx, s)?;
+        }
+        cx.scopes.pop();
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, cx: &mut FuncCtx, s: &Stmt) -> Result<(), CError> {
+        match s {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                let size = ty.size(&self.program.structs);
+                let off = cx.alloc_local(name, ty.clone(), size);
+                if let Some(e) = init {
+                    if matches!(ty, Type::Array(..) | Type::Struct(_)) {
+                        return cerr(*line, "aggregate initializers are not supported");
+                    }
+                    self.gen_expr(cx, e)?;
+                    let op = if ty.is_byte() { "store.b" } else { "store.q" };
+                    let _ = writeln!(cx.body, "  {op} [fp + {off}], r0");
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.gen_expr(cx, e)?;
+                Ok(())
+            }
+            Stmt::If { cond, then, els } => {
+                let lelse = self.fresh("else");
+                let lend = self.fresh("endif");
+                self.gen_cond_jump_false(cx, cond, &lelse)?;
+                self.gen_stmts(cx, then)?;
+                if els.is_empty() {
+                    let _ = writeln!(cx.body, "{lelse}:");
+                } else {
+                    let _ = writeln!(cx.body, "  jmp {lend}");
+                    let _ = writeln!(cx.body, "{lelse}:");
+                    self.gen_stmts(cx, els)?;
+                    let _ = writeln!(cx.body, "{lend}:");
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let lcond = self.fresh("while");
+                let lend = self.fresh("wend");
+                let _ = writeln!(cx.body, "{lcond}:");
+                self.gen_cond_jump_false(cx, cond, &lend)?;
+                cx.break_labels.push(lend.clone());
+                cx.continue_labels.push(lcond.clone());
+                self.gen_stmts(cx, body)?;
+                cx.break_labels.pop();
+                cx.continue_labels.pop();
+                let _ = writeln!(cx.body, "  jmp {lcond}");
+                let _ = writeln!(cx.body, "{lend}:");
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                post,
+                body,
+            } => {
+                cx.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.gen_stmt(cx, i)?;
+                }
+                let lcond = self.fresh("for");
+                let lpost = self.fresh("fpost");
+                let lend = self.fresh("fend");
+                let _ = writeln!(cx.body, "{lcond}:");
+                if let Some(c) = cond {
+                    self.gen_cond_jump_false(cx, c, &lend)?;
+                }
+                cx.break_labels.push(lend.clone());
+                cx.continue_labels.push(lpost.clone());
+                self.gen_stmts(cx, body)?;
+                cx.break_labels.pop();
+                cx.continue_labels.pop();
+                let _ = writeln!(cx.body, "{lpost}:");
+                if let Some(p) = post {
+                    self.gen_expr(cx, p)?;
+                }
+                let _ = writeln!(cx.body, "  jmp {lcond}");
+                let _ = writeln!(cx.body, "{lend}:");
+                cx.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(value, _) => {
+                if let Some(e) = value {
+                    self.gen_expr(cx, e)?;
+                } else {
+                    cx.body.push_str("  mov r0, 0\n");
+                }
+                cx.body.push_str("  mov sp, fp\n  pop fp\n  ret\n");
+                Ok(())
+            }
+            Stmt::Break(line) => match cx.break_labels.last() {
+                Some(l) => {
+                    let _ = writeln!(cx.body, "  jmp {l}");
+                    Ok(())
+                }
+                None => cerr(*line, "break outside a loop"),
+            },
+            Stmt::Continue(line) => match cx.continue_labels.last() {
+                Some(l) => {
+                    let _ = writeln!(cx.body, "  jmp {l}");
+                    Ok(())
+                }
+                None => cerr(*line, "continue outside a loop"),
+            },
+            Stmt::Block(b) => self.gen_stmts(cx, b),
+        }
+    }
+
+    /// Emits `cond`, jumping to `target` when it is zero.
+    fn gen_cond_jump_false(
+        &mut self,
+        cx: &mut FuncCtx,
+        cond: &Expr,
+        target: &str,
+    ) -> Result<(), CError> {
+        self.gen_expr(cx, cond)?;
+        let _ = writeln!(cx.body, "  cmp r0, 0\n  je {target}");
+        Ok(())
+    }
+
+    /// Emits code leaving the expression's *value* in `r0`. Arrays decay to
+    /// element pointers; struct values are rejected.
+    fn gen_expr(&mut self, cx: &mut FuncCtx, e: &Expr) -> Result<Type, CError> {
+        match e {
+            Expr::Int(v) => {
+                let _ = writeln!(cx.body, "  mov r0, {}", *v as u64);
+                Ok(Type::Int)
+            }
+            Expr::Str(bytes) => {
+                let label = self.intern_string(bytes);
+                let _ = writeln!(cx.body, "  mov r0, {label}");
+                Ok(Type::Char.ptr())
+            }
+            Expr::Ident(name, line) => {
+                if let Some((off, ty)) = cx.lookup(name) {
+                    match ty {
+                        Type::Array(el, _) => {
+                            let _ = writeln!(cx.body, "  mov r0, fp\n  add r0, {off}");
+                            Ok(el.clone().ptr())
+                        }
+                        Type::Struct(_) => cerr(*line, format!("`{name}` is a struct value")),
+                        ty => {
+                            let op = if ty.is_byte() { "load.b" } else { "load.q" };
+                            let _ = writeln!(cx.body, "  {op} r0, [fp + {off}]");
+                            Ok(ty)
+                        }
+                    }
+                } else if let Some(ty) = self.globals.get(name).cloned() {
+                    self.used_globals.insert(name.clone());
+                    match ty {
+                        Type::Array(el, _) => {
+                            let _ = writeln!(cx.body, "  mov r0, {name}");
+                            Ok(el.clone().ptr())
+                        }
+                        Type::Struct(_) => cerr(*line, format!("`{name}` is a struct value")),
+                        ty => {
+                            let op = if ty.is_byte() { "load.b" } else { "load.q" };
+                            let _ = writeln!(cx.body, "  mov r0, {name}\n  {op} r0, [r0]");
+                            Ok(ty)
+                        }
+                    }
+                } else {
+                    cerr(*line, format!("undefined variable `{name}`"))
+                }
+            }
+            Expr::Unary(op, inner, line) => self.gen_unary(cx, *op, inner, *line),
+            Expr::Binary(op, l, r, line) => self.gen_binary(cx, *op, l, r, *line),
+            Expr::Assign(lhs, rhs, line) => {
+                // Fast path: plain local scalar.
+                if let Expr::Ident(name, _) = &**lhs {
+                    if let Some((off, ty)) = cx.lookup(name) {
+                        if !matches!(ty, Type::Array(..) | Type::Struct(_)) {
+                            let rt = self.gen_expr(cx, rhs)?;
+                            self.check_assignable(&ty, &rt, *line)?;
+                            let op = if ty.is_byte() { "store.b" } else { "store.q" };
+                            let _ = writeln!(cx.body, "  {op} [fp + {off}], r0");
+                            return Ok(ty);
+                        }
+                    }
+                }
+                let lty = self.gen_addr(cx, lhs)?;
+                if matches!(lty, Type::Array(..) | Type::Struct(_)) {
+                    return cerr(*line, "cannot assign to an aggregate");
+                }
+                cx.body.push_str("  push r0\n");
+                let rt = self.gen_expr(cx, rhs)?;
+                self.check_assignable(&lty, &rt, *line)?;
+                cx.body.push_str("  pop r10\n");
+                let op = if lty.is_byte() { "store.b" } else { "store.q" };
+                let _ = writeln!(cx.body, "  {op} [r10], r0");
+                Ok(lty)
+            }
+            Expr::Call(name, args, line) => {
+                let sig = self
+                    .sigs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| CError {
+                        line: *line,
+                        msg: format!("call to undefined function `{name}`"),
+                    })?;
+                if sig.params.len() != args.len() {
+                    return cerr(
+                        *line,
+                        format!(
+                            "`{name}` expects {} arguments, got {}",
+                            sig.params.len(),
+                            args.len()
+                        ),
+                    );
+                }
+                for a in args.iter().rev() {
+                    self.gen_expr(cx, a)?;
+                    cx.body.push_str("  push r0\n");
+                }
+                let _ = writeln!(cx.body, "  call {name}");
+                if !args.is_empty() {
+                    let _ = writeln!(cx.body, "  add sp, {}", 8 * args.len());
+                }
+                Ok(sig.ret)
+            }
+            Expr::Index(..) | Expr::Member(..) => {
+                let ty = self.gen_addr(cx, e)?;
+                self.load_from_addr(cx, &ty, expr_line(e))
+            }
+            Expr::SizeofType(t) => {
+                let _ = writeln!(cx.body, "  mov r0, {}", t.size(&self.program.structs));
+                Ok(Type::Int)
+            }
+            Expr::Cast(ty, inner) => {
+                self.gen_expr(cx, inner)?;
+                if ty.is_byte() {
+                    cx.body.push_str("  and r0, 255\n");
+                }
+                Ok(ty.clone())
+            }
+        }
+    }
+
+    /// After `gen_addr` left an address in `r0`, loads the value (decaying
+    /// arrays and faulting on struct values).
+    fn load_from_addr(&mut self, cx: &mut FuncCtx, ty: &Type, line: usize) -> Result<Type, CError> {
+        match ty {
+            Type::Array(el, _) => Ok(el.clone().ptr()),
+            Type::Struct(_) => cerr(line, "cannot use a struct as a value"),
+            t => {
+                let op = if t.is_byte() { "load.b" } else { "load.q" };
+                let _ = writeln!(cx.body, "  {op} r0, [r0]");
+                Ok(t.clone())
+            }
+        }
+    }
+
+    fn gen_unary(
+        &mut self,
+        cx: &mut FuncCtx,
+        op: UnOp,
+        inner: &Expr,
+        line: usize,
+    ) -> Result<Type, CError> {
+        match op {
+            UnOp::Neg => {
+                self.gen_expr(cx, inner)?;
+                cx.body.push_str("  neg r0\n");
+                Ok(Type::Int)
+            }
+            UnOp::BitNot => {
+                self.gen_expr(cx, inner)?;
+                cx.body.push_str("  not r0\n");
+                Ok(Type::Int)
+            }
+            UnOp::LogNot => {
+                self.gen_expr(cx, inner)?;
+                let l = self.fresh("lnot");
+                let _ = writeln!(
+                    cx.body,
+                    "  cmp r0, 0\n  mov r0, 1\n  je {l}\n  mov r0, 0\n{l}:"
+                );
+                Ok(Type::Int)
+            }
+            UnOp::Deref => {
+                let t = self.gen_expr(cx, inner)?;
+                let Some(pointee) = t.pointee().cloned() else {
+                    return cerr(line, format!("cannot dereference non-pointer `{t}`"));
+                };
+                self.load_from_addr(cx, &pointee, line)
+            }
+            UnOp::AddrOf => {
+                let t = self.gen_addr(cx, inner)?;
+                let inner_ty = match t {
+                    Type::Array(el, _) => *el,
+                    other => other,
+                };
+                Ok(inner_ty.ptr())
+            }
+        }
+    }
+
+    fn gen_binary(
+        &mut self,
+        cx: &mut FuncCtx,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+        line: usize,
+    ) -> Result<Type, CError> {
+        // Short-circuit forms first.
+        if op == BinOp::LogAnd || op == BinOp::LogOr {
+            let lfalse = self.fresh("sc");
+            let lend = self.fresh("scend");
+            self.gen_expr(cx, l)?;
+            if op == BinOp::LogAnd {
+                let _ = writeln!(cx.body, "  cmp r0, 0\n  je {lfalse}");
+                self.gen_expr(cx, r)?;
+                let _ = writeln!(cx.body, "  cmp r0, 0\n  je {lfalse}");
+                let _ = writeln!(cx.body, "  mov r0, 1\n  jmp {lend}");
+                let _ = writeln!(cx.body, "{lfalse}:\n  mov r0, 0\n{lend}:");
+            } else {
+                let _ = writeln!(cx.body, "  cmp r0, 0\n  jne {lfalse}");
+                self.gen_expr(cx, r)?;
+                let _ = writeln!(cx.body, "  cmp r0, 0\n  jne {lfalse}");
+                let _ = writeln!(cx.body, "  mov r0, 0\n  jmp {lend}");
+                let _ = writeln!(cx.body, "{lfalse}:\n  mov r0, 1\n{lend}:");
+            }
+            return Ok(Type::Int);
+        }
+
+        let lt = self.gen_expr(cx, l)?;
+        cx.body.push_str("  push r0\n");
+        let rt = self.gen_expr(cx, r)?;
+        cx.body.push_str("  mov r10, r0\n  pop r0\n");
+
+        let elem_size = |t: &Type| -> u64 {
+            t.pointee()
+                .map(|p| p.size(&self.program.structs).max(1))
+                .unwrap_or(1)
+        };
+
+        match op {
+            BinOp::Add => {
+                if lt.is_pointer_like() && !rt.is_pointer_like() {
+                    let s = elem_size(&lt);
+                    if s > 1 {
+                        let _ = writeln!(cx.body, "  mul r10, {s}");
+                    }
+                    cx.body.push_str("  add r0, r10\n");
+                    Ok(decay(lt))
+                } else if rt.is_pointer_like() && !lt.is_pointer_like() {
+                    let s = elem_size(&rt);
+                    if s > 1 {
+                        let _ = writeln!(cx.body, "  mul r0, {s}");
+                    }
+                    cx.body.push_str("  add r0, r10\n");
+                    Ok(decay(rt))
+                } else if lt.is_pointer_like() && rt.is_pointer_like() {
+                    cerr(line, "cannot add two pointers")
+                } else {
+                    cx.body.push_str("  add r0, r10\n");
+                    Ok(Type::Int)
+                }
+            }
+            BinOp::Sub => {
+                if lt.is_pointer_like() && rt.is_pointer_like() {
+                    let s = elem_size(&lt);
+                    cx.body.push_str("  sub r0, r10\n");
+                    if s > 1 {
+                        let _ = writeln!(cx.body, "  div r0, {s}");
+                    }
+                    Ok(Type::Int)
+                } else if lt.is_pointer_like() {
+                    let s = elem_size(&lt);
+                    if s > 1 {
+                        let _ = writeln!(cx.body, "  mul r10, {s}");
+                    }
+                    cx.body.push_str("  sub r0, r10\n");
+                    Ok(decay(lt))
+                } else {
+                    cx.body.push_str("  sub r0, r10\n");
+                    Ok(Type::Int)
+                }
+            }
+            BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::And | BinOp::Or | BinOp::Xor
+            | BinOp::Shl | BinOp::Shr => {
+                let m = match op {
+                    BinOp::Mul => "mul",
+                    BinOp::Div => "div",
+                    BinOp::Mod => "mod",
+                    BinOp::And => "and",
+                    BinOp::Or => "or",
+                    BinOp::Xor => "xor",
+                    BinOp::Shl => "shl",
+                    _ => "sar", // Arithmetic shift: ints are signed.
+                };
+                let _ = writeln!(cx.body, "  {m} r0, r10");
+                Ok(Type::Int)
+            }
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                // Pointers compare unsigned; ints compare signed.
+                let unsigned = lt.is_pointer_like() || rt.is_pointer_like();
+                let jcc = match (op, unsigned) {
+                    (BinOp::Eq, _) => "je",
+                    (BinOp::Ne, _) => "jne",
+                    (BinOp::Lt, false) => "jl",
+                    (BinOp::Le, false) => "jle",
+                    (BinOp::Gt, false) => "jg",
+                    (BinOp::Ge, false) => "jge",
+                    (BinOp::Lt, true) => "jb",
+                    (BinOp::Le, true) => "jbe",
+                    (BinOp::Gt, true) => "ja",
+                    (BinOp::Ge, true) => "jae",
+                    _ => unreachable!("comparison ops only"),
+                };
+                let l1 = self.fresh("cmp");
+                let _ = writeln!(
+                    cx.body,
+                    "  cmp r0, r10\n  mov r0, 1\n  {jcc} {l1}\n  mov r0, 0\n{l1}:"
+                );
+                Ok(Type::Int)
+            }
+            BinOp::LogAnd | BinOp::LogOr => unreachable!("handled above"),
+        }
+    }
+
+    /// Emits code leaving an *address* in `r0`; returns the type of the
+    /// object at that address (arrays/structs stay as such).
+    fn gen_addr(&mut self, cx: &mut FuncCtx, e: &Expr) -> Result<Type, CError> {
+        match e {
+            Expr::Ident(name, line) => {
+                if let Some((off, ty)) = cx.lookup(name) {
+                    let _ = writeln!(cx.body, "  mov r0, fp\n  add r0, {off}");
+                    Ok(ty)
+                } else if let Some(ty) = self.globals.get(name).cloned() {
+                    self.used_globals.insert(name.clone());
+                    let _ = writeln!(cx.body, "  mov r0, {name}");
+                    Ok(ty)
+                } else {
+                    cerr(*line, format!("undefined variable `{name}`"))
+                }
+            }
+            Expr::Unary(UnOp::Deref, inner, line) => {
+                let t = self.gen_expr(cx, inner)?;
+                match t.pointee() {
+                    Some(p) => Ok(p.clone()),
+                    None => cerr(*line, format!("cannot dereference non-pointer `{t}`")),
+                }
+            }
+            Expr::Index(base, idx, line) => {
+                let bt = self.gen_expr(cx, base)?;
+                let Some(elem) = bt.pointee().cloned() else {
+                    return cerr(*line, format!("cannot index non-pointer `{bt}`"));
+                };
+                cx.body.push_str("  push r0\n");
+                self.gen_expr(cx, idx)?;
+                let s = elem.size(&self.program.structs).max(1);
+                if s > 1 {
+                    let _ = writeln!(cx.body, "  mul r0, {s}");
+                }
+                cx.body.push_str("  pop r10\n  add r0, r10\n");
+                Ok(elem)
+            }
+            Expr::Member(base, field, arrow, line) => {
+                let bt = if *arrow {
+                    let t = self.gen_expr(cx, base)?;
+                    match t {
+                        Type::Ptr(inner) => *inner,
+                        other => {
+                            return cerr(*line, format!("`->` on non-pointer `{other}`"));
+                        }
+                    }
+                } else {
+                    self.gen_addr(cx, base)?
+                };
+                let Type::Struct(sname) = &bt else {
+                    return cerr(*line, format!("member access on non-struct `{bt}`"));
+                };
+                let sdef = self
+                    .program
+                    .structs
+                    .get(sname)
+                    .ok_or_else(|| CError {
+                        line: *line,
+                        msg: format!("undefined struct `{sname}`"),
+                    })?;
+                let Some((fty, off)) = sdef.field(field) else {
+                    return cerr(
+                        *line,
+                        format!("struct `{sname}` has no field `{field}`"),
+                    );
+                };
+                if off > 0 {
+                    let _ = writeln!(cx.body, "  add r0, {off}");
+                }
+                Ok(fty.clone())
+            }
+            Expr::Str(bytes) => {
+                let label = self.intern_string(bytes);
+                let _ = writeln!(cx.body, "  mov r0, {label}");
+                Ok(Type::Array(Box::new(Type::Char), bytes.len() + 1))
+            }
+            other => cerr(
+                expr_line(other),
+                "expression is not an lvalue".to_string(),
+            ),
+        }
+    }
+
+    fn check_assignable(&self, _lhs: &Type, _rhs: &Type, _line: usize) -> Result<(), CError> {
+        // Mini-C keeps C's permissive int/pointer interconversion; the type
+        // information exists for widths and scaling, not for safety (the
+        // isolation story is the virtine boundary, not the type system).
+        Ok(())
+    }
+
+    fn emit_data(&mut self) -> Result<(), CError> {
+        let globals: Vec<&Global> = self
+            .program
+            .globals
+            .iter()
+            .filter(|g| self.used_globals.contains(&g.name))
+            .collect();
+        for g in globals {
+            let size = g.ty.size(&self.program.structs);
+            self.data.push_str("  .align 8\n");
+            match &g.init {
+                GlobalInit::Zero => {
+                    let _ = writeln!(self.data, "{}: .space {}", g.name, size);
+                }
+                GlobalInit::Int(v) => {
+                    let _ = writeln!(self.data, "{}: .dq {}", g.name, *v as u64);
+                }
+                GlobalInit::Str(s) if matches!(&g.ty, Type::Ptr(el) if el.is_byte()) => {
+                    // `char* g = "...";` — the literal lives in its own
+                    // blob, the global is a pointer to it.
+                    let mut bytes = s.clone();
+                    bytes.push(0);
+                    let list: Vec<String> = bytes.iter().map(|b| b.to_string()).collect();
+                    let _ = writeln!(self.data, "{}: .dq {}__lit", g.name, g.name);
+                    let _ = writeln!(self.data, "{}__lit: .db {}", g.name, list.join(", "));
+                }
+                GlobalInit::Str(s) => {
+                    let Type::Array(el, n) = &g.ty else {
+                        return cerr(0, format!("string initializer on non-array `{}`", g.name));
+                    };
+                    if !el.is_byte() {
+                        return cerr(0, format!("string initializer on non-char array `{}`", g.name));
+                    }
+                    if s.len() + 1 > *n {
+                        return cerr(0, format!("string too long for `{}`", g.name));
+                    }
+                    let mut bytes = s.clone();
+                    bytes.resize(*n, 0);
+                    let list: Vec<String> = bytes.iter().map(|b| b.to_string()).collect();
+                    let _ = writeln!(self.data, "{}: .db {}", g.name, list.join(", "));
+                }
+                GlobalInit::List(items) => {
+                    let Type::Array(el, n) = &g.ty else {
+                        return cerr(0, format!("list initializer on non-array `{}`", g.name));
+                    };
+                    if items.len() > *n {
+                        return cerr(0, format!("too many initializers for `{}`", g.name));
+                    }
+                    let mut vals = items.clone();
+                    vals.resize(*n, 0);
+                    let dir = if el.is_byte() { ".db" } else { ".dq" };
+                    let list: Vec<String> =
+                        vals.iter().map(|v| (*v as u64).to_string()).collect();
+                    let _ = writeln!(self.data, "{}: {dir} {}", g.name, list.join(", "));
+                }
+            }
+        }
+        for (label, bytes) in &self.strings {
+            let mut with_nul = bytes.clone();
+            with_nul.push(0);
+            let list: Vec<String> = with_nul.iter().map(|b| b.to_string()).collect();
+            let _ = writeln!(self.data, "{label}: .db {}", list.join(", "));
+        }
+        Ok(())
+    }
+}
+
+fn decay(t: Type) -> Type {
+    match t {
+        Type::Array(el, _) => el.ptr(),
+        other => other,
+    }
+}
+
+fn expr_line(e: &Expr) -> usize {
+    match e {
+        Expr::Ident(_, l)
+        | Expr::Unary(_, _, l)
+        | Expr::Binary(_, _, _, l)
+        | Expr::Assign(_, _, l)
+        | Expr::Call(_, _, l)
+        | Expr::Index(_, _, l)
+        | Expr::Member(_, _, _, l) => *l,
+        Expr::Cast(_, inner) => expr_line(inner),
+        Expr::Int(_) | Expr::Str(_) | Expr::SizeofType(_) => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn gen(src: &str, root: &str) -> GenOutput {
+        let p = parse(src).expect("parse");
+        generate(&p, &[root]).expect("generate")
+    }
+
+    #[test]
+    fn call_graph_prunes_unreachable_functions() {
+        let src = "
+int helper(int x) { return x + 1; }
+int unused(int x) { return x * 2; }
+int root(int a) { return helper(a); }
+";
+        let out = gen(src, "root");
+        assert!(out.reachable.contains("root"));
+        assert!(out.reachable.contains("helper"));
+        assert!(!out.reachable.contains("unused"));
+        assert!(!out.text.contains("unused:"));
+    }
+
+    #[test]
+    fn unused_globals_are_pruned() {
+        let src = "
+int used_g = 7;
+int unused_g = 9;
+int root() { return used_g; }
+";
+        let out = gen(src, "root");
+        assert!(out.data.contains("used_g:"));
+        assert!(!out.data.contains("unused_g:"));
+    }
+
+    #[test]
+    fn protos_become_externs() {
+        let src = "
+int hypercall(int nr, int a, int b, int c);
+int root() { return hypercall(0, 1, 2, 3); }
+";
+        let out = gen(src, "root");
+        assert!(out.externs.contains("hypercall"));
+        assert!(out.text.contains("call hypercall"));
+    }
+
+    #[test]
+    fn undefined_call_is_an_error() {
+        let p = parse("int root() { return nope(); }").unwrap();
+        assert!(generate(&p, &["root"]).is_err());
+    }
+
+    #[test]
+    fn string_literals_are_interned_and_deduplicated() {
+        let src = r#"
+int strlen(char* s) { int n = 0; while (s[n]) n = n + 1; return n; }
+int root() { return strlen("abc") + strlen("abc") + strlen("xy"); }
+"#;
+        let out = gen(src, "root");
+        let count = out.data.matches("__str").count();
+        assert_eq!(count, 2, "expected 2 interned strings:\n{}", out.data);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let p = parse("int f(int a) { return a; } int root() { return f(1, 2); }").unwrap();
+        let e = generate(&p, &["root"]).unwrap_err();
+        assert!(e.msg.contains("expects 1 arguments"));
+    }
+
+    #[test]
+    fn break_outside_loop_is_an_error() {
+        let p = parse("int root() { break; return 0; }").unwrap();
+        assert!(generate(&p, &["root"]).is_err());
+    }
+
+    #[test]
+    fn generated_text_assembles() {
+        let src = r#"
+int g = 41;
+int add(int a, int b) { return a + b; }
+int root(int n) {
+    char buf[8];
+    buf[0] = 'x';
+    int i;
+    int acc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        acc = acc + add(i, g) + buf[0];
+    }
+    return acc;
+}
+"#;
+        let out = gen(src, "root");
+        let full = format!(".org 0x8000\n{}\n{}\n", out.text, out.data);
+        visa::assemble(&full).expect("generated code must assemble");
+    }
+}

@@ -1,0 +1,303 @@
+//! The mini-C lexer.
+
+use std::fmt;
+
+/// Lexical or syntactic diagnostics, with 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CError {}
+
+/// Builds a [`CError`].
+pub fn cerr<T>(line: usize, msg: impl Into<String>) -> Result<T, CError> {
+    Err(CError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords resolved by the parser).
+    Ident(String),
+    /// Integer literal (includes char literals).
+    Int(i64),
+    /// String literal bytes (unescaped, no terminator).
+    Str(Vec<u8>),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Multi-character operators, longest first.
+const PUNCTS: &[&str] = &[
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "+", "-", "*", "/", "%", "&", "|", "^",
+    "~", "!", "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",", ".",
+];
+
+/// Tokenizes mini-C source.
+pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+
+    'outer: while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return cerr(line, "unterminated block comment");
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let mut s = Vec::new();
+                i += 1;
+                loop {
+                    if i >= b.len() {
+                        return cerr(line, "unterminated string literal");
+                    }
+                    match b[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= b.len() {
+                                return cerr(line, "bad escape");
+                            }
+                            s.push(unescape(b[i], line)?);
+                            i += 1;
+                        }
+                        b'\n' => return cerr(line, "newline in string literal"),
+                        other => {
+                            s.push(other);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Token {
+                    kind: Tok::Str(s),
+                    line,
+                });
+            }
+            b'\'' => {
+                i += 1;
+                if i >= b.len() {
+                    return cerr(line, "unterminated char literal");
+                }
+                let v = if b[i] == b'\\' {
+                    i += 1;
+                    if i >= b.len() {
+                        return cerr(line, "bad escape");
+                    }
+                    let v = unescape(b[i], line)?;
+                    i += 1;
+                    v
+                } else {
+                    let v = b[i];
+                    i += 1;
+                    v
+                };
+                if i >= b.len() || b[i] != b'\'' {
+                    return cerr(line, "unterminated char literal");
+                }
+                i += 1;
+                toks.push(Token {
+                    kind: Tok::Int(v as i64),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && i + 1 < b.len() && (b[i + 1] == b'x' || b[i + 1] == b'X') {
+                    i += 2;
+                    while i < b.len() && (b[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text = &src[start + 2..i];
+                    let v = u64::from_str_radix(text, 16)
+                        .map_err(|_| CError {
+                            line,
+                            msg: format!("bad hex literal `{text}`"),
+                        })?;
+                    toks.push(Token {
+                        kind: Tok::Int(v as i64),
+                        line,
+                    });
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let v: i64 = text.parse().map_err(|_| CError {
+                        line,
+                        msg: format!("bad integer literal `{text}`"),
+                    })?;
+                    toks.push(Token {
+                        kind: Tok::Int(v),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                for p in PUNCTS {
+                    if src[i..].starts_with(p) {
+                        toks.push(Token {
+                            kind: Tok::Punct(p),
+                            line,
+                        });
+                        i += p.len();
+                        continue 'outer;
+                    }
+                }
+                return cerr(line, format!("unexpected character `{}`", c as char));
+            }
+        }
+    }
+    toks.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+fn unescape(c: u8, line: usize) -> Result<u8, CError> {
+    Ok(match c {
+        b'n' => b'\n',
+        b'r' => b'\r',
+        b't' => b'\t',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'"' => b'"',
+        b'\'' => b'\'',
+        other => {
+            return cerr(line, format!("unknown escape `\\{}`", other as char));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_mixed_tokens() {
+        let toks = kinds("int x = 0x10 + 'A';");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(16),
+                Tok::Punct("+"),
+                Tok::Int(65),
+                Tok::Punct(";"),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_operators() {
+        assert_eq!(
+            kinds("a <<= b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<"),
+                Tok::Punct("="),
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("p->q"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::Punct("->"),
+                Tok::Ident("q".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("// one\n/* two\nthree */ x").unwrap();
+        assert_eq!(toks[0].kind, Tok::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = kinds(r#""a\n\0\"""#);
+        assert_eq!(toks[0], Tok::Str(vec![b'a', b'\n', 0, b'"']));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = lex("x\n\n  @").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("'a").is_err());
+    }
+}

@@ -1,0 +1,793 @@
+//! Recursive-descent parser for mini-C.
+
+use crate::ast::*;
+use crate::lex::{cerr, lex, CError, Tok, Token};
+
+/// Parses a mini-C translation unit.
+pub fn parse(src: &str) -> Result<Program, CError> {
+    let toks = lex(src)?;
+    Parser {
+        toks,
+        pos: 0,
+        program: Program::default(),
+    }
+    .parse_program()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    program: Program,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            cerr(self.line(), format!("expected `{p}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => cerr(self.line(), format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Whether the next token begins a type.
+    fn at_type(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if matches!(s.as_str(), "int" | "char" | "void" | "struct"))
+    }
+
+    /// Parses a type: base + pointer stars.
+    fn parse_type(&mut self) -> Result<Type, CError> {
+        let base = match self.bump() {
+            Tok::Ident(s) => match s.as_str() {
+                "int" => Type::Int,
+                "char" => Type::Char,
+                "void" => Type::Void,
+                "struct" => {
+                    let name = self.expect_ident()?;
+                    Type::Struct(name)
+                }
+                other => return cerr(self.line(), format!("expected type, found `{other}`")),
+            },
+            other => return cerr(self.line(), format!("expected type, found {other:?}")),
+        };
+        let mut t = base;
+        while self.eat_punct("*") {
+            t = t.ptr();
+        }
+        Ok(t)
+    }
+
+    fn parse_program(mut self) -> Result<Program, CError> {
+        while !matches!(self.peek(), Tok::Eof) {
+            self.parse_top_level()?;
+        }
+        Ok(self.program)
+    }
+
+    fn parse_annotation(&mut self) -> Result<Annotation, CError> {
+        if self.eat_kw("virtine") {
+            Ok(Annotation::Virtine)
+        } else if self.eat_kw("virtine_permissive") {
+            Ok(Annotation::VirtinePermissive)
+        } else if self.eat_kw("virtine_config") {
+            self.expect_punct("(")?;
+            let name = self.expect_ident()?;
+            self.expect_punct(")")?;
+            Ok(Annotation::VirtineConfig(name))
+        } else {
+            Ok(Annotation::None)
+        }
+    }
+
+    fn parse_top_level(&mut self) -> Result<(), CError> {
+        // struct definition?
+        if matches!(self.peek(), Tok::Ident(s) if s == "struct")
+            && matches!(self.peek2(), Tok::Ident(_))
+            && matches!(
+                self.toks.get(self.pos + 2).map(|t| &t.kind),
+                Some(Tok::Punct("{"))
+            )
+        {
+            return self.parse_struct_def();
+        }
+
+        let line = self.line();
+        let annotation = self.parse_annotation()?;
+        let ty = self.parse_type()?;
+        let name = self.expect_ident()?;
+
+        if self.eat_punct("(") {
+            return self.parse_func_tail(annotation, ty, name, line);
+        }
+        if annotation != Annotation::None {
+            return cerr(line, "virtine annotations only apply to functions");
+        }
+
+        // Global variable.
+        let mut gty = ty;
+        if self.eat_punct("[") {
+            let n = match self.bump() {
+                Tok::Int(v) if v >= 0 => v as usize,
+                other => return cerr(self.line(), format!("bad array size {other:?}")),
+            };
+            self.expect_punct("]")?;
+            gty = Type::Array(Box::new(gty), n);
+        }
+        let init = if self.eat_punct("=") {
+            match self.bump() {
+                Tok::Int(v) => GlobalInit::Int(v),
+                Tok::Str(s) => GlobalInit::Str(s),
+                Tok::Punct("-") => match self.bump() {
+                    Tok::Int(v) => GlobalInit::Int(-v),
+                    other => {
+                        return cerr(self.line(), format!("bad global initializer {other:?}"))
+                    }
+                },
+                Tok::Punct("{") => {
+                    let mut items = Vec::new();
+                    if !self.eat_punct("}") {
+                        loop {
+                            let neg = self.eat_punct("-");
+                            match self.bump() {
+                                Tok::Int(v) => items.push(if neg { -v } else { v }),
+                                other => {
+                                    return cerr(
+                                        self.line(),
+                                        format!("bad list initializer element {other:?}"),
+                                    )
+                                }
+                            }
+                            if self.eat_punct("}") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    GlobalInit::List(items)
+                }
+                other => {
+                    return cerr(
+                        self.line(),
+                        format!("global initializers must be constants, found {other:?}"),
+                    )
+                }
+            }
+        } else {
+            GlobalInit::Zero
+        };
+        self.expect_punct(";")?;
+        self.program.globals.push(Global {
+            name,
+            ty: gty,
+            init,
+        });
+        Ok(())
+    }
+
+    fn parse_struct_def(&mut self) -> Result<(), CError> {
+        let line = self.line();
+        self.bump(); // struct
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut fields: Vec<(String, Type, u64)> = Vec::new();
+        let mut offset = 0u64;
+        while !self.eat_punct("}") {
+            let fty = self.parse_type()?;
+            let fname = self.expect_ident()?;
+            let fty = if self.eat_punct("[") {
+                let n = match self.bump() {
+                    Tok::Int(v) if v >= 0 => v as usize,
+                    other => return cerr(self.line(), format!("bad array size {other:?}")),
+                };
+                self.expect_punct("]")?;
+                Type::Array(Box::new(fty), n)
+            } else {
+                fty
+            };
+            self.expect_punct(";")?;
+            let size = fty.size(&self.program.structs);
+            let align: u64 = if fty.is_byte() || matches!(fty, Type::Array(ref t, _) if t.is_byte())
+            {
+                1
+            } else {
+                8
+            };
+            offset = offset.div_ceil(align) * align;
+            fields.push((fname, fty, offset));
+            offset += size;
+        }
+        self.expect_punct(";")?;
+        let size = offset.div_ceil(8) * 8;
+        if self
+            .program
+            .structs
+            .insert(
+                name.clone(),
+                StructDef {
+                    name: name.clone(),
+                    fields,
+                    size: size.max(8),
+                },
+            )
+            .is_some()
+        {
+            return cerr(line, format!("duplicate struct `{name}`"));
+        }
+        Ok(())
+    }
+
+    fn parse_func_tail(
+        &mut self,
+        annotation: Annotation,
+        ret: Type,
+        name: String,
+        line: usize,
+    ) -> Result<(), CError> {
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let pty = self.parse_type()?;
+                if pty == Type::Void && matches!(self.peek(), Tok::Punct(")")) {
+                    // `f(void)`.
+                    self.bump();
+                    break;
+                }
+                let pname = self.expect_ident()?;
+                params.push((pname, pty));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        if self.eat_punct(";") {
+            if annotation != Annotation::None {
+                return cerr(line, "virtine annotations require a function body");
+            }
+            self.program.protos.push(Proto {
+                name,
+                ret,
+                params: params.into_iter().map(|(_, t)| t).collect(),
+            });
+            return Ok(());
+        }
+        self.expect_punct("{")?;
+        let body = self.parse_block_body()?;
+        self.program.funcs.push(Func {
+            name,
+            ret,
+            params,
+            body,
+            annotation,
+            line,
+        });
+        Ok(())
+    }
+
+    /// Parses statements until the closing `}` (already consumed).
+    fn parse_block_body(&mut self) -> Result<Vec<Stmt>, CError> {
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return cerr(self.line(), "unexpected end of input in block");
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CError> {
+        let line = self.line();
+        if self.eat_punct("{") {
+            return Ok(Stmt::Block(self.parse_block_body()?));
+        }
+        if self.at_type() {
+            return self.parse_decl();
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let then = self.parse_stmt_as_block()?;
+            let els = if self.eat_kw("else") {
+                self.parse_stmt_as_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let body = self.parse_stmt_as_block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_kw("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") {
+                None
+            } else if self.at_type() {
+                Some(Box::new(self.parse_decl()?))
+            } else {
+                let e = self.parse_expr()?;
+                self.expect_punct(";")?;
+                Some(Box::new(Stmt::Expr(e)))
+            };
+            let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(";")?;
+            let post = if matches!(self.peek(), Tok::Punct(")")) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(")")?;
+            let body = self.parse_stmt_as_block()?;
+            return Ok(Stmt::For {
+                init,
+                cond,
+                post,
+                body,
+            });
+        }
+        if self.eat_kw("return") {
+            let value = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(value, line));
+        }
+        if self.eat_kw("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break(line));
+        }
+        if self.eat_kw("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue(line));
+        }
+        let e = self.parse_expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn parse_stmt_as_block(&mut self) -> Result<Vec<Stmt>, CError> {
+        if self.eat_punct("{") {
+            self.parse_block_body()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_decl(&mut self) -> Result<Stmt, CError> {
+        let line = self.line();
+        let ty = self.parse_type()?;
+        let name = self.expect_ident()?;
+        let ty = if self.eat_punct("[") {
+            let n = match self.bump() {
+                Tok::Int(v) if v >= 0 => v as usize,
+                other => return cerr(self.line(), format!("bad array size {other:?}")),
+            };
+            self.expect_punct("]")?;
+            Type::Array(Box::new(ty), n)
+        } else {
+            ty
+        };
+        let init = if self.eat_punct("=") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.expect_punct(";")?;
+        Ok(Stmt::Decl {
+            name,
+            ty,
+            init,
+            line,
+        })
+    }
+
+    // -- Expressions (precedence climbing). ---------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, CError> {
+        self.parse_assign()
+    }
+
+    fn parse_assign(&mut self) -> Result<Expr, CError> {
+        let lhs = self.parse_logor()?;
+        if matches!(self.peek(), Tok::Punct("=")) {
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_assign()?;
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs), line));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_logor(&mut self) -> Result<Expr, CError> {
+        let mut e = self.parse_logand()?;
+        while matches!(self.peek(), Tok::Punct("||")) {
+            let line = self.line();
+            self.bump();
+            let r = self.parse_logand()?;
+            e = Expr::Binary(BinOp::LogOr, Box::new(e), Box::new(r), line);
+        }
+        Ok(e)
+    }
+
+    fn parse_logand(&mut self) -> Result<Expr, CError> {
+        let mut e = self.parse_bitor()?;
+        while matches!(self.peek(), Tok::Punct("&&")) {
+            let line = self.line();
+            self.bump();
+            let r = self.parse_bitor()?;
+            e = Expr::Binary(BinOp::LogAnd, Box::new(e), Box::new(r), line);
+        }
+        Ok(e)
+    }
+
+    fn parse_bin_level(
+        &mut self,
+        ops: &[(&str, BinOp)],
+        next: fn(&mut Parser) -> Result<Expr, CError>,
+    ) -> Result<Expr, CError> {
+        let mut e = next(self)?;
+        'outer: loop {
+            for (p, op) in ops {
+                if matches!(self.peek(), Tok::Punct(q) if q == p) {
+                    let line = self.line();
+                    self.bump();
+                    let r = next(self)?;
+                    e = Expr::Binary(*op, Box::new(e), Box::new(r), line);
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(e)
+    }
+
+    fn parse_bitor(&mut self) -> Result<Expr, CError> {
+        self.parse_bin_level(&[("|", BinOp::Or)], Parser::parse_bitxor)
+    }
+
+    fn parse_bitxor(&mut self) -> Result<Expr, CError> {
+        self.parse_bin_level(&[("^", BinOp::Xor)], Parser::parse_bitand)
+    }
+
+    fn parse_bitand(&mut self) -> Result<Expr, CError> {
+        self.parse_bin_level(&[("&", BinOp::And)], Parser::parse_equality)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr, CError> {
+        self.parse_bin_level(
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            Parser::parse_relational,
+        )
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr, CError> {
+        self.parse_bin_level(
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            Parser::parse_shift,
+        )
+    }
+
+    fn parse_shift(&mut self) -> Result<Expr, CError> {
+        self.parse_bin_level(
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            Parser::parse_additive,
+        )
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, CError> {
+        self.parse_bin_level(
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            Parser::parse_multiplicative,
+        )
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, CError> {
+        self.parse_bin_level(
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Mod)],
+            Parser::parse_unary,
+        )
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CError> {
+        let line = self.line();
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary(
+                UnOp::Neg,
+                Box::new(self.parse_unary()?),
+                line,
+            ));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Unary(
+                UnOp::BitNot,
+                Box::new(self.parse_unary()?),
+                line,
+            ));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary(
+                UnOp::LogNot,
+                Box::new(self.parse_unary()?),
+                line,
+            ));
+        }
+        if self.eat_punct("*") {
+            return Ok(Expr::Unary(
+                UnOp::Deref,
+                Box::new(self.parse_unary()?),
+                line,
+            ));
+        }
+        if self.eat_punct("&") {
+            return Ok(Expr::Unary(
+                UnOp::AddrOf,
+                Box::new(self.parse_unary()?),
+                line,
+            ));
+        }
+        // Cast: `(` type `)` unary.
+        if matches!(self.peek(), Tok::Punct("("))
+            && matches!(self.peek2(), Tok::Ident(s) if matches!(s.as_str(), "int" | "char" | "void" | "struct"))
+        {
+            self.bump(); // (
+            let ty = self.parse_type()?;
+            self.expect_punct(")")?;
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Cast(ty, Box::new(inner)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let line = self.line();
+            if self.eat_punct("[") {
+                let idx = self.parse_expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx), line);
+            } else if self.eat_punct(".") {
+                let f = self.expect_ident()?;
+                e = Expr::Member(Box::new(e), f, false, line);
+            } else if self.eat_punct("->") {
+                let f = self.expect_ident()?;
+                e = Expr::Member(Box::new(e), f, true, line);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Str(s) => Ok(Expr::Str(s)),
+            Tok::Punct("(") => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) if name == "sizeof" => {
+                self.expect_punct("(")?;
+                let ty = self.parse_type()?;
+                self.expect_punct(")")?;
+                Ok(Expr::SizeofType(ty))
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args, line))
+                } else {
+                    Ok(Expr::Ident(name, line))
+                }
+            }
+            other => cerr(line, format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_annotated_fib() {
+        let p = parse("virtine int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }")
+            .unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.annotation, Annotation::Virtine);
+        assert_eq!(f.name, "fib");
+        assert_eq!(f.params, vec![("n".into(), Type::Int)]);
+    }
+
+    #[test]
+    fn parses_all_annotations() {
+        let p = parse(
+            "virtine int a() { return 0; }\n\
+             virtine_permissive int b() { return 0; }\n\
+             virtine_config(mycfg) int c() { return 0; }\n\
+             int d() { return 0; }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs[0].annotation, Annotation::Virtine);
+        assert_eq!(p.funcs[1].annotation, Annotation::VirtinePermissive);
+        assert_eq!(
+            p.funcs[2].annotation,
+            Annotation::VirtineConfig("mycfg".into())
+        );
+        assert_eq!(p.funcs[3].annotation, Annotation::None);
+        assert_eq!(p.virtine_roots().len(), 3);
+    }
+
+    #[test]
+    fn parses_globals_and_protos() {
+        let p = parse(
+            "int g = 5;\nint neg = -3;\nchar msg[16] = \"hi\";\nint arr[4];\nint ext(int a, char* b);",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 4);
+        assert_eq!(p.globals[0].init, GlobalInit::Int(5));
+        assert_eq!(p.globals[1].init, GlobalInit::Int(-3));
+        assert_eq!(p.globals[2].init, GlobalInit::Str(b"hi".to_vec()));
+        assert_eq!(p.globals[3].init, GlobalInit::Zero);
+        assert_eq!(p.protos.len(), 1);
+        assert_eq!(p.protos[0].params, vec![Type::Int, Type::Char.ptr()]);
+    }
+
+    #[test]
+    fn struct_offsets_are_computed() {
+        let p = parse("struct node { int value; char tag[3]; struct node* next; };").unwrap();
+        let s = &p.structs["node"];
+        assert_eq!(s.field("value"), Some((&Type::Int, 0)));
+        assert_eq!(
+            s.field("tag"),
+            Some((&Type::Array(Box::new(Type::Char), 3), 8))
+        );
+        // Pointer field is 8-aligned after the 3-byte array.
+        let (t, off) = s.field("next").unwrap();
+        assert_eq!(*t, Type::Struct("node".into()).ptr());
+        assert_eq!(off, 16);
+        assert_eq!(s.size, 24);
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let p = parse("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
+        // ((1 + (2*3)) == 7) && (4 < 5)
+        let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else {
+            panic!("expected return");
+        };
+        let Expr::Binary(BinOp::LogAnd, l, r, _) = e else {
+            panic!("top must be &&, got {e:?}");
+        };
+        assert!(matches!(**l, Expr::Binary(BinOp::Eq, ..)));
+        assert!(matches!(**r, Expr::Binary(BinOp::Lt, ..)));
+    }
+
+    #[test]
+    fn parses_casts_and_sizeof() {
+        let p = parse("int f(char* p) { return (int)p + sizeof(int) + sizeof(struct s); } struct s { int a; };").unwrap();
+        let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else {
+            panic!();
+        };
+        // Left-assoc: ((cast + sizeof(int)) + sizeof(struct s)).
+        let Expr::Binary(BinOp::Add, l, r, _) = e else {
+            panic!();
+        };
+        assert!(matches!(**r, Expr::SizeofType(Type::Struct(_))));
+        let Expr::Binary(BinOp::Add, ll, _, _) = &**l else {
+            panic!();
+        };
+        assert!(matches!(**ll, Expr::Cast(Type::Int, _)));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "
+int f(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        if (i > 100) break;
+        acc = acc + i;
+    }
+    while (acc > 10) acc = acc - 1;
+    return acc;
+}";
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs[0].body.len(), 4);
+    }
+
+    #[test]
+    fn member_and_arrow_chains() {
+        let p = parse(
+            "struct s { int x; struct s* next; };\nint f(struct s* p) { return p->next->x + (*p).x; }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn annotation_on_global_is_rejected() {
+        assert!(parse("virtine int g = 5;").is_err());
+        assert!(parse("virtine int f(int a);").is_err());
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let e = parse("int f() {\n  return 1 +;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

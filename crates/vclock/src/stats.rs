@@ -1,0 +1,199 @@
+//! Summary statistics used by the experiment harnesses.
+//!
+//! Includes the Tukey outlier filter the paper applies to Figure 3
+//! (footnote 3: samples outside `[q25 − 1.5·IQR, q75 + 1.5·IQR]` are
+//! removed) and the harmonic mean used for Figure 13's throughput.
+
+/// Arithmetic mean of a sample; zero for an empty sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; zero for samples of size < 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Harmonic mean, as used for Figure 13's throughput aggregation;
+/// zero for empty samples or samples containing zero.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of a sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Minimum of a sample; `f64::INFINITY` for an empty sample.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a sample; `f64::NEG_INFINITY` for an empty sample.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Removes outliers with Tukey's method, exactly as the paper's footnote 3:
+/// keep samples on `[q25 − 1.5·IQR, q75 + 1.5·IQR]`.
+pub fn tukey_filter(xs: &[f64]) -> Vec<f64> {
+    if xs.len() < 4 {
+        return xs.to_vec();
+    }
+    let q25 = percentile(xs, 25.0);
+    let q75 = percentile(xs, 75.0);
+    let iqr = q75 - q25;
+    let lo = q25 - 1.5 * iqr;
+    let hi = q75 + 1.5 * iqr;
+    xs.iter().copied().filter(|&x| x >= lo && x <= hi).collect()
+}
+
+/// A compact summary of one experimental series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples after filtering.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `xs` without filtering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn of(xs: &[f64]) -> Summary {
+        assert!(!xs.is_empty(), "summary of empty sample");
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            min: min(xs),
+            median: percentile(xs, 50.0),
+            max: max(xs),
+        }
+    }
+
+    /// Summarizes `xs` after Tukey outlier removal (paper footnote 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn of_tukey(xs: &[f64]) -> Summary {
+        let kept = tukey_filter(xs);
+        Summary::of(&kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_sample() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_degenerates_gracefully() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_of_rates() {
+        let xs = [1.0, 2.0, 4.0];
+        let hm = harmonic_mean(&xs);
+        assert!((hm - 3.0 / (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_rejects_nonpositive() {
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+        assert_eq!(harmonic_mean(&[1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        assert_eq!(percentile(&xs, 100.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 25.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty sample")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn tukey_strips_the_scheduler_outlier() {
+        let mut xs: Vec<f64> = (0..100).map(|i| 1000.0 + (i % 7) as f64).collect();
+        xs.push(250_000.0); // A descheduling event.
+        let kept = tukey_filter(&xs);
+        assert_eq!(kept.len(), 100);
+        assert!(kept.iter().all(|&x| x < 2000.0));
+    }
+
+    #[test]
+    fn tukey_keeps_small_samples_verbatim() {
+        let xs = [1.0, 100.0, 10_000.0];
+        assert_eq!(tukey_filter(&xs), xs.to_vec());
+    }
+
+    #[test]
+    fn summary_matches_components() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.median - 2.5).abs() < 1e-12);
+    }
+}

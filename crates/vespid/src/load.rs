@@ -1,0 +1,112 @@
+//! The Locust-style load generator (§7.1).
+//!
+//! "We produce a series of concurrent function requests (from multiple
+//! clients) against both platforms using Locust, an off-the-shelf workload
+//! generator. This invocation pattern involves an initial ramp-up period
+//! that leads to two bursts, which then ramp down."
+
+/// One phase of the load pattern: a duration and a request rate ramp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPhase {
+    /// Phase length in seconds.
+    pub duration_s: f64,
+    /// Request rate at the start of the phase (requests/second).
+    pub start_rps: f64,
+    /// Request rate at the end of the phase (linearly interpolated).
+    pub end_rps: f64,
+}
+
+/// The paper's pattern: ramp up, burst, dip, burst again, ramp down.
+pub fn locust_pattern() -> Vec<LoadPhase> {
+    vec![
+        // Initial ramp-up.
+        LoadPhase {
+            duration_s: 10.0,
+            start_rps: 2.0,
+            end_rps: 60.0,
+        },
+        // First burst.
+        LoadPhase {
+            duration_s: 8.0,
+            start_rps: 180.0,
+            end_rps: 180.0,
+        },
+        // Dip between bursts.
+        LoadPhase {
+            duration_s: 6.0,
+            start_rps: 30.0,
+            end_rps: 30.0,
+        },
+        // Second burst.
+        LoadPhase {
+            duration_s: 8.0,
+            start_rps: 180.0,
+            end_rps: 180.0,
+        },
+        // Ramp down.
+        LoadPhase {
+            duration_s: 10.0,
+            start_rps: 40.0,
+            end_rps: 1.0,
+        },
+    ]
+}
+
+/// Expands a pattern into deterministic arrival timestamps (seconds),
+/// scaled by `scale` (0.25 = quarter the requests, same shape).
+pub fn pattern_arrivals(phases: &[LoadPhase], scale: f64) -> Vec<f64> {
+    let mut arrivals = Vec::new();
+    let mut t0 = 0.0;
+    for p in phases {
+        // Integrate the linear rate: next arrival when the accumulated
+        // rate-mass reaches 1/scale.
+        let mut acc = 0.0;
+        let dt = 0.001;
+        let mut t = 0.0;
+        while t < p.duration_s {
+            let rate = p.start_rps + (p.end_rps - p.start_rps) * (t / p.duration_s);
+            acc += rate * dt * scale;
+            if acc >= 1.0 {
+                arrivals.push(t0 + t);
+                acc -= 1.0;
+            }
+            t += dt;
+        }
+        t0 += p.duration_s;
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_sorted_and_deterministic() {
+        let a = pattern_arrivals(&locust_pattern(), 0.1);
+        let b = pattern_arrivals(&locust_pattern(), 0.1);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn bursts_have_higher_density_than_ramps() {
+        let a = pattern_arrivals(&locust_pattern(), 1.0);
+        let count_in = |lo: f64, hi: f64| a.iter().filter(|&&t| t >= lo && t < hi).count();
+        let burst1 = count_in(10.0, 18.0);
+        let dip = count_in(18.0, 24.0);
+        let burst2 = count_in(24.0, 32.0);
+        assert!(burst1 > 4 * dip, "burst1={burst1} dip={dip}");
+        assert!(burst2 > 4 * dip, "burst2={burst2} dip={dip}");
+        // Burst rate ≈ 180 rps over 8 s.
+        assert!((1300..1500).contains(&burst1), "burst1={burst1}");
+    }
+
+    #[test]
+    fn scale_scales_linearly() {
+        let full = pattern_arrivals(&locust_pattern(), 1.0).len() as f64;
+        let half = pattern_arrivals(&locust_pattern(), 0.5).len() as f64;
+        assert!((half / full - 0.5).abs() < 0.05);
+    }
+}

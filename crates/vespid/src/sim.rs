@@ -1,0 +1,155 @@
+//! Multi-worker queueing simulation in continuous virtual time.
+//!
+//! Arrivals from the load generator are dispatched to a fixed pool of
+//! workers ("a concurrent server", §7.1). Each request's service time is
+//! obtained from the platform (for Vespid, by actually running the
+//! virtine); latency is queueing delay plus service. The output is the
+//! per-request latency timeline and the achieved-throughput series that
+//! Figure 15 plots.
+
+use crate::platform::Platform;
+
+/// One completed request.
+#[derive(Debug, Clone, Copy)]
+pub struct Completed {
+    /// Arrival time (seconds).
+    pub arrival: f64,
+    /// Time the request started executing.
+    pub start: f64,
+    /// End-to-end latency (queueing + service), seconds.
+    pub latency: f64,
+}
+
+/// Simulation output.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Platform name.
+    pub platform: &'static str,
+    /// Completions in arrival order.
+    pub completed: Vec<Completed>,
+    /// Worker count used.
+    pub workers: usize,
+}
+
+impl SimResult {
+    /// Linear-interpolated latency percentile in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no completions.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        let xs: Vec<f64> = self.completed.iter().map(|c| c.latency).collect();
+        vclock::stats::percentile(&xs, p)
+    }
+
+    /// Time the last request completes.
+    pub fn makespan(&self) -> f64 {
+        self.completed
+            .iter()
+            .map(|c| c.arrival + c.latency)
+            .fold(0.0, f64::max)
+    }
+
+    /// Achieved throughput (completions/second) in buckets of
+    /// `bucket_s` seconds — Figure 15's dotted line.
+    pub fn throughput_series(&self, bucket_s: f64) -> Vec<(f64, f64)> {
+        let end = self.makespan();
+        let buckets = (end / bucket_s).ceil() as usize + 1;
+        let mut counts = vec![0usize; buckets];
+        for c in &self.completed {
+            let idx = ((c.arrival + c.latency) / bucket_s) as usize;
+            counts[idx.min(buckets - 1)] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as f64 * bucket_s, n as f64 / bucket_s))
+            .collect()
+    }
+}
+
+/// Runs `arrivals` through `platform` with `workers` concurrent workers.
+pub fn simulate(platform: &mut dyn Platform, arrivals: &[f64], workers: usize) -> SimResult {
+    assert!(workers > 0, "need at least one worker");
+    let mut free_at = vec![0.0f64; workers];
+    let mut completed = Vec::with_capacity(arrivals.len());
+    for &arrival in arrivals {
+        // Earliest-free worker picks the request up.
+        let (widx, &wfree) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("workers > 0");
+        let start = arrival.max(wfree);
+        let service = platform.invoke();
+        free_at[widx] = start + service;
+        completed.push(Completed {
+            arrival,
+            start,
+            latency: start - arrival + service,
+        });
+    }
+    SimResult {
+        platform: platform.name(),
+        completed,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A constant-service-time test platform.
+    struct Fixed(f64);
+    impl Platform for Fixed {
+        fn invoke(&mut self) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn underloaded_requests_have_service_only_latency() {
+        let arrivals = [0.0, 1.0, 2.0, 3.0];
+        let r = simulate(&mut Fixed(0.1), &arrivals, 2);
+        for c in &r.completed {
+            assert!((c.latency - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overloaded_requests_queue() {
+        // 10 requests at t=0, one worker, 1 s each: the last waits 9 s.
+        let arrivals = [0.0; 10];
+        let r = simulate(&mut Fixed(1.0), &arrivals, 1);
+        let max = r.latency_percentile(100.0);
+        assert!((max - 10.0).abs() < 1e-9, "max latency {max}");
+        assert!((r.makespan() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_workers_reduce_queueing() {
+        let arrivals = [0.0; 16];
+        let one = simulate(&mut Fixed(0.5), &arrivals, 1);
+        let four = simulate(&mut Fixed(0.5), &arrivals, 4);
+        assert!(four.latency_percentile(95.0) < one.latency_percentile(95.0));
+    }
+
+    #[test]
+    fn throughput_series_counts_completions() {
+        let arrivals = [0.0, 0.1, 0.2, 5.0];
+        let r = simulate(&mut Fixed(0.05), &arrivals, 4);
+        let series = r.throughput_series(1.0);
+        let total: f64 = series.iter().map(|(_, rps)| rps).sum();
+        assert!((total - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        simulate(&mut Fixed(0.1), &[0.0], 0);
+    }
+}

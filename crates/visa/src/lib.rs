@@ -1,0 +1,30 @@
+//! # VISA — the virtine instruction-set architecture
+//!
+//! The simulated hardware substrate of this reproduction. A virtine's
+//! "abstract machine model … designed for and restricted to the intentions
+//! of the virtine" (§2) is realised here as a small, deterministic 64-bit
+//! machine whose *bring-up path* mirrors x86: reset in 16-bit real mode,
+//! `lgdt` + CR0.PE + far jump into 32-bit protected mode, page-table
+//! construction + CR3/CR4.PAE/EFER.LME + CR0.PG + far jump into 64-bit long
+//! mode. Port-mapped I/O (`in`/`out`) and `hlt` are the only ways execution
+//! leaves the context, exactly matching Wasp's hypercall ABI.
+//!
+//! Modules:
+//!
+//! * [`inst`] — instruction definitions and binary encoding.
+//! * [`asm`] — the two-pass assembler producing loadable [`asm::Image`]s.
+//! * [`mem`] — flat guest-physical memory.
+//! * [`cpu`] — the interpreter: modes, control registers, paging, costs.
+//!
+//! All cycle charging flows to a shared [`vclock::Clock`]; costs are the
+//! calibrated constants of [`vclock::costs`].
+
+pub mod asm;
+pub mod cpu;
+pub mod inst;
+pub mod mem;
+
+pub use asm::{assemble, AsmError, Image};
+pub use cpu::{Cpu, CpuConfig, CpuExit, CpuState, Fault, Machine, Mode};
+pub use inst::{Alu, Cond, CrReg, Inst, JmpMode, Reg, Width};
+pub use mem::Memory;

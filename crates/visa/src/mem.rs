@@ -1,0 +1,379 @@
+//! Guest-physical memory.
+//!
+//! A virtine's memory is a flat, private byte array — "each virtine must
+//! have its own set of private data which must be disjoint from any other
+//! virtine's set" (§3.3). Accesses beyond the configured size model an
+//! EPT violation: the nested page tables simply have no mapping to hand out.
+
+use std::fmt;
+
+use crate::inst::Width;
+
+/// An out-of-bounds guest-physical access (the simulated EPT violation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysAccessError {
+    /// First byte of the offending access.
+    pub paddr: u64,
+    /// Access size in bytes.
+    pub len: u64,
+    /// Size of guest-physical memory.
+    pub mem_size: u64,
+}
+
+impl fmt::Display for PhysAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "guest-physical access {:#x}+{} beyond memory size {:#x}",
+            self.paddr, self.len, self.mem_size
+        )
+    }
+}
+
+impl std::error::Error for PhysAccessError {}
+
+/// The written ("dirty") extent of a memory, tracked as two regions around
+/// the midpoint: low allocations (image, heap) grow upward from 0, the
+/// stack grows downward from the top. Snapshots and shell cleaning charge
+/// for — and operate on — exactly these regions, which is how Wasp keeps
+/// snapshot cost proportional to *image* size (§6.2, Figure 12) rather than
+/// guest-memory size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirtyExtent {
+    /// End (exclusive) of the dirtied low region starting at 0.
+    pub low_end: u64,
+    /// Start (inclusive) of the dirtied high region ending at `size`.
+    pub high_start: u64,
+}
+
+impl DirtyExtent {
+    /// Total dirty bytes, given the memory size.
+    pub fn bytes(&self, size: u64) -> u64 {
+        self.low_end + size.saturating_sub(self.high_start)
+    }
+}
+
+/// Flat guest-physical memory of a single virtual context.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    dirty_low_end: u64,
+    dirty_high_start: u64,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory({} bytes)", self.bytes.len())
+    }
+}
+
+impl Memory {
+    /// Allocates `size` bytes of zeroed guest memory.
+    pub fn new(size: usize) -> Memory {
+        Memory {
+            bytes: vec![0; size],
+            dirty_low_end: 0,
+            dirty_high_start: size as u64,
+        }
+    }
+
+    /// Size of guest-physical memory in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The current dirty extent.
+    pub fn dirty_extent(&self) -> DirtyExtent {
+        DirtyExtent {
+            low_end: self.dirty_low_end,
+            high_start: self.dirty_high_start,
+        }
+    }
+
+    /// Number of dirty bytes.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty_extent().bytes(self.bytes.len() as u64)
+    }
+
+    /// Whether the memory is known to be all zeroes.
+    pub fn is_clean(&self) -> bool {
+        self.dirty_low_end == 0 && self.dirty_high_start == self.bytes.len() as u64
+    }
+
+    fn mark_dirty(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = start + len;
+        let mid = (self.bytes.len() as u64) / 2;
+        if end <= mid {
+            // Entirely in the lower half: extend the low region upward.
+            self.dirty_low_end = self.dirty_low_end.max(end);
+        } else {
+            // Ends in the upper half: extend the high region downward
+            // (covers straddling writes in one region; slight over-coverage
+            // is harmless, under-coverage would leak state).
+            self.dirty_high_start = self.dirty_high_start.min(start);
+        }
+    }
+
+    fn check(&self, paddr: u64, len: u64) -> Result<usize, PhysAccessError> {
+        let end = paddr.checked_add(len);
+        match end {
+            Some(end) if end <= self.bytes.len() as u64 => Ok(paddr as usize),
+            _ => Err(PhysAccessError {
+                paddr,
+                len,
+                mem_size: self.bytes.len() as u64,
+            }),
+        }
+    }
+
+    /// Reads a zero-extended value of the given width.
+    pub fn read(&self, paddr: u64, width: Width) -> Result<u64, PhysAccessError> {
+        let off = self.check(paddr, width.bytes())?;
+        let v = match width {
+            Width::B => self.bytes[off] as u64,
+            Width::W => u16::from_le_bytes(self.bytes[off..off + 2].try_into().expect("len")) as u64,
+            Width::D => u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("len")) as u64,
+            Width::Q => u64::from_le_bytes(self.bytes[off..off + 8].try_into().expect("len")),
+        };
+        Ok(v)
+    }
+
+    /// Writes the low `width` bytes of `value`.
+    pub fn write(&mut self, paddr: u64, width: Width, value: u64) -> Result<(), PhysAccessError> {
+        let off = self.check(paddr, width.bytes())?;
+        let le = value.to_le_bytes();
+        let n = width.bytes() as usize;
+        self.bytes[off..off + n].copy_from_slice(&le[..n]);
+        self.mark_dirty(paddr, width.bytes());
+        Ok(())
+    }
+
+    /// Reads an 8-byte little-endian value (page-table walks).
+    pub fn read_u64(&self, paddr: u64) -> Result<u64, PhysAccessError> {
+        self.read(paddr, Width::Q)
+    }
+
+    /// Borrows a byte range.
+    pub fn slice(&self, paddr: u64, len: u64) -> Result<&[u8], PhysAccessError> {
+        let off = self.check(paddr, len)?;
+        Ok(&self.bytes[off..off + len as usize])
+    }
+
+    /// Borrows a byte range starting at `paddr` and running to the end of
+    /// memory (used by the instruction decoder, which reads at most 10
+    /// bytes but must tolerate images ending mid-window).
+    pub fn tail(&self, paddr: u64) -> Result<&[u8], PhysAccessError> {
+        let off = self.check(paddr, 0)?;
+        Ok(&self.bytes[off..])
+    }
+
+    /// Copies `data` into memory at `paddr`.
+    pub fn write_bytes(&mut self, paddr: u64, data: &[u8]) -> Result<(), PhysAccessError> {
+        let off = self.check(paddr, data.len() as u64)?;
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        self.mark_dirty(paddr, data.len() as u64);
+        Ok(())
+    }
+
+    /// Zeroes the dirty regions (virtine shell cleaning, §5.2: "we can clear
+    /// its context, preventing information leakage"). Only dirtied bytes are
+    /// touched, so the wipe cost tracks what the virtine actually used.
+    pub fn clear(&mut self) {
+        let lo = self.dirty_low_end as usize;
+        let hi = self.dirty_high_start as usize;
+        self.bytes[..lo].fill(0);
+        self.bytes[hi..].fill(0);
+        self.dirty_low_end = 0;
+        self.dirty_high_start = self.bytes.len() as u64;
+    }
+
+    /// Whole memory as a slice (snapshots).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Replaces the entire contents from a snapshot of identical size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` has a different length than this memory.
+    pub fn restore_from(&mut self, snapshot: &[u8]) {
+        assert_eq!(
+            snapshot.len(),
+            self.bytes.len(),
+            "snapshot size must match memory size"
+        );
+        self.bytes.copy_from_slice(snapshot);
+        self.mark_dirty(0, snapshot.len() as u64);
+    }
+
+    /// Captures the dirty regions: `(low bytes, high_start, high bytes)`.
+    /// Together with [`Memory::restore_sparse`] this is Wasp's
+    /// image-proportional snapshot representation.
+    pub fn snapshot_sparse(&self) -> (Vec<u8>, u64, Vec<u8>) {
+        let lo = self.dirty_low_end as usize;
+        let hi = self.dirty_high_start as usize;
+        (
+            self.bytes[..lo].to_vec(),
+            self.dirty_high_start,
+            self.bytes[hi..].to_vec(),
+        )
+    }
+
+    /// Restores a sparse snapshot. The regions between the extents are
+    /// zeroed if anything was written there since the last [`Memory::clear`],
+    /// so a restore is total regardless of the shell's prior contents.
+    pub fn restore_sparse(&mut self, low: &[u8], high_start: u64, high: &[u8]) {
+        if !self.is_clean() {
+            self.clear();
+        }
+        self.bytes[..low.len()].copy_from_slice(low);
+        let hi = high_start as usize;
+        self.bytes[hi..hi + high.len()].copy_from_slice(high);
+        self.dirty_low_end = low.len() as u64;
+        self.dirty_high_start = high_start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_memory_is_zeroed() {
+        let m = Memory::new(64);
+        assert_eq!(m.size(), 64);
+        assert!(m.as_slice().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn widths_read_and_write_little_endian() {
+        let mut m = Memory::new(32);
+        m.write(0, Width::Q, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read(0, Width::B).unwrap(), 0x88);
+        assert_eq!(m.read(0, Width::W).unwrap(), 0x7788);
+        assert_eq!(m.read(0, Width::D).unwrap(), 0x5566_7788);
+        assert_eq!(m.read(0, Width::Q).unwrap(), 0x1122_3344_5566_7788);
+        // Narrow writes only touch their width.
+        m.write(8, Width::Q, u64::MAX).unwrap();
+        m.write(8, Width::B, 0).unwrap();
+        assert_eq!(m.read(8, Width::Q).unwrap(), 0xFFFF_FFFF_FFFF_FF00);
+    }
+
+    #[test]
+    fn loads_zero_extend() {
+        let mut m = Memory::new(16);
+        m.write(0, Width::B, 0xFF).unwrap();
+        assert_eq!(m.read(0, Width::B).unwrap(), 0xFF);
+        assert_eq!(m.read(0, Width::Q).unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut m = Memory::new(16);
+        let e = m.read(15, Width::Q).unwrap_err();
+        assert_eq!(e.paddr, 15);
+        assert_eq!(e.len, 8);
+        assert_eq!(e.mem_size, 16);
+        assert!(m.write(16, Width::B, 0).is_err());
+        // Overflowing address arithmetic is caught, not wrapped.
+        assert!(m.read(u64::MAX, Width::Q).is_err());
+    }
+
+    #[test]
+    fn write_bytes_and_slice_round_trip() {
+        let mut m = Memory::new(32);
+        m.write_bytes(4, b"virtine").unwrap();
+        assert_eq!(m.slice(4, 7).unwrap(), b"virtine");
+        assert!(m.write_bytes(30, b"xyz").is_err());
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut m = Memory::new(8);
+        m.write(0, Width::Q, u64::MAX).unwrap();
+        m.clear();
+        assert_eq!(m.read(0, Width::Q).unwrap(), 0);
+    }
+
+    #[test]
+    fn restore_from_snapshot() {
+        let mut m = Memory::new(8);
+        m.write(0, Width::Q, 0xAB).unwrap();
+        let snap = m.as_slice().to_vec();
+        m.clear();
+        m.restore_from(&snap);
+        assert_eq!(m.read(0, Width::Q).unwrap(), 0xAB);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot size must match")]
+    fn restore_size_mismatch_panics() {
+        let mut m = Memory::new(8);
+        m.restore_from(&[0; 4]);
+    }
+
+    #[test]
+    fn tail_returns_suffix() {
+        let m = Memory::new(10);
+        assert_eq!(m.tail(7).unwrap().len(), 3);
+        assert!(m.tail(11).is_err());
+    }
+
+    #[test]
+    fn dirty_extent_tracks_low_and_high_writes() {
+        let mut m = Memory::new(1024);
+        assert!(m.is_clean());
+        assert_eq!(m.dirty_bytes(), 0);
+
+        m.write_bytes(16, &[1, 2, 3]).unwrap(); // Low region.
+        m.write(1000, Width::Q, 7).unwrap(); // High region (stack-like).
+        let ext = m.dirty_extent();
+        assert_eq!(ext.low_end, 19);
+        assert_eq!(ext.high_start, 1000);
+        assert_eq!(m.dirty_bytes(), 19 + 24);
+        assert!(!m.is_clean());
+    }
+
+    #[test]
+    fn straddling_write_is_covered() {
+        let mut m = Memory::new(64);
+        m.write_bytes(30, &[9; 8]).unwrap(); // Crosses the midpoint (32).
+        let ext = m.dirty_extent();
+        // Covered by the high region reaching down to 30.
+        assert!(ext.high_start <= 30);
+    }
+
+    #[test]
+    fn clear_resets_dirty_state_and_zeroes() {
+        let mut m = Memory::new(256);
+        m.write_bytes(8, b"abc").unwrap();
+        m.write(250, Width::B, 9).unwrap();
+        m.clear();
+        assert!(m.is_clean());
+        assert!(m.as_slice().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sparse_snapshot_round_trips() {
+        let mut m = Memory::new(512);
+        m.write_bytes(0, b"image bytes here").unwrap();
+        m.write(500, Width::Q, 0xAA).unwrap();
+        let (low, hs, high) = m.snapshot_sparse();
+        assert_eq!(low.len(), 16);
+        assert_eq!(hs, 500);
+        assert_eq!(high.len(), 12);
+
+        // Dirty the shell differently, then restore.
+        let mut shell = Memory::new(512);
+        shell.write_bytes(100, b"garbage").unwrap();
+        shell.restore_sparse(&low, hs, &high);
+        assert_eq!(shell.slice(0, 16).unwrap(), b"image bytes here");
+        assert_eq!(shell.read(500, Width::Q).unwrap(), 0xAA);
+        // The middle garbage was wiped by the restore.
+        assert_eq!(shell.slice(100, 7).unwrap(), &[0; 7]);
+    }
+}

@@ -1,0 +1,345 @@
+//! # vjs — "Duktide", the embeddable JS-subset engine (§6.5)
+//!
+//! The paper's managed-language study embeds the Duktape JavaScript engine
+//! in a virtine: allocate an engine context, populate native function
+//! bindings, run a function that base64-encodes a buffer, tear the engine
+//! down — then peel those phases off the critical path with virtine
+//! snapshotting ("Virtine + Snapshot") and shell recycling ("NT", no
+//! teardown).
+//!
+//! Duktide is that engine rebuilt in mini-C and compiled by `vcc` into a
+//! virtine image that uses exactly the paper's three-hypercall co-design:
+//! `snapshot()` after engine initialization, `get_data()` for the input
+//! buffer, `return_data()` for the result (§6.5: "by co-designing the
+//! hypervisor and the virtine … we limit the attack surface").
+//!
+//! The engine executes single-builtin handler functions of the form
+//! `function handler(d) { return base64(d); }` with builtins `base64`,
+//! `upper`, and `identity` — the paper's workload is the base64 one.
+//! [`reference_eval`] provides the host-side semantics oracle.
+
+pub mod study;
+
+use vcc::{compile_raw, CompileOptions, CompiledVirtine};
+
+/// Maximum input size per invocation.
+pub const MAX_DATA: usize = 64 * 1024;
+
+/// The paper's workload function (§6.5).
+pub const BASE64_HANDLER: &str = "function handler(d) { return base64(d); }";
+
+/// Generates the Duktide engine translation unit.
+///
+/// `js_source` is the registered handler; `teardown` controls whether the
+/// engine frees its context on exit (`false` reproduces the "NT" bars of
+/// Figure 14).
+pub fn engine_c_source(js_source: &str, teardown: bool) -> String {
+    // Mini-C string literals share the lexer's escapes; reject exotic input
+    // rather than emit broken source.
+    assert!(
+        js_source
+            .chars()
+            .all(|c| c.is_ascii() && c != '"' && c != '\\' && c != '\n'),
+        "JS source must be plain ASCII without quotes/backslashes"
+    );
+    let teardown_flag = i64::from(teardown);
+
+    format!(
+        r#"
+struct binding {{
+    char name[16];
+    int id;
+}};
+
+struct jsctx {{
+    struct binding* bindings;
+    int nbindings;
+    char** allocs;
+    int nallocs;
+}};
+
+char* JS_SOURCE = "{js_source}";
+int DO_TEARDOWN = {teardown_flag};
+
+char* ctx_alloc(struct jsctx* ctx, int n) {{
+    char* p = malloc(n);
+    ctx->allocs[ctx->nallocs] = p;
+    ctx->nallocs = ctx->nallocs + 1;
+    return p;
+}}
+
+/* Duktape-style context creation: a burst of small allocations for the
+   built-in object table ("several sources, including ... the overhead to
+   allocate and later free the Duktape context", paper section 6.5). */
+struct jsctx* js_create() {{
+    struct jsctx* ctx = (struct jsctx*)malloc(sizeof(struct jsctx));
+    if (ctx == 0) vexit(8);
+    ctx->allocs = (char**)malloc(8 * 512);
+    ctx->nallocs = 0;
+    int i;
+    for (i = 0; i < 192; i = i + 1) {{
+        char* obj = ctx_alloc(ctx, 64);
+        memset(obj, i & 255, 64);
+    }}
+    ctx->bindings = (struct binding*)ctx_alloc(ctx, sizeof(struct binding) * 16);
+    ctx->nbindings = 0;
+    return ctx;
+}}
+
+void js_bind(struct jsctx* ctx, char* name, int id) {{
+    struct binding* b = ctx->bindings + ctx->nbindings;
+    strcpy(b->name, name);
+    b->id = id;
+    ctx->nbindings = ctx->nbindings + 1;
+}}
+
+int js_lookup(struct jsctx* ctx, char* name, int len) {{
+    int i;
+    for (i = 0; i < ctx->nbindings; i = i + 1) {{
+        struct binding* b = ctx->bindings + i;
+        if (strncmp(b->name, name, len) == 0 && b->name[len] == 0) {{
+            return b->id;
+        }}
+    }}
+    return -1;
+}}
+
+/* Tears the context down: walk every allocation and scrub it, as a
+   freeing allocator would. Skipped under the NT optimization. */
+void js_destroy(struct jsctx* ctx) {{
+    int i;
+    for (i = 0; i < ctx->nallocs; i = i + 1) {{
+        memset(ctx->allocs[i], 0, 64);
+        free(ctx->allocs[i]);
+    }}
+    free((char*)ctx);
+}}
+
+int is_ident(int c) {{
+    if (c >= 'a' && c <= 'z') return 1;
+    if (c >= 'A' && c <= 'Z') return 1;
+    if (c >= '0' && c <= '9') return 1;
+    if (c == '_') return 1;
+    return 0;
+}}
+
+/* Parses `function name(arg) {{ return builtin(arg); }}`, returning the
+   builtin's binding id. A real engine tokenizes everything; so do we. */
+int js_parse(struct jsctx* ctx, char* src) {{
+    int n = strlen(src);
+    int i = 0;
+    /* Scan for the `return` keyword token. */
+    while (i < n) {{
+        if (src[i] == 'r' && strncmp(src + i, "return", 6) == 0) {{
+            i = i + 6;
+            while (i < n && src[i] == ' ') i = i + 1;
+            int start = i;
+            while (i < n && is_ident(src[i])) i = i + 1;
+            if (i >= n) return -1;
+            if (src[i] != '(') return -1;
+            return js_lookup(ctx, src + start, i - start);
+        }}
+        i = i + 1;
+    }}
+    return -1;
+}}
+
+int js_apply(int fnid, char* data, int n, char* out) {{
+    int i;
+    if (fnid == 1) {{
+        return base64_encode(data, n, out);
+    }}
+    if (fnid == 2) {{
+        memcpy(out, data, n);
+        return n;
+    }}
+    if (fnid == 3) {{
+        for (i = 0; i < n; i = i + 1) {{
+            int c = data[i];
+            if (c >= 'a' && c <= 'z') {{
+                c = c - 32;
+            }}
+            out[i] = c;
+        }}
+        return n;
+    }}
+    return 0;
+}}
+
+int js_main() {{
+    struct jsctx* ctx = js_create();
+    js_bind(ctx, "base64", 1);
+    js_bind(ctx, "identity", 2);
+    js_bind(ctx, "upper", 3);
+    /* The co-designed snapshot point: engine allocated and bound, no
+       per-invocation state yet (Figure 7 / section 6.5). */
+    vsnapshot();
+    char* data = malloc({max_data});
+    int n = vget_data(data, {max_data});
+    int fnid = js_parse(ctx, JS_SOURCE);
+    if (fnid < 0) {{
+        vexit(9);
+    }}
+    char* out = malloc({max_data} * 2 + 8);
+    int m = js_apply(fnid, data, n, out);
+    vreturn_data(out, m);
+    if (DO_TEARDOWN) {{
+        js_destroy(ctx);
+    }}
+    vexit(0);
+    return 0;
+}}
+"#,
+        max_data = MAX_DATA
+    )
+}
+
+/// Compiles a Duktide engine image for the given handler source.
+pub fn compile_engine(js_source: &str, teardown: bool) -> Result<CompiledVirtine, vcc::CError> {
+    let opts = CompileOptions {
+        mem_size: 1024 * 1024,
+        image_budget: 128 * 1024,
+    };
+    compile_raw(&engine_c_source(js_source, teardown), "js_main", &opts)
+}
+
+/// Host-side reference for what a handler must produce (the test oracle).
+pub fn reference_eval(js_source: &str, data: &[u8]) -> Option<Vec<u8>> {
+    let builtin = js_source
+        .split("return")
+        .nth(1)?
+        .trim_start()
+        .split('(')
+        .next()?
+        .trim();
+    match builtin {
+        "base64" => Some(base64_ref(data)),
+        "identity" => Some(data.to_vec()),
+        "upper" => Some(data.iter().map(|b| b.to_ascii_uppercase()).collect()),
+        _ => None,
+    }
+}
+
+/// Plain base64 (RFC 4648, with padding) reference.
+pub fn base64_ref(data: &[u8]) -> Vec<u8> {
+    const TAB: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = Vec::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        out.push(TAB[(b[0] >> 2) as usize]);
+        out.push(TAB[(((b[0] << 4) | (b[1] >> 4)) & 63) as usize]);
+        if chunk.len() > 1 {
+            out.push(TAB[(((b[1] << 2) | (b[2] >> 6)) & 63) as usize]);
+        } else {
+            out.push(b'=');
+        }
+        if chunk.len() > 2 {
+            out.push(TAB[(b[2] & 63) as usize]);
+        } else {
+            out.push(b'=');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasp::{ExitKind, HypercallMask, Invocation, VirtineSpec, Wasp};
+
+    fn run_engine(js: &str, teardown: bool, data: &[u8]) -> (ExitKind, Vec<u8>) {
+        let v = compile_engine(js, teardown).expect("compile engine");
+        let wasp = Wasp::new_kvm_default();
+        let spec = VirtineSpec::new("js", v.image.clone(), v.mem_size).with_policy(
+            HypercallMask::allowing(&[wasp::nr::GET_DATA, wasp::nr::RETURN_DATA]),
+        );
+        let id = wasp.register(spec).unwrap();
+        let out = wasp
+            .run(id, &[], Invocation::with_payload(data.to_vec()))
+            .unwrap();
+        (out.exit, out.invocation.result)
+    }
+
+    #[test]
+    fn base64_handler_matches_reference() {
+        let data = b"Many hands make light work.";
+        let (exit, result) = run_engine(BASE64_HANDLER, true, data);
+        assert!(matches!(exit, ExitKind::Exited(0)), "{exit:?}");
+        assert_eq!(result, base64_ref(data));
+        assert_eq!(
+            result,
+            b"TWFueSBoYW5kcyBtYWtlIGxpZ2h0IHdvcmsu".to_vec()
+        );
+    }
+
+    #[test]
+    fn other_builtins_dispatch() {
+        let (exit, result) = run_engine(
+            "function handler(d) { return upper(d); }",
+            true,
+            b"virtines are tiny vms",
+        );
+        assert!(matches!(exit, ExitKind::Exited(0)), "{exit:?}");
+        assert_eq!(result, b"VIRTINES ARE TINY VMS".to_vec());
+
+        let (exit, result) = run_engine(
+            "function handler(d) { return identity(d); }",
+            false,
+            b"echo",
+        );
+        assert!(matches!(exit, ExitKind::Exited(0)), "{exit:?}");
+        assert_eq!(result, b"echo".to_vec());
+    }
+
+    #[test]
+    fn unknown_builtin_exits_with_error() {
+        let (exit, _) = run_engine("function handler(d) { return evil(d); }", true, b"x");
+        assert!(matches!(exit, ExitKind::Exited(9)), "{exit:?}");
+    }
+
+    #[test]
+    fn reference_eval_agrees_with_itself() {
+        assert_eq!(
+            reference_eval(BASE64_HANDLER, b"Man"),
+            Some(b"TWFu".to_vec())
+        );
+        assert_eq!(
+            reference_eval("function handler(d) { return upper(d); }", b"ab"),
+            Some(b"AB".to_vec())
+        );
+        assert_eq!(reference_eval("nonsense", b"x"), None);
+    }
+
+    #[test]
+    fn snapshot_restores_preserve_engine_bindings() {
+        // Two invocations: the second restores the post-init snapshot and
+        // must still resolve bindings and produce correct output.
+        let v = compile_engine(BASE64_HANDLER, false).unwrap();
+        let wasp = Wasp::new_kvm_default();
+        let spec = VirtineSpec::new("js", v.image.clone(), v.mem_size).with_policy(
+            HypercallMask::allowing(&[wasp::nr::GET_DATA, wasp::nr::RETURN_DATA]),
+        );
+        let id = wasp.register(spec).unwrap();
+
+        let a = wasp
+            .run(id, &[], Invocation::with_payload(b"first".to_vec()))
+            .unwrap();
+        let b = wasp
+            .run(id, &[], Invocation::with_payload(b"second!".to_vec()))
+            .unwrap();
+        assert!(!a.breakdown.restored_snapshot);
+        assert!(b.breakdown.restored_snapshot);
+        assert_eq!(a.invocation.result, base64_ref(b"first"));
+        assert_eq!(b.invocation.result, base64_ref(b"second!"));
+        assert!(
+            b.breakdown.total < a.breakdown.total,
+            "snapshot run must be faster: {} vs {}",
+            b.breakdown.total,
+            a.breakdown.total
+        );
+    }
+}

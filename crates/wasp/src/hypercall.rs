@@ -1,0 +1,538 @@
+//! The Wasp hypercall interface: numbers, policies, and canned handlers.
+//!
+//! "Hypercalls in Wasp are not meant to emulate low-level virtual devices,
+//! but are instead designed to provide high-level hypervisor services with
+//! as few exits as possible" (§5.1). A guest issues a hypercall with a
+//! single `out` to [`HYPERCALL_PORT`]: the written value is the hypercall
+//! number, arguments travel in registers `r1`–`r5`, and the handler's return
+//! value is placed in `r0` before the guest resumes — one exit per call.
+//!
+//! Virtines live in a default-deny environment: "Wasp provides no externally
+//! observable behavior through hypercalls other than the ability to exit the
+//! virtual context" (§5.1). The [`HypercallMask`] is the client-specified
+//! bitmask policy of `virtine_config(cfg)` (§5.3); clients may further
+//! interpose a custom filter or full custom handlers.
+
+use std::collections::HashMap;
+
+use hostsim::{Fd, HostKernel, SockId};
+use visa::cpu::Fault;
+
+/// The I/O port virtines issue hypercalls on.
+pub const HYPERCALL_PORT: u16 = 0x1;
+
+/// Hypercall numbers for Wasp's canned, general-purpose handlers (§5.1:
+/// clients "can also choose from a variety of general-purpose handlers that
+/// Wasp provides out-of-the-box; these canned hypercalls are used by our
+/// language extensions").
+pub mod nr {
+    /// `exit(code)` — always permitted; the only default-allowed call.
+    pub const EXIT: u64 = 0;
+    /// `write(fd, buf, len)`.
+    pub const WRITE: u64 = 1;
+    /// `read(fd, buf, max_len)`.
+    pub const READ: u64 = 2;
+    /// `open(path_ptr, path_len) -> fd`.
+    pub const OPEN: u64 = 3;
+    /// `close(fd)`.
+    pub const CLOSE: u64 = 4;
+    /// `stat(path_ptr, path_len, out_ptr)` — writes the size as a `u64`.
+    pub const STAT: u64 = 5;
+    /// `send(buf, len)` on the bound connection.
+    pub const SEND: u64 = 6;
+    /// `recv(buf, max_len) -> len` on the bound connection.
+    pub const RECV: u64 = 7;
+    /// `snapshot()` — asks the runtime to checkpoint the virtine here.
+    pub const SNAPSHOT: u64 = 8;
+    /// `get_data(buf, max_len) -> len` — copies the invocation payload in.
+    pub const GET_DATA: u64 = 9;
+    /// `return_data(buf, len)` — copies the invocation result out.
+    pub const RETURN_DATA: u64 = 10;
+    /// Number of defined hypercalls.
+    pub const COUNT: u64 = 11;
+}
+
+/// Returns a human-readable name for a hypercall number.
+pub fn name(n: u64) -> &'static str {
+    match n {
+        nr::EXIT => "exit",
+        nr::WRITE => "write",
+        nr::READ => "read",
+        nr::OPEN => "open",
+        nr::CLOSE => "close",
+        nr::STAT => "stat",
+        nr::SEND => "send",
+        nr::RECV => "recv",
+        nr::SNAPSHOT => "snapshot",
+        nr::GET_DATA => "get_data",
+        nr::RETURN_DATA => "return_data",
+        _ => "unknown",
+    }
+}
+
+/// A bitmask of permitted hypercalls — the `virtine_config(cfg)` policy
+/// object of §5.3 ("a configuration structure that contains a bit mask of
+/// allowed hypercalls").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HypercallMask(u64);
+
+impl HypercallMask {
+    /// The default-deny policy. §5.1: "Wasp provides no externally
+    /// observable behavior through hypercalls other than the ability to
+    /// exit the virtual context." `exit` and the runtime-internal
+    /// `snapshot` (which observes nothing outside the virtine and is
+    /// one-shot) are therefore the only calls that survive deny-all.
+    pub const DENY_ALL: HypercallMask =
+        HypercallMask((1 << nr::EXIT) | (1 << nr::SNAPSHOT));
+
+    /// The `virtine_permissive` policy: everything allowed (§5.3).
+    pub const ALLOW_ALL: HypercallMask = HypercallMask(u64::MAX);
+
+    /// Builds a mask allowing exactly the listed hypercalls (plus `exit`,
+    /// which cannot be revoked — a virtine must always be able to die).
+    pub fn allowing(calls: &[u64]) -> HypercallMask {
+        let mut m = HypercallMask::DENY_ALL;
+        for &c in calls {
+            m.0 |= 1 << c;
+        }
+        m
+    }
+
+    /// Whether hypercall `n` is permitted.
+    pub fn allows(self, n: u64) -> bool {
+        n < 64 && self.0 & (1 << n) != 0
+    }
+}
+
+impl Default for HypercallMask {
+    fn default() -> HypercallMask {
+        HypercallMask::DENY_ALL
+    }
+}
+
+/// Per-invocation state a virtine's hypercalls operate on: its payload,
+/// result buffer, optional bound connection, captured stdout, and the
+/// private guest-fd table (guests never see host descriptors).
+#[derive(Debug, Default)]
+pub struct Invocation {
+    /// Data handed to the virtine (`get_data`).
+    pub payload: Vec<u8>,
+    /// Data the virtine returned (`return_data`).
+    pub result: Vec<u8>,
+    /// Host socket bound as the virtine's connection (guest fd 0/1 and
+    /// `send`/`recv`), e.g. the accepted HTTP connection of §6.3.
+    pub conn: Option<SockId>,
+    /// Bytes the virtine wrote to fd 1 with no connection bound.
+    pub stdout: Vec<u8>,
+    /// Guest fd → host fd translation for files opened by this invocation.
+    open_fds: HashMap<u64, Fd>,
+    next_guest_fd: u64,
+    /// Number of `snapshot` requests seen (the JS co-design of §6.5 rejects
+    /// repeats: "snapshot and get_data cannot be called more than once").
+    pub snapshot_requests: u32,
+    /// Number of `get_data` requests seen.
+    pub get_data_requests: u32,
+}
+
+impl Invocation {
+    /// Creates an invocation delivering `payload` to the guest.
+    pub fn with_payload(payload: Vec<u8>) -> Invocation {
+        Invocation {
+            payload,
+            ..Invocation::default()
+        }
+    }
+
+    /// Creates an invocation bound to a host connection.
+    pub fn with_conn(conn: SockId) -> Invocation {
+        Invocation {
+            conn: Some(conn),
+            ..Invocation::default()
+        }
+    }
+
+    fn register_fd(&mut self, host: Fd) -> u64 {
+        // Guest fds start at 3 (0/1/2 are the conventional std streams).
+        let fd = self.next_guest_fd.max(3);
+        self.next_guest_fd = fd + 1;
+        self.open_fds.insert(fd, host);
+        fd
+    }
+}
+
+/// Access to guest memory, abstracting over a virtualized context
+/// (`kvmsim::VmFd`) and native execution (`wasp::native`).
+pub trait GuestMem {
+    /// Reads `len` bytes at guest address `addr`.
+    fn read_guest(&self, addr: u64, len: usize) -> Result<Vec<u8>, Fault>;
+    /// Writes bytes at guest address `addr`.
+    fn write_guest(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault>;
+}
+
+/// What the runtime should do after a handled hypercall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HcOutcome {
+    /// Place the value in `r0` and resume the guest.
+    Resume(u64),
+    /// The guest requested termination with an exit code.
+    Exit(u64),
+    /// The guest asked for a snapshot at this point.
+    TakeSnapshot,
+    /// The handler decided the virtine must die (bad arguments, repeated
+    /// one-shot calls, ...).
+    Kill(&'static str),
+}
+
+/// Error code returned to guests for failed operations (as `u64`, it is the
+/// two's-complement of -1).
+const GUEST_ERR: u64 = u64::MAX;
+
+/// Dispatches one canned hypercall.
+///
+/// Handlers follow the threat model of §3.2: they "take care to assume that
+/// inputs have not been properly sanitized" — every pointer/length pair is
+/// bounds-checked against guest memory before use, and paths must be UTF-8.
+/// A malformed request kills the virtine rather than touching host state.
+pub fn handle_canned(
+    n: u64,
+    args: [u64; 5],
+    mem: &mut dyn GuestMem,
+    kernel: &HostKernel,
+    inv: &mut Invocation,
+) -> Result<HcOutcome, Fault> {
+    match n {
+        nr::EXIT => Ok(HcOutcome::Exit(args[0])),
+        nr::WRITE => {
+            let (fd, buf, len) = (args[0], args[1], args[2] as usize);
+            let data = mem.read_guest(buf, len)?;
+            match (fd, inv.conn) {
+                (0 | 1, Some(conn)) => match kernel.net_send(conn, &data) {
+                    Ok(()) => Ok(HcOutcome::Resume(len as u64)),
+                    Err(_) => Ok(HcOutcome::Resume(GUEST_ERR)),
+                },
+                (1 | 2, None) => {
+                    inv.stdout.extend_from_slice(&data);
+                    Ok(HcOutcome::Resume(len as u64))
+                }
+                _ => Ok(HcOutcome::Resume(GUEST_ERR)),
+            }
+        }
+        nr::READ => {
+            let (fd, buf, max_len) = (args[0], args[1], args[2] as usize);
+            if let (0, Some(conn)) = (fd, inv.conn) {
+                // Reading "fd 0" with a bound connection is a socket recv.
+                return recv_into(mem, kernel, conn, buf, max_len);
+            }
+            let Some(&host_fd) = inv.open_fds.get(&fd) else {
+                return Ok(HcOutcome::Resume(GUEST_ERR));
+            };
+            match kernel.sys_read(host_fd, max_len) {
+                Ok(data) => {
+                    mem.write_guest(buf, &data)?;
+                    Ok(HcOutcome::Resume(data.len() as u64))
+                }
+                Err(_) => Ok(HcOutcome::Resume(GUEST_ERR)),
+            }
+        }
+        nr::OPEN => {
+            let (ptr, len) = (args[0], args[1] as usize);
+            if len > 4096 {
+                return Ok(HcOutcome::Kill("open: unreasonable path length"));
+            }
+            let raw = mem.read_guest(ptr, len)?;
+            let Ok(path) = String::from_utf8(raw) else {
+                return Ok(HcOutcome::Resume(GUEST_ERR));
+            };
+            match kernel.sys_open(&path) {
+                Ok(host_fd) => Ok(HcOutcome::Resume(inv.register_fd(host_fd))),
+                Err(_) => Ok(HcOutcome::Resume(GUEST_ERR)),
+            }
+        }
+        nr::CLOSE => {
+            let fd = args[0];
+            match inv.open_fds.remove(&fd) {
+                Some(host_fd) => {
+                    let _ = kernel.sys_close(host_fd);
+                    Ok(HcOutcome::Resume(0))
+                }
+                None => Ok(HcOutcome::Resume(GUEST_ERR)),
+            }
+        }
+        nr::STAT => {
+            let (ptr, len, out) = (args[0], args[1] as usize, args[2]);
+            if len > 4096 {
+                return Ok(HcOutcome::Kill("stat: unreasonable path length"));
+            }
+            let raw = mem.read_guest(ptr, len)?;
+            let Ok(path) = String::from_utf8(raw) else {
+                return Ok(HcOutcome::Resume(GUEST_ERR));
+            };
+            match kernel.sys_stat(&path) {
+                Ok(st) => {
+                    mem.write_guest(out, &st.size.to_le_bytes())?;
+                    Ok(HcOutcome::Resume(0))
+                }
+                Err(_) => Ok(HcOutcome::Resume(GUEST_ERR)),
+            }
+        }
+        nr::SEND => {
+            let (buf, len) = (args[0], args[1] as usize);
+            let Some(conn) = inv.conn else {
+                return Ok(HcOutcome::Resume(GUEST_ERR));
+            };
+            let data = mem.read_guest(buf, len)?;
+            match kernel.net_send(conn, &data) {
+                Ok(()) => Ok(HcOutcome::Resume(len as u64)),
+                Err(_) => Ok(HcOutcome::Resume(GUEST_ERR)),
+            }
+        }
+        nr::RECV => {
+            let (buf, max_len) = (args[0], args[1] as usize);
+            let Some(conn) = inv.conn else {
+                return Ok(HcOutcome::Resume(GUEST_ERR));
+            };
+            recv_into(mem, kernel, conn, buf, max_len)
+        }
+        nr::SNAPSHOT => {
+            inv.snapshot_requests += 1;
+            if inv.snapshot_requests > 1 {
+                // One-shot by co-design (§6.5).
+                return Ok(HcOutcome::Kill("repeated snapshot hypercall"));
+            }
+            Ok(HcOutcome::TakeSnapshot)
+        }
+        nr::GET_DATA => {
+            inv.get_data_requests += 1;
+            if inv.get_data_requests > 1 {
+                return Ok(HcOutcome::Kill("repeated get_data hypercall"));
+            }
+            let (buf, max_len) = (args[0], args[1] as usize);
+            let n = inv.payload.len().min(max_len);
+            let data = inv.payload[..n].to_vec();
+            mem.write_guest(buf, &data)?;
+            Ok(HcOutcome::Resume(n as u64))
+        }
+        nr::RETURN_DATA => {
+            let (buf, len) = (args[0], args[1] as usize);
+            let data = mem.read_guest(buf, len)?;
+            inv.result = data;
+            Ok(HcOutcome::Resume(len as u64))
+        }
+        _ => Ok(HcOutcome::Kill("unknown hypercall")),
+    }
+}
+
+fn recv_into(
+    mem: &mut dyn GuestMem,
+    kernel: &HostKernel,
+    conn: SockId,
+    buf: u64,
+    max_len: usize,
+) -> Result<HcOutcome, Fault> {
+    match kernel.net_recv(conn, max_len) {
+        Ok(Some(data)) => {
+            mem.write_guest(buf, &data)?;
+            Ok(HcOutcome::Resume(data.len() as u64))
+        }
+        Ok(None) => Ok(HcOutcome::Resume(0)),
+        Err(_) => Ok(HcOutcome::Resume(GUEST_ERR)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vclock::Clock;
+
+    /// A plain byte buffer standing in for guest memory.
+    struct Buf(Vec<u8>);
+
+    impl GuestMem for Buf {
+        fn read_guest(&self, addr: u64, len: usize) -> Result<Vec<u8>, Fault> {
+            let a = addr as usize;
+            if a + len > self.0.len() {
+                return Err(Fault::PhysOutOfBounds { paddr: addr });
+            }
+            Ok(self.0[a..a + len].to_vec())
+        }
+        fn write_guest(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault> {
+            let a = addr as usize;
+            if a + data.len() > self.0.len() {
+                return Err(Fault::PhysOutOfBounds { paddr: addr });
+            }
+            self.0[a..a + data.len()].copy_from_slice(data);
+            Ok(())
+        }
+    }
+
+    fn setup() -> (HostKernel, Buf, Invocation) {
+        let kernel = HostKernel::new(Clock::new(), None);
+        (kernel, Buf(vec![0; 4096]), Invocation::default())
+    }
+
+    #[test]
+    fn masks_enforce_default_deny() {
+        let deny = HypercallMask::DENY_ALL;
+        assert!(deny.allows(nr::EXIT));
+        assert!(deny.allows(nr::SNAPSHOT));
+        for n in 1..nr::COUNT {
+            if n == nr::SNAPSHOT {
+                continue;
+            }
+            assert!(!deny.allows(n), "{} leaked through deny-all", name(n));
+        }
+        let allow = HypercallMask::ALLOW_ALL;
+        for n in 0..nr::COUNT {
+            assert!(allow.allows(n));
+        }
+        let some = HypercallMask::allowing(&[nr::SEND, nr::RECV]);
+        assert!(some.allows(nr::EXIT) && some.allows(nr::SEND) && some.allows(nr::RECV));
+        assert!(!some.allows(nr::OPEN));
+    }
+
+    #[test]
+    fn exit_carries_the_code() {
+        let (k, mut m, mut inv) = setup();
+        let out = handle_canned(nr::EXIT, [42, 0, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Exit(42));
+    }
+
+    #[test]
+    fn write_to_stdout_is_captured() {
+        let (k, mut m, mut inv) = setup();
+        m.write_guest(100, b"hi there").unwrap();
+        let out = handle_canned(nr::WRITE, [1, 100, 8, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(8));
+        assert_eq!(inv.stdout, b"hi there");
+    }
+
+    #[test]
+    fn file_open_read_close_through_hypercalls() {
+        let (k, mut m, mut inv) = setup();
+        k.fs_add_file("/data.txt", b"filedata".to_vec());
+        m.write_guest(0, b"/data.txt").unwrap();
+
+        let fd = match handle_canned(nr::OPEN, [0, 9, 0, 0, 0], &mut m, &k, &mut inv).unwrap() {
+            HcOutcome::Resume(fd) => fd,
+            other => panic!("open failed: {other:?}"),
+        };
+        assert!(fd >= 3, "guest fds start at 3, got {fd}");
+
+        let out = handle_canned(nr::READ, [fd, 512, 64, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(8));
+        assert_eq!(m.read_guest(512, 8).unwrap(), b"filedata");
+
+        let out = handle_canned(nr::CLOSE, [fd, 0, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(0));
+        // Double close fails.
+        let out = handle_canned(nr::CLOSE, [fd, 0, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(GUEST_ERR));
+    }
+
+    #[test]
+    fn stat_writes_size_into_guest_memory() {
+        let (k, mut m, mut inv) = setup();
+        k.fs_add_file("/f", vec![0; 777]);
+        m.write_guest(0, b"/f").unwrap();
+        let out = handle_canned(nr::STAT, [0, 2, 256, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(0));
+        let size = u64::from_le_bytes(m.read_guest(256, 8).unwrap().try_into().unwrap());
+        assert_eq!(size, 777);
+    }
+
+    #[test]
+    fn guest_cannot_use_raw_host_fds() {
+        let (k, mut m, mut inv) = setup();
+        k.fs_add_file("/secret", b"s3cr3t".to_vec());
+        // Open on the host side, bypassing the virtine's fd table.
+        let host_fd = k.sys_open("/secret").unwrap();
+        // The guest tries to read using the *host* fd number directly; the
+        // per-invocation table does not know it, so the read is refused.
+        let out =
+            handle_canned(nr::READ, [host_fd.0, 0, 64, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(GUEST_ERR));
+    }
+
+    #[test]
+    fn send_recv_flow_over_bound_connection() {
+        let (k, mut m, _) = setup();
+        k.net_listen(80).unwrap();
+        let client = k.net_connect(80).unwrap();
+        let server = k.net_accept(80).unwrap().unwrap();
+        let mut inv = Invocation::with_conn(server);
+
+        k.net_send(client, b"ping").unwrap();
+        let out = handle_canned(nr::RECV, [0, 64, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(4));
+        assert_eq!(m.read_guest(0, 4).unwrap(), b"ping");
+
+        m.write_guest(128, b"pong").unwrap();
+        let out = handle_canned(nr::SEND, [128, 4, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(4));
+        assert_eq!(k.net_recv(client, 64).unwrap().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn send_without_connection_fails_cleanly() {
+        let (k, mut m, mut inv) = setup();
+        let out = handle_canned(nr::SEND, [0, 4, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(GUEST_ERR));
+    }
+
+    #[test]
+    fn get_and_return_data_round_trip() {
+        let (k, mut m, _) = setup();
+        let mut inv = Invocation::with_payload(b"input!".to_vec());
+        let out = handle_canned(nr::GET_DATA, [0, 64, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(6));
+        assert_eq!(m.read_guest(0, 6).unwrap(), b"input!");
+
+        m.write_guest(100, b"output").unwrap();
+        let out =
+            handle_canned(nr::RETURN_DATA, [100, 6, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(6));
+        assert_eq!(inv.result, b"output");
+    }
+
+    #[test]
+    fn one_shot_hypercalls_kill_on_repeat() {
+        let (k, mut m, mut inv) = setup();
+        assert_eq!(
+            handle_canned(nr::SNAPSHOT, [0; 5], &mut m, &k, &mut inv).unwrap(),
+            HcOutcome::TakeSnapshot
+        );
+        assert!(matches!(
+            handle_canned(nr::SNAPSHOT, [0; 5], &mut m, &k, &mut inv).unwrap(),
+            HcOutcome::Kill(_)
+        ));
+        handle_canned(nr::GET_DATA, [0, 0, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert!(matches!(
+            handle_canned(nr::GET_DATA, [0, 0, 0, 0, 0], &mut m, &k, &mut inv).unwrap(),
+            HcOutcome::Kill(_)
+        ));
+    }
+
+    #[test]
+    fn hostile_pointers_fault_instead_of_touching_host_state() {
+        let (k, mut m, mut inv) = setup();
+        // Buffer far outside guest memory.
+        let err = handle_canned(
+            nr::WRITE,
+            [1, 0xFFFF_FFFF, 100, 0, 0],
+            &mut m,
+            &k,
+            &mut inv,
+        );
+        assert!(err.is_err());
+        // Unreasonable path length is a kill, not a host allocation.
+        let out = handle_canned(nr::OPEN, [0, 1 << 20, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert!(matches!(out, HcOutcome::Kill(_)));
+    }
+
+    #[test]
+    fn unknown_hypercall_kills() {
+        let (k, mut m, mut inv) = setup();
+        let out = handle_canned(999, [0; 5], &mut m, &k, &mut inv).unwrap();
+        assert!(matches!(out, HcOutcome::Kill(_)));
+    }
+}

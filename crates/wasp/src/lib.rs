@@ -1,0 +1,44 @@
+//! # Wasp — the embeddable virtine micro-hypervisor runtime
+//!
+//! The primary contribution of *Isolating Functions at the Hardware Limit
+//! with Virtines* (EuroSys '22). Wasp lets a host program (the *virtine
+//! client*) run individual functions in disposable, hardware-virtualized
+//! execution contexts with microsecond-scale start-up:
+//!
+//! * **Hypercall interposition** ([`hypercall`]) — a virtine's only window
+//!   to the outside world is a single-`out` hypercall ABI, checked against
+//!   a default-deny [`HypercallMask`] and the client's custom handlers
+//!   (Figure 5).
+//! * **Shell pooling** ([`pool`]) — used contexts are wiped and cached so
+//!   later requests skip `KVM_CREATE_VM`; with asynchronous cleaning the
+//!   provisioning cost lands within a few percent of a bare `vmrun` (§5.2,
+//!   Figure 8).
+//! * **Snapshotting** ([`runtime`]) — a virtine can checkpoint itself after
+//!   initialization; subsequent invocations of the same function resume
+//!   from the snapshot and skip the boot path entirely (§5.2, Figure 7).
+//! * **Native baseline** ([`native`]) — the same binaries run natively for
+//!   apples-to-apples comparisons, with hypercalls downgraded to syscalls.
+//!
+//! ```
+//! use wasp::{Wasp, HypercallMask, Invocation};
+//!
+//! let wasp = Wasp::new_kvm_default();
+//! let image = visa::assemble(".org 0x8000\n mov r0, 42\n hlt\n").unwrap();
+//! let out = wasp
+//!     .launch_once(image, 64 * 1024, HypercallMask::DENY_ALL, Invocation::default())
+//!     .unwrap();
+//! assert_eq!(out.ret, 42);
+//! ```
+
+pub mod hypercall;
+pub mod native;
+pub mod pool;
+pub mod runtime;
+
+pub use hypercall::{nr, GuestMem, HcOutcome, HypercallMask, Invocation, HYPERCALL_PORT};
+pub use native::{NativeExit, NativeOutcome, NativeRunner};
+pub use pool::{Pool, PoolMode, PoolStats};
+pub use runtime::{
+    Breakdown, ExitKind, RunOutcome, VirtineId, VirtineSpec, Wasp, WaspConfig, WaspError,
+    WaspStats, ARGS_ADDR, LOAD_ADDR, NO_SNAPSHOT_ENV,
+};

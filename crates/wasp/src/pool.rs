@@ -1,0 +1,254 @@
+//! The virtine shell pool: caching and recycling of virtual contexts.
+//!
+//! §5.2: "Wasp supports a pool of cached, uninitialized, virtines (shells)
+//! that can be reused. … once we do this, and the relevant virtine returns,
+//! we can clear its context, preventing information leakage, and cache it in
+//! a pool of 'clean' virtines so the host OS need not pay the expensive cost
+//! of re-allocating virtual hardware contexts."
+//!
+//! Three modes reproduce the Figure 8 bars:
+//!
+//! * [`PoolMode::Disabled`] — every request creates a VM from scratch
+//!   ("Wasp");
+//! * [`PoolMode::Cached`] — shells are recycled, and the memory wipe is
+//!   charged synchronously on release ("Wasp+C");
+//! * [`PoolMode::CachedAsync`] — shells are recycled and wiped in the
+//!   background, off the request path ("Wasp+CA").
+
+use std::collections::HashMap;
+
+use kvmsim::{Hypervisor, VmFd};
+use vclock::costs;
+
+/// Shell caching policy (§5.2, Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolMode {
+    /// No pooling: from-scratch `KVM_CREATE_VM` per request ("Wasp").
+    Disabled,
+    /// Pooling with synchronous cleaning on release ("Wasp+C").
+    Cached,
+    /// Pooling with asynchronous (background) cleaning ("Wasp+CA").
+    #[default]
+    CachedAsync,
+}
+
+/// Pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Shells created from scratch (pool misses or pooling disabled).
+    pub created: u64,
+    /// Shells served from the clean pool.
+    pub reused: u64,
+    /// Shells returned to the pool.
+    pub released: u64,
+}
+
+/// The pool itself. Shells are segregated by guest-memory size: a shell's
+/// hardware context is sized when created, so only same-sized requests can
+/// reuse it.
+#[derive(Debug)]
+pub struct Pool {
+    mode: PoolMode,
+    clean: HashMap<usize, Vec<VmFd>>,
+    stats: PoolStats,
+    /// Reset vector shells are parked at.
+    entry: u64,
+}
+
+impl Pool {
+    /// Creates a pool; `entry` is the guest address shells reset to
+    /// (Wasp loads images at 0x8000, §5.1).
+    pub fn new(mode: PoolMode, entry: u64) -> Pool {
+        Pool {
+            mode,
+            clean: HashMap::new(),
+            stats: PoolStats::default(),
+            entry,
+        }
+    }
+
+    /// The pool's mode.
+    pub fn mode(&self) -> PoolMode {
+        self.mode
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Number of clean shells currently parked.
+    pub fn idle_shells(&self) -> usize {
+        self.clean.values().map(Vec::len).sum()
+    }
+
+    /// Acquires a shell with `mem_size` bytes of guest memory, reusing a
+    /// clean cached shell when possible. Returns the shell and whether it
+    /// was reused.
+    pub fn acquire(&mut self, hv: &Hypervisor, mem_size: usize) -> (VmFd, bool) {
+        if self.mode != PoolMode::Disabled {
+            if let Some(vm) = self.clean.get_mut(&mem_size).and_then(Vec::pop) {
+                hv.kernel().clock().tick(costs::WASP_POOL_BOOKKEEPING);
+                self.stats.reused += 1;
+                return (vm, true);
+            }
+        }
+        self.stats.created += 1;
+        (hv.create_vm(mem_size, self.entry), false)
+    }
+
+    /// Releases a used shell back to the pool. Under [`PoolMode::Cached`]
+    /// the wipe is charged to the caller; under [`PoolMode::CachedAsync`]
+    /// the wipe still happens (no information leaks, §3.3) but its cycles
+    /// are not charged to the request timeline — the background cleaner
+    /// pays them. Under [`PoolMode::Disabled`] the shell is dropped.
+    pub fn release(&mut self, vm: VmFd) {
+        match self.mode {
+            PoolMode::Disabled => {
+                // Dropped: the host frees the VM state off the books.
+            }
+            PoolMode::Cached => {
+                vm.clean(self.entry);
+                self.park(vm);
+            }
+            PoolMode::CachedAsync => {
+                vm.clean_async(self.entry);
+                self.park(vm);
+            }
+        }
+    }
+
+    fn park(&mut self, vm: VmFd) {
+        self.stats.released += 1;
+        self.clean.entry(vm.mem_size()).or_default().push(vm);
+    }
+
+    /// Pre-populates the pool with `count` clean shells of `mem_size` bytes
+    /// (warm-up before a burst, as a serverless front end would do).
+    pub fn prewarm(&mut self, hv: &Hypervisor, mem_size: usize, count: usize) {
+        for _ in 0..count {
+            let vm = hv.create_vm(mem_size, self.entry);
+            self.stats.created += 1;
+            self.park(vm);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hostsim::HostKernel;
+    use vclock::Clock;
+
+    fn hv() -> (Clock, Hypervisor) {
+        let clock = Clock::new();
+        (clock.clone(), Hypervisor::kvm(HostKernel::new(clock, None)))
+    }
+
+    const ENTRY: u64 = 0x8000;
+    const MEM: usize = 64 * 1024;
+
+    #[test]
+    fn disabled_pool_always_creates() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::Disabled, ENTRY);
+        let (vm1, reused1) = pool.acquire(&hv, MEM);
+        pool.release(vm1);
+        let (_, reused2) = pool.acquire(&hv, MEM);
+        assert!(!reused1 && !reused2);
+        assert_eq!(pool.stats().created, 2);
+        assert_eq!(pool.idle_shells(), 0);
+    }
+
+    #[test]
+    fn cached_pool_reuses_shells() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::Cached, ENTRY);
+        let (vm, reused) = pool.acquire(&hv, MEM);
+        assert!(!reused);
+        pool.release(vm);
+        assert_eq!(pool.idle_shells(), 1);
+        let (_, reused) = pool.acquire(&hv, MEM);
+        assert!(reused);
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn reuse_is_much_cheaper_than_creation() {
+        let (clock, hv) = hv();
+        let mut pool = Pool::new(PoolMode::CachedAsync, ENTRY);
+        let (_, create_cost) = clock.time(|| pool.acquire(&hv, MEM));
+        let (vm, _) = pool.acquire(&hv, MEM);
+        pool.release(vm);
+        let (_, reuse_cost) = clock.time(|| {
+            let (vm, reused) = pool.acquire(&hv, MEM);
+            assert!(reused);
+            vm
+        });
+        assert!(
+            reuse_cost.get() * 100 < create_cost.get(),
+            "reuse {reuse_cost} vs create {create_cost}"
+        );
+    }
+
+    #[test]
+    fn sync_clean_charges_async_does_not() {
+        let (clock, hv) = hv();
+
+        // The wipe cost tracks what the virtine dirtied, so dirty the
+        // shells before releasing them.
+        let mut sync_pool = Pool::new(PoolMode::Cached, ENTRY);
+        let (vm, _) = sync_pool.acquire(&hv, MEM);
+        vm.write_guest(0, &[7u8; 4096]).unwrap();
+        let (_, sync_cost) = clock.time(|| sync_pool.release(vm));
+
+        let mut async_pool = Pool::new(PoolMode::CachedAsync, ENTRY);
+        let (vm, _) = async_pool.acquire(&hv, MEM);
+        vm.write_guest(0, &[7u8; 4096]).unwrap();
+        let (_, async_cost) = clock.time(|| async_pool.release(vm));
+
+        assert!(sync_cost.get() > 0, "sync cleaning charges the wipe");
+        assert_eq!(async_cost.get(), 0, "async cleaning is off the books");
+    }
+
+    #[test]
+    fn recycled_shells_are_actually_clean() {
+        let (_, hv) = hv();
+        for mode in [PoolMode::Cached, PoolMode::CachedAsync] {
+            let mut pool = Pool::new(mode, ENTRY);
+            let (vm, _) = pool.acquire(&hv, MEM);
+            vm.write_guest(0x100, b"secret key material").unwrap();
+            pool.release(vm);
+            let (vm, reused) = pool.acquire(&hv, MEM);
+            assert!(reused);
+            let bytes = vm.read_guest(0x100, 19).unwrap();
+            assert!(
+                bytes.iter().all(|&b| b == 0),
+                "information leaked through the pool under {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shells_are_segregated_by_memory_size() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::Cached, ENTRY);
+        let (vm, _) = pool.acquire(&hv, MEM);
+        pool.release(vm);
+        // A differently-sized request cannot reuse the parked shell.
+        let (vm2, reused) = pool.acquire(&hv, 2 * MEM);
+        assert!(!reused);
+        assert_eq!(vm2.mem_size(), 2 * MEM);
+        assert_eq!(pool.idle_shells(), 1);
+    }
+
+    #[test]
+    fn prewarm_fills_the_pool() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::CachedAsync, ENTRY);
+        pool.prewarm(&hv, MEM, 4);
+        assert_eq!(pool.idle_shells(), 4);
+        let (_, reused) = pool.acquire(&hv, MEM);
+        assert!(reused);
+    }
+}

@@ -1,0 +1,782 @@
+//! The Wasp runtime: registering virtine specs and running invocations.
+//!
+//! Wasp is "a specialized, embeddable micro-hypervisor runtime that deploys
+//! virtines with an easy-to-use interface" (§5.1). A *virtine client* (host
+//! program) registers a [`VirtineSpec`] — binary image, memory size,
+//! hypercall policy — and then [`Wasp::run`]s invocations against it. Each
+//! invocation:
+//!
+//! 1. acquires a hardware context from the shell [`Pool`] (§5.2);
+//! 2. installs the image, or restores the spec's snapshot if one was taken
+//!    by a previous invocation (§5.2 snapshotting, Figure 7);
+//! 3. writes the marshalled arguments at guest address 0x0 (§6.1);
+//! 4. runs the guest, interposing on every hypercall: the policy mask is
+//!    checked first (default-deny, §5.1), then a client-supplied custom
+//!    handler, then Wasp's canned handlers;
+//! 5. releases the shell back to the pool (cleaned per the pool mode).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hostsim::HostKernel;
+use kvmsim::{Hypervisor, VmExit, VmFd, VmSnapshot};
+use vclock::{Clock, Cycles};
+use visa::asm::Image;
+use visa::cpu::Fault;
+use visa::Reg;
+
+use crate::hypercall::{
+    self, GuestMem, HcOutcome, HypercallMask, Invocation, HYPERCALL_PORT,
+};
+use crate::pool::{Pool, PoolMode, PoolStats};
+
+/// Guest address where marshalled arguments are placed ("the argument, n,
+/// is loaded into the virtine's address space at address 0x0", §6.1).
+pub const ARGS_ADDR: u64 = 0x0;
+
+/// Guest address images are loaded at ("Wasp simply accepts a binary image,
+/// loads it at guest virtual address 0x8000", §5.1).
+pub const LOAD_ADDR: u64 = 0x8000;
+
+/// Environment variable that disables snapshotting for language-extension
+/// virtines ("all virtines created via our language extensions use Wasp's
+/// snapshot feature by default. This can be disabled with the use of an
+/// environment variable", §5.3).
+pub const NO_SNAPSHOT_ENV: &str = "VIRTINE_NO_SNAPSHOT";
+
+/// Runtime configuration for a [`Wasp`] instance.
+#[derive(Debug, Clone)]
+pub struct WaspConfig {
+    /// Shell pooling mode (§5.2).
+    pub pool_mode: PoolMode,
+    /// Instruction budget per `KVM_RUN` before the watchdog fires.
+    pub step_budget: u64,
+    /// When `true`, snapshotting is disabled for every spec regardless of
+    /// its own flag (the [`NO_SNAPSHOT_ENV`] escape hatch).
+    pub disable_snapshots: bool,
+}
+
+impl Default for WaspConfig {
+    fn default() -> WaspConfig {
+        WaspConfig {
+            pool_mode: PoolMode::CachedAsync,
+            step_budget: 500_000_000,
+            disable_snapshots: false,
+        }
+    }
+}
+
+impl WaspConfig {
+    /// Default configuration, honouring [`NO_SNAPSHOT_ENV`] from the
+    /// process environment.
+    pub fn from_env() -> WaspConfig {
+        WaspConfig {
+            disable_snapshots: std::env::var_os(NO_SNAPSHOT_ENV).is_some(),
+            ..WaspConfig::default()
+        }
+    }
+}
+
+/// A registered virtine: the unit the `virtine` keyword compiles to.
+#[derive(Debug, Clone)]
+pub struct VirtineSpec {
+    /// Diagnostic name (usually the annotated function's name).
+    pub name: String,
+    /// The toolchain-produced binary image.
+    pub image: Rc<Image>,
+    /// Guest-physical memory size for this virtine's contexts.
+    pub mem_size: usize,
+    /// Hypercall policy (default-deny unless widened, §5.3).
+    pub policy: HypercallMask,
+    /// Whether invocations snapshot after initialization (§5.2).
+    pub snapshot: bool,
+}
+
+impl VirtineSpec {
+    /// Builds a spec with the default-deny policy and snapshotting enabled
+    /// (the language-extension defaults of §5.3).
+    pub fn new(name: impl Into<String>, image: Image, mem_size: usize) -> VirtineSpec {
+        VirtineSpec {
+            name: name.into(),
+            image: Rc::new(image),
+            mem_size,
+            policy: HypercallMask::DENY_ALL,
+            snapshot: true,
+        }
+    }
+
+    /// Widens the policy (builder style).
+    pub fn with_policy(mut self, policy: HypercallMask) -> VirtineSpec {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables or disables snapshotting (builder style).
+    pub fn with_snapshot(mut self, snapshot: bool) -> VirtineSpec {
+        self.snapshot = snapshot;
+        self
+    }
+}
+
+/// Handle to a registered virtine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VirtineId(usize);
+
+/// How an invocation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitKind {
+    /// The guest executed `hlt`; the value is `r0`.
+    Halted(u64),
+    /// The guest issued the `exit` hypercall with this code.
+    Exited(u64),
+    /// A hypercall was denied by the client's policy; the virtine was
+    /// killed (the "request denied" arrow of Figure 5).
+    Denied {
+        /// The refused hypercall number.
+        nr: u64,
+    },
+    /// A handler killed the virtine (malformed request, repeated one-shot
+    /// call, unknown port, ...).
+    Killed(&'static str),
+    /// The guest faulted; the context was torn down.
+    Faulted(Fault),
+    /// The instruction budget ran out.
+    StepLimit,
+}
+
+impl ExitKind {
+    /// Whether the invocation completed by normal means.
+    pub fn is_normal(&self) -> bool {
+        matches!(self, ExitKind::Halted(_) | ExitKind::Exited(_))
+    }
+}
+
+/// Cycle attribution for one invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Breakdown {
+    /// Acquiring a shell (pool hit or `KVM_CREATE_VM`).
+    pub acquire: Cycles,
+    /// Installing the image or restoring the snapshot, plus marshalling.
+    pub image: Cycles,
+    /// Guest execution including hypercall servicing.
+    pub exec: Cycles,
+    /// Releasing the shell (synchronous cleaning shows up here).
+    pub release: Cycles,
+    /// End-to-end invocation latency.
+    pub total: Cycles,
+    /// Whether the shell came from the pool.
+    pub reused_shell: bool,
+    /// Whether a snapshot was restored instead of a cold boot.
+    pub restored_snapshot: bool,
+}
+
+/// The result of one virtine invocation.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// How the guest ended.
+    pub exit: ExitKind,
+    /// `r0` at exit (the unmarshalled return value for `vcc` virtines).
+    pub ret: u64,
+    /// Invocation state: `return_data` result, captured stdout, fd table.
+    pub invocation: Invocation,
+    /// Milestones recorded by guest `mark` instructions.
+    pub marks: Vec<(u8, Cycles)>,
+    /// Number of hypercalls serviced.
+    pub hypercalls: u64,
+    /// Cycle attribution.
+    pub breakdown: Breakdown,
+}
+
+impl RunOutcome {
+    /// Convenience: the guest's `return_data` bytes.
+    pub fn result_bytes(&self) -> &[u8] {
+        &self.invocation.result
+    }
+}
+
+/// Errors raised before a virtine ever runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaspError {
+    /// Unknown [`VirtineId`].
+    NoSuchVirtine,
+    /// The image does not fit below `mem_size`.
+    ImageTooLarge {
+        /// End address of the image.
+        image_end: u64,
+        /// Configured guest memory size.
+        mem_size: usize,
+    },
+}
+
+impl std::fmt::Display for WaspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaspError::NoSuchVirtine => write!(f, "no such virtine"),
+            WaspError::ImageTooLarge {
+                image_end,
+                mem_size,
+            } => write!(
+                f,
+                "image ends at {image_end:#x} but guest memory is only {mem_size:#x} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WaspError {}
+
+/// Aggregate runtime statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaspStats {
+    /// Invocations launched.
+    pub invocations: u64,
+    /// Hypercalls serviced.
+    pub hypercalls: u64,
+    /// Hypercalls denied by policy.
+    pub denials: u64,
+    /// Snapshots taken.
+    pub snapshots_taken: u64,
+    /// Invocations that started from a snapshot.
+    pub snapshot_restores: u64,
+}
+
+struct SpecEntry {
+    spec: VirtineSpec,
+    snapshot: Option<Rc<VmSnapshot>>,
+}
+
+/// A client-supplied hypercall handler. Returning `None` falls through to
+/// Wasp's canned handlers; returning `Some(outcome)` overrides them.
+/// This is the "client hypercall handler" box of Figure 5.
+pub type CustomHandler<'a> =
+    &'a mut dyn FnMut(u64, [u64; 5], &mut dyn GuestMem, &mut Invocation) -> Option<HcOutcome>;
+
+/// The embeddable Wasp runtime (one per virtine client).
+pub struct Wasp {
+    hv: Hypervisor,
+    kernel: HostKernel,
+    config: WaspConfig,
+    pool: RefCell<Pool>,
+    specs: RefCell<Vec<SpecEntry>>,
+    stats: RefCell<WaspStats>,
+}
+
+/// Adapter giving hypercall handlers bounds-checked guest-memory access.
+struct VmMem<'a>(&'a VmFd);
+
+impl GuestMem for VmMem<'_> {
+    fn read_guest(&self, addr: u64, len: usize) -> Result<Vec<u8>, Fault> {
+        self.0.read_guest(addr, len)
+    }
+    fn write_guest(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault> {
+        self.0.write_guest(addr, data)
+    }
+}
+
+impl Wasp {
+    /// Creates a runtime over the given hypervisor.
+    pub fn new(hv: Hypervisor, config: WaspConfig) -> Wasp {
+        let kernel = hv.kernel().clone();
+        let pool = Pool::new(config.pool_mode, LOAD_ADDR);
+        Wasp {
+            hv,
+            kernel,
+            config,
+            pool: RefCell::new(pool),
+            specs: RefCell::new(Vec::new()),
+            stats: RefCell::new(WaspStats::default()),
+        }
+    }
+
+    /// Convenience: a KVM-backed runtime on a fresh deterministic host.
+    pub fn new_kvm_default() -> Wasp {
+        let clock = Clock::new();
+        let kernel = HostKernel::new(clock, None);
+        Wasp::new(Hypervisor::kvm(kernel), WaspConfig::default())
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> Clock {
+        self.kernel.clock().clone()
+    }
+
+    /// The simulated host kernel.
+    pub fn kernel(&self) -> &HostKernel {
+        &self.kernel
+    }
+
+    /// The underlying hypervisor handle.
+    pub fn hypervisor(&self) -> &Hypervisor {
+        &self.hv
+    }
+
+    /// Runtime statistics so far.
+    pub fn stats(&self) -> WaspStats {
+        *self.stats.borrow()
+    }
+
+    /// Pool statistics so far.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.borrow().stats()
+    }
+
+    /// Pre-creates `count` clean shells of `mem_size` bytes.
+    pub fn prewarm(&self, mem_size: usize, count: usize) {
+        self.pool.borrow_mut().prewarm(&self.hv, mem_size, count);
+    }
+
+    /// Registers a virtine spec, returning its handle.
+    pub fn register(&self, mut spec: VirtineSpec) -> Result<VirtineId, WaspError> {
+        let image_end = spec.image.base + spec.image.bytes.len() as u64;
+        if image_end > spec.mem_size as u64 {
+            return Err(WaspError::ImageTooLarge {
+                image_end,
+                mem_size: spec.mem_size,
+            });
+        }
+        if self.config.disable_snapshots {
+            spec.snapshot = false;
+        }
+        let mut specs = self.specs.borrow_mut();
+        specs.push(SpecEntry {
+            spec,
+            snapshot: None,
+        });
+        Ok(VirtineId(specs.len() - 1))
+    }
+
+    /// Drops the stored snapshot for a spec (tests and experiments).
+    pub fn invalidate_snapshot(&self, id: VirtineId) {
+        if let Some(e) = self.specs.borrow_mut().get_mut(id.0) {
+            e.snapshot = None;
+        }
+    }
+
+    /// Runs one invocation with the canned handlers only.
+    pub fn run(
+        &self,
+        id: VirtineId,
+        args: &[u8],
+        invocation: Invocation,
+    ) -> Result<RunOutcome, WaspError> {
+        self.run_with_handler(id, args, invocation, &mut |_, _, _, _| None)
+    }
+
+    /// Runs one invocation, giving `handler` first refusal on every
+    /// permitted hypercall.
+    pub fn run_with_handler(
+        &self,
+        id: VirtineId,
+        args: &[u8],
+        mut invocation: Invocation,
+        handler: CustomHandler<'_>,
+    ) -> Result<RunOutcome, WaspError> {
+        let (image, mem_size, policy, snapshot_enabled, snap) = {
+            let specs = self.specs.borrow();
+            let entry = specs.get(id.0).ok_or(WaspError::NoSuchVirtine)?;
+            (
+                Rc::clone(&entry.spec.image),
+                entry.spec.mem_size,
+                entry.spec.policy,
+                entry.spec.snapshot,
+                entry.snapshot.clone(),
+            )
+        };
+        self.stats.borrow_mut().invocations += 1;
+        let clock = self.kernel.clock().clone();
+        let t0 = clock.now();
+
+        // 1. Acquire a hardware context (Figure 6: reuse or provision).
+        let (vm, reused) = self.pool.borrow_mut().acquire(&self.hv, mem_size);
+        let t_acquired = clock.now();
+
+        // 2. Install the execution state: snapshot fast path or cold image.
+        let restored = if let (true, Some(snap)) = (snapshot_enabled, &snap) {
+            vm.restore(snap);
+            self.stats.borrow_mut().snapshot_restores += 1;
+            true
+        } else {
+            vm.load_image(&image);
+            false
+        };
+        // 3. Marshal arguments into the address space (charged as a copy).
+        if !args.is_empty() {
+            self.kernel.memcpy(args.len());
+            vm.write_guest(ARGS_ADDR, args)
+                .expect("argument region must be inside guest memory");
+        }
+        let t_image = clock.now();
+
+        // 4. Run, interposing on hypercalls.
+        let vcpu = vm.vcpu();
+        let mut hypercalls = 0u64;
+        let exit = loop {
+            match vcpu.run(self.config.step_budget) {
+                Err(fault) => break ExitKind::Faulted(fault),
+                Ok(VmExit::Hlt) => break ExitKind::Halted(vcpu.reg(Reg(0))),
+                Ok(VmExit::StepLimit) => break ExitKind::StepLimit,
+                Ok(VmExit::IoIn { .. }) => break ExitKind::Killed("unexpected port read"),
+                Ok(VmExit::IoOut { port, value }) if port == HYPERCALL_PORT => {
+                    hypercalls += 1;
+                    self.stats.borrow_mut().hypercalls += 1;
+                    let n = value;
+                    if !policy.allows(n) {
+                        self.stats.borrow_mut().denials += 1;
+                        break ExitKind::Denied { nr: n };
+                    }
+                    let hc_args = [
+                        vcpu.reg(Reg(1)),
+                        vcpu.reg(Reg(2)),
+                        vcpu.reg(Reg(3)),
+                        vcpu.reg(Reg(4)),
+                        vcpu.reg(Reg(5)),
+                    ];
+                    let mut mem = VmMem(&vm);
+                    let outcome = match handler(n, hc_args, &mut mem, &mut invocation) {
+                        Some(custom) => Ok(custom),
+                        None => hypercall::handle_canned(
+                            n,
+                            hc_args,
+                            &mut mem,
+                            &self.kernel,
+                            &mut invocation,
+                        ),
+                    };
+                    match outcome {
+                        Err(fault) => break ExitKind::Faulted(fault),
+                        Ok(HcOutcome::Resume(v)) => vcpu.set_reg(Reg(0), v),
+                        Ok(HcOutcome::Exit(code)) => break ExitKind::Exited(code),
+                        Ok(HcOutcome::Kill(reason)) => break ExitKind::Killed(reason),
+                        Ok(HcOutcome::TakeSnapshot) => {
+                            // Resume value is fixed *before* the snapshot so
+                            // restored invocations observe the same state.
+                            vcpu.set_reg(Reg(0), 0);
+                            if snapshot_enabled {
+                                let mut specs = self.specs.borrow_mut();
+                                let entry = &mut specs[id.0];
+                                if entry.snapshot.is_none() {
+                                    entry.snapshot = Some(Rc::new(vm.snapshot()));
+                                    self.stats.borrow_mut().snapshots_taken += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(VmExit::IoOut { .. }) => break ExitKind::Killed("write to unknown port"),
+            }
+        };
+        let t_exec = clock.now();
+        let ret = vcpu.reg(Reg(0));
+        let marks = vcpu.take_marks();
+
+        // 5. Recycle the shell.
+        self.pool.borrow_mut().release(vm);
+        let t_end = clock.now();
+
+        Ok(RunOutcome {
+            exit,
+            ret,
+            invocation,
+            marks,
+            hypercalls,
+            breakdown: Breakdown {
+                acquire: t_acquired - t0,
+                image: t_image - t_acquired,
+                exec: t_exec - t_image,
+                release: t_end - t_exec,
+                total: t_end - t0,
+                reused_shell: reused,
+                restored_snapshot: restored,
+            },
+        })
+    }
+
+    /// One-shot convenience: registers a throwaway spec (no snapshotting)
+    /// and runs it once. Used by microbenchmarks.
+    pub fn launch_once(
+        &self,
+        image: Image,
+        mem_size: usize,
+        policy: HypercallMask,
+        invocation: Invocation,
+    ) -> Result<RunOutcome, WaspError> {
+        let spec = VirtineSpec::new("<oneshot>", image, mem_size)
+            .with_policy(policy)
+            .with_snapshot(false);
+        let id = self.register(spec)?;
+        self.run(id, &[], invocation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercall::nr;
+
+    fn wasp(mode: PoolMode) -> Wasp {
+        let clock = Clock::new();
+        let kernel = HostKernel::new(clock, None);
+        Wasp::new(
+            Hypervisor::kvm(kernel),
+            WaspConfig {
+                pool_mode: mode,
+                ..WaspConfig::default()
+            },
+        )
+    }
+
+    const MEM: usize = 64 * 1024;
+
+    fn image(src: &str) -> Image {
+        visa::assemble(src).expect("assemble")
+    }
+
+    #[test]
+    fn halting_virtine_returns_r0() {
+        let w = wasp(PoolMode::CachedAsync);
+        let img = image(".org 0x8000\n mov r0, 41\n add r0, 1\n hlt\n");
+        let out = w
+            .launch_once(img, MEM, HypercallMask::DENY_ALL, Invocation::default())
+            .unwrap();
+        assert_eq!(out.exit, ExitKind::Halted(42));
+        assert_eq!(out.ret, 42);
+        assert!(out.breakdown.total.get() > 0);
+    }
+
+    #[test]
+    fn exit_hypercall_is_always_allowed() {
+        let w = wasp(PoolMode::CachedAsync);
+        let img = image(".org 0x8000\n mov r0, 0\n mov r1, 7\n out 0x1, r0\n");
+        let out = w
+            .launch_once(img, MEM, HypercallMask::DENY_ALL, Invocation::default())
+            .unwrap();
+        assert_eq!(out.exit, ExitKind::Exited(7));
+    }
+
+    #[test]
+    fn default_deny_kills_other_hypercalls() {
+        let w = wasp(PoolMode::CachedAsync);
+        // Attempt a write under deny-all.
+        let img = image(".org 0x8000\n mov r0, 1\n mov r1, 1\n mov r2, 0x8000\n mov r3, 4\n out 0x1, r0\n hlt\n");
+        let out = w
+            .launch_once(img, MEM, HypercallMask::DENY_ALL, Invocation::default())
+            .unwrap();
+        assert_eq!(out.exit, ExitKind::Denied { nr: nr::WRITE });
+        assert_eq!(w.stats().denials, 1);
+    }
+
+    #[test]
+    fn permissive_policy_lets_write_reach_stdout() {
+        let w = wasp(PoolMode::CachedAsync);
+        let img = image(
+            "
+.org 0x8000
+  mov r0, 1          ; write
+  mov r1, 1          ; fd 1
+  mov r2, msg
+  mov r3, 5
+  out 0x1, r0
+  mov r4, r0         ; bytes written
+  mov r0, 0          ; exit(0)
+  mov r1, 0
+  out 0x1, r0
+msg: .ascii \"hello\"
+",
+        );
+        let out = w
+            .launch_once(img, MEM, HypercallMask::ALLOW_ALL, Invocation::default())
+            .unwrap();
+        assert_eq!(out.exit, ExitKind::Exited(0));
+        assert_eq!(out.invocation.stdout, b"hello");
+        assert_eq!(out.hypercalls, 2);
+    }
+
+    #[test]
+    fn args_are_marshalled_to_address_zero() {
+        let w = wasp(PoolMode::CachedAsync);
+        let img = image(".org 0x8000\n mov r1, 0\n load.q r0, [r1]\n hlt\n");
+        let spec = VirtineSpec::new("args", img, MEM).with_snapshot(false);
+        let id = w.register(spec).unwrap();
+        let out = w
+            .run(id, &1234u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        assert_eq!(out.exit, ExitKind::Halted(1234));
+    }
+
+    #[test]
+    fn snapshot_skips_reinitialization_on_second_run() {
+        let w = wasp(PoolMode::CachedAsync);
+        // "Init" stores 7 at 0x7000 slowly; snapshot; then read args and add.
+        let img = image(
+            "
+.org 0x8000
+  mov r1, 0x7000
+  mov r2, 0
+  mov r3, 0
+init:
+  add r2, 7
+  add r3, 1
+  cmp r3, 1000
+  jl init
+  store.q [r1], r2
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  mov r4, 0
+  load.q r5, [r4]      ; arg
+  load.q r6, [r1]
+  mov r0, r5
+  add r0, r6
+  hlt
+",
+        );
+        let spec = VirtineSpec::new("snap", img, MEM); // Snapshot on by default.
+        let id = w.register(spec).unwrap();
+
+        let out1 = w.run(id, &1u64.to_le_bytes(), Invocation::default()).unwrap();
+        assert_eq!(out1.exit, ExitKind::Halted(7001));
+        assert!(!out1.breakdown.restored_snapshot);
+        assert_eq!(w.stats().snapshots_taken, 1);
+
+        let out2 = w.run(id, &2u64.to_le_bytes(), Invocation::default()).unwrap();
+        assert_eq!(out2.exit, ExitKind::Halted(7002));
+        assert!(out2.breakdown.restored_snapshot);
+        assert_eq!(w.stats().snapshot_restores, 1);
+        // The restored run skips the init loop: far fewer executed cycles.
+        assert!(
+            out2.breakdown.exec < out1.breakdown.exec,
+            "restore exec {} !< cold exec {}",
+            out2.breakdown.exec,
+            out1.breakdown.exec
+        );
+    }
+
+    #[test]
+    fn snapshot_disabled_by_config_flag() {
+        let clock = Clock::new();
+        let kernel = HostKernel::new(clock, None);
+        let w = Wasp::new(
+            Hypervisor::kvm(kernel),
+            WaspConfig {
+                disable_snapshots: true,
+                ..WaspConfig::default()
+            },
+        );
+        let img = image(".org 0x8000\n mov r0, 8\n out 0x1, r0\n hlt\n");
+        let id = w.register(VirtineSpec::new("s", img, MEM)).unwrap();
+        w.run(id, &[], Invocation::default()).unwrap();
+        let out = w.run(id, &[], Invocation::default()).unwrap();
+        assert!(!out.breakdown.restored_snapshot);
+        assert_eq!(w.stats().snapshots_taken, 0);
+    }
+
+    #[test]
+    fn custom_handler_overrides_canned() {
+        let w = wasp(PoolMode::CachedAsync);
+        let img = image(".org 0x8000\n mov r0, 9\n mov r1, 5\n out 0x1, r0\n hlt\n");
+        let id = w
+            .register(
+                VirtineSpec::new("h", img, MEM)
+                    .with_policy(HypercallMask::ALLOW_ALL)
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let mut seen = Vec::new();
+        let out = w
+            .run_with_handler(
+                id,
+                &[],
+                Invocation::default(),
+                &mut |n, args, _mem, _inv| {
+                    seen.push((n, args[0]));
+                    Some(HcOutcome::Resume(777))
+                },
+            )
+            .unwrap();
+        assert_eq!(out.exit, ExitKind::Halted(777));
+        assert_eq!(seen, vec![(nr::GET_DATA, 5)]);
+    }
+
+    #[test]
+    fn guest_fault_is_contained_and_reported() {
+        let w = wasp(PoolMode::CachedAsync);
+        let img = image(".org 0x8000\n mov r1, 0x200000\n load.q r0, [r1]\n hlt\n");
+        let out = w
+            .launch_once(img, MEM, HypercallMask::DENY_ALL, Invocation::default())
+            .unwrap();
+        assert!(matches!(out.exit, ExitKind::Faulted(_)));
+        // The runtime survives and can run more virtines.
+        let ok = w
+            .launch_once(
+                image(".org 0x8000\n hlt\n"),
+                MEM,
+                HypercallMask::DENY_ALL,
+                Invocation::default(),
+            )
+            .unwrap();
+        assert_eq!(ok.exit, ExitKind::Halted(0));
+    }
+
+    #[test]
+    fn virtines_cannot_see_each_others_data() {
+        // Virtine A writes a secret; virtine B (same spec, new invocation)
+        // reads the same address and must see zero (§3.1 virtine isolation).
+        let w = wasp(PoolMode::CachedAsync);
+        let writer = image(".org 0x8000\n mov r1, 0x5000\n mov r2, 0xDEAD\n store.q [r1], r2\n hlt\n");
+        let reader = image(".org 0x8000\n mov r1, 0x5000\n load.q r0, [r1]\n hlt\n");
+        let wid = w
+            .register(VirtineSpec::new("w", writer, MEM).with_snapshot(false))
+            .unwrap();
+        let rid = w
+            .register(VirtineSpec::new("r", reader, MEM).with_snapshot(false))
+            .unwrap();
+        w.run(wid, &[], Invocation::default()).unwrap();
+        let out = w.run(rid, &[], Invocation::default()).unwrap();
+        assert_eq!(out.exit, ExitKind::Halted(0), "secret leaked across virtines");
+    }
+
+    #[test]
+    fn image_too_large_is_rejected() {
+        let w = wasp(PoolMode::CachedAsync);
+        let mut img = image(".org 0x8000\n hlt\n");
+        img.pad_to(MEM);
+        let err = w.register(VirtineSpec::new("big", img, MEM)).unwrap_err();
+        assert!(matches!(err, WaspError::ImageTooLarge { .. }));
+    }
+
+    #[test]
+    fn pool_reuse_shows_up_in_breakdown() {
+        let w = wasp(PoolMode::CachedAsync);
+        let img = image(".org 0x8000\n hlt\n");
+        let id = w
+            .register(VirtineSpec::new("p", img, MEM).with_snapshot(false))
+            .unwrap();
+        let cold = w.run(id, &[], Invocation::default()).unwrap();
+        let warm = w.run(id, &[], Invocation::default()).unwrap();
+        assert!(!cold.breakdown.reused_shell);
+        assert!(warm.breakdown.reused_shell);
+        assert!(
+            warm.breakdown.acquire.get() * 50 < cold.breakdown.acquire.get(),
+            "warm acquire {} vs cold acquire {}",
+            warm.breakdown.acquire,
+            cold.breakdown.acquire
+        );
+    }
+
+    #[test]
+    fn step_limit_watchdog() {
+        let clock = Clock::new();
+        let kernel = HostKernel::new(clock, None);
+        let w = Wasp::new(
+            Hypervisor::kvm(kernel),
+            WaspConfig {
+                step_budget: 1_000,
+                ..WaspConfig::default()
+            },
+        );
+        let img = image(".org 0x8000\nspin: jmp spin\n");
+        let out = w
+            .launch_once(img, MEM, HypercallMask::DENY_ALL, Invocation::default())
+            .unwrap();
+        assert_eq!(out.exit, ExitKind::StepLimit);
+    }
+}

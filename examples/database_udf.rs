@@ -1,0 +1,66 @@
+//! The UDF scenario from the paper's introduction and §7.1: database
+//! user-defined functions isolated per-invocation in virtines, so "virtines
+//! would allow functions in unsafe languages (e.g., C, C++) to be safely
+//! used for UDFs" with disjoint address spaces.
+//!
+//! A tiny in-memory table engine calls a C UDF per row. A buggy/hostile
+//! UDF can crash or misbehave — its virtine dies; the database (and every
+//! other invocation) is untouched.
+//!
+//! Run with `cargo run --release --example database_udf`.
+
+use virtines::vcc;
+use virtines::wasp::{ExitKind, Wasp};
+
+const UDFS: &str = "
+/* A well-behaved scoring UDF. */
+virtine int score(int price, int qty) {
+    int subtotal = price * qty;
+    if (subtotal > 1000) {
+        return subtotal - subtotal / 10;   /* bulk discount */
+    }
+    return subtotal;
+}
+
+/* A buggy UDF: divides by zero for qty == 0. */
+virtine int buggy_ratio(int price, int qty) {
+    return price / qty;
+}
+
+/* A hostile UDF: tries to read host memory through a wild pointer. */
+virtine int hostile(int price, int qty) {
+    int* p = (int*)0x40000000;
+    return *p + price + qty;
+}
+";
+
+fn main() {
+    let unit = vcc::compile(UDFS).expect("compile UDFs");
+    let wasp = Wasp::new_kvm_default();
+    let table: Vec<(i64, i64)> = vec![(100, 3), (250, 8), (999, 0), (42, 1)];
+
+    for udf in ["score", "buggy_ratio", "hostile"] {
+        let v = unit.virtine(udf).expect("udf");
+        let id = v.register(&wasp).expect("register");
+        println!("SELECT {udf}(price, qty) FROM orders:");
+        for &(price, qty) in &table {
+            match vcc::invoke(&wasp, id, &[price, qty]) {
+                Ok(out) => match out.exit {
+                    ExitKind::Halted(v) | ExitKind::Exited(v) => {
+                        println!("  ({price:>4}, {qty}) -> {}", v as i64)
+                    }
+                    ExitKind::Faulted(f) => {
+                        println!("  ({price:>4}, {qty}) -> NULL  [virtine fault: {f}]")
+                    }
+                    other => println!("  ({price:>4}, {qty}) -> NULL  [{other:?}]"),
+                },
+                Err(e) => println!("  ({price:>4}, {qty}) -> error: {e}"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "database survived every UDF; {} invocations ran in disjoint address spaces",
+        wasp.stats().invocations
+    );
+}

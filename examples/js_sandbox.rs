@@ -1,0 +1,63 @@
+//! The §6.5 scenario: an untrusted JavaScript function sandboxed in a
+//! virtine with the three-hypercall co-design, plus the serverless burst
+//! test of §7.1 (Figure 15) at small scale.
+//!
+//! Run with `cargo run --release --example js_sandbox`.
+
+use virtines::vespid::{
+    load::{locust_pattern, pattern_arrivals},
+    simulate, OpenWhiskModel, VespidPlatform,
+};
+use virtines::vjs::{self, BASE64_HANDLER};
+use virtines::wasp::{HypercallMask, Invocation, VirtineSpec, Wasp};
+
+fn main() {
+    // 1. One sandboxed invocation, end to end.
+    let engine = vjs::compile_engine(BASE64_HANDLER, false).expect("engine");
+    println!(
+        "Duktide engine image: {} bytes (Duktape compiles to ~578KB, §7.2)",
+        engine.image.size()
+    );
+    let wasp = Wasp::new_kvm_default();
+    let spec = VirtineSpec::new("handler", engine.image.clone(), engine.mem_size).with_policy(
+        HypercallMask::allowing(&[virtines::wasp::nr::GET_DATA, virtines::wasp::nr::RETURN_DATA]),
+    );
+    let id = wasp.register(spec).expect("register");
+    let out = wasp
+        .run(id, &[], Invocation::with_payload(b"hello virtines".to_vec()))
+        .expect("run");
+    println!(
+        "handler(\"hello virtines\") = {:?}  [{:.0} µs, {} hypercalls]",
+        String::from_utf8_lossy(out.result_bytes()),
+        out.breakdown.total.as_micros(),
+        out.hypercalls
+    );
+    let out = wasp
+        .run(id, &[], Invocation::with_payload(b"again".to_vec()))
+        .expect("run");
+    println!(
+        "handler(\"again\")          = {:?}  [{:.0} µs, from snapshot]",
+        String::from_utf8_lossy(out.result_bytes()),
+        out.breakdown.total.as_micros()
+    );
+
+    // 2. The burst test: Vespid vs an OpenWhisk-like container platform.
+    println!("\nserverless burst comparison (scaled Locust pattern):");
+    let arrivals = pattern_arrivals(&locust_pattern(), 0.1);
+    let mut vespid = VespidPlatform::new(2048).expect("vespid");
+    let v = simulate(&mut vespid, &arrivals, 8);
+    let mut ow = OpenWhiskModel::default_vanilla();
+    let o = simulate(&mut ow, &arrivals, 8);
+    println!(
+        "  vespid    : {} requests, p50 {:.2} ms, p99 {:.2} ms",
+        v.completed.len(),
+        v.latency_percentile(50.0) * 1e3,
+        v.latency_percentile(99.0) * 1e3
+    );
+    println!(
+        "  openwhisk : {} requests, p50 {:.2} ms, p99 {:.2} ms",
+        o.completed.len(),
+        o.latency_percentile(50.0) * 1e3,
+        o.latency_percentile(99.0) * 1e3
+    );
+}

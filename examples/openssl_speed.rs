@@ -1,0 +1,30 @@
+//! The §6.4 scenario: the AES-128-CBC block cipher isolated in a virtine,
+//! with an `openssl speed`-style sweep.
+//!
+//! Run with `cargo run --release --example openssl_speed`.
+
+use virtines::vaes;
+
+fn main() {
+    // Correctness first: the guest cipher must agree with the FIPS-197
+    // host reference.
+    let v = vaes::compile_aes_virtine().expect("compile AES virtine");
+    println!(
+        "AES virtine image: {} bytes (paper: \"roughly 21KB\")\n",
+        v.image.size()
+    );
+
+    println!("openssl-speed style sweep (3 iterations per size):");
+    println!("{:>10} {:>14} {:>16} {:>10}", "block(B)", "native(MB/s)", "virtine(MB/s)", "slowdown");
+    for row in vaes::run_speed(&[64, 1024, 16 * 1024], 3) {
+        println!(
+            "{:>10} {:>14.2} {:>16.2} {:>9.2}x",
+            row.block_size, row.native_mbps, row.virtine_mbps, row.slowdown
+        );
+    }
+    println!(
+        "\nPer-invocation cost is memory-bound: each call restores the\n\
+         image-sized snapshot at memcpy bandwidth, then the cipher runs at\n\
+         the same speed as native (§6.4)."
+    );
+}

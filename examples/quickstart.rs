@@ -1,0 +1,56 @@
+//! Quickstart: the paper's Figure 9 — annotate a C function with
+//! `virtine` and every call runs in its own isolated micro-VM.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use virtines::vcc;
+use virtines::wasp::Wasp;
+
+fn main() {
+    // The exact example from Figure 9 of the paper.
+    let source = "
+virtine int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+";
+    // Compile: the `virtine` keyword packages fib's call graph, a libc, and
+    // a boot stub into a standalone ~10KB binary image.
+    let unit = vcc::compile(source).expect("compile");
+    let fib = unit.virtine("fib").expect("fib virtine");
+    println!(
+        "compiled `{}` -> {} byte bootable image (arity {})",
+        fib.name,
+        fib.image.size(),
+        fib.arity
+    );
+
+    // Embed the Wasp runtime and register the virtine.
+    let wasp = Wasp::new_kvm_default();
+    let id = fib.register(&wasp).expect("register");
+
+    // Every invocation spins up (or recycles) an isolated virtual context.
+    for n in [0i64, 10, 20] {
+        let out = vcc::invoke(&wasp, id, &[n]).expect("invoke");
+        println!(
+            "fib({n}) = {}   [{}; {:.1} µs total, {} hypercalls]",
+            out.ret,
+            if out.breakdown.restored_snapshot {
+                "snapshot restore"
+            } else {
+                "cold boot"
+            },
+            out.breakdown.total.as_micros(),
+            out.hypercalls,
+        );
+    }
+
+    let stats = wasp.stats();
+    println!(
+        "\nruntime stats: {} invocations, {} snapshots taken, {} restores, pool {:?}",
+        stats.invocations,
+        stats.snapshots_taken,
+        stats.snapshot_restores,
+        wasp.pool_stats()
+    );
+}

@@ -1,0 +1,18 @@
+//! # Virtines
+//!
+//! Facade crate for the virtines reproduction (EuroSys '22,
+//! "Isolating Functions at the Hardware Limit with Virtines").
+//! Re-exports every subsystem crate under one roof so examples and
+//! downstream users can depend on a single crate.
+
+pub use hostsim;
+pub use kvmsim;
+pub use vaes;
+pub use vcc;
+pub use vclock;
+pub use vespid;
+pub use vhttp;
+pub use visa;
+pub use vjs;
+pub use vlibc;
+pub use wasp;

@@ -1,0 +1,262 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use virtines::visa::inst::{Alu, Cond, CrReg, Inst, JmpMode, Reg, Width};
+use virtines::visa::mem::Memory;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg)
+}
+
+fn arb_alu() -> impl Strategy<Value = Alu> {
+    prop_oneof![
+        Just(Alu::Add),
+        Just(Alu::Sub),
+        Just(Alu::Mul),
+        Just(Alu::Div),
+        Just(Alu::Mod),
+        Just(Alu::And),
+        Just(Alu::Or),
+        Just(Alu::Xor),
+        Just(Alu::Shl),
+        Just(Alu::Shr),
+        Just(Alu::Sar),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+        Just(Cond::B),
+        Just(Cond::Be),
+        Just(Cond::A),
+        Just(Cond::Ae),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::B), Just(Width::W), Just(Width::D), Just(Width::Q)]
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Hlt),
+        Just(Inst::Ret),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::MovRR(a, b)),
+        (arb_reg(), any::<u64>()).prop_map(|(a, v)| Inst::MovRI(a, v)),
+        (arb_alu(), arb_reg(), arb_reg()).prop_map(|(o, a, b)| Inst::AluRR(o, a, b)),
+        (arb_alu(), arb_reg(), any::<u64>()).prop_map(|(o, a, v)| Inst::AluRI(o, a, v)),
+        arb_reg().prop_map(Inst::Neg),
+        arb_reg().prop_map(Inst::Not),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::CmpRR(a, b)),
+        (arb_reg(), any::<u64>()).prop_map(|(a, v)| Inst::CmpRI(a, v)),
+        any::<i32>().prop_map(Inst::Jmp),
+        (arb_cond(), any::<i32>()).prop_map(|(c, r)| Inst::Jcc(c, r)),
+        any::<i32>().prop_map(Inst::Call),
+        arb_reg().prop_map(Inst::CallR),
+        arb_reg().prop_map(Inst::JmpR),
+        arb_reg().prop_map(Inst::Push),
+        arb_reg().prop_map(Inst::Pop),
+        (arb_width(), arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(w, d, b, o)| Inst::Load(w, d, b, o)),
+        (arb_width(), arb_reg(), any::<i32>(), arb_reg())
+            .prop_map(|(w, b, o, s)| Inst::Store(w, b, o, s)),
+        (arb_reg(), any::<u16>()).prop_map(|(r, p)| Inst::In(r, p)),
+        (any::<u16>(), arb_reg()).prop_map(|(p, r)| Inst::Out(p, r)),
+        any::<u64>().prop_map(Inst::Lgdt),
+        (prop_oneof![Just(CrReg::Cr0), Just(CrReg::Cr3), Just(CrReg::Cr4)], arb_reg())
+            .prop_map(|(c, r)| Inst::MovCr(c, r)),
+        (arb_reg(), prop_oneof![Just(CrReg::Cr0), Just(CrReg::Cr3), Just(CrReg::Cr4)])
+            .prop_map(|(r, c)| Inst::MovRCr(r, c)),
+        (prop_oneof![Just(JmpMode::Prot32), Just(JmpMode::Long64)], any::<u64>())
+            .prop_map(|(m, t)| Inst::Ljmp(m, t)),
+        any::<u8>().prop_map(Inst::Mark),
+    ]
+}
+
+proptest! {
+    /// Instruction encoding round-trips through decode for arbitrary
+    /// instruction streams, and lengths are consistent.
+    #[test]
+    fn inst_encode_decode_round_trip(insts in proptest::collection::vec(arb_inst(), 1..40)) {
+        let mut blob = Vec::new();
+        for i in &insts {
+            i.encode(&mut blob);
+        }
+        let mut off = 0;
+        for expected in &insts {
+            let (got, len) = Inst::decode(&blob[off..]).expect("decode");
+            prop_assert_eq!(&got, expected);
+            prop_assert_eq!(len, expected.len());
+            off += len as usize;
+        }
+        prop_assert_eq!(off, blob.len());
+    }
+
+    /// Memory writes are always covered by the dirty extent: after any
+    /// write sequence, clearing produces all-zero memory.
+    #[test]
+    fn dirty_extent_covers_all_writes(
+        writes in proptest::collection::vec((0u64..4000, proptest::collection::vec(any::<u8>(), 1..64)), 0..32)
+    ) {
+        let mut m = Memory::new(4096);
+        for (addr, data) in &writes {
+            let addr = (*addr).min(4096 - data.len() as u64);
+            m.write_bytes(addr, data).expect("in bounds");
+        }
+        m.clear();
+        prop_assert!(m.as_slice().iter().all(|&b| b == 0), "clear left residue");
+        prop_assert!(m.is_clean());
+    }
+
+    /// Sparse snapshots restore the exact memory contents regardless of
+    /// what the shell contained before.
+    #[test]
+    fn sparse_snapshot_total_restore(
+        writes in proptest::collection::vec((0u64..2000, any::<u64>()), 1..24),
+        garbage in proptest::collection::vec((0u64..2000, any::<u64>()), 0..24),
+    ) {
+        let mut m = Memory::new(2048);
+        for (addr, v) in &writes {
+            let addr = (*addr).min(2048 - 8);
+            m.write(addr, Width::Q, *v).expect("write");
+        }
+        let full = m.as_slice().to_vec();
+        let (low, hs, high) = m.snapshot_sparse();
+
+        let mut shell = Memory::new(2048);
+        for (addr, v) in &garbage {
+            let addr = (*addr).min(2048 - 8);
+            shell.write(addr, Width::Q, *v).expect("write");
+        }
+        shell.restore_sparse(&low, hs, &high);
+        prop_assert_eq!(shell.as_slice(), full.as_slice());
+    }
+
+    /// Argument marshalling is a faithful little-endian encoding.
+    #[test]
+    fn marshalling_round_trips(args in proptest::collection::vec(any::<i64>(), 0..8)) {
+        let bytes = virtines::vcc::marshal_args(&args);
+        prop_assert_eq!(bytes.len(), args.len() * 8);
+        for (i, a) in args.iter().enumerate() {
+            let got = i64::from_le_bytes(bytes[i*8..i*8+8].try_into().unwrap());
+            prop_assert_eq!(got, *a);
+        }
+    }
+
+    /// The guest base64 implementation agrees with the host reference on
+    /// arbitrary inputs (executed natively for speed).
+    #[test]
+    fn guest_base64_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        prop_assume!(!data.is_empty());
+        let expected = virtines::vjs::base64_ref(&data);
+        // Reuse the raw-env AES... no: a dedicated base64 echo program.
+        static SRC: &str = r#"
+int b64_main() {
+    char buf[512];
+    int n = vget_data(buf, 512);
+    char out[1024];
+    int m = base64_encode(buf, n, out);
+    vreturn_data(out, m);
+    vexit(0);
+    return 0;
+}
+"#;
+        // Compile once per process.
+        use std::sync::OnceLock;
+        static IMAGE: OnceLock<virtines::vcc::CompiledVirtine> = OnceLock::new();
+        let v = IMAGE.get_or_init(|| {
+            virtines::vcc::compile_raw(SRC, "b64_main", &virtines::vcc::CompileOptions::default())
+                .expect("compile")
+        });
+        let clock = virtines::vclock::Clock::new();
+        let kernel = virtines::hostsim::HostKernel::new(clock, None);
+        let runner = virtines::wasp::NativeRunner::new(kernel);
+        let out = runner.run(
+            &v.image,
+            v.image.entry,
+            &[],
+            virtines::wasp::Invocation::with_payload(data.clone()),
+            v.mem_size,
+        );
+        prop_assert!(matches!(out.exit, virtines::wasp::NativeExit::Exited(0)));
+        prop_assert_eq!(out.invocation.result, expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Compiled mini-C arithmetic agrees with Rust evaluation for random
+    /// expression shapes (executed in real virtines).
+    #[test]
+    fn compiled_arithmetic_matches_rust(
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        c in 1i64..100,
+    ) {
+        let src = "
+virtine int calc(int a, int b, int c) {
+    int t1 = a * b + c;
+    int t2 = (a - b) / c;
+    int t3 = (a & 255) ^ (b | 3);
+    int t4 = a % c;
+    if (t1 > t2) {
+        return t1 + t3 - t4;
+    }
+    return t2 * 2 + t3 + t4;
+}
+";
+        let expected = {
+            let t1 = a.wrapping_mul(b).wrapping_add(c);
+            let t2 = (a - b) / c;
+            let t3 = (a & 255) ^ (b | 3);
+            let t4 = a % c;
+            if t1 > t2 { t1 + t3 - t4 } else { t2 * 2 + t3 + t4 }
+        };
+        use std::sync::OnceLock;
+        static UNIT: OnceLock<virtines::vcc::CompiledUnit> = OnceLock::new();
+        let unit = UNIT.get_or_init(|| virtines::vcc::compile(src).expect("compile"));
+        let wasp = virtines::wasp::Wasp::new_kvm_default();
+        let id = unit.virtine("calc").unwrap().register(&wasp).unwrap();
+        let out = virtines::vcc::invoke(&wasp, id, &[a, b, c]).expect("invoke");
+        prop_assert!(out.exit.is_normal(), "{:?}", out.exit);
+        prop_assert_eq!(out.ret as i64, expected);
+    }
+
+    /// Guest AES agrees with the host reference for random keys/plaintexts.
+    #[test]
+    fn guest_aes_matches_reference_random(
+        key in proptest::array::uniform16(any::<u8>()),
+        iv in proptest::array::uniform16(any::<u8>()),
+        blocks in 1usize..4,
+        seed in any::<u8>(),
+    ) {
+        let data: Vec<u8> = (0..blocks * 16).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect();
+        let mut expected = data.clone();
+        virtines::vaes::cbc_encrypt(&key, &iv, &mut expected);
+
+        use std::sync::OnceLock;
+        static AES: OnceLock<virtines::vcc::CompiledVirtine> = OnceLock::new();
+        let v = AES.get_or_init(|| virtines::vaes::compile_aes_virtine().expect("compile"));
+        let clock = virtines::vclock::Clock::new();
+        let kernel = virtines::hostsim::HostKernel::new(clock, None);
+        let runner = virtines::wasp::NativeRunner::new(kernel);
+        let out = runner.run(
+            &v.image,
+            v.image.entry,
+            &[],
+            virtines::wasp::Invocation::with_payload(virtines::vaes::payload(&key, &iv, &data)),
+            v.mem_size,
+        );
+        prop_assert!(matches!(out.exit, virtines::wasp::NativeExit::Exited(0)), "{:?}", out.exit);
+        prop_assert_eq!(out.invocation.result, expected);
+    }
+}
