@@ -1,8 +1,10 @@
-//! Criterion benches of the simulator's hot paths: these measure the
-//! *reproduction harness itself* (wall-clock), complementing the per-figure
-//! binaries which report virtual time.
+//! Wall-clock benches of the simulator's hot paths: these measure the
+//! *reproduction harness itself*, complementing the per-figure binaries
+//! which report virtual time. Dependency-free (`harness = false`): each
+//! case is timed with `std::time::Instant` over a fixed iteration count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use vclock::Clock;
 use visa::{assemble, CpuConfig, Machine};
 use wasp::{HypercallMask, Invocation, Wasp};
@@ -31,55 +33,47 @@ fib:
   ret
 ";
 
-fn bench_assembler(c: &mut Criterion) {
-    c.bench_function("assemble_fib", |b| {
-        b.iter(|| assemble(std::hint::black_box(FIB15)).expect("assemble"))
-    });
+/// Times `iters` runs of `f` and prints a per-iteration figure.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // Warm up.
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<24} {:>12.2} µs/iter  ({iters} iters)", per * 1e6);
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn main() {
+    bench("assemble_fib", 2_000, || {
+        assemble(std::hint::black_box(FIB15)).expect("assemble");
+    });
+
     let img = assemble(FIB15).expect("assemble");
-    c.bench_function("interpret_fib15", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(Clock::new(), CpuConfig::native(), 64 * 1024, img.entry);
-            m.load_image(&img);
-            m.run(10_000_000).expect("run")
-        })
+    bench("interpret_fib15", 200, || {
+        let mut m = Machine::new(Clock::new(), CpuConfig::native(), 64 * 1024, img.entry);
+        m.load_image(&img);
+        m.run(10_000_000).expect("run");
     });
-}
 
-fn bench_wasp_invoke(c: &mut Criterion) {
     let wasp = Wasp::new_kvm_default();
-    let img = assemble(".org 0x8000\n mov r0, 1\n hlt\n").expect("assemble");
+    let hlt = assemble(".org 0x8000\n mov r0, 1\n hlt\n").expect("assemble");
     let id = wasp
         .register(
-            wasp::VirtineSpec::new("hlt", img, 64 * 1024)
+            wasp::VirtineSpec::new("hlt", hlt, 64 * 1024)
                 .with_policy(HypercallMask::DENY_ALL)
                 .with_snapshot(false),
         )
         .expect("register");
-    c.bench_function("wasp_invoke_minimal", |b| {
-        b.iter(|| wasp.run(id, &[], Invocation::default()).expect("run"))
+    bench("wasp_invoke_minimal", 2_000, || {
+        wasp.run(id, &[], Invocation::default()).expect("run");
     });
-}
 
-fn bench_compiler(c: &mut Criterion) {
     let src = "virtine int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }";
-    c.bench_function("vcc_compile_fib", |b| {
-        b.iter(|| vcc::compile(std::hint::black_box(src)).expect("compile"))
+    bench("vcc_compile_fib", 1_000, || {
+        vcc::compile(std::hint::black_box(src)).expect("compile");
     });
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_assembler, bench_interpreter, bench_wasp_invoke, bench_compiler
-}
-criterion_main!(benches);

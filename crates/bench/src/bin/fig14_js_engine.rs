@@ -10,7 +10,10 @@ fn main() {
          +snapshot+NT drops below native (137µs vs 419µs in the paper) \
          by keeping engine setup/teardown off the path",
     );
-    println!("{:<24} {:>12} {:>10}", "configuration", "mean(µs)", "slowdown");
+    println!(
+        "{:<24} {:>12} {:>10}",
+        "configuration", "mean(µs)", "slowdown"
+    );
     for bar in run_js_study(trials, 4096) {
         println!(
             "{:<24} {:>12.1} {:>9.2}x",

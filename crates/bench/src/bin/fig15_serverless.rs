@@ -44,7 +44,10 @@ fn main() {
          OpenWhisk-style containers queue and fall behind",
     );
     let arrivals = pattern_arrivals(&locust_pattern(), scale);
-    println!("# offered load: {} requests over 42s (scale {scale})", arrivals.len());
+    println!(
+        "# offered load: {} requests over 42s (scale {scale})",
+        arrivals.len()
+    );
 
     let mut vespid = VespidPlatform::new(4096).expect("vespid engine");
     report(&simulate(&mut vespid, &arrivals, 8));

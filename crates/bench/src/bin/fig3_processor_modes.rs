@@ -5,11 +5,11 @@
 //! full boot with paging), runs a recursive fib(20), and exits. Outliers
 //! are removed with Tukey's method, as in the paper (footnote 3).
 
-use vclock::stats::Summary;
-use wasp::{HypercallMask, Invocation, PoolMode, Wasp, WaspConfig};
-use kvmsim::Hypervisor;
 use hostsim::HostKernel;
+use kvmsim::Hypervisor;
+use vclock::stats::Summary;
 use vclock::Clock;
+use wasp::{HypercallMask, Invocation, PoolMode, Wasp, WaspConfig};
 
 const FIB_BODY: &str = "
   mov r1, 20

@@ -11,9 +11,8 @@ fn main() {
          cycles (<300µs); large stddev from the host network stack",
     );
     let runs = run_echo_server(trials, Some(42));
-    let series = |f: fn(&vhttp::echo::EchoMilestones) -> f64| -> Vec<f64> {
-        runs.iter().map(f).collect()
-    };
+    let series =
+        |f: fn(&vhttp::echo::EchoMilestones) -> f64| -> Vec<f64> { runs.iter().map(f).collect() };
     bench::row(
         "main entry (C code)",
         &Summary::of(&series(|m| m.to_main.get() as f64)),

@@ -16,10 +16,9 @@ fn main() {
          Wedge (60µs); SeCage/Hodor VMFUNC-only are sub-µs",
     );
 
-    let unit = vcc::compile(
-        "virtine int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }",
-    )
-    .expect("compile");
+    let unit =
+        vcc::compile("virtine int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }")
+            .expect("compile");
     let v = unit.virtine("fib").expect("fib");
     let wasp = Wasp::new_kvm_default();
     let id = v.register(&wasp).expect("register");
@@ -41,7 +40,11 @@ fn main() {
     for (system, latency, mech) in [
         ("Wedge", "~60 µs".to_string(), "sthread call"),
         ("LwC", "2.01 µs".to_string(), "lwSwitch"),
-        ("Enclosures", "0.9 µs".to_string(), "custom syscall interface"),
+        (
+            "Enclosures",
+            "0.9 µs".to_string(),
+            "custom syscall interface",
+        ),
         ("SeCage", "0.5 µs".to_string(), "VMRUN/VMFUNC"),
         ("Hodor", "0.1 µs".to_string(), "VMRUN/VMFUNC"),
         (

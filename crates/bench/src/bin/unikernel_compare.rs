@@ -49,8 +49,14 @@ fn main() {
     let warm = measure(true);
 
     println!("{:<28} {:>14}", "system", "no-op latency");
-    println!("{:<28} {:>11.1} µs   (measured)", "virtine (cold boot)", cold);
-    println!("{:<28} {:>11.1} µs   (measured)", "virtine (snapshot)", warm);
+    println!(
+        "{:<28} {:>11.1} µs   (measured)",
+        "virtine (cold boot)", cold
+    );
+    println!(
+        "{:<28} {:>11.1} µs   (measured)",
+        "virtine (snapshot)", warm
+    );
     println!("{:<28} {:>14}", "Unikraft", "10s-100s µs");
     println!("{:<28} {:>14}", "MirageOS / Solo5 HVT", "~12 ms");
     println!("{:<28} {:>14}", "HermiTux/Rump/Lupine", "10s-100s ms");

@@ -126,7 +126,10 @@ impl LoopbackNet {
 
     /// Receives one message (truncated to `max_len`); `None` would block.
     pub fn recv(&mut self, sock: SockId, max_len: usize) -> Result<Option<Vec<u8>>, NetError> {
-        let ep = self.sockets.get_mut(&sock).ok_or(NetError::BadSocket(sock))?;
+        let ep = self
+            .sockets
+            .get_mut(&sock)
+            .ok_or(NetError::BadSocket(sock))?;
         Ok(ep.rx.pop_front().map(|mut m| {
             m.truncate(max_len);
             m
@@ -135,7 +138,10 @@ impl LoopbackNet {
 
     /// Closes a socket; the peer keeps its queued data but loses the link.
     pub fn close(&mut self, sock: SockId) -> Result<(), NetError> {
-        let ep = self.sockets.remove(&sock).ok_or(NetError::BadSocket(sock))?;
+        let ep = self
+            .sockets
+            .remove(&sock)
+            .ok_or(NetError::BadSocket(sock))?;
         if let Some(peer) = ep.peer {
             if let Some(pe) = self.sockets.get_mut(&peer) {
                 pe.peer = None;

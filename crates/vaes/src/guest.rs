@@ -187,11 +187,9 @@ mod tests {
     fn guest_aes_matches_host_reference() {
         let v = compile_aes_virtine().expect("compile");
         let wasp = Wasp::new_kvm_default();
-        let spec = VirtineSpec::new("aes", v.image.clone(), v.mem_size)
-            .with_policy(HypercallMask::allowing(&[
-                wasp::nr::GET_DATA,
-                wasp::nr::RETURN_DATA,
-            ]));
+        let spec = VirtineSpec::new("aes", v.image.clone(), v.mem_size).with_policy(
+            HypercallMask::allowing(&[wasp::nr::GET_DATA, wasp::nr::RETURN_DATA]),
+        );
         let id = wasp.register(spec).unwrap();
 
         let key = [0x2b; 16];

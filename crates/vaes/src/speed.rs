@@ -6,12 +6,10 @@
 //! invocation cost significantly": at a 16 KB block size they report a 17×
 //! slowdown, dominated by copying the ~21 KB snapshot.
 
-use vclock::Clock;
 use hostsim::HostKernel;
 use kvmsim::Hypervisor;
-use wasp::{
-    HypercallMask, Invocation, NativeRunner, VirtineSpec, Wasp, WaspConfig,
-};
+use vclock::Clock;
+use wasp::{HypercallMask, Invocation, NativeRunner, VirtineSpec, Wasp, WaspConfig};
 
 use crate::guest::{compile_aes_virtine, payload};
 

@@ -369,10 +369,7 @@ mod tests {
     fn struct_sizes_resolve() {
         let def = StructDef {
             name: "pair".into(),
-            fields: vec![
-                ("a".into(), Type::Int, 0),
-                ("b".into(), Type::Int, 8),
-            ],
+            fields: vec![("a".into(), Type::Int, 0), ("b".into(), Type::Int, 8)],
             size: 16,
         };
         let t = table_with(def);

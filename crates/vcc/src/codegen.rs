@@ -251,7 +251,8 @@ impl Codegen<'_> {
         }
         self.gen_stmts(&mut cx, &f.body)?;
         // Implicit `return 0` for control flow that falls off the end.
-        cx.body.push_str("  mov r0, 0\n  mov sp, fp\n  pop fp\n  ret\n");
+        cx.body
+            .push_str("  mov r0, 0\n  mov sp, fp\n  pop fp\n  ret\n");
 
         let _ = writeln!(self.text, "{}:", f.name);
         self.text.push_str("  push fp\n  mov fp, sp\n");
@@ -467,14 +468,10 @@ impl Codegen<'_> {
                 Ok(lty)
             }
             Expr::Call(name, args, line) => {
-                let sig = self
-                    .sigs
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| CError {
-                        line: *line,
-                        msg: format!("call to undefined function `{name}`"),
-                    })?;
+                let sig = self.sigs.get(name).cloned().ok_or_else(|| CError {
+                    line: *line,
+                    msg: format!("call to undefined function `{name}`"),
+                })?;
                 if sig.params.len() != args.len() {
                     return cerr(
                         *line,
@@ -655,8 +652,14 @@ impl Codegen<'_> {
                     Ok(Type::Int)
                 }
             }
-            BinOp::Mul | BinOp::Div | BinOp::Mod | BinOp::And | BinOp::Or | BinOp::Xor
-            | BinOp::Shl | BinOp::Shr => {
+            BinOp::Mul
+            | BinOp::Div
+            | BinOp::Mod
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor
+            | BinOp::Shl
+            | BinOp::Shr => {
                 let m = match op {
                     BinOp::Mul => "mul",
                     BinOp::Div => "div",
@@ -749,19 +752,12 @@ impl Codegen<'_> {
                 let Type::Struct(sname) = &bt else {
                     return cerr(*line, format!("member access on non-struct `{bt}`"));
                 };
-                let sdef = self
-                    .program
-                    .structs
-                    .get(sname)
-                    .ok_or_else(|| CError {
-                        line: *line,
-                        msg: format!("undefined struct `{sname}`"),
-                    })?;
+                let sdef = self.program.structs.get(sname).ok_or_else(|| CError {
+                    line: *line,
+                    msg: format!("undefined struct `{sname}`"),
+                })?;
                 let Some((fty, off)) = sdef.field(field) else {
-                    return cerr(
-                        *line,
-                        format!("struct `{sname}` has no field `{field}`"),
-                    );
+                    return cerr(*line, format!("struct `{sname}` has no field `{field}`"));
                 };
                 if off > 0 {
                     let _ = writeln!(cx.body, "  add r0, {off}");
@@ -773,10 +769,7 @@ impl Codegen<'_> {
                 let _ = writeln!(cx.body, "  mov r0, {label}");
                 Ok(Type::Array(Box::new(Type::Char), bytes.len() + 1))
             }
-            other => cerr(
-                expr_line(other),
-                "expression is not an lvalue".to_string(),
-            ),
+            other => cerr(expr_line(other), "expression is not an lvalue".to_string()),
         }
     }
 
@@ -818,7 +811,10 @@ impl Codegen<'_> {
                         return cerr(0, format!("string initializer on non-array `{}`", g.name));
                     };
                     if !el.is_byte() {
-                        return cerr(0, format!("string initializer on non-char array `{}`", g.name));
+                        return cerr(
+                            0,
+                            format!("string initializer on non-char array `{}`", g.name),
+                        );
                     }
                     if s.len() + 1 > *n {
                         return cerr(0, format!("string too long for `{}`", g.name));
@@ -838,8 +834,7 @@ impl Codegen<'_> {
                     let mut vals = items.clone();
                     vals.resize(*n, 0);
                     let dir = if el.is_byte() { ".db" } else { ".dq" };
-                    let list: Vec<String> =
-                        vals.iter().map(|v| (*v as u64).to_string()).collect();
+                    let list: Vec<String> = vals.iter().map(|v| (*v as u64).to_string()).collect();
                     let _ = writeln!(self.data, "{}: {dir} {}", g.name, list.join(", "));
                 }
             }

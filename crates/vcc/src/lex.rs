@@ -160,11 +160,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CError> {
                         i += 1;
                     }
                     let text = &src[start + 2..i];
-                    let v = u64::from_str_radix(text, 16)
-                        .map_err(|_| CError {
-                            line,
-                            msg: format!("bad hex literal `{text}`"),
-                        })?;
+                    let v = u64::from_str_radix(text, 16).map_err(|_| CError {
+                        line,
+                        msg: format!("bad hex literal `{text}`"),
+                    })?;
                     toks.push(Token {
                         kind: Tok::Int(v as i64),
                         line,

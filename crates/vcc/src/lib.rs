@@ -134,11 +134,7 @@ pub fn marshal_args(args: &[i64]) -> Vec<u8> {
 
 /// Invokes a registered virtine with integer arguments, returning the run
 /// outcome (the return value is `outcome.ret` as `i64`).
-pub fn invoke(
-    wasp: &Wasp,
-    id: VirtineId,
-    args: &[i64],
-) -> Result<RunOutcome, WaspError> {
+pub fn invoke(wasp: &Wasp, id: VirtineId, args: &[i64]) -> Result<RunOutcome, WaspError> {
     wasp.run(id, &marshal_args(args), Invocation::default())
 }
 

@@ -54,7 +54,10 @@ impl Parser {
         if self.eat_punct(p) {
             Ok(())
         } else {
-            cerr(self.line(), format!("expected `{p}`, found {:?}", self.peek()))
+            cerr(
+                self.line(),
+                format!("expected `{p}`, found {:?}", self.peek()),
+            )
         }
     }
 
@@ -163,9 +166,7 @@ impl Parser {
                 Tok::Str(s) => GlobalInit::Str(s),
                 Tok::Punct("-") => match self.bump() {
                     Tok::Int(v) => GlobalInit::Int(-v),
-                    other => {
-                        return cerr(self.line(), format!("bad global initializer {other:?}"))
-                    }
+                    other => return cerr(self.line(), format!("bad global initializer {other:?}")),
                 },
                 Tok::Punct("{") => {
                     let mut items = Vec::new();
@@ -551,11 +552,7 @@ impl Parser {
     fn parse_unary(&mut self) -> Result<Expr, CError> {
         let line = self.line();
         if self.eat_punct("-") {
-            return Ok(Expr::Unary(
-                UnOp::Neg,
-                Box::new(self.parse_unary()?),
-                line,
-            ));
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?), line));
         }
         if self.eat_punct("~") {
             return Ok(Expr::Unary(
@@ -663,8 +660,9 @@ mod tests {
 
     #[test]
     fn parses_annotated_fib() {
-        let p = parse("virtine int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }")
-            .unwrap();
+        let p =
+            parse("virtine int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }")
+                .unwrap();
         assert_eq!(p.funcs.len(), 1);
         let f = &p.funcs[0];
         assert_eq!(f.annotation, Annotation::Virtine);

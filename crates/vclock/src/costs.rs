@@ -203,6 +203,25 @@ pub fn kvm_run_round_trip() -> u64 {
     HOST_RING_TRANSITION + KVM_IOCTL_DISPATCH + VMENTRY + VMEXIT + HOST_RING_TRANSITION
 }
 
+// ---------------------------------------------------------------------------
+// vsched dispatcher costs (multi-tenant layer above Wasp). These model the
+// per-request bookkeeping of a scheduling layer that must not disturb the
+// microsecond-scale hot path the paper establishes: each is a handful of
+// cache lines, orders of magnitude below `KVM_CREATE_VM`.
+
+/// Admission control per request: token-bucket refill/charge plus the
+/// in-flight-cap check (a few arithmetic ops and two cache lines).
+pub const VSCHED_ADMISSION: u64 = 120;
+
+/// One run-queue operation (binary-heap push or pop) on a shard.
+pub const VSCHED_QUEUE_OP: u64 = 80;
+
+/// Stealing a clean shell from a sibling shard: the one cross-shard
+/// synchronization on the acquire path (lock hand-off plus the cache-line
+/// migration of the pool entry). Charged only on steal, keeping the
+/// shard-local hit path contention-free.
+pub const VSCHED_STEAL_TRANSFER: u64 = 1_400;
+
 #[cfg(test)]
 mod tests {
     use super::*;

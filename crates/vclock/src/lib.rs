@@ -16,6 +16,7 @@
 
 pub mod costs;
 pub mod noise;
+pub mod rng;
 pub mod stats;
 
 use std::cell::Cell;

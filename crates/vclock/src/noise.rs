@@ -9,8 +9,7 @@
 //! * rare, large "scheduling event" outliers, which experiment harnesses can
 //!   strip with the same Tukey filter the paper uses (footnote 3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// Default probability of a host-scheduling outlier per sampled value.
 const OUTLIER_PROBABILITY: f64 = 0.004;
@@ -28,7 +27,7 @@ const OUTLIER_PROBABILITY: f64 = 0.004;
 /// ```
 #[derive(Debug, Clone)]
 pub struct NoiseModel {
-    rng: StdRng,
+    rng: Rng,
     enabled: bool,
 }
 
@@ -36,7 +35,7 @@ impl NoiseModel {
     /// Creates a noise model from a seed.
     pub fn seeded(seed: u64) -> NoiseModel {
         NoiseModel {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seeded(seed),
             enabled: true,
         }
     }
@@ -46,7 +45,7 @@ impl NoiseModel {
     /// (e.g. Table 1 reports *minimum* observed latencies).
     pub fn disabled() -> NoiseModel {
         NoiseModel {
-            rng: StdRng::seed_from_u64(0),
+            rng: Rng::seeded(0),
             enabled: false,
         }
     }
@@ -62,7 +61,7 @@ impl NoiseModel {
         if !self.enabled || base == 0 || spread <= 0.0 {
             return base;
         }
-        let f = 1.0 + self.rng.gen_range(-spread..spread);
+        let f = 1.0 + self.rng.range_f64(-spread, spread);
         ((base as f64) * f).round().max(0.0) as u64
     }
 
@@ -73,9 +72,9 @@ impl NoiseModel {
         if !self.enabled {
             return 0;
         }
-        if self.rng.gen_bool(OUTLIER_PROBABILITY) {
+        if self.rng.bool(OUTLIER_PROBABILITY) {
             // 10–80 µs at 2.69 GHz.
-            self.rng.gen_range(26_900..215_200)
+            self.rng.range_u64(26_900, 215_200)
         } else {
             0
         }
@@ -88,13 +87,13 @@ impl NoiseModel {
             return base;
         }
         // Log-normal-ish: usually close to base, occasionally 2-4x.
-        let roll: f64 = self.rng.gen();
+        let roll: f64 = self.rng.f64();
         let factor = if roll < 0.85 {
-            self.rng.gen_range(0.9..1.3)
+            self.rng.range_f64(0.9, 1.3)
         } else if roll < 0.98 {
-            self.rng.gen_range(1.3..2.2)
+            self.rng.range_f64(1.3, 2.2)
         } else {
-            self.rng.gen_range(2.2..4.0)
+            self.rng.range_f64(2.2, 4.0)
         };
         ((base as f64) * factor).round() as u64
     }

@@ -1,0 +1,117 @@
+//! A small, seeded, dependency-free PRNG for deterministic simulation.
+//!
+//! The container environment bakes in no external crates, so the noise
+//! model ([`crate::noise`]) and the repository's randomized tests draw
+//! from this splitmix64/xoshiro-style generator instead of `rand`. It is
+//! not cryptographic; it exists to make jitter and property-style tests
+//! reproducible bit-for-bit from a seed.
+
+/// A seeded pseudo-random number generator (splitmix64 core).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seeded(seed: u64) -> Rng {
+        Rng {
+            // Avoid the all-zeros fixed point without disturbing other seeds.
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit output (splitmix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// A uniform `u64` in `[lo, hi)` (modulo bias is irrelevant for the
+    /// simulation ranges used here).
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniform `usize` in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.range_u64(0, n as u64) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A vector of `len` uniform bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next_u64() as u8).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seeded(7);
+        let mut b = Rng::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seeded(1);
+        let mut b = Rng::seeded(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng::seeded(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = Rng::seeded(4);
+        for _ in 0..10_000 {
+            let x = r.range_u64(10, 20);
+            assert!((10..20).contains(&x));
+            let y = r.range_f64(-0.5, 0.5);
+            assert!((-0.5..0.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_honoured() {
+        let mut r = Rng::seeded(5);
+        let hits = (0..100_000).filter(|_| r.bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits={hits}");
+    }
+}

@@ -1,9 +1,19 @@
 //! Platform abstraction and the Vespid (virtine) implementation.
+//!
+//! Since the `vsched` dispatcher landed, Vespid no longer talks to a bare
+//! `wasp::Wasp` with one global shell pool: every invocation is admitted,
+//! queued, and placed by a [`vsched::Dispatcher`], the same path the
+//! `dispatcher_scaling` bench drives at platform scale. The single-worker
+//! [`Platform`] interface the Figure 15 queueing simulation consumes is
+//! preserved on top (each `invoke` submits one request and drains it).
 
 use hostsim::HostKernel;
 use kvmsim::Hypervisor;
 use vclock::Clock;
 use vjs::{compile_engine, reference_eval, BASE64_HANDLER};
+use vsched::{
+    Completion, Dispatcher, DispatcherConfig, Request, ShedReason, TenantId, TenantProfile,
+};
 use wasp::{HypercallMask, Invocation, VirtineId, VirtineSpec, Wasp, WaspConfig};
 
 /// A serverless platform that can service one function invocation at a
@@ -17,52 +27,115 @@ pub trait Platform {
 }
 
 /// The virtine-backed platform: each invocation runs the registered
-/// JavaScript function in a fresh virtine via Wasp (§7.1).
+/// JavaScript function in a fresh virtine via Wasp (§7.1), admitted and
+/// placed by the `vsched` dispatcher.
 pub struct VespidPlatform {
-    wasp: Wasp,
-    clock: Clock,
+    dispatcher: Dispatcher,
+    tenant: TenantId,
     id: VirtineId,
     payload: Vec<u8>,
     expected: Vec<u8>,
+    next_arrival: f64,
 }
 
 impl VespidPlatform {
-    /// Registers the paper's base64 function with a `data_len`-byte input.
+    /// Registers the paper's base64 function with a `data_len`-byte input,
+    /// dispatched through a single-shard `vsched` (the §7.1 configuration:
+    /// one concurrent server; the queueing sim adds workers on top).
     pub fn new(data_len: usize) -> Result<VespidPlatform, vcc::CError> {
+        VespidPlatform::with_shards(data_len, 1)
+    }
+
+    /// Same, over `shards` dispatcher shards — the entry point for the
+    /// `dispatcher_scaling` bench's shard-count sweep.
+    pub fn with_shards(data_len: usize, shards: usize) -> Result<VespidPlatform, vcc::CError> {
         let clock = Clock::new();
-        let kernel = HostKernel::new(clock.clone(), None);
+        let kernel = HostKernel::new(clock, None);
         let wasp = Wasp::new(Hypervisor::kvm(kernel), WaspConfig::default());
+        let mut dispatcher = Dispatcher::new(
+            wasp,
+            DispatcherConfig {
+                shards,
+                ..DispatcherConfig::default()
+            },
+        );
         // NT configuration: the engine skips teardown; the shell pool wipes
         // contexts off the request path (§6.5's best configuration).
         let engine = compile_engine(BASE64_HANDLER, false)?;
-        let spec = VirtineSpec::new("handler", engine.image.clone(), engine.mem_size)
-            .with_policy(HypercallMask::allowing(&[
-                wasp::nr::GET_DATA,
-                wasp::nr::RETURN_DATA,
-            ]));
-        let id = wasp.register(spec).expect("register engine");
+        let spec = VirtineSpec::new("handler", engine.image.clone(), engine.mem_size).with_policy(
+            HypercallMask::allowing(&[wasp::nr::GET_DATA, wasp::nr::RETURN_DATA]),
+        );
+        let id = dispatcher.register(spec).expect("register engine");
+        // The platform's own tenant: unthrottled, ceiling wide open — the
+        // spec policy above is what actually constrains the engine.
+        let tenant =
+            dispatcher.add_tenant(TenantProfile::new("vespid").with_mask(HypercallMask::ALLOW_ALL));
         let payload: Vec<u8> = (0..data_len).map(|i| (i % 97) as u8).collect();
         let expected = reference_eval(BASE64_HANDLER, &payload).expect("reference");
         Ok(VespidPlatform {
-            wasp,
-            clock,
+            dispatcher,
+            tenant,
             id,
             payload,
             expected,
+            next_arrival: 0.0,
         })
+    }
+
+    /// The dispatcher underneath (stats, shard views, drains).
+    pub fn dispatcher(&self) -> &Dispatcher {
+        &self.dispatcher
+    }
+
+    /// Mutable dispatcher access for experiment harnesses.
+    pub fn dispatcher_mut(&mut self) -> &mut Dispatcher {
+        &mut self.dispatcher
+    }
+
+    /// The registered engine virtine.
+    pub fn virtine(&self) -> VirtineId {
+        self.id
+    }
+
+    /// The platform's own (unthrottled) tenant.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Registers an additional tenant (for multi-tenant experiments).
+    pub fn add_tenant(&mut self, profile: TenantProfile) -> TenantId {
+        self.dispatcher.add_tenant(profile)
+    }
+
+    /// Submits one standard engine invocation for `tenant` at `arrival_s`.
+    pub fn submit_for(&mut self, tenant: TenantId, arrival_s: f64) -> Result<u64, ShedReason> {
+        self.dispatcher.submit(
+            Request::new(tenant, self.id, arrival_s)
+                .with_invocation(Invocation::with_payload(self.payload.clone())),
+        )
+    }
+
+    /// Asserts a completion produced the reference base64 output.
+    pub fn check(&self, c: &Completion) {
+        assert!(c.exit_normal, "function failed");
+        assert_eq!(c.result, self.expected, "wrong output");
     }
 }
 
 impl Platform for VespidPlatform {
     fn invoke(&mut self) -> f64 {
-        let t0 = self.clock.now();
-        let out = self
-            .wasp
-            .run(self.id, &[], Invocation::with_payload(self.payload.clone()))
-            .expect("invoke");
-        assert!(out.exit.is_normal(), "function failed: {:?}", out.exit);
-        assert_eq!(out.invocation.result, self.expected, "wrong output");
-        (self.clock.now() - t0).as_secs()
+        let arrival = self.next_arrival;
+        self.submit_for(self.tenant, arrival)
+            .expect("unthrottled tenant always admits");
+        self.dispatcher.drain();
+        let c = self
+            .dispatcher
+            .take_completions()
+            .pop()
+            .expect("one completion per invoke");
+        self.check(&c);
+        self.next_arrival = c.finish.max(arrival);
+        c.service
     }
 
     fn name(&self) -> &'static str {
@@ -83,5 +156,17 @@ mod tests {
         // Warm invocations: snapshot restore + engine execution. The paper
         // demonstrates sub-millisecond virtine responses.
         assert!(warm < 0.002, "warm invocation took {warm} s");
+    }
+
+    #[test]
+    fn invocations_flow_through_the_dispatcher() {
+        let mut p = VespidPlatform::new(256).unwrap();
+        p.invoke();
+        p.invoke();
+        let stats = p.dispatcher().stats();
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.shed(), 0);
+        // The second invocation reuses the first's pooled shell.
+        assert!(p.dispatcher().pool_stats().reused >= 1);
     }
 }

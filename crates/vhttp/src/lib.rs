@@ -12,7 +12,12 @@
 //!   against a native handler).
 //!
 //! The native baseline handler performs the same system calls directly.
+//!
+//! [`dispatch`] scales the §6.3 server past the paper: concurrent
+//! connections flow through the `vsched` dispatcher (sharded pools,
+//! per-client-class admission control) instead of one blocking loop.
 
+pub mod dispatch;
 pub mod echo;
 pub mod server;
 

@@ -9,8 +9,8 @@
 
 use hostsim::HostKernel;
 use kvmsim::Hypervisor;
-use vclock::{Clock, Cycles};
 use vcc::{compile_raw, CompileOptions, CompiledVirtine};
+use vclock::{Clock, Cycles};
 use wasp::{ExitKind, HypercallMask, Invocation, VirtineSpec, Wasp, WaspConfig};
 
 use crate::{build_response, parse_request, response_status};
@@ -200,10 +200,7 @@ pub fn run_server(
 
 /// The native baseline: the same seven interactions as direct system calls.
 fn native_handle(kernel: &HostKernel, conn: hostsim::SockId) -> u64 {
-    let req = kernel
-        .net_recv(conn, 2048)
-        .expect("recv")
-        .expect("request"); // (1)
+    let req = kernel.net_recv(conn, 2048).expect("recv").expect("request"); // (1)
     let parsed = parse_request(&req).expect("parse");
     let Ok(st) = kernel.sys_stat(&parsed.path) else {
         // (2)
@@ -259,7 +256,10 @@ mod tests {
         let snap = run_server(ServerMode::VirtineSnapshot, 10, 4096, None);
 
         let (n, v, s) = (mean_us(&native), mean_us(&virtine), mean_us(&snap));
-        assert!(n < s && s < v, "latency ordering: native {n} snap {s} virtine {v}");
+        assert!(
+            n < s && s < v,
+            "latency ordering: native {n} snap {s} virtine {v}"
+        );
         assert!(
             native.throughput_rps > snap.throughput_rps
                 && snap.throughput_rps > virtine.throughput_rps,

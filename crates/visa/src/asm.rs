@@ -440,7 +440,10 @@ fn eval_or_err(e: &Expr, syms: &HashMap<String, i64>, line: usize) -> Result<i64
 fn qualify(name: &str, current_global: &str, line: usize) -> Result<String, AsmError> {
     if let Some(local) = name.strip_prefix('.') {
         if current_global.is_empty() {
-            return err(line, format!("local label `.{local}` before any global label"));
+            return err(
+                line,
+                format!("local label `.{local}` before any global label"),
+            );
         }
         Ok(format!("{current_global}.{local}"))
     } else {
@@ -567,11 +570,10 @@ fn tokenize(line: &str, line_no: usize) -> Result<Vec<Tok>, AsmError> {
                         i += 1;
                     }
                     let text = &line[start + 2..i];
-                    let v = u64::from_str_radix(text, 16)
-                        .map_err(|_| AsmError {
-                            line: line_no,
-                            msg: format!("bad hex literal `{text}`"),
-                        })?;
+                    let v = u64::from_str_radix(text, 16).map_err(|_| AsmError {
+                        line: line_no,
+                        msg: format!("bad hex literal `{text}`"),
+                    })?;
                     toks.push(Tok::Num(v as i64));
                 } else {
                     while i < b.len() && (b[i] as char).is_ascii_digit() {
@@ -656,11 +658,7 @@ fn parse_expr_tokens(toks: &[Tok], line: usize) -> Result<Expr, AsmError> {
 
 /// Parses an expression at the start of `toks`; returns it and the number of
 /// tokens consumed. Local symbols (`.x`) are qualified against `global`.
-fn parse_expr_prefix(
-    toks: &[Tok],
-    line: usize,
-    global: &str,
-) -> Result<(Expr, usize), AsmError> {
+fn parse_expr_prefix(toks: &[Tok], line: usize, global: &str) -> Result<(Expr, usize), AsmError> {
     let mut terms = Vec::new();
     let mut i = 0;
     let mut sign: i64 = 1;
@@ -726,11 +724,7 @@ fn expect_single_ident(toks: &[Tok], line: usize) -> Result<String, AsmError> {
     }
 }
 
-fn parse_operands(
-    toks: &[Tok],
-    line: usize,
-    global: &str,
-) -> Result<Vec<Operand>, AsmError> {
+fn parse_operands(toks: &[Tok], line: usize, global: &str) -> Result<Vec<Operand>, AsmError> {
     let mut out = Vec::new();
     let mut i = 0;
     if toks.is_empty() {
@@ -749,11 +743,12 @@ fn parse_operands(
             Some(Tok::LBracket) => {
                 i += 1;
                 let base = match toks.get(i) {
-                    Some(Tok::Ident(n)) if reg_name(n).is_some() => {
-                        reg_name(n).expect("checked")
-                    }
+                    Some(Tok::Ident(n)) if reg_name(n).is_some() => reg_name(n).expect("checked"),
                     other => {
-                        return err(line, format!("memory operand needs a base register, got {other:?}"))
+                        return err(
+                            line,
+                            format!("memory operand needs a base register, got {other:?}"),
+                        )
                     }
                 };
                 i += 1;
@@ -767,9 +762,7 @@ fn parse_operands(
                         i += used;
                         match toks.get(i) {
                             Some(Tok::RBracket) => i += 1,
-                            other => {
-                                return err(line, format!("expected `]`, got {other:?}"))
-                            }
+                            other => return err(line, format!("expected `]`, got {other:?}")),
                         }
                         e
                     }
@@ -1062,10 +1055,7 @@ mod tests {
 
     #[test]
     fn forward_references_resolve() {
-        let img = assemble(
-            ".org 0\n  jmp end\n  mov r0, 1\nend:\n  hlt\n",
-        )
-        .unwrap();
+        let img = assemble(".org 0\n  jmp end\n  mov r0, 1\nend:\n  hlt\n").unwrap();
         let insts = decode_all(&img);
         // jmp is 5 bytes, mov is 10; relative target = 15 - 5 = 10.
         assert_eq!(insts[0], Inst::Jmp(10));

@@ -647,7 +647,8 @@ impl Cpu {
                 self.set_cmp_flags(self.reg(a), imm);
             }
             Inst::Jmp(rel) => {
-                self.clock.tick(costs::GUEST_BRANCH + costs::GUEST_BRANCH_TAKEN);
+                self.clock
+                    .tick(costs::GUEST_BRANCH + costs::GUEST_BRANCH_TAKEN);
                 self.pc = self.pc.wrapping_add(rel as i64 as u64);
             }
             Inst::Jcc(c, rel) => {
@@ -671,7 +672,8 @@ impl Cpu {
                 self.pc = target;
             }
             Inst::JmpR(r) => {
-                self.clock.tick(costs::GUEST_BRANCH + costs::GUEST_BRANCH_TAKEN);
+                self.clock
+                    .tick(costs::GUEST_BRANCH + costs::GUEST_BRANCH_TAKEN);
                 self.pc = self.reg(r);
             }
             Inst::Ret => {
@@ -806,10 +808,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_halt() {
-        let mut m = machine_for(
-            ".org 0x100\n mov r0, 40\n add r0, 2\n hlt\n",
-            4096,
-        );
+        let mut m = machine_for(".org 0x100\n mov r0, 40\n add r0, 2\n hlt\n", 4096);
         assert_eq!(m.run(100).unwrap(), CpuExit::Hlt);
         assert_eq!(m.cpu.reg(Reg(0)), 42);
     }
@@ -1081,7 +1080,12 @@ gdt: .dq 0
         let src = long_mode_boot("");
         let img = assemble(&src).unwrap();
         let clock = Clock::new();
-        let mut m = Machine::new(clock.clone(), CpuConfig::default(), 4 * 1024 * 1024, img.entry);
+        let mut m = Machine::new(
+            clock.clone(),
+            CpuConfig::default(),
+            4 * 1024 * 1024,
+            img.entry,
+        );
         m.load_image(&img);
         m.run(10_000).unwrap();
         let total = clock.now().get();

@@ -134,8 +134,12 @@ impl Memory {
         let off = self.check(paddr, width.bytes())?;
         let v = match width {
             Width::B => self.bytes[off] as u64,
-            Width::W => u16::from_le_bytes(self.bytes[off..off + 2].try_into().expect("len")) as u64,
-            Width::D => u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("len")) as u64,
+            Width::W => {
+                u16::from_le_bytes(self.bytes[off..off + 2].try_into().expect("len")) as u64
+            }
+            Width::D => {
+                u32::from_le_bytes(self.bytes[off..off + 4].try_into().expect("len")) as u64
+            }
             Width::Q => u64::from_le_bytes(self.bytes[off..off + 8].try_into().expect("len")),
         };
         Ok(v)

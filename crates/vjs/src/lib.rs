@@ -270,10 +270,7 @@ mod tests {
         let (exit, result) = run_engine(BASE64_HANDLER, true, data);
         assert!(matches!(exit, ExitKind::Exited(0)), "{exit:?}");
         assert_eq!(result, base64_ref(data));
-        assert_eq!(
-            result,
-            b"TWFueSBoYW5kcyBtYWtlIGxpZ2h0IHdvcmsu".to_vec()
-        );
+        assert_eq!(result, b"TWFueSBoYW5kcyBtYWtlIGxpZ2h0IHdvcmsu".to_vec());
     }
 
     #[test]

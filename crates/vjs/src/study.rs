@@ -129,10 +129,7 @@ mod tests {
             "plain virtine should be slower: {bars:?}"
         );
         // Snapshotting recovers a significant fraction of the overhead.
-        assert!(
-            snap.micros < plain.micros,
-            "snapshot must help: {bars:?}"
-        );
+        assert!(snap.micros < plain.micros, "snapshot must help: {bars:?}");
         // The fully optimized configuration beats everything — including,
         // as in the paper (137 vs 419 µs), the native baseline, because
         // engine setup and teardown are entirely off the path.

@@ -1,0 +1,554 @@
+//! The dispatcher: admission, placement, batched shard ticks, stealing.
+
+use std::collections::HashMap;
+
+use vclock::{costs, Clock, Cycles};
+use wasp::{Invocation, Pool, PoolMode, PoolStats, VirtineId, VirtineSpec, Wasp, WaspError};
+
+use crate::shard::{align_up, Queued, Shard, ShardSnapshot};
+use crate::tenant::{ShedReason, TenantId, TenantProfile, TenantState, TenantStats};
+
+/// Where an admitted request is queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Least-loaded shard (queue depth, then worker timeline, then index):
+    /// spreads independent requests for throughput.
+    #[default]
+    LeastLoaded,
+    /// `tenant index mod shards`: pins each tenant to one home shard, so a
+    /// tenant's requests share warm state and its queue pressure stays
+    /// local (the NUMA-style affinity the ROADMAP lists as a follow-on is
+    /// a refinement of this policy).
+    ByTenant,
+}
+
+/// Dispatcher configuration.
+#[derive(Debug, Clone)]
+pub struct DispatcherConfig {
+    /// Number of shards (per-worker pools + queues). Throughput scales
+    /// with shards until the offered load is covered.
+    pub shards: usize,
+    /// Maximum requests a shard executes per batch tick.
+    pub batch_size: usize,
+    /// Batch tick period in virtual time. Requests admitted mid-tick wait
+    /// for the boundary; larger ticks trade latency for batching.
+    pub tick: Cycles,
+    /// Shell-pool mode for every shard (§5.2; `CachedAsync` is the
+    /// paper's best configuration).
+    pub pool_mode: PoolMode,
+    /// Whether a dry shard may steal clean shells from siblings.
+    pub steal: bool,
+    /// Queue-placement policy.
+    pub placement: Placement,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> DispatcherConfig {
+        DispatcherConfig {
+            shards: 4,
+            batch_size: 8,
+            tick: Cycles::from_micros(50.0),
+            pool_mode: PoolMode::CachedAsync,
+            steal: true,
+            placement: Placement::LeastLoaded,
+        }
+    }
+}
+
+/// One request offered to the dispatcher.
+#[derive(Debug)]
+pub struct Request {
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Registered virtine to run.
+    pub virtine: VirtineId,
+    /// Marshalled arguments (written at guest address 0, §6.1).
+    pub args: Vec<u8>,
+    /// Invocation state (payload, bound connection, ...).
+    pub invocation: Invocation,
+    /// Arrival time in virtual seconds; must be non-decreasing across
+    /// `submit` calls.
+    pub arrival_s: f64,
+    /// Added to the tenant's base priority for this request.
+    pub priority_boost: u8,
+    /// Optional absolute deadline (virtual seconds): requests still queued
+    /// past it are shed, not run.
+    pub deadline_s: Option<f64>,
+}
+
+impl Request {
+    /// A plain request: no payload, no boost, no deadline.
+    pub fn new(tenant: TenantId, virtine: VirtineId, arrival_s: f64) -> Request {
+        Request {
+            tenant,
+            virtine,
+            args: Vec::new(),
+            invocation: Invocation::default(),
+            arrival_s,
+            priority_boost: 0,
+            deadline_s: None,
+        }
+    }
+
+    /// Attaches an invocation (builder style).
+    pub fn with_invocation(mut self, invocation: Invocation) -> Request {
+        self.invocation = invocation;
+        self
+    }
+
+    /// Attaches marshalled arguments (builder style).
+    pub fn with_args(mut self, args: Vec<u8>) -> Request {
+        self.args = args;
+        self
+    }
+
+    /// Sets a deadline (builder style).
+    pub fn with_deadline(mut self, deadline_s: f64) -> Request {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// Boosts priority (builder style).
+    pub fn with_boost(mut self, boost: u8) -> Request {
+        self.priority_boost = boost;
+        self
+    }
+}
+
+/// One executed request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Virtine that ran.
+    pub virtine: VirtineId,
+    /// Shard that executed the request.
+    pub shard: usize,
+    /// Arrival time (virtual seconds).
+    pub arrival: f64,
+    /// Execution start on the shard's worker timeline.
+    pub start: f64,
+    /// Completion time.
+    pub finish: f64,
+    /// Pure service time (start → finish).
+    pub service: f64,
+    /// Whether the shell came from a clean pool (local or stolen) rather
+    /// than a fresh `KVM_CREATE_VM`.
+    pub reused_shell: bool,
+    /// Whether the shell was stolen from a sibling shard.
+    pub stolen_shell: bool,
+    /// Whether the virtine ended by normal means (`hlt`/`exit`).
+    pub exit_normal: bool,
+    /// Result bytes the virtine returned (`return_data`).
+    pub result: Vec<u8>,
+}
+
+impl Completion {
+    /// End-to-end latency: queueing plus service.
+    pub fn latency(&self) -> f64 {
+        self.finish - self.arrival
+    }
+}
+
+/// Aggregate dispatcher statistics, surfaced like `wasp::PoolStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatcherStats {
+    /// Requests offered across all tenants.
+    pub submitted: u64,
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests executed.
+    pub served: u64,
+    /// Requests shed at the token bucket.
+    pub shed_rate_limit: u64,
+    /// Requests shed at the in-flight cap.
+    pub shed_in_flight: u64,
+    /// Requests shed in-queue at their deadline.
+    pub shed_deadline: u64,
+    /// Shells stolen between shards.
+    pub stolen: u64,
+    /// Batch ticks executed.
+    pub batches: u64,
+}
+
+impl DispatcherStats {
+    /// Total sheds across every cause.
+    pub fn shed(&self) -> u64 {
+        self.shed_rate_limit + self.shed_in_flight + self.shed_deadline
+    }
+}
+
+/// The sharded, multi-tenant virtine dispatcher.
+///
+/// See the crate docs for the paper mapping. Construction wraps an owned
+/// [`Wasp`]; virtine specs are registered through [`Dispatcher::register`]
+/// so the dispatcher can segregate shells by guest-memory size exactly as
+/// the internal pool does.
+pub struct Dispatcher {
+    wasp: Wasp,
+    config: DispatcherConfig,
+    shards: Vec<Shard>,
+    tenants: Vec<TenantState>,
+    mem_sizes: HashMap<VirtineId, usize>,
+    seq: u64,
+    last_arrival: u64,
+    completions: Vec<Completion>,
+    stats: DispatcherStats,
+}
+
+impl Dispatcher {
+    /// Builds a dispatcher over an owned runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero shard count, zero batch size, or zero tick.
+    pub fn new(wasp: Wasp, config: DispatcherConfig) -> Dispatcher {
+        assert!(config.shards >= 1, "need at least one shard");
+        assert!(config.batch_size >= 1, "need a positive batch size");
+        assert!(config.tick.get() >= 1, "need a positive tick");
+        let shards = (0..config.shards)
+            .map(|_| Shard::new(Pool::new(config.pool_mode, wasp::LOAD_ADDR)))
+            .collect();
+        Dispatcher {
+            wasp,
+            config,
+            shards,
+            tenants: Vec::new(),
+            mem_sizes: HashMap::new(),
+            seq: 0,
+            last_arrival: 0,
+            completions: Vec::new(),
+            stats: DispatcherStats::default(),
+        }
+    }
+
+    /// The underlying runtime (clock, kernel, runtime stats).
+    pub fn wasp(&self) -> &Wasp {
+        &self.wasp
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> Clock {
+        self.wasp.clock()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DispatcherConfig {
+        &self.config
+    }
+
+    /// Registers a virtine spec through the dispatcher.
+    pub fn register(&mut self, spec: VirtineSpec) -> Result<VirtineId, WaspError> {
+        let mem_size = spec.mem_size;
+        let id = self.wasp.register(spec)?;
+        self.mem_sizes.insert(id, mem_size);
+        Ok(id)
+    }
+
+    /// Registers a tenant.
+    pub fn add_tenant(&mut self, profile: TenantProfile) -> TenantId {
+        self.tenants.push(TenantState::new(profile));
+        TenantId(self.tenants.len() - 1)
+    }
+
+    /// Pre-populates every shard's pool with `per_shard` clean shells of
+    /// `mem_size` bytes (warm-up before a burst, §5.2).
+    pub fn prewarm(&mut self, mem_size: usize, per_shard: usize) {
+        for shard in &mut self.shards {
+            shard
+                .pool
+                .prewarm(self.wasp.hypervisor(), mem_size, per_shard);
+        }
+    }
+
+    /// Offers one request. Returns its sequence number when admitted, or
+    /// the [`ShedReason`] when refused at admission (rate limit or
+    /// in-flight cap; [`ShedReason::DeadlineMissed`] never comes from
+    /// `submit` — deadlines are checked in-queue and surface in
+    /// [`TenantStats::shed_deadline`]). Arrivals must be non-decreasing;
+    /// earlier timestamps are clamped forward.
+    ///
+    /// Submission also advances the dispatcher: any shard batch scheduled
+    /// before this arrival runs first, so admission sees up-to-date
+    /// in-flight counts and the simulation stays online.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a tenant or virtine the dispatcher never issued — both
+    /// are programming errors, caught here rather than mid-drain.
+    pub fn submit(&mut self, req: Request) -> Result<u64, ShedReason> {
+        assert!(
+            self.mem_sizes.contains_key(&req.virtine),
+            "virtine not registered via Dispatcher::register"
+        );
+        let arrival = cyc(req.arrival_s).max(self.last_arrival);
+        self.last_arrival = arrival;
+        self.advance_to(arrival);
+
+        let clock = self.wasp.clock();
+        clock.tick(costs::VSCHED_ADMISSION);
+
+        self.stats.submitted += 1;
+        let tenant = self
+            .tenants
+            .get_mut(req.tenant.0)
+            .expect("unknown tenant id");
+        tenant.stats.submitted += 1;
+
+        // Cap before bucket: a request refused at the in-flight cap must
+        // not burn rate-limit tokens the tenant could use once a slot
+        // frees up.
+        if tenant.stats.in_flight >= tenant.profile.max_in_flight as u64 {
+            tenant.stats.shed_in_flight += 1;
+            self.stats.shed_in_flight += 1;
+            return Err(ShedReason::InFlightCap);
+        }
+        if !tenant.bucket.admit(Cycles(arrival)) {
+            tenant.stats.shed_rate_limit += 1;
+            self.stats.shed_rate_limit += 1;
+            return Err(ShedReason::RateLimited);
+        }
+        tenant.stats.admitted += 1;
+        tenant.stats.in_flight += 1;
+        self.stats.admitted += 1;
+
+        let seq = self.seq;
+        self.seq += 1;
+        let priority = tenant.profile.priority.saturating_add(req.priority_boost);
+        let deadline = req.deadline_s.map_or(u64::MAX, cyc);
+        let shard = self.place(req.tenant);
+        clock.tick(costs::VSCHED_QUEUE_OP);
+        self.shards[shard].enqueue(
+            Queued {
+                priority,
+                deadline,
+                seq,
+                tenant: req.tenant,
+                virtine: req.virtine,
+                args: req.args,
+                invocation: req.invocation,
+                arrival,
+            },
+            self.config.tick.get(),
+        );
+        Ok(seq)
+    }
+
+    /// Runs every queued request to completion.
+    pub fn drain(&mut self) {
+        self.advance_to(u64::MAX);
+    }
+
+    /// Completions so far, in execution order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Removes and returns the accumulated completions.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DispatcherStats {
+        self.stats
+    }
+
+    /// One tenant's statistics.
+    pub fn tenant_stats(&self, id: TenantId) -> TenantStats {
+        self.tenants[id.0].stats
+    }
+
+    /// Read-only per-shard views (queue depth, idle shells, counters).
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards.iter().map(Shard::snapshot).collect()
+    }
+
+    /// Shell-pool statistics summed across shards. Shard-local reuse
+    /// shows up in `reused`; cross-shard steals are counted in
+    /// [`DispatcherStats::stolen`] (and per shard in [`ShardStats`]),
+    /// not in any single pool's numbers.
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for s in &self.shards {
+            let p = s.pool.stats();
+            total.created += p.created;
+            total.reused += p.reused;
+            total.released += p.released;
+        }
+        total
+    }
+
+    /// Picks the shard a tenant's request queues on.
+    fn place(&self, tenant: TenantId) -> usize {
+        match self.config.placement {
+            Placement::ByTenant => tenant.0 % self.shards.len(),
+            Placement::LeastLoaded => self
+                .shards
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, s)| (s.queue.len(), s.free_at, *i))
+                .map(|(i, _)| i)
+                .expect("at least one shard"),
+        }
+    }
+
+    /// Runs shard batches whose tick lands strictly before `limit`.
+    fn advance_to(&mut self, limit: u64) {
+        loop {
+            let next = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.queue.is_empty())
+                .min_by_key(|(i, s)| (s.next_wake, *i))
+                .map(|(i, s)| (i, s.next_wake));
+            match next {
+                Some((idx, wake)) if wake < limit => self.run_batch(idx),
+                _ => break,
+            }
+        }
+    }
+
+    /// Executes one batch tick on shard `idx`.
+    fn run_batch(&mut self, idx: usize) {
+        let tick = self.config.tick.get();
+        let t_batch = self.shards[idx].next_wake;
+        let mut free = self.shards[idx].free_at.max(t_batch);
+        self.stats.batches += 1;
+        self.shards[idx].stats.batches += 1;
+        let clock = self.wasp.clock();
+
+        for _ in 0..self.config.batch_size {
+            let Some(q) = self.shards[idx].queue.pop() else {
+                break;
+            };
+            clock.tick(costs::VSCHED_QUEUE_OP);
+            if q.deadline < free {
+                // Too late to start: shed in-queue (the request's deadline
+                // passed while it waited).
+                let t = &mut self.tenants[q.tenant.0].stats;
+                t.shed_deadline += 1;
+                t.in_flight -= 1;
+                self.stats.shed_deadline += 1;
+                continue;
+            }
+            free = self.execute(idx, q, free);
+        }
+
+        let shard = &mut self.shards[idx];
+        shard.free_at = free;
+        shard.next_wake = if shard.queue.is_empty() {
+            u64::MAX
+        } else {
+            align_up(free.max(t_batch + tick), tick)
+        };
+    }
+
+    /// Runs one request on shard `idx`, starting no earlier than `free`;
+    /// returns the shard worker's new timeline position.
+    fn execute(&mut self, idx: usize, q: Queued, free: u64) -> u64 {
+        let mem_size = *self
+            .mem_sizes
+            .get(&q.virtine)
+            .expect("virtine registered via Dispatcher::register");
+        let clock = self.wasp.clock();
+        // Service spans acquire → run → release: a pool miss's
+        // `KVM_CREATE_VM` occupies the shard worker like any other cost.
+        let t0 = clock.now();
+
+        // Acquire: shard-local clean shell, else steal, else create.
+        let (vm, reused, stolen) = if self.shards[idx].pool.idle_shells_of(mem_size) > 0 {
+            // Guaranteed hit: `acquire` pops the parked shell, counts the
+            // reuse in this shard's own stats, and charges bookkeeping.
+            let (vm, hit) = self.shards[idx]
+                .pool
+                .acquire(self.wasp.hypervisor(), mem_size);
+            debug_assert!(hit);
+            (vm, true, false)
+        } else if let Some((donor, vm)) = self.steal_from_sibling(idx, mem_size) {
+            clock.tick(costs::VSCHED_STEAL_TRANSFER);
+            self.shards[idx].stats.stolen_in += 1;
+            self.shards[donor].stats.stolen_out += 1;
+            self.stats.stolen += 1;
+            (vm, true, true)
+        } else {
+            let (vm, _) = self.shards[idx]
+                .pool
+                .acquire(self.wasp.hypervisor(), mem_size);
+            (vm, false, false)
+        };
+
+        let mask = self.tenants[q.tenant.0].profile.mask;
+        let (outcome, vm) = self
+            .wasp
+            .run_on_shell(
+                vm,
+                reused,
+                q.virtine,
+                &q.args,
+                q.invocation,
+                mask,
+                &mut |_, _, _, _| None,
+            )
+            .expect("dispatch invariants uphold spec and shell size");
+        self.shards[idx].pool.release(vm);
+        let service = (clock.now() - t0).get();
+
+        let start = free;
+        let finish = start + service;
+        let tstats = &mut self.tenants[q.tenant.0].stats;
+        tstats.served += 1;
+        tstats.in_flight -= 1;
+        if stolen {
+            tstats.stolen_serves += 1;
+        }
+        if !outcome.exit.is_normal() {
+            tstats.abnormal += 1;
+        }
+        self.stats.served += 1;
+        self.shards[idx].stats.served += 1;
+        self.completions.push(Completion {
+            tenant: q.tenant,
+            virtine: q.virtine,
+            shard: idx,
+            arrival: secs(q.arrival),
+            start: secs(start),
+            finish: secs(finish),
+            service: secs(service),
+            reused_shell: reused,
+            stolen_shell: stolen,
+            exit_normal: outcome.exit.is_normal(),
+            result: outcome.invocation.result,
+        });
+        finish
+    }
+
+    /// Steals a clean shell from the sibling with the most idle shells of
+    /// the right size. Shells were wiped on release (§5.2), so the thief
+    /// runs them directly — tenant data cannot cross shards.
+    fn steal_from_sibling(&mut self, idx: usize, mem_size: usize) -> Option<(usize, kvmsim::VmFd)> {
+        if !self.config.steal {
+            return None;
+        }
+        let donor = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != idx && s.pool.idle_shells_of(mem_size) > 0)
+            .max_by_key(|(i, s)| (s.pool.idle_shells_of(mem_size), usize::MAX - *i))?
+            .0;
+        let vm = self.shards[donor].pool.take_idle(mem_size)?;
+        Some((donor, vm))
+    }
+}
+
+/// Virtual seconds → cycles.
+fn cyc(s: f64) -> u64 {
+    Cycles::from_micros(s * 1e6).get()
+}
+
+/// Cycles → virtual seconds.
+fn secs(c: u64) -> f64 {
+    Cycles(c).as_secs()
+}

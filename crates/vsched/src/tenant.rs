@@ -1,0 +1,242 @@
+//! Tenant profiles and admission control.
+//!
+//! The paper isolates *functions* at the hardware limit; a serving platform
+//! must additionally isolate *customers* from each other before any virtine
+//! runs. Each tenant carries:
+//!
+//! * a **token bucket** ([`TenantProfile::rate_rps`]/[`TenantProfile::burst`])
+//!   bounding its sustained admission rate — a misbehaving tenant is shed at
+//!   the door instead of starving the shared shell pools;
+//! * an **in-flight cap** ([`TenantProfile::max_in_flight`]) bounding how
+//!   much queue and pool capacity one tenant can hold at once;
+//! * a **hypercall ceiling** ([`TenantProfile::mask`]), intersected with
+//!   each virtine spec's own policy — the default-deny posture of §5.1
+//!   extends to tenants: a profile can only narrow what a spec permits,
+//!   never widen it;
+//! * a **base priority** feeding the shard run queues.
+
+use vclock::Cycles;
+use wasp::HypercallMask;
+
+/// Handle to a registered tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(pub(crate) usize);
+
+impl TenantId {
+    /// The tenant's index in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Why the dispatcher refused a request at admission or dropped it before
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant's token bucket was empty: it exceeded its sustained rate.
+    RateLimited,
+    /// The tenant already has `max_in_flight` requests queued or running.
+    InFlightCap,
+    /// The request's deadline passed while it waited in a shard queue.
+    DeadlineMissed,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::RateLimited => write!(f, "rate limited"),
+            ShedReason::InFlightCap => write!(f, "in-flight cap reached"),
+            ShedReason::DeadlineMissed => write!(f, "deadline missed"),
+        }
+    }
+}
+
+/// Admission-control profile for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantProfile {
+    /// Diagnostic name.
+    pub name: String,
+    /// Sustained admission rate in requests per virtual second;
+    /// `f64::INFINITY` disables rate limiting.
+    pub rate_rps: f64,
+    /// Token-bucket capacity: the largest instantaneous burst admitted
+    /// from a full bucket.
+    pub burst: f64,
+    /// Maximum requests this tenant may have queued or running at once.
+    pub max_in_flight: usize,
+    /// Hypercall ceiling, intersected with each spec's policy (§5.1
+    /// default-deny, extended per tenant).
+    pub mask: HypercallMask,
+    /// Base priority; higher values are popped from shard queues first.
+    pub priority: u8,
+}
+
+impl TenantProfile {
+    /// An unthrottled, default-deny profile: no rate limit, a generous
+    /// in-flight cap, and only the spec's own policy in effect — but no
+    /// hypercalls beyond `exit`/`snapshot` unless [`Self::with_mask`]
+    /// widens the ceiling.
+    pub fn new(name: impl Into<String>) -> TenantProfile {
+        TenantProfile {
+            name: name.into(),
+            rate_rps: f64::INFINITY,
+            burst: 1.0,
+            max_in_flight: usize::MAX,
+            mask: HypercallMask::DENY_ALL,
+            priority: 0,
+        }
+    }
+
+    /// Sets the token-bucket rate and burst capacity (builder style).
+    pub fn with_rate(mut self, rate_rps: f64, burst: f64) -> TenantProfile {
+        assert!(burst >= 1.0, "burst below one admits nothing");
+        self.rate_rps = rate_rps;
+        self.burst = burst;
+        self
+    }
+
+    /// Sets the in-flight cap (builder style).
+    pub fn with_max_in_flight(mut self, cap: usize) -> TenantProfile {
+        self.max_in_flight = cap;
+        self
+    }
+
+    /// Sets the hypercall ceiling (builder style).
+    pub fn with_mask(mut self, mask: HypercallMask) -> TenantProfile {
+        self.mask = mask;
+        self
+    }
+
+    /// Sets the base priority (builder style).
+    pub fn with_priority(mut self, priority: u8) -> TenantProfile {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Per-tenant dispatcher statistics, surfaced like `wasp::PoolStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests offered by the tenant.
+    pub submitted: u64,
+    /// Requests admitted past rate limit and in-flight cap.
+    pub admitted: u64,
+    /// Requests that completed execution.
+    pub served: u64,
+    /// Requests shed because the token bucket was empty.
+    pub shed_rate_limit: u64,
+    /// Requests shed at the in-flight cap.
+    pub shed_in_flight: u64,
+    /// Requests dropped in-queue after their deadline passed.
+    pub shed_deadline: u64,
+    /// Served requests that ran on a shell stolen from a sibling shard.
+    pub stolen_serves: u64,
+    /// Served requests that ended abnormally (policy denial, fault, kill).
+    pub abnormal: u64,
+    /// Requests currently queued or running.
+    pub in_flight: u64,
+}
+
+impl TenantStats {
+    /// Total sheds across every cause.
+    pub fn shed(&self) -> u64 {
+        self.shed_rate_limit + self.shed_in_flight + self.shed_deadline
+    }
+}
+
+/// A token bucket refilled in virtual time.
+#[derive(Debug, Clone)]
+pub(crate) struct TokenBucket {
+    tokens: f64,
+    rate_rps: f64,
+    burst: f64,
+    last_refill: Cycles,
+}
+
+impl TokenBucket {
+    pub(crate) fn new(rate_rps: f64, burst: f64) -> TokenBucket {
+        TokenBucket {
+            tokens: burst,
+            rate_rps,
+            burst,
+            last_refill: Cycles::ZERO,
+        }
+    }
+
+    /// Refills up to `now` and tries to charge one token.
+    pub(crate) fn admit(&mut self, now: Cycles) -> bool {
+        if !self.rate_rps.is_finite() {
+            return true;
+        }
+        let dt = now.saturating_sub(self.last_refill).as_secs();
+        self.tokens = (self.tokens + dt * self.rate_rps).min(self.burst);
+        self.last_refill = Cycles(self.last_refill.get().max(now.get()));
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// A registered tenant: profile plus live admission state.
+#[derive(Debug)]
+pub(crate) struct TenantState {
+    pub(crate) profile: TenantProfile,
+    pub(crate) bucket: TokenBucket,
+    pub(crate) stats: TenantStats,
+}
+
+impl TenantState {
+    pub(crate) fn new(profile: TenantProfile) -> TenantState {
+        let bucket = TokenBucket::new(profile.rate_rps, profile.burst);
+        TenantState {
+            profile,
+            bucket,
+            stats: TenantStats::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_admits_burst_then_rate() {
+        let mut b = TokenBucket::new(10.0, 3.0);
+        let t0 = Cycles::ZERO;
+        // Full bucket: three immediate admissions, then empty.
+        assert!(b.admit(t0) && b.admit(t0) && b.admit(t0));
+        assert!(!b.admit(t0));
+        // 100 ms at 10 rps refills one token.
+        let t1 = Cycles::from_micros(100_000.0);
+        assert!(b.admit(t1));
+        assert!(!b.admit(t1));
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut b = TokenBucket::new(1000.0, 2.0);
+        // A long quiet period must not bank more than `burst` tokens.
+        let late = Cycles::from_micros(10_000_000.0);
+        assert!(b.admit(late) && b.admit(late));
+        assert!(!b.admit(late));
+    }
+
+    #[test]
+    fn infinite_rate_never_sheds() {
+        let mut b = TokenBucket::new(f64::INFINITY, 1.0);
+        for _ in 0..10_000 {
+            assert!(b.admit(Cycles::ZERO));
+        }
+    }
+
+    #[test]
+    fn shed_reason_displays() {
+        assert_eq!(ShedReason::RateLimited.to_string(), "rate limited");
+        assert_eq!(ShedReason::InFlightCap.to_string(), "in-flight cap reached");
+        assert_eq!(ShedReason::DeadlineMissed.to_string(), "deadline missed");
+    }
+}

@@ -82,8 +82,7 @@ impl HypercallMask {
     /// exit the virtual context." `exit` and the runtime-internal
     /// `snapshot` (which observes nothing outside the virtine and is
     /// one-shot) are therefore the only calls that survive deny-all.
-    pub const DENY_ALL: HypercallMask =
-        HypercallMask((1 << nr::EXIT) | (1 << nr::SNAPSHOT));
+    pub const DENY_ALL: HypercallMask = HypercallMask((1 << nr::EXIT) | (1 << nr::SNAPSHOT));
 
     /// The `virtine_permissive` policy: everything allowed (§5.3).
     pub const ALLOW_ALL: HypercallMask = HypercallMask(u64::MAX);
@@ -101,6 +100,15 @@ impl HypercallMask {
     /// Whether hypercall `n` is permitted.
     pub fn allows(self, n: u64) -> bool {
         n < 64 && self.0 & (1 << n) != 0
+    }
+
+    /// Intersects two policies: a call survives only if both masks allow
+    /// it. Used by multi-tenant dispatch, where a tenant profile can only
+    /// *narrow* what a virtine spec already permits — never widen it.
+    /// `exit` (and the runtime-internal `snapshot`) remain allowed, since
+    /// both operands always carry them.
+    pub fn intersect(self, other: HypercallMask) -> HypercallMask {
+        HypercallMask(self.0 & other.0)
     }
 }
 
@@ -448,8 +456,7 @@ mod tests {
         let host_fd = k.sys_open("/secret").unwrap();
         // The guest tries to read using the *host* fd number directly; the
         // per-invocation table does not know it, so the read is refused.
-        let out =
-            handle_canned(nr::READ, [host_fd.0, 0, 64, 0, 0], &mut m, &k, &mut inv).unwrap();
+        let out = handle_canned(nr::READ, [host_fd.0, 0, 64, 0, 0], &mut m, &k, &mut inv).unwrap();
         assert_eq!(out, HcOutcome::Resume(GUEST_ERR));
     }
 
@@ -488,8 +495,7 @@ mod tests {
         assert_eq!(m.read_guest(0, 6).unwrap(), b"input!");
 
         m.write_guest(100, b"output").unwrap();
-        let out =
-            handle_canned(nr::RETURN_DATA, [100, 6, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        let out = handle_canned(nr::RETURN_DATA, [100, 6, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
         assert_eq!(out, HcOutcome::Resume(6));
         assert_eq!(inv.result, b"output");
     }
@@ -516,13 +522,7 @@ mod tests {
     fn hostile_pointers_fault_instead_of_touching_host_state() {
         let (k, mut m, mut inv) = setup();
         // Buffer far outside guest memory.
-        let err = handle_canned(
-            nr::WRITE,
-            [1, 0xFFFF_FFFF, 100, 0, 0],
-            &mut m,
-            &k,
-            &mut inv,
-        );
+        let err = handle_canned(nr::WRITE, [1, 0xFFFF_FFFF, 100, 0, 0], &mut m, &k, &mut inv);
         assert!(err.is_err());
         // Unreasonable path length is a kill, not a host allocation.
         let out = handle_canned(nr::OPEN, [0, 1 << 20, 0, 0, 0], &mut m, &k, &mut inv).unwrap();

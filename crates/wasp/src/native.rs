@@ -242,7 +242,13 @@ fib:
     fn native_fib_returns_correct_value() {
         let (_, r) = runner();
         let img = visa::assemble(FIB).unwrap();
-        let out = r.run(&img, img.entry, &10u64.to_le_bytes(), Invocation::default(), 1 << 20);
+        let out = r.run(
+            &img,
+            img.entry,
+            &10u64.to_le_bytes(),
+            Invocation::default(),
+            1 << 20,
+        );
         assert_eq!(out.exit, NativeExit::Returned(55));
         assert_eq!(out.syscalls, 0);
     }

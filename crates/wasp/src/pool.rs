@@ -82,6 +82,11 @@ impl Pool {
         self.clean.values().map(Vec::len).sum()
     }
 
+    /// Number of clean shells parked for a specific guest-memory size.
+    pub fn idle_shells_of(&self, mem_size: usize) -> usize {
+        self.clean.get(&mem_size).map_or(0, Vec::len)
+    }
+
     /// Acquires a shell with `mem_size` bytes of guest memory, reusing a
     /// clean cached shell when possible. Returns the shell and whether it
     /// was reused.
@@ -121,6 +126,17 @@ impl Pool {
     fn park(&mut self, vm: VmFd) {
         self.stats.released += 1;
         self.clean.entry(vm.mem_size()).or_default().push(vm);
+    }
+
+    /// Removes a clean shell of `mem_size` bytes from the pool without
+    /// touching the pool's statistics, or returns `None` if none is
+    /// parked. This is the work-stealing entry point: another shard's
+    /// pool adopts the shell, and the *thief* accounts for the reuse —
+    /// bumping this pool's `reused` would credit a serve to a shard that
+    /// executed nothing. The shell was wiped on release (no cross-tenant
+    /// leakage, §3.3/§5.2), so the thief can run it directly.
+    pub fn take_idle(&mut self, mem_size: usize) -> Option<VmFd> {
+        self.clean.get_mut(&mem_size).and_then(Vec::pop)
     }
 
     /// Pre-populates the pool with `count` clean shells of `mem_size` bytes

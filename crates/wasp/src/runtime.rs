@@ -25,9 +25,7 @@ use visa::asm::Image;
 use visa::cpu::Fault;
 use visa::Reg;
 
-use crate::hypercall::{
-    self, GuestMem, HcOutcome, HypercallMask, Invocation, HYPERCALL_PORT,
-};
+use crate::hypercall::{self, GuestMem, HcOutcome, HypercallMask, Invocation, HYPERCALL_PORT};
 use crate::pool::{Pool, PoolMode, PoolStats};
 
 /// Guest address where marshalled arguments are placed ("the argument, n,
@@ -122,6 +120,20 @@ impl VirtineSpec {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VirtineId(usize);
 
+impl VirtineId {
+    /// The registration index, for dispatch layers that key tables by
+    /// virtine. Only meaningful against the `Wasp` that issued the handle.
+    pub fn into_raw(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`VirtineId::into_raw`]. Running an id that
+    /// was never registered yields [`WaspError::NoSuchVirtine`].
+    pub fn from_raw(raw: usize) -> VirtineId {
+        VirtineId(raw)
+    }
+}
+
 /// How an invocation ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExitKind {
@@ -206,6 +218,15 @@ pub enum WaspError {
         /// Configured guest memory size.
         mem_size: usize,
     },
+    /// A shell handed to [`Wasp::run_on_shell`] was sized for a different
+    /// guest-memory footprint than the spec requires. Shards must segregate
+    /// shells by size, exactly as the internal pool does.
+    ShellSizeMismatch {
+        /// The shell's guest-memory size.
+        shell: usize,
+        /// The spec's guest-memory size.
+        spec: usize,
+    },
 }
 
 impl std::fmt::Display for WaspError {
@@ -218,6 +239,10 @@ impl std::fmt::Display for WaspError {
             } => write!(
                 f,
                 "image ends at {image_end:#x} but guest memory is only {mem_size:#x} bytes"
+            ),
+            WaspError::ShellSizeMismatch { shell, spec } => write!(
+                f,
+                "shell has {shell:#x} bytes of guest memory but the spec needs {spec:#x}"
             ),
         }
     }
@@ -368,26 +393,91 @@ impl Wasp {
         &self,
         id: VirtineId,
         args: &[u8],
-        mut invocation: Invocation,
+        invocation: Invocation,
         handler: CustomHandler<'_>,
     ) -> Result<RunOutcome, WaspError> {
+        let mem_size = {
+            let specs = self.specs.borrow();
+            specs
+                .get(id.0)
+                .ok_or(WaspError::NoSuchVirtine)?
+                .spec
+                .mem_size
+        };
+        let clock = self.kernel.clock().clone();
+        let t0 = clock.now();
+
+        // 1. Acquire a hardware context (Figure 6: reuse or provision).
+        let (vm, reused) = self.pool.borrow_mut().acquire(&self.hv, mem_size);
+        let t_acquired = clock.now();
+
+        // 2.–4. Execute on the acquired shell.
+        let (mut outcome, vm) = self.run_on_shell(
+            vm,
+            reused,
+            id,
+            args,
+            invocation,
+            HypercallMask::ALLOW_ALL,
+            handler,
+        )?;
+
+        // 5. Recycle the shell.
+        let t_exec = clock.now();
+        self.pool.borrow_mut().release(vm);
+        let t_end = clock.now();
+
+        outcome.breakdown.acquire = t_acquired - t0;
+        outcome.breakdown.release = t_end - t_exec;
+        outcome.breakdown.total = t_end - t0;
+        Ok(outcome)
+    }
+
+    /// Runs one invocation on a caller-provided shell, returning the used
+    /// shell instead of releasing it into Wasp's internal pool. This is the
+    /// dispatcher entry point: a scheduling layer (e.g. `vsched`) that keeps
+    /// its own sharded shell pools acquires a shell itself, hands it here,
+    /// and decides afterwards which shard's pool the shell is parked in.
+    ///
+    /// `narrow` is intersected with the spec's [`HypercallMask`]: a tenant
+    /// profile can only further restrict what the spec permits. Pass
+    /// [`HypercallMask::ALLOW_ALL`] for spec-policy-only behavior.
+    ///
+    /// The returned shell is *dirty* — the caller must route it through a
+    /// [`Pool`] (whose release wipes it, §5.2) before any reuse.
+    ///
+    /// The `breakdown.acquire`/`release` fields of the outcome are zero;
+    /// they belong to whoever manages the shell's lifecycle.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_on_shell(
+        &self,
+        vm: VmFd,
+        reused: bool,
+        id: VirtineId,
+        args: &[u8],
+        mut invocation: Invocation,
+        narrow: HypercallMask,
+        handler: CustomHandler<'_>,
+    ) -> Result<(RunOutcome, VmFd), WaspError> {
         let (image, mem_size, policy, snapshot_enabled, snap) = {
             let specs = self.specs.borrow();
             let entry = specs.get(id.0).ok_or(WaspError::NoSuchVirtine)?;
             (
                 Rc::clone(&entry.spec.image),
                 entry.spec.mem_size,
-                entry.spec.policy,
+                entry.spec.policy.intersect(narrow),
                 entry.spec.snapshot,
                 entry.snapshot.clone(),
             )
         };
+        if vm.mem_size() != mem_size {
+            return Err(WaspError::ShellSizeMismatch {
+                shell: vm.mem_size(),
+                spec: mem_size,
+            });
+        }
         self.stats.borrow_mut().invocations += 1;
         let clock = self.kernel.clock().clone();
-        let t0 = clock.now();
-
-        // 1. Acquire a hardware context (Figure 6: reuse or provision).
-        let (vm, reused) = self.pool.borrow_mut().acquire(&self.hv, mem_size);
         let t_acquired = clock.now();
 
         // 2. Install the execution state: snapshot fast path or cold image.
@@ -469,26 +559,23 @@ impl Wasp {
         let ret = vcpu.reg(Reg(0));
         let marks = vcpu.take_marks();
 
-        // 5. Recycle the shell.
-        self.pool.borrow_mut().release(vm);
-        let t_end = clock.now();
-
-        Ok(RunOutcome {
+        let outcome = RunOutcome {
             exit,
             ret,
             invocation,
             marks,
             hypercalls,
             breakdown: Breakdown {
-                acquire: t_acquired - t0,
+                acquire: Cycles::ZERO,
                 image: t_image - t_acquired,
                 exec: t_exec - t_image,
-                release: t_end - t_exec,
-                total: t_end - t0,
+                release: Cycles::ZERO,
+                total: t_exec - t_acquired,
                 reused_shell: reused,
                 restored_snapshot: restored,
             },
-        })
+        };
+        Ok((outcome, vm))
     }
 
     /// One-shot convenience: registers a throwaway spec (no snapshotting)
@@ -632,12 +719,16 @@ init:
         let spec = VirtineSpec::new("snap", img, MEM); // Snapshot on by default.
         let id = w.register(spec).unwrap();
 
-        let out1 = w.run(id, &1u64.to_le_bytes(), Invocation::default()).unwrap();
+        let out1 = w
+            .run(id, &1u64.to_le_bytes(), Invocation::default())
+            .unwrap();
         assert_eq!(out1.exit, ExitKind::Halted(7001));
         assert!(!out1.breakdown.restored_snapshot);
         assert_eq!(w.stats().snapshots_taken, 1);
 
-        let out2 = w.run(id, &2u64.to_le_bytes(), Invocation::default()).unwrap();
+        let out2 = w
+            .run(id, &2u64.to_le_bytes(), Invocation::default())
+            .unwrap();
         assert_eq!(out2.exit, ExitKind::Halted(7002));
         assert!(out2.breakdown.restored_snapshot);
         assert_eq!(w.stats().snapshot_restores, 1);
@@ -721,7 +812,8 @@ init:
         // Virtine A writes a secret; virtine B (same spec, new invocation)
         // reads the same address and must see zero (§3.1 virtine isolation).
         let w = wasp(PoolMode::CachedAsync);
-        let writer = image(".org 0x8000\n mov r1, 0x5000\n mov r2, 0xDEAD\n store.q [r1], r2\n hlt\n");
+        let writer =
+            image(".org 0x8000\n mov r1, 0x5000\n mov r2, 0xDEAD\n store.q [r1], r2\n hlt\n");
         let reader = image(".org 0x8000\n mov r1, 0x5000\n load.q r0, [r1]\n hlt\n");
         let wid = w
             .register(VirtineSpec::new("w", writer, MEM).with_snapshot(false))
@@ -731,7 +823,11 @@ init:
             .unwrap();
         w.run(wid, &[], Invocation::default()).unwrap();
         let out = w.run(rid, &[], Invocation::default()).unwrap();
-        assert_eq!(out.exit, ExitKind::Halted(0), "secret leaked across virtines");
+        assert_eq!(
+            out.exit,
+            ExitKind::Halted(0),
+            "secret leaked across virtines"
+        );
     }
 
     #[test]

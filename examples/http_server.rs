@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example http_server`.
 
-use virtines::vhttp::server::{run_server, ServerMode};
 use virtines::vclock::stats::Summary;
+use virtines::vhttp::server::{run_server, ServerMode};
 
 fn main() {
     println!("serving 50 requests for a 4KB file in each mode...\n");

@@ -20,11 +20,18 @@ fn main() {
     );
     let wasp = Wasp::new_kvm_default();
     let spec = VirtineSpec::new("handler", engine.image.clone(), engine.mem_size).with_policy(
-        HypercallMask::allowing(&[virtines::wasp::nr::GET_DATA, virtines::wasp::nr::RETURN_DATA]),
+        HypercallMask::allowing(&[
+            virtines::wasp::nr::GET_DATA,
+            virtines::wasp::nr::RETURN_DATA,
+        ]),
     );
     let id = wasp.register(spec).expect("register");
     let out = wasp
-        .run(id, &[], Invocation::with_payload(b"hello virtines".to_vec()))
+        .run(
+            id,
+            &[],
+            Invocation::with_payload(b"hello virtines".to_vec()),
+        )
         .expect("run");
     println!(
         "handler(\"hello virtines\") = {:?}  [{:.0} µs, {} hypercalls]",

@@ -15,7 +15,10 @@ fn main() {
     );
 
     println!("openssl-speed style sweep (3 iterations per size):");
-    println!("{:>10} {:>14} {:>16} {:>10}", "block(B)", "native(MB/s)", "virtine(MB/s)", "slowdown");
+    println!(
+        "{:>10} {:>14} {:>16} {:>10}",
+        "block(B)", "native(MB/s)", "virtine(MB/s)", "slowdown"
+    );
     for row in vaes::run_speed(&[64, 1024, 16 * 1024], 3) {
         println!(
             "{:>10} {:>14.2} {:>16.2} {:>9.2}x",

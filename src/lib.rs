@@ -15,4 +15,5 @@ pub use vhttp;
 pub use visa;
 pub use vjs;
 pub use vlibc;
+pub use vsched;
 pub use wasp;

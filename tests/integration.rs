@@ -1,10 +1,10 @@
 //! Cross-crate integration tests: the §3.1 safety objectives and the
 //! end-to-end pipelines (compiler → runtime → guest → host services).
 
-use virtines::vcc;
-use virtines::vclock::Clock;
 use virtines::hostsim::HostKernel;
 use virtines::kvmsim::Hypervisor;
+use virtines::vcc;
+use virtines::vclock::Clock;
 use virtines::wasp::{
     ExitKind, HypercallMask, Invocation, PoolMode, VirtineSpec, Wasp, WaspConfig,
 };
@@ -78,10 +78,7 @@ virtine int stash_then_read(int mode) {
         let w = vcc::invoke(&wasp, id, &[1]).unwrap();
         assert!(w.exit.is_normal());
         let r = vcc::invoke(&wasp, id, &[0]).unwrap();
-        assert_eq!(
-            r.ret, 0,
-            "secret leaked across invocations under {pool:?}"
-        );
+        assert_eq!(r.ret, 0, "secret leaked across invocations under {pool:?}");
     }
 }
 
@@ -98,7 +95,8 @@ virtine int exfil(int n) {
 "#;
     let unit = vcc::compile(sneaky).expect("compile");
     let wasp = wasp_with(PoolMode::CachedAsync);
-    wasp.kernel().fs_add_file("/etc/passwd", b"root:x:0".to_vec());
+    wasp.kernel()
+        .fs_add_file("/etc/passwd", b"root:x:0".to_vec());
     let id = unit.virtine("exfil").unwrap().register(&wasp).unwrap();
     let out = vcc::invoke(&wasp, id, &[0]).unwrap();
     assert!(
@@ -200,10 +198,7 @@ fn no_snapshot_env_disables_snapshots() {
     std::env::remove_var(virtines::wasp::NO_SNAPSHOT_ENV);
     assert!(config.disable_snapshots);
 
-    let wasp = Wasp::new(
-        Hypervisor::kvm(HostKernel::new(Clock::new(), None)),
-        config,
-    );
+    let wasp = Wasp::new(Hypervisor::kvm(HostKernel::new(Clock::new(), None)), config);
     let unit = vcc::compile("virtine int f(int x) { return x; }").unwrap();
     let id = unit.virtine("f").unwrap().register(&wasp).unwrap();
     vcc::invoke(&wasp, id, &[1]).unwrap();
@@ -258,9 +253,18 @@ virtine int neg(int x) { return 0 - x; }
         .map(|n| unit.virtine(n).unwrap().register(&wasp).unwrap())
         .collect();
     for round in 0..4i64 {
-        assert_eq!(vcc::invoke(&wasp, ids[0], &[round]).unwrap().ret as i64, round + 2);
-        assert_eq!(vcc::invoke(&wasp, ids[1], &[round]).unwrap().ret as i64, round * 3);
-        assert_eq!(vcc::invoke(&wasp, ids[2], &[round]).unwrap().ret as i64, -round);
+        assert_eq!(
+            vcc::invoke(&wasp, ids[0], &[round]).unwrap().ret as i64,
+            round + 2
+        );
+        assert_eq!(
+            vcc::invoke(&wasp, ids[1], &[round]).unwrap().ret as i64,
+            round * 3
+        );
+        assert_eq!(
+            vcc::invoke(&wasp, ids[2], &[round]).unwrap().ret as i64,
+            -round
+        );
     }
     assert_eq!(wasp.stats().invocations, 12);
 }
