@@ -178,6 +178,14 @@ pub const SGX_ECALL: u64 = 14_300;
 /// provisioning lands "within 4% of a bare vmrun".
 pub const WASP_POOL_BOOKKEEPING: u64 = 60;
 
+/// User-space bookkeeping to look up and pop a *warm* shell — a keyed
+/// (tenant, virtine) list probe rather than the clean list's plain pop, so
+/// slightly heavier than [`WASP_POOL_BOOKKEEPING`]. The warm path's real
+/// saving is downstream: re-arming copies only the dirty-page delta
+/// ([`memcpy_cycles`] over a handful of pages) instead of the full sparse
+/// snapshot.
+pub const WASP_WARM_BOOKKEEPING: u64 = 90;
+
 /// memcpy bandwidth of `tinker` in bytes per cycle, times 1000.
 ///
 /// §6.2 measures 6.7 GB/s; at 2.69 GHz that is 2.49 bytes/cycle, i.e.

@@ -102,6 +102,13 @@ impl VespidPlatform {
         self.tenant
     }
 
+    /// Fraction of served invocations re-armed from a warm shell (the
+    /// dirty-page-delta fast path) rather than paying a full sparse
+    /// restore or a cold boot.
+    pub fn warm_hit_rate(&self) -> f64 {
+        self.dispatcher.stats().warm_hit_rate()
+    }
+
     /// Registers an additional tenant (for multi-tenant experiments).
     pub fn add_tenant(&mut self, profile: TenantProfile) -> TenantId {
         self.dispatcher.add_tenant(profile)
@@ -168,5 +175,21 @@ mod tests {
         assert_eq!(stats.shed(), 0);
         // The second invocation reuses the first's pooled shell.
         assert!(p.dispatcher().pool_stats().reused >= 1);
+    }
+
+    #[test]
+    fn repeat_invocations_hit_warm_shells() {
+        // The engine snapshots after duktape initialization; the engine
+        // shell parks warm and repeats re-arm from the dirty-page delta.
+        let mut p = VespidPlatform::new(256).unwrap();
+        p.invoke();
+        assert_eq!(p.warm_hit_rate(), 0.0, "first invocation cold-boots");
+        p.invoke();
+        p.invoke();
+        assert!(
+            (p.warm_hit_rate() - 2.0 / 3.0).abs() < 1e-9,
+            "warm-hit rate {}",
+            p.warm_hit_rate()
+        );
     }
 }

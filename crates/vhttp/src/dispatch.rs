@@ -23,6 +23,161 @@ pub fn http_tenant(name: impl Into<String>) -> TenantProfile {
     TenantProfile::new(name).with_mask(handler_policy())
 }
 
+/// Renders a dispatcher's statistics in the Prometheus text exposition
+/// format: dispatcher counters (including the warm-hit/demotion counters
+/// of the snapshot-aware fast path), aggregated pool counters, per-shard
+/// gauges, and per-tenant counters labelled by tenant name.
+pub fn prometheus_text(d: &Dispatcher) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let mut metric = |name: &str, kind: &str, help: &str, series: &[(String, u64)]| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (labels, value) in series {
+            let _ = writeln!(out, "{name}{labels} {value}");
+        }
+    };
+    let plain = |v: u64| vec![(String::new(), v)];
+
+    let s = d.stats();
+    metric(
+        "vsched_requests_total",
+        "counter",
+        "Requests by outcome",
+        &[
+            ("{outcome=\"submitted\"}".into(), s.submitted),
+            ("{outcome=\"admitted\"}".into(), s.admitted),
+            ("{outcome=\"served\"}".into(), s.served),
+            ("{outcome=\"shed_rate_limit\"}".into(), s.shed_rate_limit),
+            ("{outcome=\"shed_in_flight\"}".into(), s.shed_in_flight),
+            ("{outcome=\"shed_deadline\"}".into(), s.shed_deadline),
+        ],
+    );
+    metric(
+        "vsched_warm_hits_total",
+        "counter",
+        "Requests served by a warm-shell delta re-arm",
+        &plain(s.warm_hits),
+    );
+    metric(
+        "vsched_warm_demotions_total",
+        "counter",
+        "Warm shells demoted (wiped) on the acquire path",
+        &plain(s.warm_demotions),
+    );
+    metric(
+        "vsched_steals_total",
+        "counter",
+        "Shells stolen between shards",
+        &plain(s.stolen),
+    );
+    metric(
+        "vsched_batches_total",
+        "counter",
+        "Shard batch ticks executed",
+        &plain(s.batches),
+    );
+
+    let p = d.pool_stats();
+    metric(
+        "wasp_pool_shells_total",
+        "counter",
+        "Shell lifecycle events across all shard pools",
+        &[
+            ("{event=\"created\"}".into(), p.created),
+            ("{event=\"reused\"}".into(), p.reused),
+            ("{event=\"released\"}".into(), p.released),
+            ("{event=\"warm_acquired\"}".into(), p.warm_acquired),
+            ("{event=\"warm_parked\"}".into(), p.warm_parked),
+            ("{event=\"warm_demoted\"}".into(), p.warm_demoted),
+        ],
+    );
+
+    let snaps = d.shard_snapshots();
+    let per_shard = |f: &dyn Fn(&vsched::ShardSnapshot) -> u64| -> Vec<(String, u64)> {
+        snaps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (format!("{{shard=\"{i}\"}}"), f(s)))
+            .collect()
+    };
+    metric(
+        "vsched_shard_queue_depth",
+        "gauge",
+        "Requests waiting per shard",
+        &per_shard(&|s| s.queue_depth as u64),
+    );
+    metric(
+        "vsched_shard_idle_shells",
+        "gauge",
+        "Clean shells parked per shard",
+        &per_shard(&|s| s.idle_shells as u64),
+    );
+    metric(
+        "vsched_shard_warm_shells",
+        "gauge",
+        "Warm shells parked per shard",
+        &per_shard(&|s| s.warm_shells as u64),
+    );
+    metric(
+        "vsched_shard_served_total",
+        "counter",
+        "Requests served per shard",
+        &per_shard(&|s| s.stats.served),
+    );
+    metric(
+        "vsched_shard_warm_hits_total",
+        "counter",
+        "Warm hits per shard",
+        &per_shard(&|s| s.stats.warm_hits),
+    );
+
+    // Tenant names are operator-supplied free text; escape them per the
+    // exposition format (backslash, quote, newline) so one odd name cannot
+    // make the whole scrape unparseable.
+    let escape = |name: &str| {
+        name.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
+    };
+    let tenants: Vec<(String, vsched::TenantStats)> = d
+        .tenant_ids()
+        .into_iter()
+        .map(|id| (escape(d.tenant_name(id)), d.tenant_stats(id)))
+        .collect();
+    let per_tenant = |f: &dyn Fn(&vsched::TenantStats) -> u64| -> Vec<(String, u64)> {
+        tenants
+            .iter()
+            .map(|(name, t)| (format!("{{tenant=\"{name}\"}}"), f(t)))
+            .collect()
+    };
+    metric(
+        "vsched_tenant_served_total",
+        "counter",
+        "Requests served per tenant",
+        &per_tenant(&|t| t.served),
+    );
+    metric(
+        "vsched_tenant_shed_total",
+        "counter",
+        "Requests shed per tenant",
+        &per_tenant(&|t| t.shed()),
+    );
+    metric(
+        "vsched_tenant_warm_serves_total",
+        "counter",
+        "Warm-hit serves per tenant",
+        &per_tenant(&|t| t.warm_serves),
+    );
+    metric(
+        "vsched_tenant_in_flight",
+        "gauge",
+        "Requests queued or running per tenant",
+        &per_tenant(&|t| t.in_flight),
+    );
+    out
+}
+
 /// One client's view of a submitted request.
 #[derive(Debug)]
 struct PendingConn {
@@ -80,6 +235,13 @@ impl DispatchedServer {
             wasp,
             DispatcherConfig {
                 shards,
+                // Connection handlers are snapshotted; routing each request
+                // to the shard already warm for its (tenant, handler) key
+                // serves it with a dirty-page delta re-arm. Least-loaded
+                // placement actively defeats the warm cache here: with
+                // empty queues it alternates shards, and each landing
+                // demote-steals the *other* shard's warm shell.
+                placement: vsched::Placement::SnapshotAware,
                 ..DispatcherConfig::default()
             },
         );
@@ -111,6 +273,50 @@ impl DispatchedServer {
     /// The dispatcher underneath.
     pub fn dispatcher(&self) -> &Dispatcher {
         &self.dispatcher
+    }
+
+    /// The Prometheus text rendering of the dispatcher's current state.
+    pub fn metrics(&self) -> String {
+        prometheus_text(&self.dispatcher)
+    }
+
+    /// Serves `GET /metrics` over the simulated network: opens a client
+    /// connection, issues the request, answers it host-side (the scrape
+    /// path never occupies a shard worker or a virtine — an operator's
+    /// monitoring must not compete with tenant traffic), and returns the
+    /// raw HTTP response bytes.
+    pub fn fetch_metrics(&mut self) -> Vec<u8> {
+        let client = self.kernel.net_connect(PORT).expect("connect");
+        self.kernel
+            .net_send(client, b"GET /metrics HTTP/1.0\r\n\r\n")
+            .expect("send");
+        let server = self
+            .kernel
+            .net_accept(PORT)
+            .expect("accept")
+            .expect("pending connection");
+        let req = self
+            .kernel
+            .net_recv(server, 512)
+            .expect("recv")
+            .expect("request bytes");
+        assert!(req.starts_with(b"GET /metrics"), "not a metrics scrape");
+        let body = self.metrics();
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.kernel
+            .net_send(server, response.as_bytes())
+            .expect("send response");
+        let resp = self
+            .kernel
+            .net_recv(client, response.len() + 512)
+            .expect("recv")
+            .expect("response bytes");
+        self.kernel.net_close(client).ok();
+        self.kernel.net_close(server).ok();
+        resp
     }
 
     /// Opens a connection as `tenant` at virtual time `arrival_s`, sends
@@ -265,6 +471,65 @@ mod tests {
             run.served_by_tenant[abusive] + run.shed_by_tenant[abusive],
             40
         );
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text_with_warm_counters() {
+        let mut server = DispatchedServer::new(2, 512);
+        let good = server.add_tenant(http_tenant("good"));
+        let bad = server.add_tenant(http_tenant("throttled").with_rate(10.0, 1.0));
+        for i in 0..6 {
+            let _ = server.offer(good, i as f64 * 0.001);
+            let _ = server.offer(bad, i as f64 * 0.001);
+        }
+        server.dispatcher.drain();
+
+        let resp = server.fetch_metrics();
+        assert_eq!(response_status(&resp), Some(200));
+        let text = String::from_utf8(resp).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+
+        let stats = server.dispatcher().stats();
+        assert!(stats.warm_hits > 0, "handler snapshots; repeats must hit");
+        let expect = [
+            format!(
+                "vsched_requests_total{{outcome=\"served\"}} {}",
+                stats.served
+            ),
+            format!(
+                "vsched_requests_total{{outcome=\"shed_rate_limit\"}} {}",
+                stats.shed_rate_limit
+            ),
+            format!("vsched_warm_hits_total {}", stats.warm_hits),
+            format!("vsched_warm_demotions_total {}", stats.warm_demotions),
+            format!(
+                "vsched_tenant_served_total{{tenant=\"good\"}} {}",
+                server.dispatcher().tenant_stats(good).served
+            ),
+            "# TYPE vsched_shard_warm_shells gauge".to_string(),
+            "vsched_shard_queue_depth{shard=\"1\"} 0".to_string(),
+        ];
+        for line in &expect {
+            assert!(
+                body.lines().any(|l| l == line),
+                "metrics body missing `{line}`:\n{body}"
+            );
+        }
+        // Every metric is announced with HELP and TYPE before its samples.
+        for name in ["vsched_requests_total", "wasp_pool_shells_total"] {
+            assert!(body.contains(&format!("# HELP {name} ")));
+            assert!(body.contains(&format!("# TYPE {name} ")));
+        }
+    }
+
+    #[test]
+    fn metrics_scrape_charges_no_shard_and_serves_no_virtine() {
+        let mut server = DispatchedServer::new(1, 128);
+        let before = server.dispatcher().stats();
+        let resp = server.fetch_metrics();
+        assert_eq!(response_status(&resp), Some(200));
+        let after = server.dispatcher().stats();
+        assert_eq!(before, after, "scrapes must not touch dispatcher state");
     }
 
     #[test]

@@ -53,12 +53,29 @@ impl DirtyExtent {
     }
 }
 
+/// Page size of the dirty-page bitmap (matches the 4 KiB EPT granularity
+/// real dirty logging — `KVM_GET_DIRTY_LOG` — reports at).
+pub const PAGE_SIZE: u64 = 4096;
+
 /// Flat guest-physical memory of a single virtual context.
+///
+/// Two dirty-tracking structures coexist, serving different consumers:
+///
+/// * the coarse **extent** pair (`dirty_low_end`/`dirty_high_start`) tracks
+///   everything written since the last [`Memory::clear`] and drives wipe
+///   and sparse-snapshot costs;
+/// * the exact **page bitmap** tracks pages written since the last
+///   [`Memory::reset_dirty_pages`] and models hardware dirty logging: a
+///   warm-shell re-arm copies back *exactly* these pages from the snapshot
+///   instead of the full sparse image.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Memory {
     bytes: Vec<u8>,
     dirty_low_end: u64,
     dirty_high_start: u64,
+    /// One bit per [`PAGE_SIZE`] page, set on write, cleared by
+    /// [`Memory::reset_dirty_pages`].
+    dirty_pages: Vec<u64>,
 }
 
 impl fmt::Debug for Memory {
@@ -70,10 +87,12 @@ impl fmt::Debug for Memory {
 impl Memory {
     /// Allocates `size` bytes of zeroed guest memory.
     pub fn new(size: usize) -> Memory {
+        let pages = (size as u64).div_ceil(PAGE_SIZE) as usize;
         Memory {
             bytes: vec![0; size],
             dirty_low_end: 0,
             dirty_high_start: size as u64,
+            dirty_pages: vec![0; pages.div_ceil(64)],
         }
     }
 
@@ -100,11 +119,46 @@ impl Memory {
         self.dirty_low_end == 0 && self.dirty_high_start == self.bytes.len() as u64
     }
 
+    /// Indices of pages written since the last
+    /// [`Memory::reset_dirty_pages`], in ascending order.
+    pub fn dirty_page_indices(&self) -> Vec<u64> {
+        let mut pages = Vec::new();
+        for (w, &bits) in self.dirty_pages.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as u64;
+                pages.push(w as u64 * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        pages
+    }
+
+    /// Number of pages written since the last
+    /// [`Memory::reset_dirty_pages`].
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty_pages
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Clears the dirty-page bitmap without touching memory contents: the
+    /// `KVM_CLEAR_DIRTY_LOG` step a hypervisor performs at the points where
+    /// memory provably equals a reference state (snapshot capture, full or
+    /// delta restore).
+    pub fn reset_dirty_pages(&mut self) {
+        self.dirty_pages.fill(0);
+    }
+
     fn mark_dirty(&mut self, start: u64, len: u64) {
         if len == 0 {
             return;
         }
         let end = start + len;
+        for page in start / PAGE_SIZE..=(end - 1) / PAGE_SIZE {
+            self.dirty_pages[page as usize / 64] |= 1 << (page % 64);
+        }
         let mid = (self.bytes.len() as u64) / 2;
         if end <= mid {
             // Entirely in the lower half: extend the low region upward.
@@ -192,6 +246,7 @@ impl Memory {
         self.bytes[hi..].fill(0);
         self.dirty_low_end = 0;
         self.dirty_high_start = self.bytes.len() as u64;
+        self.reset_dirty_pages();
     }
 
     /// Whole memory as a slice (snapshots).
@@ -230,6 +285,8 @@ impl Memory {
     /// Restores a sparse snapshot. The regions between the extents are
     /// zeroed if anything was written there since the last [`Memory::clear`],
     /// so a restore is total regardless of the shell's prior contents.
+    /// Afterwards memory provably equals the snapshot, so the dirty-page
+    /// bitmap is reset.
     pub fn restore_sparse(&mut self, low: &[u8], high_start: u64, high: &[u8]) {
         if !self.is_clean() {
             self.clear();
@@ -239,6 +296,40 @@ impl Memory {
         self.bytes[hi..hi + high.len()].copy_from_slice(high);
         self.dirty_low_end = low.len() as u64;
         self.dirty_high_start = high_start;
+        self.reset_dirty_pages();
+    }
+
+    /// Delta re-arm: restores `pages` (indices into [`PAGE_SIZE`] pages) to
+    /// the contents a sparse snapshot holds for them — bytes from the low
+    /// region, the high region, or implicit zeroes in between. When `pages`
+    /// covers every page that diverged from the snapshot (the dirty-page
+    /// bitmap guarantees this: every write since the restore/capture point
+    /// set its page bit), memory afterwards provably equals the snapshot,
+    /// so the dirty extents are set to the snapshot's and the bitmap is
+    /// reset.
+    pub fn restore_pages_sparse(
+        &mut self,
+        pages: &[u64],
+        low: &[u8],
+        high_start: u64,
+        high: &[u8],
+    ) {
+        for &page in pages {
+            let start = (page * PAGE_SIZE) as usize;
+            let end = (start + PAGE_SIZE as usize).min(self.bytes.len());
+            for i in start..end {
+                self.bytes[i] = if i < low.len() {
+                    low[i]
+                } else if i as u64 >= high_start {
+                    high[i - high_start as usize]
+                } else {
+                    0
+                };
+            }
+        }
+        self.dirty_low_end = low.len() as u64;
+        self.dirty_high_start = high_start;
+        self.reset_dirty_pages();
     }
 }
 
@@ -359,6 +450,61 @@ mod tests {
         m.clear();
         assert!(m.is_clean());
         assert!(m.as_slice().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn dirty_page_bitmap_is_exact() {
+        let mut m = Memory::new(16 * PAGE_SIZE as usize);
+        assert_eq!(m.dirty_page_count(), 0);
+        m.write(3 * PAGE_SIZE, Width::B, 1).unwrap(); // Page 3.
+        m.write(3 * PAGE_SIZE + 100, Width::Q, 2).unwrap(); // Page 3 again.
+        m.write_bytes(5 * PAGE_SIZE - 2, &[9; 4]).unwrap(); // Straddles 4/5.
+        m.write(15 * PAGE_SIZE + 8, Width::Q, 3).unwrap(); // Page 15 (stack).
+        assert_eq!(m.dirty_page_indices(), vec![3, 4, 5, 15]);
+        assert_eq!(m.dirty_page_count(), 4);
+        m.reset_dirty_pages();
+        assert_eq!(m.dirty_page_count(), 0);
+        // Contents untouched by the bitmap reset.
+        assert_eq!(m.read(3 * PAGE_SIZE, Width::B).unwrap(), 1);
+    }
+
+    #[test]
+    fn clear_and_restore_reset_the_page_bitmap() {
+        let mut m = Memory::new(8 * PAGE_SIZE as usize);
+        m.write(0, Width::Q, 7).unwrap();
+        m.clear();
+        assert_eq!(m.dirty_page_count(), 0);
+        m.write(0, Width::Q, 7).unwrap();
+        let (low, hs, high) = m.snapshot_sparse();
+        m.write(PAGE_SIZE, Width::Q, 9).unwrap();
+        m.restore_sparse(&low, hs, &high);
+        assert_eq!(m.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn restore_pages_sparse_rebuilds_exactly_the_snapshot() {
+        let size = 8 * PAGE_SIZE as usize;
+        let mut m = Memory::new(size);
+        // Snapshot state: low region through page 1, stack byte on page 7.
+        m.write_bytes(100, b"snapshot-low").unwrap();
+        m.write_bytes(PAGE_SIZE + 7, b"more-low").unwrap();
+        m.write(7 * PAGE_SIZE + 64, Width::Q, 0xFEED).unwrap();
+        let (low, hs, high) = m.snapshot_sparse();
+        m.reset_dirty_pages();
+
+        // Diverge: overwrite snapshot data and dirty a middle page.
+        m.write_bytes(100, b"garbagegarba").unwrap();
+        m.write(4 * PAGE_SIZE + 8, Width::Q, 0xBAD).unwrap();
+        m.write(7 * PAGE_SIZE + 64, Width::Q, 0xBAD).unwrap();
+        let pages = m.dirty_page_indices();
+        assert_eq!(pages, vec![0, 4, 7]);
+
+        let mut reference = Memory::new(size);
+        reference.restore_sparse(&low, hs, &high);
+        m.restore_pages_sparse(&pages, &low, hs, &high);
+        assert_eq!(m.as_slice(), reference.as_slice(), "delta != full restore");
+        assert_eq!(m.dirty_extent(), reference.dirty_extent());
+        assert_eq!(m.dirty_page_count(), 0);
     }
 
     #[test]

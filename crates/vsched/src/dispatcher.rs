@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 
 use vclock::{costs, Clock, Cycles};
-use wasp::{Invocation, Pool, PoolMode, PoolStats, VirtineId, VirtineSpec, Wasp, WaspError};
+use wasp::{
+    Invocation, Pool, PoolMode, PoolStats, ShellSource, VirtineId, VirtineSpec, Wasp, WaspError,
+};
 
 use crate::shard::{align_up, Queued, Shard, ShardSnapshot};
 use crate::tenant::{ShedReason, TenantId, TenantProfile, TenantState, TenantStats};
@@ -20,6 +22,15 @@ pub enum Placement {
     /// local (the NUMA-style affinity the ROADMAP lists as a follow-on is
     /// a refinement of this policy).
     ByTenant,
+    /// Snapshot-aware: route to the shard whose pool already parks a warm
+    /// shell for this request's `(tenant, virtine)` — turning placement
+    /// into a cache-hit decision, since the warm shard serves the request
+    /// with a dirty-page delta re-arm instead of a full sparse restore.
+    /// Falls back to least-loaded when no shard is warm for the key, or
+    /// when the warm shard's queue has fallen `batch_size` behind the
+    /// least-loaded one (a warm hit saves microseconds; it must not buy
+    /// them with milliseconds of queueing skew).
+    SnapshotAware,
 }
 
 /// Dispatcher configuration.
@@ -36,10 +47,15 @@ pub struct DispatcherConfig {
     /// Shell-pool mode for every shard (§5.2; `CachedAsync` is the
     /// paper's best configuration).
     pub pool_mode: PoolMode,
-    /// Whether a dry shard may steal clean shells from siblings.
+    /// Whether a dry shard may steal clean shells from siblings (and, as a
+    /// last resort before `KVM_CREATE_VM`, demote-and-steal a sibling's
+    /// warm shell).
     pub steal: bool,
     /// Queue-placement policy.
     pub placement: Placement,
+    /// Bound on warm shells resident per shard pool; zero disables warm
+    /// caching (the pre-warm-cache dispatcher behavior).
+    pub warm_capacity: usize,
 }
 
 impl Default for DispatcherConfig {
@@ -51,6 +67,7 @@ impl Default for DispatcherConfig {
             pool_mode: PoolMode::CachedAsync,
             steal: true,
             placement: Placement::LeastLoaded,
+            warm_capacity: wasp::DEFAULT_WARM_CAPACITY,
         }
     }
 }
@@ -132,11 +149,14 @@ pub struct Completion {
     pub finish: f64,
     /// Pure service time (start → finish).
     pub service: f64,
-    /// Whether the shell came from a clean pool (local or stolen) rather
+    /// Whether the shell came from a pool (clean, warm, or stolen) rather
     /// than a fresh `KVM_CREATE_VM`.
     pub reused_shell: bool,
     /// Whether the shell was stolen from a sibling shard.
     pub stolen_shell: bool,
+    /// Whether the request was served by a warm shell re-armed with its
+    /// dirty-page delta (the snapshot-aware fast path).
+    pub warm_hit: bool,
     /// Whether the virtine ended by normal means (`hlt`/`exit`).
     pub exit_normal: bool,
     /// Result bytes the virtine returned (`return_data`).
@@ -169,12 +189,28 @@ pub struct DispatcherStats {
     pub stolen: u64,
     /// Batch ticks executed.
     pub batches: u64,
+    /// Requests served by a warm-shell delta re-arm.
+    pub warm_hits: u64,
+    /// Warm shells demoted (wiped to clean) on the acquire path — locally
+    /// for a different key, or stolen from a sibling. Pool-internal LRU
+    /// evictions are counted in [`wasp::PoolStats::warm_demoted`] instead.
+    pub warm_demotions: u64,
 }
 
 impl DispatcherStats {
     /// Total sheds across every cause.
     pub fn shed(&self) -> u64 {
         self.shed_rate_limit + self.shed_in_flight + self.shed_deadline
+    }
+
+    /// Fraction of served requests that hit a warm shell (0 when nothing
+    /// was served).
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / self.served as f64
+        }
     }
 }
 
@@ -207,7 +243,12 @@ impl Dispatcher {
         assert!(config.batch_size >= 1, "need a positive batch size");
         assert!(config.tick.get() >= 1, "need a positive tick");
         let shards = (0..config.shards)
-            .map(|_| Shard::new(Pool::new(config.pool_mode, wasp::LOAD_ADDR)))
+            .map(|_| {
+                Shard::new(
+                    Pool::new(config.pool_mode, wasp::LOAD_ADDR)
+                        .with_warm_capacity(config.warm_capacity),
+                )
+            })
             .collect();
         Dispatcher {
             wasp,
@@ -316,7 +357,7 @@ impl Dispatcher {
         self.seq += 1;
         let priority = tenant.profile.priority.saturating_add(req.priority_boost);
         let deadline = req.deadline_s.map_or(u64::MAX, cyc);
-        let shard = self.place(req.tenant);
+        let shard = self.place(req.tenant, req.virtine);
         clock.tick(costs::VSCHED_QUEUE_OP);
         self.shards[shard].enqueue(
             Queued {
@@ -359,6 +400,22 @@ impl Dispatcher {
         self.tenants[id.0].stats
     }
 
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Handles of every registered tenant, in registration order (stats
+    /// surfaces iterate these).
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        (0..self.tenants.len()).map(TenantId).collect()
+    }
+
+    /// One tenant's diagnostic name (stats surfaces label by it).
+    pub fn tenant_name(&self, id: TenantId) -> &str {
+        &self.tenants[id.0].profile.name
+    }
+
     /// Read-only per-shard views (queue depth, idle shells, counters).
     pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
         self.shards.iter().map(Shard::snapshot).collect()
@@ -375,21 +432,41 @@ impl Dispatcher {
             total.created += p.created;
             total.reused += p.reused;
             total.released += p.released;
+            total.warm_acquired += p.warm_acquired;
+            total.warm_parked += p.warm_parked;
+            total.warm_demoted += p.warm_demoted;
         }
         total
     }
 
-    /// Picks the shard a tenant's request queues on.
-    fn place(&self, tenant: TenantId) -> usize {
-        match self.config.placement {
-            Placement::ByTenant => tenant.0 % self.shards.len(),
-            Placement::LeastLoaded => self
-                .shards
+    /// Picks the shard a request queues on.
+    fn place(&self, tenant: TenantId, virtine: VirtineId) -> usize {
+        let least = || {
+            self.shards
                 .iter()
                 .enumerate()
                 .min_by_key(|(i, s)| (s.queue.len(), s.free_at, *i))
                 .map(|(i, _)| i)
-                .expect("at least one shard"),
+                .expect("at least one shard")
+        };
+        match self.config.placement {
+            Placement::ByTenant => tenant.0 % self.shards.len(),
+            Placement::LeastLoaded => least(),
+            Placement::SnapshotAware => {
+                let fallback = least();
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.pool.has_warm(tenant.0 as u64, virtine.into_raw()))
+                    .min_by_key(|(i, s)| (s.queue.len(), s.free_at, *i))
+                    .filter(|(_, s)| {
+                        // Don't trade µs of restore for ms of queueing: the
+                        // warm shard must not be more than one batch behind
+                        // the least-loaded alternative.
+                        s.queue.len() <= self.shards[fallback].queue.len() + self.config.batch_size
+                    })
+                    .map_or(fallback, |(i, _)| i)
+            }
         }
     }
 
@@ -457,34 +534,64 @@ impl Dispatcher {
         // `KVM_CREATE_VM` occupies the shard worker like any other cost.
         let t0 = clock.now();
 
-        // Acquire: shard-local clean shell, else steal, else create.
-        let (vm, reused, stolen) = if self.shards[idx].pool.idle_shells_of(mem_size) > 0 {
+        // Acquire, cheapest sound mechanism first:
+        //   1. shard-local warm shell for this exact (tenant, virtine) —
+        //      delta re-arm;
+        //   2. shard-local clean shell;
+        //   3. steal a *clean* shell from a sibling (stealing prefers
+        //      clean shells: a sibling's warm shell is its fast path, so
+        //      demoting one is the last resort before KVM_CREATE_VM);
+        //   4. demote a local warm shell of another key (full wipe);
+        //   5. demote-and-steal a sibling's warm shell (full wipe);
+        //   6. KVM_CREATE_VM.
+        let key = (q.tenant.0 as u64, q.virtine.into_raw());
+        let mut stolen = false;
+        let (vm, source) = if let Some((vm, snap)) =
+            self.shards[idx]
+                .pool
+                .acquire_warm(self.wasp.hypervisor(), key.0, key.1, mem_size)
+        {
+            (vm, ShellSource::Warm(snap))
+        } else if self.shards[idx].pool.idle_shells_of(mem_size) > 0 {
             // Guaranteed hit: `acquire` pops the parked shell, counts the
             // reuse in this shard's own stats, and charges bookkeeping.
             let (vm, hit) = self.shards[idx]
                 .pool
                 .acquire(self.wasp.hypervisor(), mem_size);
             debug_assert!(hit);
-            (vm, true, false)
+            (vm, ShellSource::Clean)
         } else if let Some((donor, vm)) = self.steal_from_sibling(idx, mem_size) {
             clock.tick(costs::VSCHED_STEAL_TRANSFER);
             self.shards[idx].stats.stolen_in += 1;
             self.shards[donor].stats.stolen_out += 1;
             self.stats.stolen += 1;
-            (vm, true, true)
+            stolen = true;
+            (vm, ShellSource::Clean)
+        } else if let Some(vm) = self.shards[idx].pool.take_warm_victim(mem_size) {
+            self.stats.warm_demotions += 1;
+            (vm, ShellSource::Clean)
+        } else if let Some((donor, vm)) = self.steal_warm_victim(idx, mem_size) {
+            clock.tick(costs::VSCHED_STEAL_TRANSFER);
+            self.shards[idx].stats.stolen_in += 1;
+            self.shards[donor].stats.stolen_out += 1;
+            self.stats.stolen += 1;
+            self.stats.warm_demotions += 1;
+            stolen = true;
+            (vm, ShellSource::Clean)
         } else {
             let (vm, _) = self.shards[idx]
                 .pool
                 .acquire(self.wasp.hypervisor(), mem_size);
-            (vm, false, false)
+            (vm, ShellSource::Created)
         };
+        let reused = source.is_reused();
 
         let mask = self.tenants[q.tenant.0].profile.mask;
         let (outcome, vm) = self
             .wasp
             .run_on_shell(
                 vm,
-                reused,
+                source,
                 q.virtine,
                 &q.args,
                 q.invocation,
@@ -492,8 +599,14 @@ impl Dispatcher {
                 &mut |_, _, _, _| None,
             )
             .expect("dispatch invariants uphold spec and shell size");
-        self.shards[idx].pool.release(vm);
+        // Release: park warm (state still derives from the spec's current
+        // snapshot, dirty log intact) or wipe clean.
+        match outcome.warm_state.clone() {
+            Some(snap) => self.shards[idx].pool.release_warm(vm, key.0, key.1, snap),
+            None => self.shards[idx].pool.release(vm),
+        }
         let service = (clock.now() - t0).get();
+        let warm_hit = outcome.breakdown.warm_hit;
 
         let start = free;
         let finish = start + service;
@@ -502,6 +615,14 @@ impl Dispatcher {
         tstats.in_flight -= 1;
         if stolen {
             tstats.stolen_serves += 1;
+        }
+        if warm_hit {
+            // Counted from the outcome, not the acquire: a stale warm
+            // shell (snapshot invalidated while parked) is wiped by the
+            // runtime and serves a full restore, which is not a hit.
+            tstats.warm_serves += 1;
+            self.stats.warm_hits += 1;
+            self.shards[idx].stats.warm_hits += 1;
         }
         if !outcome.exit.is_normal() {
             tstats.abnormal += 1;
@@ -518,6 +639,7 @@ impl Dispatcher {
             service: secs(service),
             reused_shell: reused,
             stolen_shell: stolen,
+            warm_hit,
             exit_normal: outcome.exit.is_normal(),
             result: outcome.invocation.result,
         });
@@ -539,6 +661,25 @@ impl Dispatcher {
             .max_by_key(|(i, s)| (s.pool.idle_shells_of(mem_size), usize::MAX - *i))?
             .0;
         let vm = self.shards[donor].pool.take_idle(mem_size)?;
+        Some((donor, vm))
+    }
+
+    /// Demotes and steals a warm shell from the sibling with the most warm
+    /// shells of the right size — the last resort before `KVM_CREATE_VM`.
+    /// The donor's pool performs the full (charged) wipe before the shell
+    /// crosses shards, so no tenant data travels with it.
+    fn steal_warm_victim(&mut self, idx: usize, mem_size: usize) -> Option<(usize, kvmsim::VmFd)> {
+        if !self.config.steal {
+            return None;
+        }
+        let donor = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != idx && s.pool.warm_shells_of(mem_size) > 0)
+            .max_by_key(|(i, s)| (s.pool.warm_shells_of(mem_size), usize::MAX - *i))?
+            .0;
+        let vm = self.shards[donor].pool.take_warm_victim(mem_size)?;
         Some((donor, vm))
     }
 }

@@ -21,6 +21,19 @@
 //!   no-information-leakage guarantee ("we can clear its context,
 //!   preventing information leakage") holds *across tenants and shards*,
 //!   not just across successive invocations in one pool.
+//! * **Warm shells and snapshot-aware placement**
+//!   ([`Placement::SnapshotAware`], [`DispatcherConfig::warm_capacity`]) —
+//!   generalizes §5.2's snapshotting the way SEUSS keeps snapshot-resident
+//!   function contexts: a shell released after a snapshotted run parks
+//!   *warm* in its shard's pool, keyed by `(tenant, virtine)`, and a later
+//!   request for the same key is re-armed by copying back only the pages
+//!   the previous invocation dirtied (`kvmsim`'s dirty-page log) instead
+//!   of the full sparse snapshot. Placement then becomes a cache-hit
+//!   decision: route to the shard already warm for the key, fall back to
+//!   least-loaded. Stealing prefers clean shells; demoting a warm shell
+//!   (LRU eviction, cross-key fallback, or a last-resort steal) is always
+//!   a full wipe, so the §5.2 isolation guarantee is untouched — see the
+//!   `wasp::pool` lifecycle diagram.
 //! * **Multi-tenant admission control** ([`TenantProfile`]) — generalizes
 //!   §5.1's default-deny posture from hypercalls to platform capacity.
 //!   Each tenant gets a token-bucket rate limit and an in-flight cap
@@ -399,6 +412,151 @@ mod tests {
         d.drain();
         assert!(d.completions().iter().all(|c| !c.reused_shell));
         assert_eq!(d.pool_stats().created, 4);
+    }
+
+    /// A snapshotted spec: init loop, snapshot hypercall, then
+    /// args-independent work, so repeat runs of the same (tenant, virtine)
+    /// are warm-hit eligible.
+    fn snap_spec(name: &str) -> VirtineSpec {
+        let img = visa::assemble(
+            "
+.org 0x8000
+  mov r1, 0x7000
+  mov r2, 0
+  mov r3, 0
+init:
+  add r2, 7
+  add r3, 1
+  cmp r3, 200
+  jl init
+  store.q [r1], r2
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  load.q r0, [r1]
+  hlt
+",
+        )
+        .unwrap();
+        VirtineSpec::new(name, img, MEM)
+    }
+
+    #[test]
+    fn repeat_requests_warm_hit_and_surface_in_stats() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(snap_spec("s")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t"));
+        for i in 0..3 {
+            d.submit(Request::new(tenant, id, i as f64 * 0.01)).unwrap();
+        }
+        d.drain();
+        let c = d.completions();
+        assert!(!c[0].warm_hit, "first run cold-boots");
+        assert!(c[1].warm_hit && c[2].warm_hit, "repeats re-arm warm");
+        assert_eq!(d.stats().warm_hits, 2);
+        assert!((d.stats().warm_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(d.tenant_stats(tenant).warm_serves, 2);
+        assert_eq!(d.pool_stats().warm_acquired, 2);
+        assert_eq!(d.pool_stats().warm_parked, 3);
+        assert_eq!(d.shard_snapshots()[0].stats.warm_hits, 2);
+        assert_eq!(d.shard_snapshots()[0].warm_shells, 1);
+    }
+
+    #[test]
+    fn snapshot_aware_placement_routes_to_the_warm_shard() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 4,
+            placement: Placement::SnapshotAware,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(snap_spec("s")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t"));
+        // First request lands somewhere (least-loaded fallback) and parks
+        // a warm shell there; every follow-up must chase that shard.
+        d.submit(Request::new(tenant, id, 0.0)).unwrap();
+        d.drain();
+        let home = d.completions()[0].shard;
+        for i in 1..6 {
+            d.submit(Request::new(tenant, id, i as f64 * 0.01)).unwrap();
+            d.drain();
+        }
+        let c = d.completions();
+        assert!(
+            c[1..].iter().all(|c| c.shard == home && c.warm_hit),
+            "placement must chase the warm shell: {:?}",
+            c.iter().map(|c| (c.shard, c.warm_hit)).collect::<Vec<_>>()
+        );
+        // Least-loaded placement with the same spacing sprays the requests
+        // across shards (each drain leaves all queues empty, so the
+        // tie-break rotates by worker timeline), missing the warm shell.
+        let mut ll = dispatcher(DispatcherConfig {
+            shards: 4,
+            placement: Placement::LeastLoaded,
+            ..DispatcherConfig::default()
+        });
+        let id = ll.register(snap_spec("s")).unwrap();
+        let tenant = ll.add_tenant(TenantProfile::new("t"));
+        for i in 0..6 {
+            ll.submit(Request::new(tenant, id, i as f64 * 0.01))
+                .unwrap();
+            ll.drain();
+        }
+        assert!(
+            ll.stats().warm_hits < d.stats().warm_hits,
+            "snapshot-aware ({}) must beat least-loaded ({})",
+            d.stats().warm_hits,
+            ll.stats().warm_hits
+        );
+    }
+
+    #[test]
+    fn warm_caching_disabled_by_zero_capacity() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            warm_capacity: 0,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(snap_spec("s")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t"));
+        for i in 0..3 {
+            d.submit(Request::new(tenant, id, i as f64 * 0.01)).unwrap();
+        }
+        d.drain();
+        assert_eq!(d.stats().warm_hits, 0);
+        assert_eq!(d.pool_stats().warm_parked, 0);
+        // Shells still recycle through the clean list.
+        assert!(d.pool_stats().reused >= 2);
+    }
+
+    #[test]
+    fn cross_tenant_requests_demote_not_share_warm_shells() {
+        // One shard, one snapshotted virtine, two tenants: tenant B's
+        // request finds A's warm shell but may not re-arm it — it is
+        // demoted (full wipe) and B pays the full restore.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(snap_spec("s")).unwrap();
+        let a = d.add_tenant(TenantProfile::new("a"));
+        let b = d.add_tenant(TenantProfile::new("b"));
+        d.submit(Request::new(a, id, 0.0)).unwrap();
+        d.drain();
+        assert_eq!(d.shard_snapshots()[0].warm_shells, 1);
+        d.submit(Request::new(b, id, 0.01)).unwrap();
+        d.drain();
+        let c = d.completions().last().unwrap();
+        assert!(!c.warm_hit, "warm shells never cross tenants");
+        assert!(c.reused_shell, "but the hardware context is recycled");
+        assert_eq!(d.stats().warm_demotions, 1);
+        assert_eq!(d.tenant_stats(b).warm_serves, 0);
+        // B's run parks its own warm shell; A's next request must then
+        // miss (B demoted A's) while B hits.
+        d.submit(Request::new(b, id, 0.02)).unwrap();
+        d.drain();
+        assert!(d.completions().last().unwrap().warm_hit);
     }
 
     #[test]

@@ -70,6 +70,8 @@ pub struct ShardStats {
     pub stolen_in: u64,
     /// Shells siblings stole from this shard.
     pub stolen_out: u64,
+    /// Requests this shard served from its own warm list (delta re-arm).
+    pub warm_hits: u64,
     /// High-water mark of the shard's queue depth.
     pub max_queue_depth: usize,
 }
@@ -118,6 +120,8 @@ pub struct ShardSnapshot {
     pub queue_depth: usize,
     /// Clean shells parked in the shard's pool.
     pub idle_shells: usize,
+    /// Warm shells parked in the shard's pool.
+    pub warm_shells: usize,
     /// The shard worker's timeline position in virtual seconds.
     pub free_at_s: f64,
     /// Counters.
@@ -131,6 +135,7 @@ impl Shard {
         ShardSnapshot {
             queue_depth: self.queue.len(),
             idle_shells: self.pool.idle_shells(),
+            warm_shells: self.pool.warm_shells(),
             free_at_s: Cycles(self.free_at).as_secs(),
             stats: self.stats,
             pool: self.pool.stats(),

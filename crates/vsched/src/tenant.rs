@@ -131,6 +131,8 @@ pub struct TenantStats {
     pub shed_deadline: u64,
     /// Served requests that ran on a shell stolen from a sibling shard.
     pub stolen_serves: u64,
+    /// Served requests that hit a warm shell (delta re-arm).
+    pub warm_serves: u64,
     /// Served requests that ended abnormally (policy denial, fault, kill).
     pub abnormal: u64,
     /// Requests currently queued or running.

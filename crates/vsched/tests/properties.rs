@@ -129,6 +129,118 @@ fn stolen_shells_never_leak_across_tenants() {
     }
 }
 
+/// A *warm* shell — parked still holding a snapshotted run's state — is
+/// never handed to a different tenant or a different virtine without a
+/// full wipe and a clean-path acquire. Extends the stolen-shell-wipe
+/// property to warm demotion (same shard, different key) and cross-shard
+/// warm steals: in both scenarios a writer virtine plants a random secret
+/// *after* its snapshot point (so the secret lives in the warm shell's
+/// resident state), and a reader under a different key must always see
+/// zeroes and never a warm hit.
+#[test]
+fn warm_shells_never_cross_tenants_or_virtines_without_a_wipe() {
+    let mut rng = Rng::seeded(0x3a11ce);
+    for case in 0..12 {
+        // A guest-memory address the image/stack regions don't touch.
+        let addr = 0x4000 + 8 * rng.range_u64(0, 0x200);
+        let secret = rng.next_u64() | 1; // Never zero.
+
+        // Scenario 0: same-shard demotion (different tenant).
+        // Scenario 1: same-shard demotion (same tenant, different virtine).
+        // Scenario 2: cross-shard warm steal.
+        let scenario = case % 3;
+        let shards = if scenario == 2 { 2 } else { 1 };
+
+        let mut d = Dispatcher::new(
+            Wasp::new_kvm_default(),
+            DispatcherConfig {
+                shards,
+                placement: Placement::ByTenant,
+                ..DispatcherConfig::default()
+            },
+        );
+        // Writer: snapshots, then plants the secret post-snapshot. The
+        // spec snapshot is enabled, so its shell parks *warm* with the
+        // secret resident.
+        let writer_img = visa::assemble(&format!(
+            "
+.org 0x8000
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  mov r1, {addr:#x}
+  mov r2, {secret:#x}
+  store.q [r1], r2
+  hlt
+"
+        ))
+        .unwrap();
+        let reader_img = visa::assemble(&format!(
+            "
+.org 0x8000
+  mov r0, 10         ; return_data(addr, 8)
+  mov r1, {addr:#x}
+  mov r2, 8
+  out 0x1, r0
+  hlt
+"
+        ))
+        .unwrap();
+        let writer = d
+            .register(VirtineSpec::new("writer", writer_img, MEM))
+            .unwrap();
+        let reader = d
+            .register(
+                VirtineSpec::new("reader", reader_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::RETURN_DATA]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        // Tenant A gets the return_data ceiling too, so scenario 1 can use
+        // the *same* tenant for the read and exercise the virtine half of
+        // the warm key (the spec policies are what actually constrain each
+        // virtine).
+        let a = d.add_tenant(TenantProfile::new("a").with_mask(HypercallMask::ALLOW_ALL));
+        let b = d.add_tenant(TenantProfile::new("b").with_mask(HypercallMask::ALLOW_ALL));
+        let reading_tenant = if scenario == 1 { a } else { b };
+
+        // The writer runs as tenant A and parks a warm shell (with the
+        // secret resident) on its home shard.
+        d.submit(Request::new(a, writer, 0.0)).unwrap();
+        d.drain();
+        let home = d.completions()[0].shard;
+        assert_eq!(
+            d.shard_snapshots()[home].warm_shells,
+            1,
+            "case {case}: writer must park warm"
+        );
+
+        // The reader runs under a different key; the only shell available
+        // is the warm one, reachable via demotion (same shard) or a
+        // cross-shard warm steal.
+        d.submit(Request::new(reading_tenant, reader, 0.01))
+            .unwrap();
+        d.drain();
+        let c = d.completions().last().unwrap();
+        assert!(c.exit_normal, "case {case}: reader failed");
+        assert!(!c.warm_hit, "case {case}: warm shell crossed keys");
+        assert!(
+            c.reused_shell,
+            "case {case}: the shell must be recycled, not re-created"
+        );
+        if scenario == 2 {
+            assert!(c.stolen_shell, "case {case}: cross-shard steal expected");
+        }
+        assert_eq!(
+            c.result,
+            vec![0u8; 8],
+            "case {case}: secret {secret:#x} at {addr:#x} leaked through a warm shell \
+             (scenario {scenario})"
+        );
+        assert_eq!(d.stats().warm_demotions, 1, "case {case}");
+        assert_eq!(d.pool_stats().created, 1, "case {case}");
+    }
+}
+
 /// Work conservation under an arbitrary tenant mix: submitted =
 /// served + shed across every tenant, and the dispatcher totals agree
 /// with the per-tenant totals.

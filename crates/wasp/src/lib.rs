@@ -37,8 +37,8 @@ pub mod runtime;
 
 pub use hypercall::{nr, GuestMem, HcOutcome, HypercallMask, Invocation, HYPERCALL_PORT};
 pub use native::{NativeExit, NativeOutcome, NativeRunner};
-pub use pool::{Pool, PoolMode, PoolStats};
+pub use pool::{Pool, PoolMode, PoolStats, DEFAULT_WARM_CAPACITY};
 pub use runtime::{
-    Breakdown, ExitKind, RunOutcome, VirtineId, VirtineSpec, Wasp, WaspConfig, WaspError,
-    WaspStats, ARGS_ADDR, LOAD_ADDR, NO_SNAPSHOT_ENV,
+    Breakdown, ExitKind, RunOutcome, ShellSource, VirtineId, VirtineSpec, VirtineWarmStats, Wasp,
+    WaspConfig, WaspError, WaspStats, ARGS_ADDR, LOAD_ADDR, NO_SNAPSHOT_ENV,
 };

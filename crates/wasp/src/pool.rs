@@ -14,10 +14,41 @@
 //!   charged synchronously on release ("Wasp+C");
 //! * [`PoolMode::CachedAsync`] — shells are recycled and wiped in the
 //!   background, off the request path ("Wasp+CA").
+//!
+//! ## Warm shells (shell lifecycle)
+//!
+//! On top of the paper's clean pool, a shell that just ran a *snapshotted*
+//! virtine can park **warm**: still holding the restored state, keyed by
+//! `(tenant, virtine)`, with the dirty-page log recording exactly which
+//! pages the invocation diverged from the snapshot. Re-acquiring it re-arms
+//! by copying back only those pages (see `kvmsim::VmFd::restore_delta`)
+//! instead of the full sparse snapshot — the SEUSS/Faasm-style resident
+//! warm context, at hardware-dirty-logging exactness.
+//!
+//! ```text
+//!            KVM_CREATE_VM                 release (wiped, §5.2)
+//!   create ───────────────► in use ─────────────────────────────► clean
+//!                            ▲  │                                  │
+//!          acquire_warm      │  │ release_warm                     │ acquire
+//!          (delta re-arm,    │  ▼ (snapshotted run, normal exit)   ▼
+//!          same key only) ── warm[(tenant, virtine)] ── demote ─► in use
+//!                                        (LRU evict / steal:  full wipe)
+//! ```
+//!
+//! **Isolation argument.** A warm shell still contains the previous
+//! invocation's data, so it may only be handed back *re-armed* and only to
+//! the exact `(tenant, virtine)` key that parked it; the re-arm itself
+//! erases the previous invocation's writes (every write set its dirty bit;
+//! every dirty page is restored to snapshot contents). Every other exit
+//! from the warm list — LRU eviction, cross-key demotion, work stealing —
+//! goes through the same full wipe as a normal release, so §5.2's
+//! no-information-leakage guarantee is preserved across tenants, virtines,
+//! and shards.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
-use kvmsim::{Hypervisor, VmFd};
+use kvmsim::{Hypervisor, VmFd, VmSnapshot};
 use vclock::costs;
 
 /// Shell caching policy (§5.2, Figure 8).
@@ -37,39 +68,90 @@ pub enum PoolMode {
 pub struct PoolStats {
     /// Shells created from scratch (pool misses or pooling disabled).
     pub created: u64,
-    /// Shells served from the clean pool.
+    /// Shells served from the pool (clean reuse *and* warm hits).
     pub reused: u64,
-    /// Shells returned to the pool.
+    /// Shells returned to the pool (clean *and* warm parks).
     pub released: u64,
+    /// Warm shells handed out for a delta re-arm (a subset of `reused`).
+    /// Counted at acquire time: a shell whose snapshot went stale while
+    /// parked is still wiped by the runtime, so *confirmed* warm hits are
+    /// the runtime's (`WaspStats::warm_hits`) and the dispatcher's
+    /// numbers.
+    pub warm_acquired: u64,
+    /// Shells parked warm (a subset of `released`).
+    pub warm_parked: u64,
+    /// Warm shells demoted to the clean list via a full wipe (LRU
+    /// eviction, cross-key fallback, or work stealing).
+    pub warm_demoted: u64,
+}
+
+/// A warm shell: parked still holding the state a snapshotted run left
+/// behind, re-armable only for the exact key that parked it.
+#[derive(Debug)]
+struct WarmShell {
+    /// Opaque tenant tag (the dispatcher uses tenant indices; Wasp's own
+    /// single-client pool uses 0).
+    tenant: u64,
+    /// `VirtineId::into_raw` of the virtine whose snapshot the state
+    /// derives from.
+    virtine: usize,
+    vm: VmFd,
+    /// The exact snapshot the shell's state derives from; compared by
+    /// `Rc` identity on re-acquire so a re-registered or invalidated
+    /// snapshot can never be delta-restored against stale state.
+    snap: Rc<VmSnapshot>,
 }
 
 /// The pool itself. Shells are segregated by guest-memory size: a shell's
 /// hardware context is sized when created, so only same-sized requests can
-/// reuse it.
+/// reuse it. Warm shells additionally carry their `(tenant, virtine)` key.
 #[derive(Debug)]
 pub struct Pool {
     mode: PoolMode,
     clean: HashMap<usize, Vec<VmFd>>,
+    /// Warm shells in LRU order: oldest at the front, newest parks at the
+    /// back. Bounded by `warm_capacity` (warm shells keep full guest state
+    /// resident, so the cache is memory-bounded by design).
+    warm: Vec<WarmShell>,
+    warm_capacity: usize,
     stats: PoolStats,
     /// Reset vector shells are parked at.
     entry: u64,
 }
 
+/// Default bound on resident warm shells per pool.
+pub const DEFAULT_WARM_CAPACITY: usize = 8;
+
 impl Pool {
     /// Creates a pool; `entry` is the guest address shells reset to
-    /// (Wasp loads images at 0x8000, §5.1).
+    /// (Wasp loads images at 0x8000, §5.1). Warm caching starts at
+    /// [`DEFAULT_WARM_CAPACITY`]; tune with [`Pool::with_warm_capacity`].
     pub fn new(mode: PoolMode, entry: u64) -> Pool {
         Pool {
             mode,
             clean: HashMap::new(),
+            warm: Vec::new(),
+            warm_capacity: DEFAULT_WARM_CAPACITY,
             stats: PoolStats::default(),
             entry,
         }
     }
 
+    /// Sets the warm-shell bound (builder style). Zero disables warm
+    /// caching entirely: `release_warm` degrades to a normal wiped release.
+    pub fn with_warm_capacity(mut self, capacity: usize) -> Pool {
+        self.warm_capacity = capacity;
+        self
+    }
+
     /// The pool's mode.
     pub fn mode(&self) -> PoolMode {
         self.mode
+    }
+
+    /// The warm-shell bound.
+    pub fn warm_capacity(&self) -> usize {
+        self.warm_capacity
     }
 
     /// Statistics so far.
@@ -85,6 +167,27 @@ impl Pool {
     /// Number of clean shells parked for a specific guest-memory size.
     pub fn idle_shells_of(&self, mem_size: usize) -> usize {
         self.clean.get(&mem_size).map_or(0, Vec::len)
+    }
+
+    /// Number of warm shells currently parked.
+    pub fn warm_shells(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// Number of warm shells parked of a specific guest-memory size.
+    pub fn warm_shells_of(&self, mem_size: usize) -> usize {
+        self.warm
+            .iter()
+            .filter(|w| w.vm.mem_size() == mem_size)
+            .count()
+    }
+
+    /// Whether a warm shell is parked for `(tenant, virtine)` — the
+    /// snapshot-aware placement probe.
+    pub fn has_warm(&self, tenant: u64, virtine: usize) -> bool {
+        self.warm
+            .iter()
+            .any(|w| w.tenant == tenant && w.virtine == virtine)
     }
 
     /// Acquires a shell with `mem_size` bytes of guest memory, reusing a
@@ -121,6 +224,89 @@ impl Pool {
                 self.park(vm);
             }
         }
+    }
+
+    /// Acquires a warm shell for `(tenant, virtine)` with `mem_size` bytes
+    /// of guest memory, most recently parked first. The shell is returned
+    /// *un-re-armed* together with the snapshot its state derives from; the
+    /// caller (the runtime's install step) performs the delta re-arm so the
+    /// copy lands in the invocation's `image` cost term, exactly where the
+    /// full restore it replaces used to.
+    pub fn acquire_warm(
+        &mut self,
+        hv: &Hypervisor,
+        tenant: u64,
+        virtine: usize,
+        mem_size: usize,
+    ) -> Option<(VmFd, Rc<VmSnapshot>)> {
+        if self.mode == PoolMode::Disabled || self.warm_capacity == 0 {
+            return None;
+        }
+        let i = self.warm.iter().rposition(|w| {
+            w.tenant == tenant && w.virtine == virtine && w.vm.mem_size() == mem_size
+        })?;
+        let w = self.warm.remove(i);
+        hv.kernel().clock().tick(costs::WASP_WARM_BOOKKEEPING);
+        self.stats.reused += 1;
+        self.stats.warm_acquired += 1;
+        Some((w.vm, w.snap))
+    }
+
+    /// Parks a shell *warm* for `(tenant, virtine)`: no wipe — the state
+    /// (snapshot plus dirty-page log) stays resident for a delta re-arm by
+    /// the same key. Over capacity, the least-recently-parked warm shell is
+    /// demoted: wiped per the pool's cleaning mode (asynchronously under
+    /// [`PoolMode::CachedAsync`], i.e. off the request path) and moved to
+    /// the clean list.
+    ///
+    /// Callers must only park shells whose state derives from `snap` with
+    /// an intact dirty log (`Wasp` guarantees this via `RunOutcome`'s warm
+    /// state token).
+    pub fn release_warm(&mut self, vm: VmFd, tenant: u64, virtine: usize, snap: Rc<VmSnapshot>) {
+        if self.mode == PoolMode::Disabled {
+            return; // Dropped, like any other release under Disabled.
+        }
+        if self.warm_capacity == 0 {
+            self.release(vm);
+            return;
+        }
+        self.stats.released += 1;
+        self.stats.warm_parked += 1;
+        self.warm.push(WarmShell {
+            tenant,
+            virtine,
+            vm,
+            snap,
+        });
+        if self.warm.len() > self.warm_capacity {
+            let victim = self.warm.remove(0);
+            self.demote(victim.vm);
+        }
+    }
+
+    /// Demotes the least-recently-parked warm shell of `mem_size` bytes:
+    /// full synchronous wipe (charged to the caller — this sits on the
+    /// acquire path, where a request found no warm hit and no clean shell),
+    /// then hands the now-clean shell over. Mirrors [`Pool::take_idle`]:
+    /// the caller accounts for the reuse.
+    pub fn take_warm_victim(&mut self, mem_size: usize) -> Option<VmFd> {
+        let i = self.warm.iter().position(|w| w.vm.mem_size() == mem_size)?;
+        let victim = self.warm.remove(i);
+        victim.vm.clean(self.entry);
+        self.stats.warm_demoted += 1;
+        Some(victim.vm)
+    }
+
+    /// Wipes an evicted warm shell per the pool's cleaning mode (off the
+    /// request path under [`PoolMode::CachedAsync`], like any release) and
+    /// parks it clean.
+    fn demote(&mut self, vm: VmFd) {
+        match self.mode {
+            PoolMode::Cached => vm.clean(self.entry),
+            _ => vm.clean_async(self.entry),
+        }
+        self.stats.warm_demoted += 1;
+        self.clean.entry(vm.mem_size()).or_default().push(vm);
     }
 
     fn park(&mut self, vm: VmFd) {
@@ -256,6 +442,111 @@ mod tests {
         assert!(!reused);
         assert_eq!(vm2.mem_size(), 2 * MEM);
         assert_eq!(pool.idle_shells(), 1);
+    }
+
+    /// A parked-warm shell for pool tests: runs nothing, just snapshots a
+    /// VM so there is a state token to park against.
+    fn warm_fixture(hv: &Hypervisor, pool: &mut Pool) -> std::rc::Rc<kvmsim::VmSnapshot> {
+        let (vm, _) = pool.acquire(hv, MEM);
+        vm.write_guest(0x100, b"resident snapshot state").unwrap();
+        let snap = std::rc::Rc::new(vm.snapshot());
+        vm.write_guest(0x2000, b"invocation dirt").unwrap();
+        pool.release_warm(vm, 7, 3, std::rc::Rc::clone(&snap));
+        snap
+    }
+
+    #[test]
+    fn warm_park_and_reacquire_round_trips_for_the_same_key() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::CachedAsync, ENTRY);
+        let snap = warm_fixture(&hv, &mut pool);
+        assert_eq!(pool.warm_shells(), 1);
+        assert!(pool.has_warm(7, 3));
+        assert!(!pool.has_warm(7, 4));
+        assert!(!pool.has_warm(8, 3));
+
+        // Wrong key: no warm shell handed out.
+        assert!(pool.acquire_warm(&hv, 8, 3, MEM).is_none());
+        assert!(pool.acquire_warm(&hv, 7, 4, MEM).is_none());
+        assert!(pool.acquire_warm(&hv, 7, 3, 2 * MEM).is_none());
+
+        let (vm, got) = pool.acquire_warm(&hv, 7, 3, MEM).expect("warm hit");
+        assert!(std::rc::Rc::ptr_eq(&got, &snap));
+        // The state is still resident (un-re-armed): both the snapshot
+        // bytes and the previous invocation's dirt.
+        assert_eq!(vm.read_guest(0x100, 4).unwrap(), b"resi");
+        assert_eq!(vm.read_guest(0x2000, 4).unwrap(), b"invo");
+        let s = pool.stats();
+        assert_eq!((s.warm_acquired, s.warm_parked, s.reused), (1, 1, 1));
+    }
+
+    #[test]
+    fn warm_capacity_evicts_lru_into_the_clean_list() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::CachedAsync, ENTRY).with_warm_capacity(2);
+        for virtine in 0..3 {
+            let (vm, _) = pool.acquire(&hv, MEM);
+            vm.write_guest(0x100, b"secret").unwrap();
+            let snap = std::rc::Rc::new(vm.snapshot());
+            pool.release_warm(vm, 0, virtine, snap);
+        }
+        // Oldest (virtine 0) was demoted: wiped and parked clean.
+        assert_eq!(pool.warm_shells(), 2);
+        assert!(!pool.has_warm(0, 0));
+        assert!(pool.has_warm(0, 1) && pool.has_warm(0, 2));
+        assert_eq!(pool.idle_shells_of(MEM), 1);
+        assert_eq!(pool.stats().warm_demoted, 1);
+        let (vm, reused) = pool.acquire(&hv, MEM);
+        assert!(reused);
+        assert!(vm.read_guest(0x100, 6).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn take_warm_victim_wipes_before_handing_over() {
+        let (clock, hv) = hv();
+        let mut pool = Pool::new(PoolMode::CachedAsync, ENTRY);
+        warm_fixture(&hv, &mut pool);
+        assert!(pool.take_warm_victim(2 * MEM).is_none(), "size segregated");
+        let t0 = clock.now();
+        let vm = pool.take_warm_victim(MEM).expect("victim");
+        assert!(
+            (clock.now() - t0).get() > 0,
+            "demotion on the acquire path charges the wipe"
+        );
+        assert!(vm.read_guest(0x100, 8).unwrap().iter().all(|&b| b == 0));
+        assert!(vm.read_guest(0x2000, 8).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(pool.warm_shells(), 0);
+        assert_eq!(pool.stats().warm_demoted, 1);
+    }
+
+    #[test]
+    fn zero_warm_capacity_degrades_to_a_wiped_release() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::CachedAsync, ENTRY).with_warm_capacity(0);
+        let snap = {
+            let (vm, _) = pool.acquire(&hv, MEM);
+            vm.write_guest(0x100, b"secret").unwrap();
+            let snap = std::rc::Rc::new(vm.snapshot());
+            pool.release_warm(vm, 0, 0, snap.clone());
+            snap
+        };
+        assert_eq!(pool.warm_shells(), 0);
+        assert!(pool.acquire_warm(&hv, 0, 0, MEM).is_none());
+        assert_eq!(pool.idle_shells(), 1);
+        let (vm, reused) = pool.acquire(&hv, MEM);
+        assert!(reused);
+        assert!(vm.read_guest(0x100, 6).unwrap().iter().all(|&b| b == 0));
+        drop(snap);
+    }
+
+    #[test]
+    fn disabled_pool_drops_warm_releases() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::Disabled, ENTRY);
+        let (vm, _) = pool.acquire(&hv, MEM);
+        let snap = std::rc::Rc::new(vm.snapshot());
+        pool.release_warm(vm, 0, 0, snap);
+        assert_eq!(pool.warm_shells() + pool.idle_shells(), 0);
     }
 
     #[test]

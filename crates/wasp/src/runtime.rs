@@ -6,14 +6,41 @@
 //! hypercall policy — and then [`Wasp::run`]s invocations against it. Each
 //! invocation:
 //!
-//! 1. acquires a hardware context from the shell [`Pool`] (§5.2);
-//! 2. installs the image, or restores the spec's snapshot if one was taken
-//!    by a previous invocation (§5.2 snapshotting, Figure 7);
+//! 1. acquires a hardware context from the shell [`Pool`] (§5.2) — a
+//!    *warm* shell parked by a previous run of the same virtine when one
+//!    exists, a clean shell otherwise;
+//! 2. installs the execution state, cheapest mechanism first:
+//!    * **warm delta re-arm** — the shell still holds the snapshot state;
+//!      only the pages the previous invocation dirtied are copied back
+//!      (`kvmsim::VmFd::restore_delta`), collapsing the `image` term of
+//!      [`Breakdown`] from the sparse-snapshot memcpy to a handful of
+//!      pages;
+//!    * **full sparse restore** — the spec has a snapshot but the shell is
+//!      clean (§5.2 snapshotting, Figure 7);
+//!    * **cold image install** — no snapshot yet;
 //! 3. writes the marshalled arguments at guest address 0x0 (§6.1);
 //! 4. runs the guest, interposing on every hypercall: the policy mask is
 //!    checked first (default-deny, §5.1), then a client-supplied custom
 //!    handler, then Wasp's canned handlers;
-//! 5. releases the shell back to the pool (cleaned per the pool mode).
+//! 5. releases the shell back to the pool: *warm* (state kept resident,
+//!    keyed to this virtine) after a normal snapshotted run, wiped clean
+//!    per the pool mode otherwise.
+//!
+//! ## Warm/clean shell lifecycle and isolation
+//!
+//! See the [`crate::pool`] module docs for the lifecycle diagram. The
+//! runtime upholds the two invariants warm caching rests on:
+//!
+//! * a shell is only parked warm when its state provably equals *the
+//!   spec's current snapshot plus the dirty-page log* — i.e. the run
+//!   restored that exact snapshot (full or delta) or captured it, and
+//!   exited normally; the `Rc` identity of the snapshot is the token
+//!   ([`RunOutcome::warm_state`]) that travels with the shell;
+//! * a warm shell handed back for the *same* `(tenant, virtine)` key is
+//!   re-armed before the guest runs, erasing every page the previous
+//!   invocation touched; any other path out of the warm list is a full
+//!   wipe. Either way no bit of a prior invocation's data is observable,
+//!   so §5.2's no-information-leakage guarantee survives the optimization.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -52,6 +79,10 @@ pub struct WaspConfig {
     /// When `true`, snapshotting is disabled for every spec regardless of
     /// its own flag (the [`NO_SNAPSHOT_ENV`] escape hatch).
     pub disable_snapshots: bool,
+    /// Bound on warm shells kept resident in the internal pool; zero
+    /// disables warm caching (every release wipes, the pre-warm-cache
+    /// behavior).
+    pub warm_capacity: usize,
 }
 
 impl Default for WaspConfig {
@@ -60,6 +91,7 @@ impl Default for WaspConfig {
             pool_mode: PoolMode::CachedAsync,
             step_budget: 500_000_000,
             disable_snapshots: false,
+            warm_capacity: crate::pool::DEFAULT_WARM_CAPACITY,
         }
     }
 }
@@ -163,12 +195,38 @@ impl ExitKind {
     }
 }
 
+/// Where the shell an invocation runs on came from. Layers that manage
+/// their own pools (e.g. `vsched`) acquire shells themselves and tell
+/// [`Wasp::run_on_shell`] the provenance so the install step can pick the
+/// matching (and cheapest sound) re-arm mechanism.
+#[derive(Debug, Clone)]
+pub enum ShellSource {
+    /// Freshly created via `KVM_CREATE_VM`: guest memory is zero.
+    Created,
+    /// Reused from a clean list: wiped on release, guest memory is zero.
+    Clean,
+    /// Parked warm: still holds the state of a previous snapshotted run of
+    /// the *same* `(tenant, virtine)`, derived from this snapshot, with
+    /// the dirty-page log recording the divergence. Eligible for a delta
+    /// re-arm iff the snapshot is still the spec's current one (compared
+    /// by `Rc` identity); otherwise the runtime wipes it in place.
+    Warm(Rc<VmSnapshot>),
+}
+
+impl ShellSource {
+    /// Whether the shell came from a pool rather than `KVM_CREATE_VM`.
+    pub fn is_reused(&self) -> bool {
+        !matches!(self, ShellSource::Created)
+    }
+}
+
 /// Cycle attribution for one invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Breakdown {
     /// Acquiring a shell (pool hit or `KVM_CREATE_VM`).
     pub acquire: Cycles,
-    /// Installing the image or restoring the snapshot, plus marshalling.
+    /// Installing the image or restoring the snapshot (full, or the
+    /// dirty-page delta on a warm hit), plus marshalling.
     pub image: Cycles,
     /// Guest execution including hypercall servicing.
     pub exec: Cycles,
@@ -180,6 +238,11 @@ pub struct Breakdown {
     pub reused_shell: bool,
     /// Whether a snapshot was restored instead of a cold boot.
     pub restored_snapshot: bool,
+    /// Whether the restore was a warm-shell delta re-arm rather than a
+    /// full sparse copy.
+    pub warm_hit: bool,
+    /// Pages copied by the delta re-arm (zero unless `warm_hit`).
+    pub delta_pages: u64,
 }
 
 /// The result of one virtine invocation.
@@ -197,6 +260,11 @@ pub struct RunOutcome {
     pub hypercalls: u64,
     /// Cycle attribution.
     pub breakdown: Breakdown,
+    /// When `Some`, the shell this outcome ran on was left in a state that
+    /// provably equals this snapshot plus the dirty-page log — the caller
+    /// may park it *warm* ([`Pool::release_warm`]) instead of wiping it.
+    /// `None` means the shell must take the ordinary wiped release.
+    pub warm_state: Option<Rc<VmSnapshot>>,
 }
 
 impl RunOutcome {
@@ -263,11 +331,33 @@ pub struct WaspStats {
     pub snapshots_taken: u64,
     /// Invocations that started from a snapshot.
     pub snapshot_restores: u64,
+    /// Snapshot restores served by a warm-shell delta re-arm (a subset of
+    /// `snapshot_restores`).
+    pub warm_hits: u64,
+    /// Total pages copied across all delta re-arms.
+    pub delta_pages_copied: u64,
+}
+
+/// Per-virtine warm-path statistics (surfaced alongside [`WaspStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtineWarmStats {
+    /// Invocations re-armed from a warm shell (delta restore).
+    pub warm_hits: u64,
+    /// Invocations that paid the full sparse restore.
+    pub full_restores: u64,
+    /// Invocations that cold-booted from the image.
+    pub cold_boots: u64,
+    /// Total pages copied by delta re-arms.
+    pub delta_pages: u64,
+    /// Runs that left their shell warm-parkable (normal exit with the
+    /// spec's current snapshot armed).
+    pub warm_ready: u64,
 }
 
 struct SpecEntry {
     spec: VirtineSpec,
     snapshot: Option<Rc<VmSnapshot>>,
+    warm: VirtineWarmStats,
 }
 
 /// A client-supplied hypercall handler. Returning `None` falls through to
@@ -302,7 +392,7 @@ impl Wasp {
     /// Creates a runtime over the given hypervisor.
     pub fn new(hv: Hypervisor, config: WaspConfig) -> Wasp {
         let kernel = hv.kernel().clone();
-        let pool = Pool::new(config.pool_mode, LOAD_ADDR);
+        let pool = Pool::new(config.pool_mode, LOAD_ADDR).with_warm_capacity(config.warm_capacity);
         Wasp {
             hv,
             kernel,
@@ -366,15 +456,31 @@ impl Wasp {
         specs.push(SpecEntry {
             spec,
             snapshot: None,
+            warm: VirtineWarmStats::default(),
         });
         Ok(VirtineId(specs.len() - 1))
     }
 
-    /// Drops the stored snapshot for a spec (tests and experiments).
+    /// Drops the stored snapshot for a spec (tests and experiments). Warm
+    /// shells parked against the dropped snapshot become stale; the next
+    /// acquire detects the mismatch (by `Rc` identity) and wipes them.
     pub fn invalidate_snapshot(&self, id: VirtineId) {
         if let Some(e) = self.specs.borrow_mut().get_mut(id.0) {
             e.snapshot = None;
         }
+    }
+
+    /// The spec's current snapshot, if one has been captured.
+    pub fn current_snapshot(&self, id: VirtineId) -> Option<Rc<VmSnapshot>> {
+        self.specs
+            .borrow()
+            .get(id.0)
+            .and_then(|e| e.snapshot.clone())
+    }
+
+    /// Per-virtine warm-path statistics.
+    pub fn virtine_warm_stats(&self, id: VirtineId) -> Option<VirtineWarmStats> {
+        self.specs.borrow().get(id.0).map(|e| e.warm)
     }
 
     /// Runs one invocation with the canned handlers only.
@@ -387,6 +493,10 @@ impl Wasp {
         self.run_with_handler(id, args, invocation, &mut |_, _, _, _| None)
     }
 
+    /// Tenant tag the runtime's internal pool keys warm shells under: Wasp
+    /// embeds in a single virtine client, so there is exactly one tenant.
+    const SELF_TENANT: u64 = 0;
+
     /// Runs one invocation, giving `handler` first refusal on every
     /// permitted hypercall.
     pub fn run_with_handler(
@@ -396,25 +506,41 @@ impl Wasp {
         invocation: Invocation,
         handler: CustomHandler<'_>,
     ) -> Result<RunOutcome, WaspError> {
-        let mem_size = {
+        let (mem_size, warm_eligible) = {
             let specs = self.specs.borrow();
-            specs
-                .get(id.0)
-                .ok_or(WaspError::NoSuchVirtine)?
-                .spec
-                .mem_size
+            let e = specs.get(id.0).ok_or(WaspError::NoSuchVirtine)?;
+            (e.spec.mem_size, e.spec.snapshot && e.snapshot.is_some())
         };
         let clock = self.kernel.clock().clone();
         let t0 = clock.now();
 
-        // 1. Acquire a hardware context (Figure 6: reuse or provision).
-        let (vm, reused) = self.pool.borrow_mut().acquire(&self.hv, mem_size);
+        // 1. Acquire a hardware context (Figure 6: reuse or provision) —
+        // warm shell for this virtine first, clean shell otherwise.
+        let warm = if warm_eligible {
+            self.pool
+                .borrow_mut()
+                .acquire_warm(&self.hv, Self::SELF_TENANT, id.0, mem_size)
+        } else {
+            None
+        };
+        let (vm, source) = match warm {
+            Some((vm, snap)) => (vm, ShellSource::Warm(snap)),
+            None => {
+                let (vm, reused) = self.pool.borrow_mut().acquire(&self.hv, mem_size);
+                let source = if reused {
+                    ShellSource::Clean
+                } else {
+                    ShellSource::Created
+                };
+                (vm, source)
+            }
+        };
         let t_acquired = clock.now();
 
         // 2.–4. Execute on the acquired shell.
         let (mut outcome, vm) = self.run_on_shell(
             vm,
-            reused,
+            source,
             id,
             args,
             invocation,
@@ -422,9 +548,16 @@ impl Wasp {
             handler,
         )?;
 
-        // 5. Recycle the shell.
+        // 5. Recycle the shell: park it warm when the run left it in
+        // snapshot-derived state, wipe it otherwise.
         let t_exec = clock.now();
-        self.pool.borrow_mut().release(vm);
+        match outcome.warm_state.clone() {
+            Some(snap) => self
+                .pool
+                .borrow_mut()
+                .release_warm(vm, Self::SELF_TENANT, id.0, snap),
+            None => self.pool.borrow_mut().release(vm),
+        }
         let t_end = clock.now();
 
         outcome.breakdown.acquire = t_acquired - t0;
@@ -436,15 +569,18 @@ impl Wasp {
     /// Runs one invocation on a caller-provided shell, returning the used
     /// shell instead of releasing it into Wasp's internal pool. This is the
     /// dispatcher entry point: a scheduling layer (e.g. `vsched`) that keeps
-    /// its own sharded shell pools acquires a shell itself, hands it here,
-    /// and decides afterwards which shard's pool the shell is parked in.
+    /// its own sharded shell pools acquires a shell itself, hands it here
+    /// with its [`ShellSource`] provenance, and decides afterwards which
+    /// shard's pool the shell is parked in (and whether warm or clean —
+    /// see [`RunOutcome::warm_state`]).
     ///
     /// `narrow` is intersected with the spec's [`HypercallMask`]: a tenant
     /// profile can only further restrict what the spec permits. Pass
     /// [`HypercallMask::ALLOW_ALL`] for spec-policy-only behavior.
     ///
     /// The returned shell is *dirty* — the caller must route it through a
-    /// [`Pool`] (whose release wipes it, §5.2) before any reuse.
+    /// [`Pool`] (whose release wipes it, §5.2, or parks it warm when
+    /// `warm_state` permits) before any reuse.
     ///
     /// The `breakdown.acquire`/`release` fields of the outcome are zero;
     /// they belong to whoever manages the shell's lifecycle.
@@ -452,7 +588,7 @@ impl Wasp {
     pub fn run_on_shell(
         &self,
         vm: VmFd,
-        reused: bool,
+        source: ShellSource,
         id: VirtineId,
         args: &[u8],
         mut invocation: Invocation,
@@ -479,15 +615,58 @@ impl Wasp {
         self.stats.borrow_mut().invocations += 1;
         let clock = self.kernel.clock().clone();
         let t_acquired = clock.now();
+        let reused = source.is_reused();
 
-        // 2. Install the execution state: snapshot fast path or cold image.
-        let restored = if let (true, Some(snap)) = (snapshot_enabled, &snap) {
-            vm.restore(snap);
-            self.stats.borrow_mut().snapshot_restores += 1;
-            true
-        } else {
-            vm.load_image(&image);
-            false
+        // 2. Install the execution state: warm delta re-arm when the shell
+        // already holds the spec's current snapshot, else full sparse
+        // restore, else cold image.
+        let mut armed: Option<Rc<VmSnapshot>> = None;
+        let mut warm_hit = false;
+        let mut delta_pages = 0u64;
+        let restored = match source {
+            ShellSource::Warm(shell_snap)
+                if snapshot_enabled
+                    && snap
+                        .as_ref()
+                        .is_some_and(|cur| Rc::ptr_eq(cur, &shell_snap)) =>
+            {
+                delta_pages = vm.restore_delta(&shell_snap) as u64;
+                warm_hit = true;
+                {
+                    let mut stats = self.stats.borrow_mut();
+                    stats.snapshot_restores += 1;
+                    stats.warm_hits += 1;
+                    stats.delta_pages_copied += delta_pages;
+                }
+                {
+                    let mut specs = self.specs.borrow_mut();
+                    let warm = &mut specs[id.0].warm;
+                    warm.warm_hits += 1;
+                    warm.delta_pages += delta_pages;
+                }
+                armed = Some(shell_snap);
+                true
+            }
+            other => {
+                if matches!(other, ShellSource::Warm(_)) {
+                    // Stale warm shell: the snapshot it derives from is no
+                    // longer the spec's current one (invalidated or
+                    // re-registered since it parked). Demote in place with
+                    // a full, charged wipe before the ordinary install.
+                    vm.clean(LOAD_ADDR);
+                }
+                if let (true, Some(cur)) = (snapshot_enabled, &snap) {
+                    vm.restore(cur);
+                    self.stats.borrow_mut().snapshot_restores += 1;
+                    self.specs.borrow_mut()[id.0].warm.full_restores += 1;
+                    armed = Some(Rc::clone(cur));
+                    true
+                } else {
+                    vm.load_image(&image);
+                    self.specs.borrow_mut()[id.0].warm.cold_boots += 1;
+                    false
+                }
+            }
         };
         // 3. Marshal arguments into the address space (charged as a copy).
         if !args.is_empty() {
@@ -545,7 +724,12 @@ impl Wasp {
                                 let mut specs = self.specs.borrow_mut();
                                 let entry = &mut specs[id.0];
                                 if entry.snapshot.is_none() {
-                                    entry.snapshot = Some(Rc::new(vm.snapshot()));
+                                    let taken = Rc::new(vm.snapshot());
+                                    entry.snapshot = Some(Rc::clone(&taken));
+                                    // The capture reset the dirty log, so
+                                    // from here the shell's state is this
+                                    // snapshot plus the log: warm-parkable.
+                                    armed = Some(taken);
                                     self.stats.borrow_mut().snapshots_taken += 1;
                                 }
                             }
@@ -558,6 +742,28 @@ impl Wasp {
         let t_exec = clock.now();
         let ret = vcpu.reg(Reg(0));
         let marks = vcpu.take_marks();
+
+        // The shell may park warm only when its state provably derives
+        // from the spec's *current* snapshot (compared by Rc identity — a
+        // concurrent invalidate/re-register voids the token) and the run
+        // ended by normal means; abnormal exits take the wiped release out
+        // of caution and hygiene.
+        let warm_state = if snapshot_enabled && exit.is_normal() {
+            let current = self
+                .specs
+                .borrow()
+                .get(id.0)
+                .and_then(|e| e.snapshot.clone());
+            match (armed, current) {
+                (Some(a), Some(c)) if Rc::ptr_eq(&a, &c) => {
+                    self.specs.borrow_mut()[id.0].warm.warm_ready += 1;
+                    Some(a)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
 
         let outcome = RunOutcome {
             exit,
@@ -573,7 +779,10 @@ impl Wasp {
                 total: t_exec - t_acquired,
                 reused_shell: reused,
                 restored_snapshot: restored,
+                warm_hit,
+                delta_pages,
             },
+            warm_state,
         };
         Ok((outcome, vm))
     }
@@ -599,6 +808,7 @@ impl Wasp {
 mod tests {
     use super::*;
     use crate::hypercall::nr;
+    use vclock::costs;
 
     fn wasp(mode: PoolMode) -> Wasp {
         let clock = Clock::new();
@@ -738,6 +948,208 @@ init:
             "restore exec {} !< cold exec {}",
             out2.breakdown.exec,
             out1.breakdown.exec
+        );
+    }
+
+    /// The snapshot fixture: a slow init loop, a snapshot, then
+    /// args-dependent work — run N's result is 7000 + arg.
+    fn snap_image() -> Image {
+        image(
+            "
+.org 0x8000
+  mov r1, 0x7000
+  mov r2, 0
+  mov r3, 0
+init:
+  add r2, 7
+  add r3, 1
+  cmp r3, 1000
+  jl init
+  store.q [r1], r2
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  mov r4, 0
+  load.q r5, [r4]      ; arg
+  load.q r6, [r1]
+  mov r0, r5
+  add r0, r6
+  hlt
+",
+        )
+    }
+
+    #[test]
+    fn second_run_is_a_warm_hit_with_a_tiny_delta() {
+        let w = wasp(PoolMode::CachedAsync);
+        let id = w
+            .register(VirtineSpec::new("warm", snap_image(), MEM))
+            .unwrap();
+
+        // Run 1: cold boot, takes the snapshot mid-run, parks warm.
+        let out1 = w
+            .run(id, &1u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        assert_eq!(out1.exit, ExitKind::Halted(7001));
+        assert!(!out1.breakdown.warm_hit);
+
+        // Run 2: re-armed from the warm shell — a delta of a couple of
+        // pages (the args page and any post-snapshot writes), not the full
+        // sparse snapshot.
+        let out2 = w
+            .run(id, &2u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        assert_eq!(out2.exit, ExitKind::Halted(7002), "re-arm must be exact");
+        assert!(out2.breakdown.warm_hit && out2.breakdown.restored_snapshot);
+        assert!(out2.breakdown.reused_shell);
+        // Run 1's args write predates its snapshot, so the first re-arm
+        // can even be empty; run 3 must copy back exactly the pages run 2
+        // dirtied after its re-arm (the args page).
+        assert!(
+            out2.breakdown.delta_pages <= 4,
+            "delta of {} pages",
+            out2.breakdown.delta_pages
+        );
+        let out3 = w
+            .run(id, &3u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        assert_eq!(out3.exit, ExitKind::Halted(7003));
+        assert!(out3.breakdown.warm_hit);
+        assert!(
+            (1..=4).contains(&out3.breakdown.delta_pages),
+            "delta of {} pages",
+            out3.breakdown.delta_pages
+        );
+        assert!(
+            out2.breakdown.image < out1.breakdown.image,
+            "delta image {} !< cold image {}",
+            out2.breakdown.image,
+            out1.breakdown.image
+        );
+        let stats = w.stats();
+        assert_eq!(stats.warm_hits, 2);
+        assert_eq!(
+            stats.delta_pages_copied,
+            out2.breakdown.delta_pages + out3.breakdown.delta_pages
+        );
+        let vw = w.virtine_warm_stats(id).unwrap();
+        assert_eq!((vw.warm_hits, vw.cold_boots), (2, 1));
+        assert_eq!(vw.warm_ready, 3, "all runs left the shell parkable");
+    }
+
+    #[test]
+    fn warm_hit_lands_near_the_vmrun_floor() {
+        // Acceptance: warm-hit acquire+image must be within 2x of a bare
+        // KVM_RUN round trip for a small-dirty-footprint virtine, versus
+        // the full sparse restore on the cold (clean-shell) path.
+        let w = wasp(PoolMode::CachedAsync);
+        let id = w
+            .register(VirtineSpec::new("floor", snap_image(), MEM))
+            .unwrap();
+        w.run(id, &1u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        let warm = w
+            .run(id, &2u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        assert!(warm.breakdown.warm_hit);
+        let warm_cost = (warm.breakdown.acquire + warm.breakdown.image).get();
+        assert!(
+            warm_cost <= 2 * costs::kvm_run_round_trip(),
+            "warm acquire+image {warm_cost} > 2x vmrun floor {}",
+            2 * costs::kvm_run_round_trip()
+        );
+
+        // Same virtine without warm caching: the full sparse restore.
+        let clock = Clock::new();
+        let cold_w = Wasp::new(
+            Hypervisor::kvm(HostKernel::new(clock, None)),
+            WaspConfig {
+                warm_capacity: 0,
+                ..WaspConfig::default()
+            },
+        );
+        let id = cold_w
+            .register(VirtineSpec::new("full", snap_image(), MEM))
+            .unwrap();
+        cold_w
+            .run(id, &1u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        let full = cold_w
+            .run(id, &2u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        assert!(full.breakdown.restored_snapshot && !full.breakdown.warm_hit);
+        let full_cost = (full.breakdown.acquire + full.breakdown.image).get();
+        assert!(
+            warm_cost < full_cost,
+            "warm {warm_cost} must beat full restore {full_cost}"
+        );
+    }
+
+    #[test]
+    fn invalidated_snapshot_makes_warm_shells_stale_and_wiped() {
+        let w = wasp(PoolMode::CachedAsync);
+        let id = w
+            .register(VirtineSpec::new("stale", snap_image(), MEM))
+            .unwrap();
+        w.run(id, &1u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        w.invalidate_snapshot(id);
+        // The parked warm shell no longer matches any current snapshot:
+        // the runtime wipes it in place and cold-boots (retaking the
+        // snapshot mid-run).
+        let out = w
+            .run(id, &2u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        assert_eq!(out.exit, ExitKind::Halted(7002));
+        assert!(!out.breakdown.warm_hit && !out.breakdown.restored_snapshot);
+        assert_eq!(w.stats().warm_hits, 0);
+        // The shell parks warm against the *new* snapshot and hits again.
+        let out = w
+            .run(id, &3u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        assert!(out.breakdown.warm_hit);
+        assert_eq!(out.exit, ExitKind::Halted(7003));
+    }
+
+    #[test]
+    fn zero_warm_capacity_preserves_the_full_restore_path() {
+        let clock = Clock::new();
+        let w = Wasp::new(
+            Hypervisor::kvm(HostKernel::new(clock, None)),
+            WaspConfig {
+                warm_capacity: 0,
+                ..WaspConfig::default()
+            },
+        );
+        let id = w
+            .register(VirtineSpec::new("off", snap_image(), MEM))
+            .unwrap();
+        w.run(id, &1u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        let out = w
+            .run(id, &2u64.to_le_bytes(), Invocation::default())
+            .unwrap();
+        assert_eq!(out.exit, ExitKind::Halted(7002));
+        assert!(out.breakdown.restored_snapshot && !out.breakdown.warm_hit);
+        assert_eq!(w.stats().warm_hits, 0);
+    }
+
+    #[test]
+    fn abnormal_exits_never_park_warm() {
+        let w = wasp(PoolMode::CachedAsync);
+        // Snapshots, then attempts a denied hypercall (write under
+        // deny-all): the run ends Denied and the shell must be wiped, not
+        // parked warm.
+        let img = image(
+            ".org 0x8000\n mov r0, 8\n out 0x1, r0\n mov r0, 1\n mov r1, 1\n mov r2, 0x8000\n mov r3, 4\n out 0x1, r0\n hlt\n",
+        );
+        let id = w.register(VirtineSpec::new("deny", img, MEM)).unwrap();
+        let out = w.run(id, &[], Invocation::default()).unwrap();
+        assert!(matches!(out.exit, ExitKind::Denied { .. }));
+        assert!(out.warm_state.is_none());
+        let out2 = w.run(id, &[], Invocation::default()).unwrap();
+        assert!(
+            !out2.breakdown.warm_hit,
+            "no warm shell may survive an abnormal exit"
         );
     }
 
