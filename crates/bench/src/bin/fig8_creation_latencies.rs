@@ -83,7 +83,7 @@ fn main() {
     let sample = |f: &mut dyn FnMut()| -> Vec<f64> {
         (0..trials)
             .map(|_| {
-                let (_, d) = clock.time(|| f());
+                let (_, d) = clock.time(&mut *f);
                 d.get() as f64
             })
             .collect()

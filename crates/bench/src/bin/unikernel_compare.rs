@@ -22,11 +22,10 @@ fn main() {
         let wasp = Wasp::new_kvm_default();
         let id = v
             .register(&wasp)
-            .map(|id| {
+            .inspect(|&id| {
                 if !snapshot {
                     wasp.invalidate_snapshot(id);
                 }
-                id
             })
             .expect("register");
         if snapshot {

@@ -22,7 +22,7 @@ use vclock::noise::NoiseModel;
 use vclock::{costs, Clock, Cycles};
 
 pub use fs::{Fd, FileStat, FsError};
-pub use net::{NetError, SockId};
+pub use net::{NetError, SockId, SockReady};
 
 struct Inner {
     clock: Clock,
@@ -250,6 +250,34 @@ impl HostKernel {
     pub fn net_close(&self, sock: SockId) -> Result<(), NetError> {
         self.syscall_overhead();
         self.inner.net.borrow_mut().close(sock)
+    }
+
+    // -- Readiness machinery for event-driven blocked I/O. -----------------
+    //
+    // These are kernel-internal bookkeeping, not guest-visible system
+    // calls: a blocking `recv` is *one* syscall that parks in the kernel
+    // and completes when data arrives, so registration, probing, and wake
+    // delivery charge nothing. The data-delivery `net_recv` at wake time
+    // carries the full syscall + copy cost, exactly once.
+
+    /// Probes a socket's receive side without consuming data or cycles.
+    pub fn net_poll(&self, sock: SockId) -> Result<SockReady, NetError> {
+        self.inner.net.borrow().poll(sock)
+    }
+
+    /// Registers a one-shot waiter woken when `sock` becomes readable.
+    pub fn net_register_waiter(&self, sock: SockId, token: u64) -> Result<(), NetError> {
+        self.inner.net.borrow_mut().register_waiter(sock, token)
+    }
+
+    /// Drops any waiter registered on `sock`.
+    pub fn net_clear_waiter(&self, sock: SockId) {
+        self.inner.net.borrow_mut().clear_waiter(sock);
+    }
+
+    /// Drains the waiter tokens whose sockets became readable.
+    pub fn net_take_woken(&self) -> Vec<u64> {
+        self.inner.net.borrow_mut().take_woken()
     }
 }
 

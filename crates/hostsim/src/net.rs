@@ -5,6 +5,17 @@
 //! deterministic loopback fabric those bytes travel over. Message-oriented
 //! FIFO queues per direction are sufficient for the request/response
 //! patterns the experiments use.
+//!
+//! ## Readiness and waiters
+//!
+//! Event-driven dispatch (a virtine parked in a blocking `recv` yields its
+//! shard worker) needs the socket layer to say *when* a socket becomes
+//! readable. Each endpoint can register one opaque waiter token
+//! ([`LoopbackNet::register_waiter`]); a `send` to the socket — or a peer
+//! `close`, which makes EOF readable — moves the token to a wake queue the
+//! scheduler drains with [`LoopbackNet::take_woken`]. Waiters are
+//! edge-triggered and one-shot: delivery clears the registration, and a
+//! blocked consumer re-registers if it blocks again.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -24,6 +35,10 @@ pub enum NetError {
     BadSocket(SockId),
     /// Accept on a port that is not listening.
     NotListening(u16),
+    /// A waiter is already registered on the socket. One blocked consumer
+    /// per socket: silently replacing the first token would orphan its
+    /// parked run forever.
+    WaiterBusy(SockId),
 }
 
 impl fmt::Display for NetError {
@@ -33,11 +48,23 @@ impl fmt::Display for NetError {
             NetError::AddrInUse(p) => write!(f, "address in use: port {p}"),
             NetError::BadSocket(s) => write!(f, "bad socket {}", s.0),
             NetError::NotListening(p) => write!(f, "port {p} is not listening"),
+            NetError::WaiterBusy(s) => write!(f, "socket {} already has a waiter", s.0),
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+/// What a non-destructive readiness probe of a socket's receive side says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SockReady {
+    /// At least one message is queued; a `recv` returns data.
+    Readable,
+    /// No data queued but the peer is still open: a `recv` would block.
+    WouldBlock,
+    /// No data queued and the peer closed: a `recv` returns EOF.
+    Eof,
+}
 
 #[derive(Debug, Default)]
 struct Endpoint {
@@ -45,6 +72,8 @@ struct Endpoint {
     rx: VecDeque<Vec<u8>>,
     /// The other end of the connection, if still open.
     peer: Option<SockId>,
+    /// One-shot waiter woken when this endpoint becomes readable.
+    waiter: Option<u64>,
 }
 
 /// The loopback network: listeners, accept queues, and per-socket queues.
@@ -53,6 +82,8 @@ pub struct LoopbackNet {
     listeners: HashMap<u16, VecDeque<SockId>>,
     sockets: HashMap<SockId, Endpoint>,
     next_id: u64,
+    /// Waiter tokens whose sockets became readable, in wake order.
+    woken: Vec<u64>,
 }
 
 impl LoopbackNet {
@@ -81,15 +112,15 @@ impl LoopbackNet {
         self.sockets.insert(
             client,
             Endpoint {
-                rx: VecDeque::new(),
                 peer: Some(server),
+                ..Endpoint::default()
             },
         );
         self.sockets.insert(
             server,
             Endpoint {
-                rx: VecDeque::new(),
                 peer: Some(client),
+                ..Endpoint::default()
             },
         );
         self.listeners
@@ -108,7 +139,7 @@ impl LoopbackNet {
         Ok(q.pop_front())
     }
 
-    /// Sends one message to the peer.
+    /// Sends one message to the peer, waking its registered waiter if any.
     pub fn send(&mut self, sock: SockId, data: &[u8]) -> Result<(), NetError> {
         let peer = self
             .sockets
@@ -121,10 +152,14 @@ impl LoopbackNet {
             .get_mut(&peer)
             .ok_or(NetError::BadSocket(peer))?;
         peer_ep.rx.push_back(data.to_vec());
+        if let Some(token) = peer_ep.waiter.take() {
+            self.woken.push(token);
+        }
         Ok(())
     }
 
-    /// Receives one message (truncated to `max_len`); `None` would block.
+    /// Receives one message (truncated to `max_len`); `None` would block
+    /// *or* is EOF — use [`LoopbackNet::poll`] to tell the two apart.
     pub fn recv(&mut self, sock: SockId, max_len: usize) -> Result<Option<Vec<u8>>, NetError> {
         let ep = self
             .sockets
@@ -136,7 +171,56 @@ impl LoopbackNet {
         }))
     }
 
+    /// Probes the receive side without consuming anything.
+    pub fn poll(&self, sock: SockId) -> Result<SockReady, NetError> {
+        let ep = self.sockets.get(&sock).ok_or(NetError::BadSocket(sock))?;
+        Ok(if !ep.rx.is_empty() {
+            SockReady::Readable
+        } else if ep.peer.is_some() {
+            SockReady::WouldBlock
+        } else {
+            SockReady::Eof
+        })
+    }
+
+    /// Registers `token` to be woken when `sock` becomes readable. If the
+    /// socket is *already* readable (data queued, or EOF pending), the
+    /// token goes straight to the wake queue — registration never loses a
+    /// wake that raced the block decision. At most one waiter per socket:
+    /// a second registration is refused ([`NetError::WaiterBusy`]) rather
+    /// than silently orphaning the first.
+    pub fn register_waiter(&mut self, sock: SockId, token: u64) -> Result<(), NetError> {
+        let ready = self.poll(sock)? != SockReady::WouldBlock;
+        let ep = self
+            .sockets
+            .get_mut(&sock)
+            .ok_or(NetError::BadSocket(sock))?;
+        if ep.waiter.is_some() {
+            return Err(NetError::WaiterBusy(sock));
+        }
+        if ready {
+            self.woken.push(token);
+        } else {
+            ep.waiter = Some(token);
+        }
+        Ok(())
+    }
+
+    /// Drops any waiter registered on `sock` (e.g. the blocked run was
+    /// killed). Missing sockets are fine: close already cleared it.
+    pub fn clear_waiter(&mut self, sock: SockId) {
+        if let Some(ep) = self.sockets.get_mut(&sock) {
+            ep.waiter = None;
+        }
+    }
+
+    /// Drains the tokens whose sockets became readable since the last call.
+    pub fn take_woken(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.woken)
+    }
+
     /// Closes a socket; the peer keeps its queued data but loses the link.
+    /// EOF is readable, so a waiter parked on the peer is woken.
     pub fn close(&mut self, sock: SockId) -> Result<(), NetError> {
         let ep = self
             .sockets
@@ -145,6 +229,9 @@ impl LoopbackNet {
         if let Some(peer) = ep.peer {
             if let Some(pe) = self.sockets.get_mut(&peer) {
                 pe.peer = None;
+                if let Some(token) = pe.waiter.take() {
+                    self.woken.push(token);
+                }
             }
         }
         Ok(())
@@ -207,6 +294,90 @@ mod tests {
         assert!(n.accept(7).unwrap().is_some());
         assert!(n.accept(7).unwrap().is_some());
         assert!(n.accept(7).unwrap().is_none());
+    }
+
+    #[test]
+    fn poll_distinguishes_data_wouldblock_and_eof() {
+        let mut n = LoopbackNet::default();
+        n.listen(5).unwrap();
+        let c = n.connect(5).unwrap();
+        let s = n.accept(5).unwrap().unwrap();
+        assert_eq!(n.poll(s).unwrap(), SockReady::WouldBlock);
+        n.send(c, b"x").unwrap();
+        assert_eq!(n.poll(s).unwrap(), SockReady::Readable);
+        n.recv(s, 8).unwrap().unwrap();
+        assert_eq!(n.poll(s).unwrap(), SockReady::WouldBlock);
+        n.close(c).unwrap();
+        assert_eq!(n.poll(s).unwrap(), SockReady::Eof);
+        assert!(n.poll(c).is_err(), "closed socket has no readiness");
+    }
+
+    #[test]
+    fn send_wakes_registered_waiter_once() {
+        let mut n = LoopbackNet::default();
+        n.listen(5).unwrap();
+        let c = n.connect(5).unwrap();
+        let s = n.accept(5).unwrap().unwrap();
+        n.register_waiter(s, 42).unwrap();
+        assert!(n.take_woken().is_empty(), "nothing readable yet");
+        n.send(c, b"a").unwrap();
+        assert_eq!(n.take_woken(), vec![42]);
+        // One-shot: a second send with no registration wakes nobody.
+        n.send(c, b"b").unwrap();
+        assert!(n.take_woken().is_empty());
+    }
+
+    #[test]
+    fn registering_on_an_already_readable_socket_wakes_immediately() {
+        let mut n = LoopbackNet::default();
+        n.listen(5).unwrap();
+        let c = n.connect(5).unwrap();
+        let s = n.accept(5).unwrap().unwrap();
+        n.send(c, b"early").unwrap();
+        n.register_waiter(s, 7).unwrap();
+        assert_eq!(n.take_woken(), vec![7], "no lost wake-up");
+        // EOF is readable too.
+        n.recv(s, 64).unwrap().unwrap();
+        n.close(c).unwrap();
+        n.register_waiter(s, 8).unwrap();
+        assert_eq!(n.take_woken(), vec![8]);
+    }
+
+    #[test]
+    fn peer_close_wakes_waiter_for_eof() {
+        let mut n = LoopbackNet::default();
+        n.listen(5).unwrap();
+        let c = n.connect(5).unwrap();
+        let s = n.accept(5).unwrap().unwrap();
+        n.register_waiter(s, 9).unwrap();
+        n.close(c).unwrap();
+        assert_eq!(n.take_woken(), vec![9]);
+        assert_eq!(n.poll(s).unwrap(), SockReady::Eof);
+    }
+
+    #[test]
+    fn second_waiter_registration_is_refused_not_overwritten() {
+        let mut n = LoopbackNet::default();
+        n.listen(5).unwrap();
+        let c = n.connect(5).unwrap();
+        let s = n.accept(5).unwrap().unwrap();
+        n.register_waiter(s, 1).unwrap();
+        assert_eq!(n.register_waiter(s, 2), Err(NetError::WaiterBusy(s)));
+        // The first registration survives and is the one woken.
+        n.send(c, b"x").unwrap();
+        assert_eq!(n.take_woken(), vec![1]);
+    }
+
+    #[test]
+    fn clear_waiter_prevents_wake() {
+        let mut n = LoopbackNet::default();
+        n.listen(5).unwrap();
+        let c = n.connect(5).unwrap();
+        let s = n.accept(5).unwrap().unwrap();
+        n.register_waiter(s, 1).unwrap();
+        n.clear_waiter(s);
+        n.send(c, b"z").unwrap();
+        assert!(n.take_woken().is_empty());
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! door (token bucket / in-flight caps), shard pools keep the §5.2 reuse
 //! path contention-free, and stealing keeps shards busy under skew.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use hostsim::HostKernel;
 use kvmsim::Hypervisor;
 use vclock::Clock;
-use vsched::{Dispatcher, DispatcherConfig, Request, ShedReason, TenantId, TenantProfile};
+use vsched::{
+    BlockMode, Dispatcher, DispatcherConfig, Request, ShedReason, TenantId, TenantProfile,
+};
 use wasp::{Invocation, VirtineSpec, Wasp, WaspConfig};
 
 use crate::response_status;
@@ -51,6 +56,10 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
             ("{outcome=\"shed_rate_limit\"}".into(), s.shed_rate_limit),
             ("{outcome=\"shed_in_flight\"}".into(), s.shed_in_flight),
             ("{outcome=\"shed_deadline\"}".into(), s.shed_deadline),
+            (
+                "{outcome=\"shed_deadline_unmeetable\"}".into(),
+                s.shed_deadline_unmeetable,
+            ),
         ],
     );
     metric(
@@ -76,6 +85,36 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
         "counter",
         "Shard batch ticks executed",
         &plain(s.batches),
+    );
+    metric(
+        "vsched_blocked_total",
+        "counter",
+        "Runs suspended at a blocking recv",
+        &plain(s.blocked),
+    );
+    metric(
+        "vsched_resumed_total",
+        "counter",
+        "Parked runs re-queued by a socket wake",
+        &plain(s.resumed),
+    );
+    metric(
+        "vsched_blocked_timeout_total",
+        "counter",
+        "Parked runs killed at their tenant max_block bound",
+        &plain(s.blocked_timeout),
+    );
+    metric(
+        "vsched_busy_wait_cycles_total",
+        "counter",
+        "Worker cycles burned waiting on blocked I/O (zero when event-driven)",
+        &plain(s.busy_wait_cycles),
+    );
+    metric(
+        "vsched_parked",
+        "gauge",
+        "Blocked runs currently parked across all shards",
+        &plain(d.parked() as u64),
     );
 
     let p = d.pool_stats();
@@ -130,6 +169,18 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
         "counter",
         "Warm hits per shard",
         &per_shard(&|s| s.stats.warm_hits),
+    );
+    metric(
+        "vsched_shard_parked",
+        "gauge",
+        "Blocked runs parked per shard",
+        &per_shard(&|s| s.parked as u64),
+    );
+    metric(
+        "vsched_shard_busy_wait_cycles_total",
+        "counter",
+        "Worker cycles burned on blocked waits per shard",
+        &per_shard(&|s| s.stats.busy_wait_cycles),
     );
 
     // Tenant names are operator-supplied free text; escape them per the
@@ -197,14 +248,52 @@ pub struct DispatchedRun {
     pub served_by_tenant: Vec<u64>,
     /// End-to-end latencies (virtual seconds) of served requests.
     pub latencies: Vec<f64>,
+    /// End-to-end latencies split by tenant index (slow clients dominate
+    /// the global tail; per-tenant views isolate the victims).
+    pub latencies_by_tenant: Vec<Vec<f64>>,
     /// Served requests per virtual second over the run.
     pub throughput_rps: f64,
     /// Final dispatcher statistics.
     pub stats: vsched::DispatcherStats,
 }
 
+/// A request chunk scheduled for delivery at a virtual time (slow-client
+/// trickling). Ordered by delivery time for the pump's min-heap.
+#[derive(Debug, PartialEq)]
+struct ScheduledSend {
+    /// Delivery time in virtual seconds.
+    at_s: f64,
+    /// Tie-break so deliveries at the same instant stay in schedule order.
+    seq: u64,
+    sock: hostsim::SockId,
+    bytes: Vec<u8>,
+}
+
+impl Eq for ScheduledSend {}
+
+impl PartialOrd for ScheduledSend {
+    fn partial_cmp(&self, other: &ScheduledSend) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledSend {
+    fn cmp(&self, other: &ScheduledSend) -> std::cmp::Ordering {
+        self.at_s
+            .total_cmp(&other.at_s)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
 /// A static-content HTTP server whose connection handlers run in virtines
 /// placed by `vsched`.
+///
+/// Request delivery is *trickled*: each offer schedules its request bytes
+/// as one or more chunks at virtual delivery times, and the server pumps
+/// dispatcher progress and chunk sends in time order. A handler whose
+/// `recv` outruns the client's chunks parks (event-driven dispatch) and
+/// resumes per chunk — slow clients exercise the blocked-I/O path
+/// end-to-end instead of being buffered host-side.
 pub struct DispatchedServer {
     kernel: HostKernel,
     dispatcher: Dispatcher,
@@ -214,6 +303,8 @@ pub struct DispatchedServer {
     shed: Vec<u64>,
     file_size: usize,
     request_line: Vec<u8>,
+    sends: BinaryHeap<Reverse<ScheduledSend>>,
+    send_seq: u64,
 }
 
 const PORT: u16 = 80;
@@ -221,9 +312,16 @@ const FILE_PATH: &str = "/www/index.html";
 
 impl DispatchedServer {
     /// Builds a server over `shards` dispatcher shards serving a
-    /// `file_size`-byte static file. Handlers snapshot after boot
-    /// (Figure 7's fast path), as §6.3's best configuration does.
+    /// `file_size`-byte static file, with event-driven blocked I/O.
     pub fn new(shards: usize, file_size: usize) -> DispatchedServer {
+        DispatchedServer::new_with(shards, file_size, BlockMode::EventDriven)
+    }
+
+    /// [`DispatchedServer::new`] with an explicit blocked-I/O policy
+    /// (the `blocked_io` bench measures `SpinPoll` as its baseline).
+    /// Handlers snapshot after boot (Figure 7's fast path), as §6.3's
+    /// best configuration does.
+    pub fn new_with(shards: usize, file_size: usize, block: BlockMode) -> DispatchedServer {
         let clock = Clock::new();
         let kernel = HostKernel::new(clock, None);
         let body: Vec<u8> = (0..file_size).map(|i| b'a' + (i % 23) as u8).collect();
@@ -242,6 +340,7 @@ impl DispatchedServer {
                 // empty queues it alternates shards, and each landing
                 // demote-steals the *other* shard's warm shell.
                 placement: vsched::Placement::SnapshotAware,
+                block,
                 ..DispatcherConfig::default()
             },
         );
@@ -259,6 +358,8 @@ impl DispatchedServer {
             shed: Vec::new(),
             file_size,
             request_line: format!("GET {FILE_PATH} HTTP/1.0\r\n\r\n").into_bytes(),
+            sends: BinaryHeap::new(),
+            send_seq: 0,
         }
     }
 
@@ -320,23 +421,65 @@ impl DispatchedServer {
     }
 
     /// Opens a connection as `tenant` at virtual time `arrival_s`, sends
-    /// the canned GET, and offers the accepted connection to the
-    /// dispatcher. Shed requests close the connection immediately (the
-    /// platform's "503" path, charged to no shard).
+    /// the canned GET in one piece, and offers the accepted connection to
+    /// the dispatcher — the fast-client path (the handler's first `recv`
+    /// finds the whole request). Shed requests close the connection
+    /// immediately (the platform's "503" path, charged to no shard).
     pub fn offer(&mut self, tenant: TenantId, arrival_s: f64) -> Result<(), ShedReason> {
+        self.offer_trickled(tenant, arrival_s, 1, 0.0)
+    }
+
+    /// Opens a connection as `tenant` at `arrival_s` and delivers the
+    /// canned GET in `chunks` pieces spread over `spread_s` virtual
+    /// seconds — a slow (slowloris-style) client. The first chunk arrives
+    /// with the request; the handler's next `recv` finds an empty socket
+    /// and parks until the following chunk lands, so the blocked-I/O path
+    /// runs end-to-end instead of the host buffering the request.
+    pub fn offer_trickled(
+        &mut self,
+        tenant: TenantId,
+        arrival_s: f64,
+        chunks: usize,
+        spread_s: f64,
+    ) -> Result<(), ShedReason> {
+        assert!(chunks >= 1);
+        self.pump_until(arrival_s);
         let client = self.kernel.net_connect(PORT).expect("connect");
-        self.kernel
-            .net_send(client, &self.request_line)
-            .expect("send");
         let server = self
             .kernel
             .net_accept(PORT)
             .expect("accept")
             .expect("pending connection");
+
+        let n = self.request_line.len();
+        let chunks = chunks.min(n);
+        let piece = n.div_ceil(chunks);
+        let parts: Vec<Vec<u8>> = self
+            .request_line
+            .chunks(piece)
+            .map(<[u8]>::to_vec)
+            .collect();
+        let step = if parts.len() > 1 {
+            spread_s / (parts.len() - 1) as f64
+        } else {
+            0.0
+        };
+        // The first chunk is on the wire when the request is offered.
+        self.kernel.net_send(client, &parts[0]).expect("send");
+
         let req = Request::new(tenant, self.virtine, arrival_s)
             .with_invocation(Invocation::with_conn(server));
         match self.dispatcher.submit(req) {
             Ok(_) => {
+                for (i, part) in parts.into_iter().enumerate().skip(1) {
+                    self.send_seq += 1;
+                    self.sends.push(Reverse(ScheduledSend {
+                        at_s: arrival_s + i as f64 * step,
+                        seq: self.send_seq,
+                        sock: client,
+                        bytes: part,
+                    }));
+                }
                 self.pending.push(PendingConn {
                     client,
                     server,
@@ -353,9 +496,30 @@ impl DispatchedServer {
         }
     }
 
+    /// Advances the server to virtual time `t_s`: delivers due chunks and
+    /// runs the dispatcher up to it. Lets a driver observe mid-run state
+    /// (e.g. scrape `/metrics` while slow clients are parked).
+    pub fn run_until(&mut self, t_s: f64) {
+        self.pump_until(t_s);
+        self.dispatcher.run_until(t_s);
+    }
+
+    /// Delivers every scheduled chunk due at or before `t_s`, advancing
+    /// the dispatcher to each delivery time first so parked handlers wake
+    /// in timestamp order.
+    fn pump_until(&mut self, t_s: f64) {
+        while self.sends.peek().is_some_and(|Reverse(s)| s.at_s <= t_s) {
+            let Reverse(s) = self.sends.pop().expect("peeked");
+            self.dispatcher.run_until(s.at_s);
+            // A peer closed mid-trickle is fine: the handler sees EOF.
+            let _ = self.kernel.net_send(s.sock, &s.bytes);
+        }
+    }
+
     /// Drains the dispatcher, reads every pending response, and verifies
     /// each served request produced a correct 200.
     pub fn finish(mut self) -> DispatchedRun {
+        self.pump_until(f64::INFINITY);
         self.dispatcher.drain();
         let completions = self.dispatcher.take_completions();
         assert_eq!(
@@ -389,6 +553,10 @@ impl DispatchedServer {
             .iter()
             .map(vsched::Completion::latency)
             .collect();
+        let mut latencies_by_tenant = vec![Vec::new(); self.tenants.len()];
+        for c in &completions {
+            latencies_by_tenant[c.tenant.index()].push(c.latency());
+        }
         let first_arrival = completions
             .iter()
             .map(|c| c.arrival)
@@ -400,6 +568,7 @@ impl DispatchedServer {
             shed_by_tenant: self.shed,
             served_by_tenant,
             latencies,
+            latencies_by_tenant,
             throughput_rps: completions.len() as f64 / span,
             stats: self.dispatcher.stats(),
         }
@@ -502,6 +671,15 @@ mod tests {
             ),
             format!("vsched_warm_hits_total {}", stats.warm_hits),
             format!("vsched_warm_demotions_total {}", stats.warm_demotions),
+            format!("vsched_blocked_total {}", stats.blocked),
+            format!("vsched_resumed_total {}", stats.resumed),
+            format!("vsched_busy_wait_cycles_total {}", stats.busy_wait_cycles),
+            "vsched_parked 0".to_string(),
+            "vsched_shard_parked{shard=\"0\"} 0".to_string(),
+            format!(
+                "vsched_requests_total{{outcome=\"shed_deadline_unmeetable\"}} {}",
+                stats.shed_deadline_unmeetable
+            ),
             format!(
                 "vsched_tenant_served_total{{tenant=\"good\"}} {}",
                 server.dispatcher().tenant_stats(good).served
@@ -520,6 +698,43 @@ mod tests {
             assert!(body.contains(&format!("# HELP {name} ")));
             assert!(body.contains(&format!("# TYPE {name} ")));
         }
+    }
+
+    #[test]
+    fn trickled_requests_park_resume_and_still_serve_correctly() {
+        // Two slow clients trickle their headers in 4 chunks over 20 ms
+        // alongside fast traffic; every response must still be a full 200,
+        // and the slow requests must actually take the park/resume path.
+        let mut server = DispatchedServer::new(2, 512);
+        let slow = server.add_tenant(http_tenant("slow"));
+        let fast = server.add_tenant(http_tenant("fast"));
+        server.offer_trickled(slow, 0.0, 4, 0.02).unwrap();
+        server.offer_trickled(slow, 0.001, 4, 0.02).unwrap();
+        for i in 0..6 {
+            server.offer(fast, 0.002 + i as f64 * 0.001).unwrap();
+        }
+        let run = server.finish();
+        assert_eq!(run.served, 8);
+        assert_eq!(run.served_by_tenant, vec![2, 6]);
+        let s = run.stats;
+        assert!(s.blocked >= 2, "slow clients must block: {s:?}");
+        assert!(s.resumed >= 2, "and resume per chunk: {s:?}");
+        assert_eq!(s.busy_wait_cycles, 0, "event-driven burns no worker");
+        // Slow latencies span their trickle; fast ones don't pay for it.
+        let slow_p50 = stats::percentile(&run.latencies_by_tenant[slow.index()], 50.0);
+        let fast_p99 = stats::percentile(&run.latencies_by_tenant[fast.index()], 99.0);
+        assert!(slow_p50 >= 0.019, "slow p50 {slow_p50} spans the trickle");
+        assert!(fast_p99 < 0.005, "fast p99 {fast_p99} rides free");
+    }
+
+    #[test]
+    fn spin_poll_server_still_serves_trickled_requests_but_burns_workers() {
+        let mut server = DispatchedServer::new_with(1, 256, BlockMode::SpinPoll);
+        let slow = server.add_tenant(http_tenant("slow"));
+        server.offer_trickled(slow, 0.0, 2, 0.01).unwrap();
+        let run = server.finish();
+        assert_eq!(run.served, 1);
+        assert!(run.stats.busy_wait_cycles > 0, "the wait occupies a worker");
     }
 
     #[test]

@@ -402,7 +402,9 @@ fn alu_from_code(c: u8) -> Option<Alu> {
 }
 
 impl Inst {
-    /// Encoded length of the instruction in bytes.
+    /// Encoded length of the instruction in bytes (never zero, so there
+    /// is deliberately no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u64 {
         match self {
             Inst::Nop | Inst::Hlt | Inst::Ret => 1,

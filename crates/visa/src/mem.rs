@@ -314,17 +314,22 @@ impl Memory {
         high_start: u64,
         high: &[u8],
     ) {
+        // Each page overlaps at most three contiguous source ranges — the
+        // low region, implicit zeroes, and the high region — so rebuild it
+        // with (at most) three bulk ops. This sits on the warm-hit fast
+        // path: every delta re-arm runs it per dirty page.
+        let hi = high_start as usize;
         for &page in pages {
             let start = (page * PAGE_SIZE) as usize;
             let end = (start + PAGE_SIZE as usize).min(self.bytes.len());
-            for i in start..end {
-                self.bytes[i] = if i < low.len() {
-                    low[i]
-                } else if i as u64 >= high_start {
-                    high[i - high_start as usize]
-                } else {
-                    0
-                };
+            let low_end = low.len().clamp(start, end);
+            let zero_end = hi.clamp(low_end, end);
+            if low_end > start {
+                self.bytes[start..low_end].copy_from_slice(&low[start..low_end]);
+            }
+            self.bytes[low_end..zero_end].fill(0);
+            if end > zero_end {
+                self.bytes[zero_end..end].copy_from_slice(&high[zero_end - hi..end - hi]);
             }
         }
         self.dirty_low_end = low.len() as u64;

@@ -335,8 +335,16 @@ int vsend(char* buf, int len) {
     return hypercall(6, (int)buf, len, 0);
 }
 
+/* Blocking: parks the virtine until data (or EOF) arrives. Returns the
+   byte count, 0 at end-of-stream, -1 with no connection bound. */
 int vrecv(char* buf, int maxlen) {
     return hypercall(7, (int)buf, maxlen, 0);
+}
+
+/* Non-blocking: -2 (WOULD_BLOCK) when the connection is open but empty,
+   otherwise as vrecv. */
+int vtryrecv(char* buf, int maxlen) {
+    return hypercall(7, (int)buf, maxlen, 1);
 }
 
 int vsnapshot() {

@@ -1,14 +1,34 @@
-//! The dispatcher: admission, placement, batched shard ticks, stealing.
+//! The dispatcher: admission, placement, batched shard ticks, stealing,
+//! and event-driven suspension of runs blocked in `recv`.
 
 use std::collections::HashMap;
 
 use vclock::{costs, Clock, Cycles};
 use wasp::{
-    Invocation, Pool, PoolMode, PoolStats, ShellSource, VirtineId, VirtineSpec, Wasp, WaspError,
+    Invocation, Pool, PoolMode, PoolStats, RunOutcome, RunResult, ShellSource, VirtineId,
+    VirtineSpec, Wasp, WaspError,
 };
 
-use crate::shard::{align_up, Queued, Shard, ShardSnapshot};
+use crate::shard::{align_up, Parked, Queued, Shard, ShardSnapshot};
 use crate::tenant::{ShedReason, TenantId, TenantProfile, TenantState, TenantStats};
+
+/// What a shard worker does when its virtine blocks in `recv` with no data
+/// queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockMode {
+    /// Event-driven dispatch: the run suspends (`wasp::SuspendedRun`),
+    /// parks in the shard's blocked set — skipped by batch ticks, shell
+    /// unstealable and undemotable because it rides inside the suspension
+    /// — and gives the worker back. A socket wake re-queues it at the
+    /// *front* of the run queue.
+    #[default]
+    EventDriven,
+    /// The pre-suspension baseline: the worker spin-polls the socket until
+    /// data arrives. The whole wait lands on the worker timeline (and in
+    /// `busy_wait_cycles`), so one slow client occupies a shard. Kept as
+    /// the measurable baseline for the `blocked_io` bench.
+    SpinPoll,
+}
 
 /// Where an admitted request is queued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +76,9 @@ pub struct DispatcherConfig {
     /// Bound on warm shells resident per shard pool; zero disables warm
     /// caching (the pre-warm-cache dispatcher behavior).
     pub warm_capacity: usize,
+    /// Blocked-I/O policy: suspend and give the worker back (default) or
+    /// spin-poll the socket on the worker.
+    pub block: BlockMode,
 }
 
 impl Default for DispatcherConfig {
@@ -68,6 +91,7 @@ impl Default for DispatcherConfig {
             steal: true,
             placement: Placement::LeastLoaded,
             warm_capacity: wasp::DEFAULT_WARM_CAPACITY,
+            block: BlockMode::EventDriven,
         }
     }
 }
@@ -159,6 +183,9 @@ pub struct Completion {
     pub warm_hit: bool,
     /// Whether the virtine ended by normal means (`hlt`/`exit`).
     pub exit_normal: bool,
+    /// Times the request blocked in `recv` and was resumed before
+    /// completing (zero for a request that never waited).
+    pub resumes: u32,
     /// Result bytes the virtine returned (`return_data`).
     pub result: Vec<u8>,
 }
@@ -185,10 +212,24 @@ pub struct DispatcherStats {
     pub shed_in_flight: u64,
     /// Requests shed in-queue at their deadline.
     pub shed_deadline: u64,
+    /// Requests shed at admission: the target shard's backlog already made
+    /// the deadline unmeetable.
+    pub shed_deadline_unmeetable: u64,
     /// Shells stolen between shards.
     pub stolen: u64,
     /// Batch ticks executed.
     pub batches: u64,
+    /// Runs suspended at a blocking `recv` (block events; one request can
+    /// block several times).
+    pub blocked: u64,
+    /// Parked runs re-queued by a socket wake.
+    pub resumed: u64,
+    /// Parked runs killed at their tenant's `max_block` bound.
+    pub blocked_timeout: u64,
+    /// Worker cycles burned waiting on blocked I/O. Event-driven dispatch
+    /// keeps this at zero; the spin-poll baseline charges every parked
+    /// wait here.
+    pub busy_wait_cycles: u64,
     /// Requests served by a warm-shell delta re-arm.
     pub warm_hits: u64,
     /// Warm shells demoted (wiped to clean) on the acquire path — locally
@@ -200,7 +241,10 @@ pub struct DispatcherStats {
 impl DispatcherStats {
     /// Total sheds across every cause.
     pub fn shed(&self) -> u64 {
-        self.shed_rate_limit + self.shed_in_flight + self.shed_deadline
+        self.shed_rate_limit
+            + self.shed_in_flight
+            + self.shed_deadline
+            + self.shed_deadline_unmeetable
     }
 
     /// Fraction of served requests that hit a warm shell (0 when nothing
@@ -212,6 +256,21 @@ impl DispatcherStats {
             self.warm_hits as f64 / self.served as f64
         }
     }
+}
+
+/// Metadata threaded from a request's first execution segment to its
+/// completion record (possibly across blocked segments).
+struct ServeMeta {
+    tenant: TenantId,
+    virtine: VirtineId,
+    /// Original arrival in cycles — latency spans any parked waits.
+    arrival: u64,
+    /// Worker-timeline position of the first segment's start.
+    first_start: u64,
+    /// Worker cycles consumed by earlier segments (zero when unblocked).
+    service_before: u64,
+    stolen: bool,
+    reused: bool,
 }
 
 /// The sharded, multi-tenant virtine dispatcher.
@@ -230,6 +289,13 @@ pub struct Dispatcher {
     last_arrival: u64,
     completions: Vec<Completion>,
     stats: DispatcherStats,
+    /// Next wait token handed to `hostsim`'s readiness machinery.
+    next_token: u64,
+    /// Wait token → shard index of the parked run it wakes.
+    parked_shard: HashMap<u64, usize>,
+    /// EMA of recent per-request worker cost (cycles), feeding the
+    /// deadline-unmeetable admission estimate. Zero until the first serve.
+    avg_service: u64,
 }
 
 impl Dispatcher {
@@ -260,6 +326,9 @@ impl Dispatcher {
             last_arrival: 0,
             completions: Vec::new(),
             stats: DispatcherStats::default(),
+            next_token: 0,
+            parked_shard: HashMap::new(),
+            avg_service: 0,
         }
     }
 
@@ -324,26 +393,51 @@ impl Dispatcher {
         );
         let arrival = cyc(req.arrival_s).max(self.last_arrival);
         self.last_arrival = arrival;
+        self.deliver_wakeups(arrival);
         self.advance_to(arrival);
 
         let clock = self.wasp.clock();
         clock.tick(costs::VSCHED_ADMISSION);
 
         self.stats.submitted += 1;
-        let tenant = self
-            .tenants
-            .get_mut(req.tenant.0)
-            .expect("unknown tenant id");
-        tenant.stats.submitted += 1;
+        {
+            let tenant = self
+                .tenants
+                .get_mut(req.tenant.0)
+                .expect("unknown tenant id");
+            tenant.stats.submitted += 1;
 
-        // Cap before bucket: a request refused at the in-flight cap must
-        // not burn rate-limit tokens the tenant could use once a slot
-        // frees up.
-        if tenant.stats.in_flight >= tenant.profile.max_in_flight as u64 {
-            tenant.stats.shed_in_flight += 1;
-            self.stats.shed_in_flight += 1;
-            return Err(ShedReason::InFlightCap);
+            // Cap before bucket: a request refused at the in-flight cap
+            // must not burn rate-limit tokens the tenant could use once a
+            // slot frees up.
+            if tenant.stats.in_flight >= tenant.profile.max_in_flight as u64 {
+                tenant.stats.shed_in_flight += 1;
+                self.stats.shed_in_flight += 1;
+                return Err(ShedReason::InFlightCap);
+            }
         }
+
+        // Deadline-aware admission (also before the bucket — a request we
+        // refuse must not burn tokens): estimate when the target shard
+        // could start this request — next batch boundary after its worker
+        // frees up, plus backlog × recent per-request cost — and shed now
+        // if the deadline is already lost. Cheaper for everyone than
+        // queueing a guaranteed miss.
+        let shard = self.place(req.tenant, req.virtine);
+        if let Some(dl) = req.deadline_s {
+            let deadline = cyc(dl);
+            let s = &self.shards[shard];
+            let est_start = align_up(s.free_at.max(arrival), self.config.tick.get())
+                .saturating_add((s.queue.len() as u64).saturating_mul(self.avg_service));
+            if est_start > deadline {
+                let tenant = &mut self.tenants[req.tenant.0];
+                tenant.stats.shed_deadline_unmeetable += 1;
+                self.stats.shed_deadline_unmeetable += 1;
+                return Err(ShedReason::DeadlineUnmeetable);
+            }
+        }
+
+        let tenant = &mut self.tenants[req.tenant.0];
         if !tenant.bucket.admit(Cycles(arrival)) {
             tenant.stats.shed_rate_limit += 1;
             self.stats.shed_rate_limit += 1;
@@ -357,10 +451,10 @@ impl Dispatcher {
         self.seq += 1;
         let priority = tenant.profile.priority.saturating_add(req.priority_boost);
         let deadline = req.deadline_s.map_or(u64::MAX, cyc);
-        let shard = self.place(req.tenant, req.virtine);
         clock.tick(costs::VSCHED_QUEUE_OP);
         self.shards[shard].enqueue(
             Queued {
+                front: false,
                 priority,
                 deadline,
                 seq,
@@ -369,15 +463,36 @@ impl Dispatcher {
                 args: req.args,
                 invocation: req.invocation,
                 arrival,
+                resume: None,
             },
             self.config.tick.get(),
         );
         Ok(seq)
     }
 
-    /// Runs every queued request to completion.
+    /// Runs every queued request to completion. Blocked runs whose sockets
+    /// never become readable stay parked (forever, absent a tenant
+    /// `max_block`): drain is not a wait-for-the-world barrier.
     pub fn drain(&mut self) {
+        self.deliver_wakeups(self.last_arrival);
         self.advance_to(u64::MAX);
+    }
+
+    /// Advances the dispatcher to virtual time `t_s`: delivers pending
+    /// socket wake-ups (bytes sent by the driver since the last call are
+    /// treated as arriving now) and runs every shard batch and block
+    /// timeout scheduled before it. The trickled-delivery driver in
+    /// `vhttp::dispatch` interleaves this with chunk sends.
+    pub fn run_until(&mut self, t_s: f64) {
+        let t = cyc(t_s).max(self.last_arrival);
+        self.last_arrival = t;
+        self.deliver_wakeups(t);
+        self.advance_to(t);
+    }
+
+    /// Blocked runs currently parked across all shards.
+    pub fn parked(&self) -> usize {
+        self.parked_shard.len()
     }
 
     /// Completions so far, in execution order.
@@ -470,21 +585,51 @@ impl Dispatcher {
         }
     }
 
-    /// Runs shard batches whose tick lands strictly before `limit`.
+    /// Runs shard batches and block timeouts scheduled strictly before
+    /// `limit`, earliest event first. Shards whose worker is spin-polling
+    /// a blocked socket (`BlockMode::SpinPoll`) run no batches until the
+    /// wake; their queued work backs up — that occupancy is exactly what
+    /// event-driven dispatch removes.
     fn advance_to(&mut self, limit: u64) {
         loop {
-            let next = self
+            let next_batch = self
                 .shards
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| !s.queue.is_empty())
-                .min_by_key(|(i, s)| (s.next_wake, *i))
-                .map(|(i, s)| (i, s.next_wake));
-            match next {
-                Some((idx, wake)) if wake < limit => self.run_batch(idx),
-                _ => break,
+                .filter(|(_, s)| !s.queue.is_empty() && s.spinning == 0)
+                .map(|(i, s)| (s.next_wake, i))
+                .min()
+                .filter(|&(wake, _)| wake < limit);
+            let next_timeout = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.next_timeout().map(|(at, token)| (at, i, token)))
+                .min()
+                .filter(|&(at, _, _)| at < limit);
+            match (next_batch, next_timeout) {
+                (Some((wake, idx)), Some((at, tidx, token))) => {
+                    if at <= wake {
+                        self.kill_blocked(tidx, token, at);
+                    } else {
+                        self.run_batch_and_deliver(idx);
+                    }
+                }
+                (Some((_, idx)), None) => self.run_batch_and_deliver(idx),
+                (None, Some((at, tidx, token))) => self.kill_blocked(tidx, token, at),
+                (None, None) => break,
             }
         }
+    }
+
+    /// Executes one batch tick on shard `idx`, then delivers any socket
+    /// wake-ups the batch itself produced (a virtine `send`ing to a socket
+    /// another virtine is parked on), stamped at the worker's finish
+    /// position — so guest-to-guest wakes resume within the same
+    /// `drain`/`run_until` instead of waiting for the next external call.
+    fn run_batch_and_deliver(&mut self, idx: usize) {
+        self.run_batch(idx);
+        self.deliver_wakeups(self.shards[idx].free_at);
     }
 
     /// Executes one batch tick on shard `idx`.
@@ -501,9 +646,11 @@ impl Dispatcher {
                 break;
             };
             clock.tick(costs::VSCHED_QUEUE_OP);
-            if q.deadline < free {
+            if q.resume.is_none() && q.deadline < free {
                 // Too late to start: shed in-queue (the request's deadline
-                // passed while it waited).
+                // passed while it waited). Woken blocked runs are exempt —
+                // they hold a live shell that must run to completion or be
+                // killed explicitly, never silently dropped.
                 let t = &mut self.tenants[q.tenant.0].stats;
                 t.shed_deadline += 1;
                 t.in_flight -= 1;
@@ -511,6 +658,11 @@ impl Dispatcher {
                 continue;
             }
             free = self.execute(idx, q, free);
+            if self.shards[idx].spinning > 0 {
+                // Spin-poll baseline: the worker just pinned itself on a
+                // blocked socket; the rest of the batch waits behind it.
+                break;
+            }
         }
 
         let shard = &mut self.shards[idx];
@@ -523,8 +675,13 @@ impl Dispatcher {
     }
 
     /// Runs one request on shard `idx`, starting no earlier than `free`;
-    /// returns the shard worker's new timeline position.
+    /// returns the shard worker's new timeline position. A request that
+    /// blocks in `recv` parks instead of completing; a woken parked run
+    /// resumes at the suspended hypercall instead of acquiring a shell.
     fn execute(&mut self, idx: usize, q: Queued, free: u64) -> u64 {
+        if let Some(parked) = q.resume {
+            return self.execute_resume(idx, *parked, free);
+        }
         let mem_size = *self
             .mem_sizes
             .get(&q.virtine)
@@ -587,9 +744,9 @@ impl Dispatcher {
         let reused = source.is_reused();
 
         let mask = self.tenants[q.tenant.0].profile.mask;
-        let (outcome, vm) = self
+        let run = self
             .wasp
-            .run_on_shell(
+            .run_on_shell_resumable(
                 vm,
                 source,
                 q.virtine,
@@ -599,21 +756,260 @@ impl Dispatcher {
                 &mut |_, _, _, _| None,
             )
             .expect("dispatch invariants uphold spec and shell size");
+        let segment = (clock.now() - t0).get();
+        match run {
+            RunResult::Done(outcome, vm) => self.complete(
+                idx,
+                ServeMeta {
+                    tenant: q.tenant,
+                    virtine: q.virtine,
+                    arrival: q.arrival,
+                    first_start: free,
+                    service_before: 0,
+                    stolen,
+                    reused,
+                },
+                outcome,
+                vm,
+                free,
+                segment,
+            ),
+            RunResult::Blocked(s) => self.park_suspended(
+                idx,
+                Parked {
+                    sock: s.wait().sock(),
+                    run: s,
+                    tenant: q.tenant,
+                    virtine: q.virtine,
+                    seq: q.seq,
+                    priority: q.priority,
+                    arrival: q.arrival,
+                    first_start: free,
+                    service_so_far: segment,
+                    stolen,
+                    blocked_from: free + segment,
+                    timeout_at: 0, // Filled in by park_suspended.
+                },
+            ),
+        }
+    }
+
+    /// Resumes a woken parked run on its shard; returns the new worker
+    /// timeline position. The run either completes or blocks again (its
+    /// next `recv` found the socket empty) and re-parks.
+    fn execute_resume(&mut self, idx: usize, p: Parked, free: u64) -> u64 {
+        let clock = self.wasp.clock();
+        let t0 = clock.now();
+        let run = self
+            .wasp
+            .resume_on_shell(p.run, &mut |_, _, _, _| None)
+            .expect("suspended runs carry a registered virtine");
+        let segment = (clock.now() - t0).get();
+        match run {
+            RunResult::Done(outcome, vm) => self.complete(
+                idx,
+                ServeMeta {
+                    tenant: p.tenant,
+                    virtine: p.virtine,
+                    arrival: p.arrival,
+                    first_start: p.first_start,
+                    service_before: p.service_so_far,
+                    stolen: p.stolen,
+                    reused: outcome.breakdown.reused_shell,
+                },
+                outcome,
+                vm,
+                free,
+                segment,
+            ),
+            RunResult::Blocked(s) => self.park_suspended(
+                idx,
+                Parked {
+                    sock: s.wait().sock(),
+                    run: s,
+                    service_so_far: p.service_so_far + segment,
+                    blocked_from: free + segment,
+                    timeout_at: 0, // Filled in by park_suspended.
+                    ..p
+                },
+            ),
+        }
+    }
+
+    /// Parks a suspended run on shard `idx` and registers its wake-up.
+    /// Returns the worker's new timeline position (the block instant: the
+    /// worker is given back in event-driven mode; in spin-poll mode the
+    /// shard's `spinning` gate holds further batches until the wake).
+    fn park_suspended(&mut self, idx: usize, mut p: Parked) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        p.timeout_at = match self.tenants[p.tenant.0].profile.max_block {
+            Some(max) => p.blocked_from.saturating_add(max.get()),
+            None => u64::MAX,
+        };
+        // Registration is race-free: a socket that became readable between
+        // the block decision and this call wakes immediately.
+        self.wasp
+            .kernel()
+            .net_register_waiter(p.sock, token)
+            .expect("a parked run's connection outlives the park");
+        let blocked_from = p.blocked_from;
+        let tstats = &mut self.tenants[p.tenant.0].stats;
+        tstats.blocked += 1;
+        self.stats.blocked += 1;
+        self.shards[idx].stats.blocked += 1;
+        if self.config.block == BlockMode::SpinPoll {
+            self.shards[idx].spinning += 1;
+        }
+        self.shards[idx].blocked.insert(token, p);
+        self.parked_shard.insert(token, idx);
+        blocked_from
+    }
+
+    /// Moves every parked run whose socket became readable back to the
+    /// *front* of its shard's run queue, stamped no earlier than `stamp`.
+    fn deliver_wakeups(&mut self, stamp: u64) {
+        let tick = self.config.tick.get();
+        for token in self.wasp.kernel().net_take_woken() {
+            let Some(idx) = self.parked_shard.remove(&token) else {
+                // The run was killed after the wake was queued.
+                continue;
+            };
+            let Some(p) = self.shards[idx].blocked.remove(&token) else {
+                continue;
+            };
+            let wake = stamp.max(p.blocked_from);
+            if wake > p.timeout_at {
+                // The data arrived, but only after the tenant's max_block
+                // bound had already expired: the kill fires at the bound,
+                // not the wake — the budget is a hard ceiling, not a race
+                // against late bytes. (A wake exactly at the bound still
+                // resumes, matching advance_to's strict `at < limit`.)
+                let at = p.timeout_at;
+                self.kill_parked(idx, p, at);
+                continue;
+            }
+            self.settle_spin(idx, p.blocked_from, wake);
+            self.shards[idx].stats.resumed += 1;
+            self.stats.resumed += 1;
+            self.wasp.clock().tick(costs::VSCHED_QUEUE_OP);
+            let q = Queued {
+                front: true,
+                priority: p.priority,
+                // Exempt from in-queue deadline shedding: a woken run
+                // holds a live shell and must complete or be killed.
+                deadline: u64::MAX,
+                seq: p.seq,
+                tenant: p.tenant,
+                virtine: p.virtine,
+                args: Vec::new(),
+                invocation: Invocation::default(),
+                arrival: p.arrival,
+                resume: Some(Box::new(p)),
+            };
+            self.shards[idx].enqueue_at(q, tick, wake);
+        }
+    }
+
+    /// Under [`BlockMode::SpinPoll`], closes out a parked run's spin
+    /// window `[from, to]`: the worker was busy-polling the whole wait, so
+    /// it lands on the worker timeline and in `busy_wait_cycles`. A no-op
+    /// in event-driven mode.
+    fn settle_spin(&mut self, idx: usize, from: u64, to: u64) {
+        if self.config.block == BlockMode::SpinPoll {
+            let spin = to - from;
+            self.shards[idx].spinning -= 1;
+            self.shards[idx].stats.busy_wait_cycles += spin;
+            self.stats.busy_wait_cycles += spin;
+            self.shards[idx].free_at = self.shards[idx].free_at.max(to);
+        }
+    }
+
+    /// Kills the parked run registered under `token` (its `max_block`
+    /// expired at timeline position `at` with no wake in sight).
+    fn kill_blocked(&mut self, idx: usize, token: u64, at: u64) {
+        let p = self.shards[idx]
+            .blocked
+            .remove(&token)
+            .expect("timeout points at a parked run");
+        self.parked_shard.remove(&token);
+        self.wasp.kernel().net_clear_waiter(p.sock);
+        self.kill_parked(idx, p, at);
+    }
+
+    /// Kills a parked run whose tenant `max_block` expired at timeline
+    /// position `at`: the shell is wiped back into the shard pool, the
+    /// tenant's in-flight slot is released, and the completion surfaces as
+    /// abnormal (`ExitKind::Blocked`). The caller has already detached the
+    /// run from the blocked set and wait-token index.
+    fn kill_parked(&mut self, idx: usize, p: Parked, at: u64) {
+        self.settle_spin(idx, p.blocked_from, at);
+        let (outcome, vm) = self.wasp.abort_suspended(p.run);
+        debug_assert!(outcome.warm_state.is_none());
+        // The shell still holds the killed invocation's state: the
+        // ordinary wiped release (§5.2) erases it before any reuse.
+        self.shards[idx].pool.release(vm);
+        let tstats = &mut self.tenants[p.tenant.0].stats;
+        tstats.blocked_timeout += 1;
+        tstats.abnormal += 1;
+        tstats.served += 1;
+        tstats.in_flight -= 1;
+        self.stats.blocked_timeout += 1;
+        self.stats.served += 1;
+        self.shards[idx].stats.blocked_timeout += 1;
+        self.shards[idx].stats.served += 1;
+        self.completions.push(Completion {
+            tenant: p.tenant,
+            virtine: p.virtine,
+            shard: idx,
+            arrival: secs(p.arrival),
+            start: secs(p.first_start),
+            finish: secs(at),
+            service: secs(p.service_so_far),
+            reused_shell: outcome.breakdown.reused_shell,
+            stolen_shell: p.stolen,
+            warm_hit: outcome.breakdown.warm_hit,
+            exit_normal: false,
+            resumes: outcome.breakdown.resumes,
+            result: outcome.invocation.result,
+        });
+    }
+
+    /// Shared completion epilogue for fresh and resumed serves: releases
+    /// the shell (warm when permitted), updates the stats surfaces and the
+    /// admission cost estimate, and records the [`Completion`]. Returns
+    /// the worker's new timeline position.
+    #[allow(clippy::too_many_arguments)]
+    fn complete(
+        &mut self,
+        idx: usize,
+        meta: ServeMeta,
+        outcome: RunOutcome,
+        vm: kvmsim::VmFd,
+        free: u64,
+        segment: u64,
+    ) -> u64 {
+        let key = (meta.tenant.0 as u64, meta.virtine.into_raw());
         // Release: park warm (state still derives from the spec's current
         // snapshot, dirty log intact) or wipe clean.
         match outcome.warm_state.clone() {
             Some(snap) => self.shards[idx].pool.release_warm(vm, key.0, key.1, snap),
             None => self.shards[idx].pool.release(vm),
         }
-        let service = (clock.now() - t0).get();
         let warm_hit = outcome.breakdown.warm_hit;
+        let service = meta.service_before + segment;
+        let finish = free + segment;
 
-        let start = free;
-        let finish = start + service;
-        let tstats = &mut self.tenants[q.tenant.0].stats;
+        self.avg_service = if self.avg_service == 0 {
+            service
+        } else {
+            (7 * self.avg_service + service) / 8
+        };
+
+        let tstats = &mut self.tenants[meta.tenant.0].stats;
         tstats.served += 1;
         tstats.in_flight -= 1;
-        if stolen {
+        if meta.stolen {
             tstats.stolen_serves += 1;
         }
         if warm_hit {
@@ -630,17 +1026,18 @@ impl Dispatcher {
         self.stats.served += 1;
         self.shards[idx].stats.served += 1;
         self.completions.push(Completion {
-            tenant: q.tenant,
-            virtine: q.virtine,
+            tenant: meta.tenant,
+            virtine: meta.virtine,
             shard: idx,
-            arrival: secs(q.arrival),
-            start: secs(start),
+            arrival: secs(meta.arrival),
+            start: secs(meta.first_start),
             finish: secs(finish),
             service: secs(service),
-            reused_shell: reused,
-            stolen_shell: stolen,
+            reused_shell: meta.reused,
+            stolen_shell: meta.stolen,
             warm_hit,
             exit_normal: outcome.exit.is_normal(),
+            resumes: outcome.breakdown.resumes,
             result: outcome.invocation.result,
         });
         finish

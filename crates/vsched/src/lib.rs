@@ -50,11 +50,28 @@
 //!   Everything is driven by the `vclock` virtual clock, so a full
 //!   platform run is deterministic and benchmarkable bit-for-bit — the
 //!   property the reproduction depends on everywhere else.
+//! * **Event-driven blocked I/O** ([`BlockMode`], the per-shard parked
+//!   sets) — generalizes §6.3's blocking `recv` from a busy-wait into an
+//!   exit. A virtine that blocks suspends (`wasp::SuspendedRun` — shell,
+//!   invocation, and segmented accounting ride together, outside every
+//!   pool, so a parked shell is structurally unstealable and
+//!   undemotable), the shard worker returns to useful work, and a socket
+//!   wake re-queues the run at the *front* of its shard's queue. A
+//!   per-tenant `max_block` bound kills runs parked too long (wiped
+//!   shell, `blocked_timeout` stat); [`BlockMode::SpinPoll`] preserves
+//!   the pre-suspension behavior as a measurable baseline (the
+//!   `blocked_io` bench shows the fast-tenant p99 gap).
+//! * **Deadline-aware admission** ([`ShedReason::DeadlineUnmeetable`]) —
+//!   `submit` estimates the target shard's queue wait (backlog × an EMA
+//!   of recent per-request cost) and sheds immediately when the deadline
+//!   is already lost, before the request burns queue space or rate
+//!   tokens.
 //! * **Dispatcher statistics** ([`DispatcherStats`], [`TenantStats`],
 //!   [`ShardSnapshot`]) — surfaced exactly like `wasp::PoolStats`:
-//!   per-tenant served/shed/stolen/in-flight and per-shard queue depth,
-//!   batches, and steal traffic, so experiments (and the
-//!   `dispatcher_scaling` bench) can attribute every request.
+//!   per-tenant served/shed/stolen/blocked/in-flight and per-shard queue
+//!   depth, parked runs, batches, busy-wait cycles, and steal traffic,
+//!   so experiments (and the `dispatcher_scaling`/`blocked_io` benches)
+//!   can attribute every request.
 //!
 //! ## Example
 //!
@@ -78,7 +95,7 @@ pub mod shard;
 pub mod tenant;
 
 pub use dispatcher::{
-    Completion, Dispatcher, DispatcherConfig, DispatcherStats, Placement, Request,
+    BlockMode, Completion, Dispatcher, DispatcherConfig, DispatcherStats, Placement, Request,
 };
 pub use shard::{ShardSnapshot, ShardStats};
 pub use tenant::{ShedReason, TenantId, TenantProfile, TenantStats};
@@ -557,6 +574,329 @@ init:
         d.submit(Request::new(b, id, 0.02)).unwrap();
         d.drain();
         assert!(d.completions().last().unwrap().warm_hit);
+    }
+
+    /// A connection-bound spec: stores a sentinel at 0x5000, blocking-recvs
+    /// into 0x4000, and halts with the recv length in `r0`.
+    fn blocking_recv_spec(name: &str) -> VirtineSpec {
+        let img = visa::assemble(
+            "
+.org 0x8000
+  mov r4, 0x5000
+  mov r5, 0xDEAD
+  store.q [r4], r5
+  mov r0, 7            ; recv
+  mov r1, 0x4000
+  mov r2, 64
+  mov r3, 0            ; flags: blocking
+  out 0x1, r0
+  hlt
+",
+        )
+        .unwrap();
+        VirtineSpec::new(name, img, MEM)
+            .with_policy(HypercallMask::allowing(&[wasp::nr::RECV]))
+            .with_snapshot(false)
+    }
+
+    /// An accepted connection pair on the dispatcher's kernel.
+    fn conn_pair(d: &Dispatcher, port: u16) -> (hostsim::SockId, hostsim::SockId) {
+        let k = d.wasp().kernel();
+        k.net_listen(port).unwrap();
+        let client = k.net_connect(port).unwrap();
+        let server = k.net_accept(port).unwrap().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn blocked_recv_parks_yields_the_worker_and_resumes_on_wake() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let blocked = d.register(blocking_recv_spec("b")).unwrap();
+        let fast = d.register(halt_spec("f")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t").with_mask(HypercallMask::ALLOW_ALL));
+        let (client, server) = conn_pair(&d, 90);
+
+        d.submit(Request::new(tenant, blocked, 0.0).with_invocation(Invocation::with_conn(server)))
+            .unwrap();
+        d.drain();
+        // Parked, not completed: the shell and in-flight slot stay held,
+        // but the worker is free.
+        assert_eq!(d.completions().len(), 0);
+        assert_eq!(d.parked(), 1);
+        assert_eq!(d.stats().blocked, 1);
+        assert_eq!(d.tenant_stats(tenant).blocked, 1);
+        assert_eq!(d.tenant_stats(tenant).in_flight, 1);
+        assert_eq!(d.shard_snapshots()[0].parked, 1);
+
+        // The freed worker serves other requests while the run is parked.
+        d.submit(Request::new(tenant, fast, 0.001)).unwrap();
+        d.drain();
+        assert_eq!(d.completions().len(), 1, "worker was given back");
+        assert!(d.completions()[0].exit_normal);
+
+        // Data arrives: wake → front-of-queue resume → completion.
+        d.wasp().kernel().net_send(client, b"ping").unwrap();
+        d.run_until(0.01);
+        d.drain();
+        assert_eq!(d.completions().len(), 2);
+        let c = d.completions().last().unwrap();
+        assert!(c.exit_normal);
+        assert_eq!(c.resumes, 1);
+        assert!(
+            c.latency() >= 0.009,
+            "latency {} must span the parked wait",
+            c.latency()
+        );
+        assert_eq!(d.stats().resumed, 1);
+        assert_eq!(d.stats().busy_wait_cycles, 0, "event-driven burns nothing");
+        assert_eq!(d.parked(), 0);
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+        assert_eq!(d.stats().served, 2);
+    }
+
+    #[test]
+    fn spin_poll_baseline_occupies_the_worker_event_driven_does_not() {
+        let run = |mode: BlockMode| {
+            let mut d = dispatcher(DispatcherConfig {
+                shards: 1,
+                block: mode,
+                ..DispatcherConfig::default()
+            });
+            let blocked = d.register(blocking_recv_spec("b")).unwrap();
+            let fast = d.register(halt_spec("f")).unwrap();
+            let tenant = d.add_tenant(TenantProfile::new("t").with_mask(HypercallMask::ALLOW_ALL));
+            let (client, server) = conn_pair(&d, 90);
+            d.submit(
+                Request::new(tenant, blocked, 0.0).with_invocation(Invocation::with_conn(server)),
+            )
+            .unwrap();
+            d.submit(Request::new(tenant, fast, 0.0001)).unwrap();
+            d.drain();
+            let fast_done_while_parked = d.completions().len();
+            // The slow client finally sends after 20 ms.
+            d.wasp().kernel().net_send(client, b"x").unwrap();
+            d.run_until(0.02);
+            d.drain();
+            assert_eq!(d.completions().len(), 2, "all served in the end");
+            let fast_c = d
+                .completions()
+                .iter()
+                .find(|c| c.virtine == fast)
+                .unwrap()
+                .clone();
+            (fast_done_while_parked, fast_c.latency(), d.stats())
+        };
+
+        let (fast_during_event, fast_lat_event, s_event) = run(BlockMode::EventDriven);
+        assert_eq!(fast_during_event, 1, "event-driven: worker freed");
+        assert_eq!(s_event.busy_wait_cycles, 0);
+        assert!(fast_lat_event < 0.001, "fast latency {fast_lat_event}");
+
+        let (fast_during_spin, fast_lat_spin, s_spin) = run(BlockMode::SpinPoll);
+        assert_eq!(
+            fast_during_spin, 0,
+            "spin-poll: the worker is pinned on the blocked socket"
+        );
+        assert!(
+            s_spin.busy_wait_cycles > 0,
+            "the whole wait is busy occupancy"
+        );
+        assert!(
+            fast_lat_spin > 10.0 * fast_lat_event,
+            "fast request pays the slow client's wait: {fast_lat_spin} vs {fast_lat_event}"
+        );
+    }
+
+    #[test]
+    fn parked_run_is_killed_at_max_block_and_its_shell_wipes() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let blocked = d.register(blocking_recv_spec("b")).unwrap();
+        // A reader that returns the 8 bytes at the blocked run's sentinel
+        // address via return_data.
+        let reader_img = visa::assemble(
+            "
+.org 0x8000
+  mov r0, 10
+  mov r1, 0x5000
+  mov r2, 8
+  out 0x1, r0
+  hlt
+",
+        )
+        .unwrap();
+        let reader = d
+            .register(
+                VirtineSpec::new("reader", reader_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::RETURN_DATA]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let tenant = d.add_tenant(
+            TenantProfile::new("t")
+                .with_mask(HypercallMask::ALLOW_ALL)
+                .with_max_block(0.005),
+        );
+        let (_client, server) = conn_pair(&d, 91);
+        d.submit(Request::new(tenant, blocked, 0.0).with_invocation(Invocation::with_conn(server)))
+            .unwrap();
+        // Nobody ever sends: drain fires the 5 ms block timeout.
+        d.drain();
+        assert_eq!(d.parked(), 0);
+        assert_eq!(d.stats().blocked_timeout, 1);
+        assert_eq!(d.tenant_stats(tenant).blocked_timeout, 1);
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+        let c = d.completions().last().unwrap();
+        assert!(!c.exit_normal, "a timeout kill is abnormal");
+        assert!(c.finish >= 0.005, "killed at the bound, not before");
+
+        // The killed run's shell went through the wiped release: the next
+        // request reuses it and must see zeroes at the sentinel address.
+        d.submit(Request::new(tenant, reader, 0.01)).unwrap();
+        d.drain();
+        let c = d.completions().last().unwrap();
+        assert!(c.exit_normal && c.reused_shell && !c.stolen_shell);
+        assert_eq!(c.result, vec![0u8; 8], "parked state leaked past a kill");
+        assert_eq!(d.pool_stats().created, 1, "same shell, recycled");
+        // Accounting stays conserved: both requests count as served.
+        assert_eq!(d.stats().served, 2);
+        assert_eq!(d.stats().submitted, d.stats().served + d.stats().shed());
+    }
+
+    #[test]
+    fn guest_to_guest_send_wakes_a_parked_run_within_one_drain() {
+        // Virtine A parks in a blocking recv; virtine B's handler vsends
+        // to A's socket from *inside* a batch. The wake produced mid-drain
+        // must resume A in the same drain — not wait for the next
+        // external submit/run_until.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let recv = d.register(blocking_recv_spec("a")).unwrap();
+        let send_img = visa::assemble(
+            "
+.org 0x8000
+  mov r1, 0x100
+  mov r4, 0x676e6970   ; \"ping\"
+  store.q [r1], r4
+  mov r0, 6            ; send(buf, 4)
+  mov r2, 4
+  out 0x1, r0
+  hlt
+",
+        )
+        .unwrap();
+        let send = d
+            .register(
+                VirtineSpec::new("b", send_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::SEND]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t").with_mask(HypercallMask::ALLOW_ALL));
+        let (client, server) = conn_pair(&d, 93);
+        d.submit(Request::new(tenant, recv, 0.0).with_invocation(Invocation::with_conn(server)))
+            .unwrap();
+        d.submit(Request::new(tenant, send, 0.001).with_invocation(Invocation::with_conn(client)))
+            .unwrap();
+        d.drain();
+        assert_eq!(d.completions().len(), 2, "one drain completes both");
+        assert_eq!(d.parked(), 0);
+        assert_eq!(d.stats().resumed, 1);
+        assert!(d.completions().iter().all(|c| c.exit_normal));
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+    }
+
+    #[test]
+    fn data_arriving_after_max_block_still_kills_the_parked_run() {
+        // The bound is a hard ceiling: a wake delivered in the same driver
+        // call that crosses the timeout must not smuggle the run past it.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let blocked = d.register(blocking_recv_spec("b")).unwrap();
+        let tenant = d.add_tenant(
+            TenantProfile::new("t")
+                .with_mask(HypercallMask::ALLOW_ALL)
+                .with_max_block(0.005),
+        );
+        let (client, server) = conn_pair(&d, 92);
+        d.submit(Request::new(tenant, blocked, 0.0).with_invocation(Invocation::with_conn(server)))
+            .unwrap();
+        d.run_until(0.001);
+        assert_eq!(d.parked(), 1);
+        // The client finally sends at t = 20 ms — 15 ms past the bound.
+        d.wasp().kernel().net_send(client, b"late").unwrap();
+        d.run_until(0.020);
+        d.drain();
+        assert_eq!(d.stats().blocked_timeout, 1, "late bytes must not revive");
+        assert_eq!(d.stats().resumed, 0);
+        let c = d.completions().last().unwrap();
+        assert!(!c.exit_normal);
+        // The bound counts from the block instant (first-segment service
+        // pushes it slightly past 5 ms); the wake at 20 ms must not move it.
+        assert!(
+            (0.005..0.006).contains(&c.finish),
+            "killed at the bound ({}), not the wake",
+            c.finish
+        );
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+    }
+
+    #[test]
+    fn hopeless_deadlines_are_shed_at_admission() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            batch_size: 1,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(halt_spec("t")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("dl").with_rate(1000.0, 1.0));
+        // Prime the per-request cost estimate.
+        d.submit(Request::new(tenant, id, 0.0)).unwrap();
+        d.drain();
+
+        // A deadline already in the past can never be met: shed at submit,
+        // without burning the tenant's rate-limit token.
+        let err = d
+            .submit(Request::new(tenant, id, 1.0).with_deadline(0.5))
+            .unwrap_err();
+        assert_eq!(err, ShedReason::DeadlineUnmeetable);
+        let ts = d.tenant_stats(tenant);
+        assert_eq!(ts.shed_deadline_unmeetable, 1);
+        assert_eq!(d.stats().shed_deadline_unmeetable, 1);
+        assert_eq!(ts.shed(), 1);
+        assert_eq!(ts.in_flight, 0);
+
+        // The token survived the shed: a meetable deadline at the same
+        // instant is admitted.
+        d.submit(Request::new(tenant, id, 1.0).with_deadline(2.0))
+            .unwrap();
+
+        // Backlog-driven: pile requests on the single worker until the
+        // estimated queue wait pushes a near deadline past its bound.
+        let bulk = d.add_tenant(TenantProfile::new("bulk"));
+        for _ in 0..50 {
+            d.submit(Request::new(bulk, id, 2.0)).unwrap();
+        }
+        let tick_s = d.config().tick.as_secs();
+        let err = d
+            .submit(Request::new(bulk, id, 2.0).with_deadline(2.0 + 2.0 * tick_s))
+            .unwrap_err();
+        assert_eq!(err, ShedReason::DeadlineUnmeetable);
+        d.drain();
+        assert_eq!(
+            d.stats().submitted,
+            d.stats().served + d.stats().shed(),
+            "conservation across admission sheds"
+        );
     }
 
     #[test]

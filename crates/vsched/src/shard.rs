@@ -1,5 +1,5 @@
 //! Per-worker shards: a private shell pool plus a priority/deadline run
-//! queue.
+//! queue and a parked set of blocked runs.
 //!
 //! §5.2's single shell pool amortizes `KVM_CREATE_VM`; at platform scale a
 //! single pool becomes the serialization point every worker contends on.
@@ -8,18 +8,56 @@
 //! touches only shard-local state. Cross-shard traffic exists on exactly
 //! one path: work stealing, when a shard's clean list runs dry and a
 //! sibling has idle shells (see `dispatcher`).
+//!
+//! A run that blocks in `recv` parks in the shard's [`Parked`] set: batch
+//! ticks skip it, its shell rides inside the `wasp::SuspendedRun` (outside
+//! the pool — unstealable, undemotable), and a socket wake re-queues it at
+//! the *front* of the run queue so the delivered bytes are consumed before
+//! any newly admitted work.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
+use hostsim::SockId;
 use vclock::Cycles;
-use wasp::{Invocation, Pool, VirtineId};
+use wasp::{Invocation, Pool, SuspendedRun, VirtineId};
 
 use crate::tenant::TenantId;
+
+/// A run suspended in a blocking wait, parked on the shard that was
+/// executing it (it resumes there: the worker that blocked has the
+/// warm-path affinity, and the completion is accounted to it).
+#[derive(Debug)]
+pub(crate) struct Parked {
+    /// The suspended virtine: shell, invocation, and segment accounting.
+    pub run: SuspendedRun,
+    pub tenant: TenantId,
+    pub virtine: VirtineId,
+    pub seq: u64,
+    pub priority: u8,
+    /// Original arrival (cycles); end-to-end latency spans the park.
+    pub arrival: u64,
+    /// Worker-timeline position of the first execution segment's start.
+    pub first_start: u64,
+    /// Worker cycles consumed by the segments executed so far.
+    pub service_so_far: u64,
+    /// Whether the first segment ran on a stolen shell.
+    pub stolen: bool,
+    /// Worker-timeline position when the run parked.
+    pub blocked_from: u64,
+    /// Timeline position at which the tenant's `max_block` kills the run;
+    /// `u64::MAX` when unbounded.
+    pub timeout_at: u64,
+    /// The socket whose readability wakes the run.
+    pub sock: SockId,
+}
 
 /// A queued, admitted request waiting for its shard's next batch tick.
 #[derive(Debug)]
 pub(crate) struct Queued {
+    /// Woken blocked runs re-queue at the front: they hold a live shell
+    /// and already-delivered bytes, so they outrank every priority class.
+    pub front: bool,
     /// Effective priority: tenant base plus per-request boost.
     pub priority: u8,
     /// Absolute deadline in cycles; `u64::MAX` when none.
@@ -32,6 +70,9 @@ pub(crate) struct Queued {
     pub invocation: Invocation,
     /// Arrival timestamp in cycles.
     pub arrival: u64,
+    /// A woken blocked run to resume instead of acquiring a shell and
+    /// starting fresh.
+    pub resume: Option<Box<Parked>>,
 }
 
 impl PartialEq for Queued {
@@ -43,11 +84,12 @@ impl PartialEq for Queued {
 impl Eq for Queued {}
 
 impl Ord for Queued {
-    /// Max-heap order: higher priority first, then earlier deadline, then
-    /// submission order.
+    /// Max-heap order: woken blocked runs first, then higher priority,
+    /// then earlier deadline, then submission order.
     fn cmp(&self, other: &Queued) -> Ordering {
-        self.priority
-            .cmp(&other.priority)
+        self.front
+            .cmp(&other.front)
+            .then(self.priority.cmp(&other.priority))
             .then(other.deadline.cmp(&self.deadline))
             .then(other.seq.cmp(&self.seq))
     }
@@ -74,12 +116,30 @@ pub struct ShardStats {
     pub warm_hits: u64,
     /// High-water mark of the shard's queue depth.
     pub max_queue_depth: usize,
+    /// Runs that parked in a blocking wait on this shard (block events).
+    pub blocked: u64,
+    /// Parked runs resumed after their socket became readable.
+    pub resumed: u64,
+    /// Parked runs killed at their tenant's `max_block` bound.
+    pub blocked_timeout: u64,
+    /// Worker cycles burned waiting on blocked I/O (spin-poll dispatch
+    /// charges the whole park here; event-driven dispatch charges none).
+    pub busy_wait_cycles: u64,
 }
 
-/// One dispatcher shard: pool, run queue, and a worker timeline.
+/// One dispatcher shard: pool, run queue, parked blocked runs, and a
+/// worker timeline.
 pub(crate) struct Shard {
     pub pool: Pool,
     pub queue: BinaryHeap<Queued>,
+    /// Blocked runs parked on this shard, keyed by their wait token.
+    /// Batch ticks skip these; a socket wake moves them back to the run
+    /// queue's front. Their shells live inside the `SuspendedRun`s.
+    pub blocked: HashMap<u64, Parked>,
+    /// Number of parked runs the worker is *spin-polling* on (spin-poll
+    /// dispatch only): while nonzero the worker is occupied and runs no
+    /// batches.
+    pub spinning: usize,
     /// When this shard's worker finishes its current work (cycles).
     pub free_at: u64,
     /// The next batch tick at which this shard will run, `u64::MAX` when
@@ -93,6 +153,8 @@ impl Shard {
         Shard {
             pool,
             queue: BinaryHeap::new(),
+            blocked: HashMap::new(),
+            spinning: 0,
             free_at: 0,
             next_wake: u64::MAX,
             stats: ShardStats::default(),
@@ -100,10 +162,25 @@ impl Shard {
     }
 
     pub(crate) fn enqueue(&mut self, q: Queued, tick: u64) {
-        let wake = align_up(self.free_at.max(q.arrival), tick);
+        self.enqueue_at(q, tick, 0);
+    }
+
+    /// Enqueues with an explicit lower bound on the batch tick — used by
+    /// wake delivery, where the original arrival predates the wake.
+    pub(crate) fn enqueue_at(&mut self, q: Queued, tick: u64, not_before: u64) {
+        let wake = align_up(self.free_at.max(q.arrival).max(not_before), tick);
         self.next_wake = self.next_wake.min(wake);
         self.queue.push(q);
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
+    }
+
+    /// The earliest `max_block` expiry among this shard's parked runs.
+    pub(crate) fn next_timeout(&self) -> Option<(u64, u64)> {
+        self.blocked
+            .iter()
+            .map(|(&token, p)| (p.timeout_at, token))
+            .filter(|&(at, _)| at != u64::MAX)
+            .min()
     }
 }
 
@@ -118,6 +195,8 @@ pub(crate) fn align_up(t: u64, tick: u64) -> u64 {
 pub struct ShardSnapshot {
     /// Requests waiting in the shard's run queue.
     pub queue_depth: usize,
+    /// Blocked runs currently parked on this shard.
+    pub parked: usize,
     /// Clean shells parked in the shard's pool.
     pub idle_shells: usize,
     /// Warm shells parked in the shard's pool.
@@ -134,6 +213,7 @@ impl Shard {
     pub(crate) fn snapshot(&self) -> ShardSnapshot {
         ShardSnapshot {
             queue_depth: self.queue.len(),
+            parked: self.blocked.len(),
             idle_shells: self.pool.idle_shells(),
             warm_shells: self.pool.warm_shells(),
             free_at_s: Cycles(self.free_at).as_secs(),
@@ -149,6 +229,7 @@ mod tests {
 
     fn q(priority: u8, deadline: u64, seq: u64) -> Queued {
         Queued {
+            front: false,
             priority,
             deadline,
             seq,
@@ -157,6 +238,7 @@ mod tests {
             args: Vec::new(),
             invocation: Invocation::default(),
             arrival: 0,
+            resume: None,
         }
     }
 
@@ -172,6 +254,17 @@ mod tests {
         // Priority 2 first (deadline 500 beats none), then priority 1,
         // then priority 0 in submission order.
         assert_eq!(order, vec![3, 2, 4, 0, 1]);
+    }
+
+    #[test]
+    fn woken_blocked_runs_outrank_every_priority_class() {
+        let mut h = BinaryHeap::new();
+        h.push(q(9, 100, 0));
+        let mut woken = q(0, u64::MAX, 1);
+        woken.front = true;
+        h.push(woken);
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop()).map(|x| x.seq).collect();
+        assert_eq!(order, vec![1, 0], "front-of-queue beats priority 9");
     }
 
     #[test]

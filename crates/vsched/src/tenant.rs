@@ -39,6 +39,11 @@ pub enum ShedReason {
     InFlightCap,
     /// The request's deadline passed while it waited in a shard queue.
     DeadlineMissed,
+    /// Deadline-aware admission: the target shard's backlog already makes
+    /// the deadline unmeetable (estimated queue wait × recent per-request
+    /// cost lands past it), so the request is shed at `submit` instead of
+    /// wasting queue space on a guaranteed miss.
+    DeadlineUnmeetable,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -47,6 +52,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::RateLimited => write!(f, "rate limited"),
             ShedReason::InFlightCap => write!(f, "in-flight cap reached"),
             ShedReason::DeadlineMissed => write!(f, "deadline missed"),
+            ShedReason::DeadlineUnmeetable => write!(f, "deadline unmeetable at admission"),
         }
     }
 }
@@ -69,6 +75,11 @@ pub struct TenantProfile {
     pub mask: HypercallMask,
     /// Base priority; higher values are popped from shard queues first.
     pub priority: u8,
+    /// Longest a virtine of this tenant may stay parked in one blocking
+    /// wait (vclock time). A parked run holds a live shell and an
+    /// in-flight slot; past the bound it is killed with a wiped shell and
+    /// counted in [`TenantStats::blocked_timeout`]. `None` waits forever.
+    pub max_block: Option<Cycles>,
 }
 
 impl TenantProfile {
@@ -84,6 +95,7 @@ impl TenantProfile {
             max_in_flight: usize::MAX,
             mask: HypercallMask::DENY_ALL,
             priority: 0,
+            max_block: None,
         }
     }
 
@@ -112,6 +124,14 @@ impl TenantProfile {
         self.priority = priority;
         self
     }
+
+    /// Bounds how long a virtine may stay parked in one blocking wait, in
+    /// virtual seconds (builder style).
+    pub fn with_max_block(mut self, secs: f64) -> TenantProfile {
+        assert!(secs > 0.0, "a zero block budget kills every block");
+        self.max_block = Some(Cycles::from_micros(secs * 1e6));
+        self
+    }
 }
 
 /// Per-tenant dispatcher statistics, surfaced like `wasp::PoolStats`.
@@ -129,6 +149,9 @@ pub struct TenantStats {
     pub shed_in_flight: u64,
     /// Requests dropped in-queue after their deadline passed.
     pub shed_deadline: u64,
+    /// Requests shed at admission because the deadline was already
+    /// unmeetable given the target shard's backlog.
+    pub shed_deadline_unmeetable: u64,
     /// Served requests that ran on a shell stolen from a sibling shard.
     pub stolen_serves: u64,
     /// Served requests that hit a warm shell (delta re-arm).
@@ -137,12 +160,20 @@ pub struct TenantStats {
     pub abnormal: u64,
     /// Requests currently queued or running.
     pub in_flight: u64,
+    /// Times this tenant's virtines parked in a blocking wait (block
+    /// events, not unique requests).
+    pub blocked: u64,
+    /// Parked runs killed at the tenant's `max_block` bound.
+    pub blocked_timeout: u64,
 }
 
 impl TenantStats {
     /// Total sheds across every cause.
     pub fn shed(&self) -> u64 {
-        self.shed_rate_limit + self.shed_in_flight + self.shed_deadline
+        self.shed_rate_limit
+            + self.shed_in_flight
+            + self.shed_deadline
+            + self.shed_deadline_unmeetable
     }
 }
 
@@ -240,5 +271,9 @@ mod tests {
         assert_eq!(ShedReason::RateLimited.to_string(), "rate limited");
         assert_eq!(ShedReason::InFlightCap.to_string(), "in-flight cap reached");
         assert_eq!(ShedReason::DeadlineMissed.to_string(), "deadline missed");
+        assert_eq!(
+            ShedReason::DeadlineUnmeetable.to_string(),
+            "deadline unmeetable at admission"
+        );
     }
 }

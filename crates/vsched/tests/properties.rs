@@ -241,6 +241,165 @@ fn warm_shells_never_cross_tenants_or_virtines_without_a_wipe() {
     }
 }
 
+/// A shell parked with a *blocked* run (suspended in a blocking `recv`)
+/// is untouchable: it is never stolen by a dry sibling, never demoted as
+/// a warm victim, and — when the run is killed mid-block at its tenant's
+/// `max_block` — it re-enters circulation only through the full wipe.
+/// Random secrets planted (post-snapshot, so they live in resident state)
+/// by the blocked virtine before it parks; steal and demote traffic runs
+/// around the parked shell the whole time.
+#[test]
+fn parked_blocked_shells_are_never_stolen_or_demoted_and_wipe_on_kill() {
+    let mut rng = Rng::seeded(0xb10cced);
+    for case in 0..8 {
+        // A guest-memory address the image/stack regions don't touch.
+        let addr = 0x4000 + 8 * rng.range_u64(0, 0x200);
+        let secret = rng.next_u64() | 1; // Never zero.
+        let max_block_s = rng.range_f64(0.01, 0.05);
+
+        let mut d = Dispatcher::new(
+            Wasp::new_kvm_default(),
+            DispatcherConfig {
+                shards: 2,
+                placement: Placement::ByTenant,
+                ..DispatcherConfig::default()
+            },
+        );
+        // The blocked writer: snapshots (so warm machinery is armed for
+        // this spec), plants the secret *after* the snapshot point, then
+        // parks in a blocking recv nobody ever satisfies.
+        let writer_img = visa::assemble(&format!(
+            "
+.org 0x8000
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  mov r1, {addr:#x}
+  mov r2, {secret:#x}
+  store.q [r1], r2
+  mov r0, 7            ; recv — blocks forever
+  mov r1, 0x200
+  mov r2, 64
+  mov r3, 0
+  out 0x1, r0
+  hlt
+"
+        ))
+        .unwrap();
+        let reader_img = visa::assemble(&format!(
+            "
+.org 0x8000
+  mov r0, 10         ; return_data(addr, 8)
+  mov r1, {addr:#x}
+  mov r2, 8
+  out 0x1, r0
+  hlt
+"
+        ))
+        .unwrap();
+        let writer = d
+            .register(
+                VirtineSpec::new("writer", writer_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::RECV])),
+            )
+            .unwrap();
+        let reader = d
+            .register(
+                VirtineSpec::new("reader", reader_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::RETURN_DATA]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        // Tenant a (home shard 0) parks the blocked writer; b (shard 1)
+        // generates clean-shell traffic; c (shard 0) generates steal
+        // pressure against shard 0 — whose only shell is the parked one.
+        let a = d.add_tenant(
+            TenantProfile::new("a")
+                .with_mask(HypercallMask::ALLOW_ALL)
+                .with_max_block(max_block_s),
+        );
+        let b = d.add_tenant(TenantProfile::new("b").with_mask(HypercallMask::ALLOW_ALL));
+        let c = d.add_tenant(TenantProfile::new("c").with_mask(HypercallMask::ALLOW_ALL));
+
+        let k = d.wasp().kernel();
+        k.net_listen(80).unwrap();
+        let _client = k.net_connect(80).unwrap();
+        let server = k.net_accept(80).unwrap().unwrap();
+        d.submit(Request::new(a, writer, 0.0).with_invocation(wasp::Invocation::with_conn(server)))
+            .unwrap();
+        d.run_until(0.001);
+        assert_eq!(d.parked(), 1, "case {case}: writer must park");
+        assert_eq!(d.shard_snapshots()[0].parked, 1, "case {case}");
+        assert_eq!(
+            d.shard_snapshots()[0].idle_shells + d.shard_snapshots()[0].warm_shells,
+            0,
+            "case {case}: the parked shell is outside the pool"
+        );
+
+        // b seeds shard 1 with a clean shell; c's request on shard 0 then
+        // finds an empty pool and must steal b's — never a's parked shell.
+        d.submit(Request::new(b, reader, 0.002)).unwrap();
+        d.run_until(0.004);
+        d.submit(Request::new(c, reader, 0.005)).unwrap();
+        d.run_until(0.007);
+        let cs: Vec<&vsched::Completion> = d.completions().iter().collect();
+        assert_eq!(cs.len(), 2, "case {case}: readers served while parked");
+        for comp in &cs {
+            assert!(comp.exit_normal, "case {case}");
+            assert_eq!(
+                comp.result,
+                vec![0u8; 8],
+                "case {case}: secret visible outside the parked shell"
+            );
+            assert!(!comp.warm_hit, "case {case}: nothing warm to hit");
+        }
+        let stolen_serve = cs.iter().filter(|c| c.stolen_shell).count();
+        assert_eq!(
+            stolen_serve, 1,
+            "case {case}: c must steal b's clean shell, proving steal \
+             pressure existed while the parked shell stayed untouched"
+        );
+        assert_eq!(d.parked(), 1, "case {case}: still parked through it all");
+        assert_eq!(
+            d.pool_stats().created,
+            2,
+            "case {case}: exactly the writer's shell and b's — stealing \
+             never minted a third, and never took the parked one"
+        );
+        assert_eq!(d.stats().warm_demotions, 0, "case {case}");
+        assert_eq!(d.pool_stats().warm_demoted, 0, "case {case}");
+
+        // Let the tenant's max_block expire: the parked run is killed and
+        // its shell — still holding the secret — re-enters circulation
+        // only through the wiped release.
+        d.drain();
+        assert_eq!(d.parked(), 0, "case {case}");
+        assert_eq!(d.stats().blocked_timeout, 1, "case {case}");
+        assert_eq!(d.tenant_stats(a).blocked_timeout, 1, "case {case}");
+        assert_eq!(d.tenant_stats(a).in_flight, 0, "case {case}");
+        let killed = d.completions().last().unwrap();
+        assert!(!killed.exit_normal, "case {case}: timeout kill is abnormal");
+
+        // c reads again on shard 0: it reuses the killed shell (no new
+        // creation) and must see zeroes at the secret's address.
+        d.submit(Request::new(c, reader, max_block_s + 0.01))
+            .unwrap();
+        d.drain();
+        let comp = d.completions().last().unwrap();
+        assert!(comp.exit_normal && comp.reused_shell, "case {case}");
+        assert_eq!(
+            comp.result,
+            vec![0u8; 8],
+            "case {case}: secret {secret:#x} at {addr:#x} survived the \
+             mid-block kill wipe"
+        );
+        assert_eq!(
+            d.pool_stats().created,
+            2,
+            "case {case}: recycled, not re-created"
+        );
+    }
+}
+
 /// Work conservation under an arbitrary tenant mix: submitted =
 /// served + shed across every tenant, and the dispatcher totals agree
 /// with the per-tenant totals.

@@ -15,11 +15,23 @@
 
 use std::collections::HashMap;
 
-use hostsim::{Fd, HostKernel, SockId};
+use hostsim::{Fd, HostKernel, SockId, SockReady};
 use visa::cpu::Fault;
 
 /// The I/O port virtines issue hypercalls on.
 pub const HYPERCALL_PORT: u16 = 0x1;
+
+/// `recv` flag: return [`WOULD_BLOCK`] instead of blocking when no data is
+/// queued (the guest ABI's `MSG_DONTWAIT`). Rides in the hypercall's third
+/// argument register.
+pub const RECV_NONBLOCK: u64 = 1;
+
+/// Sentinel a *non-blocking* `recv` returns when the socket is open but
+/// empty. Distinct from `0` (EOF: peer closed and drained) and from
+/// [`GUEST_ERR`]/-1 (no connection bound); as a signed integer it reads as
+/// -2, mirroring the errno-style contract guests already check with
+/// `n <= 0`.
+pub const WOULD_BLOCK: u64 = u64::MAX - 1;
 
 /// Hypercall numbers for Wasp's canned, general-purpose handlers (§5.1:
 /// clients "can also choose from a variety of general-purpose handlers that
@@ -177,6 +189,34 @@ pub trait GuestMem {
     fn write_guest(&mut self, addr: u64, data: &[u8]) -> Result<(), Fault>;
 }
 
+/// Why a virtine cannot make progress: the condition a blocked run waits
+/// on, carried by [`HcOutcome::Block`] and held by a suspended run until
+/// the scheduler observes the condition and resumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitReason {
+    /// A blocking `recv`/`read` found the connection open but empty. The
+    /// run resumes when `sock` becomes readable; the pending bytes are
+    /// then delivered at `buf` (up to `max_len`) with the count in `r0` —
+    /// completing the original hypercall exactly where it faulted.
+    RecvReady {
+        /// The host socket the guest is parked on.
+        sock: SockId,
+        /// Guest address the delivery writes to.
+        buf: u64,
+        /// Guest-supplied bound on the delivery.
+        max_len: usize,
+    },
+}
+
+impl WaitReason {
+    /// The socket whose readability ends the wait.
+    pub fn sock(&self) -> SockId {
+        match self {
+            WaitReason::RecvReady { sock, .. } => *sock,
+        }
+    }
+}
+
 /// What the runtime should do after a handled hypercall.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HcOutcome {
@@ -186,6 +226,11 @@ pub enum HcOutcome {
     Exit(u64),
     /// The guest asked for a snapshot at this point.
     TakeSnapshot,
+    /// A blocking operation cannot complete yet. A resumable runner
+    /// suspends the virtine here (the exit-not-busy-wait contract); a
+    /// non-resumable runner degrades the call to its non-blocking form and
+    /// hands the guest [`WOULD_BLOCK`].
+    Block(WaitReason),
     /// The handler decided the virtine must die (bad arguments, repeated
     /// one-shot calls, ...).
     Kill(&'static str),
@@ -193,7 +238,7 @@ pub enum HcOutcome {
 
 /// Error code returned to guests for failed operations (as `u64`, it is the
 /// two's-complement of -1).
-const GUEST_ERR: u64 = u64::MAX;
+pub(crate) const GUEST_ERR: u64 = u64::MAX;
 
 /// Dispatches one canned hypercall.
 ///
@@ -229,7 +274,9 @@ pub fn handle_canned(
             let (fd, buf, max_len) = (args[0], args[1], args[2] as usize);
             if let (0, Some(conn)) = (fd, inv.conn) {
                 // Reading "fd 0" with a bound connection is a socket recv.
-                return recv_into(mem, kernel, conn, buf, max_len);
+                // Always blocking: `read` has no flags argument (and the
+                // register that would carry one holds caller garbage).
+                return recv_into(mem, kernel, conn, buf, max_len, false);
             }
             let Some(&host_fd) = inv.open_fds.get(&fd) else {
                 return Ok(HcOutcome::Resume(GUEST_ERR));
@@ -296,10 +343,11 @@ pub fn handle_canned(
         }
         nr::RECV => {
             let (buf, max_len) = (args[0], args[1] as usize);
+            let nonblock = args[2] & RECV_NONBLOCK != 0;
             let Some(conn) = inv.conn else {
                 return Ok(HcOutcome::Resume(GUEST_ERR));
             };
-            recv_into(mem, kernel, conn, buf, max_len)
+            recv_into(mem, kernel, conn, buf, max_len, nonblock)
         }
         nr::SNAPSHOT => {
             inv.snapshot_requests += 1;
@@ -330,19 +378,49 @@ pub fn handle_canned(
     }
 }
 
+/// The three-way `recv` contract (all guest-distinguishable):
+///
+/// * data queued → deliver it, return the length;
+/// * open but empty → [`HcOutcome::Block`] (blocking) or the
+///   [`WOULD_BLOCK`] sentinel (non-blocking);
+/// * peer closed and drained → a clean `0` EOF.
+///
+/// The empty-but-open probe is an uncharged kernel-internal poll: a
+/// blocking recv is *one* syscall whose cost is paid when the data is
+/// delivered (here on the data path, or by the resume step for a suspended
+/// run), so a blocked-then-resumed run charges exactly the cycles an
+/// unblocked one does.
 fn recv_into(
     mem: &mut dyn GuestMem,
     kernel: &HostKernel,
     conn: SockId,
     buf: u64,
     max_len: usize,
+    nonblock: bool,
 ) -> Result<HcOutcome, Fault> {
-    match kernel.net_recv(conn, max_len) {
-        Ok(Some(data)) => {
-            mem.write_guest(buf, &data)?;
-            Ok(HcOutcome::Resume(data.len() as u64))
+    match kernel.net_poll(conn) {
+        Ok(SockReady::WouldBlock) => {
+            if nonblock {
+                // The probe-and-fail is still a syscall round trip.
+                kernel.syscall_overhead();
+                Ok(HcOutcome::Resume(WOULD_BLOCK))
+            } else {
+                Ok(HcOutcome::Block(WaitReason::RecvReady {
+                    sock: conn,
+                    buf,
+                    max_len,
+                }))
+            }
         }
-        Ok(None) => Ok(HcOutcome::Resume(0)),
+        Ok(SockReady::Readable | SockReady::Eof) => match kernel.net_recv(conn, max_len) {
+            Ok(Some(data)) => {
+                mem.write_guest(buf, &data)?;
+                Ok(HcOutcome::Resume(data.len() as u64))
+            }
+            // Drained and the peer is gone: end-of-stream.
+            Ok(None) => Ok(HcOutcome::Resume(0)),
+            Err(_) => Ok(HcOutcome::Resume(GUEST_ERR)),
+        },
         Err(_) => Ok(HcOutcome::Resume(GUEST_ERR)),
     }
 }
@@ -477,6 +555,65 @@ mod tests {
         let out = handle_canned(nr::SEND, [128, 4, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
         assert_eq!(out, HcOutcome::Resume(4));
         assert_eq!(k.net_recv(client, 64).unwrap().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn recv_distinguishes_data_wouldblock_and_eof() {
+        let (k, mut m, _) = setup();
+        k.net_listen(80).unwrap();
+        let client = k.net_connect(80).unwrap();
+        let server = k.net_accept(80).unwrap().unwrap();
+        let mut inv = Invocation::with_conn(server);
+
+        // Open but empty, blocking (flags = 0): an exit, not a busy-wait.
+        let out = handle_canned(nr::RECV, [0, 64, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(
+            out,
+            HcOutcome::Block(WaitReason::RecvReady {
+                sock: server,
+                buf: 0,
+                max_len: 64
+            })
+        );
+
+        // Open but empty, non-blocking: the WOULD_BLOCK sentinel, distinct
+        // from both EOF (0) and error (-1).
+        let out =
+            handle_canned(nr::RECV, [0, 64, RECV_NONBLOCK, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(WOULD_BLOCK));
+        assert_ne!(WOULD_BLOCK, 0);
+        assert_ne!(WOULD_BLOCK, GUEST_ERR);
+
+        // Data queued: delivered regardless of flags.
+        k.net_send(client, b"data").unwrap();
+        let out =
+            handle_canned(nr::RECV, [0, 64, RECV_NONBLOCK, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(4));
+        assert_eq!(m.read_guest(0, 4).unwrap(), b"data");
+
+        // Peer closed and drained: a clean 0 EOF on both paths.
+        k.net_close(client).unwrap();
+        let out = handle_canned(nr::RECV, [0, 64, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(0), "blocking recv sees EOF");
+        let out =
+            handle_canned(nr::RECV, [0, 64, RECV_NONBLOCK, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(0), "non-blocking recv sees EOF");
+    }
+
+    #[test]
+    fn read_on_bound_connection_blocks_when_empty() {
+        let (k, mut m, _) = setup();
+        k.net_listen(81).unwrap();
+        let client = k.net_connect(81).unwrap();
+        let server = k.net_accept(81).unwrap().unwrap();
+        let mut inv = Invocation::with_conn(server);
+        // `read(0, ...)` on the bound connection takes the same blocking
+        // path as `recv` (no flags argument: always blocking).
+        let out = handle_canned(nr::READ, [0, 256, 64, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert!(matches!(out, HcOutcome::Block(_)));
+        k.net_send(client, b"hi").unwrap();
+        let out = handle_canned(nr::READ, [0, 256, 64, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(2));
     }
 
     #[test]

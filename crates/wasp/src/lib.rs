@@ -35,10 +35,14 @@ pub mod native;
 pub mod pool;
 pub mod runtime;
 
-pub use hypercall::{nr, GuestMem, HcOutcome, HypercallMask, Invocation, HYPERCALL_PORT};
+pub use hypercall::{
+    nr, GuestMem, HcOutcome, HypercallMask, Invocation, WaitReason, HYPERCALL_PORT, RECV_NONBLOCK,
+    WOULD_BLOCK,
+};
 pub use native::{NativeExit, NativeOutcome, NativeRunner};
 pub use pool::{Pool, PoolMode, PoolStats, DEFAULT_WARM_CAPACITY};
 pub use runtime::{
-    Breakdown, ExitKind, RunOutcome, ShellSource, VirtineId, VirtineSpec, VirtineWarmStats, Wasp,
-    WaspConfig, WaspError, WaspStats, ARGS_ADDR, LOAD_ADDR, NO_SNAPSHOT_ENV,
+    Breakdown, ExitKind, RunOutcome, RunResult, ShellSource, SuspendedRun, VirtineId, VirtineSpec,
+    VirtineWarmStats, Wasp, WaspConfig, WaspError, WaspStats, ARGS_ADDR, LOAD_ADDR,
+    NO_SNAPSHOT_ENV,
 };

@@ -162,6 +162,13 @@ impl NativeRunner {
                         // Snapshotting is a virtine concept; natively a
                         // no-op (the process keeps running).
                         Ok(HcOutcome::TakeSnapshot) => machine.cpu.set_reg(Reg(0), 0),
+                        // The native baseline has no event loop to yield
+                        // to: a blocking call that cannot complete behaves
+                        // like its non-blocking form (EAGAIN).
+                        Ok(HcOutcome::Block(_)) => {
+                            self.kernel.syscall_overhead();
+                            machine.cpu.set_reg(Reg(0), hypercall::WOULD_BLOCK);
+                        }
                         Ok(HcOutcome::Kill(_)) => {
                             break NativeExit::Crashed(Fault::ModeViolation {
                                 reason: "malformed syscall",

@@ -28,12 +28,28 @@
 //! ```text
 //!            KVM_CREATE_VM                 release (wiped, §5.2)
 //!   create ───────────────► in use ─────────────────────────────► clean
-//!                            ▲  │                                  │
-//!          acquire_warm      │  │ release_warm                     │ acquire
-//!          (delta re-arm,    │  ▼ (snapshotted run, normal exit)   ▼
-//!          same key only) ── warm[(tenant, virtine)] ── demote ─► in use
-//!                                        (LRU evict / steal:  full wipe)
+//!                            ▲  │  │                               │
+//!          acquire_warm      │  │  │ HcOutcome::Block              │ acquire
+//!          (delta re-arm,    │  │  ▼ (blocking recv, no data)      ▼
+//!          same key only)    │  │ blocked/suspended ── wake ──► in use
+//!                            │  │  (shell held by SuspendedRun,
+//!                            │  │   outside the pool: unstealable,
+//!                            │  │   undemotable; timeout-kill exits
+//!                            │  │   via the ordinary wiped release)
+//!                            │  ▼
+//!                            └─ warm[(tenant, virtine)] ── demote ─► clean
+//!                               (release_warm after a snapshotted
+//!                                run, normal exit; LRU evict /
+//!                                cross-key / steal: full wipe)
 //! ```
+//!
+//! The **blocked/suspended** state is the event-driven I/O path: a virtine
+//! parked in a blocking `recv` keeps its shell *inside* the
+//! [`crate::SuspendedRun`], so none of the pool's acquire/steal/demote
+//! paths can ever observe it — isolation of a parked invocation's live
+//! state is structural, not a bookkeeping promise. Its transitions are
+//! block → park → wake → resume (re-entering the guest at the faulting
+//! hypercall) or timeout → kill → wiped release (`ExitKind::Blocked`).
 //!
 //! **Isolation argument.** A warm shell still contains the previous
 //! invocation's data, so it may only be handed back *re-armed* and only to

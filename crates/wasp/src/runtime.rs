@@ -41,6 +41,37 @@
 //!   invocation touched; any other path out of the warm list is a full
 //!   wipe. Either way no bit of a prior invocation's data is observable,
 //!   so §5.2's no-information-leakage guarantee survives the optimization.
+//!
+//! ## Blocked/suspended runs (event-driven I/O)
+//!
+//! Runs are *resumable*: a blocking hypercall that cannot complete (today a
+//! `recv` on an open-but-empty connection) is an **exit, not a busy-wait**.
+//! [`Wasp::run_on_shell_resumable`] returns [`RunResult::Blocked`] carrying
+//! a [`SuspendedRun`] — shell (vCPU registers + guest memory), invocation
+//! state, and segmented accounting — and the caller's event loop decides
+//! when the wait is over:
+//!
+//! ```text
+//!        HcOutcome::Block                    wait satisfied
+//! run ────────────────────► SuspendedRun ────────────────────► resume
+//!  ▲                         (parked:          (resume_on_shell re-enters
+//!  │                          unstealable,      the guest at the faulting
+//!  │   RunResult::Done        undemotable)      hypercall with the bytes)
+//!  └────────────────────────────┐ │
+//!                               │ │ timeout / kill (abort_suspended)
+//!                               ▼ ▼
+//!                        ExitKind::Blocked → wiped release (§5.2)
+//! ```
+//!
+//! While parked the shell is owned by the `SuspendedRun`, structurally
+//! outside every pool: no steal, demotion, or re-arm path can observe it.
+//! Accounting is segmented so a blocked-then-resumed run charges exactly
+//! the guest cycles an unblocked run does ([`Breakdown::blocked`] absorbs
+//! the parked wall-time; `exec`/`total` never include it, and the delivery
+//! at resume is the one charged syscall the blocking `recv` is). Callers
+//! without an event loop ([`Wasp::run`], [`Wasp::run_on_shell`]) see
+//! blocking calls degraded to their non-blocking form
+//! ([`crate::hypercall::WOULD_BLOCK`]).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -52,7 +83,9 @@ use visa::asm::Image;
 use visa::cpu::Fault;
 use visa::Reg;
 
-use crate::hypercall::{self, GuestMem, HcOutcome, HypercallMask, Invocation, HYPERCALL_PORT};
+use crate::hypercall::{
+    self, GuestMem, HcOutcome, HypercallMask, Invocation, WaitReason, HYPERCALL_PORT,
+};
 use crate::pool::{Pool, PoolMode, PoolStats};
 
 /// Guest address where marshalled arguments are placed ("the argument, n,
@@ -186,6 +219,10 @@ pub enum ExitKind {
     Faulted(Fault),
     /// The instruction budget ran out.
     StepLimit,
+    /// The run was abandoned while suspended in a blocking wait (e.g. a
+    /// scheduler's block timeout killed it). The shell still holds the
+    /// parked invocation's state and must take a wiped release.
+    Blocked,
 }
 
 impl ExitKind {
@@ -243,6 +280,14 @@ pub struct Breakdown {
     pub warm_hit: bool,
     /// Pages copied by the delta re-arm (zero unless `warm_hit`).
     pub delta_pages: u64,
+    /// Virtual time spent suspended in blocking waits — *excluded* from
+    /// `exec` and `total`, which therefore sum a blocked-then-resumed
+    /// run's execution segments to the same guest-cycle figure an
+    /// unblocked run reports (no double-charged re-entry).
+    pub blocked: Cycles,
+    /// Times the run blocked and was later resumed (zero for a run that
+    /// never waited).
+    pub resumes: u32,
 }
 
 /// The result of one virtine invocation.
@@ -271,6 +316,68 @@ impl RunOutcome {
     /// Convenience: the guest's `return_data` bytes.
     pub fn result_bytes(&self) -> &[u8] {
         &self.invocation.result
+    }
+}
+
+/// How a resumable run left the shell: finished (outcome plus the dirty
+/// shell, exactly like [`Wasp::run_on_shell`]), or suspended at a blocking
+/// hypercall with the shell parked inside the [`SuspendedRun`].
+#[derive(Debug)]
+pub enum RunResult {
+    /// The invocation completed; route the shell through a pool.
+    Done(RunOutcome, VmFd),
+    /// The invocation is parked on a [`WaitReason`]. Resume it with
+    /// [`Wasp::resume_on_shell`] once the condition holds, or kill it with
+    /// [`Wasp::abort_suspended`].
+    Blocked(SuspendedRun),
+}
+
+/// A virtine suspended mid-invocation at a blocking hypercall.
+///
+/// The shell (and with it the vCPU register file and guest memory) rides
+/// inside, so the suspended state *is* the parked shell: it cannot be
+/// stolen, demoted, or re-armed by any pool path while the run is blocked —
+/// the only exits are [`Wasp::resume_on_shell`] (deliver the awaited bytes
+/// and continue exactly at the faulting hypercall) and
+/// [`Wasp::abort_suspended`] (give the shell back for a wiped release).
+/// Cycle accounting is segmented: execution before the block is already in
+/// [`Breakdown::exec`]; parked time accrues to [`Breakdown::blocked`] and
+/// never to `exec`/`total`.
+#[derive(Debug)]
+pub struct SuspendedRun {
+    vm: VmFd,
+    id: VirtineId,
+    policy: HypercallMask,
+    snapshot_enabled: bool,
+    invocation: Invocation,
+    wait: WaitReason,
+    hypercalls: u64,
+    marks: Vec<(u8, Cycles)>,
+    armed: Option<Rc<VmSnapshot>>,
+    breakdown: Breakdown,
+    blocked_at: Cycles,
+}
+
+impl SuspendedRun {
+    /// The condition this run waits on.
+    pub fn wait(&self) -> &WaitReason {
+        &self.wait
+    }
+
+    /// The virtine being run.
+    pub fn virtine(&self) -> VirtineId {
+        self.id
+    }
+
+    /// When the run (last) blocked, on the shared virtual clock.
+    pub fn blocked_at(&self) -> Cycles {
+        self.blocked_at
+    }
+
+    /// Accounting accumulated so far (`exec` covers the segments already
+    /// executed; `blocked` the waits already completed).
+    pub fn breakdown(&self) -> &Breakdown {
+        &self.breakdown
     }
 }
 
@@ -336,6 +443,11 @@ pub struct WaspStats {
     pub warm_hits: u64,
     /// Total pages copied across all delta re-arms.
     pub delta_pages_copied: u64,
+    /// Runs suspended at a blocking hypercall (each block event counts,
+    /// so one run can contribute several).
+    pub blocks: u64,
+    /// Suspended runs resumed after their wait completed.
+    pub resumes: u64,
 }
 
 /// Per-virtine warm-path statistics (surfaced alongside [`WaspStats`]).
@@ -374,6 +486,13 @@ pub struct Wasp {
     pool: RefCell<Pool>,
     specs: RefCell<Vec<SpecEntry>>,
     stats: RefCell<WaspStats>,
+}
+
+/// How one guest-execution segment ended: the invocation finished (in any
+/// of the classic ways) or parked at a blocking hypercall.
+enum SegmentEnd {
+    Exit(ExitKind),
+    Block(WaitReason),
 }
 
 /// Adapter giving hypercall handlers bounds-checked guest-memory access.
@@ -584,6 +703,12 @@ impl Wasp {
     ///
     /// The `breakdown.acquire`/`release` fields of the outcome are zero;
     /// they belong to whoever manages the shell's lifecycle.
+    ///
+    /// This entry point is *non-resumable*: a blocking hypercall that
+    /// cannot complete (see [`HcOutcome::Block`]) is degraded to its
+    /// non-blocking form and the guest receives
+    /// [`crate::hypercall::WOULD_BLOCK`]. Callers with an event loop use
+    /// [`Wasp::run_on_shell_resumable`] instead, which suspends the run.
     #[allow(clippy::too_many_arguments)]
     pub fn run_on_shell(
         &self,
@@ -591,10 +716,48 @@ impl Wasp {
         source: ShellSource,
         id: VirtineId,
         args: &[u8],
-        mut invocation: Invocation,
+        invocation: Invocation,
         narrow: HypercallMask,
         handler: CustomHandler<'_>,
     ) -> Result<(RunOutcome, VmFd), WaspError> {
+        match self.run_shell_inner(vm, source, id, args, invocation, narrow, false, handler)? {
+            RunResult::Done(outcome, vm) => Ok((outcome, vm)),
+            RunResult::Blocked(_) => unreachable!("non-resumable runs never suspend"),
+        }
+    }
+
+    /// [`Wasp::run_on_shell`] with the run-loop contract of event-driven
+    /// dispatch: a blocking hypercall that cannot complete returns
+    /// [`RunResult::Blocked`] — the run exits the shard worker instead of
+    /// busy-waiting, carrying shell, invocation, and accounting in a
+    /// [`SuspendedRun`] until [`Wasp::resume_on_shell`] re-enters the guest
+    /// at the faulting hypercall.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_on_shell_resumable(
+        &self,
+        vm: VmFd,
+        source: ShellSource,
+        id: VirtineId,
+        args: &[u8],
+        invocation: Invocation,
+        narrow: HypercallMask,
+        handler: CustomHandler<'_>,
+    ) -> Result<RunResult, WaspError> {
+        self.run_shell_inner(vm, source, id, args, invocation, narrow, true, handler)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_shell_inner(
+        &self,
+        vm: VmFd,
+        source: ShellSource,
+        id: VirtineId,
+        args: &[u8],
+        mut invocation: Invocation,
+        narrow: HypercallMask,
+        resumable: bool,
+        handler: CustomHandler<'_>,
+    ) -> Result<RunResult, WaspError> {
         let (image, mem_size, policy, snapshot_enabled, snap) = {
             let specs = self.specs.borrow();
             let entry = specs.get(id.0).ok_or(WaspError::NoSuchVirtine)?;
@@ -676,22 +839,255 @@ impl Wasp {
         }
         let t_image = clock.now();
 
-        // 4. Run, interposing on hypercalls.
-        let vcpu = vm.vcpu();
+        // 4. Run, interposing on hypercalls, until the guest finishes or —
+        // in resumable mode — parks at a blocking hypercall.
         let mut hypercalls = 0u64;
-        let exit = loop {
+        let end = self.exec_segment(
+            &vm,
+            id,
+            policy,
+            snapshot_enabled,
+            resumable,
+            &mut invocation,
+            &mut hypercalls,
+            &mut armed,
+            handler,
+        );
+        let t_exec = clock.now();
+        let breakdown = Breakdown {
+            acquire: Cycles::ZERO,
+            image: t_image - t_acquired,
+            exec: t_exec - t_image,
+            release: Cycles::ZERO,
+            total: t_exec - t_acquired,
+            reused_shell: reused,
+            restored_snapshot: restored,
+            warm_hit,
+            delta_pages,
+            blocked: Cycles::ZERO,
+            resumes: 0,
+        };
+        match end {
+            SegmentEnd::Block(wait) => {
+                let marks = vm.vcpu().take_marks();
+                Ok(RunResult::Blocked(SuspendedRun {
+                    vm,
+                    id,
+                    policy,
+                    snapshot_enabled,
+                    invocation,
+                    wait,
+                    hypercalls,
+                    marks,
+                    armed,
+                    breakdown,
+                    blocked_at: t_exec,
+                }))
+            }
+            SegmentEnd::Exit(exit) => {
+                let (outcome, vm) = self.finish_run(
+                    vm,
+                    id,
+                    snapshot_enabled,
+                    exit,
+                    invocation,
+                    Vec::new(),
+                    hypercalls,
+                    armed,
+                    breakdown,
+                );
+                Ok(RunResult::Done(outcome, vm))
+            }
+        }
+    }
+
+    /// Re-enters a [`SuspendedRun`] whose wait condition should now hold:
+    /// delivers the awaited bytes straight into the parked hypercall's
+    /// buffer (the one syscall the blocking `recv` is, charged here where
+    /// the data actually arrives), places the count in `r0`, and continues
+    /// guest execution at the instruction after the faulting hypercall. If
+    /// the condition does not hold after all (a spurious wake-up), the run
+    /// re-parks and [`RunResult::Blocked`] is returned again.
+    pub fn resume_on_shell(
+        &self,
+        s: SuspendedRun,
+        handler: CustomHandler<'_>,
+    ) -> Result<RunResult, WaspError> {
+        let SuspendedRun {
+            vm,
+            id,
+            policy,
+            snapshot_enabled,
+            mut invocation,
+            wait,
+            mut hypercalls,
+            mut marks,
+            mut armed,
+            mut breakdown,
+            blocked_at,
+        } = s;
+        let clock = self.kernel.clock().clone();
+        let t_resume = clock.now();
+
+        // Deliver the awaited condition, completing the parked hypercall.
+        let WaitReason::RecvReady { sock, buf, max_len } = wait;
+        if matches!(
+            self.kernel.net_poll(sock),
+            Ok(hostsim::SockReady::WouldBlock)
+        ) {
+            // Spurious resume: still nothing to read. Park again without
+            // charging anything (the kernel-internal probe is free).
+            breakdown.blocked += t_resume - blocked_at;
+            return Ok(RunResult::Blocked(SuspendedRun {
+                vm,
+                id,
+                policy,
+                snapshot_enabled,
+                invocation,
+                wait,
+                hypercalls,
+                marks,
+                armed,
+                breakdown,
+                blocked_at: t_resume,
+            }));
+        }
+        breakdown.blocked += t_resume - blocked_at;
+        breakdown.resumes += 1;
+        self.stats.borrow_mut().resumes += 1;
+
+        let vcpu = vm.vcpu();
+        let mut delivery_fault = None;
+        match self.kernel.net_recv(sock, max_len) {
+            Ok(Some(data)) => match vm.write_guest(buf, &data) {
+                Ok(()) => vcpu.set_reg(Reg(0), data.len() as u64),
+                // A hostile buffer pointer surfaces exactly as it would
+                // have on the unblocked data path: the guest faults.
+                Err(fault) => delivery_fault = Some(fault),
+            },
+            // Drained and the peer is gone while we were parked: EOF.
+            Ok(None) => vcpu.set_reg(Reg(0), 0),
+            Err(_) => vcpu.set_reg(Reg(0), hypercall::GUEST_ERR),
+        }
+
+        let end = match delivery_fault {
+            Some(fault) => SegmentEnd::Exit(ExitKind::Faulted(fault)),
+            None => self.exec_segment(
+                &vm,
+                id,
+                policy,
+                snapshot_enabled,
+                true,
+                &mut invocation,
+                &mut hypercalls,
+                &mut armed,
+                handler,
+            ),
+        };
+        let t_end = clock.now();
+        breakdown.exec += t_end - t_resume;
+        breakdown.total = breakdown.image + breakdown.exec;
+        match end {
+            SegmentEnd::Block(wait) => {
+                marks.extend(vm.vcpu().take_marks());
+                Ok(RunResult::Blocked(SuspendedRun {
+                    vm,
+                    id,
+                    policy,
+                    snapshot_enabled,
+                    invocation,
+                    wait,
+                    hypercalls,
+                    marks,
+                    armed,
+                    breakdown,
+                    blocked_at: t_end,
+                }))
+            }
+            SegmentEnd::Exit(exit) => {
+                let (outcome, vm) = self.finish_run(
+                    vm,
+                    id,
+                    snapshot_enabled,
+                    exit,
+                    invocation,
+                    marks,
+                    hypercalls,
+                    armed,
+                    breakdown,
+                );
+                Ok(RunResult::Done(outcome, vm))
+            }
+        }
+    }
+
+    /// Kills a [`SuspendedRun`] without resuming it (e.g. a scheduler's
+    /// block timeout fired). Returns the outcome — [`ExitKind::Blocked`],
+    /// never warm-parkable — and the shell, which still holds the dead
+    /// invocation's state and **must** take a wiped release before reuse.
+    pub fn abort_suspended(&self, s: SuspendedRun) -> (RunOutcome, VmFd) {
+        let SuspendedRun {
+            vm,
+            invocation,
+            mut marks,
+            hypercalls,
+            mut breakdown,
+            blocked_at,
+            ..
+        } = s;
+        let clock = self.kernel.clock().clone();
+        breakdown.blocked += clock.now() - blocked_at;
+        breakdown.total = breakdown.image + breakdown.exec;
+        let vcpu = vm.vcpu();
+        marks.extend(vcpu.take_marks());
+        let ret = vcpu.reg(Reg(0));
+        (
+            RunOutcome {
+                exit: ExitKind::Blocked,
+                ret,
+                invocation,
+                marks,
+                hypercalls,
+                breakdown,
+                warm_state: None,
+            },
+            vm,
+        )
+    }
+
+    /// One guest-execution segment: runs until the guest finishes or, in
+    /// resumable mode, hits a blocking hypercall. Non-resumable callers
+    /// see blocking calls degraded to their non-blocking form
+    /// ([`crate::hypercall::WOULD_BLOCK`] in `r0`).
+    #[allow(clippy::too_many_arguments)]
+    fn exec_segment(
+        &self,
+        vm: &VmFd,
+        id: VirtineId,
+        policy: HypercallMask,
+        snapshot_enabled: bool,
+        resumable: bool,
+        invocation: &mut Invocation,
+        hypercalls: &mut u64,
+        armed: &mut Option<Rc<VmSnapshot>>,
+        handler: CustomHandler<'_>,
+    ) -> SegmentEnd {
+        let vcpu = vm.vcpu();
+        loop {
             match vcpu.run(self.config.step_budget) {
-                Err(fault) => break ExitKind::Faulted(fault),
-                Ok(VmExit::Hlt) => break ExitKind::Halted(vcpu.reg(Reg(0))),
-                Ok(VmExit::StepLimit) => break ExitKind::StepLimit,
-                Ok(VmExit::IoIn { .. }) => break ExitKind::Killed("unexpected port read"),
+                Err(fault) => return SegmentEnd::Exit(ExitKind::Faulted(fault)),
+                Ok(VmExit::Hlt) => return SegmentEnd::Exit(ExitKind::Halted(vcpu.reg(Reg(0)))),
+                Ok(VmExit::StepLimit) => return SegmentEnd::Exit(ExitKind::StepLimit),
+                Ok(VmExit::IoIn { .. }) => {
+                    return SegmentEnd::Exit(ExitKind::Killed("unexpected port read"))
+                }
                 Ok(VmExit::IoOut { port, value }) if port == HYPERCALL_PORT => {
-                    hypercalls += 1;
+                    *hypercalls += 1;
                     self.stats.borrow_mut().hypercalls += 1;
                     let n = value;
                     if !policy.allows(n) {
                         self.stats.borrow_mut().denials += 1;
-                        break ExitKind::Denied { nr: n };
+                        return SegmentEnd::Exit(ExitKind::Denied { nr: n });
                     }
                     let hc_args = [
                         vcpu.reg(Reg(1)),
@@ -700,22 +1096,33 @@ impl Wasp {
                         vcpu.reg(Reg(4)),
                         vcpu.reg(Reg(5)),
                     ];
-                    let mut mem = VmMem(&vm);
-                    let outcome = match handler(n, hc_args, &mut mem, &mut invocation) {
+                    let mut mem = VmMem(vm);
+                    let outcome = match handler(n, hc_args, &mut mem, invocation) {
                         Some(custom) => Ok(custom),
-                        None => hypercall::handle_canned(
-                            n,
-                            hc_args,
-                            &mut mem,
-                            &self.kernel,
-                            &mut invocation,
-                        ),
+                        None => {
+                            hypercall::handle_canned(n, hc_args, &mut mem, &self.kernel, invocation)
+                        }
                     };
                     match outcome {
-                        Err(fault) => break ExitKind::Faulted(fault),
+                        Err(fault) => return SegmentEnd::Exit(ExitKind::Faulted(fault)),
                         Ok(HcOutcome::Resume(v)) => vcpu.set_reg(Reg(0), v),
-                        Ok(HcOutcome::Exit(code)) => break ExitKind::Exited(code),
-                        Ok(HcOutcome::Kill(reason)) => break ExitKind::Killed(reason),
+                        Ok(HcOutcome::Exit(code)) => {
+                            return SegmentEnd::Exit(ExitKind::Exited(code))
+                        }
+                        Ok(HcOutcome::Kill(reason)) => {
+                            return SegmentEnd::Exit(ExitKind::Killed(reason))
+                        }
+                        Ok(HcOutcome::Block(reason)) => {
+                            if resumable {
+                                self.stats.borrow_mut().blocks += 1;
+                                return SegmentEnd::Block(reason);
+                            }
+                            // No event loop above us: degrade to the
+                            // non-blocking form. The probe-and-fail is a
+                            // full syscall round trip, like EAGAIN.
+                            self.kernel.syscall_overhead();
+                            vcpu.set_reg(Reg(0), hypercall::WOULD_BLOCK);
+                        }
                         Ok(HcOutcome::TakeSnapshot) => {
                             // Resume value is fixed *before* the snapshot so
                             // restored invocations observe the same state.
@@ -729,19 +1136,38 @@ impl Wasp {
                                     // The capture reset the dirty log, so
                                     // from here the shell's state is this
                                     // snapshot plus the log: warm-parkable.
-                                    armed = Some(taken);
+                                    *armed = Some(taken);
                                     self.stats.borrow_mut().snapshots_taken += 1;
                                 }
                             }
                         }
                     }
                 }
-                Ok(VmExit::IoOut { .. }) => break ExitKind::Killed("write to unknown port"),
+                Ok(VmExit::IoOut { .. }) => {
+                    return SegmentEnd::Exit(ExitKind::Killed("write to unknown port"))
+                }
             }
-        };
-        let t_exec = clock.now();
+        }
+    }
+
+    /// Epilogue shared by first-segment and resumed completions: decides
+    /// warm-parkability and assembles the [`RunOutcome`].
+    #[allow(clippy::too_many_arguments)]
+    fn finish_run(
+        &self,
+        vm: VmFd,
+        id: VirtineId,
+        snapshot_enabled: bool,
+        exit: ExitKind,
+        invocation: Invocation,
+        mut marks: Vec<(u8, Cycles)>,
+        hypercalls: u64,
+        armed: Option<Rc<VmSnapshot>>,
+        breakdown: Breakdown,
+    ) -> (RunOutcome, VmFd) {
+        let vcpu = vm.vcpu();
         let ret = vcpu.reg(Reg(0));
-        let marks = vcpu.take_marks();
+        marks.extend(vcpu.take_marks());
 
         // The shell may park warm only when its state provably derives
         // from the spec's *current* snapshot (compared by Rc identity — a
@@ -765,26 +1191,18 @@ impl Wasp {
             None
         };
 
-        let outcome = RunOutcome {
-            exit,
-            ret,
-            invocation,
-            marks,
-            hypercalls,
-            breakdown: Breakdown {
-                acquire: Cycles::ZERO,
-                image: t_image - t_acquired,
-                exec: t_exec - t_image,
-                release: Cycles::ZERO,
-                total: t_exec - t_acquired,
-                reused_shell: reused,
-                restored_snapshot: restored,
-                warm_hit,
-                delta_pages,
+        (
+            RunOutcome {
+                exit,
+                ret,
+                invocation,
+                marks,
+                hypercalls,
+                breakdown,
+                warm_state,
             },
-            warm_state,
-        };
-        Ok((outcome, vm))
+            vm,
+        )
     }
 
     /// One-shot convenience: registers a throwaway spec (no snapshotting)
@@ -1268,6 +1686,230 @@ init:
             warm.breakdown.acquire,
             cold.breakdown.acquire
         );
+    }
+
+    /// A connection-bound guest: stores a sentinel, blocking-recvs into
+    /// 0x4000, and halts with the recv return value in `r0`.
+    fn recv_image() -> Image {
+        image(
+            "
+.org 0x8000
+  mov r4, 0x5000
+  mov r5, 0xDEAD
+  store.q [r4], r5     ; per-invocation secret (wipe-on-kill check)
+  mov r0, 7            ; recv
+  mov r1, 0x4000       ; buf
+  mov r2, 64           ; max_len
+  mov r3, 0            ; flags: blocking
+  out 0x1, r0
+  hlt
+",
+        )
+    }
+
+    /// A listening kernel plus an accepted connection pair.
+    fn conn_pair(w: &Wasp, port: u16) -> (hostsim::SockId, hostsim::SockId) {
+        let k = w.kernel();
+        k.net_listen(port).unwrap();
+        let client = k.net_connect(port).unwrap();
+        let server = k.net_accept(port).unwrap().unwrap();
+        (client, server)
+    }
+
+    fn recv_spec(w: &Wasp) -> VirtineId {
+        w.register(
+            VirtineSpec::new("recv", recv_image(), MEM)
+                .with_policy(HypercallMask::allowing(&[nr::RECV]))
+                .with_snapshot(false),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn blocked_then_resumed_run_charges_the_same_guest_cycles_as_unblocked() {
+        // Run A: the data is already queued, so the run never blocks.
+        let w = wasp(PoolMode::CachedAsync);
+        let (client, server) = conn_pair(&w, 80);
+        let id = recv_spec(&w);
+        w.kernel().net_send(client, b"ping").unwrap();
+        let vm = w.hypervisor().create_vm(MEM, LOAD_ADDR);
+        let RunResult::Done(out_a, _) = w
+            .run_on_shell_resumable(
+                vm,
+                ShellSource::Created,
+                id,
+                &[],
+                Invocation::with_conn(server),
+                HypercallMask::ALLOW_ALL,
+                &mut |_, _, _, _| None,
+            )
+            .unwrap()
+        else {
+            panic!("pre-sent data must not block");
+        };
+        assert_eq!(out_a.exit, ExitKind::Halted(4));
+        assert_eq!(out_a.breakdown.resumes, 0);
+        assert_eq!(out_a.breakdown.blocked, Cycles::ZERO);
+
+        // Run B: same guest, empty socket — blocks, waits out some virtual
+        // time, then resumes when the bytes arrive.
+        let w = wasp(PoolMode::CachedAsync);
+        let (client, server) = conn_pair(&w, 80);
+        let id = recv_spec(&w);
+        let vm = w.hypervisor().create_vm(MEM, LOAD_ADDR);
+        let RunResult::Blocked(s) = w
+            .run_on_shell_resumable(
+                vm,
+                ShellSource::Created,
+                id,
+                &[],
+                Invocation::with_conn(server),
+                HypercallMask::ALLOW_ALL,
+                &mut |_, _, _, _| None,
+            )
+            .unwrap()
+        else {
+            panic!("empty socket must block");
+        };
+        assert_eq!(w.stats().blocks, 1);
+        // Unrelated platform work passes while the run is parked.
+        w.clock().tick(1_000_000);
+        w.kernel().net_send(client, b"ping").unwrap();
+        let RunResult::Done(out_b, _) = w.resume_on_shell(s, &mut |_, _, _, _| None).unwrap()
+        else {
+            panic!("readable socket must resume to completion");
+        };
+        assert_eq!(out_b.exit, ExitKind::Halted(4));
+        assert_eq!(out_b.breakdown.resumes, 1);
+        assert!(out_b.breakdown.blocked.get() >= 1_000_000);
+        assert_eq!(w.stats().resumes, 1);
+
+        // The acceptance invariant: segments sum to the unblocked figure —
+        // no double-charged re-entry, and parked time stays out of
+        // exec/total.
+        assert_eq!(
+            out_b.breakdown.exec, out_a.breakdown.exec,
+            "blocked-then-resumed exec must equal the unblocked run's"
+        );
+        assert_eq!(out_b.breakdown.total, out_a.breakdown.total);
+        assert_eq!(out_b.hypercalls, out_a.hypercalls);
+    }
+
+    #[test]
+    fn spurious_resume_reparks_without_charging_exec() {
+        let w = wasp(PoolMode::CachedAsync);
+        let (client, server) = conn_pair(&w, 80);
+        let id = recv_spec(&w);
+        let vm = w.hypervisor().create_vm(MEM, LOAD_ADDR);
+        let RunResult::Blocked(s) = w
+            .run_on_shell_resumable(
+                vm,
+                ShellSource::Created,
+                id,
+                &[],
+                Invocation::with_conn(server),
+                HypercallMask::ALLOW_ALL,
+                &mut |_, _, _, _| None,
+            )
+            .unwrap()
+        else {
+            panic!("must block");
+        };
+        let exec_before = s.breakdown().exec;
+        let RunResult::Blocked(s) = w.resume_on_shell(s, &mut |_, _, _, _| None).unwrap() else {
+            panic!("still no data: must re-park");
+        };
+        assert_eq!(s.breakdown().exec, exec_before);
+        assert_eq!(s.breakdown().resumes, 0);
+        assert_eq!(w.stats().resumes, 0);
+        w.kernel().net_send(client, b"ok").unwrap();
+        let RunResult::Done(out, _) = w.resume_on_shell(s, &mut |_, _, _, _| None).unwrap() else {
+            panic!("must complete");
+        };
+        assert_eq!(out.exit, ExitKind::Halted(2));
+    }
+
+    #[test]
+    fn peer_close_while_parked_resumes_to_a_clean_eof() {
+        let w = wasp(PoolMode::CachedAsync);
+        let (client, server) = conn_pair(&w, 80);
+        let id = recv_spec(&w);
+        let vm = w.hypervisor().create_vm(MEM, LOAD_ADDR);
+        let RunResult::Blocked(s) = w
+            .run_on_shell_resumable(
+                vm,
+                ShellSource::Created,
+                id,
+                &[],
+                Invocation::with_conn(server),
+                HypercallMask::ALLOW_ALL,
+                &mut |_, _, _, _| None,
+            )
+            .unwrap()
+        else {
+            panic!("must block");
+        };
+        w.kernel().net_close(client).unwrap();
+        let RunResult::Done(out, _) = w.resume_on_shell(s, &mut |_, _, _, _| None).unwrap() else {
+            panic!("EOF is readable");
+        };
+        assert_eq!(out.exit, ExitKind::Halted(0), "EOF is 0, not an error");
+    }
+
+    #[test]
+    fn aborted_suspended_run_reports_blocked_and_the_shell_wipes_clean() {
+        let w = wasp(PoolMode::CachedAsync);
+        let (_client, server) = conn_pair(&w, 80);
+        let id = recv_spec(&w);
+        let vm = w.hypervisor().create_vm(MEM, LOAD_ADDR);
+        let RunResult::Blocked(s) = w
+            .run_on_shell_resumable(
+                vm,
+                ShellSource::Created,
+                id,
+                &[],
+                Invocation::with_conn(server),
+                HypercallMask::ALLOW_ALL,
+                &mut |_, _, _, _| None,
+            )
+            .unwrap()
+        else {
+            panic!("must block");
+        };
+        assert!(matches!(
+            s.wait(),
+            crate::hypercall::WaitReason::RecvReady { .. }
+        ));
+        let (out, vm) = w.abort_suspended(s);
+        assert_eq!(out.exit, ExitKind::Blocked);
+        assert!(!out.exit.is_normal());
+        assert!(out.warm_state.is_none(), "a killed block never parks warm");
+        // The shell still holds the parked invocation's secret; the wiped
+        // release erases it before any reuse.
+        assert_eq!(
+            u64::from_le_bytes(vm.read_guest(0x5000, 8).unwrap().try_into().unwrap()),
+            0xDEAD
+        );
+        let mut pool = Pool::new(PoolMode::CachedAsync, LOAD_ADDR);
+        pool.release(vm);
+        let (vm, reused) = pool.acquire(w.hypervisor(), MEM);
+        assert!(reused);
+        assert!(
+            vm.read_guest(0x5000, 8).unwrap().iter().all(|&b| b == 0),
+            "secret survived the wipe"
+        );
+    }
+
+    #[test]
+    fn non_resumable_run_degrades_blocking_recv_to_would_block() {
+        let w = wasp(PoolMode::CachedAsync);
+        let (_client, server) = conn_pair(&w, 80);
+        let id = recv_spec(&w);
+        // Wasp::run has no event loop: the guest sees the sentinel rather
+        // than the runtime deadlocking on a wait nobody will satisfy.
+        let out = w.run(id, &[], Invocation::with_conn(server)).unwrap();
+        assert_eq!(out.exit, ExitKind::Halted(crate::hypercall::WOULD_BLOCK));
+        assert_eq!(w.stats().blocks, 0, "degraded calls are not suspensions");
     }
 
     #[test]
