@@ -1,0 +1,206 @@
+//! CI bench-regression gate.
+//!
+//! Compares the headline metrics of freshly produced `BENCH_*.json`
+//! artifacts (in the working directory, written by the acceptance bench
+//! steps) against the committed baselines in `bench/baselines/`, and
+//! exits non-zero when any metric regresses more than 15%:
+//!
+//! * lower-is-better metrics (latencies, cycles) fail above
+//!   `baseline × 1.15`;
+//! * higher-is-better metrics (hit rates) fail below `baseline × 0.85`;
+//! * invariant metrics (busy-wait cycles, cycle identity) must hold
+//!   exactly — they are correctness claims, not performance numbers.
+//!
+//! The benches run on a deterministic virtual clock, so in an unchanged
+//! tree current == baseline bit-for-bit; the 15% band exists to absorb
+//! intentional cost-model tweaks while still catching real regressions.
+//! Refresh a baseline by re-running the bench and committing the JSON.
+
+use bench::json::Json;
+
+/// Relative tolerance before a drift counts as a regression.
+const TOLERANCE: f64 = 0.15;
+
+struct Gate {
+    failures: u32,
+    checks: u32,
+}
+
+impl Gate {
+    /// One lower-is-better comparison.
+    fn lower(&mut self, what: &str, baseline: f64, current: f64) {
+        self.report(
+            what,
+            baseline,
+            current,
+            current <= baseline * (1.0 + TOLERANCE),
+        );
+    }
+
+    /// One higher-is-better comparison.
+    fn higher(&mut self, what: &str, baseline: f64, current: f64) {
+        self.report(
+            what,
+            baseline,
+            current,
+            current >= baseline * (1.0 - TOLERANCE),
+        );
+    }
+
+    /// One exact invariant (correctness, not performance).
+    fn exact(&mut self, what: &str, baseline: f64, current: f64) {
+        self.report(what, baseline, current, current == baseline);
+    }
+
+    fn report(&mut self, what: &str, baseline: f64, current: f64, ok: bool) {
+        self.checks += 1;
+        let delta = if baseline != 0.0 {
+            format!("{:+.1}%", (current - baseline) / baseline * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        let verdict = if ok { "ok" } else { "REGRESSED" };
+        println!("{verdict:>10}  {what:<58} baseline {baseline:>12.4}  current {current:>12.4}  ({delta})");
+        if !ok {
+            self.failures += 1;
+        }
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+/// Loads a committed baseline by stem, resolving the baselines directory
+/// from the repo root (`crates/bench/baselines`) or the bench crate
+/// (`baselines`) so the gate runs from either working directory.
+fn load_baseline(stem: &str) -> Json {
+    for dir in ["crates/bench/baselines", "bench/baselines", "baselines"] {
+        let path = format!("{dir}/{stem}.json");
+        if std::path::Path::new(&path).exists() {
+            return load(&path);
+        }
+    }
+    panic!("no committed baseline for `{stem}` (looked under crates/bench/baselines)");
+}
+
+fn num(j: &Json, path: &str, file: &str) -> f64 {
+    j.path(path)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{file}: missing numeric field `{path}`"))
+}
+
+/// The warm_placement macro row the gate tracks: snapshot-aware placement
+/// at 4 shards with warm capacity 2 (the configuration the PR 2
+/// acceptance pinned).
+fn warm_macro_row(j: &Json, file: &str) -> Json {
+    j.get("macro")
+        .map(Json::items)
+        .unwrap_or_default()
+        .iter()
+        .find(|row| {
+            row.get("label").and_then(Json::as_str) == Some("snapshot-aware")
+                && row.get("shards").and_then(Json::as_f64) == Some(4.0)
+                && row.get("warm_capacity").and_then(Json::as_f64) == Some(2.0)
+        })
+        .cloned()
+        .unwrap_or_else(|| panic!("{file}: no snapshot-aware/4-shard/cap-2 macro row"))
+}
+
+/// The blocked_io run row with the given label.
+fn blocked_run_row(j: &Json, label: &str, file: &str) -> Json {
+    j.get("runs")
+        .map(Json::items)
+        .unwrap_or_default()
+        .iter()
+        .find(|row| row.get("label").and_then(Json::as_str) == Some(label))
+        .cloned()
+        .unwrap_or_else(|| panic!("{file}: no run labelled `{label}`"))
+}
+
+fn main() {
+    let mut gate = Gate {
+        failures: 0,
+        checks: 0,
+    };
+    println!(
+        "# bench regression gate: current BENCH_*.json vs bench/baselines/ (>{:.0}% fails)",
+        TOLERANCE * 100.0
+    );
+
+    // -- warm_placement -----------------------------------------------------
+    let base = load_baseline("warm_placement");
+    let cur = load("BENCH_warm_placement.json");
+    gate.lower(
+        "warm_placement: micro.warm_acquire_image_cycles",
+        num(&base, "micro.warm_acquire_image_cycles", "baseline"),
+        num(&cur, "micro.warm_acquire_image_cycles", "current"),
+    );
+    let (b_row, c_row) = (
+        warm_macro_row(&base, "baseline"),
+        warm_macro_row(&cur, "current"),
+    );
+    gate.lower(
+        "warm_placement: snapshot-aware/4sh/cap2 p99_ms",
+        num(&b_row, "p99_ms", "baseline"),
+        num(&c_row, "p99_ms", "current"),
+    );
+    gate.higher(
+        "warm_placement: snapshot-aware/4sh/cap2 warm_hit_rate",
+        num(&b_row, "warm_hit_rate", "baseline"),
+        num(&c_row, "warm_hit_rate", "current"),
+    );
+
+    // -- blocked_io ---------------------------------------------------------
+    let base = load_baseline("blocked_io");
+    let cur = load("BENCH_blocked_io.json");
+    for label in ["baseline (no slow clients)", "event-driven + slow clients"] {
+        let b = blocked_run_row(&base, label, "baseline");
+        let c = blocked_run_row(&cur, label, "current");
+        gate.lower(
+            &format!("blocked_io: `{label}` fast_p99_ms"),
+            num(&b, "fast_p99_ms", "baseline"),
+            num(&c, "fast_p99_ms", "current"),
+        );
+    }
+    let event = blocked_run_row(&cur, "event-driven + slow clients", "current");
+    gate.exact(
+        "blocked_io: event-driven busy_wait_cycles stays zero",
+        0.0,
+        num(&event, "busy_wait_cycles", "current"),
+    );
+
+    // -- chan_pipeline ------------------------------------------------------
+    let base = load_baseline("chan_pipeline");
+    let cur = load("BENCH_chan_pipeline.json");
+    for metric in ["pipeline.stage_p99_ms", "pipeline.e2e_p99_ms"] {
+        gate.lower(
+            &format!("chan_pipeline: {metric}"),
+            num(&base, metric, "baseline"),
+            num(&cur, metric, "current"),
+        );
+    }
+    gate.exact(
+        "chan_pipeline: parked == unparked guest cycles (identity)",
+        num(&cur, "cycle_identity.unparked_exec_cycles", "current"),
+        num(&cur, "cycle_identity.parked_exec_cycles", "current"),
+    );
+    gate.higher(
+        "chan_pipeline: skew migrations >= baseline floor",
+        1.0,
+        num(&cur, "skew.migrations", "current"),
+    );
+
+    println!("#");
+    if gate.failures > 0 {
+        println!(
+            "# {} of {} checks regressed beyond {:.0}%",
+            gate.failures,
+            gate.checks,
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("# all {} checks within tolerance", gate.checks);
+}

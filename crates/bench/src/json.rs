@@ -1,0 +1,252 @@
+//! A minimal JSON reader for the bench artifacts.
+//!
+//! The workspace deliberately carries no external crates, so the CI
+//! regression gate (`check_regression`) parses the committed baseline and
+//! freshly produced `BENCH_*.json` files with this ~150-line recursive
+//! descent parser instead of serde. It covers exactly the JSON the bench
+//! binaries emit: objects, arrays, strings (with the escapes the writers
+//! use), numbers, booleans, and null.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (the artifacts only use f64-representable values).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup.
+    pub fn idx(&self, i: usize) -> Option<&Json> {
+        match self {
+            Json::Arr(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (empty for non-arrays).
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            _ => &[],
+        }
+    }
+
+    /// Dot-separated path lookup: object keys and array indices, e.g.
+    /// `"runs.2.fast_p99_ms"` or `"micro.warm_acquire_image_cycles"`.
+    pub fn path(&self, p: &str) -> Option<&Json> {
+        let mut cur = self;
+        for seg in p.split('.') {
+            cur = match seg.parse::<usize>() {
+                Ok(i) => cur.idx(i)?,
+                Err(_) => cur.get(seg)?,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at offset {pos}", c as char))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                fields.push((key, value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(string(b, pos)?)),
+        Some(b't') => keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => keyword(b, pos, "null", Json::Null),
+        Some(_) => number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn keyword(b: &[u8], pos: &mut usize, word: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad keyword at offset {pos}"))
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    other => return Err(format!("unsupported escape `\\{}`", *other as char)),
+                }
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_artifact_shapes() {
+        let doc = r#"{
+  "runs": [
+    {"label": "a b", "p99_ms": 1.25, "served": 1000, "ok": true},
+    {"label": "c", "p99_ms": -2e-3, "served": 0, "ok": false}
+  ],
+  "config": {"shards": 4, "note": null}
+}"#;
+        let j = Json::parse(doc).unwrap();
+        assert_eq!(j.path("runs.0.label").unwrap().as_str(), Some("a b"));
+        assert_eq!(j.path("runs.1.p99_ms").unwrap().as_f64(), Some(-2e-3));
+        assert_eq!(j.path("config.shards").unwrap().as_f64(), Some(4.0));
+        assert_eq!(j.path("config.note"), Some(&Json::Null));
+        assert_eq!(j.path("runs").unwrap().items().len(), 2);
+        assert_eq!(j.path("runs.0.ok"), Some(&Json::Bool(true)));
+        assert!(j.path("runs.5.label").is_none());
+        assert!(j.path("nope").is_none());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let j = Json::parse(r#"{"s": "a\"b\\c\nd"}"#).unwrap();
+        assert_eq!(j.get("s").unwrap().as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("").is_err());
+    }
+}

@@ -6,6 +6,8 @@
 //! "1000 trials unless otherwise noted", scaled down by default for quick
 //! runs; pass `--trials N` (or set `TRIALS=N`) to override.
 
+pub mod json;
+
 use vclock::stats::Summary;
 use vclock::Cycles;
 

@@ -19,13 +19,21 @@ pub struct FileStat {
     pub size: u64,
 }
 
-/// Filesystem errors (mapped to negative hypercall returns by Wasp).
+/// Filesystem errors (mapped to guest return codes by Wasp via
+/// [`crate::IoClass`], the error taxonomy shared with `net` and `chan`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FsError {
     /// Path does not exist.
     NotFound(String),
-    /// Descriptor is not open.
+    /// Descriptor was never issued.
     BadFd(Fd),
+    /// Descriptor was open once but has been closed — distinct from
+    /// [`FsError::BadFd`]: "you closed this" and "this never existed" are
+    /// different caller bugs.
+    Closed(Fd),
+    /// The read cursor is at end-of-file — distinct from an error: Wasp
+    /// maps it to the clean `0` guests already check for, never to `-1`.
+    Eof(Fd),
 }
 
 impl fmt::Display for FsError {
@@ -33,6 +41,8 @@ impl fmt::Display for FsError {
         match self {
             FsError::NotFound(p) => write!(f, "no such file: {p}"),
             FsError::BadFd(fd) => write!(f, "bad file descriptor {}", fd.0),
+            FsError::Closed(fd) => write!(f, "file descriptor {} is closed", fd.0),
+            FsError::Eof(fd) => write!(f, "end of file on descriptor {}", fd.0),
         }
     }
 }
@@ -83,11 +93,36 @@ impl InMemFs {
         })
     }
 
-    /// Reads up to `len` bytes from the descriptor's cursor; an empty vector
-    /// signals end-of-file.
+    /// Maps an unknown descriptor to the precise error: closed-once is
+    /// [`FsError::Closed`], never-issued is [`FsError::BadFd`].
+    /// Descriptors are allocated monotonically, so "issued once but no
+    /// longer open" needs no retained history.
+    fn missing(&self, fd: Fd) -> FsError {
+        if fd.0 >= 1 && fd.0 <= self.next_fd {
+            FsError::Closed(fd)
+        } else {
+            FsError::BadFd(fd)
+        }
+    }
+
+    /// Reads up to `len` bytes from the descriptor's cursor. A cursor
+    /// already at end-of-file reports [`FsError::Eof`] — a distinct,
+    /// non-error condition callers map to the clean `0`, never a
+    /// `BadFd`-alias or an empty-read guess. A zero-length *request*
+    /// succeeds with an empty read wherever the cursor is (POSIX: a read
+    /// of 0 bytes reports nothing, including EOF — a zero-byte file must
+    /// not turn `read(fd, size)` into an error).
     pub fn read(&mut self, fd: Fd, len: usize) -> Result<Vec<u8>, FsError> {
-        let f = self.open.get_mut(&fd).ok_or(FsError::BadFd(fd))?;
+        let Some(f) = self.open.get_mut(&fd) else {
+            return Err(self.missing(fd));
+        };
+        if len == 0 {
+            return Ok(Vec::new());
+        }
         let start = f.cursor.min(f.data.len());
+        if start >= f.data.len() {
+            return Err(FsError::Eof(fd));
+        }
         let end = (start + len).min(f.data.len());
         f.cursor = end;
         Ok(f.data[start..end].to_vec())
@@ -95,7 +130,10 @@ impl InMemFs {
 
     /// Closes a descriptor.
     pub fn close(&mut self, fd: Fd) -> Result<(), FsError> {
-        self.open.remove(&fd).map(|_| ()).ok_or(FsError::BadFd(fd))
+        match self.open.remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(self.missing(fd)),
+        }
     }
 }
 
@@ -110,9 +148,26 @@ mod tests {
         let fd = fs.open("/a").unwrap();
         assert_eq!(fs.read(fd, 2).unwrap(), vec![1, 2]);
         assert_eq!(fs.read(fd, 10).unwrap(), vec![3, 4, 5]);
-        assert_eq!(fs.read(fd, 10).unwrap(), Vec::<u8>::new());
+        // At end-of-file: the distinct Eof condition, not an empty read.
+        assert_eq!(fs.read(fd, 10), Err(FsError::Eof(fd)));
         fs.close(fd).unwrap();
-        assert_eq!(fs.read(fd, 1), Err(FsError::BadFd(fd)));
+        // After close: Closed, never a BadFd alias.
+        assert_eq!(fs.read(fd, 1), Err(FsError::Closed(fd)));
+        assert_eq!(fs.close(fd), Err(FsError::Closed(fd)));
+        // A descriptor never issued is the genuine BadFd.
+        assert_eq!(fs.read(Fd(999), 1), Err(FsError::BadFd(Fd(999))));
+    }
+
+    #[test]
+    fn empty_file_reads_as_eof_immediately() {
+        let mut fs = InMemFs::default();
+        fs.add_file("/empty", Vec::new());
+        let fd = fs.open("/empty").unwrap();
+        assert_eq!(fs.read(fd, 64), Err(FsError::Eof(fd)));
+        // ...but a zero-length request reports nothing, not EOF — the
+        // §6.3 handler issues read(fd, size) verbatim, and a zero-byte
+        // file must yield an empty success.
+        assert_eq!(fs.read(fd, 0).unwrap(), Vec::<u8>::new());
     }
 
     #[test]

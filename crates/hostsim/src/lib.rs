@@ -12,6 +12,7 @@
 //! The kernel object is cheaply cloneable and single-threaded, mirroring the
 //! deterministic discrete simulation used across the workspace.
 
+pub mod chan;
 pub mod fs;
 pub mod net;
 
@@ -21,14 +22,75 @@ use std::rc::Rc;
 use vclock::noise::NoiseModel;
 use vclock::{costs, Clock, Cycles};
 
+pub use chan::{ChanError, ChanId, ChanRecvReady, ChanSendReady};
 pub use fs::{Fd, FileStat, FsError};
 pub use net::{NetError, SockId, SockReady};
+
+/// A provider-independent classification of host I/O failures, shared by
+/// the [`fs`], [`net`], and [`chan`] layers. Wasp maps every hypercall
+/// failure to a guest return code by *class*, so "end of stream", "you
+/// closed this", "backpressure", and "never existed" keep their meanings
+/// across files, sockets, and channels instead of each layer inventing
+/// its own aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoClass {
+    /// The handle was never issued (a caller bug).
+    BadHandle,
+    /// The handle (or its connection) was closed.
+    Closed,
+    /// Clean end-of-stream: not an error; guests see `0`.
+    Eof,
+    /// A bounded queue is at capacity: retry or park (backpressure).
+    Full,
+    /// The named object does not exist.
+    NotFound,
+    /// The operation was refused (no listener, not listening).
+    Refused,
+    /// A resource is busy (address in use, waiter slot taken).
+    Busy,
+}
+
+impl FsError {
+    /// This error's [`IoClass`].
+    pub fn class(&self) -> IoClass {
+        match self {
+            FsError::NotFound(_) => IoClass::NotFound,
+            FsError::BadFd(_) => IoClass::BadHandle,
+            FsError::Closed(_) => IoClass::Closed,
+            FsError::Eof(_) => IoClass::Eof,
+        }
+    }
+}
+
+impl NetError {
+    /// This error's [`IoClass`].
+    pub fn class(&self) -> IoClass {
+        match self {
+            NetError::ConnectionRefused(_) | NetError::NotListening(_) => IoClass::Refused,
+            NetError::AddrInUse(_) | NetError::WaiterBusy(_) => IoClass::Busy,
+            NetError::BadSocket(_) => IoClass::BadHandle,
+            NetError::Closed(_) => IoClass::Closed,
+        }
+    }
+}
+
+impl ChanError {
+    /// This error's [`IoClass`].
+    pub fn class(&self) -> IoClass {
+        match self {
+            ChanError::BadChan(_) => IoClass::BadHandle,
+            ChanError::Closed(_) => IoClass::Closed,
+            ChanError::Full(_) => IoClass::Full,
+        }
+    }
+}
 
 struct Inner {
     clock: Clock,
     noise: RefCell<NoiseModel>,
     fs: RefCell<fs::InMemFs>,
     net: RefCell<net::LoopbackNet>,
+    chan: RefCell<chan::ChanTable>,
 }
 
 /// A handle to the simulated host kernel.
@@ -71,6 +133,7 @@ impl HostKernel {
                 noise: RefCell::new(noise),
                 fs: RefCell::new(fs::InMemFs::default()),
                 net: RefCell::new(net::LoopbackNet::default()),
+                chan: RefCell::new(chan::ChanTable::default()),
             }),
         }
     }
@@ -279,6 +342,96 @@ impl HostKernel {
     pub fn net_take_woken(&self) -> Vec<u64> {
         self.inner.net.borrow_mut().take_woken()
     }
+
+    // -- Cross-virtine channels (host-mediated pipeline plumbing). ---------
+    //
+    // Channels live entirely in the host: guests reach them only through
+    // the `chan_*` hypercalls, each one a mediated exit. Data-moving
+    // operations charge like the socket layer (one syscall round trip plus
+    // a queue-management cost and the per-byte copy); the readiness
+    // machinery is kernel-internal bookkeeping and charges nothing, for
+    // the same reason the socket waiters charge nothing — a blocking
+    // `chan_recv` is *one* syscall whose cost is paid when the message is
+    // delivered.
+
+    /// Creates a channel bounded to `capacity` queued bytes.
+    pub fn chan_open(&self, capacity: usize) -> ChanId {
+        self.syscall_overhead();
+        self.inner.chan.borrow_mut().open(capacity)
+    }
+
+    /// Queues one message on a channel (backpressure via
+    /// [`ChanError::Full`]), waking parked receivers.
+    pub fn chan_send(&self, id: ChanId, data: &[u8]) -> Result<(), ChanError> {
+        self.syscall_overhead();
+        self.inner.chan.borrow_mut().send(id, data)?;
+        self.charge(costs::HOST_CHAN_OP + self.copy_cost(data.len()));
+        Ok(())
+    }
+
+    /// Pops one message from a channel (`None` would block *or* is EOF —
+    /// use [`HostKernel::chan_poll_recv`]), waking parked senders when
+    /// capacity frees up.
+    pub fn chan_recv(&self, id: ChanId, max_len: usize) -> Result<Option<Vec<u8>>, ChanError> {
+        self.syscall_overhead();
+        let got = self.inner.chan.borrow_mut().recv(id, max_len)?;
+        if let Some(data) = &got {
+            self.charge(costs::HOST_CHAN_OP + self.copy_cost(data.len()));
+        }
+        Ok(got)
+    }
+
+    /// Closes a channel: refuses further sends, wakes every waiter.
+    pub fn chan_close(&self, id: ChanId) -> Result<(), ChanError> {
+        self.syscall_overhead();
+        self.inner.chan.borrow_mut().close(id)
+    }
+
+    /// Probes a channel's receive side without consuming data or cycles.
+    pub fn chan_poll_recv(&self, id: ChanId) -> Result<ChanRecvReady, ChanError> {
+        self.inner.chan.borrow().poll_recv(id)
+    }
+
+    /// Probes a channel's send side without consuming cycles.
+    pub fn chan_poll_send(&self, id: ChanId) -> Result<ChanSendReady, ChanError> {
+        self.inner.chan.borrow().poll_send(id)
+    }
+
+    /// Free probe: would a send of `len` bytes be admitted right now?
+    /// `Err(Closed)` when the channel no longer accepts sends at all.
+    pub fn chan_send_fits(&self, id: ChanId, len: usize) -> Result<bool, ChanError> {
+        self.inner.chan.borrow().send_fits(id, len)
+    }
+
+    /// Registers a one-shot waiter woken when `id` becomes readable. Any
+    /// number of waiters may park on one channel.
+    pub fn chan_register_recv_waiter(&self, id: ChanId, token: u64) -> Result<(), ChanError> {
+        self.inner.chan.borrow_mut().register_recv_waiter(id, token)
+    }
+
+    /// Registers a one-shot waiter woken when a send of `len` bytes to
+    /// `id` would be admitted (or the channel closes).
+    pub fn chan_register_send_waiter(
+        &self,
+        id: ChanId,
+        token: u64,
+        len: usize,
+    ) -> Result<(), ChanError> {
+        self.inner
+            .chan
+            .borrow_mut()
+            .register_send_waiter(id, token, len)
+    }
+
+    /// Drops `token` from both waiter lists of `id`.
+    pub fn chan_clear_waiter(&self, id: ChanId, token: u64) {
+        self.inner.chan.borrow_mut().clear_waiter(id, token);
+    }
+
+    /// Drains the channel waiter tokens whose wait conditions became true.
+    pub fn chan_take_woken(&self) -> Vec<u64> {
+        self.inner.chan.borrow_mut().take_woken()
+    }
 }
 
 #[cfg(test)]
@@ -335,8 +488,9 @@ mod tests {
         let data = k.sys_read(fd, 1024).unwrap();
         let small_read = clock.now() - t0;
         assert_eq!(data, b"hello world");
-        // Subsequent read hits EOF.
-        assert!(k.sys_read(fd, 1024).unwrap().is_empty());
+        // Subsequent read hits EOF — the distinct condition, not an error
+        // and not an empty read.
+        assert_eq!(k.sys_read(fd, 1024), Err(FsError::Eof(fd)));
         k.sys_close(fd).unwrap();
 
         // A bigger file costs more to read.
@@ -391,6 +545,56 @@ mod tests {
         let (_, thread) = clock.time(|| k.pthread_create_join());
         assert!(create > Cycles(10_000_000));
         assert!(ecall < thread);
+    }
+
+    #[test]
+    fn channels_pass_messages_and_charge_per_byte() {
+        let (clock, k) = kernel();
+        let c = k.chan_open(4096);
+        let t0 = clock.now();
+        k.chan_send(c, b"small").unwrap();
+        let small = clock.now() - t0;
+        assert_eq!(k.chan_recv(c, 64).unwrap().unwrap(), b"small");
+
+        let t0 = clock.now();
+        k.chan_send(c, &vec![7u8; 4096]).unwrap();
+        let big = clock.now() - t0;
+        assert!(big > small, "bigger sends cost more: {big} !> {small}");
+        assert!(k.chan_recv(c, 8192).unwrap().is_some());
+        assert!(k.chan_recv(c, 8192).unwrap().is_none(), "drained");
+
+        k.chan_close(c).unwrap();
+        assert_eq!(k.chan_poll_recv(c).unwrap(), ChanRecvReady::Eof);
+        assert_eq!(k.chan_send(c, b"x"), Err(ChanError::Closed(c)));
+    }
+
+    #[test]
+    fn error_classes_unify_across_fs_net_and_chan() {
+        let (_, k) = kernel();
+        // Closed means closed, everywhere.
+        let c = k.chan_open(8);
+        k.chan_close(c).unwrap();
+        assert_eq!(k.chan_send(c, b"x").unwrap_err().class(), IoClass::Closed);
+        k.net_listen(4).unwrap();
+        let s = k.net_connect(4).unwrap();
+        k.net_close(s).unwrap();
+        assert_eq!(k.net_recv(s, 8).unwrap_err().class(), IoClass::Closed);
+        k.fs_add_file("/f", b"z".to_vec());
+        let fd = k.sys_open("/f").unwrap();
+        k.sys_close(fd).unwrap();
+        assert_eq!(k.sys_read(fd, 8).unwrap_err().class(), IoClass::Closed);
+        // Bad handles and EOF keep their own classes.
+        assert_eq!(
+            k.chan_send(ChanId(99), b"x").unwrap_err().class(),
+            IoClass::BadHandle
+        );
+        assert_eq!(
+            k.net_recv(SockId(99), 8).unwrap_err().class(),
+            IoClass::BadHandle
+        );
+        let fd = k.sys_open("/f").unwrap();
+        k.sys_read(fd, 8).unwrap();
+        assert_eq!(k.sys_read(fd, 8).unwrap_err().class(), IoClass::Eof);
     }
 
     #[test]

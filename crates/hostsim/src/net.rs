@@ -24,15 +24,20 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SockId(pub u64);
 
-/// Socket-layer errors.
+/// Socket-layer errors (mapped to guest return codes by Wasp via
+/// [`crate::IoClass`], the error taxonomy shared with `fs` and `chan`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
     /// No listener on the port.
     ConnectionRefused(u16),
     /// Port already has a listener.
     AddrInUse(u16),
-    /// Socket is not open.
+    /// Socket id was never issued.
     BadSocket(SockId),
+    /// Socket was open once but has been locally closed — distinct from
+    /// [`NetError::BadSocket`]: a use-after-close and a never-opened
+    /// handle are different caller bugs and must not alias.
+    Closed(SockId),
     /// Accept on a port that is not listening.
     NotListening(u16),
     /// A waiter is already registered on the socket. One blocked consumer
@@ -47,6 +52,7 @@ impl fmt::Display for NetError {
             NetError::ConnectionRefused(p) => write!(f, "connection refused on port {p}"),
             NetError::AddrInUse(p) => write!(f, "address in use: port {p}"),
             NetError::BadSocket(s) => write!(f, "bad socket {}", s.0),
+            NetError::Closed(s) => write!(f, "socket {} is closed", s.0),
             NetError::NotListening(p) => write!(f, "port {p} is not listening"),
             NetError::WaiterBusy(s) => write!(f, "socket {} already has a waiter", s.0),
         }
@@ -90,6 +96,18 @@ impl LoopbackNet {
     fn fresh(&mut self) -> SockId {
         self.next_id += 1;
         SockId(self.next_id)
+    }
+
+    /// Maps an unknown socket to the precise error: closed-once is
+    /// [`NetError::Closed`], never-issued is [`NetError::BadSocket`].
+    /// Ids are allocated monotonically, so "issued once but no longer
+    /// open" needs no retained history.
+    fn missing(&self, sock: SockId) -> NetError {
+        if sock.0 >= 1 && sock.0 <= self.next_id {
+            NetError::Closed(sock)
+        } else {
+            NetError::BadSocket(sock)
+        }
     }
 
     /// Binds a listener to `port`.
@@ -140,13 +158,13 @@ impl LoopbackNet {
     }
 
     /// Sends one message to the peer, waking its registered waiter if any.
+    /// Sending on a connection whose peer closed reports
+    /// [`NetError::Closed`] (the EPIPE of this fabric), not a bad handle.
     pub fn send(&mut self, sock: SockId, data: &[u8]) -> Result<(), NetError> {
-        let peer = self
-            .sockets
-            .get(&sock)
-            .ok_or(NetError::BadSocket(sock))?
-            .peer
-            .ok_or(NetError::BadSocket(sock))?;
+        let Some(ep) = self.sockets.get(&sock) else {
+            return Err(self.missing(sock));
+        };
+        let peer = ep.peer.ok_or(NetError::Closed(sock))?;
         let peer_ep = self
             .sockets
             .get_mut(&peer)
@@ -161,10 +179,9 @@ impl LoopbackNet {
     /// Receives one message (truncated to `max_len`); `None` would block
     /// *or* is EOF — use [`LoopbackNet::poll`] to tell the two apart.
     pub fn recv(&mut self, sock: SockId, max_len: usize) -> Result<Option<Vec<u8>>, NetError> {
-        let ep = self
-            .sockets
-            .get_mut(&sock)
-            .ok_or(NetError::BadSocket(sock))?;
+        let Some(ep) = self.sockets.get_mut(&sock) else {
+            return Err(self.missing(sock));
+        };
         Ok(ep.rx.pop_front().map(|mut m| {
             m.truncate(max_len);
             m
@@ -173,7 +190,7 @@ impl LoopbackNet {
 
     /// Probes the receive side without consuming anything.
     pub fn poll(&self, sock: SockId) -> Result<SockReady, NetError> {
-        let ep = self.sockets.get(&sock).ok_or(NetError::BadSocket(sock))?;
+        let ep = self.sockets.get(&sock).ok_or_else(|| self.missing(sock))?;
         Ok(if !ep.rx.is_empty() {
             SockReady::Readable
         } else if ep.peer.is_some() {
@@ -194,7 +211,7 @@ impl LoopbackNet {
         let ep = self
             .sockets
             .get_mut(&sock)
-            .ok_or(NetError::BadSocket(sock))?;
+            .expect("poll above verified the socket exists");
         if ep.waiter.is_some() {
             return Err(NetError::WaiterBusy(sock));
         }
@@ -222,10 +239,9 @@ impl LoopbackNet {
     /// Closes a socket; the peer keeps its queued data but loses the link.
     /// EOF is readable, so a waiter parked on the peer is woken.
     pub fn close(&mut self, sock: SockId) -> Result<(), NetError> {
-        let ep = self
-            .sockets
-            .remove(&sock)
-            .ok_or(NetError::BadSocket(sock))?;
+        let Some(ep) = self.sockets.remove(&sock) else {
+            return Err(self.missing(sock));
+        };
         if let Some(peer) = ep.peer {
             if let Some(pe) = self.sockets.get_mut(&peer) {
                 pe.peer = None;
@@ -388,9 +404,16 @@ mod tests {
         let s = n.accept(9).unwrap().unwrap();
         n.send(c, b"x").unwrap();
         n.close(c).unwrap();
-        // Peer can still drain queued data but cannot send back.
+        // Peer can still drain queued data but cannot send back; the
+        // failure names the closed connection, not a bad handle.
         assert_eq!(n.recv(s, 8).unwrap().unwrap(), b"x");
-        assert!(n.send(s, b"y").is_err());
-        assert!(n.recv(c, 8).is_err());
+        assert_eq!(n.send(s, b"y"), Err(NetError::Closed(s)));
+        // Recv after *local* close is the distinct Closed error, never a
+        // BadSocket alias — and a never-issued id stays BadSocket.
+        assert_eq!(n.recv(c, 8), Err(NetError::Closed(c)));
+        assert_eq!(
+            n.recv(SockId(999), 8),
+            Err(NetError::BadSocket(SockId(999)))
+        );
     }
 }

@@ -259,7 +259,7 @@ impl VmFd {
 
     /// Zeroes the guest memory the virtine dirtied and resets the vCPU to
     /// the reset state at `entry` — the shell-cleaning step that
-    /// "prevent[s] information leakage" (§5.2). Charges memset bandwidth
+    /// "prevent\[s\] information leakage" (§5.2). Charges memset bandwidth
     /// for the dirty bytes (EPT dirty tracking tells the hypervisor which
     /// pages were touched).
     pub fn clean(&self, entry: u64) {

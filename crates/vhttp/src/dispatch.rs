@@ -105,6 +105,12 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
         &plain(s.blocked_timeout),
     );
     metric(
+        "vsched_migrations_total",
+        "counter",
+        "Woken parked runs re-admitted on a different shard (resume-time migration)",
+        &plain(s.migrations),
+    );
+    metric(
         "vsched_busy_wait_cycles_total",
         "counter",
         "Worker cycles burned waiting on blocked I/O (zero when event-driven)",
@@ -175,6 +181,18 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
         "gauge",
         "Blocked runs parked per shard",
         &per_shard(&|s| s.parked as u64),
+    );
+    metric(
+        "vsched_shard_migrated_in_total",
+        "counter",
+        "Woken runs this shard received via resume-time migration",
+        &per_shard(&|s| s.stats.migrated_in),
+    );
+    metric(
+        "vsched_shard_migrated_out_total",
+        "counter",
+        "Woken runs that left this shard via resume-time migration",
+        &per_shard(&|s| s.stats.migrated_out),
     );
     metric(
         "vsched_shard_busy_wait_cycles_total",

@@ -16,9 +16,13 @@
 //! [`dispatch`] scales the §6.3 server past the paper: concurrent
 //! connections flow through the `vsched` dispatcher (sharded pools,
 //! per-client-class admission control) instead of one blocking loop.
+//! [`pipeline`] splits the request path into a parser virtine → handler
+//! virtine chain over a cross-virtine channel, each stage under a
+//! strictly narrower hypercall mask.
 
 pub mod dispatch;
 pub mod echo;
+pub mod pipeline;
 pub mod server;
 
 /// A parsed HTTP request line.

@@ -1,7 +1,7 @@
 //! Two-pass assembler from VISA assembly text to binary images.
 //!
 //! The toolchain-generated binary a virtine runs is "a statically compiled
-//! binar[y] containing all required software" (§2). This assembler is the
+//! binar\[y\] containing all required software" (§2). This assembler is the
 //! bottom of that toolchain: the `vcc` mini-C compiler emits assembly text,
 //! and hand-written runtime stubs (boot code, `vlibc` primitives) are written
 //! directly in it.
@@ -64,7 +64,7 @@ impl Image {
     }
 
     /// Pads the image with zero bytes up to `size` (used by the Figure 12
-    /// image-size experiment, which "synthetically increase[s] image size by
+    /// image-size experiment, which "synthetically increase\[s\] image size by
     /// padding a minimal virtine image with zeroes").
     pub fn pad_to(&mut self, size: usize) {
         if size > self.bytes.len() {

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use vclock::{costs, Clock, Cycles};
 use wasp::{
     Invocation, Pool, PoolMode, PoolStats, RunOutcome, RunResult, ShellSource, VirtineId,
-    VirtineSpec, Wasp, WaspError,
+    VirtineSpec, WaitTarget, Wasp, WaspError,
 };
 
 use crate::shard::{align_up, Parked, Queued, Shard, ShardSnapshot};
@@ -79,6 +79,13 @@ pub struct DispatcherConfig {
     /// Blocked-I/O policy: suspend and give the worker back (default) or
     /// spin-poll the socket on the worker.
     pub block: BlockMode,
+    /// Whether a woken parked run is re-admitted through placement (the
+    /// least-loaded shard, home on ties) instead of pinning to the shard
+    /// it blocked on. The suspended shell rides inside the run, so the
+    /// move is as isolation-safe as a shell steal — and a saturated home
+    /// shard cannot hold a runnable virtine hostage. Forced off under
+    /// [`BlockMode::SpinPoll`], where the blocking worker *is* the wait.
+    pub migrate_on_resume: bool,
 }
 
 impl Default for DispatcherConfig {
@@ -92,6 +99,7 @@ impl Default for DispatcherConfig {
             placement: Placement::LeastLoaded,
             warm_capacity: wasp::DEFAULT_WARM_CAPACITY,
             block: BlockMode::EventDriven,
+            migrate_on_resume: true,
         }
     }
 }
@@ -183,9 +191,18 @@ pub struct Completion {
     pub warm_hit: bool,
     /// Whether the virtine ended by normal means (`hlt`/`exit`).
     pub exit_normal: bool,
-    /// Times the request blocked in `recv` and was resumed before
-    /// completing (zero for a request that never waited).
+    /// Times the request blocked in a wait (`recv` or a channel end) and
+    /// was resumed before completing (zero for a request that never
+    /// waited).
     pub resumes: u32,
+    /// Whether any resume migrated the run off the shard it blocked on
+    /// (the completion's `shard` is then the landing shard).
+    pub migrated: bool,
+    /// Guest cycles the run charged (`Breakdown::total`: image + exec,
+    /// parked time excluded) — the figure the byte-identical-cycles
+    /// acceptance compares across parked/unparked and migrated/pinned
+    /// executions of the same virtine.
+    pub exec_cycles: u64,
     /// Result bytes the virtine returned (`return_data`).
     pub result: Vec<u8>,
 }
@@ -226,6 +243,9 @@ pub struct DispatcherStats {
     pub resumed: u64,
     /// Parked runs killed at their tenant's `max_block` bound.
     pub blocked_timeout: u64,
+    /// Woken parked runs re-admitted on a different shard than the one
+    /// they blocked on (resume-time migration).
+    pub migrations: u64,
     /// Worker cycles burned waiting on blocked I/O. Event-driven dispatch
     /// keeps this at zero; the spin-poll baseline charges every parked
     /// wait here.
@@ -271,6 +291,8 @@ struct ServeMeta {
     service_before: u64,
     stolen: bool,
     reused: bool,
+    /// Whether any resume migrated the run off its blocking shard.
+    migrated: bool,
 }
 
 /// The sharded, multi-tenant virtine dispatcher.
@@ -538,8 +560,8 @@ impl Dispatcher {
 
     /// Shell-pool statistics summed across shards. Shard-local reuse
     /// shows up in `reused`; cross-shard steals are counted in
-    /// [`DispatcherStats::stolen`] (and per shard in [`ShardStats`]),
-    /// not in any single pool's numbers.
+    /// [`DispatcherStats::stolen`] (and per shard in
+    /// [`crate::ShardStats`]), not in any single pool's numbers.
     pub fn pool_stats(&self) -> PoolStats {
         let mut total = PoolStats::default();
         for s in &self.shards {
@@ -768,6 +790,7 @@ impl Dispatcher {
                     service_before: 0,
                     stolen,
                     reused,
+                    migrated: false,
                 },
                 outcome,
                 vm,
@@ -777,7 +800,7 @@ impl Dispatcher {
             RunResult::Blocked(s) => self.park_suspended(
                 idx,
                 Parked {
-                    sock: s.wait().sock(),
+                    target: s.wait().target(),
                     run: s,
                     tenant: q.tenant,
                     virtine: q.virtine,
@@ -787,6 +810,7 @@ impl Dispatcher {
                     first_start: free,
                     service_so_far: segment,
                     stolen,
+                    migrated: false,
                     blocked_from: free + segment,
                     timeout_at: 0, // Filled in by park_suspended.
                 },
@@ -816,16 +840,20 @@ impl Dispatcher {
                     service_before: p.service_so_far,
                     stolen: p.stolen,
                     reused: outcome.breakdown.reused_shell,
+                    migrated: p.migrated,
                 },
                 outcome,
                 vm,
                 free,
                 segment,
             ),
+            // Blocked again — possibly on a *different* object than last
+            // time (a pipeline stage parks on its input channel, then on
+            // its output's backpressure): re-read the wait target.
             RunResult::Blocked(s) => self.park_suspended(
                 idx,
                 Parked {
-                    sock: s.wait().sock(),
+                    target: s.wait().target(),
                     run: s,
                     service_so_far: p.service_so_far + segment,
                     blocked_from: free + segment,
@@ -847,12 +875,20 @@ impl Dispatcher {
             Some(max) => p.blocked_from.saturating_add(max.get()),
             None => u64::MAX,
         };
-        // Registration is race-free: a socket that became readable between
+        // Registration is race-free: an object that became ready between
         // the block decision and this call wakes immediately.
-        self.wasp
-            .kernel()
-            .net_register_waiter(p.sock, token)
-            .expect("a parked run's connection outlives the park");
+        let kernel = self.wasp.kernel();
+        match p.target {
+            WaitTarget::Sock(sock) => kernel
+                .net_register_waiter(sock, token)
+                .expect("a parked run's connection outlives the park"),
+            WaitTarget::ChanRecv(chan) => kernel
+                .chan_register_recv_waiter(chan, token)
+                .expect("a parked run's channel outlives the park"),
+            WaitTarget::ChanSend { chan, len } => kernel
+                .chan_register_send_waiter(chan, token, len)
+                .expect("a parked run's channel outlives the park"),
+        }
         let blocked_from = p.blocked_from;
         let tstats = &mut self.tenants[p.tenant.0].stats;
         tstats.blocked += 1;
@@ -866,16 +902,25 @@ impl Dispatcher {
         blocked_from
     }
 
-    /// Moves every parked run whose socket became readable back to the
-    /// *front* of its shard's run queue, stamped no earlier than `stamp`.
+    /// Moves every parked run whose wait object became ready back to the
+    /// *front* of a run queue, stamped no earlier than `stamp`. The queue
+    /// is chosen by *placement* ([`Dispatcher::resume_shard`]): under
+    /// skewed load a wake re-admits the run on the least-loaded shard
+    /// instead of pinning it to the (possibly saturated) shard it blocked
+    /// on — the suspended shell rides inside the run, so the move is as
+    /// isolation-safe as a shell steal, and completion accounting follows
+    /// the landing shard.
     fn deliver_wakeups(&mut self, stamp: u64) {
         let tick = self.config.tick.get();
-        for token in self.wasp.kernel().net_take_woken() {
+        let kernel = self.wasp.kernel();
+        let mut woken = kernel.net_take_woken();
+        woken.extend(kernel.chan_take_woken());
+        for token in woken {
             let Some(idx) = self.parked_shard.remove(&token) else {
                 // The run was killed after the wake was queued.
                 continue;
             };
-            let Some(p) = self.shards[idx].blocked.remove(&token) else {
+            let Some(mut p) = self.shards[idx].blocked.remove(&token) else {
                 continue;
             };
             let wake = stamp.max(p.blocked_from);
@@ -893,6 +938,16 @@ impl Dispatcher {
             self.shards[idx].stats.resumed += 1;
             self.stats.resumed += 1;
             self.wasp.clock().tick(costs::VSCHED_QUEUE_OP);
+            let dest = self.resume_shard(idx, wake);
+            if dest != idx {
+                // The run (and the shell inside it) crosses shards: one
+                // explicit transfer cost, mirroring a clean-shell steal.
+                self.wasp.clock().tick(costs::VSCHED_STEAL_TRANSFER);
+                p.migrated = true;
+                self.stats.migrations += 1;
+                self.shards[idx].stats.migrated_out += 1;
+                self.shards[dest].stats.migrated_in += 1;
+            }
             let q = Queued {
                 front: true,
                 priority: p.priority,
@@ -907,8 +962,38 @@ impl Dispatcher {
                 arrival: p.arrival,
                 resume: Some(Box::new(p)),
             };
-            self.shards[idx].enqueue_at(q, tick, wake);
+            self.shards[dest].enqueue_at(q, tick, wake);
         }
+    }
+
+    /// Picks the shard a woken parked run resumes on: the least-loaded
+    /// shard by (queue depth, worker availability at the wake instant),
+    /// with the blocking shard preferred on ties — an idle home shard
+    /// never loses to an equally idle sibling, so migration only happens
+    /// when it buys an earlier start. Worker timelines are clamped to
+    /// `wake`: a `free_at` in the past means "free now", not "freer than
+    /// the other idle shard". A resume needs no shell acquire — the shell
+    /// rides inside the suspension — so warm-list affinity is irrelevant
+    /// and least-loaded is the whole story. Pinned home when migration is
+    /// disabled or under [`BlockMode::SpinPoll`] (the home worker *is*
+    /// the wait there).
+    fn resume_shard(&self, home: usize, wake: u64) -> usize {
+        if !self.config.migrate_on_resume || self.config.block == BlockMode::SpinPoll {
+            return home;
+        }
+        self.shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| {
+                (
+                    s.queue.len(),
+                    s.free_at.max(wake),
+                    usize::from(*i != home),
+                    *i,
+                )
+            })
+            .map(|(i, _)| i)
+            .expect("at least one shard")
     }
 
     /// Under [`BlockMode::SpinPoll`], closes out a parked run's spin
@@ -933,7 +1018,12 @@ impl Dispatcher {
             .remove(&token)
             .expect("timeout points at a parked run");
         self.parked_shard.remove(&token);
-        self.wasp.kernel().net_clear_waiter(p.sock);
+        match p.target {
+            WaitTarget::Sock(sock) => self.wasp.kernel().net_clear_waiter(sock),
+            WaitTarget::ChanRecv(chan) | WaitTarget::ChanSend { chan, .. } => {
+                self.wasp.kernel().chan_clear_waiter(chan, token);
+            }
+        }
         self.kill_parked(idx, p, at);
     }
 
@@ -971,6 +1061,8 @@ impl Dispatcher {
             warm_hit: outcome.breakdown.warm_hit,
             exit_normal: false,
             resumes: outcome.breakdown.resumes,
+            migrated: p.migrated,
+            exec_cycles: outcome.breakdown.total.get(),
             result: outcome.invocation.result,
         });
     }
@@ -1038,6 +1130,8 @@ impl Dispatcher {
             warm_hit,
             exit_normal: outcome.exit.is_normal(),
             resumes: outcome.breakdown.resumes,
+            migrated: meta.migrated,
+            exec_cycles: outcome.breakdown.total.get(),
             result: outcome.invocation.result,
         });
         finish

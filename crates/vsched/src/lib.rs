@@ -710,6 +710,264 @@ init:
         );
     }
 
+    /// A consumer spec: blocking `chan_recv` from channel handle 0 into
+    /// 0x4000, then halts with the recv length in `r0`.
+    fn chan_recv_spec(name: &str) -> VirtineSpec {
+        let img = visa::assemble(
+            "
+.org 0x8000
+  mov r0, 13           ; chan_recv
+  mov r1, 0            ; handle 0
+  mov r2, 0x4000
+  mov r3, 64
+  mov r4, 0            ; flags: blocking
+  out 0x1, r0
+  hlt
+",
+        )
+        .unwrap();
+        VirtineSpec::new(name, img, MEM)
+            .with_policy(HypercallMask::allowing(&[wasp::nr::CHAN_RECV]))
+            .with_snapshot(false)
+    }
+
+    #[test]
+    fn chan_blocked_run_parks_and_resumes_on_send() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let consumer = d.register(chan_recv_spec("c")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t").with_mask(HypercallMask::ALLOW_ALL));
+        let chan = d.wasp().kernel().chan_open(256);
+        d.submit(
+            Request::new(tenant, consumer, 0.0)
+                .with_invocation(Invocation::default().with_chans(vec![chan])),
+        )
+        .unwrap();
+        d.drain();
+        assert_eq!(d.parked(), 1, "empty channel parks the consumer");
+        assert_eq!(d.stats().blocked, 1);
+
+        d.wasp().kernel().chan_send(chan, b"work").unwrap();
+        d.run_until(0.01);
+        d.drain();
+        let c = d.completions().last().unwrap();
+        assert!(c.exit_normal);
+        assert_eq!(c.resumes, 1);
+        assert_eq!(d.stats().resumed, 1);
+        assert_eq!(d.parked(), 0);
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+    }
+
+    #[test]
+    fn guest_to_guest_chan_send_wakes_a_parked_consumer_within_one_drain() {
+        // Producer virtine chan_sends on the same channel the consumer is
+        // parked on — the cross-virtine pipeline hop, entirely inside one
+        // drain.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let consumer = d.register(chan_recv_spec("c")).unwrap();
+        let producer_img = visa::assemble(
+            "
+.org 0x8000
+  mov r1, 0x100
+  mov r5, 0x676e6970   ; \"ping\"
+  store.q [r1], r5
+  mov r0, 12           ; chan_send(0, 0x100, 4)
+  mov r1, 0
+  mov r2, 0x100
+  mov r3, 4
+  mov r4, 0
+  out 0x1, r0
+  hlt
+",
+        )
+        .unwrap();
+        let producer = d
+            .register(
+                VirtineSpec::new("p", producer_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::CHAN_SEND]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t").with_mask(HypercallMask::ALLOW_ALL));
+        let chan = d.wasp().kernel().chan_open(64);
+        d.submit(
+            Request::new(tenant, consumer, 0.0)
+                .with_invocation(Invocation::default().with_chans(vec![chan])),
+        )
+        .unwrap();
+        d.submit(
+            Request::new(tenant, producer, 0.001)
+                .with_invocation(Invocation::default().with_chans(vec![chan])),
+        )
+        .unwrap();
+        d.drain();
+        assert_eq!(d.completions().len(), 2, "one drain completes the hop");
+        assert!(d.completions().iter().all(|c| c.exit_normal));
+        assert_eq!(d.stats().resumed, 1);
+        assert_eq!(d.parked(), 0);
+        // The consumer received exactly the producer's 4 bytes.
+        let consumed = d
+            .completions()
+            .iter()
+            .find(|c| c.virtine == consumer)
+            .unwrap();
+        assert_eq!(consumed.resumes, 1);
+    }
+
+    #[test]
+    fn blocked_chan_send_on_a_partially_full_queue_parks_and_resumes() {
+        // The livelock regression, end to end: the channel holds 6 of 8
+        // bytes — not "Full", but the guest's 4-byte send doesn't fit.
+        // The run must park (drain terminates!) and resume only when a
+        // host recv frees enough capacity.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let sender_img = visa::assemble(
+            "
+.org 0x8000
+  mov r1, 0x100
+  mov r5, 0x44434241   ; \"ABCD\"
+  store.q [r1], r5
+  mov r0, 12           ; chan_send(0, 0x100, 4)
+  mov r1, 0
+  mov r2, 0x100
+  mov r3, 4
+  mov r4, 0
+  out 0x1, r0
+  hlt
+",
+        )
+        .unwrap();
+        let sender = d
+            .register(
+                VirtineSpec::new("s", sender_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::CHAN_SEND]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t").with_mask(HypercallMask::ALLOW_ALL));
+        let chan = d.wasp().kernel().chan_open(8);
+        d.wasp().kernel().chan_send(chan, b"123456").unwrap();
+        d.submit(
+            Request::new(tenant, sender, 0.0)
+                .with_invocation(Invocation::default().with_chans(vec![chan])),
+        )
+        .unwrap();
+        // This drain must terminate with the sender parked — the
+        // pre-fix registration woke the token immediately and the
+        // park/wake loop never converged.
+        d.drain();
+        assert_eq!(d.parked(), 1, "sender parked under backpressure");
+        assert_eq!(d.completions().len(), 0);
+
+        // Draining the queue frees capacity: the sender resumes and its
+        // message lands.
+        d.wasp().kernel().chan_recv(chan, 64).unwrap().unwrap();
+        d.run_until(0.01);
+        d.drain();
+        let c = d.completions().last().unwrap();
+        assert!(c.exit_normal);
+        assert_eq!(c.resumes, 1);
+        assert_eq!(
+            d.wasp().kernel().chan_recv(chan, 64).unwrap().unwrap(),
+            b"ABCD"
+        );
+        assert_eq!(d.parked(), 0);
+    }
+
+    #[test]
+    fn woken_run_migrates_to_the_least_loaded_shard_under_skew() {
+        // The consumer parks on shard 0 (its tenant's home under ByTenant
+        // placement); while it waits, its home shard's queue backs up.
+        // The wake must re-admit it through placement — on shard 1 — and
+        // the migration must surface in every stats plane.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::ByTenant,
+            ..DispatcherConfig::default()
+        });
+        let consumer = d.register(chan_recv_spec("c")).unwrap();
+        let filler = d.register(halt_spec("f")).unwrap();
+        let a = d.add_tenant(TenantProfile::new("a").with_mask(HypercallMask::ALLOW_ALL));
+        let chan = d.wasp().kernel().chan_open(64);
+        d.submit(
+            Request::new(a, consumer, 0.0)
+                .with_invocation(Invocation::default().with_chans(vec![chan])),
+        )
+        .unwrap();
+        d.run_until(0.001);
+        assert_eq!(d.shard_snapshots()[0].parked, 1);
+
+        // Pile work on home shard 0 (tenant a homes there); none of it
+        // executes before the wake because it all arrives at one instant.
+        for _ in 0..16 {
+            d.submit(Request::new(a, filler, 0.002)).unwrap();
+        }
+        assert!(d.shard_snapshots()[0].queue_depth >= 16);
+        d.wasp().kernel().chan_send(chan, b"go").unwrap();
+        d.run_until(0.0021);
+        d.drain();
+
+        let c = d
+            .completions()
+            .iter()
+            .find(|c| c.virtine == consumer)
+            .unwrap();
+        assert!(c.exit_normal);
+        assert!(c.migrated, "resume must migrate off the saturated shard");
+        assert_eq!(c.shard, 1, "landed on the least-loaded sibling");
+        assert_eq!(d.stats().migrations, 1);
+        assert_eq!(d.shard_snapshots()[0].stats.migrated_out, 1);
+        assert_eq!(d.shard_snapshots()[1].stats.migrated_in, 1);
+        // The shell followed the run: released into shard 1's pool.
+        assert_eq!(d.tenant_stats(a).in_flight, 0);
+        assert_eq!(
+            d.stats().submitted,
+            d.stats().served + d.stats().shed(),
+            "conservation holds across the migration"
+        );
+    }
+
+    #[test]
+    fn resume_migration_can_be_disabled() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::ByTenant,
+            migrate_on_resume: false,
+            ..DispatcherConfig::default()
+        });
+        let consumer = d.register(chan_recv_spec("c")).unwrap();
+        let filler = d.register(halt_spec("f")).unwrap();
+        let a = d.add_tenant(TenantProfile::new("a").with_mask(HypercallMask::ALLOW_ALL));
+        let chan = d.wasp().kernel().chan_open(64);
+        d.submit(
+            Request::new(a, consumer, 0.0)
+                .with_invocation(Invocation::default().with_chans(vec![chan])),
+        )
+        .unwrap();
+        d.run_until(0.001);
+        for _ in 0..16 {
+            d.submit(Request::new(a, filler, 0.002)).unwrap();
+        }
+        d.wasp().kernel().chan_send(chan, b"go").unwrap();
+        d.run_until(0.0021);
+        d.drain();
+        let c = d
+            .completions()
+            .iter()
+            .find(|c| c.virtine == consumer)
+            .unwrap();
+        assert!(!c.migrated && c.shard == 0, "pinned to the blocking shard");
+        assert_eq!(d.stats().migrations, 0);
+    }
+
     #[test]
     fn parked_run_is_killed_at_max_block_and_its_shell_wipes() {
         let mut d = dispatcher(DispatcherConfig {

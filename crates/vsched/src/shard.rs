@@ -9,24 +9,26 @@
 //! one path: work stealing, when a shard's clean list runs dry and a
 //! sibling has idle shells (see `dispatcher`).
 //!
-//! A run that blocks in `recv` parks in the shard's [`Parked`] set: batch
-//! ticks skip it, its shell rides inside the `wasp::SuspendedRun` (outside
-//! the pool — unstealable, undemotable), and a socket wake re-queues it at
-//! the *front* of the run queue so the delivered bytes are consumed before
-//! any newly admitted work.
+//! A run that blocks in `recv` (or a channel end) parks in the shard's
+//! parked set: batch ticks skip it, its shell rides inside the
+//! `wasp::SuspendedRun` (outside the pool — unstealable, undemotable),
+//! and a wake re-queues it at the *front* of a run queue — chosen by
+//! placement, not pinned to this shard — so the delivered bytes are
+//! consumed before any newly admitted work.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
-use hostsim::SockId;
 use vclock::Cycles;
-use wasp::{Invocation, Pool, SuspendedRun, VirtineId};
+use wasp::{Invocation, Pool, SuspendedRun, VirtineId, WaitTarget};
 
 use crate::tenant::TenantId;
 
 /// A run suspended in a blocking wait, parked on the shard that was
-/// executing it (it resumes there: the worker that blocked has the
-/// warm-path affinity, and the completion is accounted to it).
+/// executing it. On wake it is re-admitted through *placement* — the
+/// least-loaded shard, which may not be the one it blocked on — so a
+/// saturated home shard cannot hold a runnable virtine hostage (the
+/// resume-time migration half of the cross-virtine-channel work).
 #[derive(Debug)]
 pub(crate) struct Parked {
     /// The suspended virtine: shell, invocation, and segment accounting.
@@ -43,13 +45,16 @@ pub(crate) struct Parked {
     pub service_so_far: u64,
     /// Whether the first segment ran on a stolen shell.
     pub stolen: bool,
+    /// Whether any resume of this run migrated it off its blocking shard.
+    pub migrated: bool,
     /// Worker-timeline position when the run parked.
     pub blocked_from: u64,
     /// Timeline position at which the tenant's `max_block` kills the run;
     /// `u64::MAX` when unbounded.
     pub timeout_at: u64,
-    /// The socket whose readability wakes the run.
-    pub sock: SockId,
+    /// The host object (socket or channel end) whose readiness wakes the
+    /// run.
+    pub target: WaitTarget,
 }
 
 /// A queued, admitted request waiting for its shard's next batch tick.
@@ -125,6 +130,12 @@ pub struct ShardStats {
     /// Worker cycles burned waiting on blocked I/O (spin-poll dispatch
     /// charges the whole park here; event-driven dispatch charges none).
     pub busy_wait_cycles: u64,
+    /// Woken runs this shard received from another shard's blocked set
+    /// (resume-time migration, inbound).
+    pub migrated_in: u64,
+    /// Woken runs that left this shard's blocked set for another shard
+    /// (resume-time migration, outbound).
+    pub migrated_out: u64,
 }
 
 /// One dispatcher shard: pool, run queue, parked blocked runs, and a

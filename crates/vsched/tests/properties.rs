@@ -400,6 +400,315 @@ fn parked_blocked_shells_are_never_stolen_or_demoted_and_wipe_on_kill() {
     }
 }
 
+/// A wake storm: many runs parked on *one* channel; the peer closes and
+/// every one of them wakes (EOF). Random storm sizes and configs;
+/// invariants on every case:
+///
+/// * every parked run wakes and completes — close wakes the whole storm,
+///   not one lucky waiter;
+/// * woken runs go to the *front* of the run queues: they all complete
+///   before lower-priority work that was queued while they slept;
+/// * in-flight accounting returns to zero and submitted = served;
+/// * no shell leaks: every shell minted is back in a pool at the end
+///   (parked shells re-enter circulation through their completion).
+#[test]
+fn channel_close_wakes_the_whole_storm_in_front_of_queued_work() {
+    let mut rng = Rng::seeded(0x57011111);
+    for case in 0..10 {
+        let storm = rng.below(12) + 3;
+        let shards = rng.below(3) + 1;
+        let migrate = rng.bool(0.5);
+        let mut d = Dispatcher::new(
+            Wasp::new_kvm_default(),
+            DispatcherConfig {
+                shards,
+                migrate_on_resume: migrate,
+                ..DispatcherConfig::default()
+            },
+        );
+        // A consumer that blocking-recvs from channel handle 0 and halts
+        // with the recv return value (0 at EOF) in r0.
+        let recv_img = visa::assemble(
+            "
+.org 0x8000
+  mov r0, 13
+  mov r1, 0
+  mov r2, 0x4000
+  mov r3, 64
+  mov r4, 0
+  out 0x1, r0
+  hlt
+",
+        )
+        .unwrap();
+        let consumer = d
+            .register(
+                VirtineSpec::new("c", recv_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::CHAN_RECV]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let filler_img = visa::assemble(".org 0x8000\n mov r0, 1\n hlt\n").unwrap();
+        let filler = d
+            .register(VirtineSpec::new("f", filler_img, MEM).with_snapshot(false))
+            .unwrap();
+        let waiters = d.add_tenant(
+            TenantProfile::new("waiters")
+                .with_mask(HypercallMask::ALLOW_ALL)
+                .with_priority(5),
+        );
+        let bulk = d.add_tenant(TenantProfile::new("bulk").with_priority(0));
+
+        // The storm parks on one shared channel.
+        let chan = d.wasp().kernel().chan_open(64);
+        for i in 0..storm {
+            d.submit(
+                Request::new(waiters, consumer, i as f64 * 1e-4)
+                    .with_invocation(wasp::Invocation::default().with_chans(vec![chan])),
+            )
+            .unwrap();
+        }
+        d.run_until(0.01);
+        assert_eq!(d.parked(), storm, "case {case}: whole storm parked");
+
+        // Bulk work queues up behind the (future) wakes.
+        let bulk_n = rng.below(20) + 5;
+        for _ in 0..bulk_n {
+            d.submit(Request::new(bulk, filler, 0.02)).unwrap();
+        }
+
+        // Peer closes: EOF is readable — every waiter wakes at once.
+        d.wasp().kernel().chan_close(chan).unwrap();
+        d.run_until(0.021);
+        d.drain();
+
+        assert_eq!(d.parked(), 0, "case {case}: storm fully woken");
+        let s = d.stats();
+        assert_eq!(s.blocked, storm as u64, "case {case}");
+        assert_eq!(s.resumed, storm as u64, "case {case}: all resumed");
+        assert_eq!(s.served, (storm + bulk_n) as u64, "case {case}");
+        assert_eq!(s.submitted, s.served + s.shed(), "case {case}");
+        assert_eq!(d.tenant_stats(waiters).in_flight, 0, "case {case}");
+        assert_eq!(d.tenant_stats(bulk).in_flight, 0, "case {case}");
+
+        // Front-of-queue: woken consumers enqueue at the front, so on
+        // every shard they run contiguously — bulk work queued while
+        // they slept may fill batches *before* the wake arrives, but
+        // once the first woken consumer runs, no bulk may interleave
+        // until the shard's last woken consumer is done.
+        for shard in 0..shards {
+            let order: Vec<usize> = d
+                .completions()
+                .iter()
+                .filter(|c| c.shard == shard)
+                .map(|c| c.tenant.index())
+                .collect();
+            let first = order.iter().position(|&t| t == waiters.index());
+            let last = order.iter().rposition(|&t| t == waiters.index());
+            if let (Some(first), Some(last)) = (first, last) {
+                assert!(
+                    order[first..=last].iter().all(|&t| t == waiters.index()),
+                    "case {case}: bulk work interleaved with the woken \
+                     storm on shard {shard}: {order:?}"
+                );
+            }
+        }
+        // Every consumer saw the clean 0 EOF (no error, no data).
+        for c in d.completions().iter().filter(|c| c.virtine == consumer) {
+            assert!(c.exit_normal, "case {case}: EOF must complete the run");
+        }
+        // No shell leaked: every shell minted is back in a pool (the
+        // parked shells re-entered circulation through their completion).
+        let snapshots = d.shard_snapshots();
+        let pooled: usize = snapshots
+            .iter()
+            .map(|s| s.idle_shells + s.warm_shells)
+            .sum();
+        assert_eq!(
+            pooled as u64,
+            d.pool_stats().created,
+            "case {case}: every minted shell must be back in a pool"
+        );
+    }
+}
+
+/// Resume-time migration preserves the two invariants that make it safe:
+/// a migrated resume charges byte-identical guest cycles to a pinned one
+/// (migration is accounting-invisible to the guest), and a run killed at
+/// its block bound *after* migrating still wipes its shell before reuse
+/// (wipe-on-kill isolation follows the shell, not the shard).
+#[test]
+fn migrated_resumes_charge_identical_cycles_and_wipe_on_kill() {
+    let mut rng = Rng::seeded(0x316AA7E);
+    for case in 0..8 {
+        let addr = 0x4000 + 8 * rng.range_u64(0, 0x200);
+        let secret = rng.next_u64() | 1;
+        let fillers = rng.below(16) + 8;
+
+        // The consumer plants a secret, then blocking-recvs twice from
+        // channel handle 0 (the second recv is where a killed run dies).
+        let consumer_img = visa::assemble(&format!(
+            "
+.org 0x8000
+  mov r1, {addr:#x}
+  mov r2, {secret:#x}
+  store.q [r1], r2
+  mov r0, 13           ; chan_recv #1
+  mov r1, 0
+  mov r2, 0x200
+  mov r3, 64
+  mov r4, 0
+  out 0x1, r0
+  mov r0, 13           ; chan_recv #2
+  mov r1, 0
+  mov r2, 0x300
+  mov r3, 64
+  mov r4, 0
+  out 0x1, r0
+  hlt
+"
+        ))
+        .unwrap();
+        let reader_img = visa::assemble(&format!(
+            "
+.org 0x8000
+  mov r0, 10         ; return_data(addr, 8)
+  mov r1, {addr:#x}
+  mov r2, 8
+  out 0x1, r0
+  hlt
+"
+        ))
+        .unwrap();
+        let filler_img = visa::assemble(".org 0x8000\n hlt\n").unwrap();
+
+        // One scenario runner: submits the consumer (tenant a, home shard
+        // 0 under ByTenant), optionally skews shard 0 so the resume
+        // migrates, wakes it once, and returns the dispatcher.
+        let run_scenario = |skew: bool, max_block: Option<f64>| {
+            let mut d = Dispatcher::new(
+                Wasp::new_kvm_default(),
+                DispatcherConfig {
+                    shards: 2,
+                    placement: Placement::ByTenant,
+                    ..DispatcherConfig::default()
+                },
+            );
+            let consumer = d
+                .register(
+                    VirtineSpec::new("c", consumer_img.clone(), MEM)
+                        .with_policy(HypercallMask::allowing(&[wasp::nr::CHAN_RECV]))
+                        .with_snapshot(false),
+                )
+                .unwrap();
+            let filler = d
+                .register(VirtineSpec::new("f", filler_img.clone(), MEM).with_snapshot(false))
+                .unwrap();
+            let mut a = TenantProfile::new("a").with_mask(HypercallMask::ALLOW_ALL);
+            if let Some(mb) = max_block {
+                a = a.with_max_block(mb);
+            }
+            let a = d.add_tenant(a);
+            let chan = d.wasp().kernel().chan_open(64);
+            d.submit(
+                Request::new(a, consumer, 0.0)
+                    .with_invocation(wasp::Invocation::default().with_chans(vec![chan])),
+            )
+            .unwrap();
+            d.run_until(0.001);
+            assert_eq!(d.parked(), 1);
+            if skew {
+                for _ in 0..fillers {
+                    d.submit(Request::new(a, filler, 0.002)).unwrap();
+                }
+            }
+            // One message: wakes recv #1; recv #2 parks again (forever,
+            // absent a max_block).
+            d.wasp().kernel().chan_send(chan, b"payload1").unwrap();
+            d.run_until(0.003);
+            d.run_until(0.004);
+            (d, consumer, a, chan)
+        };
+
+        // Scenario A (pinned): no skew — the resume stays home. Complete
+        // it with a second message.
+        let (mut da, consumer_a, ta, chan_a) = run_scenario(false, None);
+        da.wasp().kernel().chan_send(chan_a, b"payload2").unwrap();
+        da.drain();
+        let ca = da
+            .completions()
+            .iter()
+            .find(|c| c.virtine == consumer_a)
+            .unwrap()
+            .clone();
+        assert!(ca.exit_normal && !ca.migrated, "case {case}: pinned run");
+        assert_eq!(da.tenant_stats(ta).in_flight, 0);
+
+        // Scenario B (migrated): shard 0's queue is stuffed, so the wake
+        // re-admits the consumer on shard 1.
+        let (mut db, consumer_b, _tb, chan_b) = run_scenario(true, None);
+        db.wasp().kernel().chan_send(chan_b, b"payload2").unwrap();
+        db.drain();
+        let cb = db
+            .completions()
+            .iter()
+            .find(|c| c.virtine == consumer_b)
+            .unwrap()
+            .clone();
+        assert!(cb.exit_normal, "case {case}");
+        assert!(cb.migrated, "case {case}: skew must force the migration");
+        assert_eq!(cb.shard, 1, "case {case}: landed on the idle sibling");
+        assert!(db.stats().migrations >= 1, "case {case}");
+
+        // The acceptance invariant: byte-identical guest cycles.
+        assert_eq!(
+            cb.exec_cycles, ca.exec_cycles,
+            "case {case}: a migrated resume must charge exactly the guest \
+             cycles a pinned one does"
+        );
+        assert_eq!(cb.resumes, ca.resumes, "case {case}");
+
+        // Scenario C (wipe-on-kill after migration): same skewed wake,
+        // but recv #2 never gets data and the tenant's max_block kills
+        // the run — *on the shard it migrated to*. A reader reusing that
+        // shard's shell must see zeroes at the secret's address.
+        let (mut dc, consumer_c, tc, _chan_c) = run_scenario(true, Some(0.01));
+        dc.drain(); // Fires the block timeout on the landing shard.
+        assert_eq!(dc.stats().blocked_timeout, 1, "case {case}");
+        let killed = dc
+            .completions()
+            .iter()
+            .find(|c| c.virtine == consumer_c)
+            .unwrap()
+            .clone();
+        assert!(!killed.exit_normal, "case {case}: timeout kill is abnormal");
+        assert!(killed.migrated, "case {case}: killed after migrating");
+        assert_eq!(killed.shard, 1, "case {case}: died on the landing shard");
+
+        let reader = dc
+            .register(
+                VirtineSpec::new("r", reader_img.clone(), MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::RETURN_DATA]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        // Tenant b homes on shard 1 (the landing shard) and reuses the
+        // killed run's shell there.
+        let b = dc.add_tenant(TenantProfile::new("b").with_mask(HypercallMask::ALLOW_ALL));
+        dc.submit(Request::new(b, reader, 1.0)).unwrap();
+        dc.drain();
+        let read = dc.completions().last().unwrap();
+        assert!(read.exit_normal && read.reused_shell, "case {case}");
+        assert_eq!(
+            read.result,
+            vec![0u8; 8],
+            "case {case}: secret {secret:#x} at {addr:#x} survived the \
+             wipe after a migrated kill"
+        );
+        assert_eq!(dc.tenant_stats(tc).in_flight, 0, "case {case}");
+    }
+}
+
 /// Work conservation under an arbitrary tenant mix: submitted =
 /// served + shed across every tenant, and the dispatcher totals agree
 /// with the per-tenant totals.

@@ -12,10 +12,40 @@
 //! virtual context" (§5.1). The [`HypercallMask`] is the client-specified
 //! bitmask policy of `virtine_config(cfg)` (§5.3); clients may further
 //! interpose a custom filter or full custom handlers.
+//!
+//! ## Cross-virtine channels (vchan)
+//!
+//! Virtines compose into pipelines over host-mediated channels
+//! (`hostsim::chan`): bounded byte queues reachable only through the
+//! `chan_*` hypercalls, so two virtines exchange bytes without ever
+//! sharing memory — every transfer is an exit the host mediates and the
+//! mask gates. The lifecycle mirrors the warm-shell diagram in
+//! [`crate::pool`]:
+//!
+//! ```text
+//!        chan_open / host bind            chan_send (fits)
+//!   ───────────────────────► open ◄──────────────────────── producer
+//!                             │ ▲                              │
+//!            chan_recv        │ │ recv frees capacity          │ full:
+//!            (data queued)    │ │ (wakes parked senders)       ▼
+//!   consumer ◄────────────────┘ └──────────────── blocked in ChanSendReady
+//!      │                                          (backpressure park)
+//!      │ empty: blocked in ChanReady
+//!      ▼            (park; send/close wakes *every* parked waiter)
+//!   ChanReady park ── wake ──► resume at the faulting hypercall
+//!                             │
+//!                  chan_close ▼
+//!   open ────────────────► closed: sends refused, queued data drains,
+//!                          then EOF (`0`) — both sides' waiters woken
+//! ```
+//!
+//! Unlike a socket (one waiter per end), *many* runs may park on one
+//! channel; a wake is delivered to all of them and the losers re-park —
+//! the wake-storm contract the dispatcher's resume placement relies on.
 
 use std::collections::HashMap;
 
-use hostsim::{Fd, HostKernel, SockId, SockReady};
+use hostsim::{ChanId, Fd, HostKernel, IoClass, SockId, SockReady};
 use visa::cpu::Fault;
 
 /// The I/O port virtines issue hypercalls on.
@@ -27,11 +57,21 @@ pub const HYPERCALL_PORT: u16 = 0x1;
 pub const RECV_NONBLOCK: u64 = 1;
 
 /// Sentinel a *non-blocking* `recv` returns when the socket is open but
-/// empty. Distinct from `0` (EOF: peer closed and drained) and from
-/// [`GUEST_ERR`]/-1 (no connection bound); as a signed integer it reads as
-/// -2, mirroring the errno-style contract guests already check with
+/// empty. Distinct from `0` (EOF: peer closed and drained) and from the
+/// errno-style `-1` error (no connection bound); as a signed integer it
+/// reads as -2, mirroring the contract guests already check with
 /// `n <= 0`.
 pub const WOULD_BLOCK: u64 = u64::MAX - 1;
+
+/// `chan_send`/`chan_recv` flag: return [`WOULD_BLOCK`] instead of
+/// blocking when the channel is full (send) or empty (recv). Rides in the
+/// hypercall's fourth argument register.
+pub const CHAN_NONBLOCK: u64 = 1;
+
+/// Bound on channels one invocation may hold (host-bound plus
+/// `chan_open`ed): a guest looping `chan_open` must not grow host state
+/// without limit.
+pub const MAX_CHANS_PER_INVOCATION: usize = 64;
 
 /// Hypercall numbers for Wasp's canned, general-purpose handlers (§5.1:
 /// clients "can also choose from a variety of general-purpose handlers that
@@ -60,8 +100,20 @@ pub mod nr {
     pub const GET_DATA: u64 = 9;
     /// `return_data(buf, len)` — copies the invocation result out.
     pub const RETURN_DATA: u64 = 10;
+    /// `chan_open(capacity) -> h` — creates a channel, bound into the
+    /// invocation's private handle table.
+    pub const CHAN_OPEN: u64 = 11;
+    /// `chan_send(h, buf, len, flags)` — queues one message; blocks (or
+    /// returns [`super::WOULD_BLOCK`] under [`super::CHAN_NONBLOCK`]) when
+    /// the channel is at its byte bound.
+    pub const CHAN_SEND: u64 = 12;
+    /// `chan_recv(h, buf, max_len, flags) -> len` — pops one message;
+    /// blocks (or [`super::WOULD_BLOCK`]) when empty, `0` at EOF.
+    pub const CHAN_RECV: u64 = 13;
+    /// `chan_close(h)` — closes the channel and wakes every waiter.
+    pub const CHAN_CLOSE: u64 = 14;
     /// Number of defined hypercalls.
-    pub const COUNT: u64 = 11;
+    pub const COUNT: u64 = 15;
 }
 
 /// Returns a human-readable name for a hypercall number.
@@ -78,6 +130,10 @@ pub fn name(n: u64) -> &'static str {
         nr::SNAPSHOT => "snapshot",
         nr::GET_DATA => "get_data",
         nr::RETURN_DATA => "return_data",
+        nr::CHAN_OPEN => "chan_open",
+        nr::CHAN_SEND => "chan_send",
+        nr::CHAN_RECV => "chan_recv",
+        nr::CHAN_CLOSE => "chan_close",
         _ => "unknown",
     }
 }
@@ -147,6 +203,17 @@ pub struct Invocation {
     /// Guest fd → host fd translation for files opened by this invocation.
     open_fds: HashMap<u64, Fd>,
     next_guest_fd: u64,
+    /// Channels bound to this invocation: the guest handle is the index.
+    /// The host wires a pipeline by binding the *same* [`ChanId`] into a
+    /// producer's and a consumer's invocation (by convention upstream
+    /// first); `chan_open` appends to the table at run time.
+    chans: Vec<ChanId>,
+    /// Channels the *guest* created via `chan_open` (a subset of
+    /// `chans`). Host-bound channels belong to whoever wired the
+    /// pipeline; guest-opened ones are invocation-private and the
+    /// runtime closes them when the run ends, so a guest cannot grow
+    /// host channel state beyond its own lifetime.
+    guest_opened: Vec<ChanId>,
     /// Number of `snapshot` requests seen (the JS co-design of §6.5 rejects
     /// repeats: "snapshot and get_data cannot be called more than once").
     pub snapshot_requests: u32,
@@ -169,6 +236,34 @@ impl Invocation {
             conn: Some(conn),
             ..Invocation::default()
         }
+    }
+
+    /// Binds pre-opened channels (builder style): the pipeline wiring a
+    /// dispatcher performs before the virtine runs. Guest handle `i` is
+    /// `chans[i]`.
+    pub fn with_chans(mut self, chans: Vec<ChanId>) -> Invocation {
+        self.chans = chans;
+        self
+    }
+
+    /// Binds one more channel, returning its guest handle.
+    pub fn bind_chan(&mut self, chan: ChanId) -> u64 {
+        self.chans.push(chan);
+        (self.chans.len() - 1) as u64
+    }
+
+    /// Channels the guest created via `chan_open`, which die with the
+    /// invocation (the runtime closes them at run end).
+    pub fn guest_opened_chans(&self) -> &[ChanId] {
+        &self.guest_opened
+    }
+
+    /// Resolves a guest channel handle.
+    fn chan_at(&self, h: u64) -> Option<ChanId> {
+        usize::try_from(h)
+            .ok()
+            .and_then(|i| self.chans.get(i))
+            .copied()
     }
 
     fn register_fd(&mut self, host: Fd) -> u64 {
@@ -206,13 +301,61 @@ pub enum WaitReason {
         /// Guest-supplied bound on the delivery.
         max_len: usize,
     },
+    /// A blocking `chan_recv` found the channel open but empty. The run
+    /// resumes when a message (or close → EOF) arrives; delivery mirrors
+    /// [`WaitReason::RecvReady`].
+    ChanReady {
+        /// The channel the guest is parked on.
+        chan: ChanId,
+        /// Guest address the delivery writes to.
+        buf: u64,
+        /// Guest-supplied bound on the delivery.
+        max_len: usize,
+    },
+    /// A blocking `chan_send` found the channel at its byte bound
+    /// (backpressure). The run resumes when capacity frees up (or the
+    /// channel closes → the send fails with `-1`); the resume performs the
+    /// queued send — the one charged syscall — with the count in `r0`.
+    ChanSendReady {
+        /// The channel the guest is parked on.
+        chan: ChanId,
+        /// Guest address of the pending message.
+        buf: u64,
+        /// Pending message length.
+        len: usize,
+    },
+}
+
+/// The host object whose state change ends a wait — what a scheduler
+/// registers its wake token against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitTarget {
+    /// A socket becoming readable.
+    Sock(SockId),
+    /// A channel's receive side becoming readable (data or EOF).
+    ChanRecv(ChanId),
+    /// A channel admitting a send of `len` bytes (or closing). The
+    /// pending length rides along because the wake condition is
+    /// message-specific: a partially-full queue blocks a big send while
+    /// admitting a small one.
+    ChanSend {
+        /// The channel the sender is parked on.
+        chan: ChanId,
+        /// The parked message's length.
+        len: usize,
+    },
 }
 
 impl WaitReason {
-    /// The socket whose readability ends the wait.
-    pub fn sock(&self) -> SockId {
+    /// The host object whose readiness ends the wait.
+    pub fn target(&self) -> WaitTarget {
         match self {
-            WaitReason::RecvReady { sock, .. } => *sock,
+            WaitReason::RecvReady { sock, .. } => WaitTarget::Sock(*sock),
+            WaitReason::ChanReady { chan, .. } => WaitTarget::ChanRecv(*chan),
+            WaitReason::ChanSendReady { chan, len, .. } => WaitTarget::ChanSend {
+                chan: *chan,
+                len: *len,
+            },
         }
     }
 }
@@ -239,6 +382,20 @@ pub enum HcOutcome {
 /// Error code returned to guests for failed operations (as `u64`, it is the
 /// two's-complement of -1).
 pub(crate) const GUEST_ERR: u64 = u64::MAX;
+
+/// One rule for every host I/O failure, keyed by the shared
+/// [`IoClass`] taxonomy: end-of-stream is the clean `0` guests already
+/// check for, backpressure is the [`WOULD_BLOCK`] sentinel, and
+/// everything else — bad handle, closed, refused, busy, missing — is the
+/// errno-style `-1`. `fs`, `net`, and `chan` failures all map here, so no
+/// layer can alias "you closed this" into a success or EOF into an error.
+pub(crate) fn guest_ret(class: IoClass) -> u64 {
+    match class {
+        IoClass::Eof => 0,
+        IoClass::Full => WOULD_BLOCK,
+        _ => GUEST_ERR,
+    }
+}
 
 /// Dispatches one canned hypercall.
 ///
@@ -286,7 +443,9 @@ pub fn handle_canned(
                     mem.write_guest(buf, &data)?;
                     Ok(HcOutcome::Resume(data.len() as u64))
                 }
-                Err(_) => Ok(HcOutcome::Resume(GUEST_ERR)),
+                // End-of-file is the clean 0; a closed or bad descriptor
+                // is -1 — the classes never alias.
+                Err(e) => Ok(HcOutcome::Resume(guest_ret(e.class()))),
             }
         }
         nr::OPEN => {
@@ -374,7 +533,131 @@ pub fn handle_canned(
             inv.result = data;
             Ok(HcOutcome::Resume(len as u64))
         }
+        nr::CHAN_OPEN => {
+            let capacity = args[0] as usize;
+            if capacity > 1 << 24 {
+                return Ok(HcOutcome::Kill("chan_open: unreasonable capacity"));
+            }
+            if inv.chans.len() >= MAX_CHANS_PER_INVOCATION {
+                // A guest looping chan_open would otherwise grow host
+                // state without bound; no legitimate pipeline stage needs
+                // more ends than this.
+                return Ok(HcOutcome::Kill("chan_open: too many channels"));
+            }
+            let chan = kernel.chan_open(capacity);
+            inv.guest_opened.push(chan);
+            Ok(HcOutcome::Resume(inv.bind_chan(chan)))
+        }
+        nr::CHAN_SEND => {
+            let (h, buf, len) = (args[0], args[1], args[2] as usize);
+            if len > 1 << 24 {
+                // A length no channel could ever accept is a caller bug,
+                // not backpressure: kill rather than park forever (§3.2 —
+                // inputs are assumed unsanitized).
+                return Ok(HcOutcome::Kill("chan_send: unreasonable length"));
+            }
+            let nonblock = args[3] & CHAN_NONBLOCK != 0;
+            let Some(chan) = inv.chan_at(h) else {
+                return Ok(HcOutcome::Resume(GUEST_ERR));
+            };
+            chan_send_into(mem, kernel, chan, buf, len, nonblock)
+        }
+        nr::CHAN_RECV => {
+            let (h, buf, max_len) = (args[0], args[1], args[2] as usize);
+            let nonblock = args[3] & CHAN_NONBLOCK != 0;
+            let Some(chan) = inv.chan_at(h) else {
+                return Ok(HcOutcome::Resume(GUEST_ERR));
+            };
+            chan_recv_into(mem, kernel, chan, buf, max_len, nonblock)
+        }
+        nr::CHAN_CLOSE => {
+            let Some(chan) = inv.chan_at(args[0]) else {
+                return Ok(HcOutcome::Resume(GUEST_ERR));
+            };
+            match kernel.chan_close(chan) {
+                Ok(()) => Ok(HcOutcome::Resume(0)),
+                Err(e) => Ok(HcOutcome::Resume(guest_ret(e.class()))),
+            }
+        }
         _ => Ok(HcOutcome::Kill("unknown hypercall")),
+    }
+}
+
+/// The `chan_recv` counterpart of [`recv_into`] — the same three-way
+/// contract (data / block-or-[`WOULD_BLOCK`] / clean `0` EOF), with the
+/// free empty-but-open probe and the one charged syscall at delivery.
+pub(crate) fn chan_recv_into(
+    mem: &mut dyn GuestMem,
+    kernel: &HostKernel,
+    chan: ChanId,
+    buf: u64,
+    max_len: usize,
+    nonblock: bool,
+) -> Result<HcOutcome, Fault> {
+    use hostsim::ChanRecvReady;
+    match kernel.chan_poll_recv(chan) {
+        Ok(ChanRecvReady::WouldBlock) => {
+            if nonblock {
+                // The probe-and-fail is still a syscall round trip.
+                kernel.syscall_overhead();
+                Ok(HcOutcome::Resume(WOULD_BLOCK))
+            } else {
+                Ok(HcOutcome::Block(WaitReason::ChanReady {
+                    chan,
+                    buf,
+                    max_len,
+                }))
+            }
+        }
+        Ok(ChanRecvReady::Readable | ChanRecvReady::Eof) => {
+            match kernel.chan_recv(chan, max_len) {
+                Ok(Some(data)) => {
+                    mem.write_guest(buf, &data)?;
+                    Ok(HcOutcome::Resume(data.len() as u64))
+                }
+                // Drained and closed: end-of-stream.
+                Ok(None) => Ok(HcOutcome::Resume(0)),
+                Err(e) => Ok(HcOutcome::Resume(guest_ret(e.class()))),
+            }
+        }
+        Err(e) => Ok(HcOutcome::Resume(guest_ret(e.class()))),
+    }
+}
+
+/// The send half of the channel contract: queue the message when it fits
+/// (one charged syscall), park on [`WaitReason::ChanSendReady`] under
+/// backpressure (or hand back [`WOULD_BLOCK`] non-blocking), and fail
+/// with `-1` on a closed channel. The does-it-fit probe is free, exactly
+/// like the recv-side readiness probe.
+pub(crate) fn chan_send_into(
+    mem: &mut dyn GuestMem,
+    kernel: &HostKernel,
+    chan: ChanId,
+    buf: u64,
+    len: usize,
+    nonblock: bool,
+) -> Result<HcOutcome, Fault> {
+    match kernel.chan_send_fits(chan, len) {
+        Ok(true) => {
+            let data = mem.read_guest(buf, len)?;
+            match kernel.chan_send(chan, &data) {
+                Ok(()) => Ok(HcOutcome::Resume(len as u64)),
+                Err(e) => Ok(HcOutcome::Resume(guest_ret(e.class()))),
+            }
+        }
+        Ok(false) => {
+            if nonblock {
+                kernel.syscall_overhead();
+                Ok(HcOutcome::Resume(WOULD_BLOCK))
+            } else {
+                Ok(HcOutcome::Block(WaitReason::ChanSendReady {
+                    chan,
+                    buf,
+                    len,
+                }))
+            }
+        }
+        Err(e) => Ok(HcOutcome::Resume(guest_ret(e.class()))),
     }
 }
 
@@ -635,6 +918,158 @@ mod tests {
         let out = handle_canned(nr::RETURN_DATA, [100, 6, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
         assert_eq!(out, HcOutcome::Resume(6));
         assert_eq!(inv.result, b"output");
+    }
+
+    #[test]
+    fn chan_send_recv_round_trip_through_hypercalls() {
+        let (k, mut m, mut inv) = setup();
+        // Open a channel from inside the guest.
+        let h =
+            match handle_canned(nr::CHAN_OPEN, [4096, 0, 0, 0, 0], &mut m, &k, &mut inv).unwrap() {
+                HcOutcome::Resume(h) => h,
+                other => panic!("chan_open failed: {other:?}"),
+            };
+        m.write_guest(64, b"payload").unwrap();
+        let out = handle_canned(nr::CHAN_SEND, [h, 64, 7, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(7));
+        let out = handle_canned(nr::CHAN_RECV, [h, 256, 64, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(7));
+        assert_eq!(m.read_guest(256, 7).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn chan_recv_distinguishes_data_block_wouldblock_and_eof() {
+        let (k, mut m, _) = setup();
+        let chan = k.chan_open(64);
+        let mut inv = Invocation::default().with_chans(vec![chan]);
+
+        // Open but empty, blocking: an exit, not a busy-wait.
+        let out = handle_canned(nr::CHAN_RECV, [0, 128, 32, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(
+            out,
+            HcOutcome::Block(WaitReason::ChanReady {
+                chan,
+                buf: 128,
+                max_len: 32
+            })
+        );
+        // Non-blocking: the WOULD_BLOCK sentinel.
+        let out = handle_canned(
+            nr::CHAN_RECV,
+            [0, 128, 32, CHAN_NONBLOCK, 0],
+            &mut m,
+            &k,
+            &mut inv,
+        )
+        .unwrap();
+        assert_eq!(out, HcOutcome::Resume(WOULD_BLOCK));
+
+        // Data queued: delivered regardless of flags.
+        k.chan_send(chan, b"go").unwrap();
+        let out = handle_canned(nr::CHAN_RECV, [0, 128, 32, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(2));
+
+        // Closed and drained: a clean 0 EOF on both paths.
+        k.chan_close(chan).unwrap();
+        let out = handle_canned(nr::CHAN_RECV, [0, 128, 32, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(0), "blocking chan_recv sees EOF");
+        let out = handle_canned(
+            nr::CHAN_RECV,
+            [0, 128, 32, CHAN_NONBLOCK, 0],
+            &mut m,
+            &k,
+            &mut inv,
+        )
+        .unwrap();
+        assert_eq!(out, HcOutcome::Resume(0), "non-blocking sees EOF too");
+    }
+
+    #[test]
+    fn chan_send_applies_backpressure_and_fails_cleanly_when_closed() {
+        let (k, mut m, _) = setup();
+        let chan = k.chan_open(8);
+        let mut inv = Invocation::default().with_chans(vec![chan]);
+        m.write_guest(0, b"123456").unwrap();
+        let out = handle_canned(nr::CHAN_SEND, [0, 0, 6, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(6));
+
+        // 6 of 8 bytes used: a 3-byte send blocks (backpressure park)...
+        let out = handle_canned(nr::CHAN_SEND, [0, 0, 3, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(
+            out,
+            HcOutcome::Block(WaitReason::ChanSendReady {
+                chan,
+                buf: 0,
+                len: 3
+            })
+        );
+        // ...or reports WOULD_BLOCK non-blocking.
+        let out = handle_canned(
+            nr::CHAN_SEND,
+            [0, 0, 3, CHAN_NONBLOCK, 0],
+            &mut m,
+            &k,
+            &mut inv,
+        )
+        .unwrap();
+        assert_eq!(out, HcOutcome::Resume(WOULD_BLOCK));
+        // A 2-byte send still fits.
+        let out = handle_canned(nr::CHAN_SEND, [0, 0, 2, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(2));
+
+        // Closed: sends fail with -1 (never silently dropped).
+        k.chan_close(chan).unwrap();
+        let out = handle_canned(nr::CHAN_SEND, [0, 0, 2, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(GUEST_ERR));
+    }
+
+    #[test]
+    fn chan_handles_are_invocation_private() {
+        let (k, mut m, mut inv) = setup();
+        // No channel bound at handle 0: every op is a clean -1, and the
+        // raw host ChanId of a channel bound to *another* invocation is
+        // unreachable (guests only ever see table indices).
+        let other = k.chan_open(64);
+        let out =
+            handle_canned(nr::CHAN_SEND, [other.0, 0, 1, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(GUEST_ERR));
+        let out = handle_canned(nr::CHAN_RECV, [0, 0, 8, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(GUEST_ERR));
+        let out = handle_canned(nr::CHAN_CLOSE, [5, 0, 0, 0, 0], &mut m, &k, &mut inv).unwrap();
+        assert_eq!(out, HcOutcome::Resume(GUEST_ERR));
+    }
+
+    #[test]
+    fn wait_targets_name_the_object_that_ends_the_wait() {
+        let sock = SockId(3);
+        let chan = ChanId(9);
+        assert_eq!(
+            WaitReason::RecvReady {
+                sock,
+                buf: 0,
+                max_len: 1
+            }
+            .target(),
+            WaitTarget::Sock(sock)
+        );
+        assert_eq!(
+            WaitReason::ChanReady {
+                chan,
+                buf: 0,
+                max_len: 1
+            }
+            .target(),
+            WaitTarget::ChanRecv(chan)
+        );
+        assert_eq!(
+            WaitReason::ChanSendReady {
+                chan,
+                buf: 0,
+                len: 1
+            }
+            .target(),
+            WaitTarget::ChanSend { chan, len: 1 }
+        );
     }
 
     #[test]

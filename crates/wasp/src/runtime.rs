@@ -929,14 +929,26 @@ impl Wasp {
         let clock = self.kernel.clock().clone();
         let t_resume = clock.now();
 
-        // Deliver the awaited condition, completing the parked hypercall.
-        let WaitReason::RecvReady { sock, buf, max_len } = wait;
-        if matches!(
-            self.kernel.net_poll(sock),
-            Ok(hostsim::SockReady::WouldBlock)
-        ) {
-            // Spurious resume: still nothing to read. Park again without
-            // charging anything (the kernel-internal probe is free).
+        // Spurious wake-ups re-park without charging anything: every
+        // still-blocked probe is the same free kernel-internal poll the
+        // block decision used. Channels wake *every* parked waiter, so a
+        // run can lose the race for the message it was woken for.
+        let still_blocked = match &wait {
+            WaitReason::RecvReady { sock, .. } => matches!(
+                self.kernel.net_poll(*sock),
+                Ok(hostsim::SockReady::WouldBlock)
+            ),
+            WaitReason::ChanReady { chan, .. } => matches!(
+                self.kernel.chan_poll_recv(*chan),
+                Ok(hostsim::ChanRecvReady::WouldBlock)
+            ),
+            // A closed channel is *not* still blocked: the wait ends with
+            // the send failing, not with an eternal park.
+            WaitReason::ChanSendReady { chan, len, .. } => {
+                matches!(self.kernel.chan_send_fits(*chan, *len), Ok(false))
+            }
+        };
+        if still_blocked {
             breakdown.blocked += t_resume - blocked_at;
             return Ok(RunResult::Blocked(SuspendedRun {
                 vm,
@@ -956,18 +968,46 @@ impl Wasp {
         breakdown.resumes += 1;
         self.stats.borrow_mut().resumes += 1;
 
+        // Deliver the awaited condition, completing the parked hypercall —
+        // the one charged syscall the blocking call is.
         let vcpu = vm.vcpu();
         let mut delivery_fault = None;
-        match self.kernel.net_recv(sock, max_len) {
-            Ok(Some(data)) => match vm.write_guest(buf, &data) {
-                Ok(()) => vcpu.set_reg(Reg(0), data.len() as u64),
-                // A hostile buffer pointer surfaces exactly as it would
-                // have on the unblocked data path: the guest faults.
-                Err(fault) => delivery_fault = Some(fault),
-            },
-            // Drained and the peer is gone while we were parked: EOF.
-            Ok(None) => vcpu.set_reg(Reg(0), 0),
-            Err(_) => vcpu.set_reg(Reg(0), hypercall::GUEST_ERR),
+        match wait {
+            WaitReason::RecvReady { sock, buf, max_len } => {
+                match self.kernel.net_recv(sock, max_len) {
+                    Ok(Some(data)) => match vm.write_guest(buf, &data) {
+                        Ok(()) => vcpu.set_reg(Reg(0), data.len() as u64),
+                        // A hostile buffer pointer surfaces exactly as it
+                        // would have on the unblocked data path: the guest
+                        // faults.
+                        Err(fault) => delivery_fault = Some(fault),
+                    },
+                    // Drained and the peer is gone while we were parked.
+                    Ok(None) => vcpu.set_reg(Reg(0), 0),
+                    Err(e) => vcpu.set_reg(Reg(0), hypercall::guest_ret(e.class())),
+                }
+            }
+            WaitReason::ChanReady { chan, buf, max_len } => {
+                match self.kernel.chan_recv(chan, max_len) {
+                    Ok(Some(data)) => match vm.write_guest(buf, &data) {
+                        Ok(()) => vcpu.set_reg(Reg(0), data.len() as u64),
+                        Err(fault) => delivery_fault = Some(fault),
+                    },
+                    // Drained and closed while we were parked: EOF.
+                    Ok(None) => vcpu.set_reg(Reg(0), 0),
+                    Err(e) => vcpu.set_reg(Reg(0), hypercall::guest_ret(e.class())),
+                }
+            }
+            WaitReason::ChanSendReady { chan, buf, len } => {
+                match vm.read_guest(buf, len) {
+                    Ok(data) => match self.kernel.chan_send(chan, &data) {
+                        Ok(()) => vcpu.set_reg(Reg(0), len as u64),
+                        // Closed while parked: the send fails cleanly.
+                        Err(e) => vcpu.set_reg(Reg(0), hypercall::guest_ret(e.class())),
+                    },
+                    Err(fault) => delivery_fault = Some(fault),
+                }
+            }
         }
 
         let end = match delivery_fault {
@@ -1038,6 +1078,7 @@ impl Wasp {
         let clock = self.kernel.clock().clone();
         breakdown.blocked += clock.now() - blocked_at;
         breakdown.total = breakdown.image + breakdown.exec;
+        self.release_guest_chans(&invocation);
         let vcpu = vm.vcpu();
         marks.extend(vcpu.take_marks());
         let ret = vcpu.reg(Reg(0));
@@ -1150,6 +1191,17 @@ impl Wasp {
         }
     }
 
+    /// Closes every channel the guest `chan_open`ed during the ending
+    /// invocation: guest-created channels are invocation-private, so the
+    /// host reclaims them here (double closes — the guest already closed
+    /// — are fine). Host-bound channels are untouched: their lifecycle
+    /// belongs to the pipeline that wired them.
+    fn release_guest_chans(&self, invocation: &Invocation) {
+        for &chan in invocation.guest_opened_chans() {
+            let _ = self.kernel.chan_close(chan);
+        }
+    }
+
     /// Epilogue shared by first-segment and resumed completions: decides
     /// warm-parkability and assembles the [`RunOutcome`].
     #[allow(clippy::too_many_arguments)]
@@ -1168,6 +1220,7 @@ impl Wasp {
         let vcpu = vm.vcpu();
         let ret = vcpu.reg(Reg(0));
         marks.extend(vcpu.take_marks());
+        self.release_guest_chans(&invocation);
 
         // The shell may park warm only when its state provably derives
         // from the spec's *current* snapshot (compared by Rc identity — a
@@ -1793,6 +1846,249 @@ init:
         );
         assert_eq!(out_b.breakdown.total, out_a.breakdown.total);
         assert_eq!(out_b.hypercalls, out_a.hypercalls);
+    }
+
+    /// A guest that blocking-chan_recvs from handle 0 into 0x4000 and
+    /// halts with the return value in `r0`.
+    fn chan_recv_image() -> Image {
+        image(
+            "
+.org 0x8000
+  mov r0, 13           ; chan_recv
+  mov r1, 0            ; handle 0
+  mov r2, 0x4000       ; buf
+  mov r3, 64           ; max_len
+  mov r4, 0            ; flags: blocking
+  out 0x1, r0
+  hlt
+",
+        )
+    }
+
+    fn chan_recv_spec(w: &Wasp) -> VirtineId {
+        w.register(
+            VirtineSpec::new("chan_recv", chan_recv_image(), MEM)
+                .with_policy(HypercallMask::allowing(&[nr::CHAN_RECV]))
+                .with_snapshot(false),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn chan_blocked_then_resumed_run_charges_the_same_guest_cycles_as_unblocked() {
+        // Run A: the message is already queued — no park.
+        let w = wasp(PoolMode::CachedAsync);
+        let chan = w.kernel().chan_open(256);
+        let id = chan_recv_spec(&w);
+        w.kernel().chan_send(chan, b"ping").unwrap();
+        let vm = w.hypervisor().create_vm(MEM, LOAD_ADDR);
+        let RunResult::Done(out_a, _) = w
+            .run_on_shell_resumable(
+                vm,
+                ShellSource::Created,
+                id,
+                &[],
+                Invocation::default().with_chans(vec![chan]),
+                HypercallMask::ALLOW_ALL,
+                &mut |_, _, _, _| None,
+            )
+            .unwrap()
+        else {
+            panic!("pre-sent message must not block");
+        };
+        assert_eq!(out_a.exit, ExitKind::Halted(4));
+        assert_eq!(out_a.breakdown.resumes, 0);
+
+        // Run B: empty channel — parks, waits out virtual time, resumes.
+        let w = wasp(PoolMode::CachedAsync);
+        let chan = w.kernel().chan_open(256);
+        let id = chan_recv_spec(&w);
+        let vm = w.hypervisor().create_vm(MEM, LOAD_ADDR);
+        let RunResult::Blocked(s) = w
+            .run_on_shell_resumable(
+                vm,
+                ShellSource::Created,
+                id,
+                &[],
+                Invocation::default().with_chans(vec![chan]),
+                HypercallMask::ALLOW_ALL,
+                &mut |_, _, _, _| None,
+            )
+            .unwrap()
+        else {
+            panic!("empty channel must block");
+        };
+        assert!(matches!(
+            s.wait(),
+            crate::hypercall::WaitReason::ChanReady { .. }
+        ));
+        // A spurious resume (still empty) re-parks without charging.
+        let RunResult::Blocked(s) = w.resume_on_shell(s, &mut |_, _, _, _| None).unwrap() else {
+            panic!("still empty: must re-park");
+        };
+        w.clock().tick(1_000_000);
+        w.kernel().chan_send(chan, b"ping").unwrap();
+        let RunResult::Done(out_b, _) = w.resume_on_shell(s, &mut |_, _, _, _| None).unwrap()
+        else {
+            panic!("readable channel must resume to completion");
+        };
+        assert_eq!(out_b.exit, ExitKind::Halted(4));
+        assert_eq!(out_b.breakdown.resumes, 1);
+        assert!(out_b.breakdown.blocked.get() >= 1_000_000);
+
+        // The acceptance invariant, extended to channels: a parked
+        // consumer charges byte-identical guest cycles to an unparked one.
+        assert_eq!(
+            out_b.breakdown.exec, out_a.breakdown.exec,
+            "chan-blocked-then-resumed exec must equal the unblocked run's"
+        );
+        assert_eq!(out_b.breakdown.total, out_a.breakdown.total);
+        assert_eq!(out_b.hypercalls, out_a.hypercalls);
+    }
+
+    #[test]
+    fn guest_opened_channels_die_with_the_invocation() {
+        // The guest opens a channel and exits without closing it; the
+        // runtime must close it so host channel state cannot outlive the
+        // invocation. (Host-bound channels are untouched: the pipeline
+        // that wired them owns their lifecycle.)
+        let img = image(
+            "
+.org 0x8000
+  mov r0, 11           ; chan_open(16)
+  mov r1, 16
+  out 0x1, r0
+  hlt
+",
+        );
+        let w = wasp(PoolMode::CachedAsync);
+        let host_chan = w.kernel().chan_open(16);
+        let id = w
+            .register(
+                VirtineSpec::new("opener", img, MEM)
+                    .with_policy(HypercallMask::allowing(&[nr::CHAN_OPEN]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let out = w
+            .run(id, &[], Invocation::default().with_chans(vec![host_chan]))
+            .unwrap();
+        assert!(out.exit.is_normal());
+        assert_eq!(out.invocation.guest_opened_chans().len(), 1);
+        let guest_chan = out.invocation.guest_opened_chans()[0];
+        // The guest-opened channel was closed (and, empty, reaped); the
+        // host-bound one is still live.
+        assert_eq!(
+            w.kernel().chan_send(guest_chan, b"x"),
+            Err(hostsim::ChanError::Closed(guest_chan)),
+            "guest-opened channel must not outlive the invocation"
+        );
+        w.kernel().chan_send(host_chan, b"x").unwrap();
+    }
+
+    #[test]
+    fn chan_send_backpressure_parks_and_resumes_after_capacity_frees() {
+        // A guest that chan_sends 8 bytes at 0x100 into handle 0.
+        let img = image(
+            "
+.org 0x8000
+  mov r1, 0x100
+  mov r5, 0x41414141
+  store.q [r1], r5
+  mov r0, 12           ; chan_send
+  mov r1, 0            ; handle 0
+  mov r2, 0x100        ; buf
+  mov r3, 8            ; len
+  mov r4, 0            ; flags: blocking
+  out 0x1, r0
+  hlt
+",
+        );
+        let w = wasp(PoolMode::CachedAsync);
+        let chan = w.kernel().chan_open(8);
+        // Pre-fill the channel so the guest's send cannot fit.
+        w.kernel().chan_send(chan, b"xxxxxx").unwrap();
+        let id = w
+            .register(
+                VirtineSpec::new("chan_send", img, MEM)
+                    .with_policy(HypercallMask::allowing(&[nr::CHAN_SEND]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let vm = w.hypervisor().create_vm(MEM, LOAD_ADDR);
+        let RunResult::Blocked(s) = w
+            .run_on_shell_resumable(
+                vm,
+                ShellSource::Created,
+                id,
+                &[],
+                Invocation::default().with_chans(vec![chan]),
+                HypercallMask::ALLOW_ALL,
+                &mut |_, _, _, _| None,
+            )
+            .unwrap()
+        else {
+            panic!("full channel must block the sender");
+        };
+        assert!(matches!(
+            s.wait(),
+            crate::hypercall::WaitReason::ChanSendReady { .. }
+        ));
+        // Draining the queue frees capacity; the resume performs the send.
+        w.kernel().chan_recv(chan, 64).unwrap().unwrap();
+        let RunResult::Done(out, _) = w.resume_on_shell(s, &mut |_, _, _, _| None).unwrap() else {
+            panic!("freed capacity must resume the sender");
+        };
+        assert_eq!(out.exit, ExitKind::Halted(8), "send completed at resume");
+        let msg = w.kernel().chan_recv(chan, 64).unwrap().unwrap();
+        assert_eq!(&msg[..4], b"AAAA", "the queued bytes landed");
+    }
+
+    #[test]
+    fn chan_closed_while_sender_parked_resumes_to_a_clean_failure() {
+        let img = image(
+            "
+.org 0x8000
+  mov r0, 12           ; chan_send(0, 0x100, 8)
+  mov r1, 0
+  mov r2, 0x100
+  mov r3, 8
+  mov r4, 0
+  out 0x1, r0
+  hlt
+",
+        );
+        let w = wasp(PoolMode::CachedAsync);
+        let chan = w.kernel().chan_open(8);
+        w.kernel().chan_send(chan, b"fullfull").unwrap();
+        let id = w
+            .register(
+                VirtineSpec::new("s", img, MEM)
+                    .with_policy(HypercallMask::allowing(&[nr::CHAN_SEND]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let vm = w.hypervisor().create_vm(MEM, LOAD_ADDR);
+        let RunResult::Blocked(s) = w
+            .run_on_shell_resumable(
+                vm,
+                ShellSource::Created,
+                id,
+                &[],
+                Invocation::default().with_chans(vec![chan]),
+                HypercallMask::ALLOW_ALL,
+                &mut |_, _, _, _| None,
+            )
+            .unwrap()
+        else {
+            panic!("must block");
+        };
+        w.kernel().chan_close(chan).unwrap();
+        let RunResult::Done(out, _) = w.resume_on_shell(s, &mut |_, _, _, _| None).unwrap() else {
+            panic!("close ends the send wait");
+        };
+        // The send failed with -1: the wait ended, the guest decides.
+        assert_eq!(out.exit, ExitKind::Halted(u64::MAX));
     }
 
     #[test]
