@@ -171,6 +171,48 @@ fn main() {
         num(&event, "busy_wait_cycles", "current"),
     );
 
+    // -- topology_steal -----------------------------------------------------
+    let base = load_baseline("topology_steal");
+    let cur = load("BENCH_topology_steal.json");
+    for metric in ["steal.same_ccx", "steal.cross_ccx", "steal.cross_socket"] {
+        // Steal-distance resolution is a correctness claim of the
+        // placement engine, not a performance number: the ladder must
+        // drain exactly near-to-far.
+        gate.exact(
+            &format!("topology_steal: {metric}"),
+            num(&base, metric, "baseline"),
+            num(&cur, metric, "current"),
+        );
+    }
+    let warm_row = |j: &Json, label: &str, file: &str| -> Json {
+        j.get("warm")
+            .map(Json::items)
+            .unwrap_or_default()
+            .iter()
+            .find(|row| row.get("label").and_then(Json::as_str) == Some(label))
+            .cloned()
+            .unwrap_or_else(|| panic!("{file}: no warm run labelled `{label}`"))
+    };
+    let (b_row, c_row) = (
+        warm_row(&base, "budget 11 + quota 3", "baseline"),
+        warm_row(&cur, "budget 11 + quota 3", "current"),
+    );
+    gate.higher(
+        "topology_steal: budget+quota overall_hit_rate",
+        num(&b_row, "overall_hit_rate", "baseline"),
+        num(&c_row, "overall_hit_rate", "current"),
+    );
+    gate.higher(
+        "topology_steal: budget+quota heavy_hit_rate",
+        num(&b_row, "heavy_hit_rate", "baseline"),
+        num(&c_row, "heavy_hit_rate", "current"),
+    );
+    gate.lower(
+        "topology_steal: budget+quota p50_ms",
+        num(&b_row, "p50_ms", "baseline"),
+        num(&c_row, "p50_ms", "current"),
+    );
+
     // -- chan_pipeline ------------------------------------------------------
     let base = load_baseline("chan_pipeline");
     let cur = load("BENCH_chan_pipeline.json");

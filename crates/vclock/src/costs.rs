@@ -233,8 +233,31 @@ pub const VSCHED_QUEUE_OP: u64 = 80;
 /// Stealing a clean shell from a sibling shard: the one cross-shard
 /// synchronization on the acquire path (lock hand-off plus the cache-line
 /// migration of the pool entry). Charged only on steal, keeping the
-/// shard-local hit path contention-free.
+/// shard-local hit path contention-free. This is the *same-CCX* floor of
+/// the per-hop transfer model below; `vsched`'s topology layer picks the
+/// constant matching the donor→thief distance.
 pub const VSCHED_STEAL_TRANSFER: u64 = 1_400;
+
+// Per-hop transfer costs: moving a shell (steal) or a suspended run
+// (resume-time migration) between shards is priced by how far the cache
+// lines travel on the simulated 2-socket `tinker` host. The same-CCX
+// case is the historical flat cost above; the farther hops add the extra
+// coherence latency real parts measure.
+
+/// Transfer between shards sharing a core complex (one L3 slice): the
+/// pool entry and shell metadata move within a shared last-level cache —
+/// the [`VSCHED_STEAL_TRANSFER`] floor.
+pub const VSCHED_TRANSFER_SAME_CCX: u64 = VSCHED_STEAL_TRANSFER;
+
+/// Transfer between CCXs on the same socket: lines cross the on-die
+/// fabric between L3 slices (measured CCX-to-CCX latency is ~2-3x the
+/// shared-L3 hit on the referenced hardware generation).
+pub const VSCHED_TRANSFER_CROSS_CCX: u64 = 3_400;
+
+/// Transfer across sockets: every line crosses the inter-socket
+/// interconnect, NUMA-remote at roughly 7x the shared-L3 cost — the
+/// distance a topology-aware policy exists to avoid.
+pub const VSCHED_TRANSFER_CROSS_SOCKET: u64 = 9_800;
 
 #[cfg(test)]
 mod tests {
@@ -275,6 +298,18 @@ mod tests {
         assert!(HOST_PTHREAD_CREATE_JOIN < KVM_CREATE_VM);
         assert!(KVM_CREATE_VM < HOST_PROCESS_SPAWN);
         assert!(HOST_PROCESS_SPAWN < SGX_CREATE);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn transfer_costs_grow_with_distance() {
+        // Same CCX < cross CCX < cross socket, and even the farthest hop
+        // stays far below minting a new VM — stealing across sockets is
+        // still worth it when the alternative is KVM_CREATE_VM.
+        assert_eq!(VSCHED_TRANSFER_SAME_CCX, VSCHED_STEAL_TRANSFER);
+        assert!(VSCHED_TRANSFER_SAME_CCX < VSCHED_TRANSFER_CROSS_CCX);
+        assert!(VSCHED_TRANSFER_CROSS_CCX < VSCHED_TRANSFER_CROSS_SOCKET);
+        assert!(VSCHED_TRANSFER_CROSS_SOCKET < KVM_CREATE_VM / 10);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use hostsim::HostKernel;
 use kvmsim::Hypervisor;
 use vclock::Clock;
 use vsched::{
-    BlockMode, Dispatcher, DispatcherConfig, Request, ShedReason, TenantId, TenantProfile,
+    BlockMode, Dispatcher, DispatcherConfig, Request, ShedReason, TenantId, TenantProfile, Topology,
 };
 use wasp::{Invocation, VirtineSpec, Wasp, WaspConfig};
 
@@ -60,6 +60,7 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
                 "{outcome=\"shed_deadline_unmeetable\"}".into(),
                 s.shed_deadline_unmeetable,
             ),
+            ("{outcome=\"shed_byte_budget\"}".into(), s.shed_byte_budget),
         ],
     );
     metric(
@@ -79,6 +80,33 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
         "counter",
         "Shells stolen between shards",
         &plain(s.stolen),
+    );
+    metric(
+        "vsched_steal_transfers_total",
+        "counter",
+        "Shells stolen between shards, by topology distance class",
+        &[
+            ("{distance=\"same_ccx\"}".into(), s.stolen_same_ccx),
+            ("{distance=\"cross_ccx\"}".into(), s.stolen_cross_ccx),
+            ("{distance=\"cross_socket\"}".into(), s.stolen_cross_socket),
+        ],
+    );
+    let topo = d.topology();
+    metric(
+        "vsched_topology",
+        "gauge",
+        "Shard topology dimensions (sockets, CCXs, shards)",
+        &[
+            ("{level=\"sockets\"}".into(), topo.sockets() as u64),
+            ("{level=\"ccxs\"}".into(), topo.ccxs() as u64),
+            ("{level=\"shards\"}".into(), topo.shards() as u64),
+        ],
+    );
+    metric(
+        "vsched_warm_resident",
+        "gauge",
+        "Warm shells resident across all shard pools",
+        &plain(d.warm_resident() as u64),
     );
     metric(
         "vsched_batches_total",
@@ -340,6 +368,20 @@ impl DispatchedServer {
     /// Handlers snapshot after boot (Figure 7's fast path), as §6.3's
     /// best configuration does.
     pub fn new_with(shards: usize, file_size: usize, block: BlockMode) -> DispatchedServer {
+        DispatchedServer::new_on_topology(shards, None, file_size, block)
+    }
+
+    /// The full constructor: an explicit shard [`Topology`] (steals and
+    /// resume-time migrations then prefer near siblings and pay per-hop
+    /// transfer costs, surfaced by the `vsched_steal_transfers_total` and
+    /// `vsched_topology` metrics) beside the blocked-I/O policy. `None`
+    /// keeps the flat single-CCX topology.
+    pub fn new_on_topology(
+        shards: usize,
+        topology: Option<Topology>,
+        file_size: usize,
+        block: BlockMode,
+    ) -> DispatchedServer {
         let clock = Clock::new();
         let kernel = HostKernel::new(clock, None);
         let body: Vec<u8> = (0..file_size).map(|i| b'a' + (i % 23) as u8).collect();
@@ -359,6 +401,7 @@ impl DispatchedServer {
                 // demote-steals the *other* shard's warm shell.
                 placement: vsched::Placement::SnapshotAware,
                 block,
+                topology,
                 ..DispatcherConfig::default()
             },
         );
@@ -689,6 +732,20 @@ mod tests {
             ),
             format!("vsched_warm_hits_total {}", stats.warm_hits),
             format!("vsched_warm_demotions_total {}", stats.warm_demotions),
+            format!(
+                "vsched_requests_total{{outcome=\"shed_byte_budget\"}} {}",
+                stats.shed_byte_budget
+            ),
+            "vsched_topology{level=\"sockets\"} 1".to_string(),
+            "vsched_topology{level=\"shards\"} 2".to_string(),
+            format!(
+                "vsched_steal_transfers_total{{distance=\"same_ccx\"}} {}",
+                stats.stolen_same_ccx
+            ),
+            format!(
+                "vsched_warm_resident {}",
+                server.dispatcher().warm_resident()
+            ),
             format!("vsched_blocked_total {}", stats.blocked),
             format!("vsched_resumed_total {}", stats.resumed),
             format!("vsched_busy_wait_cycles_total {}", stats.busy_wait_cycles),
@@ -743,6 +800,67 @@ mod tests {
         let fast_p99 = stats::percentile(&run.latencies_by_tenant[fast.index()], 99.0);
         assert!(slow_p50 >= 0.019, "slow p50 {slow_p50} spans the trickle");
         assert!(fast_p99 < 0.005, "fast p99 {fast_p99} rides free");
+    }
+
+    #[test]
+    fn grouped_topology_server_serves_and_reports_topology_gauges() {
+        // A 2-socket topology flows through config to the dispatcher and
+        // out the metrics endpoint; service is unaffected.
+        let mut server = DispatchedServer::new_on_topology(
+            8,
+            Some(Topology::grouped(2, 2, 2)),
+            512,
+            BlockMode::EventDriven,
+        );
+        let tenant = server.add_tenant(http_tenant("t"));
+        for i in 0..12 {
+            server.offer(tenant, i as f64 * 0.0005).unwrap();
+        }
+        server.dispatcher.drain();
+        let resp = server.fetch_metrics();
+        assert_eq!(response_status(&resp), Some(200));
+        let text = String::from_utf8(resp).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        for line in [
+            "vsched_topology{level=\"sockets\"} 2",
+            "vsched_topology{level=\"ccxs\"} 4",
+            "vsched_topology{level=\"shards\"} 8",
+        ] {
+            assert!(
+                body.lines().any(|l| l == line),
+                "metrics body missing `{line}`"
+            );
+        }
+        // Distance-classed steal counters reconcile with the total.
+        let s = server.dispatcher().stats();
+        assert_eq!(
+            s.stolen,
+            s.stolen_same_ccx + s.stolen_cross_ccx + s.stolen_cross_socket
+        );
+        let run = server.finish();
+        assert_eq!(run.served, 12);
+    }
+
+    #[test]
+    fn byte_limited_tenant_surfaces_in_metrics() {
+        let mut server = DispatchedServer::new(2, 256);
+        // Byte budgets meter the request payload (args + invocation
+        // payload), which `offer`'s connection-only requests don't carry
+        // — so drive a fat-args request through the dispatcher directly
+        // and check the shed lands in the exported series.
+        let metered = server.add_tenant(http_tenant("metered").with_byte_rate(8.0, 8.0));
+        let err = server
+            .dispatcher
+            .submit(Request::new(metered, server.virtine, 0.0).with_args(vec![0u8; 64]))
+            .unwrap_err();
+        assert_eq!(err, ShedReason::ByteBudget);
+        server.dispatcher.drain();
+        let text = String::from_utf8(server.fetch_metrics()).unwrap();
+        assert!(
+            text.lines()
+                .any(|l| l == "vsched_requests_total{outcome=\"shed_byte_budget\"} 1"),
+            "byte-budget shed missing from the exported series:\n{text}"
+        );
     }
 
     #[test]

@@ -1,5 +1,11 @@
-//! The dispatcher: admission, placement, batched shard ticks, stealing,
-//! and event-driven suspension of runs blocked in `recv`.
+//! The dispatcher: admission, batched shard ticks, and event-driven
+//! suspension of runs blocked in `recv` — with every placement, steal,
+//! and migration *decision* delegated to the [`PlacementEngine`].
+//!
+//! This file owns the mechanisms (queues, pools, transfers, accounting);
+//! the scoring that picks a shard at the four routing decision points
+//! lives in [`crate::placement`] (see its decision-point diagram) over
+//! the shard [`Topology`] of [`crate::topology`].
 
 use std::collections::HashMap;
 
@@ -9,8 +15,10 @@ use wasp::{
     VirtineSpec, WaitTarget, Wasp, WaspError,
 };
 
+use crate::placement::{Candidate, CostEngine, PlacementEngine, WarmPolicy, WarmVerdict};
 use crate::shard::{align_up, Parked, Queued, Shard, ShardSnapshot};
 use crate::tenant::{ShedReason, TenantId, TenantProfile, TenantState, TenantStats};
+use crate::topology::{Hop, Topology};
 
 /// What a shard worker does when its virtine blocks in `recv` with no data
 /// queued.
@@ -30,7 +38,9 @@ pub enum BlockMode {
     SpinPoll,
 }
 
-/// Where an admitted request is queued.
+/// Where an admitted request is queued. These are *configurations* of
+/// the [`CostEngine`] (match arms live there, not in the dispatcher);
+/// a fully custom policy plugs in through [`Dispatcher::set_engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Placement {
     /// Least-loaded shard (queue depth, then worker timeline, then index):
@@ -39,8 +49,7 @@ pub enum Placement {
     LeastLoaded,
     /// `tenant index mod shards`: pins each tenant to one home shard, so a
     /// tenant's requests share warm state and its queue pressure stays
-    /// local (the NUMA-style affinity the ROADMAP lists as a follow-on is
-    /// a refinement of this policy).
+    /// local.
     ByTenant,
     /// Snapshot-aware: route to the shard whose pool already parks a warm
     /// shell for this request's `(tenant, virtine)` — turning placement
@@ -86,6 +95,22 @@ pub struct DispatcherConfig {
     /// shard cannot hold a runnable virtine hostage. Forced off under
     /// [`BlockMode::SpinPoll`], where the blocking worker *is* the wait.
     pub migrate_on_resume: bool,
+    /// The socket/CCX grouping of the shards; `None` puts every shard in
+    /// one CCX ([`Topology::flat`]), which reproduces the pre-topology
+    /// dispatcher exactly (every cross-shard hop costs the historical
+    /// flat transfer). A grouped topology makes steals and resume-time
+    /// migrations prefer near siblings and pay per-hop transfer costs.
+    pub topology: Option<Topology>,
+    /// Global cross-shard bound on resident warm shells. `None` leaves
+    /// warm sizing to the fixed per-pool LRU bound (`warm_capacity`);
+    /// `Some(b)` lets any one shard hold up to the whole budget (pools
+    /// are opened to `b`) while the engine keeps the cross-shard total at
+    /// `b` by demoting the globally least-recently-parked shell.
+    pub warm_budget: Option<usize>,
+    /// Cross-shard bound on warm shells per *tenant*: at quota, a
+    /// tenant's next warm park demotes its own least-recently-parked
+    /// shell — a churning tenant evicts itself, never a neighbor.
+    pub warm_tenant_quota: Option<usize>,
 }
 
 impl Default for DispatcherConfig {
@@ -100,6 +125,9 @@ impl Default for DispatcherConfig {
             warm_capacity: wasp::DEFAULT_WARM_CAPACITY,
             block: BlockMode::EventDriven,
             migrate_on_resume: true,
+            topology: None,
+            warm_budget: None,
+            warm_tenant_quota: None,
         }
     }
 }
@@ -232,8 +260,19 @@ pub struct DispatcherStats {
     /// Requests shed at admission: the target shard's backlog already made
     /// the deadline unmeetable.
     pub shed_deadline_unmeetable: u64,
+    /// Requests shed because the payload exceeded the tenant's byte
+    /// budget.
+    pub shed_byte_budget: u64,
     /// Shells stolen between shards.
     pub stolen: u64,
+    /// Steals whose donor shared the thief's CCX (one L3 away — the hop
+    /// a topology-aware policy resolves first).
+    pub stolen_same_ccx: u64,
+    /// Steals whose donor sat on the thief's socket but a different CCX.
+    pub stolen_cross_ccx: u64,
+    /// Steals that crossed the socket interconnect — the last resort
+    /// before `KVM_CREATE_VM`.
+    pub stolen_cross_socket: u64,
     /// Batch ticks executed.
     pub batches: u64,
     /// Runs suspended at a blocking `recv` (block events; one request can
@@ -265,6 +304,7 @@ impl DispatcherStats {
             + self.shed_in_flight
             + self.shed_deadline
             + self.shed_deadline_unmeetable
+            + self.shed_byte_budget
     }
 
     /// Fraction of served requests that hit a warm shell (0 when nothing
@@ -318,6 +358,14 @@ pub struct Dispatcher {
     /// EMA of recent per-request worker cost (cycles), feeding the
     /// deadline-unmeetable admission estimate. Zero until the first serve.
     avg_service: u64,
+    /// The socket/CCX grouping the engine prices hops against.
+    topology: Topology,
+    /// The policy layer behind every routing decision (see
+    /// `crate::placement`'s decision-point diagram).
+    engine: Box<dyn PlacementEngine>,
+    /// Shared park-order counter threaded through every warm park, so
+    /// LRU comparisons are meaningful *across* shard pools.
+    warm_stamp: u64,
 }
 
 impl Dispatcher {
@@ -325,16 +373,39 @@ impl Dispatcher {
     ///
     /// # Panics
     ///
-    /// Panics on a zero shard count, zero batch size, or zero tick.
+    /// Panics on a zero shard count, zero batch size, zero tick, or a
+    /// topology whose shard count disagrees with `config.shards`.
     pub fn new(wasp: Wasp, config: DispatcherConfig) -> Dispatcher {
         assert!(config.shards >= 1, "need at least one shard");
         assert!(config.batch_size >= 1, "need a positive batch size");
         assert!(config.tick.get() >= 1, "need a positive tick");
+        let topology = config
+            .topology
+            .clone()
+            .unwrap_or_else(|| Topology::flat(config.shards));
+        assert_eq!(
+            topology.shards(),
+            config.shards,
+            "topology shard count must match config.shards"
+        );
+        // Under a global warm budget the engine governs the cross-shard
+        // total, so any one pool may hold up to the whole budget; the
+        // fixed per-pool bound only binds when no budget is set.
+        let pool_capacity = config.warm_budget.unwrap_or(config.warm_capacity);
+        let warm_policy = WarmPolicy {
+            global_budget: config.warm_budget,
+            tenant_quota: config.warm_tenant_quota,
+        };
+        let engine = Box::new(CostEngine::new(
+            config.placement,
+            topology.clone(),
+            config.batch_size,
+            warm_policy,
+        ));
         let shards = (0..config.shards)
             .map(|_| {
                 Shard::new(
-                    Pool::new(config.pool_mode, wasp::LOAD_ADDR)
-                        .with_warm_capacity(config.warm_capacity),
+                    Pool::new(config.pool_mode, wasp::LOAD_ADDR).with_warm_capacity(pool_capacity),
                 )
             })
             .collect();
@@ -351,7 +422,24 @@ impl Dispatcher {
             next_token: 0,
             parked_shard: HashMap::new(),
             avg_service: 0,
+            topology,
+            engine,
+            warm_stamp: 0,
         }
+    }
+
+    /// Replaces the placement engine — the policy layer behind admit,
+    /// steal, warm-capacity, and resume decisions — leaving every
+    /// mechanism (queues, pools, wipes, accounting) untouched. The
+    /// default is a [`CostEngine`] configured from the
+    /// [`DispatcherConfig`]'s placement, topology, and warm policy.
+    pub fn set_engine(&mut self, engine: Box<dyn PlacementEngine>) {
+        self.engine = engine;
+    }
+
+    /// The shard topology in effect (flat unless configured).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// The underlying runtime (clock, kernel, runtime stats).
@@ -393,9 +481,54 @@ impl Dispatcher {
         }
     }
 
+    /// Pre-populates a single shard's pool — skewed warm-ups for
+    /// topology experiments (e.g. supply only one socket and watch where
+    /// the other's steals land).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shard index out of range.
+    pub fn prewarm_shard(&mut self, shard: usize, mem_size: usize, count: usize) {
+        self.shards[shard]
+            .pool
+            .prewarm(self.wasp.hypervisor(), mem_size, count);
+    }
+
+    /// Warm shells a tenant has resident across every shard pool (the
+    /// quantity [`DispatcherConfig::warm_tenant_quota`] bounds).
+    pub fn warm_resident_of(&self, tenant: TenantId) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.pool.warm_shells_of_tenant(tenant.0 as u64))
+            .sum()
+    }
+
+    /// Warm shells resident across every shard pool (the quantity
+    /// [`DispatcherConfig::warm_budget`] bounds).
+    pub fn warm_resident(&self) -> usize {
+        self.shards.iter().map(|s| s.pool.warm_shells()).sum()
+    }
+
+    /// Demotes the least-recently-parked warm shell across every shard
+    /// pool (optionally restricted to one tenant) — the enforcement arm
+    /// of the cross-shard warm budget and per-tenant quotas. The wipe is
+    /// performed by the owning pool and counted in its
+    /// [`wasp::PoolStats::warm_demoted`], like any LRU eviction.
+    fn demote_warm_lru(&mut self, tenant: Option<u64>) {
+        let oldest = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.pool.oldest_warm_stamp(tenant).map(|stamp| (stamp, i)))
+            .min();
+        if let Some((_, i)) = oldest {
+            self.shards[i].pool.demote_oldest_warm(tenant);
+        }
+    }
+
     /// Offers one request. Returns its sequence number when admitted, or
-    /// the [`ShedReason`] when refused at admission (rate limit or
-    /// in-flight cap; [`ShedReason::DeadlineMissed`] never comes from
+    /// the [`ShedReason`] when refused at admission (rate limit, byte
+    /// budget, or in-flight cap; [`ShedReason::DeadlineMissed`] never comes from
     /// `submit` — deadlines are checked in-queue and surface in
     /// [`TenantStats::shed_deadline`]). Arrivals must be non-decreasing;
     /// earlier timestamps are clamped forward.
@@ -459,12 +592,25 @@ impl Dispatcher {
             }
         }
 
+        // Request and byte buckets are checked jointly before either is
+        // charged: a request refused by one must not burn tokens from
+        // the other. Bytes are the payload the platform moves for the
+        // request — marshalled args plus the invocation payload.
+        let bytes = (req.args.len() + req.invocation.payload.len()) as f64;
         let tenant = &mut self.tenants[req.tenant.0];
-        if !tenant.bucket.admit(Cycles(arrival)) {
+        let now = Cycles(arrival);
+        if !tenant.bucket.can_admit(now, 1.0) {
             tenant.stats.shed_rate_limit += 1;
             self.stats.shed_rate_limit += 1;
             return Err(ShedReason::RateLimited);
         }
+        if !tenant.byte_bucket.can_admit(now, bytes) {
+            tenant.stats.shed_byte_budget += 1;
+            self.stats.shed_byte_budget += 1;
+            return Err(ShedReason::ByteBudget);
+        }
+        tenant.bucket.take(1.0);
+        tenant.byte_bucket.take(bytes);
         tenant.stats.admitted += 1;
         tenant.stats.in_flight += 1;
         self.stats.admitted += 1;
@@ -576,34 +722,67 @@ impl Dispatcher {
         total
     }
 
-    /// Picks the shard a request queues on.
+    /// Builds the engine's view of every shard for one decision.
+    /// `anchor` is the shard distances are measured from (`None` at
+    /// admit, which has no anchor: every hop reads as local); `key`
+    /// fills the warm column with the per-key placement probe, while
+    /// `mem_size` fills the steal-supply columns (idle shells, and —
+    /// when no key is given — victim-eligible warm shells); `clamp`
+    /// floors worker timelines at the decision instant.
+    fn candidates(
+        &self,
+        anchor: Option<usize>,
+        key: Option<(u64, usize)>,
+        mem_size: Option<usize>,
+        clamp: u64,
+    ) -> Vec<Candidate> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let hop = anchor.map_or(Hop::Local, |a| self.topology.hop(a, i));
+                Candidate {
+                    shard: i,
+                    queue_depth: s.queue.len(),
+                    free_at: s.free_at.max(clamp),
+                    idle_shells: mem_size.map_or(0, |m| s.pool.idle_shells_of(m)),
+                    warm_shells: match (key, mem_size) {
+                        (Some((t, v)), _) => usize::from(s.pool.has_warm(t, v)),
+                        (None, Some(m)) => s.pool.warm_shells_of(m),
+                        (None, None) => 0,
+                    },
+                    hop,
+                    transfer_cost: hop.transfer_cost(),
+                }
+            })
+            .collect()
+    }
+
+    /// Decision point 1 (admit): asks the engine which shard a fresh
+    /// request queues on. The per-pool warm probe is only paid when the
+    /// engine's policy actually reads it (snapshot-aware placement).
     fn place(&self, tenant: TenantId, virtine: VirtineId) -> usize {
-        let least = || {
-            self.shards
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, s)| (s.queue.len(), s.free_at, *i))
-                .map(|(i, _)| i)
-                .expect("at least one shard")
-        };
-        match self.config.placement {
-            Placement::ByTenant => tenant.0 % self.shards.len(),
-            Placement::LeastLoaded => least(),
-            Placement::SnapshotAware => {
-                let fallback = least();
-                self.shards
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| s.pool.has_warm(tenant.0 as u64, virtine.into_raw()))
-                    .min_by_key(|(i, s)| (s.queue.len(), s.free_at, *i))
-                    .filter(|(_, s)| {
-                        // Don't trade µs of restore for ms of queueing: the
-                        // warm shard must not be more than one batch behind
-                        // the least-loaded alternative.
-                        s.queue.len() <= self.shards[fallback].queue.len() + self.config.batch_size
-                    })
-                    .map_or(fallback, |(i, _)| i)
-            }
+        let key = self
+            .engine
+            .admit_reads_warm()
+            .then_some((tenant.0 as u64, virtine.into_raw()));
+        let c = self.candidates(None, key, None, 0);
+        self.engine.admit(tenant.0, &c)
+    }
+
+    /// Records a completed steal transfer: charges the per-hop cost and
+    /// bumps the distance-classed steal counters on every stats plane.
+    fn account_steal(&mut self, donor: usize, thief: usize) {
+        let hop = self.topology.hop(donor, thief);
+        self.wasp.clock().tick(hop.transfer_cost());
+        self.shards[thief].stats.stolen_in += 1;
+        self.shards[donor].stats.stolen_out += 1;
+        self.stats.stolen += 1;
+        match hop {
+            Hop::Local => unreachable!("a steal always crosses shards"),
+            Hop::SameCcx => self.stats.stolen_same_ccx += 1,
+            Hop::SameSocket => self.stats.stolen_cross_ccx += 1,
+            Hop::CrossSocket => self.stats.stolen_cross_socket += 1,
         }
     }
 
@@ -713,15 +892,20 @@ impl Dispatcher {
         // `KVM_CREATE_VM` occupies the shard worker like any other cost.
         let t0 = clock.now();
 
-        // Acquire, cheapest sound mechanism first:
+        // Acquire, cheapest sound mechanism first — steps 3 and 5 pick
+        // their donor through the placement engine (near siblings first,
+        // per-hop transfer cost):
         //   1. shard-local warm shell for this exact (tenant, virtine) —
         //      delta re-arm;
         //   2. shard-local clean shell;
         //   3. steal a *clean* shell from a sibling (stealing prefers
         //      clean shells: a sibling's warm shell is its fast path, so
         //      demoting one is the last resort before KVM_CREATE_VM);
-        //   4. demote a local warm shell of another key (full wipe);
-        //   5. demote-and-steal a sibling's warm shell (full wipe);
+        //   4. demote a local warm shell of another key (full wipe; the
+        //      victim tenant is the requester itself when possible,
+        //      otherwise the biggest warm hoard);
+        //   5. demote-and-steal a sibling's warm shell (full wipe, same
+        //      victim-tenant rule);
         //   6. KVM_CREATE_VM.
         let key = (q.tenant.0 as u64, q.virtine.into_raw());
         let mut stolen = false;
@@ -740,20 +924,18 @@ impl Dispatcher {
             debug_assert!(hit);
             (vm, ShellSource::Clean)
         } else if let Some((donor, vm)) = self.steal_from_sibling(idx, mem_size) {
-            clock.tick(costs::VSCHED_STEAL_TRANSFER);
-            self.shards[idx].stats.stolen_in += 1;
-            self.shards[donor].stats.stolen_out += 1;
-            self.stats.stolen += 1;
+            self.account_steal(donor, idx);
             stolen = true;
             (vm, ShellSource::Clean)
-        } else if let Some(vm) = self.shards[idx].pool.take_warm_victim(mem_size) {
+        } else if let Some(vm) = self.shards[idx]
+            .pool
+            .warm_victim_tenant(mem_size, key.0)
+            .and_then(|victim| self.shards[idx].pool.take_warm_victim_of(victim, mem_size))
+        {
             self.stats.warm_demotions += 1;
             (vm, ShellSource::Clean)
-        } else if let Some((donor, vm)) = self.steal_warm_victim(idx, mem_size) {
-            clock.tick(costs::VSCHED_STEAL_TRANSFER);
-            self.shards[idx].stats.stolen_in += 1;
-            self.shards[donor].stats.stolen_out += 1;
-            self.stats.stolen += 1;
+        } else if let Some((donor, vm)) = self.steal_warm_victim(idx, key.0, mem_size) {
+            self.account_steal(donor, idx);
             self.stats.warm_demotions += 1;
             stolen = true;
             (vm, ShellSource::Clean)
@@ -941,8 +1123,11 @@ impl Dispatcher {
             let dest = self.resume_shard(idx, wake);
             if dest != idx {
                 // The run (and the shell inside it) crosses shards: one
-                // explicit transfer cost, mirroring a clean-shell steal.
-                self.wasp.clock().tick(costs::VSCHED_STEAL_TRANSFER);
+                // explicit transfer cost, priced by the hop it crosses
+                // exactly like a clean-shell steal.
+                self.wasp
+                    .clock()
+                    .tick(self.topology.transfer_cost(idx, dest));
                 p.migrated = true;
                 self.stats.migrations += 1;
                 self.shards[idx].stats.migrated_out += 1;
@@ -966,34 +1151,22 @@ impl Dispatcher {
         }
     }
 
-    /// Picks the shard a woken parked run resumes on: the least-loaded
-    /// shard by (queue depth, worker availability at the wake instant),
-    /// with the blocking shard preferred on ties — an idle home shard
-    /// never loses to an equally idle sibling, so migration only happens
-    /// when it buys an earlier start. Worker timelines are clamped to
-    /// `wake`: a `free_at` in the past means "free now", not "freer than
-    /// the other idle shard". A resume needs no shell acquire — the shell
-    /// rides inside the suspension — so warm-list affinity is irrelevant
-    /// and least-loaded is the whole story. Pinned home when migration is
-    /// disabled or under [`BlockMode::SpinPoll`] (the home worker *is*
-    /// the wait there).
+    /// Decision point 4 (resume-migrate): asks the engine which shard a
+    /// woken parked run resumes on, anchored at the blocking shard — an
+    /// idle home never loses a tie, and among equally loaded siblings the
+    /// nearest wins, so migration only happens when it buys an earlier
+    /// start, and then over the shortest hop. Worker timelines are
+    /// clamped to `wake`: a `free_at` in the past means "free now", not
+    /// "freer than the other idle shard". A resume needs no shell acquire
+    /// — the shell rides inside the suspension — so warm-list affinity is
+    /// irrelevant. Pinned home when migration is disabled or under
+    /// [`BlockMode::SpinPoll`] (the home worker *is* the wait there).
     fn resume_shard(&self, home: usize, wake: u64) -> usize {
         if !self.config.migrate_on_resume || self.config.block == BlockMode::SpinPoll {
             return home;
         }
-        self.shards
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, s)| {
-                (
-                    s.queue.len(),
-                    s.free_at.max(wake),
-                    usize::from(*i != home),
-                    *i,
-                )
-            })
-            .map(|(i, _)| i)
-            .expect("at least one shard")
+        let c = self.candidates(Some(home), None, None, wake);
+        self.engine.resume(&c)
     }
 
     /// Under [`BlockMode::SpinPoll`], closes out a parked run's spin
@@ -1083,9 +1256,51 @@ impl Dispatcher {
     ) -> u64 {
         let key = (meta.tenant.0 as u64, meta.virtine.into_raw());
         // Release: park warm (state still derives from the spec's current
-        // snapshot, dirty log intact) or wipe clean.
+        // snapshot, dirty log intact) or wipe clean. Warm parks go
+        // through the engine's capacity verdict — decision point
+        // "warm_release": cross-shard budget and per-tenant quota first,
+        // the per-pool LRU bound as the remaining backstop.
         match outcome.warm_state.clone() {
-            Some(snap) => self.shards[idx].pool.release_warm(vm, key.0, key.1, snap),
+            Some(snap) => {
+                // The cross-shard accounting walk only runs when the
+                // engine's capacity policy will actually read the counts;
+                // the default (no budget, no quota) parks unconditionally
+                // and leaves sizing to the per-pool LRU bound.
+                let verdict = if self.engine.warm_policy_active() {
+                    let tenant_resident: usize = self
+                        .shards
+                        .iter()
+                        .map(|s| s.pool.warm_shells_of_tenant(key.0))
+                        .sum();
+                    let global_resident: usize =
+                        self.shards.iter().map(|s| s.pool.warm_shells()).sum();
+                    self.engine.warm_release(tenant_resident, global_resident)
+                } else {
+                    WarmVerdict::Park {
+                        evict_tenant_lru: false,
+                        evict_global_lru: false,
+                    }
+                };
+                match verdict {
+                    WarmVerdict::Demote => self.shards[idx].pool.release(vm),
+                    WarmVerdict::Park {
+                        evict_tenant_lru,
+                        evict_global_lru,
+                    } => {
+                        if evict_tenant_lru {
+                            self.demote_warm_lru(Some(key.0));
+                        }
+                        if evict_global_lru {
+                            self.demote_warm_lru(None);
+                        }
+                        let stamp = self.warm_stamp;
+                        self.warm_stamp += 1;
+                        self.shards[idx]
+                            .pool
+                            .release_warm_stamped(vm, key.0, key.1, snap, stamp);
+                    }
+                }
+            }
             None => self.shards[idx].pool.release(vm),
         }
         let warm_hit = outcome.breakdown.warm_hit;
@@ -1137,40 +1352,45 @@ impl Dispatcher {
         finish
     }
 
-    /// Steals a clean shell from the sibling with the most idle shells of
-    /// the right size. Shells were wiped on release (§5.2), so the thief
-    /// runs them directly — tenant data cannot cross shards.
+    /// Decision point 2 (acquire → clean steal): asks the engine for the
+    /// donor — the nearest sibling with idle shells of the right size,
+    /// richest within a hop class. Shells were wiped on release (§5.2),
+    /// so the thief runs them directly — tenant data cannot cross shards.
     fn steal_from_sibling(&mut self, idx: usize, mem_size: usize) -> Option<(usize, kvmsim::VmFd)> {
         if !self.config.steal {
             return None;
         }
-        let donor = self
-            .shards
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| *i != idx && s.pool.idle_shells_of(mem_size) > 0)
-            .max_by_key(|(i, s)| (s.pool.idle_shells_of(mem_size), usize::MAX - *i))?
-            .0;
+        let c = self.candidates(Some(idx), None, Some(mem_size), 0);
+        let donor = self.engine.steal_clean(&c)?;
         let vm = self.shards[donor].pool.take_idle(mem_size)?;
         Some((donor, vm))
     }
 
-    /// Demotes and steals a warm shell from the sibling with the most warm
-    /// shells of the right size — the last resort before `KVM_CREATE_VM`.
-    /// The donor's pool performs the full (charged) wipe before the shell
-    /// crosses shards, so no tenant data travels with it.
-    fn steal_warm_victim(&mut self, idx: usize, mem_size: usize) -> Option<(usize, kvmsim::VmFd)> {
+    /// Decision point 3 (acquire → warm demote-steal): asks the engine
+    /// for the donor shard (nearest first), then picks the victim
+    /// *tenant* fairly — the thief's own warm shell when it has one
+    /// parked there, otherwise the tenant holding the most (so one
+    /// tenant's pressure thins the biggest hoard and can never wipe out a
+    /// minority tenant's entire warm set). The last resort before
+    /// `KVM_CREATE_VM`; the donor's pool performs the full (charged) wipe
+    /// before the shell crosses shards, so no tenant data travels with it.
+    fn steal_warm_victim(
+        &mut self,
+        idx: usize,
+        thief_tenant: u64,
+        mem_size: usize,
+    ) -> Option<(usize, kvmsim::VmFd)> {
         if !self.config.steal {
             return None;
         }
-        let donor = self
-            .shards
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| *i != idx && s.pool.warm_shells_of(mem_size) > 0)
-            .max_by_key(|(i, s)| (s.pool.warm_shells_of(mem_size), usize::MAX - *i))?
-            .0;
-        let vm = self.shards[donor].pool.take_warm_victim(mem_size)?;
+        let c = self.candidates(Some(idx), None, Some(mem_size), 0);
+        let donor = self.engine.steal_warm(&c)?;
+        let victim = self.shards[donor]
+            .pool
+            .warm_victim_tenant(mem_size, thief_tenant)?;
+        let vm = self.shards[donor]
+            .pool
+            .take_warm_victim_of(victim, mem_size)?;
         Some((donor, vm))
     }
 }

@@ -34,14 +34,27 @@
 //!   (LRU eviction, cross-key fallback, or a last-resort steal) is always
 //!   a full wipe, so the §5.2 isolation guarantee is untouched — see the
 //!   `wasp::pool` lifecycle diagram.
+//! * **Topology-aware placement engine** ([`Topology`],
+//!   [`PlacementEngine`], [`CostEngine`]) — every shell-routing decision
+//!   (initial placement, the acquire chain's clean and warm steals,
+//!   resume-time migration, warm-capacity verdicts) is scored by one
+//!   policy layer over the shard→CCX→socket topology, through one
+//!   [`Candidate`] cost function. Steals and migrations prefer near
+//!   siblings and pay calibrated *per-hop* transfer costs
+//!   (`vclock::costs::VSCHED_TRANSFER_*`); warm caching can trade the
+//!   fixed per-pool LRU bound for a global cross-shard budget plus
+//!   per-tenant quotas ([`DispatcherConfig::warm_budget`],
+//!   [`DispatcherConfig::warm_tenant_quota`]) — see the decision-point
+//!   diagram in [`placement`] and the `topology_steal` bench.
 //! * **Multi-tenant admission control** ([`TenantProfile`]) — generalizes
 //!   §5.1's default-deny posture from hypercalls to platform capacity.
-//!   Each tenant gets a token-bucket rate limit and an in-flight cap
-//!   (shed early, at the door), plus a [`wasp::HypercallMask`] *ceiling*
-//!   intersected with every spec policy: a tenant profile can only narrow
-//!   what a virtine may do, never widen it (the per-compartment resource
-//!   budget framing of the related capability-hardware literature, see
-//!   PAPERS.md).
+//!   Each tenant gets a token-bucket rate limit, a payload *byte* budget
+//!   ([`TenantProfile::with_byte_rate`], shed as
+//!   [`ShedReason::ByteBudget`]), and an in-flight cap (shed early, at
+//!   the door), plus a [`wasp::HypercallMask`] *ceiling* intersected with
+//!   every spec policy: a tenant profile can only narrow what a virtine
+//!   may do, never widen it (the per-compartment resource budget framing
+//!   of the related capability-hardware literature, see PAPERS.md).
 //! * **Priority/deadline run queues with batched ticks** ([`Request`],
 //!   [`DispatcherConfig::tick`]) — generalizes §7.1's single-queue
 //!   serverless experiment. Admitted requests wait for their shard's next
@@ -91,14 +104,18 @@
 //! ```
 
 pub mod dispatcher;
+pub mod placement;
 pub mod shard;
 pub mod tenant;
+pub mod topology;
 
 pub use dispatcher::{
     BlockMode, Completion, Dispatcher, DispatcherConfig, DispatcherStats, Placement, Request,
 };
+pub use placement::{Candidate, CostEngine, PlacementEngine, WarmPolicy, WarmVerdict};
 pub use shard::{ShardSnapshot, ShardStats};
 pub use tenant::{ShedReason, TenantId, TenantProfile, TenantStats};
+pub use topology::{Hop, Topology};
 
 #[cfg(test)]
 mod tests {
@@ -1155,6 +1172,226 @@ init:
             d.stats().served + d.stats().shed(),
             "conservation across admission sheds"
         );
+    }
+
+    #[test]
+    fn byte_budget_sheds_fat_payloads_without_burning_request_tokens() {
+        let mut d = dispatcher(DispatcherConfig::default());
+        let id = d.register(halt_spec("t")).unwrap();
+        // 100 requests/s is generous; 64 bytes/s with a 64-byte burst is
+        // the binding constraint for fat payloads.
+        let tenant = d.add_tenant(
+            TenantProfile::new("metered")
+                .with_rate(100.0, 10.0)
+                .with_byte_rate(64.0, 64.0),
+        );
+        // A 48-byte payload admits; the next 48 bytes don't fit.
+        d.submit(Request::new(tenant, id, 0.0).with_args(vec![7u8; 48]))
+            .unwrap();
+        assert_eq!(
+            d.submit(Request::new(tenant, id, 0.0).with_args(vec![7u8; 48])),
+            Err(ShedReason::ByteBudget)
+        );
+        // Zero-byte requests ride through on the request bucket alone.
+        d.submit(Request::new(tenant, id, 0.0)).unwrap();
+        let s = d.tenant_stats(tenant);
+        assert_eq!(s.shed_byte_budget, 1);
+        assert_eq!(d.stats().shed_byte_budget, 1);
+        assert_eq!(s.shed(), 1);
+        // The byte shed burned no *request* tokens: 10-burst minus the
+        // two admissions leaves 8, and a refill later the fat payload
+        // fits again (bucket refilled 64 bytes over one second).
+        d.submit(Request::new(tenant, id, 1.0).with_args(vec![7u8; 48]))
+            .unwrap();
+        d.drain();
+        assert_eq!(d.tenant_stats(tenant).served, 3);
+        assert_eq!(d.tenant_stats(tenant).shed_rate_limit, 0);
+        assert_eq!(
+            d.stats().submitted,
+            d.stats().served + d.stats().shed(),
+            "conservation across byte sheds"
+        );
+        // Invocation payload bytes count too, not just args.
+        assert_eq!(
+            d.submit(
+                Request::new(tenant, id, 1.0)
+                    .with_invocation(Invocation::with_payload(vec![7u8; 60]))
+            ),
+            Err(ShedReason::ByteBudget)
+        );
+    }
+
+    #[test]
+    fn distance_biased_steals_drain_near_donors_first() {
+        // 2 sockets x 2 CCXs x 2 shards. Tenant 0 homes on shard 0
+        // (ByTenant); its six blocking-recv requests each park holding a
+        // shell, so every acquire must steal. Supply: 2 shells on the CCX
+        // sibling (shard 1), 1 each on the same-socket shards (2, 3), 2 on
+        // a cross-socket shard (4). Steals must drain 1, then 2 and 3,
+        // then 4 — never the far socket while a near shell is parked.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 8,
+            placement: Placement::ByTenant,
+            topology: Some(Topology::grouped(2, 2, 2)),
+            ..DispatcherConfig::default()
+        });
+        let blocked = d.register(blocking_recv_spec("b")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t").with_mask(HypercallMask::ALLOW_ALL));
+        d.prewarm_shard(1, MEM, 2);
+        d.prewarm_shard(2, MEM, 1);
+        d.prewarm_shard(3, MEM, 1);
+        d.prewarm_shard(4, MEM, 2);
+        for i in 0..6 {
+            let (_client, server) = conn_pair(&d, 100 + i as u16);
+            d.submit(
+                Request::new(tenant, blocked, i as f64 * 0.001)
+                    .with_invocation(Invocation::with_conn(server)),
+            )
+            .unwrap();
+            d.run_until(0.001 * (i + 1) as f64);
+        }
+        assert_eq!(d.parked(), 6, "every request parked holding a shell");
+        let s = d.stats();
+        assert_eq!(s.stolen, 6);
+        assert_eq!(
+            (s.stolen_same_ccx, s.stolen_cross_ccx, s.stolen_cross_socket),
+            (2, 2, 2),
+            "steals resolve near-first: {s:?}"
+        );
+        // Donor bookkeeping matches the ladder.
+        let snaps = d.shard_snapshots();
+        assert_eq!(snaps[1].stats.stolen_out, 2);
+        assert_eq!(snaps[2].stats.stolen_out, 1);
+        assert_eq!(snaps[3].stats.stolen_out, 1);
+        assert_eq!(snaps[4].stats.stolen_out, 2);
+        assert_eq!(snaps[0].stats.stolen_in, 6);
+    }
+
+    #[test]
+    fn resume_migration_lands_on_the_nearest_idle_sibling() {
+        // Grouped topology; the consumer parks on shard 0, whose queue
+        // then backs up. Every other shard is equally idle: the wake must
+        // migrate to shard 1 (same CCX), not an equally idle far shard.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 8,
+            placement: Placement::ByTenant,
+            topology: Some(Topology::grouped(2, 2, 2)),
+            ..DispatcherConfig::default()
+        });
+        let consumer = d.register(chan_recv_spec("c")).unwrap();
+        let filler = d.register(halt_spec("f")).unwrap();
+        let a = d.add_tenant(TenantProfile::new("a").with_mask(HypercallMask::ALLOW_ALL));
+        let chan = d.wasp().kernel().chan_open(64);
+        d.submit(
+            Request::new(a, consumer, 0.0)
+                .with_invocation(Invocation::default().with_chans(vec![chan])),
+        )
+        .unwrap();
+        d.run_until(0.001);
+        assert_eq!(d.shard_snapshots()[0].parked, 1);
+        for _ in 0..16 {
+            d.submit(Request::new(a, filler, 0.002)).unwrap();
+        }
+        d.wasp().kernel().chan_send(chan, b"go").unwrap();
+        d.run_until(0.0021);
+        d.drain();
+        let c = d
+            .completions()
+            .iter()
+            .find(|c| c.virtine == consumer)
+            .unwrap();
+        assert!(c.migrated);
+        assert_eq!(c.shard, 1, "nearest idle sibling, not any idle shard");
+        assert_eq!(d.shard_snapshots()[1].stats.migrated_in, 1);
+    }
+
+    #[test]
+    fn warm_tenant_quota_caps_residency_by_self_eviction() {
+        // Quota 2: tenant A's third distinct warm park demotes its own
+        // least-recently-parked shell; tenant B's single warm shell is
+        // never touched.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::SnapshotAware,
+            warm_tenant_quota: Some(2),
+            ..DispatcherConfig::default()
+        });
+        let v: Vec<_> = (0..3)
+            .map(|i| d.register(snap_spec(&format!("s{i}"))).unwrap())
+            .collect();
+        let a = d.add_tenant(TenantProfile::new("a"));
+        let b = d.add_tenant(TenantProfile::new("b"));
+        // Provisioned with clean shells so acquires never have to
+        // cannibalize warm state: residency is bounded by *policy* here,
+        // not by shell scarcity.
+        d.prewarm(MEM, 2);
+        d.submit(Request::new(b, v[0], 0.0)).unwrap();
+        d.drain();
+        assert_eq!(d.warm_resident_of(b), 1);
+        for (i, &virtine) in v.iter().enumerate() {
+            d.submit(Request::new(a, virtine, 0.01 * (i + 1) as f64))
+                .unwrap();
+            d.drain();
+            assert!(
+                d.warm_resident_of(a) <= 2,
+                "quota violated: {} resident",
+                d.warm_resident_of(a)
+            );
+        }
+        assert_eq!(d.warm_resident_of(a), 2, "A holds exactly its quota");
+        assert_eq!(d.warm_resident_of(b), 1, "B untouched by A's churn");
+        // A's oldest key (v[0]) was the self-evicted one: a repeat for
+        // v[2] still warm-hits, a repeat for v[0] must re-restore.
+        d.submit(Request::new(a, v[2], 1.0)).unwrap();
+        d.drain();
+        assert!(d.completions().last().unwrap().warm_hit);
+        d.submit(Request::new(a, v[0], 1.1)).unwrap();
+        d.drain();
+        assert!(!d.completions().last().unwrap().warm_hit);
+    }
+
+    #[test]
+    fn global_warm_budget_bounds_total_residency_across_shards() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 4,
+            placement: Placement::SnapshotAware,
+            warm_budget: Some(2),
+            ..DispatcherConfig::default()
+        });
+        let v: Vec<_> = (0..4)
+            .map(|i| d.register(snap_spec(&format!("s{i}"))).unwrap())
+            .collect();
+        let tenants: Vec<_> = (0..4)
+            .map(|i| d.add_tenant(TenantProfile::new(format!("t{i}"))))
+            .collect();
+        d.prewarm(MEM, 2);
+        for (i, (&t, &virtine)) in tenants.iter().zip(&v).enumerate() {
+            d.submit(Request::new(t, virtine, 0.01 * i as f64)).unwrap();
+            d.drain();
+            assert!(
+                d.warm_resident() <= 2,
+                "budget violated: {} resident",
+                d.warm_resident()
+            );
+        }
+        assert_eq!(d.warm_resident(), 2, "steady state pins the budget");
+        // The two most recently parked keys are the residents.
+        d.submit(Request::new(tenants[3], v[3], 1.0)).unwrap();
+        d.drain();
+        assert!(d.completions().last().unwrap().warm_hit);
+        d.submit(Request::new(tenants[0], v[0], 1.1)).unwrap();
+        d.drain();
+        assert!(!d.completions().last().unwrap().warm_hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology shard count must match")]
+    fn mismatched_topology_panics_at_construction() {
+        let _ = dispatcher(DispatcherConfig {
+            shards: 4,
+            topology: Some(Topology::grouped(2, 2, 2)),
+            ..DispatcherConfig::default()
+        });
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! clean-shell reuse, within a few percent of bare `vmrun` (Figure 8) —
 //! touches only shard-local state. Cross-shard traffic exists on exactly
 //! one path: work stealing, when a shard's clean list runs dry and a
-//! sibling has idle shells (see `dispatcher`).
+//! sibling has idle shells — the donor picked by the placement engine
+//! (near siblings first over the shard topology; see `crate::placement`
+//! and `crate::topology`), with the per-hop transfer cost charged by
+//! `dispatcher`.
 //!
 //! A run that blocks in `recv` (or a channel end) parks in the shard's
 //! parked set: batch ticks skip it, its shell rides inside the

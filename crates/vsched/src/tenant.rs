@@ -44,6 +44,11 @@ pub enum ShedReason {
     /// cost lands past it), so the request is shed at `submit` instead of
     /// wasting queue space on a guaranteed miss.
     DeadlineUnmeetable,
+    /// The tenant's *byte* bucket was empty: the request's payload bytes
+    /// (args plus invocation payload, counted at submit) exceeded its
+    /// sustained byte rate. Request and byte budgets are independent — a
+    /// tenant within its request rate can still be shed for fat payloads.
+    ByteBudget,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -53,6 +58,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::InFlightCap => write!(f, "in-flight cap reached"),
             ShedReason::DeadlineMissed => write!(f, "deadline missed"),
             ShedReason::DeadlineUnmeetable => write!(f, "deadline unmeetable at admission"),
+            ShedReason::ByteBudget => write!(f, "byte budget exhausted"),
         }
     }
 }
@@ -68,6 +74,14 @@ pub struct TenantProfile {
     /// Token-bucket capacity: the largest instantaneous burst admitted
     /// from a full bucket.
     pub burst: f64,
+    /// Sustained admission rate in payload *bytes* per virtual second
+    /// (request args plus invocation payload, counted at submit);
+    /// `f64::INFINITY` disables byte budgeting.
+    pub byte_rate_bps: f64,
+    /// Byte-bucket capacity: the largest single-instant payload volume
+    /// admitted from a full bucket. A request carrying more bytes than
+    /// this can never be admitted (shed with [`ShedReason::ByteBudget`]).
+    pub byte_burst: f64,
     /// Maximum requests this tenant may have queued or running at once.
     pub max_in_flight: usize,
     /// Hypercall ceiling, intersected with each spec's policy (§5.1
@@ -92,6 +106,8 @@ impl TenantProfile {
             name: name.into(),
             rate_rps: f64::INFINITY,
             burst: 1.0,
+            byte_rate_bps: f64::INFINITY,
+            byte_burst: 1.0,
             max_in_flight: usize::MAX,
             mask: HypercallMask::DENY_ALL,
             priority: 0,
@@ -104,6 +120,16 @@ impl TenantProfile {
         assert!(burst >= 1.0, "burst below one admits nothing");
         self.rate_rps = rate_rps;
         self.burst = burst;
+        self
+    }
+
+    /// Sets the payload-byte rate and burst capacity (builder style):
+    /// the byte-budget half of admission, beside the request-count
+    /// bucket of [`TenantProfile::with_rate`].
+    pub fn with_byte_rate(mut self, bytes_per_s: f64, burst_bytes: f64) -> TenantProfile {
+        assert!(burst_bytes > 0.0, "a zero byte burst admits no payload");
+        self.byte_rate_bps = bytes_per_s;
+        self.byte_burst = burst_bytes;
         self
     }
 
@@ -152,6 +178,9 @@ pub struct TenantStats {
     /// Requests shed at admission because the deadline was already
     /// unmeetable given the target shard's backlog.
     pub shed_deadline_unmeetable: u64,
+    /// Requests shed because the payload exceeded the tenant's byte
+    /// budget.
+    pub shed_byte_budget: u64,
     /// Served requests that ran on a shell stolen from a sibling shard.
     pub stolen_serves: u64,
     /// Served requests that hit a warm shell (delta re-arm).
@@ -174,6 +203,7 @@ impl TenantStats {
             + self.shed_in_flight
             + self.shed_deadline
             + self.shed_deadline_unmeetable
+            + self.shed_byte_budget
     }
 }
 
@@ -196,19 +226,37 @@ impl TokenBucket {
         }
     }
 
-    /// Refills up to `now` and tries to charge one token.
+    /// Refills up to `now` and tries to charge one token (the
+    /// one-bucket convenience over `can_admit` + `take`; production
+    /// admission checks the request and byte buckets jointly instead).
+    #[cfg(test)]
     pub(crate) fn admit(&mut self, now: Cycles) -> bool {
+        if !self.can_admit(now, 1.0) {
+            return false;
+        }
+        self.take(1.0);
+        true
+    }
+
+    /// Refills up to `now` and reports whether `cost` tokens are
+    /// available, without charging — `submit` checks the request and the
+    /// byte bucket jointly before charging either, so a request refused
+    /// by one bucket never burns tokens from the other.
+    pub(crate) fn can_admit(&mut self, now: Cycles, cost: f64) -> bool {
         if !self.rate_rps.is_finite() {
             return true;
         }
         let dt = now.saturating_sub(self.last_refill).as_secs();
         self.tokens = (self.tokens + dt * self.rate_rps).min(self.burst);
         self.last_refill = Cycles(self.last_refill.get().max(now.get()));
-        if self.tokens >= 1.0 {
-            self.tokens -= 1.0;
-            true
-        } else {
-            false
+        self.tokens >= cost
+    }
+
+    /// Charges `cost` tokens the caller just checked with
+    /// [`TokenBucket::can_admit`].
+    pub(crate) fn take(&mut self, cost: f64) {
+        if self.rate_rps.is_finite() {
+            self.tokens -= cost;
         }
     }
 }
@@ -218,15 +266,20 @@ impl TokenBucket {
 pub(crate) struct TenantState {
     pub(crate) profile: TenantProfile,
     pub(crate) bucket: TokenBucket,
+    /// The byte-budget bucket beside the request bucket: charged the
+    /// request's payload bytes at submit.
+    pub(crate) byte_bucket: TokenBucket,
     pub(crate) stats: TenantStats,
 }
 
 impl TenantState {
     pub(crate) fn new(profile: TenantProfile) -> TenantState {
         let bucket = TokenBucket::new(profile.rate_rps, profile.burst);
+        let byte_bucket = TokenBucket::new(profile.byte_rate_bps, profile.byte_burst);
         TenantState {
             profile,
             bucket,
+            byte_bucket,
             stats: TenantStats::default(),
         }
     }
@@ -267,6 +320,25 @@ mod tests {
     }
 
     #[test]
+    fn byte_costs_draw_down_the_bucket_without_charging_on_refusal() {
+        // 100 bytes/s, 64-byte burst: a 48-byte payload admits, the next
+        // 48-byte one doesn't — and the refusal must not charge.
+        let mut b = TokenBucket::new(100.0, 64.0);
+        let t0 = Cycles::ZERO;
+        assert!(b.can_admit(t0, 48.0));
+        b.take(48.0);
+        assert!(!b.can_admit(t0, 48.0));
+        assert!(b.can_admit(t0, 16.0), "refusal left the 16 bytes intact");
+        // 320 ms at 100 B/s refills 32 bytes: 48 fits again.
+        let t1 = Cycles::from_micros(320_000.0);
+        assert!(b.can_admit(t1, 48.0));
+        b.take(48.0);
+        // A payload above the burst can never be admitted.
+        let late = Cycles::from_micros(60_000_000.0);
+        assert!(!b.can_admit(late, 65.0));
+    }
+
+    #[test]
     fn shed_reason_displays() {
         assert_eq!(ShedReason::RateLimited.to_string(), "rate limited");
         assert_eq!(ShedReason::InFlightCap.to_string(), "in-flight cap reached");
@@ -275,5 +347,6 @@ mod tests {
             ShedReason::DeadlineUnmeetable.to_string(),
             "deadline unmeetable at admission"
         );
+        assert_eq!(ShedReason::ByteBudget.to_string(), "byte budget exhausted");
     }
 }

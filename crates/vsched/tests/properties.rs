@@ -2,7 +2,7 @@
 //! driven by the repository's seeded PRNG (no external crates).
 
 use vclock::rng::Rng;
-use vsched::{Dispatcher, DispatcherConfig, Placement, Request, TenantProfile};
+use vsched::{Dispatcher, DispatcherConfig, Hop, Placement, Request, TenantProfile, Topology};
 use wasp::{HypercallMask, VirtineSpec, Wasp};
 
 const MEM: usize = 64 * 1024;
@@ -706,6 +706,288 @@ fn migrated_resumes_charge_identical_cycles_and_wipe_on_kill() {
              wipe after a migrated kill"
         );
         assert_eq!(dc.tenant_stats(tc).in_flight, 0, "case {case}");
+    }
+}
+
+/// Distance-biased stealing picks the *nearest* donor — a same-CCX donor
+/// always beats a cross-socket one at equal load — and never weakens the
+/// wipe-on-steal isolation guarantee. Random grouped topologies, random
+/// donor-supply sets, random secrets: the thief's completion must always
+/// read zeroes, and the steal must land in the distance class of the
+/// nearest supplied shard.
+#[test]
+fn distance_biased_steals_pick_the_nearest_donor_and_never_leak() {
+    let mut rng = Rng::seeded(0xd157a4ce);
+    for case in 0..15 {
+        // 2..=8 shards over 1-2 sockets x 1-2 CCXs x 1-2 shards.
+        let (sockets, ccxs, per_ccx) = loop {
+            let dims = (rng.below(2) + 1, rng.below(2) + 1, rng.below(2) + 1);
+            if dims.0 * dims.1 * dims.2 >= 2 {
+                break dims;
+            }
+        };
+        let topology = Topology::grouped(sockets, ccxs, per_ccx);
+        let shards = topology.shards();
+        let addr = 0x4000 + 8 * rng.range_u64(0, 0x200);
+        let secret = rng.next_u64() | 1;
+
+        let mut d = Dispatcher::new(
+            Wasp::new_kvm_default(),
+            DispatcherConfig {
+                shards,
+                placement: Placement::ByTenant,
+                topology: Some(topology.clone()),
+                ..DispatcherConfig::default()
+            },
+        );
+        let writer_img = visa::assemble(&format!(
+            ".org 0x8000\n mov r1, {addr:#x}\n mov r2, {secret:#x}\n store.q [r1], r2\n hlt\n"
+        ))
+        .unwrap();
+        let writer = d
+            .register(VirtineSpec::new("writer", writer_img, MEM).with_snapshot(false))
+            .unwrap();
+        let reader_img = visa::assemble(&format!(
+            "
+.org 0x8000
+  mov r0, 10         ; return_data(addr, 8)
+  mov r1, {addr:#x}
+  mov r2, 8
+  out 0x1, r0
+  hlt
+"
+        ))
+        .unwrap();
+        let reader = d
+            .register(
+                VirtineSpec::new("reader", reader_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::RETURN_DATA]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        // One tenant per shard (ByTenant: tenant i homes on shard i).
+        let tenants: Vec<_> = (0..shards)
+            .map(|i| {
+                d.add_tenant(
+                    TenantProfile::new(format!("t{i}")).with_mask(HypercallMask::ALLOW_ALL),
+                )
+            })
+            .collect();
+
+        // Supply: a random non-empty set of shards (excluding the thief's
+        // home) each runs the secret-planting writer once, parking one
+        // wiped clean shell locally.
+        let thief_home = rng.below(shards);
+        let supply: Vec<usize> = (0..shards)
+            .filter(|&s| s != thief_home && rng.bool(0.6))
+            .collect();
+        if supply.is_empty() {
+            continue;
+        }
+        // Prewarm one shell per supply shard first, so each writer is a
+        // guaranteed *local* acquire (a dry writer shard would otherwise
+        // steal an earlier writer's parked shell and skew the supply).
+        for &s in &supply {
+            d.prewarm_shard(s, MEM, 1);
+        }
+        let mut t = 0.0;
+        for &s in &supply {
+            d.submit(Request::new(tenants[s], writer, t)).unwrap();
+            d.drain();
+            t += 0.01;
+        }
+        assert_eq!(d.stats().stolen, 0, "case {case}: planting stole");
+        for &s in &supply {
+            assert_eq!(d.shard_snapshots()[s].idle_shells, 1, "case {case}");
+        }
+
+        // The thief's home is dry: serving it must steal from the
+        // *nearest* supplied shard (lowest index within the class).
+        let expected_hop = supply
+            .iter()
+            .map(|&s| topology.hop(thief_home, s))
+            .min()
+            .unwrap();
+        let expected_donor = supply
+            .iter()
+            .copied()
+            .filter(|&s| topology.hop(thief_home, s) == expected_hop)
+            .min()
+            .unwrap();
+        d.submit(Request::new(tenants[thief_home], reader, t + 0.01))
+            .unwrap();
+        d.drain();
+        let c = d.completions().last().unwrap();
+        assert!(c.stolen_shell, "case {case}: steal did not happen");
+        assert_eq!(c.shard, thief_home, "case {case}");
+        assert_eq!(
+            c.result,
+            vec![0u8; 8],
+            "case {case}: secret {secret:#x} at {addr:#x} leaked through a \
+             distance-biased steal"
+        );
+        let s = d.stats();
+        let by_class = (s.stolen_same_ccx, s.stolen_cross_ccx, s.stolen_cross_socket);
+        let expected_class = match expected_hop {
+            Hop::SameCcx => (1, 0, 0),
+            Hop::SameSocket => (0, 1, 0),
+            Hop::CrossSocket => (0, 0, 1),
+            Hop::Local => unreachable!("supply excludes the thief"),
+        };
+        assert_eq!(
+            by_class, expected_class,
+            "case {case}: steal crossed a farther hop than the nearest \
+             donor ({expected_hop:?}) required"
+        );
+        assert_eq!(
+            d.shard_snapshots()[expected_donor].stats.stolen_out,
+            1,
+            "case {case}: donor must be the nearest supplied shard \
+             {expected_donor} (home {thief_home}, supply {supply:?})"
+        );
+        assert_eq!(s.stolen, 1, "case {case}");
+    }
+}
+
+/// Per-tenant warm quotas and the global warm budget hold across shards
+/// under an arbitrary steal/demote/migrate mix: random topologies, shell
+/// scarcity (steal and demote pressure), parked-and-woken consumers
+/// (resume-time migration), and random snapshotted request streams never
+/// push any tenant above its quota or the platform above its budget.
+#[test]
+fn warm_quota_and_budget_hold_under_steal_demote_migrate_mix() {
+    let mut rng = Rng::seeded(0x40a7a);
+    for case in 0..10 {
+        let (sockets, ccxs, per_ccx) = loop {
+            let dims = (rng.below(2) + 1, rng.below(2) + 1, rng.below(2) + 1);
+            if dims.0 * dims.1 * dims.2 >= 2 {
+                break dims;
+            }
+        };
+        let topology = Topology::grouped(sockets, ccxs, per_ccx);
+        let shards = topology.shards();
+        let quota = rng.below(2) + 1;
+        let n_tenants = rng.below(2) + 2;
+        let budget = quota + rng.below(quota * (n_tenants - 1) + 1);
+        let placement = match rng.below(3) {
+            0 => Placement::SnapshotAware,
+            1 => Placement::LeastLoaded,
+            _ => Placement::ByTenant,
+        };
+
+        let mut d = Dispatcher::new(
+            Wasp::new_kvm_default(),
+            DispatcherConfig {
+                shards,
+                placement,
+                topology: Some(topology),
+                warm_budget: Some(budget),
+                warm_tenant_quota: Some(quota),
+                ..DispatcherConfig::default()
+            },
+        );
+        // Snapshotted worker: init, snapshot, a little post-snapshot work.
+        let snap_img = visa::assemble(
+            "
+.org 0x8000
+  mov r1, 0x7000
+  mov r2, 41
+  store.q [r1], r2
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  load.q r0, [r1]
+  hlt
+",
+        )
+        .unwrap();
+        // Chan consumer: parks on an empty channel, completes on a send.
+        let chan_img = visa::assemble(
+            "
+.org 0x8000
+  mov r0, 13           ; chan_recv
+  mov r1, 0
+  mov r2, 0x4000
+  mov r3, 64
+  mov r4, 0
+  out 0x1, r0
+  hlt
+",
+        )
+        .unwrap();
+        let consumer = d
+            .register(
+                VirtineSpec::new("consumer", chan_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::CHAN_RECV]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let tenants: Vec<_> = (0..n_tenants)
+            .map(|i| {
+                let virtines: Vec<_> = (0..rng.below(2) + 2)
+                    .map(|v| {
+                        d.register(VirtineSpec::new(format!("t{i}v{v}"), snap_img.clone(), MEM))
+                            .unwrap()
+                    })
+                    .collect();
+                let t = d.add_tenant(
+                    TenantProfile::new(format!("t{i}")).with_mask(HypercallMask::ALLOW_ALL),
+                );
+                (t, virtines)
+            })
+            .collect();
+        // Scarce prewarm: 0-1 shells per shard, so acquires exert steal
+        // and warm-demote pressure against the quota machinery.
+        d.prewarm(MEM, rng.below(2));
+
+        let check = |d: &Dispatcher, at: &str| {
+            let total: usize = d.warm_resident();
+            assert!(
+                total <= budget,
+                "case {case} {at}: {total} warm resident > budget {budget}"
+            );
+            for (t, _) in &tenants {
+                let r = d.warm_resident_of(*t);
+                assert!(
+                    r <= quota,
+                    "case {case} {at}: tenant {} holds {r} > quota {quota}",
+                    t.index()
+                );
+            }
+        };
+
+        // Park a consumer mid-stream, skew its home shard, wake it: the
+        // resume migrates while warm parks keep landing.
+        let chan = d.wasp().kernel().chan_open(64);
+        d.submit(
+            Request::new(tenants[0].0, consumer, 0.0)
+                .with_invocation(wasp::Invocation::default().with_chans(vec![chan])),
+        )
+        .unwrap();
+        d.run_until(0.001);
+
+        let mut t = 0.002;
+        let n = rng.below(30) + 15;
+        for i in 0..n {
+            let (tenant, virtines) = &tenants[rng.below(n_tenants)];
+            let virtine = virtines[rng.below(virtines.len())];
+            d.submit(Request::new(*tenant, virtine, t).with_args(vec![i as u8]))
+                .unwrap();
+            if rng.bool(0.3) {
+                d.drain();
+                check(&d, "mid-stream");
+            }
+            t += rng.range_f64(0.0, 0.002);
+        }
+        d.wasp().kernel().chan_send(chan, b"wake").unwrap();
+        d.run_until(t + 0.001);
+        d.drain();
+        check(&d, "after drain");
+
+        let s = d.stats();
+        assert_eq!(s.submitted, s.served + s.shed(), "case {case}");
+        for (tenant, _) in &tenants {
+            assert_eq!(d.tenant_stats(*tenant).in_flight, 0, "case {case}");
+        }
     }
 }
 

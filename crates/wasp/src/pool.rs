@@ -61,6 +61,7 @@
 //! no-information-leakage guarantee is preserved across tenants, virtines,
 //! and shards.
 
+use std::cmp::Reverse;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -116,6 +117,11 @@ struct WarmShell {
     /// `Rc` identity on re-acquire so a re-registered or invalidated
     /// snapshot can never be delta-restored against stale state.
     snap: Rc<VmSnapshot>,
+    /// Park-order stamp for LRU decisions. Pool-local parks use the
+    /// pool's own counter; a dispatcher spanning many pools passes a
+    /// shared counter ([`Pool::release_warm_stamped`]) so "least recently
+    /// parked" is comparable *across* shard pools.
+    stamp: u64,
 }
 
 /// The pool itself. Shells are segregated by guest-memory size: a shell's
@@ -130,6 +136,8 @@ pub struct Pool {
     /// resident, so the cache is memory-bounded by design).
     warm: Vec<WarmShell>,
     warm_capacity: usize,
+    /// Pool-local park-order counter (see [`WarmShell::stamp`]).
+    warm_seq: u64,
     stats: PoolStats,
     /// Reset vector shells are parked at.
     entry: u64,
@@ -148,6 +156,7 @@ impl Pool {
             clean: HashMap::new(),
             warm: Vec::new(),
             warm_capacity: DEFAULT_WARM_CAPACITY,
+            warm_seq: 0,
             stats: PoolStats::default(),
             entry,
         }
@@ -204,6 +213,45 @@ impl Pool {
         self.warm
             .iter()
             .any(|w| w.tenant == tenant && w.virtine == virtine)
+    }
+
+    /// Number of warm shells a tenant has parked in this pool — summed
+    /// across pools by the dispatcher to enforce cross-shard warm quotas.
+    pub fn warm_shells_of_tenant(&self, tenant: u64) -> usize {
+        self.warm.iter().filter(|w| w.tenant == tenant).count()
+    }
+
+    /// Park-order stamp of the least-recently-parked warm shell,
+    /// optionally restricted to one tenant. Cross-pool comparable when
+    /// every park went through [`Pool::release_warm_stamped`] with a
+    /// shared counter.
+    pub fn oldest_warm_stamp(&self, tenant: Option<u64>) -> Option<u64> {
+        self.warm
+            .iter()
+            .filter(|w| tenant.is_none_or(|t| w.tenant == t))
+            .map(|w| w.stamp)
+            .min()
+    }
+
+    /// Demotes the least-recently-parked warm shell (optionally of one
+    /// tenant) into this pool's clean list: full wipe per the pool's
+    /// cleaning mode, off the request path like an LRU eviction. Returns
+    /// whether a shell was demoted. This is the enforcement half of the
+    /// cross-shard warm budget/quota policy.
+    pub fn demote_oldest_warm(&mut self, tenant: Option<u64>) -> bool {
+        let Some(i) = self
+            .warm
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| tenant.is_none_or(|t| w.tenant == t))
+            .min_by_key(|(_, w)| w.stamp)
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        let victim = self.warm.remove(i);
+        self.demote(victim.vm);
+        true
     }
 
     /// Acquires a shell with `mem_size` bytes of guest memory, reusing a
@@ -279,6 +327,23 @@ impl Pool {
     /// an intact dirty log (`Wasp` guarantees this via `RunOutcome`'s warm
     /// state token).
     pub fn release_warm(&mut self, vm: VmFd, tenant: u64, virtine: usize, snap: Rc<VmSnapshot>) {
+        let stamp = self.warm_seq;
+        self.warm_seq += 1;
+        self.release_warm_stamped(vm, tenant, virtine, snap, stamp);
+    }
+
+    /// [`Pool::release_warm`] with an explicit park-order stamp. A
+    /// dispatcher spanning many pools threads one shared counter through
+    /// every park so LRU comparisons ([`Pool::oldest_warm_stamp`]) are
+    /// meaningful across shards; stamps must be non-decreasing per pool.
+    pub fn release_warm_stamped(
+        &mut self,
+        vm: VmFd,
+        tenant: u64,
+        virtine: usize,
+        snap: Rc<VmSnapshot>,
+        stamp: u64,
+    ) {
         if self.mode == PoolMode::Disabled {
             return; // Dropped, like any other release under Disabled.
         }
@@ -293,10 +358,10 @@ impl Pool {
             virtine,
             vm,
             snap,
+            stamp,
         });
         if self.warm.len() > self.warm_capacity {
-            let victim = self.warm.remove(0);
-            self.demote(victim.vm);
+            self.demote_oldest_warm(None);
         }
     }
 
@@ -306,7 +371,60 @@ impl Pool {
     /// then hands the now-clean shell over. Mirrors [`Pool::take_idle`]:
     /// the caller accounts for the reuse.
     pub fn take_warm_victim(&mut self, mem_size: usize) -> Option<VmFd> {
-        let i = self.warm.iter().position(|w| w.vm.mem_size() == mem_size)?;
+        let i = self
+            .warm
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.vm.mem_size() == mem_size)
+            .min_by_key(|(_, w)| w.stamp)
+            .map(|(i, _)| i)?;
+        let victim = self.warm.remove(i);
+        victim.vm.clean(self.entry);
+        self.stats.warm_demoted += 1;
+        Some(victim.vm)
+    }
+
+    /// Picks the tenant whose warm shell should be sacrificed when a
+    /// demotion of `mem_size` bytes is unavoidable: the requesting tenant
+    /// itself when it has one parked (a tenant's own churn costs only
+    /// itself), otherwise the tenant holding the *most* warm shells of
+    /// the size (ties broken toward the staler set) — so a demote-steal
+    /// thins the biggest hoard instead of wiping out a minority tenant's
+    /// entire warm set. Returns `None` when no warm shell of the size is
+    /// parked.
+    pub fn warm_victim_tenant(&self, mem_size: usize, prefer: u64) -> Option<u64> {
+        let eligible = |w: &&WarmShell| w.vm.mem_size() == mem_size;
+        if self
+            .warm
+            .iter()
+            .filter(eligible)
+            .any(|w| w.tenant == prefer)
+        {
+            return Some(prefer);
+        }
+        let mut counts: HashMap<u64, (usize, u64)> = HashMap::new();
+        for w in self.warm.iter().filter(eligible) {
+            let e = counts.entry(w.tenant).or_insert((0, u64::MAX));
+            e.0 += 1;
+            e.1 = e.1.min(w.stamp);
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(tenant, (count, oldest))| (count, Reverse(oldest), Reverse(tenant)))
+            .map(|(tenant, _)| tenant)
+    }
+
+    /// [`Pool::take_warm_victim`] restricted to one tenant's warm shells
+    /// — the demote-steal path pairs it with [`Pool::warm_victim_tenant`]
+    /// so victim selection respects tenant fairness.
+    pub fn take_warm_victim_of(&mut self, tenant: u64, mem_size: usize) -> Option<VmFd> {
+        let i = self
+            .warm
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.tenant == tenant && w.vm.mem_size() == mem_size)
+            .min_by_key(|(_, w)| w.stamp)
+            .map(|(i, _)| i)?;
         let victim = self.warm.remove(i);
         victim.vm.clean(self.entry);
         self.stats.warm_demoted += 1;
@@ -553,6 +671,65 @@ mod tests {
         assert!(reused);
         assert!(vm.read_guest(0x100, 6).unwrap().iter().all(|&b| b == 0));
         drop(snap);
+    }
+
+    #[test]
+    fn warm_victim_selection_prefers_the_requester_then_the_biggest_hoard() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::CachedAsync, ENTRY);
+        // Tenant 5 hoards three warm shells; tenant 9 parks one.
+        for virtine in 0..3 {
+            let (vm, _) = pool.acquire(&hv, MEM);
+            let snap = std::rc::Rc::new(vm.snapshot());
+            pool.release_warm(vm, 5, virtine, snap);
+        }
+        let (vm, _) = pool.acquire(&hv, MEM);
+        let snap = std::rc::Rc::new(vm.snapshot());
+        pool.release_warm(vm, 9, 0, snap);
+
+        // A requester with its own shell parked sacrifices itself...
+        assert_eq!(pool.warm_victim_tenant(MEM, 9), Some(9));
+        // ...anyone else thins the hoard, never tenant 9's only shell.
+        assert_eq!(pool.warm_victim_tenant(MEM, 7), Some(5));
+        assert_eq!(pool.warm_victim_tenant(2 * MEM, 7), None, "size gated");
+        let vm = pool.take_warm_victim_of(5, MEM).expect("victim");
+        assert_eq!(vm.mem_size(), MEM);
+        assert_eq!(pool.warm_shells_of_tenant(5), 2);
+        assert_eq!(pool.warm_shells_of_tenant(9), 1);
+        assert!(pool.take_warm_victim_of(3, MEM).is_none(), "tenant gated");
+    }
+
+    #[test]
+    fn stamped_parks_drive_cross_pool_lru_demotion() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::CachedAsync, ENTRY);
+        // Shared-counter stamps arrive out of pool-local order of nothing:
+        // park (tenant, virtine, stamp) = (1,0,10), (2,0,11), (1,1,12).
+        for (tenant, virtine, stamp) in [(1, 0, 10), (2, 0, 11), (1, 1, 12)] {
+            let (vm, _) = pool.acquire(&hv, MEM);
+            vm.write_guest(0x100, b"warm state").unwrap();
+            let snap = std::rc::Rc::new(vm.snapshot());
+            pool.release_warm_stamped(vm, tenant, virtine, snap, stamp);
+        }
+        assert_eq!(pool.oldest_warm_stamp(None), Some(10));
+        assert_eq!(pool.oldest_warm_stamp(Some(1)), Some(10));
+        assert_eq!(pool.oldest_warm_stamp(Some(2)), Some(11));
+        assert_eq!(pool.oldest_warm_stamp(Some(3)), None);
+
+        // Demote tenant 1's LRU: (1,0) goes, (1,1) stays warm.
+        assert!(pool.demote_oldest_warm(Some(1)));
+        assert!(!pool.has_warm(1, 0) && pool.has_warm(1, 1));
+        assert_eq!(pool.oldest_warm_stamp(Some(1)), Some(12));
+        assert_eq!(pool.idle_shells_of(MEM), 1, "demoted into clean");
+        assert_eq!(pool.stats().warm_demoted, 1);
+        // Global LRU is now tenant 2's shell.
+        assert!(pool.demote_oldest_warm(None));
+        assert!(!pool.has_warm(2, 0));
+        assert!(!pool.demote_oldest_warm(Some(3)), "nothing of tenant 3");
+        // Demoted shells come back clean.
+        let (vm, reused) = pool.acquire(&hv, MEM);
+        assert!(reused);
+        assert!(vm.read_guest(0x100, 10).unwrap().iter().all(|&b| b == 0));
     }
 
     #[test]
