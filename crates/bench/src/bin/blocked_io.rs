@@ -26,7 +26,6 @@
 
 use std::fmt::Write as _;
 
-use vclock::stats;
 use vhttp::dispatch::DispatchedServer;
 use vsched::BlockMode;
 
@@ -140,19 +139,20 @@ fn run(label: &'static str, block: BlockMode, with_slow: bool) -> RunResultRow {
     let expected = FAST_REQUESTS as u64 + if with_slow { SLOW_CLIENTS as u64 } else { 0 };
     assert_eq!(run.served, expected, "{label}: every request must complete");
 
-    let to_ms = |xs: &[f64], p: f64| stats::percentile(xs, p) * 1e3;
+    // Percentiles come off the shared cycle histogram (the same bucketing
+    // `/metrics` exports), not ad-hoc sorted-slice math.
     let fast_lat: Vec<f64> = fast
         .iter()
         .flat_map(|t| run.latencies_by_tenant[t.index()].iter().copied())
         .collect();
-    let fast_lat = &fast_lat;
-    let slow_lat = &run.latencies_by_tenant[slow.index()];
+    let fast_h = bench::latency_histogram(&fast_lat);
+    let slow_h = bench::latency_histogram(&run.latencies_by_tenant[slow.index()]);
     RunResultRow {
         label,
-        fast_p50_ms: to_ms(fast_lat, 50.0),
-        fast_p99_ms: to_ms(fast_lat, 99.0),
+        fast_p50_ms: bench::hist_percentile_ms(&fast_h, 50.0),
+        fast_p99_ms: bench::hist_percentile_ms(&fast_h, 99.0),
         slow_p99_ms: if with_slow {
-            to_ms(slow_lat, 99.0)
+            bench::hist_percentile_ms(&slow_h, 99.0)
         } else {
             0.0
         },

@@ -23,7 +23,6 @@
 
 use std::fmt::Write as _;
 
-use vclock::stats;
 use vsched::{Dispatcher, DispatcherConfig, Placement, Request, TenantProfile};
 use wasp::{HypercallMask, Invocation, VirtineSpec, Wasp};
 
@@ -217,11 +216,14 @@ fn run_pipeline() -> PipelineResult {
         .map(vsched::Completion::latency)
         .collect();
     let s = d.stats();
+    // Shared cycle histogram (the /metrics bucketing), not ad-hoc math.
+    let stage_h = bench::latency_histogram(&stage_lat);
+    let e2e_h = bench::latency_histogram(&e2e_lat);
     PipelineResult {
-        stage_p50_ms: stats::percentile(&stage_lat, 50.0) * 1e3,
-        stage_p99_ms: stats::percentile(&stage_lat, 99.0) * 1e3,
-        e2e_p50_ms: stats::percentile(&e2e_lat, 50.0) * 1e3,
-        e2e_p99_ms: stats::percentile(&e2e_lat, 99.0) * 1e3,
+        stage_p50_ms: bench::hist_percentile_ms(&stage_h, 50.0),
+        stage_p99_ms: bench::hist_percentile_ms(&stage_h, 99.0),
+        e2e_p50_ms: bench::hist_percentile_ms(&e2e_h, 50.0),
+        e2e_p99_ms: bench::hist_percentile_ms(&e2e_h, 99.0),
         served: s.served,
         blocked: s.blocked,
         resumed: s.resumed,

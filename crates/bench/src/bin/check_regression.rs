@@ -234,6 +234,33 @@ fn main() {
         num(&cur, "skew.migrations", "current"),
     );
 
+    // -- slo_observe --------------------------------------------------------
+    let base = load_baseline("slo_observe");
+    let cur = load("BENCH_slo_observe.json");
+    gate.lower(
+        "slo_observe: page alert_fire_cycles after budget slash",
+        num(&base, "alert_fire_cycles", "baseline"),
+        num(&cur, "alert_fire_cycles", "current"),
+    );
+    gate.exact(
+        "slo_observe: page alert clears after recovery",
+        1.0,
+        num(&cur, "alert_cleared", "current"),
+    );
+    // Tracing must stay off the served-latency critical path: the
+    // ablation overhead is a correctness claim (spans charge the global
+    // clock, never the worker timeline), gated exactly at zero.
+    gate.exact(
+        "slo_observe: tracing overhead_pct on served e2e",
+        num(&base, "overhead_pct", "baseline"),
+        num(&cur, "overhead_pct", "current"),
+    );
+    gate.lower(
+        "slo_observe: healthy-phase warm p90 (µs)",
+        num(&base, "warm_p90_us", "baseline"),
+        num(&cur, "warm_p90_us", "current"),
+    );
+
     println!("#");
     if gate.failures > 0 {
         println!(

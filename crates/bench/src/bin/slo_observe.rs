@@ -1,0 +1,314 @@
+//! SLO-grade observability end-to-end: tracing, histograms, and
+//! multiwindow burn-rate alerting over a degradation the operator
+//! injects and then repairs.
+//!
+//! The Figure 15-style serverless mix (snapshotted functions served by
+//! warm delta re-arms) runs healthy, then the warm budget is slashed to
+//! zero mid-run — every invocation falls back to a cold create and
+//! end-to-end latency jumps past the declared p99 threshold. The SLO
+//! engine's fast (5-min-equivalent) and slow (1-hr-equivalent) windows,
+//! scaled into virtual time, must both saturate and fire the *page*
+//! alert within a bounded number of virtual cycles; restoring the budget
+//! must clear it. A second, untraced run of the identical workload pins
+//! the tracing ablation: span capture charges deterministic
+//! `VTRACE_SPAN` cycles, and the total served-latency overhead must stay
+//! under 3%.
+//!
+//! Acceptance:
+//! * the page alert fires after the degradation, within
+//!   `FIRE_BOUND_CYCLES` of virtual time, and clears after recovery;
+//! * the availability SLO stays quiet (nothing is shed — this is a
+//!   latency regression, and the alert taxonomy must say so);
+//! * `/metrics` text carries `vslo_alert{slo="e2e_p99",severity="page"} 1`
+//!   at the degraded steady state;
+//! * tracing-on vs tracing-off end-to-end overhead < 3%.
+//!
+//! Writes `BENCH_slo_observe.json` for the CI gate and
+//! `TRACE_slo_observe.jsonl` (the traced run's span trees) as a CI
+//! artifact.
+
+use std::fmt::Write as _;
+
+use vclock::Cycles;
+use vsched::{Dispatcher, DispatcherConfig, Placement, Request, TenantProfile};
+use vtrace::slo::{BurnPolicy, Severity, SloEngine, SloSpec};
+use wasp::{VirtineSpec, Wasp};
+
+const MEM: usize = 64 * 1024;
+const SHARDS: usize = 4;
+const FNS: usize = 2;
+
+/// Steady cadence: one request per function every 100 µs of virtual time.
+const CADENCE_S: f64 = 0.0001;
+
+/// Rounds before the budget slash, between slash and restore, and after.
+const HEALTHY_ROUNDS: usize = 40;
+const DEGRADED_ROUNDS: usize = 40;
+const RECOVERED_ROUNDS: usize = 60;
+
+/// The end-to-end objective threshold: steady-state warm delta re-arms
+/// land at 1.9-3.8 µs, clean re-arms at 6.2 µs — 5 µs splits them.
+const E2E_THRESHOLD_US: f64 = 5.0;
+
+/// The page alert must fire within this much virtual time of the
+/// degradation (about 1.5 ms: enough bad events to saturate both
+/// windows at the request cadence).
+const FIRE_BOUND_CYCLES: u64 = 6_000_000;
+
+/// The §5.2 snapshotted function: modest init footprint, one-page
+/// per-invocation dirt, so a warm hit is a cheap delta re-arm and a
+/// cold create pays the full fill loop.
+fn snap_image() -> visa::asm::Image {
+    visa::assemble(
+        "
+.org 0x8000
+  mov r1, 0xA000
+  mov r2, 0
+fill:
+  store.q [r1], r2
+  add r1, 8
+  add r2, 1
+  cmp r2, 512
+  jl fill
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  mov r6, 0xC000
+  store.q [r6], r2
+  hlt
+",
+    )
+    .expect("assemble")
+}
+
+struct RunOut {
+    served: u64,
+    warm_hits: u64,
+    /// Sum of end-to-end cycles across served requests (the ablation
+    /// metric: deterministic in virtual time).
+    e2e_sum_cycles: u64,
+    /// Virtual cycles from the budget slash to the page alert firing.
+    alert_fire_cycles: u64,
+    /// 1 when the page alert cleared after the budget was restored.
+    alert_cleared: u64,
+    /// Availability alert transitions (must stay zero: nothing is shed).
+    availability_events: u64,
+    /// Healthy-phase p90 off the dispatcher's own e2e histogram (the
+    /// p99 of the small healthy sample is its first cold starts; p90 is
+    /// the steady state the objective is set against).
+    warm_p90_us: f64,
+    degraded_metrics: String,
+    trace_lines: String,
+    spans: u64,
+}
+
+fn run(traced: bool) -> RunOut {
+    let mut d = Dispatcher::new(
+        Wasp::new_kvm_default(),
+        DispatcherConfig {
+            shards: SHARDS,
+            placement: Placement::SnapshotAware,
+            warm_capacity: 4,
+            tick: Cycles::from_micros(5.0),
+            ..DispatcherConfig::default()
+        },
+    );
+    let tenant = d.add_tenant(TenantProfile::new("app"));
+    let fns: Vec<_> = (0..FNS)
+        .map(|i| {
+            d.register(VirtineSpec::new(format!("fn{i}"), snap_image(), MEM))
+                .expect("register")
+        })
+        .collect();
+    // Provisioned clean shells: an acquire never has to steal a sibling's
+    // warm shell, so the healthy phase genuinely runs on delta re-arms.
+    d.prewarm(MEM, 2);
+    if traced {
+        d.enable_tracing(4096);
+    }
+
+    // Warm-up: establish each function's snapshot before the SLO clock
+    // starts, so the healthy phase measures the steady state.
+    let mut t = 0.0;
+    for &f in &fns {
+        t += CADENCE_S;
+        d.submit(Request::new(tenant, f, t)).expect("admit");
+    }
+    d.run_until(t + 0.001);
+
+    // Virtual-time windows: the SRE workbook's 5-min/1-hr pair scaled so
+    // the fast window holds ~4 rounds and the slow window ~24 rounds of
+    // events at the request cadence.
+    d.set_slo(SloEngine::new(
+        vec![
+            SloSpec::latency("e2e_p99", 0.99, Cycles::from_micros(E2E_THRESHOLD_US)),
+            SloSpec::availability("availability", 0.999),
+        ],
+        BurnPolicy {
+            fast_window: Cycles::from_micros(800.0),
+            slow_window: Cycles::from_micros(4800.0),
+            ..BurnPolicy::default()
+        },
+    ));
+
+    let mut degrade_at = Cycles(0);
+    let mut recovered_at = Cycles(0);
+    let mut degraded_metrics = String::new();
+    let mut warm_phase = vclock::stats::Histogram::new();
+    let rounds = HEALTHY_ROUNDS + DEGRADED_ROUNDS + RECOVERED_ROUNDS;
+    for round in 0..rounds {
+        if round == HEALTHY_ROUNDS {
+            // The injected incident: no warm shells anywhere, every
+            // invocation cold-creates.
+            degrade_at = Cycles::from_micros(t * 1e6);
+            d.set_warm_budget(Some(0), Some(0));
+            warm_phase = d.e2e_hist().clone();
+        }
+        if round == HEALTHY_ROUNDS + DEGRADED_ROUNDS {
+            recovered_at = Cycles::from_micros(t * 1e6);
+            d.set_warm_budget(None, None);
+        }
+        for &f in &fns {
+            t += CADENCE_S;
+            d.submit(Request::new(tenant, f, t)).expect("admit");
+        }
+        d.run_until(t);
+        d.slo_tick();
+        if round == HEALTHY_ROUNDS + DEGRADED_ROUNDS - 1 {
+            // Degraded steady state: the scrape must show the page firing.
+            degraded_metrics = vhttp::dispatch::prometheus_text(&d);
+        }
+    }
+    d.drain();
+    d.slo_tick();
+
+    let log = d.slo().expect("slo engine").alert_log();
+    let fire = log
+        .iter()
+        .find(|ev| {
+            ev.slo == "e2e_p99" && ev.fired && ev.severity == Severity::Page && ev.at >= degrade_at
+        })
+        .unwrap_or_else(|| panic!("page alert never fired; log: {log:?}"));
+    let cleared = log.iter().any(|ev| {
+        ev.slo == "e2e_p99" && !ev.fired && ev.severity == Severity::Page && ev.at >= recovered_at
+    });
+    let availability_events = log.iter().filter(|ev| ev.slo == "availability").count() as u64;
+
+    let s = d.stats();
+    RunOut {
+        served: s.served,
+        warm_hits: s.warm_hits,
+        e2e_sum_cycles: d.e2e_hist().sum(),
+        alert_fire_cycles: fire.at.saturating_sub(degrade_at).get(),
+        alert_cleared: cleared as u64,
+        availability_events,
+        warm_p90_us: Cycles(warm_phase.quantile(0.9)).as_micros(),
+        degraded_metrics,
+        trace_lines: d.trace_json_lines(None, 10_000),
+        spans: d.trace().spans_recorded(),
+    }
+}
+
+fn main() {
+    bench::header(
+        "SLO observability: burn-rate paging over an injected warm-budget incident",
+        "multiwindow burn-rate alerts page within bounded virtual time of a \
+         latency regression and clear after recovery; span tracing costs \
+         <3% end-to-end",
+    );
+    println!(
+        "# {FNS} snapshotted fns at {:.0} µs cadence on {SHARDS} shards; \
+         p99 objective {E2E_THRESHOLD_US} µs; {HEALTHY_ROUNDS} healthy / \
+         {DEGRADED_ROUNDS} degraded / {RECOVERED_ROUNDS} recovered rounds",
+        CADENCE_S * 1e6
+    );
+
+    let traced = run(true);
+    let untraced = run(false);
+
+    let overhead_pct = 100.0 * (traced.e2e_sum_cycles as f64 - untraced.e2e_sum_cycles as f64)
+        / untraced.e2e_sum_cycles as f64;
+    let fire_ms = Cycles(traced.alert_fire_cycles).as_millis();
+    println!(
+        "{:<22} | {:>6} {:>10} {:>14} {:>12} {:>8}",
+        "run", "served", "warm-hits", "e2e-sum(cyc)", "fire(cyc)", "cleared"
+    );
+    for (label, r) in [("traced", &traced), ("untraced", &untraced)] {
+        println!(
+            "{label:<22} | {:>6} {:>10} {:>14} {:>12} {:>8}",
+            r.served, r.warm_hits, r.e2e_sum_cycles, r.alert_fire_cycles, r.alert_cleared
+        );
+    }
+    println!("#");
+    println!(
+        "# warm-phase p90 {:.2} µs vs {E2E_THRESHOLD_US} µs objective; page fired {:.3} ms \
+         after the budget slash ({} spans, tracing overhead {overhead_pct:+.3}%)",
+        traced.warm_p90_us, fire_ms, traced.spans
+    );
+
+    // Acceptance.
+    assert!(
+        traced.warm_p90_us < E2E_THRESHOLD_US,
+        "healthy steady state must meet the objective (p90 {:.2} µs)",
+        traced.warm_p90_us
+    );
+    for r in [&traced, &untraced] {
+        assert!(
+            r.alert_fire_cycles <= FIRE_BOUND_CYCLES,
+            "page alert took {} cycles (> {FIRE_BOUND_CYCLES}) to fire",
+            r.alert_fire_cycles
+        );
+        assert_eq!(r.alert_cleared, 1, "page alert must clear after recovery");
+        assert_eq!(
+            r.availability_events, 0,
+            "nothing was shed; the availability SLO must stay quiet"
+        );
+    }
+    assert!(
+        overhead_pct.abs() < 3.0,
+        "tracing overhead {overhead_pct:.3}% breaches the 3% ablation bound"
+    );
+    assert!(
+        traced
+            .degraded_metrics
+            .lines()
+            .any(|l| l == "vslo_alert{slo=\"e2e_p99\",severity=\"page\"} 1"),
+        "degraded /metrics must export the firing page alert:\n{}",
+        traced.degraded_metrics
+    );
+    assert!(
+        traced
+            .degraded_metrics
+            .lines()
+            .any(|l| l == "vslo_alert{slo=\"availability\",severity=\"page\"} 0"),
+        "availability page gauge must read 0"
+    );
+    assert!(traced.spans > 0 && !traced.trace_lines.is_empty());
+    assert_eq!(
+        untraced.spans, 0,
+        "the untraced run must record nothing (zero-cost when disabled)"
+    );
+
+    // Artifacts: the gated numbers and the span trees.
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"alert_fire_cycles\": {},\n  \"alert_cleared\": {},\n  \
+         \"overhead_pct\": {:.6},\n  \"served\": {},\n  \"spans\": {},\n  \
+         \"warm_p90_us\": {:.4},",
+        traced.alert_fire_cycles,
+        traced.alert_cleared,
+        overhead_pct,
+        traced.served,
+        traced.spans,
+        traced.warm_p90_us,
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"shards\": {SHARDS}, \"fns\": {FNS}, \"cadence_s\": {CADENCE_S}, \
+         \"healthy_rounds\": {HEALTHY_ROUNDS}, \"degraded_rounds\": {DEGRADED_ROUNDS}, \
+         \"recovered_rounds\": {RECOVERED_ROUNDS}, \"e2e_threshold_us\": {E2E_THRESHOLD_US}}}\n}}"
+    );
+    std::fs::write("BENCH_slo_observe.json", &json).expect("write JSON artifact");
+    std::fs::write("TRACE_slo_observe.jsonl", &traced.trace_lines).expect("write trace artifact");
+    println!("# wrote BENCH_slo_observe.json and TRACE_slo_observe.jsonl");
+}

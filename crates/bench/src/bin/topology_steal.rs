@@ -24,7 +24,6 @@
 
 use std::fmt::Write as _;
 
-use vclock::stats;
 use vsched::{
     BlockMode, Dispatcher, DispatcherConfig, Placement, Request, TenantProfile, Topology,
 };
@@ -229,7 +228,7 @@ fn warm_run(
     }
 
     let completions = d.take_completions();
-    let lat_ms: Vec<f64> = completions.iter().map(|c| c.latency() * 1e3).collect();
+    let lat_s: Vec<f64> = completions.iter().map(|c| c.latency()).collect();
     let (mut steady_warm, mut steady_served) = (0u64, 0u64);
     for &(tenant, _) in &steady {
         let ts = d.tenant_stats(tenant);
@@ -242,7 +241,7 @@ fn warm_run(
         heavy_hit_rate: hs.warm_serves as f64 / hs.served as f64,
         steady_hit_rate: steady_warm as f64 / steady_served as f64,
         overall_hit_rate: d.stats().warm_hit_rate(),
-        p50_ms: stats::percentile(&lat_ms, 50.0),
+        p50_ms: bench::hist_percentile_ms(&bench::latency_histogram(&lat_s), 50.0),
         max_resident,
     }
 }

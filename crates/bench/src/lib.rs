@@ -8,7 +8,7 @@
 
 pub mod json;
 
-use vclock::stats::Summary;
+use vclock::stats::{Histogram, Summary};
 use vclock::Cycles;
 
 /// Parses `--trials N` from argv or `TRIALS` from the environment,
@@ -52,6 +52,23 @@ pub fn fmt_cycles(s: &Summary) -> String {
 /// One labelled measurement row.
 pub fn row(label: &str, s: &Summary) {
     println!("{label:<28} {}", fmt_cycles(s));
+}
+
+/// Folds end-to-end latencies in virtual seconds into the shared cycle
+/// [`Histogram`] — the same log-linear bucketing the `/metrics` endpoint
+/// exports, so bench percentiles and scraped quantiles agree to the
+/// histogram's ≤6.25% bucket error instead of disagreeing by methodology.
+pub fn latency_histogram(lat_s: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in lat_s {
+        h.record(Cycles::from_micros(s * 1e6).get());
+    }
+    h
+}
+
+/// Reads percentile `p` (0–100) out of a cycle histogram in milliseconds.
+pub fn hist_percentile_ms(h: &Histogram, p: f64) -> f64 {
+    Cycles(h.quantile(p / 100.0)).as_millis()
 }
 
 #[cfg(test)]

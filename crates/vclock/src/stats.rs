@@ -121,6 +121,232 @@ impl Summary {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Log-linear histogram
+
+/// Linear sub-buckets per power-of-two octave (`2^SUB_BITS`).
+const SUB_BITS: u32 = 4;
+/// Number of linear sub-buckets in each octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count: one exact bucket per value below `SUBS`, then
+/// `SUBS` linear sub-buckets for each remaining octave of the u64 range.
+const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// A log2-bucketed latency histogram over `u64` values (cycle counts).
+///
+/// Each power-of-two octave is split into 16 linear sub-buckets
+/// (HDR-histogram style), bounding the relative quantile error at
+/// `1/16 ≈ 6.25%` while keeping the footprint a fixed array of
+/// counters — recording is a shift, a mask, and an increment, with no
+/// allocation. This is the shared distribution type behind the
+/// `vsched_*_cycles` Prometheus series and the bench bins' p50/p99
+/// columns, replacing per-bin sort-and-index percentile math.
+///
+/// Bucket boundaries are defined so that every power of two is an exact
+/// *inclusive upper* edge: the cumulative count at `2^k` counts exactly
+/// the recorded values `v ≤ 2^k`, which makes the Prometheus
+/// `_bucket{le="..."}` lines exact rather than approximate.
+///
+/// # Examples
+///
+/// ```
+/// use vclock::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((p50 as f64 - 500.0).abs() / 500.0 < 0.07);
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a recorded value. Values are shifted down by one
+    /// so that bucket upper edges land *on* powers of two (inclusive),
+    /// giving exact cumulative counts at every `le="2^k"` boundary.
+    fn index(v: u64) -> usize {
+        let x = v.saturating_sub(1);
+        if x < SUBS as u64 {
+            x as usize
+        } else {
+            let m = 63 - x.leading_zeros();
+            let sub = ((x >> (m - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+            SUBS + ((m - SUB_BITS) as usize) * SUBS + sub
+        }
+    }
+
+    /// Inclusive value range `(lo, hi)` covered by bucket `idx`.
+    fn bounds(idx: usize) -> (u64, u64) {
+        if idx < SUBS {
+            // Exact buckets: idx 0 holds {0, 1}, idx i holds {i + 1}.
+            (if idx == 0 { 0 } else { idx as u64 + 1 }, idx as u64 + 1)
+        } else {
+            let e = idx - SUBS;
+            let m = (e / SUBS) as u32 + SUB_BITS;
+            let sub = (e % SUBS) as u64;
+            let width = 1u64 << (m - SUB_BITS);
+            let lo = (1u64 << m) + sub * width;
+            (lo + 1, lo.saturating_add(width))
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Histogram::index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value; zero when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value; zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) with linear interpolation
+    /// inside the containing bucket; relative error ≤ 6.25%. Returns
+    /// zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                let (lo, hi) = Histogram::bounds(idx);
+                // Interpolate within the bucket, clamped to the observed
+                // extremes so single-bucket tails stay exact.
+                let into = (rank - (seen - c)) as f64 / c as f64;
+                let v = lo as f64 + (hi - lo) as f64 * into;
+                return (v.round() as u64).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Cumulative bucket counts at power-of-two upper bounds, for
+    /// Prometheus `_bucket{le="..."}` rendering.
+    ///
+    /// Returns `(upper_bound, cumulative_count)` pairs covering the
+    /// recorded range: the first bound is the smallest power of two ≥
+    /// the minimum recorded value and the last is the smallest power of
+    /// two ≥ the maximum (so its count equals [`Histogram::count`]).
+    /// Counts are exact (`v ≤ bound`), not bucket approximations. The
+    /// `+Inf` bucket is implicit — renderers append it with the total
+    /// count. Empty histograms produce a single `(1, 0)` bound.
+    pub fn power_of_two_buckets(&self) -> Vec<(u64, u64)> {
+        if self.count == 0 {
+            return vec![(1, 0)];
+        }
+        let lo_pow = 64 - self.min().max(1).saturating_sub(1).leading_zeros() as u64;
+        let hi_pow = 64 - self.max.max(1).saturating_sub(1).leading_zeros() as u64;
+        let mut out = Vec::with_capacity((hi_pow - lo_pow + 1) as usize);
+        let mut cum = 0u64;
+        let mut idx = 0usize;
+        for p in lo_pow..=hi_pow.min(63) {
+            let bound = 1u64 << p;
+            // Buckets are ordered by value, and every power of two is a
+            // bucket upper edge, so accumulate whole buckets up to it.
+            while idx < BUCKETS && Histogram::bounds(idx).1 <= bound {
+                cum += self.counts[idx];
+                idx += 1;
+            }
+            out.push((bound, cum));
+        }
+        if hi_pow > 63 {
+            out.push((u64::MAX, self.count));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,5 +421,118 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
         assert!((s.median - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 36);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 8);
+        // Values ≤ 16 land in exact single-value buckets.
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 8);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn histogram_quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - want).abs() / want < 0.0625 + 1e-3,
+                "q={q}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_matches_sorted_percentile_within_tolerance() {
+        // The bench bins replaced sort-and-index percentiles with this
+        // histogram; pin the agreement on a skewed sample.
+        let xs: Vec<u64> = (0..5_000u64).map(|i| (i * i) % 700_000 + 1).collect();
+        let mut h = Histogram::new();
+        let mut f: Vec<f64> = Vec::new();
+        for &x in &xs {
+            h.record(x);
+            f.push(x as f64);
+        }
+        for p in [50.0, 90.0, 99.0] {
+            let exact = percentile(&f, p);
+            let est = h.quantile(p / 100.0) as f64;
+            assert!(
+                (est - exact).abs() / exact < 0.07,
+                "p{p}: est {est}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_sums_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=10u64 {
+            a.record(v * 100);
+            b.record(v * 1_000);
+        }
+        let (asum, bsum) = (a.sum(), b.sum());
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert_eq!(a.sum(), asum + bsum);
+        assert_eq!(a.max(), 10_000);
+        assert_eq!(a.min(), 100);
+    }
+
+    #[test]
+    fn histogram_power_of_two_buckets_are_exact_and_cumulative() {
+        let mut h = Histogram::new();
+        let vals = [1u64, 2, 3, 4, 5, 16, 17, 100, 1_000, 1_024, 1_025];
+        for &v in &vals {
+            h.record(v);
+        }
+        let buckets = h.power_of_two_buckets();
+        // Cumulative counts at each power of two must exactly match
+        // the number of recorded values ≤ that bound.
+        for &(bound, cum) in &buckets {
+            let want = vals.iter().filter(|&&v| v <= bound).count() as u64;
+            assert_eq!(cum, want, "bound {bound}");
+        }
+        // Monotone, and the last bound covers everything.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1);
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        assert_eq!(buckets.last().unwrap().0, 2_048);
+    }
+
+    #[test]
+    fn histogram_empty_degenerates_gracefully() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.power_of_two_buckets(), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn histogram_zero_and_huge_values() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        let buckets = h.power_of_two_buckets();
+        assert_eq!(buckets.first().unwrap(), &(1, 1));
+        assert_eq!(buckets.last().unwrap(), &(u64::MAX, 2));
     }
 }

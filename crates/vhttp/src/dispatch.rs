@@ -13,6 +13,7 @@ use std::collections::BinaryHeap;
 
 use hostsim::HostKernel;
 use kvmsim::Hypervisor;
+use vclock::stats::Histogram;
 use vclock::Clock;
 use vsched::{
     BlockMode, Dispatcher, DispatcherConfig, Request, ShedReason, TenantId, TenantProfile, Topology,
@@ -48,7 +49,13 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
     metric(
         "vsched_requests_total",
         "counter",
-        "Requests by outcome",
+        "Requests by outcome: submitted (offered at the door), admitted \
+         (passed admission and enqueued), served (ran to completion), \
+         shed_rate_limit (tenant token bucket empty), shed_in_flight \
+         (tenant max_in_flight reached), shed_deadline (deadline passed \
+         while queued), shed_deadline_unmeetable (estimated wait already \
+         past the deadline at submit), shed_byte_budget (tenant sustained \
+         byte rate exceeded)",
         &[
             ("{outcome=\"submitted\"}".into(), s.submitted),
             ("{outcome=\"admitted\"}".into(), s.admitted),
@@ -119,6 +126,13 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
         "counter",
         "Runs suspended at a blocking recv",
         &plain(s.blocked),
+    );
+    metric(
+        "vsched_blocked_cycles_total",
+        "counter",
+        "Virtual cycles completed runs spent parked at a blocking recv \
+         (the Breakdown.blocked share of served work)",
+        &plain(s.blocked_cycles),
     );
     metric(
         "vsched_resumed_total",
@@ -272,7 +286,125 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
         "Requests queued or running per tenant",
         &per_tenant(&|t| t.in_flight),
     );
+
+    histogram_family(
+        &mut out,
+        "vsched_queue_wait_cycles",
+        "Virtual cycles from admission to first execution, across all served requests",
+        &[(String::new(), d.queue_wait_hist())],
+    );
+    histogram_family(
+        &mut out,
+        "vsched_exec_cycles",
+        "Virtual cycles of virtine execution (guest segments, excluding parked waits)",
+        &[(String::new(), d.exec_hist())],
+    );
+    let e2e_series: Vec<(String, &Histogram)> = d
+        .tenant_ids()
+        .into_iter()
+        .map(|id| {
+            (
+                format!("tenant=\"{}\",", escape(d.tenant_name(id))),
+                d.tenant_e2e_hist(id),
+            )
+        })
+        .collect();
+    histogram_family(
+        &mut out,
+        "vsched_e2e_cycles",
+        "End-to-end virtual cycles from arrival to completion, per tenant",
+        &e2e_series,
+    );
+
+    if let Some(slo) = d.slo() {
+        let reports = slo.report();
+        gauge_family_f64(
+            &mut out,
+            "vslo_error_budget_remaining",
+            "Fraction of the slow-window error budget unspent (1 - slow burn; negative when overspent)",
+            &reports
+                .iter()
+                .map(|r| {
+                    (
+                        format!("{{slo=\"{}\"}}", escape(&r.name)),
+                        r.budget_remaining,
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        gauge_family_f64(
+            &mut out,
+            "vslo_burn_rate",
+            "Error-budget burn rate (bad fraction over the window / allowed bad fraction)",
+            &reports
+                .iter()
+                .flat_map(|r| {
+                    let slo = escape(&r.name);
+                    [
+                        (format!("{{slo=\"{slo}\",window=\"fast\"}}"), r.burn_fast),
+                        (format!("{{slo=\"{slo}\",window=\"slow\"}}"), r.burn_slow),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        gauge_family_f64(
+            &mut out,
+            "vslo_alert",
+            "1 while the multiwindow burn-rate alert at this severity is firing, else 0",
+            &reports
+                .iter()
+                .flat_map(|r| {
+                    let slo = escape(&r.name);
+                    ["ticket", "page"].map(|sev| {
+                        let active = r.severity.is_some_and(|s| s.to_string() == sev);
+                        (
+                            format!("{{slo=\"{slo}\",severity=\"{sev}\"}}"),
+                            if active { 1.0 } else { 0.0 },
+                        )
+                    })
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
     out
+}
+
+/// Appends one histogram family in the exposition format: cumulative
+/// `_bucket` series at power-of-two `le` edges (exact counts — every
+/// power of two is an inclusive upper bucket edge of the underlying
+/// [`Histogram`], so these are not interpolated), terminated by
+/// `le="+Inf"`, plus `_sum` and `_count`. Each entry in `series` pairs
+/// an inner label prefix (`tenant="a",` — note the trailing comma — or
+/// empty for an unlabelled family) with its histogram.
+fn histogram_family(out: &mut String, name: &str, help: &str, series: &[(String, &Histogram)]) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (inner, h) in series {
+        for (bound, cum) in h.power_of_two_buckets() {
+            let _ = writeln!(out, "{name}_bucket{{{inner}le=\"{bound}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{{inner}le=\"+Inf\"}} {}", h.count());
+        let plain = inner.trim_end_matches(',');
+        let braces = if plain.is_empty() {
+            String::new()
+        } else {
+            format!("{{{plain}}}")
+        };
+        let _ = writeln!(out, "{name}_sum{braces} {}", h.sum());
+        let _ = writeln!(out, "{name}_count{braces} {}", h.count());
+    }
+}
+
+/// Appends one float-valued gauge family ([`prometheus_text`]'s `metric`
+/// closure is integer-only; burn rates and budget fractions need floats).
+fn gauge_family_f64(out: &mut String, name: &str, help: &str, series: &[(String, f64)]) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    for (labels, value) in series {
+        let _ = writeln!(out, "{name}{labels} {value}");
+    }
 }
 
 /// One client's view of a submitted request.
@@ -437,6 +569,13 @@ impl DispatchedServer {
         &self.dispatcher
     }
 
+    /// Mutable access to the dispatcher, for operator controls that live
+    /// on it: [`Dispatcher::enable_tracing`], [`Dispatcher::set_slo`],
+    /// [`Dispatcher::set_warm_budget`].
+    pub fn dispatcher_mut(&mut self) -> &mut Dispatcher {
+        &mut self.dispatcher
+    }
+
     /// The Prometheus text rendering of the dispatcher's current state.
     pub fn metrics(&self) -> String {
         prometheus_text(&self.dispatcher)
@@ -466,6 +605,63 @@ impl DispatchedServer {
         let body = self.metrics();
         let response = format!(
             "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.kernel
+            .net_send(server, response.as_bytes())
+            .expect("send response");
+        let resp = self
+            .kernel
+            .net_recv(client, response.len() + 512)
+            .expect("recv")
+            .expect("response bytes");
+        self.kernel.net_close(client).ok();
+        self.kernel.net_close(server).ok();
+        resp
+    }
+
+    /// Serves `GET /trace?tenant=<name>&limit=<n>` over the simulated
+    /// network, host-side like [`DispatchedServer::fetch_metrics`]: the
+    /// response body is one JSON object per line (newest invocation
+    /// first), each a full span tree from the dispatcher's trace ring.
+    /// Both query parameters are optional — omitting `tenant` dumps all
+    /// tenants, omitting `limit` defaults to 100. Returns the raw HTTP
+    /// response bytes; the body is empty when tracing is disabled.
+    pub fn fetch_trace(&mut self, query: &str) -> Vec<u8> {
+        let client = self.kernel.net_connect(PORT).expect("connect");
+        let request = format!("GET /trace{query} HTTP/1.0\r\n\r\n");
+        self.kernel
+            .net_send(client, request.as_bytes())
+            .expect("send");
+        let server = self
+            .kernel
+            .net_accept(PORT)
+            .expect("accept")
+            .expect("pending connection");
+        let req = self
+            .kernel
+            .net_recv(server, 512)
+            .expect("recv")
+            .expect("request bytes");
+        assert!(req.starts_with(b"GET /trace"), "not a trace dump");
+        // Parse the query string out of the request line, as a real
+        // handler would — the caller's `query` never short-circuits this.
+        let line = String::from_utf8_lossy(&req);
+        let target = line.split_whitespace().nth(1).unwrap_or("/trace");
+        let mut tenant: Option<String> = None;
+        let mut limit = 100usize;
+        if let Some((_, qs)) = target.split_once('?') {
+            for pair in qs.split('&') {
+                match pair.split_once('=') {
+                    Some(("tenant", v)) => tenant = Some(v.to_string()),
+                    Some(("limit", v)) => limit = v.parse().unwrap_or(limit),
+                    _ => {}
+                }
+            }
+        }
+        let body = self.dispatcher.trace_json_lines(tenant.as_deref(), limit);
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
         self.kernel
@@ -871,6 +1067,209 @@ mod tests {
         let run = server.finish();
         assert_eq!(run.served, 1);
         assert!(run.stats.busy_wait_cycles > 0, "the wait occupies a worker");
+    }
+
+    #[test]
+    fn metrics_conform_to_prometheus_text_format() {
+        use std::collections::{HashMap, HashSet};
+        use vclock::Cycles;
+        use vtrace::slo::{BurnPolicy, SloEngine, SloSpec};
+
+        let mut server = DispatchedServer::new(2, 256);
+        // A hostile tenant name: quote, backslash, and newline must all
+        // come out escaped or the scrape is unparseable.
+        let evil = server.add_tenant(http_tenant("e\\v\"i\nl"));
+        let good = server.add_tenant(http_tenant("good"));
+        let d = server.dispatcher_mut();
+        d.enable_tracing(64);
+        d.set_slo(SloEngine::new(
+            vec![
+                SloSpec::latency("e2e_p99", 0.99, Cycles::from_micros(50_000.0)),
+                SloSpec::availability("availability", 0.999),
+            ],
+            BurnPolicy::default(),
+        ));
+        for i in 0..8 {
+            let _ = server.offer(evil, i as f64 * 0.001);
+            let _ = server.offer(good, i as f64 * 0.001);
+        }
+        server.dispatcher.drain();
+        server.dispatcher.slo_tick();
+        let text = String::from_utf8(server.fetch_metrics()).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+
+        let mut helped: HashSet<&str> = HashSet::new();
+        let mut typed: HashMap<&str, &str> = HashMap::new();
+        let mut seen_series: HashSet<&str> = HashSet::new();
+        // Ordered histogram bucket values per (family, non-le labels).
+        let mut buckets: HashMap<(String, String), Vec<(String, f64)>> = HashMap::new();
+        let mut counts: HashMap<(String, String), f64> = HashMap::new();
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(helped.insert(name), "duplicate HELP for {name}");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let (name, kind) = (it.next().unwrap(), it.next().unwrap());
+                assert!(
+                    typed.insert(name, kind).is_none(),
+                    "duplicate TYPE for {name}"
+                );
+                assert!(helped.contains(name), "TYPE before HELP for {name}");
+                continue;
+            }
+            // A sample line: `name[{labels}] value`. A label value with a
+            // raw (unescaped) newline would split into a line that fails
+            // this parse.
+            let (series, value) = line.rsplit_once(' ').unwrap_or(("", line));
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("sample value not a number in line `{line}`"));
+            assert!(seen_series.insert(series), "duplicate series `{series}`");
+            let name = series.split('{').next().unwrap();
+            // Resolve the family: histogram samples hang `_bucket`,
+            // `_sum`, `_count` off the declared family name.
+            let family = if typed.contains_key(name) {
+                name.to_string()
+            } else {
+                let base = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .unwrap_or_else(|| panic!("sample `{name}` has no TYPE"));
+                assert_eq!(
+                    typed.get(base),
+                    Some(&"histogram"),
+                    "`{name}` suffix on a non-histogram family"
+                );
+                base.to_string()
+            };
+            assert!(
+                helped.contains(family.as_str()),
+                "sample `{series}` before its HELP"
+            );
+            if name.ends_with("_bucket") && typed.get(family.as_str()) == Some(&"histogram") {
+                let labels = series.split_once('{').unwrap().1.trim_end_matches('}');
+                let (others, le): (Vec<&str>, Vec<&str>) = labels
+                    .split("\",")
+                    .partition(|p| !p.trim_start().starts_with("le="));
+                buckets
+                    .entry((family, others.join(",")))
+                    .or_default()
+                    .push((le.join("").to_string(), value));
+            } else if name.ends_with("_count") && typed.get(family.as_str()) == Some(&"histogram") {
+                let labels = series.split_once('{').map_or("", |(_, l)| l);
+                counts.insert((family, labels.trim_end_matches('}').to_string()), value);
+            }
+        }
+        // Escaped label values: the hostile name appears exactly in its
+        // escaped form, never raw.
+        assert!(
+            body.contains("tenant=\"e\\\\v\\\"i\\nl\""),
+            "escaped tenant label missing:\n{body}"
+        );
+        // Histograms: the three ISSUE families are present and every
+        // bucket series is cumulative and +Inf-terminated, with the +Inf
+        // count equal to the family count.
+        for fam in [
+            "vsched_queue_wait_cycles",
+            "vsched_exec_cycles",
+            "vsched_e2e_cycles",
+        ] {
+            assert_eq!(typed.get(fam), Some(&"histogram"), "{fam} missing");
+            assert!(
+                buckets.keys().any(|(f, _)| f == fam),
+                "{fam} has no bucket series"
+            );
+        }
+        assert!(
+            buckets
+                .keys()
+                .any(|(f, l)| f == "vsched_e2e_cycles" && l.contains("tenant=\"good")),
+            "e2e histogram not labelled per tenant"
+        );
+        for ((family, labels), series) in &buckets {
+            let mut prev = -1.0;
+            for (le, v) in series {
+                assert!(
+                    *v >= prev,
+                    "{family}{{{labels}}} buckets not cumulative at le={le}"
+                );
+                prev = *v;
+            }
+            let (last_le, last_v) = series.last().unwrap();
+            assert!(
+                last_le.contains("+Inf"),
+                "{family}{{{labels}}} not +Inf-terminated (ends at {last_le})"
+            );
+            let count_labels = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{labels}\"")
+            };
+            let count = counts
+                .get(&(family.clone(), count_labels))
+                .unwrap_or_else(|| panic!("{family}{{{labels}}} has no _count"));
+            assert_eq!(last_v, count, "{family}{{{labels}}} +Inf != _count");
+        }
+        // SLO gauges are exported for every declared objective.
+        for series in [
+            "vslo_error_budget_remaining{slo=\"e2e_p99\"}",
+            "vslo_error_budget_remaining{slo=\"availability\"}",
+            "vslo_burn_rate{slo=\"e2e_p99\",window=\"fast\"}",
+            "vslo_burn_rate{slo=\"availability\",window=\"slow\"}",
+            "vslo_alert{slo=\"e2e_p99\",severity=\"page\"}",
+            "vslo_alert{slo=\"availability\",severity=\"ticket\"}",
+        ] {
+            assert!(
+                seen_series.contains(series),
+                "missing SLO series `{series}`:\n{body}"
+            );
+        }
+        // The satellite counter rides along.
+        assert!(seen_series.contains("vsched_blocked_cycles_total"));
+    }
+
+    #[test]
+    fn trace_endpoint_dumps_span_trees_filtered_by_tenant() {
+        let mut server = DispatchedServer::new(2, 256);
+        let a = server.add_tenant(http_tenant("alpha"));
+        let b = server.add_tenant(http_tenant("beta"));
+        server.dispatcher_mut().enable_tracing(32);
+        for i in 0..4 {
+            server.offer(a, i as f64 * 0.001).unwrap();
+            server.offer(b, i as f64 * 0.001).unwrap();
+        }
+        server.dispatcher.drain();
+
+        let resp = server.fetch_trace("?tenant=alpha&limit=3");
+        assert_eq!(response_status(&resp), Some(200));
+        let text = String::from_utf8(resp).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3, "limit honoured:\n{body}");
+        for l in &lines {
+            assert!(l.contains("\"tenant\":\"alpha\""), "filter leaked: {l}");
+            assert!(l.contains("\"outcome\":\"completed\""));
+            for span in ["admit", "queue_wait", "shell_acquire", "exec", "complete"] {
+                assert!(
+                    l.contains(&format!("\"span\":\"{span}\"")),
+                    "missing {span}: {l}"
+                );
+            }
+        }
+
+        // Unfiltered dump covers both tenants; default limit is ample.
+        let all = String::from_utf8(server.fetch_trace("")).unwrap();
+        let body = all.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(body.lines().count(), 8);
+        assert!(body.contains("\"tenant\":\"beta\""));
+
+        // An unknown tenant matches nothing rather than erroring.
+        let none = String::from_utf8(server.fetch_trace("?tenant=nobody")).unwrap();
+        assert_eq!(none.split("\r\n\r\n").nth(1).unwrap(), "");
     }
 
     #[test]

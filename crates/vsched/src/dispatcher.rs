@@ -9,7 +9,10 @@
 
 use std::collections::HashMap;
 
+use vclock::stats::Histogram;
 use vclock::{costs, Clock, Cycles};
+use vtrace::slo::SloEngine;
+use vtrace::TraceCollector;
 use wasp::{
     Invocation, Pool, PoolMode, PoolStats, RunOutcome, RunResult, ShellSource, VirtineId,
     VirtineSpec, WaitTarget, Wasp, WaspError,
@@ -295,6 +298,12 @@ pub struct DispatcherStats {
     /// for a different key, or stolen from a sibling. Pool-internal LRU
     /// evictions are counted in [`wasp::PoolStats::warm_demoted`] instead.
     pub warm_demotions: u64,
+    /// Virtual cycles served requests spent parked in waits
+    /// (`Breakdown::blocked`, summed over completions and kills). The
+    /// event-driven counterpart of `busy_wait_cycles`: time the request
+    /// waited while the worker was *free* — exported as
+    /// `vsched_blocked_cycles_total`.
+    pub blocked_cycles: u64,
 }
 
 impl DispatcherStats {
@@ -323,6 +332,8 @@ impl DispatcherStats {
 struct ServeMeta {
     tenant: TenantId,
     virtine: VirtineId,
+    /// Dispatcher sequence number, keying the invocation's open trace.
+    seq: u64,
     /// Original arrival in cycles — latency spans any parked waits.
     arrival: u64,
     /// Worker-timeline position of the first segment's start.
@@ -366,6 +377,19 @@ pub struct Dispatcher {
     /// Shared park-order counter threaded through every warm park, so
     /// LRU comparisons are meaningful *across* shard pools.
     warm_stamp: u64,
+    /// Per-invocation span recorder (disabled — and free — by default;
+    /// see [`Dispatcher::enable_tracing`]).
+    trace: TraceCollector,
+    /// Declared objectives evaluated at every terminal event
+    /// (completion, kill, shed); `None` until [`Dispatcher::set_slo`].
+    slo: Option<SloEngine>,
+    /// Queue-wait distribution (arrival → first execution start).
+    hist_queue_wait: Histogram,
+    /// Service-time distribution (worker cycles, parked waits excluded).
+    hist_exec: Histogram,
+    /// End-to-end latency distribution (arrival → finish) across all
+    /// tenants; per-tenant series live in `TenantState::e2e`.
+    hist_e2e: Histogram,
 }
 
 impl Dispatcher {
@@ -425,6 +449,11 @@ impl Dispatcher {
             topology,
             engine,
             warm_stamp: 0,
+            trace: TraceCollector::disabled(),
+            slo: None,
+            hist_queue_wait: Histogram::new(),
+            hist_exec: Histogram::new(),
+            hist_e2e: Histogram::new(),
         }
     }
 
@@ -435,6 +464,111 @@ impl Dispatcher {
     /// [`DispatcherConfig`]'s placement, topology, and warm policy.
     pub fn set_engine(&mut self, engine: Box<dyn PlacementEngine>) {
         self.engine = engine;
+    }
+
+    /// Enables invocation tracing, retaining the most recent `capacity`
+    /// finished span trees (zero disables tracing again). When enabled,
+    /// every recorded span charges `vclock::costs::VTRACE_SPAN` to the
+    /// shared clock, so the tracing overhead is itself deterministic in
+    /// virtual time; when disabled (the default) nothing is recorded,
+    /// charged, or allocated, and runs are bit-identical to a build
+    /// without tracing.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = TraceCollector::with_capacity(capacity);
+    }
+
+    /// The invocation trace collector (empty and inert unless
+    /// [`Dispatcher::enable_tracing`] was called).
+    pub fn trace(&self) -> &TraceCollector {
+        &self.trace
+    }
+
+    /// Dumps retained invocation traces as JSON lines, newest first —
+    /// the payload behind `GET /trace`. `tenant` filters by tenant
+    /// *name*; an unknown name yields no lines.
+    pub fn trace_json_lines(&self, tenant: Option<&str>, limit: usize) -> String {
+        let tenant_idx = tenant.map(|name| {
+            self.tenants
+                .iter()
+                .position(|t| t.profile.name == name)
+                .unwrap_or(usize::MAX)
+        });
+        let names: Vec<&str> = self
+            .tenants
+            .iter()
+            .map(|t| t.profile.name.as_str())
+            .collect();
+        self.trace.json_lines(tenant_idx, limit, &|i| {
+            names
+                .get(i)
+                .map_or_else(|| format!("tenant-{i}"), |n| n.to_string())
+        })
+    }
+
+    /// Installs an SLO engine; every later completion, kill, and shed is
+    /// observed against its objectives.
+    pub fn set_slo(&mut self, engine: SloEngine) {
+        self.slo = Some(engine);
+    }
+
+    /// The installed SLO engine, if any.
+    pub fn slo(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
+    }
+
+    /// Advances the SLO engine's sliding windows to the dispatcher's
+    /// current arrival horizon without recording an event, so alerts can
+    /// clear across quiet periods.
+    pub fn slo_tick(&mut self) {
+        let at = self.last_arrival;
+        if let Some(slo) = &mut self.slo {
+            slo.tick(Cycles(at));
+        }
+    }
+
+    /// Queue-wait distribution (cycles from arrival to first execution
+    /// start) across all served requests.
+    pub fn queue_wait_hist(&self) -> &Histogram {
+        &self.hist_queue_wait
+    }
+
+    /// Service-time distribution (worker cycles; parked waits excluded).
+    pub fn exec_hist(&self) -> &Histogram {
+        &self.hist_exec
+    }
+
+    /// End-to-end latency distribution (arrival → finish) across all
+    /// tenants.
+    pub fn e2e_hist(&self) -> &Histogram {
+        &self.hist_e2e
+    }
+
+    /// One tenant's end-to-end latency distribution.
+    pub fn tenant_e2e_hist(&self, id: TenantId) -> &Histogram {
+        &self.tenants[id.0].e2e
+    }
+
+    /// Reconfigures the cross-shard warm policy at runtime — the
+    /// operator knob the SLO pipeline is proven against (slash the
+    /// budget, watch the burn-rate alert fire; restore it, watch the
+    /// alert clear). Updates the engine's capacity policy and demotes
+    /// existing resident warm shells (globally least-recently-parked
+    /// first) down to the new budget. Note that per-pool capacity fixed
+    /// at construction still caps any single pool: raising the budget
+    /// above the construction-time bound widens the policy but not the
+    /// pools.
+    pub fn set_warm_budget(&mut self, budget: Option<usize>, tenant_quota: Option<usize>) {
+        self.config.warm_budget = budget;
+        self.config.warm_tenant_quota = tenant_quota;
+        self.engine.set_warm_policy(WarmPolicy {
+            global_budget: budget,
+            tenant_quota,
+        });
+        if let Some(b) = budget {
+            while self.warm_resident() > b {
+                self.demote_warm_lru(None);
+            }
+        }
     }
 
     /// The shard topology in effect (flat unless configured).
@@ -568,6 +702,7 @@ impl Dispatcher {
             if tenant.stats.in_flight >= tenant.profile.max_in_flight as u64 {
                 tenant.stats.shed_in_flight += 1;
                 self.stats.shed_in_flight += 1;
+                self.note_shed(req.tenant, req.virtine, arrival, ShedReason::InFlightCap);
                 return Err(ShedReason::InFlightCap);
             }
         }
@@ -588,6 +723,12 @@ impl Dispatcher {
                 let tenant = &mut self.tenants[req.tenant.0];
                 tenant.stats.shed_deadline_unmeetable += 1;
                 self.stats.shed_deadline_unmeetable += 1;
+                self.note_shed(
+                    req.tenant,
+                    req.virtine,
+                    arrival,
+                    ShedReason::DeadlineUnmeetable,
+                );
                 return Err(ShedReason::DeadlineUnmeetable);
             }
         }
@@ -602,11 +743,13 @@ impl Dispatcher {
         if !tenant.bucket.can_admit(now, 1.0) {
             tenant.stats.shed_rate_limit += 1;
             self.stats.shed_rate_limit += 1;
+            self.note_shed(req.tenant, req.virtine, arrival, ShedReason::RateLimited);
             return Err(ShedReason::RateLimited);
         }
         if !tenant.byte_bucket.can_admit(now, bytes) {
             tenant.stats.shed_byte_budget += 1;
             self.stats.shed_byte_budget += 1;
+            self.note_shed(req.tenant, req.virtine, arrival, ShedReason::ByteBudget);
             return Err(ShedReason::ByteBudget);
         }
         tenant.bucket.take(1.0);
@@ -635,7 +778,54 @@ impl Dispatcher {
             },
             self.config.tick.get(),
         );
+        if self.trace.enabled() {
+            self.trace.begin(
+                seq,
+                req.tenant.0,
+                req.virtine.into_raw() as u64,
+                Cycles(arrival),
+            );
+            self.tspan(seq, "admit", format!("shard={shard}"), arrival, arrival);
+        }
         Ok(seq)
+    }
+
+    /// Observes a shed on the SLO plane and, when tracing, records a
+    /// one-span trace for the refused request (sheds never enter a
+    /// queue, so this is their entire timeline).
+    fn note_shed(&mut self, tenant: TenantId, virtine: VirtineId, at: u64, reason: ShedReason) {
+        if let Some(slo) = &mut self.slo {
+            slo.observe_shed(Cycles(at));
+        }
+        if self.trace.enabled() {
+            let id = self.seq;
+            self.seq += 1;
+            self.wasp.clock().tick(costs::VTRACE_SPAN);
+            self.trace.record_shed(
+                id,
+                tenant.0,
+                virtine.into_raw() as u64,
+                Cycles(at),
+                reason.label(),
+            );
+        }
+    }
+
+    /// Records one trace span, charging its calibrated cost. Callers
+    /// gate on `self.trace.enabled()` so the disabled path never
+    /// formats a detail string.
+    fn tspan(&mut self, id: u64, label: &'static str, detail: String, start: u64, end: u64) {
+        self.wasp.clock().tick(costs::VTRACE_SPAN);
+        self.trace
+            .span(id, label, detail, Cycles(start), Cycles(end));
+    }
+
+    /// Closes a request's trace with its terminal outcome.
+    fn tfinish(&mut self, id: u64, outcome: &str, at: u64) {
+        if self.trace.enabled() {
+            self.wasp.clock().tick(costs::VTRACE_SPAN);
+            self.trace.finish(id, outcome, Cycles(at));
+        }
     }
 
     /// Runs every queued request to completion. Blocked runs whose sockets
@@ -856,6 +1046,20 @@ impl Dispatcher {
                 t.shed_deadline += 1;
                 t.in_flight -= 1;
                 self.stats.shed_deadline += 1;
+                if let Some(slo) = &mut self.slo {
+                    slo.observe_shed(Cycles(free));
+                }
+                if self.trace.enabled() {
+                    self.tspan(q.seq, "queue_wait", String::new(), q.arrival, free);
+                    self.tspan(
+                        q.seq,
+                        "shed",
+                        ShedReason::DeadlineMissed.label().to_string(),
+                        free,
+                        free,
+                    );
+                }
+                self.tfinish(q.seq, "shed:deadline", free);
                 continue;
             }
             free = self.execute(idx, q, free);
@@ -946,6 +1150,13 @@ impl Dispatcher {
             (vm, ShellSource::Created)
         };
         let reused = source.is_reused();
+        let acquire = (clock.now() - t0).get();
+        let src = self.trace.enabled().then_some(match &source {
+            ShellSource::Warm(_) => "warm",
+            ShellSource::Clean if stolen => "stolen_clean",
+            ShellSource::Clean => "clean",
+            ShellSource::Created => "cold_create",
+        });
 
         let mask = self.tenants[q.tenant.0].profile.mask;
         let run = self
@@ -961,12 +1172,24 @@ impl Dispatcher {
             )
             .expect("dispatch invariants uphold spec and shell size");
         let segment = (clock.now() - t0).get();
+        if let Some(src) = src {
+            self.tspan(q.seq, "queue_wait", String::new(), q.arrival, free);
+            self.tspan(
+                q.seq,
+                "shell_acquire",
+                src.to_string(),
+                free,
+                free + acquire,
+            );
+            self.tspan(q.seq, "exec", String::new(), free + acquire, free + segment);
+        }
         match run {
             RunResult::Done(outcome, vm) => self.complete(
                 idx,
                 ServeMeta {
                     tenant: q.tenant,
                     virtine: q.virtine,
+                    seq: q.seq,
                     arrival: q.arrival,
                     first_start: free,
                     service_before: 0,
@@ -1011,12 +1234,16 @@ impl Dispatcher {
             .resume_on_shell(p.run, &mut |_, _, _, _| None)
             .expect("suspended runs carry a registered virtine");
         let segment = (clock.now() - t0).get();
+        if self.trace.enabled() {
+            self.tspan(p.seq, "exec", "resumed".to_string(), free, free + segment);
+        }
         match run {
             RunResult::Done(outcome, vm) => self.complete(
                 idx,
                 ServeMeta {
                     tenant: p.tenant,
                     virtine: p.virtine,
+                    seq: p.seq,
                     arrival: p.arrival,
                     first_start: p.first_start,
                     service_before: p.service_so_far,
@@ -1120,6 +1347,15 @@ impl Dispatcher {
             self.shards[idx].stats.resumed += 1;
             self.stats.resumed += 1;
             self.wasp.clock().tick(costs::VSCHED_QUEUE_OP);
+            if self.trace.enabled() {
+                self.tspan(
+                    p.seq,
+                    "park",
+                    format!("{:?}", p.target),
+                    p.blocked_from,
+                    wake,
+                );
+            }
             let dest = self.resume_shard(idx, wake);
             if dest != idx {
                 // The run (and the shell inside it) crosses shards: one
@@ -1132,6 +1368,18 @@ impl Dispatcher {
                 self.stats.migrations += 1;
                 self.shards[idx].stats.migrated_out += 1;
                 self.shards[dest].stats.migrated_in += 1;
+                if self.trace.enabled() {
+                    self.tspan(
+                        p.seq,
+                        "migrate",
+                        format!("hop={:?}", self.topology.hop(idx, dest)),
+                        wake,
+                        wake,
+                    );
+                }
+            }
+            if self.trace.enabled() {
+                self.tspan(p.seq, "resume", format!("shard={dest}"), wake, wake);
             }
             let q = Queued {
                 front: true,
@@ -1219,8 +1467,21 @@ impl Dispatcher {
         tstats.in_flight -= 1;
         self.stats.blocked_timeout += 1;
         self.stats.served += 1;
+        self.stats.blocked_cycles += outcome.breakdown.blocked.get();
         self.shards[idx].stats.blocked_timeout += 1;
         self.shards[idx].stats.served += 1;
+        let e2e = at - p.arrival;
+        self.hist_queue_wait.record(p.first_start - p.arrival);
+        self.hist_exec.record(p.service_so_far);
+        self.hist_e2e.record(e2e);
+        self.tenants[p.tenant.0].e2e.record(e2e);
+        if let Some(slo) = &mut self.slo {
+            slo.observe_served(Cycles(at), Cycles(e2e));
+        }
+        if self.trace.enabled() {
+            self.tspan(p.seq, "park", format!("{:?}", p.target), p.blocked_from, at);
+        }
+        self.tfinish(p.seq, "timeout", at);
         self.completions.push(Completion {
             tenant: p.tenant,
             virtine: p.virtine,
@@ -1331,7 +1592,33 @@ impl Dispatcher {
             tstats.abnormal += 1;
         }
         self.stats.served += 1;
+        self.stats.blocked_cycles += outcome.breakdown.blocked.get();
         self.shards[idx].stats.served += 1;
+        let e2e = finish - meta.arrival;
+        self.hist_queue_wait.record(meta.first_start - meta.arrival);
+        self.hist_exec.record(service);
+        self.hist_e2e.record(e2e);
+        self.tenants[meta.tenant.0].e2e.record(e2e);
+        if let Some(slo) = &mut self.slo {
+            slo.observe_served(Cycles(finish), Cycles(e2e));
+        }
+        if self.trace.enabled() {
+            let detail = if warm_hit {
+                format!("warm_delta={}", outcome.breakdown.delta_pages)
+            } else {
+                String::new()
+            };
+            self.tspan(meta.seq, "complete", detail, finish, finish);
+        }
+        self.tfinish(
+            meta.seq,
+            if outcome.exit.is_normal() {
+                "completed"
+            } else {
+                "abnormal"
+            },
+            finish,
+        );
         self.completions.push(Completion {
             tenant: meta.tenant,
             virtine: meta.virtine,

@@ -85,6 +85,21 @@
 //!   depth, parked runs, batches, busy-wait cycles, and steal traffic,
 //!   so experiments (and the `dispatcher_scaling`/`blocked_io` benches)
 //!   can attribute every request.
+//! * **SLO-grade observability** ([`Dispatcher::enable_tracing`],
+//!   [`Dispatcher::set_slo`]) — generalizes §5's breakdown methodology
+//!   from a bench-time measurement into a serving-time surface. With
+//!   tracing on, every invocation leaves a `vtrace` span tree (admit →
+//!   queue-wait → shell-acquire → exec → park/resume → migrate →
+//!   complete/shed) stamped on the virtual clock, dumpable as JSON
+//!   lines; queue-wait, exec, and per-tenant end-to-end latency
+//!   distributions accumulate in log2-bucketed
+//!   [`vclock::stats::Histogram`]s feeding Prometheus `_bucket` series;
+//!   and a [`vtrace::slo::SloEngine`] evaluates declared objectives
+//!   (latency bounds, availability) over sliding vclock windows with
+//!   multi-window burn-rate alerts. Runtime operator knobs
+//!   ([`Dispatcher::set_warm_budget`]) inject the degradations the
+//!   `slo_observe` bench proves the alerts catch. See
+//!   `docs/observability.md` for the full metric catalog.
 //!
 //! ## Example
 //!

@@ -194,6 +194,13 @@ pub trait PlacementEngine: std::fmt::Debug {
     fn warm_policy_active(&self) -> bool {
         true
     }
+
+    /// Replaces the warm-capacity policy at runtime — the operator
+    /// control surface behind [`crate::Dispatcher::set_warm_budget`]
+    /// (e.g. slashing the budget mid-run to inject a degradation the
+    /// SLO engine must notice). Engines that do not enforce a warm
+    /// policy may ignore it; the default does nothing.
+    fn set_warm_policy(&mut self, _policy: WarmPolicy) {}
 }
 
 /// The default engine: one cost model over the shard topology,
@@ -303,6 +310,10 @@ impl PlacementEngine for CostEngine {
 
     fn warm_policy_active(&self) -> bool {
         self.warm.is_active()
+    }
+
+    fn set_warm_policy(&mut self, policy: WarmPolicy) {
+        self.warm = policy;
     }
 
     fn warm_release(&self, tenant_resident: usize, global_resident: usize) -> WarmVerdict {

@@ -15,6 +15,7 @@
 //!   never widen it;
 //! * a **base priority** feeding the shard run queues.
 
+use vclock::stats::Histogram;
 use vclock::Cycles;
 use wasp::HypercallMask;
 
@@ -49,6 +50,22 @@ pub enum ShedReason {
     /// sustained byte rate. Request and byte budgets are independent — a
     /// tenant within its request rate can still be shed for fat payloads.
     ByteBudget,
+}
+
+impl ShedReason {
+    /// Stable snake_case label for this reason, matching the `outcome`
+    /// label values of the `vsched_requests_total` Prometheus series
+    /// (minus their `shed_` prefix namespacing) and the trace dump's
+    /// `shed:<label>` outcomes.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::RateLimited => "rate_limit",
+            ShedReason::InFlightCap => "in_flight",
+            ShedReason::DeadlineMissed => "deadline",
+            ShedReason::DeadlineUnmeetable => "deadline_unmeetable",
+            ShedReason::ByteBudget => "byte_budget",
+        }
+    }
 }
 
 impl std::fmt::Display for ShedReason {
@@ -270,6 +287,10 @@ pub(crate) struct TenantState {
     /// request's payload bytes at submit.
     pub(crate) byte_bucket: TokenBucket,
     pub(crate) stats: TenantStats,
+    /// End-to-end latency distribution (cycles, arrival → finish) of
+    /// this tenant's served requests — the `vsched_e2e_cycles{tenant=…}`
+    /// Prometheus series.
+    pub(crate) e2e: Histogram,
 }
 
 impl TenantState {
@@ -281,6 +302,7 @@ impl TenantState {
             bucket,
             byte_bucket,
             stats: TenantStats::default(),
+            e2e: Histogram::new(),
         }
     }
 }

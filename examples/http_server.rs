@@ -30,4 +30,73 @@ fn main() {
          recv, stat, open, read, write, close, exit — every one checked\n\
          against the client's policy before touching the host."
     );
+
+    dispatched_with_observability();
+}
+
+/// The same server at platform scale, with the PR 6 observability
+/// surface on: invocation tracing, per-tenant latency histograms, and
+/// an SLO engine paging on burn rate (see `docs/observability.md`).
+fn dispatched_with_observability() {
+    use virtines::vclock::Cycles;
+    use virtines::vhttp::dispatch::{http_tenant, DispatchedServer};
+    use virtines::vtrace::slo::{BurnPolicy, SloEngine, SloSpec};
+
+    println!("\nplatform mode: 2 shards, traced, with a 100 µs p99 SLO...\n");
+    let mut server = DispatchedServer::new(2, 4096);
+    let app = server.add_tenant(http_tenant("app"));
+    let batch = server.add_tenant(http_tenant("batch"));
+    let d = server.dispatcher_mut();
+    d.enable_tracing(64);
+    d.set_slo(SloEngine::new(
+        vec![
+            SloSpec::latency("e2e_p99", 0.99, Cycles::from_micros(100.0)),
+            SloSpec::availability("availability", 0.999),
+        ],
+        BurnPolicy::default(),
+    ));
+    for i in 0..8 {
+        let t = i as f64 * 0.001;
+        server.offer(app, t).expect("admit");
+        if i % 2 == 0 {
+            server.offer(batch, t).expect("admit");
+        }
+    }
+    server.dispatcher_mut().drain();
+    server.dispatcher_mut().slo_tick();
+
+    let d = server.dispatcher();
+    let names: Vec<String> = d
+        .tenant_ids()
+        .iter()
+        .map(|&id| d.tenant_name(id).to_string())
+        .collect();
+    println!("per-invocation span trees (newest last):");
+    let mut traces: Vec<_> = d.trace().finished().collect();
+    traces.sort_by_key(|t| t.id);
+    for t in traces.iter().take(6) {
+        println!("  {}", t.summary(&names[t.tenant]));
+    }
+
+    println!("\nend-of-run SLO report:");
+    for r in d.slo().expect("slo engine").report() {
+        println!(
+            "  {:<14} objective {:.3}  burn fast {:>6.2} / slow {:>6.2}  \
+             budget remaining {:>6.1}%  alert {}",
+            r.name,
+            r.objective,
+            r.burn_fast,
+            r.burn_slow,
+            r.budget_remaining * 100.0,
+            r.severity.map_or("none".to_string(), |s| s.to_string()),
+        );
+    }
+    let e2e = d.e2e_hist();
+    println!(
+        "\nglobal e2e: p50 {:.1} µs, p99 {:.1} µs over {} served \
+         (same histogram the /metrics endpoint exports)",
+        Cycles(e2e.quantile(0.5)).as_micros(),
+        Cycles(e2e.quantile(0.99)).as_micros(),
+        e2e.count(),
+    );
 }

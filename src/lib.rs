@@ -16,4 +16,5 @@ pub use visa;
 pub use vjs;
 pub use vlibc;
 pub use vsched;
+pub use vtrace;
 pub use wasp;
