@@ -193,7 +193,7 @@ fn run_pipeline() -> PipelineResult {
         )
         .unwrap();
     }
-    d.drain();
+    d.run_to_idle();
 
     let completions = d.completions();
     assert_eq!(completions.len(), ITEMS * STAGES, "every stage completes");
@@ -262,7 +262,7 @@ fn run_identity(pre_send: bool) -> (u64, u32) {
         d.run_until(0.008);
         d.wasp().kernel().chan_send(chan, b"beta----").unwrap();
     }
-    d.drain();
+    d.run_to_idle();
     let c = d.completions().last().unwrap();
     assert!(c.exit_normal);
     (c.exec_cycles, c.resumes)
@@ -297,7 +297,7 @@ fn run_skew() -> (u64, usize, u64) {
     }
     d.wasp().kernel().chan_send(chan, b"deadbeef").unwrap();
     d.run_until(0.0021);
-    d.drain();
+    d.run_to_idle();
     let c = d
         .completions()
         .iter()

@@ -261,6 +261,32 @@ fn main() {
         num(&cur, "warm_p90_us", "current"),
     );
 
+    // -- drain_evict --------------------------------------------------------
+    let base = load_baseline("drain_evict");
+    let cur = load("BENCH_drain_evict.json");
+    // Exactly-once under lifecycle churn is a correctness invariant, not
+    // a performance number: gated exactly at zero, no drift allowance.
+    gate.exact(
+        "drain_evict: zero lost runs across drain/restore/fault phases",
+        0.0,
+        num(&cur, "lost", "current"),
+    );
+    gate.exact(
+        "drain_evict: zero double-runs (re-homed work executes once)",
+        0.0,
+        num(&cur, "double_run", "current"),
+    );
+    gate.lower(
+        "drain_evict: drain-window p99 (µs)",
+        num(&base, "drain.p99_us", "baseline"),
+        num(&cur, "drain.p99_us", "current"),
+    );
+    gate.higher(
+        "drain_evict: post-restore warm-hit rate",
+        num(&base, "recovered.warm_hit_rate", "baseline"),
+        num(&cur, "recovered.warm_hit_rate", "current"),
+    );
+
     println!("#");
     if gate.failures > 0 {
         println!(

@@ -73,7 +73,7 @@ fn run(shards: usize, arrivals: &[f64]) -> RunResult {
         };
         let _ = p.submit_for(tenant, t / COMPRESS);
     }
-    p.dispatcher_mut().drain();
+    p.dispatcher_mut().run_to_idle();
 
     let completions = p.dispatcher_mut().take_completions();
     for c in &completions {

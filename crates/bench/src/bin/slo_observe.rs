@@ -178,7 +178,7 @@ fn run(traced: bool) -> RunOut {
             degraded_metrics = vhttp::dispatch::prometheus_text(&d);
         }
     }
-    d.drain();
+    d.run_to_idle();
     d.slo_tick();
 
     let log = d.slo().expect("slo engine").alert_log();

@@ -223,7 +223,7 @@ fn warm_run(
                 .expect("admit");
             hog_next += 1;
         }
-        d.drain();
+        d.run_to_idle();
         max_resident = max_resident.max(d.warm_resident());
     }
 

@@ -180,7 +180,7 @@ fn macro_run(
         )
         .expect("unthrottled tenants admit");
     }
-    d.drain();
+    d.run_to_idle();
 
     let completions = d.take_completions();
     for c in &completions {

@@ -134,7 +134,7 @@ impl Platform for VespidPlatform {
         let arrival = self.next_arrival;
         self.submit_for(self.tenant, arrival)
             .expect("unthrottled tenant always admits");
-        self.dispatcher.drain();
+        self.dispatcher.run_to_idle();
         let c = self
             .dispatcher
             .take_completions()

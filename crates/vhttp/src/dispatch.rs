@@ -55,7 +55,8 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
          (tenant max_in_flight reached), shed_deadline (deadline passed \
          while queued), shed_deadline_unmeetable (estimated wait already \
          past the deadline at submit), shed_byte_budget (tenant sustained \
-         byte rate exceeded)",
+         byte rate exceeded), shed_evicted (hard-stopped by shard \
+         lifecycle: drain grace period expired or the shard failed)",
         &[
             ("{outcome=\"submitted\"}".into(), s.submitted),
             ("{outcome=\"admitted\"}".into(), s.admitted),
@@ -68,6 +69,19 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
                 s.shed_deadline_unmeetable,
             ),
             ("{outcome=\"shed_byte_budget\"}".into(), s.shed_byte_budget),
+            ("{outcome=\"shed_evicted\"}".into(), s.shed_evicted),
+        ],
+    );
+    metric(
+        "vsched_evictions_total",
+        "counter",
+        "Parked runs hard-stopped by shard lifecycle, by cause: \
+         grace_expired (unmigratable run outlived its tenant drain grace \
+         on a draining shard), shard_failed (the run's shard failed and \
+         its suspended context died with it)",
+        &[
+            ("{reason=\"grace_expired\"}".into(), s.evicted_grace),
+            ("{reason=\"shard_failed\"}".into(), s.evicted_failed),
         ],
     );
     metric(
@@ -177,6 +191,7 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
             ("{event=\"warm_acquired\"}".into(), p.warm_acquired),
             ("{event=\"warm_parked\"}".into(), p.warm_parked),
             ("{event=\"warm_demoted\"}".into(), p.warm_demoted),
+            ("{event=\"dropped\"}".into(), p.dropped),
         ],
     );
 
@@ -188,6 +203,13 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
             .map(|(i, s)| (format!("{{shard=\"{i}\"}}"), f(s)))
             .collect()
     };
+    metric(
+        "vsched_shard_state",
+        "gauge",
+        "Lifecycle state per shard: 0 = active, 1 = draining, \
+         2 = drained, 3 = failed",
+        &per_shard(&|s| s.state.gauge()),
+    );
     metric(
         "vsched_shard_queue_depth",
         "gauge",
@@ -677,6 +699,93 @@ impl DispatchedServer {
         resp
     }
 
+    /// Serves `GET /admin/drain?shard=<i>&action=<a>` over the simulated
+    /// network, host-side like [`DispatchedServer::fetch_metrics`] (an
+    /// operator's lifecycle controls must not compete with tenant
+    /// traffic). Actions: `drain` marks the shard draining and runs one
+    /// reconcile pass, `restore` returns it to active, `fail` kills it
+    /// (shells dropped, parked runs evicted, queued work re-homed), and
+    /// `status` (the default) changes nothing. The response body lists
+    /// every shard's lifecycle state as one JSON object per line; an
+    /// unknown action or an out-of-range shard index answers 400 without
+    /// touching the dispatcher.
+    pub fn fetch_admin_drain(&mut self, query: &str) -> Vec<u8> {
+        let client = self.kernel.net_connect(PORT).expect("connect");
+        let request = format!("GET /admin/drain{query} HTTP/1.0\r\n\r\n");
+        self.kernel
+            .net_send(client, request.as_bytes())
+            .expect("send");
+        let server = self
+            .kernel
+            .net_accept(PORT)
+            .expect("accept")
+            .expect("pending connection");
+        let req = self
+            .kernel
+            .net_recv(server, 512)
+            .expect("recv")
+            .expect("request bytes");
+        assert!(req.starts_with(b"GET /admin/drain"), "not a drain call");
+        let line = String::from_utf8_lossy(&req);
+        let target = line.split_whitespace().nth(1).unwrap_or("/admin/drain");
+        let mut shard: Option<usize> = None;
+        let mut action = "status";
+        let mut bad_query = false;
+        if let Some((_, qs)) = target.split_once('?') {
+            for pair in qs.split('&') {
+                match pair.split_once('=') {
+                    Some(("shard", v)) => match v.parse() {
+                        Ok(i) => shard = Some(i),
+                        Err(_) => bad_query = true,
+                    },
+                    Some(("action", v)) => action = v,
+                    _ => {}
+                }
+            }
+        }
+        let shards = self.dispatcher.shard_states().len();
+        let valid_action = matches!(action, "status" | "drain" | "restore" | "fail");
+        let needs_shard = action != "status";
+        let shard_ok = match shard {
+            Some(i) => i < shards,
+            None => !needs_shard,
+        };
+        let response = if bad_query || !valid_action || !shard_ok {
+            "HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n".to_string()
+        } else {
+            match (action, shard) {
+                ("drain", Some(i)) => {
+                    self.dispatcher.drain_shard(i);
+                }
+                ("restore", Some(i)) => self.dispatcher.restore_shard(i),
+                ("fail", Some(i)) => {
+                    self.dispatcher.fail_shard(i);
+                }
+                _ => {}
+            }
+            let mut body = String::new();
+            for (i, state) in self.dispatcher.shard_states().into_iter().enumerate() {
+                use std::fmt::Write;
+                let _ = writeln!(body, "{{\"shard\":{i},\"state\":\"{}\"}}", state.label());
+            }
+            format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+        };
+        self.kernel
+            .net_send(server, response.as_bytes())
+            .expect("send response");
+        let resp = self
+            .kernel
+            .net_recv(client, response.len() + 512)
+            .expect("recv")
+            .expect("response bytes");
+        self.kernel.net_close(client).ok();
+        self.kernel.net_close(server).ok();
+        resp
+    }
+
     /// Opens a connection as `tenant` at virtual time `arrival_s`, sends
     /// the canned GET in one piece, and offers the accepted connection to
     /// the dispatcher — the fast-client path (the handler's first `recv`
@@ -777,7 +886,7 @@ impl DispatchedServer {
     /// each served request produced a correct 200.
     pub fn finish(mut self) -> DispatchedRun {
         self.pump_until(f64::INFINITY);
-        self.dispatcher.drain();
+        self.dispatcher.run_to_idle();
         let completions = self.dispatcher.take_completions();
         assert_eq!(
             completions.len(),
@@ -908,7 +1017,7 @@ mod tests {
             let _ = server.offer(good, i as f64 * 0.001);
             let _ = server.offer(bad, i as f64 * 0.001);
         }
-        server.dispatcher.drain();
+        server.dispatcher.run_to_idle();
 
         let resp = server.fetch_metrics();
         assert_eq!(response_status(&resp), Some(200));
@@ -1012,7 +1121,7 @@ mod tests {
         for i in 0..12 {
             server.offer(tenant, i as f64 * 0.0005).unwrap();
         }
-        server.dispatcher.drain();
+        server.dispatcher.run_to_idle();
         let resp = server.fetch_metrics();
         assert_eq!(response_status(&resp), Some(200));
         let text = String::from_utf8(resp).unwrap();
@@ -1050,7 +1159,7 @@ mod tests {
             .submit(Request::new(metered, server.virtine, 0.0).with_args(vec![0u8; 64]))
             .unwrap_err();
         assert_eq!(err, ShedReason::ByteBudget);
-        server.dispatcher.drain();
+        server.dispatcher.run_to_idle();
         let text = String::from_utf8(server.fetch_metrics()).unwrap();
         assert!(
             text.lines()
@@ -1093,7 +1202,7 @@ mod tests {
             let _ = server.offer(evil, i as f64 * 0.001);
             let _ = server.offer(good, i as f64 * 0.001);
         }
-        server.dispatcher.drain();
+        server.dispatcher.run_to_idle();
         server.dispatcher.slo_tick();
         let text = String::from_utf8(server.fetch_metrics()).unwrap();
         let body = text.split("\r\n\r\n").nth(1).unwrap();
@@ -1242,7 +1351,7 @@ mod tests {
             server.offer(a, i as f64 * 0.001).unwrap();
             server.offer(b, i as f64 * 0.001).unwrap();
         }
-        server.dispatcher.drain();
+        server.dispatcher.run_to_idle();
 
         let resp = server.fetch_trace("?tenant=alpha&limit=3");
         assert_eq!(response_status(&resp), Some(200));
@@ -1270,6 +1379,88 @@ mod tests {
         // An unknown tenant matches nothing rather than erroring.
         let none = String::from_utf8(server.fetch_trace("?tenant=nobody")).unwrap();
         assert_eq!(none.split("\r\n\r\n").nth(1).unwrap(), "");
+    }
+
+    #[test]
+    fn admin_drain_endpoint_drives_the_shard_lifecycle() {
+        let mut server = DispatchedServer::new(2, 256);
+        let tenant = server.add_tenant(http_tenant("t"));
+        for i in 0..6 {
+            server.offer(tenant, i as f64 * 0.001).unwrap();
+        }
+        server.dispatcher.run_to_idle();
+
+        // Status: every shard active.
+        let resp = server.fetch_admin_drain("");
+        assert_eq!(response_status(&resp), Some(200));
+        let text = String::from_utf8(resp).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(
+            body.lines().collect::<Vec<_>>(),
+            [
+                "{\"shard\":0,\"state\":\"active\"}",
+                "{\"shard\":1,\"state\":\"active\"}",
+            ],
+        );
+
+        // Drain shard 0: with no live traffic it converges immediately.
+        let text = String::from_utf8(server.fetch_admin_drain("?shard=0&action=drain")).unwrap();
+        assert!(
+            text.contains("{\"shard\":0,\"state\":\"drained\"}"),
+            "{text}"
+        );
+        assert!(text.contains("{\"shard\":1,\"state\":\"active\"}"));
+        // The gauge agrees with the payload.
+        let metrics = String::from_utf8(server.fetch_metrics()).unwrap();
+        assert!(metrics
+            .lines()
+            .any(|l| l == "vsched_shard_state{shard=\"0\"} 2"));
+        assert!(metrics
+            .lines()
+            .any(|l| l == "vsched_shard_state{shard=\"1\"} 0"));
+
+        // Traffic keeps flowing to the survivor while shard 0 is out.
+        for i in 0..3 {
+            server.offer(tenant, 1.0 + i as f64 * 0.001).unwrap();
+        }
+        server.dispatcher.run_to_idle();
+
+        // Restore brings it back.
+        let text = String::from_utf8(server.fetch_admin_drain("?shard=0&action=restore")).unwrap();
+        assert!(text.contains("{\"shard\":0,\"state\":\"active\"}"));
+
+        // Fail (nothing in flight): shells dropped, state failed, the
+        // eviction counters stay zero, and the drop shows in the pool
+        // series.
+        let text = String::from_utf8(server.fetch_admin_drain("?shard=1&action=fail")).unwrap();
+        assert!(text.contains("{\"shard\":1,\"state\":\"failed\"}"));
+        let metrics = String::from_utf8(server.fetch_metrics()).unwrap();
+        assert!(metrics
+            .lines()
+            .any(|l| l == "vsched_shard_state{shard=\"1\"} 3"));
+        assert!(metrics
+            .lines()
+            .any(|l| l == "vsched_evictions_total{reason=\"grace_expired\"} 0"));
+        assert!(metrics
+            .lines()
+            .any(|l| l == "vsched_evictions_total{reason=\"shard_failed\"} 0"));
+        assert!(metrics.lines().any(|l| l
+            .starts_with("wasp_pool_shells_total{event=\"dropped\"} ")
+            && !l.ends_with(" 0")));
+        server.fetch_admin_drain("?shard=1&action=restore");
+
+        // Malformed requests answer 400 and change nothing.
+        for bad in [
+            "?shard=0&action=explode",
+            "?shard=9&action=drain",
+            "?action=drain",
+            "?shard=zero&action=drain",
+        ] {
+            let resp = server.fetch_admin_drain(bad);
+            assert_eq!(response_status(&resp), Some(400), "query `{bad}`");
+        }
+        let run = server.finish();
+        assert_eq!(run.served, 9, "lifecycle churn lost nothing");
     }
 
     #[test]

@@ -287,7 +287,7 @@ impl PipelineServer {
     /// Drains the pipeline, reads every response, and verifies each
     /// request produced a correct 200 through both stages.
     pub fn finish(mut self) -> PipelineRun {
-        self.dispatcher.drain();
+        self.dispatcher.run_to_idle();
         let completions = self.dispatcher.take_completions();
         assert_eq!(
             completions.len(),

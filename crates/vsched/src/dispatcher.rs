@@ -18,6 +18,7 @@ use wasp::{
     VirtineSpec, WaitTarget, Wasp, WaspError,
 };
 
+use crate::lifecycle::{FaultKind, FaultPlan, LifecycleAction, ShardState};
 use crate::placement::{Candidate, CostEngine, PlacementEngine, WarmPolicy, WarmVerdict};
 use crate::shard::{align_up, Parked, Queued, Shard, ShardSnapshot};
 use crate::tenant::{ShedReason, TenantId, TenantProfile, TenantState, TenantStats};
@@ -114,6 +115,13 @@ pub struct DispatcherConfig {
     /// tenant's next warm park demotes its own least-recently-parked
     /// shell — a churning tenant evicts itself, never a neighbor.
     pub warm_tenant_quota: Option<usize>,
+    /// Default grace period for parked runs stranded on a *draining*
+    /// shard (no eligible sibling to migrate to, or a spin-poll wait
+    /// that pins its worker): past it the run is hard-stopped and shed
+    /// with [`ShedReason::Evicted`]. Measured from the later of the
+    /// drain start and the park; overridden per tenant by
+    /// [`TenantProfile::drain_grace`].
+    pub drain_grace: Cycles,
 }
 
 impl Default for DispatcherConfig {
@@ -131,6 +139,7 @@ impl Default for DispatcherConfig {
             topology: None,
             warm_budget: None,
             warm_tenant_quota: None,
+            drain_grace: Cycles::from_micros(500.0),
         }
     }
 }
@@ -266,6 +275,17 @@ pub struct DispatcherStats {
     /// Requests shed because the payload exceeded the tenant's byte
     /// budget.
     pub shed_byte_budget: u64,
+    /// Admitted runs hard-stopped by shard lifecycle
+    /// ([`ShedReason::Evicted`]): the sum of the two cause counters
+    /// below, kept separately so `shed()` stays a sum of disjoint
+    /// reasons.
+    pub shed_evicted: u64,
+    /// Evictions caused by a drain grace expiry
+    /// ([`TenantProfile::drain_grace`]).
+    pub evicted_grace: u64,
+    /// Evictions caused by shard failure (fault injection or operator
+    /// [`Dispatcher::fail_shard`]).
+    pub evicted_failed: u64,
     /// Shells stolen between shards.
     pub stolen: u64,
     /// Steals whose donor shared the thief's CCX (one L3 away — the hop
@@ -314,6 +334,7 @@ impl DispatcherStats {
             + self.shed_deadline
             + self.shed_deadline_unmeetable
             + self.shed_byte_budget
+            + self.shed_evicted
     }
 
     /// Fraction of served requests that hit a warm shell (0 when nothing
@@ -323,6 +344,26 @@ impl DispatcherStats {
             0.0
         } else {
             self.warm_hits as f64 / self.served as f64
+        }
+    }
+}
+
+/// Why a parked run is being evicted (the `reason` label of the
+/// `vsched_evictions_total` series and the `drain_evict` span detail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FailCause {
+    /// Its drain grace expired while it sat unmigratable on a draining
+    /// shard.
+    GraceExpired,
+    /// The shard it was parked on failed; the suspension died with it.
+    ShardFailed,
+}
+
+impl FailCause {
+    fn label(self) -> &'static str {
+        match self {
+            FailCause::GraceExpired => "grace_expired",
+            FailCause::ShardFailed => "shard_failed",
         }
     }
 }
@@ -383,6 +424,10 @@ pub struct Dispatcher {
     /// Declared objectives evaluated at every terminal event
     /// (completion, kill, shed); `None` until [`Dispatcher::set_slo`].
     slo: Option<SloEngine>,
+    /// Scheduled deterministic faults, applied as virtual time advances
+    /// past each event's instant; `None` until
+    /// [`Dispatcher::set_fault_plan`].
+    fault_plan: Option<FaultPlan>,
     /// Queue-wait distribution (arrival → first execution start).
     hist_queue_wait: Histogram,
     /// Service-time distribution (worker cycles, parked waits excluded).
@@ -451,6 +496,7 @@ impl Dispatcher {
             warm_stamp: 0,
             trace: TraceCollector::disabled(),
             slo: None,
+            fault_plan: None,
             hist_queue_wait: Histogram::new(),
             hist_exec: Histogram::new(),
             hist_e2e: Histogram::new(),
@@ -683,7 +729,7 @@ impl Dispatcher {
         let arrival = cyc(req.arrival_s).max(self.last_arrival);
         self.last_arrival = arrival;
         self.deliver_wakeups(arrival);
-        self.advance_to(arrival);
+        self.advance_with_faults(arrival);
 
         let clock = self.wasp.clock();
         clock.tick(costs::VSCHED_ADMISSION);
@@ -830,10 +876,19 @@ impl Dispatcher {
 
     /// Runs every queued request to completion. Blocked runs whose sockets
     /// never become readable stay parked (forever, absent a tenant
-    /// `max_block`): drain is not a wait-for-the-world barrier.
-    pub fn drain(&mut self) {
+    /// `max_block`): this is not a wait-for-the-world barrier. (Formerly
+    /// `drain`; renamed so "drain" unambiguously means shard lifecycle
+    /// draining — [`Dispatcher::drain_shard`].)
+    pub fn run_to_idle(&mut self) {
         self.deliver_wakeups(self.last_arrival);
-        self.advance_to(u64::MAX);
+        self.advance_with_faults(u64::MAX);
+    }
+
+    /// Deprecated name of [`Dispatcher::run_to_idle`].
+    #[deprecated(note = "renamed to `run_to_idle`; `drain` now means shard lifecycle \
+                draining (see `Dispatcher::drain_shard`)")]
+    pub fn drain(&mut self) {
+        self.run_to_idle();
     }
 
     /// Advances the dispatcher to virtual time `t_s`: delivers pending
@@ -845,7 +900,7 @@ impl Dispatcher {
         let t = cyc(t_s).max(self.last_arrival);
         self.last_arrival = t;
         self.deliver_wakeups(t);
-        self.advance_to(t);
+        self.advance_with_faults(t);
     }
 
     /// Blocked runs currently parked across all shards.
@@ -908,6 +963,7 @@ impl Dispatcher {
             total.warm_acquired += p.warm_acquired;
             total.warm_parked += p.warm_parked;
             total.warm_demoted += p.warm_demoted;
+            total.dropped += p.dropped;
         }
         total
     }
@@ -943,6 +999,7 @@ impl Dispatcher {
                     },
                     hop,
                     transfer_cost: hop.transfer_cost(),
+                    eligible: s.state.is_active(),
                 }
             })
             .collect()
@@ -974,6 +1031,364 @@ impl Dispatcher {
             Hop::SameSocket => self.stats.stolen_cross_ccx += 1,
             Hop::CrossSocket => self.stats.stolen_cross_socket += 1,
         }
+    }
+
+    /// Installs a deterministic fault plan: each event fires as virtual
+    /// time advances past its instant, through the same detector →
+    /// reconcile → re-admit path as an operator-initiated drain or fail.
+    /// Replaces any previous plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Lifecycle state of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shard index out of range.
+    pub fn shard_state(&self, shard: usize) -> ShardState {
+        self.shards[shard].state
+    }
+
+    /// Lifecycle states of every shard, in index order — the
+    /// `vsched_shard_state` Prometheus gauge family.
+    pub fn shard_states(&self) -> Vec<ShardState> {
+        self.shards.iter().map(|s| s.state).collect()
+    }
+
+    /// Marks a shard draining and runs one reconcile pass. New
+    /// placements stop immediately (the shard leaves the eligible set);
+    /// the returned actions show what the pass moved, armed, or
+    /// converged. Idempotent: draining an already-draining or drained
+    /// shard just re-runs the reconciler.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shard index out of range.
+    pub fn drain_shard(&mut self, shard: usize) -> Vec<LifecycleAction> {
+        if self.shards[shard].state == ShardState::Active {
+            self.shards[shard].state = ShardState::Draining;
+            self.shards[shard].drain_since = self.last_arrival;
+        }
+        self.reconcile()
+    }
+
+    /// Restores a draining, drained, or failed shard to `Active`: it
+    /// rejoins the eligible set (placement, steal donation, migration
+    /// target) at the next decision, and any armed grace clocks on runs
+    /// still parked there are disarmed. Symmetric with
+    /// [`Dispatcher::drain_shard`]; a no-op on an already-active shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shard index out of range.
+    pub fn restore_shard(&mut self, shard: usize) {
+        let s = &mut self.shards[shard];
+        if s.state == ShardState::Active {
+            return;
+        }
+        s.state = ShardState::Active;
+        s.drain_since = 0;
+        for p in s.blocked.values_mut() {
+            p.evict_at = u64::MAX;
+        }
+    }
+
+    /// Fails a shard outright (fault injection or operator action): its
+    /// pooled shells are destroyed, parked runs are evicted — their
+    /// suspended hardware state died with the shard — and queued
+    /// requests are re-admitted on an eligible sibling exactly once
+    /// (shed with [`ShedReason::Evicted`] only when no sibling is
+    /// eligible). The shard stays `Failed` (and empty) until
+    /// [`Dispatcher::restore_shard`]. Idempotent: failing a failed
+    /// shard does nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shard index out of range.
+    pub fn fail_shard(&mut self, shard: usize) -> Vec<LifecycleAction> {
+        let mut actions = Vec::new();
+        if self.shards[shard].state == ShardState::Failed {
+            return actions;
+        }
+        self.shards[shard].state = ShardState::Failed;
+        self.shards[shard].drain_since = self.last_arrival;
+        let now = self.last_arrival;
+        let tick = self.config.tick.get();
+
+        // The pooled inventory is gone: these contexts lived on the
+        // failed worker.
+        let count = self.shards[shard].pool.drop_all_shells();
+        if count > 0 {
+            actions.push(LifecycleAction::ShellsDropped { shard, count });
+        }
+
+        // Queued fresh requests move to an eligible sibling (exactly
+        // once — the entry itself is re-homed, never copied). Woken runs
+        // waiting in the queue hold suspended state that died with the
+        // shard: they are evicted like parked runs.
+        let drained: Vec<Queued> = std::mem::take(&mut self.shards[shard].queue).into_vec();
+        self.shards[shard].next_wake = u64::MAX;
+        for mut q in drained {
+            if let Some(p) = q.resume.take() {
+                let seq = p.seq;
+                self.evict_parked(shard, *p, now, FailCause::ShardFailed);
+                actions.push(LifecycleAction::RunEvicted { seq, shard });
+                continue;
+            }
+            let c = self.candidates(Some(shard), None, None, now);
+            match self.engine.evacuate(&c) {
+                Some(dest) => {
+                    self.wasp.clock().tick(costs::VSCHED_QUEUE_OP);
+                    let seq = q.seq;
+                    self.shards[dest].enqueue_at(q, tick, now);
+                    if self.trace.enabled() {
+                        self.tspan(seq, "reconcile", format!("requeue shard={dest}"), now, now);
+                    }
+                    actions.push(LifecycleAction::RunRequeued {
+                        seq,
+                        from: shard,
+                        to: dest,
+                    });
+                }
+                None => {
+                    let seq = q.seq;
+                    let tstats = &mut self.tenants[q.tenant.0].stats;
+                    tstats.shed_evicted += 1;
+                    tstats.in_flight -= 1;
+                    self.stats.shed_evicted += 1;
+                    self.stats.evicted_failed += 1;
+                    if let Some(slo) = &mut self.slo {
+                        slo.observe_shed(Cycles(now));
+                    }
+                    if self.trace.enabled() {
+                        self.tspan(seq, "queue_wait", String::new(), q.arrival, now);
+                        self.tspan(seq, "drain_evict", "shard_failed".to_string(), now, now);
+                    }
+                    self.tfinish(seq, "shed:evicted", now);
+                    actions.push(LifecycleAction::RunEvicted { seq, shard });
+                }
+            }
+        }
+
+        // Parked runs: the suspension is lost with the worker.
+        let mut tokens: Vec<u64> = self.shards[shard].blocked.keys().copied().collect();
+        tokens.sort_unstable();
+        for token in tokens {
+            let p = self.shards[shard]
+                .blocked
+                .remove(&token)
+                .expect("token enumerated from the blocked set");
+            self.parked_shard.remove(&token);
+            match p.target {
+                WaitTarget::Sock(sock) => self.wasp.kernel().net_clear_waiter(sock),
+                WaitTarget::ChanRecv(chan) | WaitTarget::ChanSend { chan, .. } => {
+                    self.wasp.kernel().chan_clear_waiter(chan, token);
+                }
+            }
+            let seq = p.seq;
+            self.evict_parked(shard, p, now, FailCause::ShardFailed);
+            actions.push(LifecycleAction::RunEvicted { seq, shard });
+        }
+        actions
+    }
+
+    /// One pass of the lifecycle reconciliation loop: for every
+    /// *draining* shard, moves queued work, migratable parked runs, and
+    /// pooled shells (warm then clean) to eligible siblings through the
+    /// engine's evacuation decision — priced hops, quota-respecting —
+    /// arms per-tenant grace clocks on parked runs that cannot move, and
+    /// advances fully-evacuated shards to `Drained`. Returns everything
+    /// it did; **idempotent** — a second pass over unchanged state
+    /// returns an empty list. Runs automatically as virtual time
+    /// advances while any shard is non-active, so operators need not
+    /// poll.
+    pub fn reconcile(&mut self) -> Vec<LifecycleAction> {
+        let mut actions = Vec::new();
+        if self.shards.iter().all(|s| s.state.is_active()) {
+            return actions;
+        }
+        let now = self.last_arrival;
+        let tick = self.config.tick.get();
+        for i in 0..self.shards.len() {
+            if self.shards[i].state != ShardState::Draining {
+                continue;
+            }
+
+            // Queued work re-homes one entry at a time, each to the
+            // currently cheapest eligible sibling. No eligible sibling
+            // leaves the remainder in place: a draining shard still
+            // executes its own backlog (degraded mode beats losing it).
+            while !self.shards[i].queue.is_empty() {
+                let c = self.candidates(Some(i), None, None, now);
+                let Some(dest) = self.engine.evacuate(&c) else {
+                    break;
+                };
+                let mut q = self.shards[i].queue.pop().expect("checked non-empty");
+                self.wasp.clock().tick(costs::VSCHED_QUEUE_OP);
+                if let Some(p) = q.resume.as_deref_mut() {
+                    // A woken run carries its suspended shell: the move
+                    // is a migration and pays the hop like any other.
+                    self.wasp.clock().tick(self.topology.transfer_cost(i, dest));
+                    p.migrated = true;
+                    self.stats.migrations += 1;
+                    self.shards[i].stats.migrated_out += 1;
+                    self.shards[dest].stats.migrated_in += 1;
+                }
+                let seq = q.seq;
+                self.shards[dest].enqueue_at(q, tick, now);
+                if self.trace.enabled() {
+                    self.tspan(seq, "reconcile", format!("requeue shard={dest}"), now, now);
+                }
+                actions.push(LifecycleAction::RunRequeued {
+                    seq,
+                    from: i,
+                    to: dest,
+                });
+            }
+            if self.shards[i].queue.is_empty() {
+                self.shards[i].next_wake = u64::MAX;
+            }
+
+            // Parked runs migrate whole — suspension, shell, and
+            // token-keyed wait registration (no re-registration needed).
+            // Spin-poll parks pin their worker and cannot move; they (and
+            // parks with no eligible destination) get a grace clock
+            // instead, armed once and re-reported only if it changes.
+            let mut tokens: Vec<u64> = self.shards[i].blocked.keys().copied().collect();
+            tokens.sort_unstable();
+            for token in tokens {
+                let dest = if self.config.block == BlockMode::SpinPoll {
+                    None
+                } else {
+                    let c = self.candidates(Some(i), None, None, now);
+                    self.engine.evacuate(&c)
+                };
+                match dest {
+                    Some(dest) => {
+                        let mut p = self.shards[i]
+                            .blocked
+                            .remove(&token)
+                            .expect("token enumerated from the blocked set");
+                        self.wasp.clock().tick(self.topology.transfer_cost(i, dest));
+                        p.migrated = true;
+                        p.evict_at = u64::MAX;
+                        self.stats.migrations += 1;
+                        self.shards[i].stats.migrated_out += 1;
+                        self.shards[dest].stats.migrated_in += 1;
+                        if self.trace.enabled() {
+                            self.tspan(p.seq, "reconcile", format!("park shard={dest}"), now, now);
+                        }
+                        actions.push(LifecycleAction::ParkMigrated {
+                            seq: p.seq,
+                            from: i,
+                            to: dest,
+                        });
+                        self.parked_shard.insert(token, dest);
+                        self.shards[dest].blocked.insert(token, p);
+                    }
+                    None => {
+                        let drain_since = self.shards[i].drain_since;
+                        let p = self.shards[i]
+                            .blocked
+                            .get_mut(&token)
+                            .expect("token enumerated from the blocked set");
+                        let grace = self.tenants[p.tenant.0]
+                            .profile
+                            .drain_grace
+                            .unwrap_or(self.config.drain_grace)
+                            .get();
+                        let at = drain_since.max(p.blocked_from).saturating_add(grace);
+                        if p.evict_at != at {
+                            p.evict_at = at;
+                            actions.push(LifecycleAction::EvictionArmed {
+                                seq: p.seq,
+                                shard: i,
+                                at,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Pooled shells: warm exports keep their (tenant, virtine)
+            // key, snapshot identity, and LRU stamp, so cross-shard
+            // budgets and quotas are unchanged by the move; clean shells
+            // just change pools. Each transfer pays its hop.
+            while self.shards[i].pool.warm_shells() > 0 {
+                let c = self.candidates(Some(i), None, None, now);
+                let Some(dest) = self.engine.evacuate(&c) else {
+                    break;
+                };
+                let Some(export) = self.shards[i].pool.export_warm_lru() else {
+                    break;
+                };
+                self.wasp.clock().tick(self.topology.transfer_cost(i, dest));
+                self.shards[dest].pool.import_warm(export);
+                actions.push(LifecycleAction::WarmMigrated { from: i, to: dest });
+            }
+            while self.shards[i].pool.idle_shells() > 0 {
+                let c = self.candidates(Some(i), None, None, now);
+                let Some(dest) = self.engine.evacuate(&c) else {
+                    break;
+                };
+                let Some(vm) = self.shards[i].pool.take_idle_any() else {
+                    break;
+                };
+                self.wasp.clock().tick(self.topology.transfer_cost(i, dest));
+                self.shards[dest].pool.adopt_idle(vm);
+                actions.push(LifecycleAction::CleanMigrated { from: i, to: dest });
+            }
+
+            // Converged: nothing queued, parked, or pooled.
+            if self.shards[i].queue.is_empty()
+                && self.shards[i].blocked.is_empty()
+                && self.shards[i].pool.warm_shells() == 0
+                && self.shards[i].pool.idle_shells() == 0
+            {
+                self.shards[i].state = ShardState::Drained;
+                actions.push(LifecycleAction::Drained { shard: i });
+            }
+        }
+        actions
+    }
+
+    /// Advances to `limit` like [`Dispatcher::advance_to`], firing any
+    /// fault-plan events whose instant falls inside the window and
+    /// running the reconciler while any shard is non-active. With no
+    /// plan and every shard active this is exactly `advance_to` — the
+    /// hot path pays one boolean check.
+    fn advance_with_faults(&mut self, limit: u64) {
+        loop {
+            if self.shards.iter().any(|s| !s.state.is_active()) {
+                self.reconcile();
+            }
+            let due_at = self
+                .fault_plan
+                .as_ref()
+                .and_then(FaultPlan::next_at)
+                .filter(|&at_s| cyc(at_s) <= limit);
+            let Some(at_s) = due_at else {
+                break;
+            };
+            self.advance_to(cyc(at_s));
+            let due = self
+                .fault_plan
+                .as_mut()
+                .expect("plan present: next_at returned an instant")
+                .take_due(at_s);
+            for event in due {
+                match event.kind {
+                    FaultKind::KillShard(shard) => {
+                        self.fail_shard(shard);
+                    }
+                    FaultKind::KillShell(shard) => {
+                        self.shards[shard].pool.drop_idle();
+                    }
+                }
+            }
+        }
+        self.advance_to(limit);
     }
 
     /// Runs shard batches and block timeouts scheduled strictly before
@@ -1217,7 +1632,8 @@ impl Dispatcher {
                     stolen,
                     migrated: false,
                     blocked_from: free + segment,
-                    timeout_at: 0, // Filled in by park_suspended.
+                    timeout_at: 0,      // Filled in by park_suspended.
+                    evict_at: u64::MAX, // Likewise.
                 },
             ),
         }
@@ -1284,6 +1700,22 @@ impl Dispatcher {
             Some(max) => p.blocked_from.saturating_add(max.get()),
             None => u64::MAX,
         };
+        // Parking on a draining shard arms the grace clock immediately;
+        // the next reconcile pass may still migrate the run out (and
+        // disarm it) before the clock fires.
+        p.evict_at = if self.shards[idx].state == ShardState::Draining {
+            let grace = self.tenants[p.tenant.0]
+                .profile
+                .drain_grace
+                .unwrap_or(self.config.drain_grace)
+                .get();
+            self.shards[idx]
+                .drain_since
+                .max(p.blocked_from)
+                .saturating_add(grace)
+        } else {
+            u64::MAX
+        };
         // Registration is race-free: an object that became ready between
         // the block decision and this call wakes immediately.
         let kernel = self.wasp.kernel();
@@ -1333,14 +1765,19 @@ impl Dispatcher {
                 continue;
             };
             let wake = stamp.max(p.blocked_from);
-            if wake > p.timeout_at {
+            let bound = p.timeout_at.min(p.evict_at);
+            if wake > bound {
                 // The data arrived, but only after the tenant's max_block
-                // bound had already expired: the kill fires at the bound,
-                // not the wake — the budget is a hard ceiling, not a race
-                // against late bytes. (A wake exactly at the bound still
-                // resumes, matching advance_to's strict `at < limit`.)
-                let at = p.timeout_at;
-                self.kill_parked(idx, p, at);
+                // bound (or the lifecycle grace clock) had already
+                // expired: the kill fires at the bound, not the wake —
+                // the budget is a hard ceiling, not a race against late
+                // bytes. (A wake exactly at the bound still resumes,
+                // matching advance_to's strict `at < limit`.)
+                if p.evict_at < p.timeout_at {
+                    self.evict_parked(idx, p, bound, FailCause::GraceExpired);
+                } else {
+                    self.kill_parked(idx, p, bound);
+                }
                 continue;
             }
             self.settle_spin(idx, p.blocked_from, wake);
@@ -1431,8 +1868,10 @@ impl Dispatcher {
         }
     }
 
-    /// Kills the parked run registered under `token` (its `max_block`
-    /// expired at timeline position `at` with no wake in sight).
+    /// Kills or evicts the parked run registered under `token`: whichever
+    /// of its `max_block` bound and lifecycle grace clock expired first
+    /// fired at timeline position `at` with no wake in sight (ties go to
+    /// the `max_block` kill, preserving pre-lifecycle behavior exactly).
     fn kill_blocked(&mut self, idx: usize, token: u64, at: u64) {
         let p = self.shards[idx]
             .blocked
@@ -1445,7 +1884,52 @@ impl Dispatcher {
                 self.wasp.kernel().chan_clear_waiter(chan, token);
             }
         }
-        self.kill_parked(idx, p, at);
+        if p.evict_at < p.timeout_at {
+            self.evict_parked(idx, p, at, FailCause::GraceExpired);
+        } else {
+            self.kill_parked(idx, p, at);
+        }
+    }
+
+    /// Hard-stops a parked run on behalf of shard lifecycle: the run is
+    /// aborted, its shell wiped back into the (draining) shard's pool —
+    /// or destroyed outright when the shard failed, taking the hardware
+    /// context with it — and the request is shed with
+    /// [`ShedReason::Evicted`]. Unlike [`Dispatcher::kill_parked`] this
+    /// is a *shed*, not an abnormal serve: no completion is recorded and
+    /// the conservation identity stays `submitted == served + shed`. The
+    /// caller has already detached the run from the blocked set and
+    /// wait-token index.
+    fn evict_parked(&mut self, idx: usize, p: Parked, at: u64, cause: FailCause) {
+        let at = at.max(p.blocked_from);
+        self.settle_spin(idx, p.blocked_from, at);
+        let (outcome, vm) = self.wasp.abort_suspended(p.run);
+        debug_assert!(outcome.warm_state.is_none());
+        match cause {
+            // Draining: the worker is alive, the shell survives its run —
+            // the ordinary wiped release, then the next reconcile pass
+            // evacuates it like any other idle shell.
+            FailCause::GraceExpired => self.shards[idx].pool.release(vm),
+            // Failed: the context died with the shard.
+            FailCause::ShardFailed => self.shards[idx].pool.drop_shell(vm),
+        }
+        let tstats = &mut self.tenants[p.tenant.0].stats;
+        tstats.shed_evicted += 1;
+        tstats.in_flight -= 1;
+        self.stats.shed_evicted += 1;
+        match cause {
+            FailCause::GraceExpired => self.stats.evicted_grace += 1,
+            FailCause::ShardFailed => self.stats.evicted_failed += 1,
+        }
+        self.stats.blocked_cycles += outcome.breakdown.blocked.get();
+        if let Some(slo) = &mut self.slo {
+            slo.observe_shed(Cycles(at));
+        }
+        if self.trace.enabled() {
+            self.tspan(p.seq, "park", format!("{:?}", p.target), p.blocked_from, at);
+            self.tspan(p.seq, "drain_evict", cause.label().to_string(), at, at);
+        }
+        self.tfinish(p.seq, "shed:evicted", at);
     }
 
     /// Kills a parked run whose tenant `max_block` expired at timeline

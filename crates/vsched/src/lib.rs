@@ -100,6 +100,20 @@
 //!   ([`Dispatcher::set_warm_budget`]) inject the degradations the
 //!   `slo_observe` bench proves the alerts catch. See
 //!   `docs/observability.md` for the full metric catalog.
+//! * **Shard lifecycle under live traffic** ([`lifecycle`],
+//!   [`Dispatcher::drain_shard`] / [`Dispatcher::fail_shard`] /
+//!   [`Dispatcher::restore_shard`]) — a per-shard desired-state machine
+//!   (`Active → Draining → Drained`, plus `Failed`) driven by an
+//!   idempotent reconciliation loop ([`Dispatcher::reconcile`]) in
+//!   vclock time: a draining shard leaves the placement engine's
+//!   eligible set, its queued work, migratable parked runs, and pooled
+//!   shells evacuate to siblings through the same priced `Candidate`
+//!   cost machinery as steals, and unmigratable parked runs ride a
+//!   per-tenant grace period before being shed as
+//!   [`ShedReason::Evicted`]. [`FaultPlan`] injects shard/shell kills at
+//!   chosen virtual instants (seeded via `vclock::rng`), so failure
+//!   recovery replays bit-for-bit through the same reconcile path — see
+//!   `docs/lifecycle.md` and the `drain_evict` bench.
 //!
 //! ## Example
 //!
@@ -114,11 +128,12 @@
 //!     .unwrap();
 //! let tenant = d.add_tenant(TenantProfile::new("acme").with_rate(100.0, 8.0));
 //! d.submit(Request::new(tenant, id, 0.0)).unwrap();
-//! d.drain();
+//! d.run_to_idle();
 //! assert!(d.completions()[0].exit_normal);
 //! ```
 
 pub mod dispatcher;
+pub mod lifecycle;
 pub mod placement;
 pub mod shard;
 pub mod tenant;
@@ -127,6 +142,7 @@ pub mod topology;
 pub use dispatcher::{
     BlockMode, Completion, Dispatcher, DispatcherConfig, DispatcherStats, Placement, Request,
 };
+pub use lifecycle::{FaultEvent, FaultKind, FaultPlan, LifecycleAction, ShardState};
 pub use placement::{Candidate, CostEngine, PlacementEngine, WarmPolicy, WarmVerdict};
 pub use shard::{ShardSnapshot, ShardStats};
 pub use tenant::{ShedReason, TenantId, TenantProfile, TenantStats};
@@ -154,7 +170,7 @@ mod tests {
         let id = d.register(halt_spec("t")).unwrap();
         let tenant = d.add_tenant(TenantProfile::new("solo"));
         d.submit(Request::new(tenant, id, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         let c = &d.completions()[0];
         assert!(c.exit_normal);
         assert!(c.finish >= c.start && c.service > 0.0);
@@ -177,7 +193,7 @@ mod tests {
         }
         assert_eq!(admitted, 2);
         assert_eq!(d.tenant_stats(tenant).shed_rate_limit, 3);
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.tenant_stats(tenant).served, 2);
     }
 
@@ -195,7 +211,7 @@ mod tests {
             .collect();
         assert_eq!(results.iter().filter(|&&ok| ok).count(), 3);
         assert_eq!(d.tenant_stats(tenant).shed_in_flight, 3);
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.tenant_stats(tenant).served, 3);
         assert_eq!(d.tenant_stats(tenant).in_flight, 0);
     }
@@ -220,7 +236,7 @@ mod tests {
             d.submit(Request::new(tenant, id, 0.0)),
             Err(ShedReason::InFlightCap)
         );
-        d.drain();
+        d.run_to_idle();
         // The second burst token is still there: a fourth request at the
         // same instant admits instead of being rate-limited.
         assert!(d.submit(Request::new(tenant, id, 0.0)).is_ok());
@@ -253,7 +269,7 @@ mod tests {
             .unwrap();
         d.submit(Request::new(tenant, id, 0.0).with_deadline(1e-9))
             .unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.tenant_stats(tenant).served, 1);
         assert_eq!(d.tenant_stats(tenant).shed_deadline, 1);
         assert_eq!(d.tenant_stats(tenant).in_flight, 0);
@@ -274,7 +290,7 @@ mod tests {
         let s2 = d.submit(Request::new(high, id, 0.0)).unwrap();
         let s3 = d.submit(Request::new(low, id, 0.0).with_boost(5)).unwrap();
         assert_eq!((s0, s1, s2, s3), (0, 1, 2, 3));
-        d.drain();
+        d.run_to_idle();
         let tenants: Vec<usize> = d.completions().iter().map(|c| c.tenant.index()).collect();
         // High-priority tenant first, boosted low next, then FIFO.
         assert_eq!(
@@ -300,7 +316,7 @@ mod tests {
             for _ in 0..8 {
                 d.submit(Request::new(tenant, id, 0.0)).unwrap();
             }
-            d.drain();
+            d.run_to_idle();
             d.completions()
                 .iter()
                 .map(|c| c.finish)
@@ -327,12 +343,12 @@ mod tests {
         let b = d.add_tenant(TenantProfile::new("b"));
         // Warm shard 0 by running tenant A once (its shell parks there).
         d.submit(Request::new(a, id, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.shard_snapshots()[0].idle_shells, 1);
         assert_eq!(d.shard_snapshots()[1].idle_shells, 0);
         // Tenant B's shard is dry: it must steal shard 0's clean shell.
         d.submit(Request::new(b, id, 1.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         let c = d.completions().last().unwrap();
         assert!(c.stolen_shell && c.reused_shell);
         assert_eq!(d.stats().stolen, 1);
@@ -355,9 +371,9 @@ mod tests {
         let a = d.add_tenant(TenantProfile::new("a"));
         let b = d.add_tenant(TenantProfile::new("b"));
         d.submit(Request::new(a, id, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         d.submit(Request::new(b, id, 1.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.stats().stolen, 0);
         assert_eq!(d.pool_stats().created, 2);
     }
@@ -378,7 +394,7 @@ mod tests {
         let locked = d.add_tenant(TenantProfile::new("locked"));
         d.submit(Request::new(open, id, 0.0)).unwrap();
         d.submit(Request::new(locked, id, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         let by_tenant: Vec<(usize, bool)> = d
             .completions()
             .iter()
@@ -425,7 +441,7 @@ mod tests {
                 .with_invocation(Invocation::with_payload(b"ping".to_vec())),
         )
         .unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.completions()[0].result, b"ping");
     }
 
@@ -441,7 +457,7 @@ mod tests {
         let id = d.register(halt_spec("t")).unwrap();
         let tenant = d.add_tenant(TenantProfile::new("t"));
         d.submit(Request::new(tenant, id, 0.0003)).unwrap();
-        d.drain();
+        d.run_to_idle();
         let c = &d.completions()[0];
         // Arrived mid-tick: starts at the next boundary, not immediately.
         assert!(c.start >= tick_s - 1e-9, "start {}", c.start);
@@ -458,7 +474,7 @@ mod tests {
         for i in 0..4 {
             d.submit(Request::new(tenant, id, i as f64 * 0.01)).unwrap();
         }
-        d.drain();
+        d.run_to_idle();
         assert!(d.completions().iter().all(|c| !c.reused_shell));
         assert_eq!(d.pool_stats().created, 4);
     }
@@ -500,7 +516,7 @@ init:
         for i in 0..3 {
             d.submit(Request::new(tenant, id, i as f64 * 0.01)).unwrap();
         }
-        d.drain();
+        d.run_to_idle();
         let c = d.completions();
         assert!(!c[0].warm_hit, "first run cold-boots");
         assert!(c[1].warm_hit && c[2].warm_hit, "repeats re-arm warm");
@@ -525,11 +541,11 @@ init:
         // First request lands somewhere (least-loaded fallback) and parks
         // a warm shell there; every follow-up must chase that shard.
         d.submit(Request::new(tenant, id, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         let home = d.completions()[0].shard;
         for i in 1..6 {
             d.submit(Request::new(tenant, id, i as f64 * 0.01)).unwrap();
-            d.drain();
+            d.run_to_idle();
         }
         let c = d.completions();
         assert!(
@@ -550,7 +566,7 @@ init:
         for i in 0..6 {
             ll.submit(Request::new(tenant, id, i as f64 * 0.01))
                 .unwrap();
-            ll.drain();
+            ll.run_to_idle();
         }
         assert!(
             ll.stats().warm_hits < d.stats().warm_hits,
@@ -572,7 +588,7 @@ init:
         for i in 0..3 {
             d.submit(Request::new(tenant, id, i as f64 * 0.01)).unwrap();
         }
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.stats().warm_hits, 0);
         assert_eq!(d.pool_stats().warm_parked, 0);
         // Shells still recycle through the clean list.
@@ -592,10 +608,10 @@ init:
         let a = d.add_tenant(TenantProfile::new("a"));
         let b = d.add_tenant(TenantProfile::new("b"));
         d.submit(Request::new(a, id, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.shard_snapshots()[0].warm_shells, 1);
         d.submit(Request::new(b, id, 0.01)).unwrap();
-        d.drain();
+        d.run_to_idle();
         let c = d.completions().last().unwrap();
         assert!(!c.warm_hit, "warm shells never cross tenants");
         assert!(c.reused_shell, "but the hardware context is recycled");
@@ -604,7 +620,7 @@ init:
         // B's run parks its own warm shell; A's next request must then
         // miss (B demoted A's) while B hits.
         d.submit(Request::new(b, id, 0.02)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert!(d.completions().last().unwrap().warm_hit);
     }
 
@@ -653,7 +669,7 @@ init:
 
         d.submit(Request::new(tenant, blocked, 0.0).with_invocation(Invocation::with_conn(server)))
             .unwrap();
-        d.drain();
+        d.run_to_idle();
         // Parked, not completed: the shell and in-flight slot stay held,
         // but the worker is free.
         assert_eq!(d.completions().len(), 0);
@@ -665,14 +681,14 @@ init:
 
         // The freed worker serves other requests while the run is parked.
         d.submit(Request::new(tenant, fast, 0.001)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.completions().len(), 1, "worker was given back");
         assert!(d.completions()[0].exit_normal);
 
         // Data arrives: wake → front-of-queue resume → completion.
         d.wasp().kernel().net_send(client, b"ping").unwrap();
         d.run_until(0.01);
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.completions().len(), 2);
         let c = d.completions().last().unwrap();
         assert!(c.exit_normal);
@@ -706,12 +722,12 @@ init:
             )
             .unwrap();
             d.submit(Request::new(tenant, fast, 0.0001)).unwrap();
-            d.drain();
+            d.run_to_idle();
             let fast_done_while_parked = d.completions().len();
             // The slow client finally sends after 20 ms.
             d.wasp().kernel().net_send(client, b"x").unwrap();
             d.run_until(0.02);
-            d.drain();
+            d.run_to_idle();
             assert_eq!(d.completions().len(), 2, "all served in the end");
             let fast_c = d
                 .completions()
@@ -777,13 +793,13 @@ init:
                 .with_invocation(Invocation::default().with_chans(vec![chan])),
         )
         .unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.parked(), 1, "empty channel parks the consumer");
         assert_eq!(d.stats().blocked, 1);
 
         d.wasp().kernel().chan_send(chan, b"work").unwrap();
         d.run_until(0.01);
-        d.drain();
+        d.run_to_idle();
         let c = d.completions().last().unwrap();
         assert!(c.exit_normal);
         assert_eq!(c.resumes, 1);
@@ -837,7 +853,7 @@ init:
                 .with_invocation(Invocation::default().with_chans(vec![chan])),
         )
         .unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.completions().len(), 2, "one drain completes the hop");
         assert!(d.completions().iter().all(|c| c.exit_normal));
         assert_eq!(d.stats().resumed, 1);
@@ -895,7 +911,7 @@ init:
         // This drain must terminate with the sender parked — the
         // pre-fix registration woke the token immediately and the
         // park/wake loop never converged.
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.parked(), 1, "sender parked under backpressure");
         assert_eq!(d.completions().len(), 0);
 
@@ -903,7 +919,7 @@ init:
         // message lands.
         d.wasp().kernel().chan_recv(chan, 64).unwrap().unwrap();
         d.run_until(0.01);
-        d.drain();
+        d.run_to_idle();
         let c = d.completions().last().unwrap();
         assert!(c.exit_normal);
         assert_eq!(c.resumes, 1);
@@ -945,7 +961,7 @@ init:
         assert!(d.shard_snapshots()[0].queue_depth >= 16);
         d.wasp().kernel().chan_send(chan, b"go").unwrap();
         d.run_until(0.0021);
-        d.drain();
+        d.run_to_idle();
 
         let c = d
             .completions()
@@ -990,7 +1006,7 @@ init:
         }
         d.wasp().kernel().chan_send(chan, b"go").unwrap();
         d.run_until(0.0021);
-        d.drain();
+        d.run_to_idle();
         let c = d
             .completions()
             .iter()
@@ -1036,7 +1052,7 @@ init:
         d.submit(Request::new(tenant, blocked, 0.0).with_invocation(Invocation::with_conn(server)))
             .unwrap();
         // Nobody ever sends: drain fires the 5 ms block timeout.
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.parked(), 0);
         assert_eq!(d.stats().blocked_timeout, 1);
         assert_eq!(d.tenant_stats(tenant).blocked_timeout, 1);
@@ -1048,7 +1064,7 @@ init:
         // The killed run's shell went through the wiped release: the next
         // request reuses it and must see zeroes at the sentinel address.
         d.submit(Request::new(tenant, reader, 0.01)).unwrap();
-        d.drain();
+        d.run_to_idle();
         let c = d.completions().last().unwrap();
         assert!(c.exit_normal && c.reused_shell && !c.stolen_shell);
         assert_eq!(c.result, vec![0u8; 8], "parked state leaked past a kill");
@@ -1095,7 +1111,7 @@ init:
             .unwrap();
         d.submit(Request::new(tenant, send, 0.001).with_invocation(Invocation::with_conn(client)))
             .unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.completions().len(), 2, "one drain completes both");
         assert_eq!(d.parked(), 0);
         assert_eq!(d.stats().resumed, 1);
@@ -1125,7 +1141,7 @@ init:
         // The client finally sends at t = 20 ms — 15 ms past the bound.
         d.wasp().kernel().net_send(client, b"late").unwrap();
         d.run_until(0.020);
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.stats().blocked_timeout, 1, "late bytes must not revive");
         assert_eq!(d.stats().resumed, 0);
         let c = d.completions().last().unwrap();
@@ -1151,7 +1167,7 @@ init:
         let tenant = d.add_tenant(TenantProfile::new("dl").with_rate(1000.0, 1.0));
         // Prime the per-request cost estimate.
         d.submit(Request::new(tenant, id, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
 
         // A deadline already in the past can never be met: shed at submit,
         // without burning the tenant's rate-limit token.
@@ -1181,7 +1197,7 @@ init:
             .submit(Request::new(bulk, id, 2.0).with_deadline(2.0 + 2.0 * tick_s))
             .unwrap_err();
         assert_eq!(err, ShedReason::DeadlineUnmeetable);
-        d.drain();
+        d.run_to_idle();
         assert_eq!(
             d.stats().submitted,
             d.stats().served + d.stats().shed(),
@@ -1218,7 +1234,7 @@ init:
         // fits again (bucket refilled 64 bytes over one second).
         d.submit(Request::new(tenant, id, 1.0).with_args(vec![7u8; 48]))
             .unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.tenant_stats(tenant).served, 3);
         assert_eq!(d.tenant_stats(tenant).shed_rate_limit, 0);
         assert_eq!(
@@ -1309,7 +1325,7 @@ init:
         }
         d.wasp().kernel().chan_send(chan, b"go").unwrap();
         d.run_until(0.0021);
-        d.drain();
+        d.run_to_idle();
         let c = d
             .completions()
             .iter()
@@ -1341,12 +1357,12 @@ init:
         // not by shell scarcity.
         d.prewarm(MEM, 2);
         d.submit(Request::new(b, v[0], 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.warm_resident_of(b), 1);
         for (i, &virtine) in v.iter().enumerate() {
             d.submit(Request::new(a, virtine, 0.01 * (i + 1) as f64))
                 .unwrap();
-            d.drain();
+            d.run_to_idle();
             assert!(
                 d.warm_resident_of(a) <= 2,
                 "quota violated: {} resident",
@@ -1358,10 +1374,10 @@ init:
         // A's oldest key (v[0]) was the self-evicted one: a repeat for
         // v[2] still warm-hits, a repeat for v[0] must re-restore.
         d.submit(Request::new(a, v[2], 1.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert!(d.completions().last().unwrap().warm_hit);
         d.submit(Request::new(a, v[0], 1.1)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert!(!d.completions().last().unwrap().warm_hit);
     }
 
@@ -1382,7 +1398,7 @@ init:
         d.prewarm(MEM, 2);
         for (i, (&t, &virtine)) in tenants.iter().zip(&v).enumerate() {
             d.submit(Request::new(t, virtine, 0.01 * i as f64)).unwrap();
-            d.drain();
+            d.run_to_idle();
             assert!(
                 d.warm_resident() <= 2,
                 "budget violated: {} resident",
@@ -1392,10 +1408,10 @@ init:
         assert_eq!(d.warm_resident(), 2, "steady state pins the budget");
         // The two most recently parked keys are the residents.
         d.submit(Request::new(tenants[3], v[3], 1.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert!(d.completions().last().unwrap().warm_hit);
         d.submit(Request::new(tenants[0], v[0], 1.1)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert!(!d.completions().last().unwrap().warm_hit);
     }
 
@@ -1419,7 +1435,389 @@ init:
         let tenant = d.add_tenant(TenantProfile::new("t"));
         d.prewarm(MEM, 2);
         d.submit(Request::new(tenant, id, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert!(d.completions()[0].reused_shell);
+    }
+
+    #[test]
+    fn drain_evacuates_shells_and_reconcile_is_idempotent() {
+        // Warm a shard, then drain it: the warm shell and the clean
+        // shells must move to the sibling through the cost machinery, the
+        // shard must converge to Drained, and a second reconcile pass
+        // must perform zero actions (the idempotence contract).
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::SnapshotAware,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(snap_spec("s")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t"));
+        d.submit(Request::new(tenant, id, 0.0)).unwrap();
+        d.run_to_idle();
+        let home = d.completions()[0].shard;
+        let sibling = 1 - home;
+        assert_eq!(d.shard_snapshots()[home].warm_shells, 1);
+
+        let actions = d.drain_shard(home);
+        assert!(
+            actions.contains(&LifecycleAction::WarmMigrated {
+                from: home,
+                to: sibling
+            }),
+            "warm shell must migrate: {actions:?}"
+        );
+        assert!(
+            actions.contains(&LifecycleAction::Drained { shard: home }),
+            "evacuation must converge: {actions:?}"
+        );
+        assert_eq!(d.shard_state(home), ShardState::Drained);
+        assert_eq!(d.shard_snapshots()[home].warm_shells, 0);
+        assert_eq!(d.shard_snapshots()[home].idle_shells, 0);
+        assert_eq!(d.shard_snapshots()[sibling].warm_shells, 1);
+        assert!(
+            d.reconcile().is_empty(),
+            "second converge pass performs zero actions"
+        );
+
+        // Warm identity survived the move: the repeat chases the shell to
+        // the sibling and warm-hits there.
+        d.submit(Request::new(tenant, id, 0.01)).unwrap();
+        d.run_to_idle();
+        let c = d.completions().last().unwrap();
+        assert_eq!(c.shard, sibling);
+        assert!(c.warm_hit, "migrated warm shell re-arms on the sibling");
+        // Inventory arithmetic: nothing leaked, nothing destroyed.
+        let p = d.pool_stats();
+        assert_eq!(p.dropped, 0);
+        assert_eq!(
+            (d.pool_stats().created - p.dropped) as usize,
+            d.shard_snapshots()
+                .iter()
+                .map(|s| s.idle_shells + s.warm_shells)
+                .sum::<usize>(),
+        );
+    }
+
+    #[test]
+    fn drain_requeues_queued_work_exactly_once() {
+        // A huge tick keeps submissions queued on the ByTenant home; the
+        // drain must re-home them to the eligible sibling, where every
+        // one is served exactly once.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::ByTenant,
+            tick: vclock::Cycles::from_micros(10_000_000.0),
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(halt_spec("t")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t")); // home = shard 0
+                                                            // Arrivals strictly inside the first tick: t=0 would *be* a batch
+                                                            // boundary and execute on submission.
+        for i in 0..4 {
+            d.submit(Request::new(tenant, id, (i + 1) as f64 * 1e-5))
+                .unwrap();
+        }
+        assert_eq!(d.shard_snapshots()[0].queue_depth, 4);
+        let actions = d.drain_shard(0);
+        let requeued = actions
+            .iter()
+            .filter(|a| matches!(a, LifecycleAction::RunRequeued { from: 0, to: 1, .. }))
+            .count();
+        assert_eq!(requeued, 4, "every queued run re-homed: {actions:?}");
+        assert_eq!(d.shard_state(0), ShardState::Drained);
+        d.run_to_idle();
+        assert_eq!(d.stats().served, 4, "exactly once, nothing lost");
+        assert_eq!(d.stats().shed_evicted, 0);
+        assert!(d.completions().iter().all(|c| c.shard == 1));
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+    }
+
+    #[test]
+    fn restore_is_symmetric_and_reconciler_goes_quiet() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::ByTenant,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(halt_spec("t")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t")); // home = shard 0
+        d.drain_shard(0);
+        d.submit(Request::new(tenant, id, 0.0)).unwrap();
+        d.run_to_idle();
+        assert_eq!(
+            d.completions()[0].shard,
+            1,
+            "draining home hands its tenant to the sibling"
+        );
+        d.restore_shard(0);
+        assert_eq!(d.shard_state(0), ShardState::Active);
+        assert!(
+            d.reconcile().is_empty(),
+            "restore leaves nothing to reconcile"
+        );
+        d.submit(Request::new(tenant, id, 0.01)).unwrap();
+        d.run_to_idle();
+        assert_eq!(
+            d.completions().last().unwrap().shard,
+            0,
+            "restored home is re-pinned"
+        );
+    }
+
+    #[test]
+    fn grace_expiry_evicts_an_unmigratable_parked_run() {
+        // Spin-poll pins the blocked run to its worker, so the drain
+        // cannot migrate it: the grace clock arms, the expiry hard-stops
+        // the run with ShedReason::Evicted — a shed, not a serve — and
+        // the freed shell then evacuates like any other, converging the
+        // drain.
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            block: BlockMode::SpinPoll,
+            ..DispatcherConfig::default()
+        });
+        let blocked = d.register(blocking_recv_spec("b")).unwrap();
+        let tenant = d.add_tenant(
+            TenantProfile::new("t")
+                .with_mask(HypercallMask::ALLOW_ALL)
+                .with_drain_grace(0.002),
+        );
+        let (_client, server) = conn_pair(&d, 91);
+        d.submit(Request::new(tenant, blocked, 0.0).with_invocation(Invocation::with_conn(server)))
+            .unwrap();
+        d.run_to_idle();
+        assert_eq!(d.parked(), 1);
+        let home = d
+            .shard_snapshots()
+            .iter()
+            .position(|s| s.parked == 1)
+            .unwrap();
+
+        let actions = d.drain_shard(home);
+        assert!(
+            actions.iter().any(
+                |a| matches!(a, &LifecycleAction::EvictionArmed { shard, .. } if shard == home)
+            ),
+            "unmigratable park gets a grace clock: {actions:?}"
+        );
+        assert_eq!(
+            d.shard_state(home),
+            ShardState::Draining,
+            "not yet converged"
+        );
+
+        d.run_until(0.01); // well past the 2 ms grace
+        d.run_to_idle();
+        assert_eq!(d.parked(), 0);
+        assert_eq!(d.completions().len(), 0, "an eviction is not a completion");
+        assert_eq!(d.stats().shed_evicted, 1);
+        assert_eq!(d.stats().evicted_grace, 1);
+        assert_eq!(d.stats().evicted_failed, 0);
+        assert_eq!(d.tenant_stats(tenant).shed_evicted, 1);
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+        assert_eq!(
+            d.tenant_stats(tenant).shed(),
+            1,
+            "conservation: the admitted run is accounted as shed"
+        );
+        assert!(
+            d.stats().busy_wait_cycles > 0,
+            "the spin window up to the eviction is busy occupancy"
+        );
+        // The freed shell evacuated and the drain converged (the
+        // auto-reconcile inside run_to_idle did it).
+        assert_eq!(d.shard_state(home), ShardState::Drained);
+        assert_eq!(d.shard_snapshots()[home].idle_shells, 0);
+        assert_eq!(d.shard_snapshots()[1 - home].idle_shells, 1);
+        assert!(d.reconcile().is_empty());
+    }
+
+    #[test]
+    fn restore_disarms_grace_clocks() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let blocked = d.register(blocking_recv_spec("b")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t").with_mask(HypercallMask::ALLOW_ALL));
+        let (client, server) = conn_pair(&d, 92);
+        d.submit(Request::new(tenant, blocked, 0.0).with_invocation(Invocation::with_conn(server)))
+            .unwrap();
+        d.run_to_idle();
+        d.drain_shard(0);
+        d.restore_shard(0);
+        // The armed eviction must NOT fire after restore: the run waits
+        // out the default 500 µs grace unharmed, then completes on wake.
+        d.run_until(0.05);
+        d.wasp().kernel().net_send(client, b"ping").unwrap();
+        d.run_until(0.06);
+        d.run_to_idle();
+        assert_eq!(d.stats().shed_evicted, 0);
+        assert_eq!(d.stats().served, 1);
+        assert!(d.completions()[0].exit_normal);
+    }
+
+    #[test]
+    fn fail_shard_drops_shells_evicts_parks_and_rehomes_queued() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::ByTenant,
+            tick: vclock::Cycles::from_micros(10_000_000.0),
+            ..DispatcherConfig::default()
+        });
+        let blocked = d.register(blocking_recv_spec("b")).unwrap();
+        let fast = d.register(halt_spec("f")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t").with_mask(HypercallMask::ALLOW_ALL));
+        let (_client, server) = conn_pair(&d, 93);
+        // Park a run on shard 0 first (small tick run), then pile fresh
+        // work onto its queue under the huge tick.
+        d.submit(Request::new(tenant, blocked, 0.0).with_invocation(Invocation::with_conn(server)))
+            .unwrap();
+        d.run_to_idle();
+        assert_eq!(d.parked(), 1);
+        for i in 0..3 {
+            d.submit(Request::new(tenant, fast, 1.0 + i as f64 * 1e-5))
+                .unwrap();
+        }
+
+        let actions = d.fail_shard(0);
+        assert_eq!(d.shard_state(0), ShardState::Failed);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, LifecycleAction::RunEvicted { shard: 0, .. })),
+            "the parked run dies with its shard: {actions:?}"
+        );
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(a, LifecycleAction::RunRequeued { from: 0, to: 1, .. }))
+                .count(),
+            3,
+            "fresh queued work re-homes exactly once: {actions:?}"
+        );
+        d.run_to_idle();
+        assert_eq!(d.stats().served, 3, "re-homed work completes elsewhere");
+        assert_eq!(d.stats().shed_evicted, 1);
+        assert_eq!(d.stats().evicted_failed, 1);
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+        // No shell leaks: everything still pooled balances creations
+        // minus the shells destroyed with the failed shard.
+        let p = d.pool_stats();
+        assert!(p.dropped > 0, "the failed shard's shells were destroyed");
+        assert_eq!(
+            (p.created - p.dropped) as usize,
+            d.shard_snapshots()
+                .iter()
+                .map(|s| s.idle_shells + s.warm_shells)
+                .sum::<usize>(),
+        );
+        assert_eq!(d.shard_snapshots()[0].idle_shells, 0);
+        assert_eq!(d.shard_snapshots()[0].warm_shells, 0);
+
+        // Failed shards restore to Active and serve again.
+        d.restore_shard(0);
+        d.submit(Request::new(tenant, fast, 2.0)).unwrap();
+        d.run_to_idle();
+        assert_eq!(d.completions().last().unwrap().shard, 0);
+    }
+
+    #[test]
+    fn fault_plan_kills_fire_at_their_virtual_instant() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::ByTenant,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(halt_spec("t")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t")); // home = shard 0
+        d.set_fault_plan(FaultPlan::new().kill_shard(0.05, 0));
+        // Requests straddle the kill: before it they serve on the home,
+        // after it they re-route to the survivor. Nothing is lost.
+        for i in 0..10 {
+            d.submit(Request::new(tenant, id, i as f64 * 0.01)).unwrap();
+        }
+        d.run_to_idle();
+        assert_eq!(d.shard_state(0), ShardState::Failed);
+        let s = d.stats();
+        assert_eq!(s.served + s.shed(), 10, "conservation across the fault");
+        assert_eq!(s.shed_evicted, 0, "halt runs never park, none evicted");
+        assert_eq!(s.served, 10);
+        let c = d.completions();
+        assert!(c.iter().any(|c| c.shard == 0), "pre-fault runs on the home");
+        assert!(
+            c.iter().filter(|c| c.finish > 0.05).all(|c| c.shard == 1),
+            "post-fault runs only on the survivor"
+        );
+        // Same seed, same plan, same outcome: the whole scenario replays.
+        let mut d2 = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::ByTenant,
+            ..DispatcherConfig::default()
+        });
+        let id2 = d2.register(halt_spec("t")).unwrap();
+        let tenant2 = d2.add_tenant(TenantProfile::new("t"));
+        d2.set_fault_plan(FaultPlan::new().kill_shard(0.05, 0));
+        for i in 0..10 {
+            d2.submit(Request::new(tenant2, id2, i as f64 * 0.01))
+                .unwrap();
+        }
+        d2.run_to_idle();
+        assert_eq!(
+            d.completions()
+                .iter()
+                .map(|c| (c.shard, c.finish.to_bits()))
+                .collect::<Vec<_>>(),
+            d2.completions()
+                .iter()
+                .map(|c| (c.shard, c.finish.to_bits()))
+                .collect::<Vec<_>>(),
+            "fault replay is bit-for-bit deterministic"
+        );
+    }
+
+    #[test]
+    fn kill_shell_faults_are_absorbed_by_the_pool() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(halt_spec("t")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t"));
+        d.prewarm(MEM, 2);
+        let before = d.pool_stats().created;
+        d.set_fault_plan(FaultPlan::new().kill_shell(0.01, 0));
+        for i in 0..4 {
+            d.submit(Request::new(tenant, id, i as f64 * 0.01)).unwrap();
+        }
+        d.run_to_idle();
+        assert_eq!(d.stats().served, 4, "a lost shell never loses a run");
+        assert_eq!(d.pool_stats().dropped, 1);
+        assert_eq!(
+            d.shard_state(0),
+            ShardState::Active,
+            "shell loss != shard loss"
+        );
+        // The pool re-creates on demand; inventory stays balanced.
+        let p = d.pool_stats();
+        assert!(p.created >= before);
+        assert_eq!(
+            (p.created - p.dropped) as usize,
+            d.shard_snapshots()
+                .iter()
+                .map(|s| s.idle_shells + s.warm_shells)
+                .sum::<usize>(),
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_drain_alias_still_runs_to_idle() {
+        let mut d = dispatcher(DispatcherConfig::default());
+        let id = d.register(halt_spec("t")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t"));
+        d.submit(Request::new(tenant, id, 0.0)).unwrap();
+        d.drain();
+        assert_eq!(d.stats().served, 1);
     }
 }

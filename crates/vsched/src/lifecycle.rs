@@ -1,0 +1,306 @@
+//! Shard lifecycle: desired-state machine, reconciler vocabulary, and
+//! deterministic fault injection.
+//!
+//! The paper's economics — virtines cheap enough to create and destroy
+//! that isolation costs almost nothing (§5.2) — extend to *operations*:
+//! shells and runs must be cheap to move **off** a shard that is being
+//! restarted, reconfigured, or has failed. This module gives each shard a
+//! desired state:
+//!
+//! ```text
+//!              drain_shard                converged
+//!   Active ───────────────▶ Draining ───────────────▶ Drained
+//!     ▲                        │                         │
+//!     │      restore_shard     │      restore_shard      │
+//!     ◀────────────────────────┴─────────────────────────┘
+//!     │
+//!     │      fail_shard (operator or FaultPlan)
+//!     └───────────────────────▶ Failed ── restore_shard ─▶ Active
+//! ```
+//!
+//! and an idempotent **reconciliation loop** (`Dispatcher::reconcile`)
+//! that converges actual state to desired state in vclock time:
+//!
+//! * a non-`Active` shard stops being scored by the placement engine as
+//!   an admit / steal / resume-migration target
+//!   ([`crate::placement::Candidate::eligible`]);
+//! * queued requests, migratable parked runs, and pooled shells (warm and
+//!   clean) are moved to eligible siblings through the same priced,
+//!   quota-respecting `Candidate` cost machinery as steals and
+//!   resume-time migration;
+//! * parked runs that *cannot* move (no eligible sibling, or a spin-poll
+//!   wait that pins its worker) ride a per-tenant grace period
+//!   ([`crate::TenantProfile::drain_grace`]) and are then hard-stopped
+//!   and shed with [`crate::ShedReason::Evicted`] — the only
+//!   post-admission shed besides a missed deadline;
+//! * re-running the reconciler against a converged state performs zero
+//!   actions, so an operator (or a control loop) can call it on every
+//!   tick without thrashing.
+//!
+//! [`FaultPlan`] injects failures at chosen virtual instants, seeded
+//! through `vclock::rng` so a whole kill-and-recover scenario replays
+//! bit-for-bit: shard failure exercises the same detector → reconcile →
+//! re-admit path as an operator-initiated drain.
+
+use vclock::rng::Rng;
+
+/// Desired/actual lifecycle state of one shard.
+///
+/// `Active` is the only state the placement engine scores; the other
+/// three are holes in the candidate set that the reconciler is busy
+/// emptying (`Draining`), has emptied (`Drained`), or abandoned wholesale
+/// (`Failed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Serving normally: admits, donates steals, accepts migrations.
+    Active,
+    /// Marked for evacuation: no new placements; the reconciler is moving
+    /// queued work, parked runs, and pooled shells to eligible siblings,
+    /// and grace clocks tick on whatever cannot move.
+    Draining,
+    /// Evacuation converged: queue empty, no parked runs, no pooled
+    /// shells. Safe to restart or reconfigure the underlying worker.
+    Drained,
+    /// The shard's hardware contexts are gone (fault injection or
+    /// operator `fail`). Pooled shells were dropped and parked runs
+    /// evicted; the shard holds nothing until restored.
+    Failed,
+}
+
+impl ShardState {
+    /// Stable snake_case label, matching the `vsched_shard_state` gauge
+    /// documentation and the `/admin/drain` status payload.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardState::Active => "active",
+            ShardState::Draining => "draining",
+            ShardState::Drained => "drained",
+            ShardState::Failed => "failed",
+        }
+    }
+
+    /// Numeric encoding for the `vsched_shard_state` Prometheus gauge:
+    /// 0 = active, 1 = draining, 2 = drained, 3 = failed.
+    pub fn gauge(self) -> u64 {
+        match self {
+            ShardState::Active => 0,
+            ShardState::Draining => 1,
+            ShardState::Drained => 2,
+            ShardState::Failed => 3,
+        }
+    }
+
+    /// Whether placement may score this shard as an admit / steal /
+    /// migration target.
+    pub fn is_active(self) -> bool {
+        matches!(self, ShardState::Active)
+    }
+}
+
+impl std::fmt::Display for ShardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One observable action the reconciler took. `Dispatcher::reconcile`
+/// returns the full list per pass; an empty list *is* the convergence
+/// proof — the idempotence contract says a second pass over unchanged
+/// state returns `[]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleAction {
+    /// A queued request moved from a draining shard's run queue to an
+    /// eligible sibling.
+    RunRequeued { seq: u64, from: usize, to: usize },
+    /// A parked (blocked) run's suspended state moved to an eligible
+    /// sibling; its wait registration rides along untouched.
+    ParkMigrated { seq: u64, from: usize, to: usize },
+    /// A warm shell (snapshot identity and LRU stamp preserved) moved to
+    /// an eligible sibling's warm list.
+    WarmMigrated { from: usize, to: usize },
+    /// A clean idle shell moved to an eligible sibling's clean list.
+    CleanMigrated { from: usize, to: usize },
+    /// An unmigratable parked run's grace clock was armed (or re-armed
+    /// tighter): at timeline position `at` it will be evicted.
+    EvictionArmed { seq: u64, shard: usize, at: u64 },
+    /// A parked run was hard-stopped and shed with
+    /// [`crate::ShedReason::Evicted`] — grace expired, or its shard
+    /// failed.
+    RunEvicted { seq: u64, shard: usize },
+    /// A failed shard's pooled shells were destroyed (`count` of them).
+    ShellsDropped { shard: usize, count: usize },
+    /// A draining shard's evacuation converged; its state advanced to
+    /// [`ShardState::Drained`].
+    Drained { shard: usize },
+}
+
+/// What a [`FaultEvent`] does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The whole shard fails: pooled shells dropped, parked runs evicted,
+    /// queued work re-admitted elsewhere — exactly `fail_shard`.
+    KillShard(usize),
+    /// One idle shell on the shard is destroyed (the cheapest clean one),
+    /// modelling a single context loss the pool absorbs by re-creating.
+    KillShell(usize),
+}
+
+/// One scheduled fault at a virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time in seconds at which the fault fires.
+    pub at_s: f64,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of injected faults, applied by the dispatcher
+/// as virtual time advances past each event's instant.
+///
+/// Determinism is the point: a plan built with [`FaultPlan::random`] from
+/// a seed replays the identical kill sequence on every run, so a
+/// fault-recovery bench or property test is exactly reproducible. Events
+/// fire in time order (ties in insertion order); the same detector →
+/// reconcile → re-admit path runs whether the fault came from a plan or
+/// an operator call.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Remaining events, sorted by time (stable on ties).
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules a whole-shard failure at `at_s` virtual seconds
+    /// (builder style).
+    pub fn kill_shard(mut self, at_s: f64, shard: usize) -> FaultPlan {
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::KillShard(shard),
+        });
+        self
+    }
+
+    /// Schedules a single-shell loss on `shard` at `at_s` virtual
+    /// seconds (builder style).
+    pub fn kill_shell(mut self, at_s: f64, shard: usize) -> FaultPlan {
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::KillShell(shard),
+        });
+        self
+    }
+
+    /// A seeded random plan: `count` faults spread uniformly over
+    /// `(0, horizon_s)`, each killing a random shard (with probability
+    /// `shard_kill_p`) or one of its shells. Same seed, same plan.
+    pub fn random(
+        seed: u64,
+        shards: usize,
+        count: usize,
+        horizon_s: f64,
+        shard_kill_p: f64,
+    ) -> FaultPlan {
+        assert!(shards > 0, "a fault plan needs at least one shard");
+        let mut rng = Rng::seeded(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let at_s = rng.range_f64(0.0, horizon_s);
+            let shard = rng.below(shards);
+            let kind = if rng.bool(shard_kill_p) {
+                FaultKind::KillShard(shard)
+            } else {
+                FaultKind::KillShell(shard)
+            };
+            plan.push(FaultEvent { at_s, kind });
+        }
+        plan
+    }
+
+    fn push(&mut self, e: FaultEvent) {
+        // Stable insert keeps ties in insertion order without a sort_by
+        // over f64 keys (total order is fine here: NaN is rejected).
+        assert!(
+            e.at_s.is_finite() && e.at_s >= 0.0,
+            "fault instant must be finite"
+        );
+        let i = self.events.partition_point(|x| x.at_s <= e.at_s);
+        self.events.insert(i, e);
+    }
+
+    /// The virtual instant of the next pending fault, if any.
+    pub fn next_at(&self) -> Option<f64> {
+        self.events.first().map(|e| e.at_s)
+    }
+
+    /// Pops every event due at or before `now_s`, in order.
+    pub fn take_due(&mut self, now_s: f64) -> Vec<FaultEvent> {
+        let n = self.events.partition_point(|e| e.at_s <= now_s);
+        self.events.drain(..n).collect()
+    }
+
+    /// Remaining scheduled events.
+    pub fn pending(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_labels_and_gauges_are_stable() {
+        let states = [
+            ShardState::Active,
+            ShardState::Draining,
+            ShardState::Drained,
+            ShardState::Failed,
+        ];
+        let labels: Vec<&str> = states.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["active", "draining", "drained", "failed"]);
+        let gauges: Vec<u64> = states.iter().map(|s| s.gauge()).collect();
+        assert_eq!(gauges, [0, 1, 2, 3]);
+        assert!(ShardState::Active.is_active());
+        assert!(!ShardState::Draining.is_active());
+        assert_eq!(ShardState::Drained.to_string(), "drained");
+    }
+
+    #[test]
+    fn plan_fires_in_time_order_with_stable_ties() {
+        let mut plan = FaultPlan::new()
+            .kill_shard(0.5, 1)
+            .kill_shell(0.2, 0)
+            .kill_shard(0.5, 2);
+        assert_eq!(plan.next_at(), Some(0.2));
+        let due = plan.take_due(0.5);
+        assert_eq!(
+            due.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            [
+                FaultKind::KillShell(0),
+                FaultKind::KillShard(1),
+                FaultKind::KillShard(2),
+            ],
+            "time order, insertion order on the 0.5 tie"
+        );
+        assert_eq!(plan.pending(), 0);
+        assert!(plan.take_due(9.0).is_empty());
+    }
+
+    #[test]
+    fn random_plan_replays_bit_for_bit_from_the_seed() {
+        let a = FaultPlan::random(42, 4, 16, 1.0, 0.3);
+        let b = FaultPlan::random(42, 4, 16, 1.0, 0.3);
+        assert_eq!(a.events, b.events, "same seed, same plan");
+        assert_eq!(a.pending(), 16);
+        for w in a.events.windows(2) {
+            assert!(w[0].at_s <= w[1].at_s, "sorted by instant");
+        }
+        let c = FaultPlan::random(43, 4, 16, 1.0, 0.3);
+        assert_ne!(a.events, c.events, "different seed, different plan");
+    }
+}

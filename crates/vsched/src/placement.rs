@@ -100,6 +100,13 @@ pub struct Candidate {
     /// Cycles a transfer from this shard to the anchor would charge
     /// ([`Hop::transfer_cost`]).
     pub transfer_cost: u64,
+    /// Whether the shard's lifecycle state admits new placements
+    /// (`ShardState::Active`). Draining/drained/failed shards stay in
+    /// the slice — it is always full-length and index-aligned — but
+    /// engines must not pick them; every [`CostEngine`] decision filters
+    /// on this column, falling back to the unfiltered ranking only when
+    /// *no* shard is eligible (degraded mode beats losing work).
+    pub eligible: bool,
 }
 
 /// What a warm release may do (the capacity half of the acquire chain).
@@ -201,6 +208,22 @@ pub trait PlacementEngine: std::fmt::Debug {
     /// SLO engine must notice). Engines that do not enforce a warm
     /// policy may ignore it; the default does nothing.
     fn set_warm_policy(&mut self, _policy: WarmPolicy) {}
+
+    /// Decision 5 (lifecycle evacuation): the eligible sibling that
+    /// receives a draining shard's queued work, parked runs, or pooled
+    /// shells. The draining shard is the anchor ([`Hop::Local`]), so the
+    /// default ranks eligible non-local shards by the shared cost key —
+    /// the evacuation pays the same priced hops as a steal in the other
+    /// direction. `None` means nowhere to go: the reconciler leaves the
+    /// work in place (degraded mode) and arms grace clocks on parked
+    /// runs.
+    fn evacuate(&self, candidates: &[Candidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .filter(|c| c.eligible && c.hop != Hop::Local)
+            .min_by_key(|c| (c.queue_depth, c.free_at, c.transfer_cost, c.shard))
+            .map(|c| c.shard)
+    }
 }
 
 /// The default engine: one cost model over the shard topology,
@@ -245,33 +268,52 @@ impl CostEngine {
 
     /// Donor selection for steals: nearest hop first (the steal's price
     /// *is* the distance), richest supply within a hop class, index as
-    /// the tie break. `supply` extracts the relevant shell count.
+    /// the tie break. `supply` extracts the relevant shell count. A
+    /// non-`Active` shard never donates — its inventory is the
+    /// reconciler's to move, and a steal from it would race the drain.
     fn donor(candidates: &[Candidate], supply: impl Fn(&Candidate) -> usize) -> Option<usize> {
         candidates
             .iter()
-            .filter(|c| c.hop != Hop::Local && supply(c) > 0)
+            .filter(|c| c.eligible && c.hop != Hop::Local && supply(c) > 0)
             .min_by_key(|c| (c.hop, Reverse(supply(c)), c.shard))
             .map(|c| c.shard)
+    }
+
+    /// The least-cost shard among lifecycle-eligible candidates, or —
+    /// only when *every* shard is ineligible — among all of them:
+    /// admission during a full-fleet drain degrades rather than panics,
+    /// and the work executes locally on whatever shard takes it.
+    fn least_eligible(candidates: &[Candidate]) -> usize {
+        candidates
+            .iter()
+            .filter(|c| c.eligible)
+            .min_by_key(|c| Self::cost(c))
+            .or_else(|| candidates.iter().min_by_key(|c| Self::cost(c)))
+            .map(|c| c.shard)
+            .expect("at least one shard")
     }
 }
 
 impl PlacementEngine for CostEngine {
     fn admit(&self, tenant: usize, candidates: &[Candidate]) -> usize {
-        let least = || {
-            candidates
-                .iter()
-                .min_by_key(|c| Self::cost(c))
-                .map(|c| c.shard)
-                .expect("at least one shard")
-        };
         match self.policy {
-            Placement::ByTenant => tenant % candidates.len(),
-            Placement::LeastLoaded => least(),
+            Placement::ByTenant => {
+                // Home-pinning holds only while the home is eligible; a
+                // draining home hands its tenants to the least-loaded
+                // eligible sibling until restored.
+                let home = tenant % candidates.len();
+                if candidates[home].eligible {
+                    home
+                } else {
+                    Self::least_eligible(candidates)
+                }
+            }
+            Placement::LeastLoaded => Self::least_eligible(candidates),
             Placement::SnapshotAware => {
-                let fallback = least();
+                let fallback = Self::least_eligible(candidates);
                 candidates
                     .iter()
-                    .filter(|c| c.warm_shells > 0)
+                    .filter(|c| c.eligible && c.warm_shells > 0)
                     .min_by_key(|c| Self::cost(c))
                     .filter(|c| {
                         // Don't trade µs of restore for ms of queueing:
@@ -296,12 +338,10 @@ impl PlacementEngine for CostEngine {
         // The home shard is Hop::Local with transfer cost 0, so an idle
         // home never loses to an equally idle sibling, and among equally
         // loaded siblings the nearest wins — migration only happens when
-        // it buys an earlier start, and then over the shortest hop.
-        candidates
-            .iter()
-            .min_by_key(|c| Self::cost(c))
-            .map(|c| c.shard)
-            .expect("at least one shard")
+        // it buys an earlier start, and then over the shortest hop. A
+        // draining home is ineligible, so its woken runs migrate out by
+        // construction.
+        Self::least_eligible(candidates)
     }
 
     fn admit_reads_warm(&self) -> bool {
@@ -350,6 +390,7 @@ mod tests {
             warm_shells: 0,
             hop: t.hop(anchor, shard),
             transfer_cost: t.transfer_cost(anchor, shard),
+            eligible: true,
         }
     }
 
@@ -441,6 +482,70 @@ mod tests {
         assert_eq!(e.steal_clean(&c), Some(3));
         let r: Vec<Candidate> = (0..4).map(|i| cand(&t, 2, i)).collect();
         assert_eq!(e.resume(&r), 2, "idle home never loses");
+    }
+
+    #[test]
+    fn ineligible_shards_are_never_placement_targets() {
+        let t = Topology::grouped(2, 2, 2);
+        let e = engine(Placement::LeastLoaded, &t);
+        // Shard 1 is the obvious winner on every axis but is draining.
+        let mut c: Vec<Candidate> = (0..8)
+            .map(|i| Candidate {
+                queue_depth: usize::from(i != 1),
+                idle_shells: 1,
+                warm_shells: 1,
+                ..cand(&t, 0, i)
+            })
+            .collect();
+        c[1].eligible = false;
+        assert_ne!(e.admit(0, &c), 1, "admit skips a draining shard");
+        assert_ne!(e.steal_clean(&c), Some(1), "no donating while draining");
+        assert_ne!(e.steal_warm(&c), Some(1));
+        assert_ne!(e.resume(&c), 1);
+        // ByTenant home-pinning yields to the drain and comes back.
+        let by_tenant = engine(Placement::ByTenant, &t);
+        assert_ne!(by_tenant.admit(1, &c), 1, "draining home is abandoned");
+        c[1].eligible = true;
+        assert_eq!(by_tenant.admit(1, &c), 1, "restored home is re-pinned");
+        // SnapshotAware ignores warm shells stranded on a draining shard.
+        let snap = engine(Placement::SnapshotAware, &t);
+        let mut w: Vec<Candidate> = (0..8).map(|i| cand(&t, 0, i)).collect();
+        w[1].warm_shells = 3;
+        assert_eq!(snap.admit(0, &w), 1, "warm shard wins while active");
+        w[1].eligible = false;
+        assert_ne!(snap.admit(0, &w), 1, "but not while draining");
+        // Full-fleet drain: degraded mode still places somewhere.
+        for x in &mut w {
+            x.eligible = false;
+        }
+        assert_eq!(e.admit(0, &w), 0, "no eligible shard falls back");
+        assert_eq!(e.resume(&w), 0);
+        assert_eq!(e.steal_clean(&w), None, "steals just fall through");
+    }
+
+    #[test]
+    fn evacuate_picks_the_cheapest_eligible_sibling() {
+        let t = Topology::grouped(2, 2, 2);
+        let e = engine(Placement::LeastLoaded, &t);
+        // Anchor (draining shard) is 0; its CCX sibling 1 is also down.
+        let mut c: Vec<Candidate> = (0..8).map(|i| cand(&t, 0, i)).collect();
+        c[0].eligible = false;
+        c[1].eligible = false;
+        assert_eq!(
+            e.evacuate(&c),
+            Some(2),
+            "nearest eligible sibling at equal load"
+        );
+        // Load dominates distance, same as every other decision.
+        for x in &mut c[2..4] {
+            x.queue_depth = 5;
+        }
+        assert_eq!(e.evacuate(&c), Some(4));
+        // Nowhere to go: the reconciler gets None and degrades.
+        for x in &mut c {
+            x.eligible = false;
+        }
+        assert_eq!(e.evacuate(&c), None);
     }
 
     #[test]

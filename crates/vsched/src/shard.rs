@@ -25,6 +25,7 @@ use std::collections::{BinaryHeap, HashMap};
 use vclock::Cycles;
 use wasp::{Invocation, Pool, SuspendedRun, VirtineId, WaitTarget};
 
+use crate::lifecycle::ShardState;
 use crate::tenant::TenantId;
 
 /// A run suspended in a blocking wait, parked on the shard that was
@@ -55,6 +56,11 @@ pub(crate) struct Parked {
     /// Timeline position at which the tenant's `max_block` kills the run;
     /// `u64::MAX` when unbounded.
     pub timeout_at: u64,
+    /// Timeline position at which shard lifecycle hard-stops the run
+    /// with `ShedReason::Evicted`; `u64::MAX` while the shard is active
+    /// or while the run can still be migrated out. Armed by the
+    /// reconciler (drain grace) and disarmed when the shard is restored.
+    pub evict_at: u64,
     /// The host object (socket or channel end) whose readiness wakes the
     /// run.
     pub target: WaitTarget,
@@ -159,6 +165,13 @@ pub(crate) struct Shard {
     /// The next batch tick at which this shard will run, `u64::MAX` when
     /// its queue is empty.
     pub next_wake: u64,
+    /// Lifecycle desired/actual state (see `crate::lifecycle`). Placement
+    /// only scores `Active` shards; the reconciler empties the rest.
+    pub state: ShardState,
+    /// Timeline position at which the current drain began; meaningful
+    /// only while `state` is `Draining` (grace periods are measured from
+    /// the later of this and the park).
+    pub drain_since: u64,
     pub stats: ShardStats,
 }
 
@@ -171,6 +184,8 @@ impl Shard {
             spinning: 0,
             free_at: 0,
             next_wake: u64::MAX,
+            state: ShardState::Active,
+            drain_since: 0,
             stats: ShardStats::default(),
         }
     }
@@ -188,11 +203,12 @@ impl Shard {
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len());
     }
 
-    /// The earliest `max_block` expiry among this shard's parked runs.
+    /// The earliest `max_block` expiry or lifecycle eviction instant
+    /// among this shard's parked runs.
     pub(crate) fn next_timeout(&self) -> Option<(u64, u64)> {
         self.blocked
             .iter()
-            .map(|(&token, p)| (p.timeout_at, token))
+            .map(|(&token, p)| (p.timeout_at.min(p.evict_at), token))
             .filter(|&(at, _)| at != u64::MAX)
             .min()
     }
@@ -217,6 +233,8 @@ pub struct ShardSnapshot {
     pub warm_shells: usize,
     /// The shard worker's timeline position in virtual seconds.
     pub free_at_s: f64,
+    /// Lifecycle state at snapshot time.
+    pub state: ShardState,
     /// Counters.
     pub stats: ShardStats,
     /// The shard pool's own statistics.
@@ -231,6 +249,7 @@ impl Shard {
             idle_shells: self.pool.idle_shells(),
             warm_shells: self.pool.warm_shells(),
             free_at_s: Cycles(self.free_at).as_secs(),
+            state: self.state,
             stats: self.stats,
             pool: self.pool.stats(),
         }

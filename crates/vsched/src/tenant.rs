@@ -50,6 +50,15 @@ pub enum ShedReason {
     /// sustained byte rate. Request and byte budgets are independent — a
     /// tenant within its request rate can still be shed for fat payloads.
     ByteBudget,
+    /// Shard lifecycle evicted an admitted run that could not be
+    /// re-admitted elsewhere: its drain grace period
+    /// ([`TenantProfile::drain_grace`]) expired while it was still parked
+    /// on a draining shard, or the shard it was parked on failed and the
+    /// suspended state died with it. This is the only post-admission shed
+    /// besides [`ShedReason::DeadlineMissed`]; movable work (queued
+    /// requests, migratable suspensions, warm shells) is relocated by the
+    /// reconciler instead and never sees this reason.
+    Evicted,
 }
 
 impl ShedReason {
@@ -64,6 +73,7 @@ impl ShedReason {
             ShedReason::DeadlineMissed => "deadline",
             ShedReason::DeadlineUnmeetable => "deadline_unmeetable",
             ShedReason::ByteBudget => "byte_budget",
+            ShedReason::Evicted => "evicted",
         }
     }
 }
@@ -76,6 +86,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::DeadlineMissed => write!(f, "deadline missed"),
             ShedReason::DeadlineUnmeetable => write!(f, "deadline unmeetable at admission"),
             ShedReason::ByteBudget => write!(f, "byte budget exhausted"),
+            ShedReason::Evicted => write!(f, "evicted by shard lifecycle"),
         }
     }
 }
@@ -111,6 +122,14 @@ pub struct TenantProfile {
     /// in-flight slot; past the bound it is killed with a wiped shell and
     /// counted in [`TenantStats::blocked_timeout`]. `None` waits forever.
     pub max_block: Option<Cycles>,
+    /// How long this tenant's parked runs may linger on a *draining*
+    /// shard when they cannot be migrated out (no eligible sibling, or a
+    /// spin-polling wait that pins its worker), measured from the later
+    /// of the drain start and the park. Past the bound the run is
+    /// hard-stopped and — its input already consumed, so re-admission is
+    /// impossible — shed with [`ShedReason::Evicted`]. `None` falls back
+    /// to [`crate::DispatcherConfig::drain_grace`].
+    pub drain_grace: Option<Cycles>,
 }
 
 impl TenantProfile {
@@ -129,6 +148,7 @@ impl TenantProfile {
             mask: HypercallMask::DENY_ALL,
             priority: 0,
             max_block: None,
+            drain_grace: None,
         }
     }
 
@@ -175,6 +195,16 @@ impl TenantProfile {
         self.max_block = Some(Cycles::from_micros(secs * 1e6));
         self
     }
+
+    /// Bounds how long this tenant's unmigratable parked runs may ride
+    /// out a shard drain before being hard-stopped and shed as
+    /// [`ShedReason::Evicted`], in virtual seconds (builder style). Zero
+    /// evicts at the first reconcile pass.
+    pub fn with_drain_grace(mut self, secs: f64) -> TenantProfile {
+        assert!(secs >= 0.0, "a drain grace cannot be negative");
+        self.drain_grace = Some(Cycles::from_micros(secs * 1e6));
+        self
+    }
 }
 
 /// Per-tenant dispatcher statistics, surfaced like `wasp::PoolStats`.
@@ -211,6 +241,11 @@ pub struct TenantStats {
     pub blocked: u64,
     /// Parked runs killed at the tenant's `max_block` bound.
     pub blocked_timeout: u64,
+    /// Admitted runs hard-stopped by shard lifecycle
+    /// ([`ShedReason::Evicted`]): their drain grace expired while they
+    /// were parked on a draining shard, or the shard they were parked on
+    /// failed.
+    pub shed_evicted: u64,
 }
 
 impl TenantStats {
@@ -221,6 +256,7 @@ impl TenantStats {
             + self.shed_deadline
             + self.shed_deadline_unmeetable
             + self.shed_byte_budget
+            + self.shed_evicted
     }
 }
 
@@ -370,5 +406,10 @@ mod tests {
             "deadline unmeetable at admission"
         );
         assert_eq!(ShedReason::ByteBudget.to_string(), "byte budget exhausted");
+        assert_eq!(
+            ShedReason::Evicted.to_string(),
+            "evicted by shard lifecycle"
+        );
+        assert_eq!(ShedReason::Evicted.label(), "evicted");
     }
 }

@@ -37,7 +37,7 @@ fn rate_limited_tenant_sheds_without_collateral_damage() {
             let tenant = if i % 2 == 0 { throttled } else { free };
             let _ = d.submit(Request::new(tenant, id, t));
         }
-        d.drain();
+        d.run_to_idle();
 
         let ts = d.tenant_stats(throttled);
         let fs = d.tenant_stats(free);
@@ -112,12 +112,12 @@ fn stolen_shells_never_leak_across_tenants() {
 
         // A dirties a shell; it parks (wiped) in shard 0's pool.
         d.submit(Request::new(a, writer, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.shard_snapshots()[0].idle_shells, 1, "case {case}");
 
         // B's home shard is dry: serving B steals A's shell.
         d.submit(Request::new(b, reader, 0.01)).unwrap();
-        d.drain();
+        d.run_to_idle();
         let c = d.completions().last().unwrap();
         assert!(c.stolen_shell, "case {case}: steal did not happen");
         assert_eq!(d.tenant_stats(b).stolen_serves, 1, "case {case}");
@@ -206,7 +206,7 @@ fn warm_shells_never_cross_tenants_or_virtines_without_a_wipe() {
         // The writer runs as tenant A and parks a warm shell (with the
         // secret resident) on its home shard.
         d.submit(Request::new(a, writer, 0.0)).unwrap();
-        d.drain();
+        d.run_to_idle();
         let home = d.completions()[0].shard;
         assert_eq!(
             d.shard_snapshots()[home].warm_shells,
@@ -219,7 +219,7 @@ fn warm_shells_never_cross_tenants_or_virtines_without_a_wipe() {
         // cross-shard warm steal.
         d.submit(Request::new(reading_tenant, reader, 0.01))
             .unwrap();
-        d.drain();
+        d.run_to_idle();
         let c = d.completions().last().unwrap();
         assert!(c.exit_normal, "case {case}: reader failed");
         assert!(!c.warm_hit, "case {case}: warm shell crossed keys");
@@ -371,7 +371,7 @@ fn parked_blocked_shells_are_never_stolen_or_demoted_and_wipe_on_kill() {
         // Let the tenant's max_block expire: the parked run is killed and
         // its shell — still holding the secret — re-enters circulation
         // only through the wiped release.
-        d.drain();
+        d.run_to_idle();
         assert_eq!(d.parked(), 0, "case {case}");
         assert_eq!(d.stats().blocked_timeout, 1, "case {case}");
         assert_eq!(d.tenant_stats(a).blocked_timeout, 1, "case {case}");
@@ -383,7 +383,7 @@ fn parked_blocked_shells_are_never_stolen_or_demoted_and_wipe_on_kill() {
         // creation) and must see zeroes at the secret's address.
         d.submit(Request::new(c, reader, max_block_s + 0.01))
             .unwrap();
-        d.drain();
+        d.run_to_idle();
         let comp = d.completions().last().unwrap();
         assert!(comp.exit_normal && comp.reused_shell, "case {case}");
         assert_eq!(
@@ -480,7 +480,7 @@ fn channel_close_wakes_the_whole_storm_in_front_of_queued_work() {
         // Peer closes: EOF is readable — every waiter wakes at once.
         d.wasp().kernel().chan_close(chan).unwrap();
         d.run_until(0.021);
-        d.drain();
+        d.run_to_idle();
 
         assert_eq!(d.parked(), 0, "case {case}: storm fully woken");
         let s = d.stats();
@@ -634,7 +634,7 @@ fn migrated_resumes_charge_identical_cycles_and_wipe_on_kill() {
         // it with a second message.
         let (mut da, consumer_a, ta, chan_a) = run_scenario(false, None);
         da.wasp().kernel().chan_send(chan_a, b"payload2").unwrap();
-        da.drain();
+        da.run_to_idle();
         let ca = da
             .completions()
             .iter()
@@ -648,7 +648,7 @@ fn migrated_resumes_charge_identical_cycles_and_wipe_on_kill() {
         // re-admits the consumer on shard 1.
         let (mut db, consumer_b, _tb, chan_b) = run_scenario(true, None);
         db.wasp().kernel().chan_send(chan_b, b"payload2").unwrap();
-        db.drain();
+        db.run_to_idle();
         let cb = db
             .completions()
             .iter()
@@ -673,7 +673,7 @@ fn migrated_resumes_charge_identical_cycles_and_wipe_on_kill() {
         // the run — *on the shard it migrated to*. A reader reusing that
         // shard's shell must see zeroes at the secret's address.
         let (mut dc, consumer_c, tc, _chan_c) = run_scenario(true, Some(0.01));
-        dc.drain(); // Fires the block timeout on the landing shard.
+        dc.run_to_idle(); // Fires the block timeout on the landing shard.
         assert_eq!(dc.stats().blocked_timeout, 1, "case {case}");
         let killed = dc
             .completions()
@@ -696,7 +696,7 @@ fn migrated_resumes_charge_identical_cycles_and_wipe_on_kill() {
         // killed run's shell there.
         let b = dc.add_tenant(TenantProfile::new("b").with_mask(HypercallMask::ALLOW_ALL));
         dc.submit(Request::new(b, reader, 1.0)).unwrap();
-        dc.drain();
+        dc.run_to_idle();
         let read = dc.completions().last().unwrap();
         assert!(read.exit_normal && read.reused_shell, "case {case}");
         assert_eq!(
@@ -793,7 +793,7 @@ fn distance_biased_steals_pick_the_nearest_donor_and_never_leak() {
         let mut t = 0.0;
         for &s in &supply {
             d.submit(Request::new(tenants[s], writer, t)).unwrap();
-            d.drain();
+            d.run_to_idle();
             t += 0.01;
         }
         assert_eq!(d.stats().stolen, 0, "case {case}: planting stole");
@@ -816,7 +816,7 @@ fn distance_biased_steals_pick_the_nearest_donor_and_never_leak() {
             .unwrap();
         d.submit(Request::new(tenants[thief_home], reader, t + 0.01))
             .unwrap();
-        d.drain();
+        d.run_to_idle();
         let c = d.completions().last().unwrap();
         assert!(c.stolen_shell, "case {case}: steal did not happen");
         assert_eq!(c.shard, thief_home, "case {case}");
@@ -973,14 +973,14 @@ fn warm_quota_and_budget_hold_under_steal_demote_migrate_mix() {
             d.submit(Request::new(*tenant, virtine, t).with_args(vec![i as u8]))
                 .unwrap();
             if rng.bool(0.3) {
-                d.drain();
+                d.run_to_idle();
                 check(&d, "mid-stream");
             }
             t += rng.range_f64(0.0, 0.002);
         }
         d.wasp().kernel().chan_send(chan, b"wake").unwrap();
         d.run_until(t + 0.001);
-        d.drain();
+        d.run_to_idle();
         check(&d, "after drain");
 
         let s = d.stats();
@@ -988,6 +988,188 @@ fn warm_quota_and_budget_hold_under_steal_demote_migrate_mix() {
         for (tenant, _) in &tenants {
             assert_eq!(d.tenant_stats(*tenant).in_flight, 0, "case {case}");
         }
+    }
+}
+
+/// Shard lifecycle churn: random interleavings of submit / drain /
+/// restore / fail / reconcile under live traffic — including parked
+/// channel consumers — preserve the exactly-once contract (every
+/// admitted request is served once or shed once, never both, never
+/// twice), leak no shells (pooled inventory balances creations minus
+/// destructions), and keep warm tenant quotas holding on the surviving
+/// shards. Drains and fails never take the last active shard, as an
+/// operator's guardrail would ensure.
+#[test]
+fn lifecycle_churn_keeps_exactly_once_accounting_and_leaks_nothing() {
+    let mut rng = Rng::seeded(0x11fec7c1e);
+    for case in 0..8 {
+        let shards = rng.below(3) + 2;
+        let quota = rng.below(2) + 1;
+        let placement = match rng.below(3) {
+            0 => Placement::SnapshotAware,
+            1 => Placement::LeastLoaded,
+            _ => Placement::ByTenant,
+        };
+        let mut d = Dispatcher::new(
+            Wasp::new_kvm_default(),
+            DispatcherConfig {
+                shards,
+                placement,
+                warm_tenant_quota: Some(quota),
+                ..DispatcherConfig::default()
+            },
+        );
+        // A snapshotted worker (exercises warm-shell migration) and a
+        // blocking channel consumer (exercises park migration, grace
+        // eviction, and eviction-on-failure).
+        let snap_img = visa::assemble(
+            "
+.org 0x8000
+  mov r1, 0x7000
+  mov r2, 41
+  store.q [r1], r2
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  load.q r0, [r1]
+  hlt
+",
+        )
+        .unwrap();
+        let chan_img = visa::assemble(
+            "
+.org 0x8000
+  mov r0, 13           ; chan_recv
+  mov r1, 0
+  mov r2, 0x4000
+  mov r3, 64
+  mov r4, 0
+  out 0x1, r0
+  hlt
+",
+        )
+        .unwrap();
+        let worker = d.register(VirtineSpec::new("w", snap_img, MEM)).unwrap();
+        let consumer = d
+            .register(
+                VirtineSpec::new("c", chan_img, MEM)
+                    .with_policy(HypercallMask::allowing(&[wasp::nr::CHAN_RECV]))
+                    .with_snapshot(false),
+            )
+            .unwrap();
+        let n_tenants = rng.below(2) + 2;
+        let tenants: Vec<_> = (0..n_tenants)
+            .map(|i| {
+                let mut p = TenantProfile::new(format!("t{i}")).with_mask(HypercallMask::ALLOW_ALL);
+                if rng.bool(0.5) {
+                    p = p.with_drain_grace(rng.range_f64(0.0005, 0.003));
+                }
+                d.add_tenant(p)
+            })
+            .collect();
+        let chan = d.wasp().kernel().chan_open(256);
+
+        let mut t = 0.0;
+        let ops = rng.below(60) + 40;
+        for _ in 0..ops {
+            t += rng.range_f64(0.0, 0.002);
+            match rng.below(10) {
+                0..=4 => {
+                    let tenant = tenants[rng.below(tenants.len())];
+                    if rng.bool(0.25) {
+                        let _ =
+                            d.submit(Request::new(tenant, consumer, t).with_invocation(
+                                wasp::Invocation::default().with_chans(vec![chan]),
+                            ));
+                    } else {
+                        let _ = d.submit(Request::new(tenant, worker, t));
+                    }
+                }
+                5 | 6 => {
+                    let shard = rng.below(shards);
+                    let actives = d.shard_states().iter().filter(|s| s.is_active()).count();
+                    if actives > 1 || !d.shard_state(shard).is_active() {
+                        d.drain_shard(shard);
+                    }
+                }
+                7 => {
+                    d.restore_shard(rng.below(shards));
+                }
+                8 => {
+                    let shard = rng.below(shards);
+                    let actives = d.shard_states().iter().filter(|s| s.is_active()).count();
+                    if actives > 1 || !d.shard_state(shard).is_active() {
+                        d.fail_shard(shard);
+                    }
+                }
+                _ => {
+                    d.reconcile();
+                    d.run_until(t);
+                }
+            }
+        }
+
+        // Quiesce: restore every shard (a restored cluster has nothing to
+        // reconcile), wake every still-parked consumer via EOF, and run
+        // everything down.
+        for shard in 0..shards {
+            d.restore_shard(shard);
+        }
+        assert!(d.reconcile().is_empty(), "case {case}: restored != quiet");
+        d.wasp().kernel().chan_close(chan).unwrap();
+        d.run_to_idle();
+        assert_eq!(d.parked(), 0, "case {case}: runs left parked");
+
+        let g = d.stats();
+        assert_eq!(
+            g.submitted,
+            g.served + g.shed(),
+            "case {case}: global conservation (served {}, evicted {})",
+            g.served,
+            g.shed_evicted,
+        );
+        assert_eq!(
+            d.completions().len() as u64,
+            g.served,
+            "case {case}: exactly one completion per served run"
+        );
+        let (mut sub, mut served, mut shed) = (0, 0, 0);
+        for &tid in &tenants {
+            let s = d.tenant_stats(tid);
+            assert_eq!(
+                s.submitted,
+                s.served + s.shed(),
+                "case {case}: tenant {} conservation",
+                tid.index()
+            );
+            assert_eq!(s.in_flight, 0, "case {case}");
+            assert!(
+                d.warm_resident_of(tid) <= quota,
+                "case {case}: tenant {} warm quota violated on survivors",
+                tid.index()
+            );
+            sub += s.submitted;
+            served += s.served;
+            shed += s.shed();
+        }
+        assert_eq!(
+            (sub, served, shed),
+            (g.submitted, g.served, g.shed()),
+            "case {case}: tenant planes disagree with the dispatcher"
+        );
+        // No shell leaks: pooled inventory balances mint minus destroy.
+        let p = d.pool_stats();
+        let pooled: usize = d
+            .shard_snapshots()
+            .iter()
+            .map(|s| s.idle_shells + s.warm_shells)
+            .sum();
+        assert_eq!(
+            pooled as u64,
+            p.created - p.dropped,
+            "case {case}: shells leaked (created {}, dropped {})",
+            p.created,
+            p.dropped
+        );
     }
 }
 
@@ -1031,7 +1213,7 @@ fn accounting_is_conserved_for_any_mix() {
             let tenant = tenants[rng.below(tenants.len())];
             let _ = d.submit(Request::new(tenant, id, t));
         }
-        d.drain();
+        d.run_to_idle();
 
         let g = d.stats();
         assert_eq!(g.submitted, n as u64, "case {case}");

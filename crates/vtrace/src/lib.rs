@@ -29,7 +29,10 @@ use vclock::Cycles;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSpan {
     /// Span kind: `admit`, `queue_wait`, `shell_acquire`, `exec`,
-    /// `park`, `resume`, `migrate`, or `shed`.
+    /// `park`, `resume`, `migrate`, `shed`, `reconcile` (a lifecycle
+    /// move off a draining shard), or `drain_evict` (a lifecycle
+    /// hard-stop; detail names the cause, `grace_expired` or
+    /// `shard_failed`).
     pub label: &'static str,
     /// Free-form detail, e.g. `warm(delta=3)` or `hop=cross_socket`.
     pub detail: String,

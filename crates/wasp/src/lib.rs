@@ -45,7 +45,7 @@ pub use hypercall::{
     HYPERCALL_PORT, RECV_NONBLOCK, WOULD_BLOCK,
 };
 pub use native::{NativeExit, NativeOutcome, NativeRunner};
-pub use pool::{Pool, PoolMode, PoolStats, DEFAULT_WARM_CAPACITY};
+pub use pool::{Pool, PoolMode, PoolStats, WarmExport, DEFAULT_WARM_CAPACITY};
 pub use runtime::{
     Breakdown, ExitKind, RunOutcome, RunResult, ShellSource, SuspendedRun, VirtineId, VirtineSpec,
     VirtineWarmStats, Wasp, WaspConfig, WaspError, WaspStats, ARGS_ADDR, LOAD_ADDR,

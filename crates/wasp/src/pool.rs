@@ -100,6 +100,11 @@ pub struct PoolStats {
     /// Warm shells demoted to the clean list via a full wipe (LRU
     /// eviction, cross-key fallback, or work stealing).
     pub warm_demoted: u64,
+    /// Shells destroyed outright — fault injection (a killed shell or
+    /// shard) or a failed shard's teardown. A dropped shell's hardware
+    /// context is gone; the inventory invariant becomes
+    /// `resident == created - dropped`.
+    pub dropped: u64,
 }
 
 /// A warm shell: parked still holding the state a snapshotted run left
@@ -122,6 +127,27 @@ struct WarmShell {
     /// shared counter ([`Pool::release_warm_stamped`]) so "least recently
     /// parked" is comparable *across* shard pools.
     stamp: u64,
+}
+
+/// A warm shell exported intact from one pool for adoption by another —
+/// the shard-drain evacuation path. The state is *not* wiped: the entry
+/// stays keyed to the same `(tenant, virtine)` on the destination pool,
+/// so the §5.2 isolation argument is unchanged (only the exact key that
+/// parked it may ever re-arm it, wherever it is resident). The stamp
+/// rides along so cross-pool LRU ordering survives the move.
+#[derive(Debug)]
+pub struct WarmExport {
+    /// Opaque tenant tag the shell is keyed to.
+    pub tenant: u64,
+    /// `VirtineId::into_raw` of the keyed virtine.
+    pub virtine: usize,
+    /// The shell, still holding the parked run's state.
+    pub vm: VmFd,
+    /// The snapshot the state derives from (identity-compared on
+    /// re-acquire).
+    pub snap: Rc<VmSnapshot>,
+    /// The original park-order stamp.
+    pub stamp: u64,
 }
 
 /// The pool itself. Shells are segregated by guest-memory size: a shell's
@@ -459,6 +485,113 @@ impl Pool {
         self.clean.get_mut(&mem_size).and_then(Vec::pop)
     }
 
+    /// [`Pool::take_idle`] without a size constraint: removes one clean
+    /// shell (smallest guest-memory size first, for determinism), or
+    /// `None` when the clean lists are empty. The shard-drain evacuation
+    /// loop uses this to empty a pool whose shells span several sizes.
+    pub fn take_idle_any(&mut self) -> Option<VmFd> {
+        let size = *self
+            .clean
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, _)| k)
+            .min()?;
+        self.clean.get_mut(&size).and_then(Vec::pop)
+    }
+
+    /// Adopts a clean shell evacuated from a sibling pool. The mirror of
+    /// [`Pool::take_idle`]: no statistics move — the shell was already
+    /// counted `created` by whichever pool minted it, and adoption is
+    /// inventory relocation, not a release after a run. The shell was
+    /// wiped before it ever parked clean, so adoption is isolation-free.
+    pub fn adopt_idle(&mut self, vm: VmFd) {
+        self.clean.entry(vm.mem_size()).or_default().push(vm);
+    }
+
+    /// Exports the least-recently-parked warm shell *intact* — state,
+    /// snapshot identity, and LRU stamp — for adoption by a sibling pool
+    /// ([`Pool::import_warm`]). This is the shard-drain evacuation path:
+    /// unlike every other warm exit (which wipes), the entry keeps its
+    /// `(tenant, virtine)` key across the move, so no state ever becomes
+    /// reachable by a different key.
+    pub fn export_warm_lru(&mut self) -> Option<WarmExport> {
+        let i = self
+            .warm
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.stamp)
+            .map(|(i, _)| i)?;
+        let w = self.warm.remove(i);
+        Some(WarmExport {
+            tenant: w.tenant,
+            virtine: w.virtine,
+            vm: w.vm,
+            snap: w.snap,
+            stamp: w.stamp,
+        })
+    }
+
+    /// Adopts a warm shell exported from a sibling pool, preserving its
+    /// key and park-order stamp. Over capacity, the pool's own oldest
+    /// warm shell is demoted exactly as on a warm park; under
+    /// [`PoolMode::Disabled`] or zero capacity the import degrades to a
+    /// wiped release, like any warm park would.
+    pub fn import_warm(&mut self, e: WarmExport) {
+        if self.mode == PoolMode::Disabled {
+            return; // Dropped, like any release under Disabled.
+        }
+        if self.warm_capacity == 0 {
+            self.release(e.vm);
+            return;
+        }
+        self.warm.push(WarmShell {
+            tenant: e.tenant,
+            virtine: e.virtine,
+            vm: e.vm,
+            snap: e.snap,
+            stamp: e.stamp,
+        });
+        if self.warm.len() > self.warm_capacity {
+            self.demote_oldest_warm(None);
+        }
+    }
+
+    /// Destroys one clean shell (smallest guest-memory size first) —
+    /// the "kill a shell" fault-injection primitive. Returns whether a
+    /// shell was dropped; counted in [`PoolStats::dropped`].
+    pub fn drop_idle(&mut self) -> bool {
+        match self.take_idle_any() {
+            Some(vm) => {
+                drop(vm);
+                self.stats.dropped += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Destroys every pooled shell, clean and warm — a failed shard's
+    /// teardown: the hardware contexts die with the shard process.
+    /// Returns how many were dropped (counted in [`PoolStats::dropped`]).
+    /// Shells parked *outside* the pool (inside a `SuspendedRun`) are the
+    /// caller's to account via [`Pool::drop_shell`].
+    pub fn drop_all_shells(&mut self) -> usize {
+        let n = self.idle_shells() + self.warm_shells();
+        self.clean.clear();
+        self.warm.clear();
+        self.stats.dropped += n as u64;
+        n
+    }
+
+    /// Destroys a shell the caller holds (e.g. one recovered from a
+    /// suspended run on a failed shard), counting it in
+    /// [`PoolStats::dropped`] so the pool's inventory arithmetic stays
+    /// exact.
+    pub fn drop_shell(&mut self, vm: VmFd) {
+        drop(vm);
+        self.stats.dropped += 1;
+    }
+
     /// Pre-populates the pool with `count` clean shells of `mem_size` bytes
     /// (warm-up before a burst, as a serverless front end would do).
     pub fn prewarm(&mut self, hv: &Hypervisor, mem_size: usize, count: usize) {
@@ -730,6 +863,57 @@ mod tests {
         let (vm, reused) = pool.acquire(&hv, MEM);
         assert!(reused);
         assert!(vm.read_guest(0x100, 10).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn warm_export_import_round_trips_with_key_and_stamp() {
+        let (_, hv) = hv();
+        let mut src = Pool::new(PoolMode::CachedAsync, ENTRY);
+        let mut dst = Pool::new(PoolMode::CachedAsync, ENTRY);
+        let snap = warm_fixture(&hv, &mut src);
+
+        // LRU export: the entry leaves intact — key, snapshot identity,
+        // and stamp all survive the move.
+        let e = src.export_warm_lru().expect("one warm shell parked");
+        assert_eq!((e.tenant, e.virtine), (7, 3));
+        assert!(std::rc::Rc::ptr_eq(&e.snap, &snap));
+        assert_eq!(src.warm_shells(), 0);
+        dst.import_warm(e);
+        assert!(dst.has_warm(7, 3));
+        assert_eq!(dst.oldest_warm_stamp(None), Some(0));
+
+        // The destination re-arms it for the same key, like a local park:
+        // the post-snapshot dirt is gone after the delta restore.
+        let (vm, got) = dst.acquire_warm(&hv, 7, 3, MEM).expect("warm hit");
+        assert!(std::rc::Rc::ptr_eq(&got, &snap));
+        vm.restore_delta(&got);
+        assert!(vm.read_guest(0x2000, 15).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(
+            &vm.read_guest(0x100, 23).unwrap(),
+            b"resident snapshot state"
+        );
+        dst.release(vm);
+        assert!(src.export_warm_lru().is_none(), "source is empty");
+    }
+
+    #[test]
+    fn dropped_shells_balance_the_inventory_arithmetic() {
+        let (_, hv) = hv();
+        let mut pool = Pool::new(PoolMode::CachedAsync, ENTRY);
+        warm_fixture(&hv, &mut pool); // 1 warm
+        pool.prewarm(&hv, MEM, 2); // 2 clean
+        assert_eq!(pool.stats().created, 3);
+
+        assert!(pool.drop_idle());
+        assert_eq!(pool.idle_shells(), 1);
+        assert_eq!(pool.stats().dropped, 1);
+        assert_eq!(pool.drop_all_shells(), 2, "one clean + one warm");
+        assert_eq!(pool.stats().dropped, 3);
+        assert_eq!(pool.idle_shells() + pool.warm_shells(), 0);
+        assert!(!pool.drop_idle(), "nothing left to kill");
+        // resident == created - dropped holds at every step.
+        let s = pool.stats();
+        assert_eq!(s.created - s.dropped, 0);
     }
 
     #[test]

@@ -39,7 +39,7 @@ fn main() {
         let _ = d.submit(Request::new(paid, id, t).with_args(i.to_le_bytes().to_vec()));
         let _ = d.submit(Request::new(trial, id, t).with_args(i.to_le_bytes().to_vec()));
     }
-    d.drain();
+    d.run_to_idle();
 
     for c in d.completions().iter().take(3) {
         println!(

@@ -62,7 +62,7 @@ fn dispatched_with_observability() {
             server.offer(batch, t).expect("admit");
         }
     }
-    server.dispatcher_mut().drain();
+    server.dispatcher_mut().run_to_idle();
     server.dispatcher_mut().slo_tick();
 
     let d = server.dispatcher();
