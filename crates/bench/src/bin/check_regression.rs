@@ -287,6 +287,48 @@ fn main() {
         num(&cur, "recovered.warm_hit_rate", "current"),
     );
 
+    // -- fault_recovery -----------------------------------------------------
+    let base = load_baseline("fault_recovery");
+    let cur = load("BENCH_fault_recovery.json");
+    // The failover contract is correctness, not performance: nothing
+    // lost, nothing double-run, and the detector never pages on a live
+    // shard — all gated exactly, no drift allowance.
+    gate.exact(
+        "fault_recovery: zero lost runs across failover",
+        0.0,
+        num(&cur, "lost", "current"),
+    );
+    gate.exact(
+        "fault_recovery: zero duplicates (retries and hedges dedup)",
+        0.0,
+        num(&cur, "duplicates", "current"),
+    );
+    gate.exact(
+        "fault_recovery: detector false positives",
+        0.0,
+        num(&cur, "detector.false_positives", "current"),
+    );
+    gate.exact(
+        "fault_recovery: detector-declared failures",
+        num(&base, "detector.declared", "baseline"),
+        num(&cur, "detector.declared", "current"),
+    );
+    gate.exact(
+        "fault_recovery: probe-driven restores",
+        num(&base, "detector.restored", "baseline"),
+        num(&cur, "detector.restored", "current"),
+    );
+    gate.lower(
+        "fault_recovery: steady p99 (µs)",
+        num(&base, "steady.p99_us", "baseline"),
+        num(&cur, "steady.p99_us", "current"),
+    );
+    gate.lower(
+        "fault_recovery: hedged straggler-mix p99 factor",
+        num(&base, "straggler.p99_factor", "baseline"),
+        num(&cur, "straggler.p99_factor", "current"),
+    );
+
     println!("#");
     if gate.failures > 0 {
         println!(

@@ -1,0 +1,420 @@
+//! Health-driven failover under the Figure 15-style mix: a detector — not
+//! an operator, not a scripted kill — declares a wedged shard failed,
+//! the evacuation/retry machinery loses nothing, hedges escape an
+//! injected straggler, and half-open probes bring the shard back.
+//!
+//! The reliability claim on top of the paper's economics: because
+//! isolation contexts are cheap to kill and re-create (Wanninger et
+//! al., EuroSys '22), failure handling can be *transparent*. The only
+//! fault injected here is a gray one — [`vsched::FaultPlan::hang_shard`]
+//! wedges a shard without marking it failed. Everything downstream is
+//! observed behavior: suspicion accrues from missing batch-tick
+//! heartbeats, a probe confirms the silence, the detector drives the
+//! existing `fail_shard → reconcile → re-admit` path, and recovery
+//! probes restore the shard once it wakes. Meanwhile tail hedging
+//! (delay derived from the tenant's observed p99) rescues requests
+//! stuck behind a straggler that never trips the detector.
+//!
+//! Acceptance:
+//! * zero lost runs: `admitted == served + shed() + retried_in_flight`
+//!   with the bridge term drained at quiesce;
+//! * zero double-runs: every completion's logical sequence number is
+//!   unique (hedge losers and stale retries are suppressed);
+//! * the shard failure is detector-declared (`declared == 1`) and
+//!   probe-restored (`restored == 1`) with `false_positives == 0` —
+//!   the plan contains no `kill_shard` entry at all;
+//! * hedging holds the straggler-mix p99 within 1.5× the no-straggler
+//!   baseline, though the straggler wedges for 6× the baseline p99;
+//! * the whole scenario replays bit-for-bit: two invocations with the
+//!   same seed produce identical (seq, shard, finish) streams.
+//!
+//! Writes `BENCH_fault_recovery.json` for the CI gate.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use vclock::stats::percentile;
+use vclock::Cycles;
+use vsched::{
+    Completion, Dispatcher, DispatcherConfig, FaultPlan, HealthConfig, HedgePolicy, Placement,
+    Request, RetryPolicy, ShardState, TenantProfile,
+};
+use wasp::{VirtineSpec, Wasp};
+
+const MEM: usize = 64 * 1024;
+const SHARDS: usize = 4;
+
+/// Steady cadence: one fast request every 100 µs of virtual time, with
+/// a slow one riding along every `SLOW_EVERY` rounds — the mix has a
+/// genuine tail for the hedge delay to be derived from.
+const CADENCE_S: f64 = 0.0001;
+const SLOW_EVERY: usize = 4;
+
+const STEADY_ROUNDS: usize = 100;
+const STRAGGLER_ROUNDS: usize = 150;
+const FAILOVER_ROUNDS: usize = 130;
+
+/// Detector randomness (probe jitter) — the replay gate runs the whole
+/// scenario twice under this one seed.
+const HEALTH_SEED: u64 = 0xFA17;
+
+/// The straggler wedges for 500 µs at a time: long enough to strand
+/// work (≈ 3× the slow service time), short enough that suspicion
+/// never crosses the declare threshold — a tail problem, not a failure.
+const STRAGGLER_SHARD: usize = 1;
+const STRAGGLER_HANG_S: f64 = 0.0005;
+const STRAGGLER_PERIOD_S: f64 = 0.003;
+const STRAGGLER_WINDOWS: usize = 5;
+
+/// The failover hang: 10 ms of silence on shard 2, an eternity against
+/// the 500 µs heartbeat interval. No `kill_shard` is planned — the
+/// detector alone turns the silence into a declared failure.
+const FAILOVER_SHARD: usize = 2;
+const FAILOVER_HANG_S: f64 = 0.010;
+
+/// The §5.2 snapshotted fast function (same shape as the drain_evict mix).
+fn fast_image() -> visa::asm::Image {
+    visa::assemble(
+        "
+.org 0x8000
+  mov r1, 0xA000
+  mov r2, 0
+fill:
+  store.q [r1], r2
+  add r1, 8
+  add r2, 1
+  cmp r2, 512
+  jl fill
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  mov r6, 0xC000
+  store.q [r6], r2
+  hlt
+",
+    )
+    .expect("assemble")
+}
+
+/// The slow function: ~40k iterations of real work on every invocation
+/// (no snapshot, so warm re-arms cannot shortcut it). This is the
+/// mix's tail — and the head-of-line blocker that gives hedging
+/// something to do even before the straggler shows up.
+fn slow_image() -> visa::asm::Image {
+    visa::assemble(
+        "
+.org 0x8000
+  mov r1, 0xA000
+  mov r2, 0
+spin:
+  store.q [r1], r2
+  add r2, 1
+  cmp r2, 40000
+  jl spin
+  hlt
+",
+    )
+    .expect("assemble")
+}
+
+struct Phase {
+    label: &'static str,
+    completions: Vec<Completion>,
+    served: u64,
+    hedges_fired: u64,
+    hedges_won: u64,
+}
+
+impl Phase {
+    fn p99_us(&self) -> f64 {
+        let lat: Vec<f64> = self.completions.iter().map(|c| c.latency() * 1e6).collect();
+        percentile(&lat, 99.0)
+    }
+}
+
+struct Outcome {
+    phases: Vec<Phase>,
+    lost: i64,
+    duplicates: i64,
+    retries: u64,
+    declared: u64,
+    restored: u64,
+    false_positives: u64,
+    probes: u64,
+    /// Replay fingerprint: every completion as (seq, shard, finish bits).
+    trace: Vec<(u64, usize, u64)>,
+}
+
+fn run_scenario() -> Outcome {
+    let mut d = Dispatcher::new(
+        Wasp::new_kvm_default(),
+        DispatcherConfig {
+            shards: SHARDS,
+            placement: Placement::LeastLoaded,
+            warm_capacity: 4,
+            tick: Cycles::from_micros(5.0),
+            ..DispatcherConfig::default()
+        },
+    );
+    d.set_health(HealthConfig::new().with_seed(HEALTH_SEED));
+    // Hedge delay rides the observed p99 at a 0.25 multiplier (floored
+    // at 30 µs): well under the tail it escapes, well over the fast
+    // path it must not duplicate. Retry is armed so detector-driven
+    // evacuation with no survivor would re-submit rather than shed.
+    let tenant = d.add_tenant(
+        TenantProfile::new("app")
+            .with_hedge(
+                HedgePolicy::new()
+                    .with_quantile(0.99, 0.25)
+                    .with_min_delay(0.00003),
+            )
+            .with_retry(RetryPolicy::new()),
+    );
+    let fast = d
+        .register(VirtineSpec::new("fast", fast_image(), MEM))
+        .expect("register");
+    let slow = d
+        .register(VirtineSpec::new("slow", slow_image(), MEM).with_snapshot(false))
+        .expect("register");
+    d.prewarm(MEM, 2);
+
+    // Warm-up: establish the fast function's snapshot and one slow
+    // sample outside the measured phases.
+    let mut t = 0.0;
+    for _ in 0..4 {
+        t += CADENCE_S;
+        d.submit(Request::new(tenant, fast, t)).expect("admit");
+    }
+    t += CADENCE_S;
+    d.submit(Request::new(tenant, slow, t)).expect("admit");
+    d.run_until(t + 0.001);
+    t += 0.001;
+    d.take_completions();
+
+    let drive = |d: &mut Dispatcher, t: &mut f64, rounds: usize| {
+        for round in 0..rounds {
+            *t += CADENCE_S;
+            d.submit(Request::new(tenant, fast, *t)).expect("admit");
+            if round % SLOW_EVERY == 0 {
+                d.submit(Request::new(tenant, slow, *t)).expect("admit");
+            }
+            d.run_until(*t);
+        }
+    };
+    let phase = |d: &mut Dispatcher,
+                 t: &mut f64,
+                 label: &'static str,
+                 body: &mut dyn FnMut(&mut Dispatcher, &mut f64)|
+     -> Phase {
+        let before = d.stats();
+        body(d, t);
+        // Settle, then move the cursor past the settle window so the
+        // next phase's arrivals never land behind the advanced clock.
+        d.run_until(*t + 0.002);
+        *t += 0.002;
+        let after = d.stats();
+        Phase {
+            label,
+            completions: d.take_completions(),
+            served: after.served - before.served,
+            hedges_fired: after.hedges_fired - before.hedges_fired,
+            hedges_won: after.hedges_won - before.hedges_won,
+        }
+    };
+
+    // Steady state: the no-straggler baseline the hedge gate compares
+    // against.
+    let steady = phase(&mut d, &mut t, "steady", &mut |d, t| {
+        drive(d, t, STEADY_ROUNDS)
+    });
+
+    // Straggler: shard 1 wedges periodically — a gray failure the
+    // detector must NOT declare (suspicion stays under threshold) and
+    // hedging must absorb.
+    let mut plan = FaultPlan::new();
+    for k in 0..STRAGGLER_WINDOWS {
+        plan = plan.hang_shard(
+            t + 0.0005 + k as f64 * STRAGGLER_PERIOD_S,
+            STRAGGLER_SHARD,
+            STRAGGLER_HANG_S,
+        );
+    }
+    d.set_fault_plan(plan);
+    let straggler = phase(&mut d, &mut t, "straggler", &mut |d, t| {
+        drive(d, t, STRAGGLER_ROUNDS)
+    });
+    let declared_after_straggler = d.health_stats().expect("detector installed").declared;
+
+    // Failover: shard 2 goes silent for 10 ms. The detector declares it
+    // (probe-confirmed), evacuation re-homes its queue, and once the
+    // hang lifts, half-open probes restore it — no operator calls.
+    d.set_fault_plan(FaultPlan::new().hang_shard(t + 0.001, FAILOVER_SHARD, FAILOVER_HANG_S));
+    let failover = phase(&mut d, &mut t, "failover", &mut |d, t| {
+        drive(d, t, FAILOVER_ROUNDS)
+    });
+    assert_eq!(
+        d.shard_state(FAILOVER_SHARD),
+        ShardState::Active,
+        "the detector must have probed the recovered shard back in"
+    );
+    assert!(
+        d.reconcile().is_empty(),
+        "a restored fleet has nothing to reconcile"
+    );
+
+    d.run_to_idle();
+    let s = d.stats();
+    let h = d.health_stats().expect("detector installed");
+    assert_eq!(
+        declared_after_straggler, 0,
+        "the straggler is a tail problem, not a failure — no declaration"
+    );
+
+    let lost = s.admitted as i64 - s.served as i64 - s.shed() as i64 - s.retried_in_flight as i64;
+    let all: Vec<&Completion> = [&steady, &straggler, &failover]
+        .iter()
+        .flat_map(|ph| ph.completions.iter())
+        .collect();
+    let unique: HashSet<u64> = all.iter().map(|c| c.seq).collect();
+    let duplicates = all.len() as i64 - unique.len() as i64;
+    let trace = all
+        .iter()
+        .map(|c| (c.seq, c.shard, c.finish.to_bits()))
+        .collect();
+
+    Outcome {
+        phases: vec![steady, straggler, failover],
+        lost,
+        duplicates,
+        retries: s.retries_queued + s.retries_parked,
+        declared: h.declared,
+        restored: h.restored,
+        false_positives: h.false_positives,
+        probes: h.probes,
+        trace,
+    }
+}
+
+fn main() {
+    bench::header(
+        "Health-driven failover: detector-declared failure, hedged straggler, probe-driven restore",
+        "a wedged shard is declared failed from observed silence alone, its \
+         work is recovered exactly once, hedges escape a straggler that never \
+         trips the detector, and the whole scenario replays bit-for-bit",
+    );
+    println!(
+        "# fast fn at {:.0} µs cadence (+ slow fn every {SLOW_EVERY} rounds) on {SHARDS} shards; \
+         {STEADY_ROUNDS} steady / {STRAGGLER_ROUNDS} straggler / {FAILOVER_ROUNDS} failover rounds; \
+         straggler hangs {}x{:.0} µs, failover hang {:.0} ms",
+        CADENCE_S * 1e6,
+        STRAGGLER_WINDOWS,
+        STRAGGLER_HANG_S * 1e6,
+        FAILOVER_HANG_S * 1e3,
+    );
+
+    let run = run_scenario();
+    let replay = run_scenario();
+    assert_eq!(
+        run.trace, replay.trace,
+        "two invocations of the same seed must replay bit-for-bit"
+    );
+
+    println!(
+        "{:<12} | {:>6} {:>10} {:>8} {:>8}",
+        "phase", "served", "p99(µs)", "hedged", "won"
+    );
+    for ph in &run.phases {
+        println!(
+            "{:<12} | {:>6} {:>10.2} {:>8} {:>8}",
+            ph.label,
+            ph.served,
+            ph.p99_us(),
+            ph.hedges_fired,
+            ph.hedges_won
+        );
+    }
+    let steady = &run.phases[0];
+    let straggler = &run.phases[1];
+    let failover = &run.phases[2];
+    let p99_factor = straggler.p99_us() / steady.p99_us();
+    println!("#");
+    println!(
+        "# lost {}, duplicates {}, retries {}; detector declared {} restored {} \
+         false-positives {} (probes {}); straggler p99 ×{p99_factor:.2}; replay ok",
+        run.lost,
+        run.duplicates,
+        run.retries,
+        run.declared,
+        run.restored,
+        run.false_positives,
+        run.probes,
+    );
+
+    // Acceptance.
+    assert_eq!(run.lost, 0, "failover lost runs");
+    assert_eq!(run.duplicates, 0, "a logical request completed twice");
+    assert_eq!(
+        run.declared, 1,
+        "exactly the hung shard must be declared failed — by the detector, \
+         not the fault plan"
+    );
+    assert_eq!(
+        run.restored, 1,
+        "the recovered shard must be probed back in"
+    );
+    assert_eq!(run.false_positives, 0, "the detector paged on a live shard");
+    assert!(
+        run.phases[1].hedges_won > 0,
+        "hedges must actually rescue straggler-stranded work"
+    );
+    assert!(
+        p99_factor <= 1.5,
+        "hedging must hold the straggler-mix p99 within 1.5× the baseline \
+         (got ×{p99_factor:.2})"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"lost\": {},\n  \"duplicates\": {},\n  \"retries\": {},",
+        run.lost, run.duplicates, run.retries
+    );
+    let _ = writeln!(
+        json,
+        "  \"detector\": {{\"declared\": {}, \"restored\": {}, \"false_positives\": {}, \
+         \"probes\": {}}},",
+        run.declared, run.restored, run.false_positives, run.probes
+    );
+    let _ = writeln!(
+        json,
+        "  \"steady\": {{\"served\": {}, \"p99_us\": {:.4}, \"hedges_fired\": {}}},",
+        steady.served,
+        steady.p99_us(),
+        steady.hedges_fired
+    );
+    let _ = writeln!(
+        json,
+        "  \"straggler\": {{\"served\": {}, \"p99_us\": {:.4}, \"hedges_fired\": {}, \
+         \"hedges_won\": {}, \"p99_factor\": {:.4}}},",
+        straggler.served,
+        straggler.p99_us(),
+        straggler.hedges_fired,
+        straggler.hedges_won,
+        p99_factor
+    );
+    let _ = writeln!(
+        json,
+        "  \"failover\": {{\"served\": {}, \"p99_us\": {:.4}, \"hedges_won\": {}}},",
+        failover.served,
+        failover.p99_us(),
+        failover.hedges_won
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"shards\": {SHARDS}, \"cadence_s\": {CADENCE_S}, \
+         \"slow_every\": {SLOW_EVERY}, \"steady_rounds\": {STEADY_ROUNDS}, \
+         \"straggler_rounds\": {STRAGGLER_ROUNDS}, \"failover_rounds\": {FAILOVER_ROUNDS}, \
+         \"health_seed\": {HEALTH_SEED}}}\n}}"
+    );
+    std::fs::write("BENCH_fault_recovery.json", &json).expect("write JSON artifact");
+    println!("# wrote BENCH_fault_recovery.json");
+}

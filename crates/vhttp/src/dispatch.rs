@@ -56,7 +56,9 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
          while queued), shed_deadline_unmeetable (estimated wait already \
          past the deadline at submit), shed_byte_budget (tenant sustained \
          byte rate exceeded), shed_evicted (hard-stopped by shard \
-         lifecycle: drain grace period expired or the shard failed)",
+         lifecycle: drain grace period expired or the shard failed), \
+         shed_brownout (refused at the door by the overload brownout \
+         controller's degradation ladder)",
         &[
             ("{outcome=\"submitted\"}".into(), s.submitted),
             ("{outcome=\"admitted\"}".into(), s.admitted),
@@ -70,6 +72,40 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
             ),
             ("{outcome=\"shed_byte_budget\"}".into(), s.shed_byte_budget),
             ("{outcome=\"shed_evicted\"}".into(), s.shed_evicted),
+            ("{outcome=\"shed_brownout\"}".into(), s.shed_brownout),
+        ],
+    );
+    metric(
+        "vsched_retries_total",
+        "counter",
+        "Exactly-once re-submissions of work lost to a shard failure, by \
+         the copy that was lost: shard_failed_queued (a queued copy with \
+         no surviving shard to evacuate to), shard_failed_parked (a \
+         suspended run that died with its shard)",
+        &[
+            ("{cause=\"shard_failed_queued\"}".into(), s.retries_queued),
+            ("{cause=\"shard_failed_parked\"}".into(), s.retries_parked),
+        ],
+    );
+    metric(
+        "vsched_retried_in_flight",
+        "gauge",
+        "Requests currently waiting out a retry backoff (admitted, not \
+         yet re-enqueued; the bridge term in the conservation identity)",
+        &plain(s.retried_in_flight),
+    );
+    metric(
+        "vsched_hedges_total",
+        "counter",
+        "Tail-latency hedging events: armed (a hedge delay was scheduled \
+         at admission), fired (the delay elapsed and a duplicate copy \
+         was enqueued), won (a hedge copy finished first), canceled (a \
+         loser copy was suppressed after the race was decided)",
+        &[
+            ("{outcome=\"armed\"}".into(), s.hedges_armed),
+            ("{outcome=\"fired\"}".into(), s.hedges_fired),
+            ("{outcome=\"won\"}".into(), s.hedges_won),
+            ("{outcome=\"canceled\"}".into(), s.hedges_canceled),
         ],
     );
     metric(
@@ -388,6 +424,28 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
                 .collect::<Vec<_>>(),
         );
     }
+
+    if let Some(health) = d.shard_health() {
+        gauge_family_f64(
+            &mut out,
+            "vsched_suspicion",
+            "Failure-detector suspicion per shard (heartbeat silence over \
+             the expected interval; 0 while heartbeats arrive, declared \
+             failed at the configured threshold)",
+            &health
+                .iter()
+                .enumerate()
+                .map(|(i, h)| (format!("{{shard=\"{i}\"}}"), h.suspicion))
+                .collect::<Vec<_>>(),
+        );
+    }
+    gauge_family_f64(
+        &mut out,
+        "vsched_brownout_level",
+        "Overload brownout degradation ladder level (0 = no degradation; \
+         each level sheds priorities below its floor at the door)",
+        &[(String::new(), d.brownout_level() as f64)],
+    );
     out
 }
 
@@ -706,9 +764,13 @@ impl DispatchedServer {
     /// reconcile pass, `restore` returns it to active, `fail` kills it
     /// (shells dropped, parked runs evicted, queued work re-homed), and
     /// `status` (the default) changes nothing. The response body lists
-    /// every shard's lifecycle state as one JSON object per line; an
-    /// unknown action or an out-of-range shard index answers 400 without
-    /// touching the dispatcher.
+    /// every shard's lifecycle state as one JSON object per line. Error
+    /// answers are distinct: a *malformed* request (unparseable shard
+    /// index, unknown action, or a shard-targeting action with no shard)
+    /// is 400 Bad Request, while a well-formed request naming a shard
+    /// that does not exist is 404 Not Found — so an operator's tooling
+    /// can tell "fix the query" from "wrong topology". Neither touches
+    /// the dispatcher.
     pub fn fetch_admin_drain(&mut self, query: &str) -> Vec<u8> {
         let client = self.kernel.net_connect(PORT).expect("connect");
         let request = format!("GET /admin/drain{query} HTTP/1.0\r\n\r\n");
@@ -746,12 +808,19 @@ impl DispatchedServer {
         let shards = self.dispatcher.shard_states().len();
         let valid_action = matches!(action, "status" | "drain" | "restore" | "fail");
         let needs_shard = action != "status";
-        let shard_ok = match shard {
-            Some(i) => i < shards,
-            None => !needs_shard,
-        };
-        let response = if bad_query || !valid_action || !shard_ok {
+        let malformed = bad_query || !valid_action || (needs_shard && shard.is_none());
+        let unknown_shard = shard.is_some_and(|i| i >= shards);
+        let response = if malformed {
             "HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n".to_string()
+        } else if unknown_shard {
+            let body = format!(
+                "{{\"error\":\"unknown shard\",\"shard\":{},\"shards\":{shards}}}\n",
+                shard.expect("checked above")
+            );
+            format!(
+                "HTTP/1.0 404 Not Found\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
         } else {
             match (action, shard) {
                 ("drain", Some(i)) => {
@@ -773,6 +842,92 @@ impl DispatchedServer {
                 body.len()
             )
         };
+        self.kernel
+            .net_send(server, response.as_bytes())
+            .expect("send response");
+        let resp = self
+            .kernel
+            .net_recv(client, response.len() + 512)
+            .expect("recv")
+            .expect("response bytes");
+        self.kernel.net_close(client).ok();
+        self.kernel.net_close(server).ok();
+        resp
+    }
+
+    /// Serves `GET /admin/health` over the simulated network, host-side
+    /// like [`DispatchedServer::fetch_admin_drain`]: one JSON object per
+    /// shard pairing its lifecycle state with the failure detector's
+    /// view (suspicion score, circuit-breaker state, last observed
+    /// heartbeat in cycles), then one summary line with the detector
+    /// counters and the brownout level. Without an installed detector
+    /// the per-shard lines carry lifecycle state only and the summary
+    /// says `"detector":"disabled"`.
+    pub fn fetch_admin_health(&mut self) -> Vec<u8> {
+        let client = self.kernel.net_connect(PORT).expect("connect");
+        let request = "GET /admin/health HTTP/1.0\r\n\r\n";
+        self.kernel
+            .net_send(client, request.as_bytes())
+            .expect("send");
+        let server = self
+            .kernel
+            .net_accept(PORT)
+            .expect("accept")
+            .expect("pending connection");
+        let req = self
+            .kernel
+            .net_recv(server, 512)
+            .expect("recv")
+            .expect("request bytes");
+        assert!(req.starts_with(b"GET /admin/health"), "not a health call");
+        use std::fmt::Write;
+        let mut body = String::new();
+        let health = self.dispatcher.shard_health();
+        for (i, state) in self.dispatcher.shard_states().into_iter().enumerate() {
+            match &health {
+                Some(shards) => {
+                    let h = &shards[i];
+                    let _ = writeln!(
+                        body,
+                        "{{\"shard\":{i},\"state\":\"{}\",\"suspicion\":{},\
+                         \"breaker\":\"{}\",\"last_seen\":{}}}",
+                        state.label(),
+                        h.suspicion,
+                        h.breaker.label(),
+                        h.last_seen
+                    );
+                }
+                None => {
+                    let _ = writeln!(body, "{{\"shard\":{i},\"state\":\"{}\"}}", state.label());
+                }
+            }
+        }
+        match self.dispatcher.health_stats() {
+            Some(s) => {
+                let _ = writeln!(
+                    body,
+                    "{{\"declared\":{},\"restored\":{},\"false_positives\":{},\
+                     \"probes\":{},\"probe_failures\":{},\"brownout_level\":{}}}",
+                    s.declared,
+                    s.restored,
+                    s.false_positives,
+                    s.probes,
+                    s.probe_failures,
+                    self.dispatcher.brownout_level()
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    body,
+                    "{{\"detector\":\"disabled\",\"brownout_level\":{}}}",
+                    self.dispatcher.brownout_level()
+                );
+            }
+        }
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
         self.kernel
             .net_send(server, response.as_bytes())
             .expect("send response");
@@ -1452,15 +1607,83 @@ mod tests {
         // Malformed requests answer 400 and change nothing.
         for bad in [
             "?shard=0&action=explode",
-            "?shard=9&action=drain",
             "?action=drain",
             "?shard=zero&action=drain",
         ] {
             let resp = server.fetch_admin_drain(bad);
             assert_eq!(response_status(&resp), Some(400), "query `{bad}`");
         }
+        // A well-formed request naming a shard outside the topology is
+        // not a malformed query: it answers 404, with a body naming the
+        // bound, and changes nothing.
+        for missing in ["?shard=9&action=drain", "?shard=2&action=status"] {
+            let resp = server.fetch_admin_drain(missing);
+            assert_eq!(response_status(&resp), Some(404), "query `{missing}`");
+        }
+        let text = String::from_utf8(server.fetch_admin_drain("?shard=9&action=drain")).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(
+            body.trim_end(),
+            "{\"error\":\"unknown shard\",\"shard\":9,\"shards\":2}"
+        );
         let run = server.finish();
         assert_eq!(run.served, 9, "lifecycle churn lost nothing");
+    }
+
+    #[test]
+    fn admin_health_endpoint_reports_detector_state() {
+        let mut server = DispatchedServer::new(2, 256);
+        let tenant = server.add_tenant(http_tenant("t"));
+
+        // Without a detector: lifecycle state only, summary says so.
+        let resp = server.fetch_admin_health();
+        assert_eq!(response_status(&resp), Some(200));
+        let text = String::from_utf8(resp).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(
+            body.lines().collect::<Vec<_>>(),
+            [
+                "{\"shard\":0,\"state\":\"active\"}",
+                "{\"shard\":1,\"state\":\"active\"}",
+                "{\"detector\":\"disabled\",\"brownout_level\":0}",
+            ],
+        );
+
+        // With a detector installed, every shard reports its breaker and
+        // suspicion, and the summary carries the counters.
+        server
+            .dispatcher_mut()
+            .set_health(vsched::HealthConfig::new());
+        for i in 0..4 {
+            server.offer(tenant, i as f64 * 0.001).unwrap();
+        }
+        server.dispatcher.run_to_idle();
+        let text = String::from_utf8(server.fetch_admin_health()).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines[..2].iter().enumerate() {
+            assert!(
+                line.starts_with(&format!("{{\"shard\":{i},\"state\":\"active\"")),
+                "{line}"
+            );
+            assert!(line.contains("\"breaker\":\"closed\""), "{line}");
+            assert!(line.contains("\"suspicion\":"), "{line}");
+            assert!(line.contains("\"last_seen\":"), "{line}");
+        }
+        assert!(
+            lines[2].starts_with("{\"declared\":0,\"restored\":0,\"false_positives\":0,"),
+            "steady state declares nothing: {}",
+            lines[2]
+        );
+        // The suspicion gauge family rides the metrics scrape too.
+        let metrics = String::from_utf8(server.fetch_metrics()).unwrap();
+        assert!(metrics
+            .lines()
+            .any(|l| l.starts_with("vsched_suspicion{shard=\"0\"} ")));
+        assert!(metrics.lines().any(|l| l == "vsched_brownout_level 0"));
+        let run = server.finish();
+        assert_eq!(run.served, 4);
     }
 
     #[test]

@@ -7,21 +7,27 @@
 //! lives in [`crate::placement`] (see its decision-point diagram) over
 //! the shard [`Topology`] of [`crate::topology`].
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
+use vclock::rng::Rng;
 use vclock::stats::Histogram;
 use vclock::{costs, Clock, Cycles};
-use vtrace::slo::SloEngine;
+use vtrace::slo::{Severity, SloEngine};
 use vtrace::TraceCollector;
 use wasp::{
     Invocation, Pool, PoolMode, PoolStats, RunOutcome, RunResult, ShellSource, VirtineId,
     VirtineSpec, WaitTarget, Wasp, WaspError,
 };
 
+use crate::health::{
+    BrownoutConfig, BrownoutController, HealthAction, HealthConfig, HealthDetector, HealthStats,
+    ShardHealth,
+};
 use crate::lifecycle::{FaultKind, FaultPlan, LifecycleAction, ShardState};
 use crate::placement::{Candidate, CostEngine, PlacementEngine, WarmPolicy, WarmVerdict};
 use crate::shard::{align_up, Parked, Queued, Shard, ShardSnapshot};
-use crate::tenant::{ShedReason, TenantId, TenantProfile, TenantState, TenantStats};
+use crate::tenant::{HedgePolicy, ShedReason, TenantId, TenantProfile, TenantState, TenantStats};
 use crate::topology::{Hop, Topology};
 
 /// What a shard worker does when its virtine blocks in `recv` with no data
@@ -211,6 +217,13 @@ pub struct Completion {
     pub tenant: TenantId,
     /// Virtine that ran.
     pub virtine: VirtineId,
+    /// The *logical* request's sequence number (the value `submit`
+    /// returned). Exactly one completion carries each admitted sequence
+    /// number, whatever path served it — a retry re-submission or the
+    /// winner of a hedge race reports the original's number, and losing
+    /// hedge copies are suppressed — so a duplicate here means the
+    /// exactly-once machinery double-ran a request.
+    pub seq: u64,
     /// Shard that executed the request.
     pub shard: usize,
     /// Arrival time (virtual seconds).
@@ -324,6 +337,34 @@ pub struct DispatcherStats {
     /// waited while the worker was *free* — exported as
     /// `vsched_blocked_cycles_total`.
     pub blocked_cycles: u64,
+    /// Requests shed at the door by the overload brownout controller
+    /// ([`ShedReason::Brownout`]): their priority sat below the active
+    /// degradation level's floor.
+    pub shed_brownout: u64,
+    /// Retries scheduled for requests that lost their *queued* copy to a
+    /// shard failure (exported as `vsched_retries_total{cause=
+    /// "shard_failed_queued"}`).
+    pub retries_queued: u64,
+    /// Retries scheduled for requests whose *parked* (suspended) run died
+    /// with its shard (`cause="shard_failed_parked"`).
+    pub retries_parked: u64,
+    /// Requests currently between losing their last live copy and their
+    /// retry's backoff release — the `retried_in_flight` term of the
+    /// extended conservation identity `admitted == served + shed +
+    /// retried_in_flight`.
+    pub retried_in_flight: u64,
+    /// Hedges armed at submit (a fire instant was scheduled; most never
+    /// fire because the primary finishes first).
+    pub hedges_armed: u64,
+    /// Hedge duplicates actually enqueued (`vsched_hedges_total{outcome=
+    /// "fired"}`).
+    pub hedges_fired: u64,
+    /// Hedge races won by the *duplicate* (`outcome="won"`).
+    pub hedges_won: u64,
+    /// Copies suppressed after the race was decided — popped, parked, or
+    /// completing after a sibling copy already reached the terminal
+    /// outcome (`outcome="canceled"`).
+    pub hedges_canceled: u64,
 }
 
 impl DispatcherStats {
@@ -335,6 +376,7 @@ impl DispatcherStats {
             + self.shed_deadline_unmeetable
             + self.shed_byte_budget
             + self.shed_evicted
+            + self.shed_brownout
     }
 
     /// Fraction of served requests that hit a warm shell (0 when nothing
@@ -366,6 +408,72 @@ impl FailCause {
             FailCause::ShardFailed => "shard_failed",
         }
     }
+}
+
+/// Which copy of a request a shard failure destroyed — the `cause` label
+/// of `vsched_retries_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetryCause {
+    /// A fresh queued entry with no eligible evacuation sibling.
+    Queued,
+    /// A parked (suspended) run whose hardware state died with the shard.
+    Parked,
+}
+
+/// What became of a copy destroyed by a shard failure, deadline, or
+/// cancellation (see [`Dispatcher::lose_copy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CopyLoss {
+    /// Another copy of the logical request is still live (or already won);
+    /// the caller must neither shed nor record anything terminal.
+    Suppressed,
+    /// An exactly-once retry was scheduled; the caller must not shed.
+    Retried,
+    /// This was the last copy and no retry applies: the caller's terminal
+    /// accounting (shed) proceeds as if retry/hedging did not exist.
+    Terminal,
+}
+
+/// What became of a copy that finished executing (see
+/// [`Dispatcher::finish_copy`]).
+enum CopyFinish {
+    /// First terminal outcome for the logical request: count it, recording
+    /// the completion under the logical sequence number.
+    Won { logical: u64 },
+    /// The race was already decided: suppress all accounting.
+    Loser,
+}
+
+/// Submit-time state retained for a request whose tenant opted into
+/// retries or hedging — everything needed to re-run it from scratch.
+/// Entries exist only while the request is unresolved, so the map stays
+/// proportional to in-flight work.
+struct OpenReq {
+    tenant: TenantId,
+    virtine: VirtineId,
+    /// Effective priority at admission (base plus boost).
+    priority: u8,
+    /// Absolute deadline in cycles (`u64::MAX` when none); re-submissions
+    /// keep the original deadline — a retry is the same promise, not a
+    /// fresh one.
+    deadline: u64,
+    /// Original arrival in cycles; latency spans every attempt.
+    arrival: u64,
+    /// Pristine marshalled arguments for a re-submission.
+    args: Vec<u8>,
+    /// Pristine invocation inputs ([`Invocation::respawn`] of the
+    /// original) — cloned again for each re-submission.
+    invocation: Invocation,
+    /// Attempts consumed so far (0 = only the first run).
+    attempt: u32,
+    /// Live copies: queued, parked, or executing (a pending retry is not
+    /// a live copy — it is counted by `pending_retry`).
+    copies: u32,
+    /// A terminal outcome (completion, kill, or shed) has been recorded;
+    /// every later copy event is suppressed.
+    done: bool,
+    /// A retry sits in the backoff heap awaiting release.
+    pending_retry: bool,
 }
 
 /// Metadata threaded from a request's first execution segment to its
@@ -428,6 +536,26 @@ pub struct Dispatcher {
     /// past each event's instant; `None` until
     /// [`Dispatcher::set_fault_plan`].
     fault_plan: Option<FaultPlan>,
+    /// Heartbeat-driven failure detector; `None` (zero overhead, bit-
+    /// identical runs) until [`Dispatcher::set_health`].
+    health: Option<HealthDetector>,
+    /// Overload brownout controller; `None` until
+    /// [`Dispatcher::set_brownout`].
+    brownout: Option<BrownoutController>,
+    /// Submit-time state for requests whose tenant opted into retries or
+    /// hedging, keyed by logical sequence number.
+    open: HashMap<u64, OpenReq>,
+    /// Hedge copy sequence number → logical sequence number.
+    hedge_of: HashMap<u64, u64>,
+    /// Pending retry releases: `(release_at, logical_seq)`, min-first.
+    retry_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Armed hedge fire instants: `(fire_at, logical_seq)`, min-first.
+    /// Entries are lazily invalidated — a fire for a finished request is
+    /// a no-op — so completion never searches the heap.
+    hedge_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Deterministic jitter source for retry backoff (detector probes use
+    /// the detector's own stream, seeded from [`HealthConfig::seed`]).
+    retry_rng: Rng,
     /// Queue-wait distribution (arrival → first execution start).
     hist_queue_wait: Histogram,
     /// Service-time distribution (worker cycles, parked waits excluded).
@@ -497,6 +625,13 @@ impl Dispatcher {
             trace: TraceCollector::disabled(),
             slo: None,
             fault_plan: None,
+            health: None,
+            brownout: None,
+            open: HashMap::new(),
+            hedge_of: HashMap::new(),
+            retry_heap: BinaryHeap::new(),
+            hedge_heap: BinaryHeap::new(),
+            retry_rng: Rng::seeded(0x7E57_4E72),
             hist_queue_wait: Histogram::new(),
             hist_exec: Histogram::new(),
             hist_e2e: Histogram::new(),
@@ -570,6 +705,48 @@ impl Dispatcher {
         if let Some(slo) = &mut self.slo {
             slo.tick(Cycles(at));
         }
+    }
+
+    /// Installs the heartbeat-driven failure detector (see
+    /// [`crate::health`]): batch ticks feed it liveness, and as virtual
+    /// time advances it drives suspected shards through the *existing*
+    /// `fail_shard` → reconcile → re-admit path and restores them via
+    /// half-open probes. Without this call the detector does not exist —
+    /// no state, no cycles, bit-identical runs.
+    pub fn set_health(&mut self, config: HealthConfig) {
+        self.health = Some(HealthDetector::new(config, self.config.shards));
+    }
+
+    /// The failure detector's counters, if one is installed.
+    pub fn health_stats(&self) -> Option<HealthStats> {
+        self.health.as_ref().map(HealthDetector::stats)
+    }
+
+    /// Per-shard detector state (suspicion, breaker, last heartbeat), in
+    /// shard index order — the payload behind `GET /admin/health` and the
+    /// `vsched_suspicion` gauge family. `None` when no detector is
+    /// installed.
+    pub fn shard_health(&self) -> Option<Vec<ShardHealth>> {
+        self.health
+            .as_ref()
+            .map(|h| (0..self.config.shards).map(|i| h.shard_health(i)).collect())
+    }
+
+    /// Installs the overload brownout controller (see
+    /// [`crate::health::BrownoutController`]): while the installed SLO
+    /// engine reports any page-severity alert, admission steps down the
+    /// configured degradation ladder, shedding the lowest priority tiers
+    /// first, and recovers with hysteresis once the pager clears.
+    /// Requires an SLO engine ([`Dispatcher::set_slo`]) to ever trigger.
+    pub fn set_brownout(&mut self, config: BrownoutConfig) {
+        self.brownout = Some(BrownoutController::new(config));
+    }
+
+    /// The brownout controller's current degradation level (0 = normal
+    /// operation, and always 0 when no controller is installed) — the
+    /// `vsched_brownout_level` gauge.
+    pub fn brownout_level(&self) -> u64 {
+        self.brownout.as_ref().map_or(0, |b| b.level() as u64)
     }
 
     /// Queue-wait distribution (cycles from arrival to first execution
@@ -735,13 +912,31 @@ impl Dispatcher {
         clock.tick(costs::VSCHED_ADMISSION);
 
         self.stats.submitted += 1;
-        {
+        let (priority, retry_policy, hedge_policy) = {
             let tenant = self
                 .tenants
                 .get_mut(req.tenant.0)
                 .expect("unknown tenant id");
             tenant.stats.submitted += 1;
+            (
+                tenant.profile.priority.saturating_add(req.priority_boost),
+                tenant.profile.retry,
+                tenant.profile.hedge,
+            )
+        };
 
+        // Brownout door: while the overload controller holds a
+        // degradation level, requests below its priority floor are shed
+        // before any budget (tokens, in-flight slots) is charged.
+        if self.brownout.as_ref().is_some_and(|b| b.sheds(priority)) {
+            self.tenants[req.tenant.0].stats.shed_brownout += 1;
+            self.stats.shed_brownout += 1;
+            self.note_shed(req.tenant, req.virtine, arrival, ShedReason::Brownout);
+            return Err(ShedReason::Brownout);
+        }
+
+        {
+            let tenant = &mut self.tenants[req.tenant.0];
             // Cap before bucket: a request refused at the in-flight cap
             // must not burn rate-limit tokens the tenant could use once a
             // slot frees up.
@@ -806,8 +1001,37 @@ impl Dispatcher {
 
         let seq = self.seq;
         self.seq += 1;
-        let priority = tenant.profile.priority.saturating_add(req.priority_boost);
         let deadline = req.deadline_s.map_or(u64::MAX, cyc);
+
+        // Retry/hedge bookkeeping: keep a pristine copy of the inputs so
+        // the request can be re-run from scratch. Connection-bound
+        // invocations are excluded — replaying half a conversation on a
+        // live socket is not exactly-once — and tenants with neither
+        // policy pay nothing here.
+        if (retry_policy.is_some() || hedge_policy.is_some()) && req.invocation.conn.is_none() {
+            self.open.insert(
+                seq,
+                OpenReq {
+                    tenant: req.tenant,
+                    virtine: req.virtine,
+                    priority,
+                    deadline,
+                    arrival,
+                    args: req.args.clone(),
+                    invocation: req.invocation.respawn(),
+                    attempt: 0,
+                    copies: 1,
+                    done: false,
+                    pending_retry: false,
+                },
+            );
+            if let Some(policy) = hedge_policy {
+                let at = arrival.saturating_add(self.hedge_delay(req.tenant, policy));
+                self.hedge_heap.push(Reverse((at, seq)));
+                self.stats.hedges_armed += 1;
+            }
+        }
+
         clock.tick(costs::VSCHED_QUEUE_OP);
         self.shards[shard].enqueue(
             Queued {
@@ -882,13 +1106,6 @@ impl Dispatcher {
     pub fn run_to_idle(&mut self) {
         self.deliver_wakeups(self.last_arrival);
         self.advance_with_faults(u64::MAX);
-    }
-
-    /// Deprecated name of [`Dispatcher::run_to_idle`].
-    #[deprecated(note = "renamed to `run_to_idle`; `drain` now means shard lifecycle \
-                draining (see `Dispatcher::drain_shard`)")]
-    pub fn drain(&mut self) {
-        self.run_to_idle();
     }
 
     /// Advances the dispatcher to virtual time `t_s`: delivers pending
@@ -1132,8 +1349,24 @@ impl Dispatcher {
         for mut q in drained {
             if let Some(p) = q.resume.take() {
                 let seq = p.seq;
-                self.evict_parked(shard, *p, now, FailCause::ShardFailed);
-                actions.push(LifecycleAction::RunEvicted { seq, shard });
+                match self.evict_parked(shard, *p, now, FailCause::ShardFailed) {
+                    CopyLoss::Retried => {
+                        actions.push(LifecycleAction::RunRetried { seq, shard });
+                    }
+                    CopyLoss::Terminal => {
+                        actions.push(LifecycleAction::RunEvicted { seq, shard });
+                    }
+                    CopyLoss::Suppressed => {}
+                }
+                continue;
+            }
+            let logical = self.hedge_of.get(&q.seq).copied().unwrap_or(q.seq);
+            if self.open.get(&logical).is_some_and(|o| o.done) {
+                // A hedge-race loser stranded on the failing shard: the
+                // logical request already finished elsewhere, so the
+                // entry just evaporates.
+                self.lose_copy(q.seq, now, None);
+                self.tfinish(q.seq, "hedge:canceled", now);
                 continue;
             }
             let c = self.candidates(Some(shard), None, None, now);
@@ -1153,6 +1386,21 @@ impl Dispatcher {
                 }
                 None => {
                     let seq = q.seq;
+                    let was_hedge_copy = self.hedge_of.contains_key(&seq);
+                    match self.lose_copy(seq, now, Some(RetryCause::Queued)) {
+                        CopyLoss::Suppressed => {
+                            self.tfinish(seq, "hedge:canceled", now);
+                            continue;
+                        }
+                        CopyLoss::Retried => {
+                            if was_hedge_copy {
+                                self.tfinish(seq, "hedge:canceled", now);
+                            }
+                            actions.push(LifecycleAction::RunRetried { seq, shard });
+                            continue;
+                        }
+                        CopyLoss::Terminal => {}
+                    }
                     let tstats = &mut self.tenants[q.tenant.0].stats;
                     tstats.shed_evicted += 1;
                     tstats.in_flight -= 1;
@@ -1187,8 +1435,15 @@ impl Dispatcher {
                 }
             }
             let seq = p.seq;
-            self.evict_parked(shard, p, now, FailCause::ShardFailed);
-            actions.push(LifecycleAction::RunEvicted { seq, shard });
+            match self.evict_parked(shard, p, now, FailCause::ShardFailed) {
+                CopyLoss::Retried => {
+                    actions.push(LifecycleAction::RunRetried { seq, shard });
+                }
+                CopyLoss::Terminal => {
+                    actions.push(LifecycleAction::RunEvicted { seq, shard });
+                }
+                CopyLoss::Suppressed => {}
+            }
         }
         actions
     }
@@ -1359,6 +1614,7 @@ impl Dispatcher {
     /// plan and every shard active this is exactly `advance_to` — the
     /// hot path pays one boolean check.
     fn advance_with_faults(&mut self, limit: u64) {
+        self.reliability_eval();
         loop {
             if self.shards.iter().any(|s| !s.state.is_active()) {
                 self.reconcile();
@@ -1385,24 +1641,96 @@ impl Dispatcher {
                     FaultKind::KillShell(shard) => {
                         self.shards[shard].pool.drop_idle();
                     }
+                    FaultKind::HangShard(shard) => {
+                        self.shards[shard].hung = true;
+                    }
+                    FaultKind::UnhangShard(shard) => {
+                        let tick = self.config.tick.get();
+                        let now = cyc(at_s);
+                        let s = &mut self.shards[shard];
+                        s.hung = false;
+                        // The wedged window is lost time, not deferred
+                        // time: the worker's timeline resumes *now*, so
+                        // backlogged work completes after the hang — it
+                        // does not retroactively fill the gap.
+                        s.free_at = s.free_at.max(now);
+                        if !s.queue.is_empty() {
+                            s.next_wake = align_up(s.free_at, tick);
+                        }
+                    }
                 }
             }
         }
         self.advance_to(limit);
     }
 
-    /// Runs shard batches and block timeouts scheduled strictly before
-    /// `limit`, earliest event first. Shards whose worker is spin-polling
-    /// a blocked socket (`BlockMode::SpinPoll`) run no batches until the
-    /// wake; their queued work backs up — that occupancy is exactly what
-    /// event-driven dispatch removes.
+    /// Evaluates the failure detector and the brownout controller at the
+    /// dispatcher's arrival horizon. Detector declarations drive the
+    /// existing `fail_shard` → reconcile → re-admit path; restorations go
+    /// through [`Dispatcher::restore_shard`]. Free when neither is
+    /// installed.
+    fn reliability_eval(&mut self) {
+        if self.health.is_none() && self.brownout.is_none() {
+            return;
+        }
+        let now = self.last_arrival;
+        if self.health.is_some() {
+            // A hung shard is the detector's whole reason to exist: it
+            // stays `Active` (placement keeps feeding it), so only the
+            // missing heartbeats give it away. `alive` is ground truth
+            // for the false-positive tripwire only — the detector's
+            // decisions never read it.
+            let alive: Vec<bool> = self.shards.iter().map(|s| !s.hung).collect();
+            let monitored: Vec<bool> = self.shards.iter().map(|s| s.state.is_active()).collect();
+            let actions = self
+                .health
+                .as_mut()
+                .expect("checked above")
+                .poll(now, &alive, &monitored);
+            for action in actions {
+                match action {
+                    HealthAction::Declare(shard) => {
+                        self.fail_shard(shard);
+                    }
+                    HealthAction::Restore(shard) => self.restore_shard(shard),
+                }
+            }
+        }
+        if let Some(b) = &mut self.brownout {
+            let paging = match &mut self.slo {
+                Some(slo) => {
+                    slo.tick(Cycles(now));
+                    slo.report()
+                        .iter()
+                        .any(|r| r.severity == Some(Severity::Page))
+                }
+                None => false,
+            };
+            b.evaluate(now, paging);
+        }
+    }
+
+    /// Runs shard batches, block timeouts, retry releases, and hedge
+    /// fires scheduled strictly before `limit`, earliest event first.
+    /// Shards whose worker is spin-polling a blocked socket
+    /// (`BlockMode::SpinPoll`) run no batches until the wake; their
+    /// queued work backs up — that occupancy is exactly what
+    /// event-driven dispatch removes. *Hung* shards run nothing at all:
+    /// neither batches nor parked-run timeouts fire while the worker is
+    /// wedged, so their queues back up silently until the health
+    /// detector declares the failure.
+    ///
+    /// Simultaneous events resolve by a fixed rank — timeout, then retry
+    /// release, then hedge fire, then batch — preserving the historical
+    /// timeout-beats-batch tie and letting released work join a batch
+    /// starting at the same instant.
     fn advance_to(&mut self, limit: u64) {
         loop {
             let next_batch = self
                 .shards
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| !s.queue.is_empty() && s.spinning == 0)
+                .filter(|(_, s)| !s.queue.is_empty() && s.spinning == 0 && !s.hung)
                 .map(|(i, s)| (s.next_wake, i))
                 .min()
                 .filter(|&(wake, _)| wake < limit);
@@ -1410,20 +1738,48 @@ impl Dispatcher {
                 .shards
                 .iter()
                 .enumerate()
+                .filter(|(_, s)| !s.hung)
                 .filter_map(|(i, s)| s.next_timeout().map(|(at, token)| (at, i, token)))
                 .min()
                 .filter(|&(at, _, _)| at < limit);
-            match (next_batch, next_timeout) {
-                (Some((wake, idx)), Some((at, tidx, token))) => {
-                    if at <= wake {
-                        self.kill_blocked(tidx, token, at);
-                    } else {
-                        self.run_batch_and_deliver(idx);
-                    }
+            let next_retry = self
+                .retry_heap
+                .peek()
+                .map(|&Reverse((at, seq))| (at, seq))
+                .filter(|&(at, _)| at < limit);
+            let next_hedge = self
+                .hedge_heap
+                .peek()
+                .map(|&Reverse((at, seq))| (at, seq))
+                .filter(|&(at, _)| at < limit);
+            let candidates = [
+                next_timeout.map(|(at, _, _)| (at, 0u8)),
+                next_retry.map(|(at, _)| (at, 1u8)),
+                next_hedge.map(|(at, _)| (at, 2u8)),
+                next_batch.map(|(wake, _)| (wake, 3u8)),
+            ];
+            let Some(&(_, rank)) = candidates.iter().flatten().min() else {
+                break;
+            };
+            match rank {
+                0 => {
+                    let (at, tidx, token) = next_timeout.expect("rank 0 came from next_timeout");
+                    self.kill_blocked(tidx, token, at);
                 }
-                (Some((_, idx)), None) => self.run_batch_and_deliver(idx),
-                (None, Some((at, tidx, token))) => self.kill_blocked(tidx, token, at),
-                (None, None) => break,
+                1 => {
+                    let Reverse((at, seq)) =
+                        self.retry_heap.pop().expect("rank 1 came from retry_heap");
+                    self.release_retry(seq, at);
+                }
+                2 => {
+                    let Reverse((at, seq)) =
+                        self.hedge_heap.pop().expect("rank 2 came from hedge_heap");
+                    self.fire_hedge(seq, at);
+                }
+                _ => {
+                    let (_, idx) = next_batch.expect("rank 3 came from next_batch");
+                    self.run_batch_and_deliver(idx);
+                }
             }
         }
     }
@@ -1445,18 +1801,44 @@ impl Dispatcher {
         let mut free = self.shards[idx].free_at.max(t_batch);
         self.stats.batches += 1;
         self.shards[idx].stats.batches += 1;
+        // A batch tick is the worker's proof of life: the detector's
+        // suspicion for this shard resets here, and *only* here — a hung
+        // worker runs no batches, so its silence accrues.
+        if let Some(h) = &mut self.health {
+            h.heartbeat(idx, t_batch);
+        }
         let clock = self.wasp.clock();
 
         for _ in 0..self.config.batch_size {
-            let Some(q) = self.shards[idx].queue.pop() else {
+            let Some(mut q) = self.shards[idx].queue.pop() else {
                 break;
             };
             clock.tick(costs::VSCHED_QUEUE_OP);
+            let logical = self.hedge_of.get(&q.seq).copied().unwrap_or(q.seq);
+            if self.open.get(&logical).is_some_and(|o| o.done) {
+                // A hedge-race loser whose sibling copy already reached
+                // the terminal outcome: it never executes. A woken
+                // suspension aborts; its shell survives (the worker is
+                // alive) and returns to the pool wiped.
+                if let Some(p) = q.resume.take() {
+                    let (outcome, vm) = self.wasp.abort_suspended(p.run);
+                    debug_assert!(outcome.warm_state.is_none());
+                    self.shards[idx].pool.release(vm);
+                }
+                self.lose_copy(q.seq, free, None);
+                self.tfinish(q.seq, "hedge:canceled", free);
+                continue;
+            }
             if q.resume.is_none() && q.deadline < free {
                 // Too late to start: shed in-queue (the request's deadline
                 // passed while it waited). Woken blocked runs are exempt —
                 // they hold a live shell that must run to completion or be
                 // killed explicitly, never silently dropped.
+                if self.lose_copy(q.seq, free, None) != CopyLoss::Terminal {
+                    // Another copy still carries the request.
+                    self.tfinish(q.seq, "hedge:canceled", free);
+                    continue;
+                }
                 let t = &mut self.tenants[q.tenant.0].stats;
                 t.shed_deadline += 1;
                 t.in_flight -= 1;
@@ -1765,6 +2147,20 @@ impl Dispatcher {
                 continue;
             };
             let wake = stamp.max(p.blocked_from);
+            let logical = self.hedge_of.get(&p.seq).copied().unwrap_or(p.seq);
+            if self.open.get(&logical).is_some_and(|o| o.done) {
+                // A parked hedge-race loser: its sibling copy finished
+                // while it waited. Abort the suspension instead of
+                // resuming it — the wake's bytes stay with the winner's
+                // accounting.
+                self.settle_spin(idx, p.blocked_from, wake);
+                let (outcome, vm) = self.wasp.abort_suspended(p.run);
+                debug_assert!(outcome.warm_state.is_none());
+                self.shards[idx].pool.release(vm);
+                self.lose_copy(p.seq, wake, None);
+                self.tfinish(p.seq, "hedge:canceled", wake);
+                continue;
+            }
             let bound = p.timeout_at.min(p.evict_at);
             if wake > bound {
                 // The data arrived, but only after the tenant's max_block
@@ -1900,7 +2296,7 @@ impl Dispatcher {
     /// the conservation identity stays `submitted == served + shed`. The
     /// caller has already detached the run from the blocked set and
     /// wait-token index.
-    fn evict_parked(&mut self, idx: usize, p: Parked, at: u64, cause: FailCause) {
+    fn evict_parked(&mut self, idx: usize, p: Parked, at: u64, cause: FailCause) -> CopyLoss {
         let at = at.max(p.blocked_from);
         self.settle_spin(idx, p.blocked_from, at);
         let (outcome, vm) = self.wasp.abort_suspended(p.run);
@@ -1912,6 +2308,36 @@ impl Dispatcher {
             FailCause::GraceExpired => self.shards[idx].pool.release(vm),
             // Failed: the context died with the shard.
             FailCause::ShardFailed => self.shards[idx].pool.drop_shell(vm),
+        }
+        // Shard failure is the retryable loss: the suspension died
+        // through no fault of the request. A drain-grace expiry is a
+        // policy decision against this very run — retrying it would
+        // reverse the operator.
+        let retry = match cause {
+            FailCause::ShardFailed => Some(RetryCause::Parked),
+            FailCause::GraceExpired => None,
+        };
+        let was_hedge_copy = self.hedge_of.contains_key(&p.seq);
+        match self.lose_copy(p.seq, at, retry) {
+            CopyLoss::Suppressed => {
+                if self.trace.enabled() {
+                    self.tspan(p.seq, "park", format!("{:?}", p.target), p.blocked_from, at);
+                }
+                self.tfinish(p.seq, "hedge:canceled", at);
+                return CopyLoss::Suppressed;
+            }
+            CopyLoss::Retried => {
+                if self.trace.enabled() {
+                    self.tspan(p.seq, "park", format!("{:?}", p.target), p.blocked_from, at);
+                }
+                if was_hedge_copy {
+                    // The retry continues under the logical trace; this
+                    // duplicate's own trace closes here.
+                    self.tfinish(p.seq, "hedge:canceled", at);
+                }
+                return CopyLoss::Retried;
+            }
+            CopyLoss::Terminal => {}
         }
         let tstats = &mut self.tenants[p.tenant.0].stats;
         tstats.shed_evicted += 1;
@@ -1930,6 +2356,7 @@ impl Dispatcher {
             self.tspan(p.seq, "drain_evict", cause.label().to_string(), at, at);
         }
         self.tfinish(p.seq, "shed:evicted", at);
+        CopyLoss::Terminal
     }
 
     /// Kills a parked run whose tenant `max_block` expired at timeline
@@ -1944,6 +2371,15 @@ impl Dispatcher {
         // The shell still holds the killed invocation's state: the
         // ordinary wiped release (§5.2) erases it before any reuse.
         self.shards[idx].pool.release(vm);
+        let logical = match self.finish_copy(p.seq) {
+            CopyFinish::Won { logical } => logical,
+            CopyFinish::Loser => {
+                // The race was already decided elsewhere: suppress the
+                // kill's accounting entirely.
+                self.tfinish(p.seq, "hedge:canceled", at);
+                return;
+            }
+        };
         let tstats = &mut self.tenants[p.tenant.0].stats;
         tstats.blocked_timeout += 1;
         tstats.abnormal += 1;
@@ -1969,6 +2405,7 @@ impl Dispatcher {
         self.completions.push(Completion {
             tenant: p.tenant,
             virtine: p.virtine,
+            seq: logical,
             shard: idx,
             arrival: secs(p.arrival),
             start: secs(p.first_start),
@@ -2000,6 +2437,19 @@ impl Dispatcher {
         segment: u64,
     ) -> u64 {
         let key = (meta.tenant.0 as u64, meta.virtine.into_raw());
+        let finish_at = free + segment;
+        let logical = match self.finish_copy(meta.seq) {
+            CopyFinish::Won { logical } => logical,
+            CopyFinish::Loser => {
+                // This copy lost the hedge race: the logical request was
+                // already served (or shed) by a sibling copy. Wipe the
+                // shell back into the pool and suppress every stat — one
+                // logical request, one terminal outcome.
+                self.shards[idx].pool.release(vm);
+                self.tfinish(meta.seq, "hedge:canceled", finish_at);
+                return finish_at;
+            }
+        };
         // Release: park warm (state still derives from the spec's current
         // snapshot, dirty log intact) or wipe clean. Warm parks go
         // through the engine's capacity verdict — decision point
@@ -2106,6 +2556,7 @@ impl Dispatcher {
         self.completions.push(Completion {
             tenant: meta.tenant,
             virtine: meta.virtine,
+            seq: logical,
             shard: idx,
             arrival: secs(meta.arrival),
             start: secs(meta.first_start),
@@ -2121,6 +2572,290 @@ impl Dispatcher {
             result: outcome.invocation.result,
         });
         finish
+    }
+
+    /// Records the destruction of one copy of a request (shard failure,
+    /// deadline, or cancellation at `now`) against the open-request
+    /// tracker, and decides what the caller must do:
+    ///
+    /// - [`CopyLoss::Suppressed`]: the logical request is already done,
+    ///   or another copy is still live (or a retry is pending) — the
+    ///   caller records nothing terminal.
+    /// - [`CopyLoss::Retried`]: this was the last live copy and an
+    ///   exactly-once retry was scheduled (`retry` names the cause) —
+    ///   the caller records nothing terminal; the in-flight slot rides
+    ///   through the backoff as `retried_in_flight`.
+    /// - [`CopyLoss::Terminal`]: the caller's ordinary shed accounting
+    ///   proceeds. Untracked requests (no retry/hedge policy) always
+    ///   land here.
+    fn lose_copy(&mut self, copy_seq: u64, now: u64, retry: Option<RetryCause>) -> CopyLoss {
+        let logical = self.hedge_of.remove(&copy_seq).unwrap_or(copy_seq);
+        if !self.open.contains_key(&logical) {
+            return CopyLoss::Terminal;
+        }
+        {
+            let o = self.open.get_mut(&logical).expect("checked above");
+            o.copies = o.copies.saturating_sub(1);
+            if o.done {
+                // A loser of an already-decided race.
+                self.stats.hedges_canceled += 1;
+                let o = self.open.get(&logical).expect("still present");
+                if o.copies == 0 && !o.pending_retry {
+                    self.open.remove(&logical);
+                }
+                return CopyLoss::Suppressed;
+            }
+            if o.copies > 0 || o.pending_retry {
+                // A surviving copy (or a pending retry) still carries
+                // the request.
+                return CopyLoss::Suppressed;
+            }
+        }
+        if let Some(cause) = retry {
+            if self.try_schedule_retry(logical, now, cause) {
+                return CopyLoss::Retried;
+            }
+        }
+        // Last copy, no retry: the request's fate is the caller's shed.
+        self.open.remove(&logical);
+        CopyLoss::Terminal
+    }
+
+    /// Records a finished execution (completion or `max_block` kill) of
+    /// one copy against the open-request tracker. The first terminal
+    /// outcome wins and is recorded under the *logical* sequence number;
+    /// every later copy is a [`CopyFinish::Loser`] the caller must
+    /// suppress entirely.
+    fn finish_copy(&mut self, copy_seq: u64) -> CopyFinish {
+        let logical = self.hedge_of.remove(&copy_seq).unwrap_or(copy_seq);
+        let Some(o) = self.open.get_mut(&logical) else {
+            return CopyFinish::Won { logical };
+        };
+        o.copies = o.copies.saturating_sub(1);
+        if o.done {
+            self.stats.hedges_canceled += 1;
+            let o = self.open.get(&logical).expect("still present");
+            if o.copies == 0 && !o.pending_retry {
+                self.open.remove(&logical);
+            }
+            return CopyFinish::Loser;
+        }
+        o.done = true;
+        if copy_seq != logical {
+            self.stats.hedges_won += 1;
+        }
+        let o = self.open.get(&logical).expect("still present");
+        if o.copies == 0 && !o.pending_retry {
+            self.open.remove(&logical);
+        }
+        CopyFinish::Won { logical }
+    }
+
+    /// Attempts to schedule an exactly-once re-submission of `logical`
+    /// after it lost its last live copy to a shard failure at `now`.
+    /// Returns whether a retry was scheduled; refusals (no policy,
+    /// attempts exhausted, retry budget empty) leave the caller to shed.
+    /// The release instant is `now + backoff × 2^(attempt−1)`, jittered
+    /// by the dispatcher's deterministic stream so synchronized losses
+    /// do not re-converge into a thundering herd.
+    fn try_schedule_retry(&mut self, logical: u64, now: u64, cause: RetryCause) -> bool {
+        let (tenant, attempt) = {
+            let o = self.open.get(&logical).expect("caller verified the entry");
+            (o.tenant, o.attempt)
+        };
+        let Some(policy) = self.tenants[tenant.0].profile.retry else {
+            return false;
+        };
+        if attempt + 1 >= policy.max_attempts {
+            return false;
+        }
+        {
+            let bucket = self.tenants[tenant.0]
+                .retry_bucket
+                .as_mut()
+                .expect("a retry policy always builds a budget bucket");
+            if !bucket.can_admit(Cycles(now), 1.0) {
+                return false;
+            }
+            bucket.take(1.0);
+        }
+        let base = policy.backoff.get() as f64 * 2f64.powi(attempt as i32);
+        let factor = if policy.jitter_frac > 0.0 {
+            self.retry_rng
+                .range_f64(1.0 - policy.jitter_frac, 1.0 + policy.jitter_frac)
+        } else {
+            1.0
+        };
+        let at = now.saturating_add((base * factor) as u64);
+        {
+            let o = self
+                .open
+                .get_mut(&logical)
+                .expect("caller verified the entry");
+            o.attempt += 1;
+            o.pending_retry = true;
+        }
+        self.retry_heap.push(Reverse((at, logical)));
+        let tstats = &mut self.tenants[tenant.0].stats;
+        tstats.retries += 1;
+        tstats.retried_in_flight += 1;
+        self.stats.retried_in_flight += 1;
+        match cause {
+            RetryCause::Queued => self.stats.retries_queued += 1,
+            RetryCause::Parked => self.stats.retries_parked += 1,
+        }
+        if self.trace.enabled() {
+            self.tspan(
+                logical,
+                "retry",
+                format!(
+                    "attempt={} cause=shard_failed_{}",
+                    attempt + 1,
+                    match cause {
+                        RetryCause::Queued => "queued",
+                        RetryCause::Parked => "parked",
+                    }
+                ),
+                now,
+                at,
+            );
+        }
+        true
+    }
+
+    /// Releases a pending retry at its backoff instant: re-places the
+    /// request through ordinary admission placement and enqueues a fresh
+    /// copy rebuilt from the pristine submit-time inputs, under the
+    /// original sequence number, arrival, and deadline. A retry whose
+    /// request finished while it waited (a hedge copy won the race) is
+    /// silently dropped.
+    fn release_retry(&mut self, logical: u64, at: u64) {
+        let Some(o) = self.open.get_mut(&logical) else {
+            return;
+        };
+        if !o.pending_retry {
+            return;
+        }
+        o.pending_retry = false;
+        let tenant = o.tenant;
+        if o.done {
+            // Decided while the retry waited out its backoff.
+            let gone = o.copies == 0;
+            if gone {
+                self.open.remove(&logical);
+            }
+            self.tenants[tenant.0].stats.retried_in_flight -= 1;
+            self.stats.retried_in_flight -= 1;
+            return;
+        }
+        o.copies += 1;
+        let virtine = o.virtine;
+        let priority = o.priority;
+        let deadline = o.deadline;
+        let arrival = o.arrival;
+        let args = o.args.clone();
+        let invocation = o.invocation.respawn();
+        self.tenants[tenant.0].stats.retried_in_flight -= 1;
+        self.stats.retried_in_flight -= 1;
+        let shard = self.place(tenant, virtine);
+        self.wasp.clock().tick(costs::VSCHED_QUEUE_OP);
+        self.shards[shard].enqueue_at(
+            Queued {
+                front: false,
+                priority,
+                deadline,
+                seq: logical,
+                tenant,
+                virtine,
+                args,
+                invocation,
+                arrival,
+                resume: None,
+            },
+            self.config.tick.get(),
+            at,
+        );
+        if self.trace.enabled() {
+            self.tspan(logical, "retry", format!("resubmit shard={shard}"), at, at);
+        }
+    }
+
+    /// Fires an armed hedge at `at`: enqueues a duplicate copy of the
+    /// still-unfinished request under a fresh sequence number, placed
+    /// through ordinary admission placement. First completion wins;
+    /// [`Dispatcher::finish_copy`] / [`Dispatcher::lose_copy`] suppress
+    /// the loser wherever it surfaces next. A hedge for a request that
+    /// already finished — or one waiting on a retry backoff — is a
+    /// no-op.
+    fn fire_hedge(&mut self, logical: u64, at: u64) {
+        let Some(o) = self.open.get_mut(&logical) else {
+            return;
+        };
+        if o.done || o.pending_retry || o.copies == 0 {
+            return;
+        }
+        o.copies += 1;
+        let tenant = o.tenant;
+        let virtine = o.virtine;
+        let priority = o.priority;
+        let deadline = o.deadline;
+        let arrival = o.arrival;
+        let args = o.args.clone();
+        let invocation = o.invocation.respawn();
+        let copy = self.seq;
+        self.seq += 1;
+        self.hedge_of.insert(copy, logical);
+        self.stats.hedges_fired += 1;
+        let shard = self.place(tenant, virtine);
+        self.wasp.clock().tick(costs::VSCHED_QUEUE_OP);
+        self.shards[shard].enqueue_at(
+            Queued {
+                front: false,
+                priority,
+                deadline,
+                seq: copy,
+                tenant,
+                virtine,
+                args,
+                invocation,
+                arrival,
+                resume: None,
+            },
+            self.config.tick.get(),
+            at,
+        );
+        if self.trace.enabled() {
+            self.trace
+                .begin(copy, tenant.0, virtine.into_raw() as u64, Cycles(at));
+            self.tspan(copy, "hedge", format!("of={logical} shard={shard}"), at, at);
+            self.tspan(
+                logical,
+                "hedge",
+                format!("copy={copy} shard={shard}"),
+                at,
+                at,
+            );
+        }
+    }
+
+    /// The hedge fire delay for one request: the observed tail
+    /// (`quantile × multiplier`) of the tenant's end-to-end latency
+    /// distribution — falling back to the global distribution, then to
+    /// the policy's floor while samples are scarce — but never below
+    /// [`HedgePolicy::min_delay`].
+    fn hedge_delay(&self, tenant: TenantId, policy: HedgePolicy) -> u64 {
+        let tenant_hist = &self.tenants[tenant.0].e2e;
+        let hist = if tenant_hist.count() >= policy.min_samples {
+            tenant_hist
+        } else {
+            &self.hist_e2e
+        };
+        let mut delay = policy.min_delay.get();
+        if hist.count() >= policy.min_samples {
+            let tail = hist.quantile(policy.quantile) as f64 * policy.multiplier;
+            delay = delay.max(tail as u64);
+        }
+        delay
     }
 
     /// Decision point 2 (acquire → clean steal): asks the engine for the

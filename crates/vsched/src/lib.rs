@@ -114,6 +114,21 @@
 //!   chosen virtual instants (seeded via `vclock::rng`), so failure
 //!   recovery replays bit-for-bit through the same reconcile path — see
 //!   `docs/lifecycle.md` and the `drain_evict` bench.
+//! * **Health-driven failover with exactly-once retry, hedging, and
+//!   brownout** ([`health`], [`Dispatcher::set_health`] /
+//!   [`Dispatcher::set_brownout`], [`RetryPolicy`] / [`HedgePolicy`]) —
+//!   a heartbeat/suspicion failure detector in virtual time turns *gray*
+//!   failures ([`FaultKind::HangShard`]: the worker wedges but the shard
+//!   stays `Active` and placement keeps feeding it) into declared
+//!   failures through the same `fail_shard` → reconcile → re-admit path
+//!   as the fault plan, and restores them via half-open circuit-breaker
+//!   probes. Work lost to a shard failure is re-submitted exactly once
+//!   under a per-tenant budgeted backoff (conservation extends to
+//!   `admitted == served + shed + retried_in_flight`), tail latency is
+//!   optionally hedged from the observed p99 with first-completion-wins
+//!   dedup, and a pager-driven brownout ladder sheds the lowest
+//!   priority tiers under overload. See `docs/reliability.md` and the
+//!   `fault_recovery` bench.
 //!
 //! ## Example
 //!
@@ -133,6 +148,7 @@
 //! ```
 
 pub mod dispatcher;
+pub mod health;
 pub mod lifecycle;
 pub mod placement;
 pub mod shard;
@@ -142,10 +158,11 @@ pub mod topology;
 pub use dispatcher::{
     BlockMode, Completion, Dispatcher, DispatcherConfig, DispatcherStats, Placement, Request,
 };
+pub use health::{BrownoutConfig, CircuitState, HealthConfig, HealthStats, ShardHealth};
 pub use lifecycle::{FaultEvent, FaultKind, FaultPlan, LifecycleAction, ShardState};
 pub use placement::{Candidate, CostEngine, PlacementEngine, WarmPolicy, WarmVerdict};
 pub use shard::{ShardSnapshot, ShardStats};
-pub use tenant::{ShedReason, TenantId, TenantProfile, TenantStats};
+pub use tenant::{HedgePolicy, RetryPolicy, ShedReason, TenantId, TenantProfile, TenantStats};
 pub use topology::{Hop, Topology};
 
 #[cfg(test)]
@@ -1811,13 +1828,300 @@ init:
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_drain_alias_still_runs_to_idle() {
+    fn health_detector_declares_a_hung_shard_and_restores_it() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            placement: Placement::ByTenant,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(halt_spec("t")).unwrap();
+        let tenant = d.add_tenant(TenantProfile::new("t").with_retry(RetryPolicy::new()));
+        d.set_health(
+            HealthConfig::new()
+                .with_heartbeat_interval(0.0005)
+                .with_suspicion_threshold(4.0)
+                .with_probes(0.00025, 3),
+        );
+        // A gray failure on the tenant's home shard: no FaultPlan kill,
+        // only a wedged worker from 5 ms to 20 ms. The shard stays
+        // Active — only its heartbeat silence gives it away.
+        d.set_fault_plan(FaultPlan::new().hang_shard(0.005, 0, 0.015));
+        for step in 0..120u64 {
+            let t = step as f64 * 0.0005;
+            d.submit(Request::new(tenant, id, t)).unwrap();
+            d.run_until(t + 0.0001);
+        }
+        d.run_to_idle();
+
+        let h = d.health_stats().unwrap();
+        assert_eq!(h.declared, 1, "the hang was declared exactly once");
+        assert_eq!(h.restored, 1, "half-open probes restored it");
+        assert_eq!(h.false_positives, 0, "only the dead shard was declared");
+        assert!(h.probe_failures > 0, "the wedged worker ignored probes");
+
+        // Failover lost nothing: queued work evacuated to the sibling.
+        let s = d.stats();
+        assert_eq!(s.served, 120, "every request completed");
+        assert_eq!(s.shed(), 0);
+        assert_eq!(s.retried_in_flight, 0);
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+        // While declared, everything ran on the survivor; after restore
+        // the home shard serves again.
+        assert!(d
+            .completions()
+            .iter()
+            .filter(|c| c.finish > 0.008 && c.finish < 0.020)
+            .all(|c| c.shard == 1));
+        assert_eq!(d.completions().last().unwrap().shard, 0);
+        assert!(d
+            .shard_health()
+            .unwrap()
+            .iter()
+            .all(|sh| sh.breaker == CircuitState::Closed));
+    }
+
+    #[test]
+    fn detector_driven_failover_replays_bit_for_bit() {
+        let run = || {
+            let mut d = dispatcher(DispatcherConfig {
+                shards: 2,
+                placement: Placement::ByTenant,
+                ..DispatcherConfig::default()
+            });
+            let id = d.register(halt_spec("t")).unwrap();
+            let tenant = d.add_tenant(
+                TenantProfile::new("t").with_retry(RetryPolicy::new().with_backoff(0.0002)),
+            );
+            d.set_health(
+                HealthConfig::new()
+                    .with_heartbeat_interval(0.0005)
+                    .with_probes(0.00025, 2)
+                    .with_seed(1234),
+            );
+            d.set_fault_plan(FaultPlan::new().hang_shard(0.003, 0, 0.01));
+            for step in 0..60u64 {
+                let t = step as f64 * 0.0005;
+                d.submit(Request::new(tenant, id, t)).unwrap();
+                d.run_until(t + 0.0001);
+            }
+            d.run_to_idle();
+            let log: Vec<(u64, usize, u64)> = d
+                .completions()
+                .iter()
+                .map(|c| (c.seq, c.shard, c.finish.to_bits()))
+                .collect();
+            (log, d.health_stats().unwrap())
+        };
+        let (log_a, health_a) = run();
+        let (log_b, health_b) = run();
+        assert_eq!(log_a, log_b, "same seed, same failover, same instants");
+        assert_eq!(health_a, health_b);
+        assert_eq!(health_a.declared, 1);
+        assert_eq!(health_a.false_positives, 0);
+    }
+
+    #[test]
+    fn queued_work_lost_with_no_surviving_shard_is_retried_not_shed() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            // One huge tick: the three requests pile up unexecuted.
+            tick: vclock::Cycles::from_micros(10_000_000.0),
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(halt_spec("t")).unwrap();
+        let tenant = d.add_tenant(
+            TenantProfile::new("t").with_retry(RetryPolicy::new().with_backoff(0.0002)),
+        );
+        for _ in 0..3 {
+            d.submit(Request::new(tenant, id, 0.0)).unwrap();
+        }
+        let actions = d.fail_shard(0);
+        assert_eq!(
+            actions
+                .iter()
+                .filter(|a| matches!(a, LifecycleAction::RunRetried { shard: 0, .. }))
+                .count(),
+            3,
+            "with no sibling to evacuate to, losses become retries: {actions:?}"
+        );
+        let s = d.stats();
+        assert_eq!(s.retries_queued, 3);
+        assert_eq!(s.retried_in_flight, 3, "riding the backoff window");
+        assert_eq!(s.shed(), 0, "a retried loss is not a shed");
+        assert_eq!(
+            d.tenant_stats(tenant).in_flight,
+            3,
+            "retried work is still in flight"
+        );
+
+        d.restore_shard(0);
+        d.run_to_idle();
+        let s = d.stats();
+        assert_eq!(s.served, 3, "every lost run re-ran after the backoff");
+        assert_eq!(s.shed(), 0);
+        assert_eq!(s.retried_in_flight, 0);
+        assert_eq!(d.tenant_stats(tenant).retries, 3);
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+        // Exactly once: three completions under three distinct logical
+        // sequence numbers, none duplicated.
+        let seqs: std::collections::HashSet<u64> = d.completions().iter().map(|c| c.seq).collect();
+        assert_eq!(seqs.len(), 3);
+    }
+
+    #[test]
+    fn parked_run_lost_to_a_shard_failure_is_retried_exactly_once() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 1,
+            ..DispatcherConfig::default()
+        });
+        let consumer = d.register(chan_recv_spec("c")).unwrap();
+        let tenant = d.add_tenant(
+            TenantProfile::new("t")
+                .with_mask(HypercallMask::ALLOW_ALL)
+                .with_retry(RetryPolicy::new().with_backoff(0.0001).with_jitter(0.0)),
+        );
+        let chan = d.wasp().kernel().chan_open(256);
+        d.submit(
+            Request::new(tenant, consumer, 0.0)
+                .with_invocation(Invocation::default().with_chans(vec![chan])),
+        )
+        .unwrap();
+        d.run_to_idle();
+        assert_eq!(d.parked(), 1, "empty channel parks the consumer");
+
+        // The shard dies under the parked run. Idempotent re-execution
+        // is safe (the consumer made no externally visible progress), so
+        // the eviction becomes a retry instead of a shed.
+        let actions = d.fail_shard(0);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, LifecycleAction::RunRetried { shard: 0, .. })),
+            "the parked loss was scheduled for re-submission: {actions:?}"
+        );
+        assert_eq!(d.stats().retries_parked, 1);
+        assert_eq!(d.stats().shed_evicted, 0);
+        assert_eq!(d.parked(), 0);
+
+        d.restore_shard(0);
+        d.wasp().kernel().chan_send(chan, b"work").unwrap();
+        d.run_until(0.01);
+        d.run_to_idle();
+        assert_eq!(d.stats().served, 1, "the retried run completed");
+        assert_eq!(d.stats().shed(), 0);
+        assert_eq!(d.stats().retried_in_flight, 0);
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+        assert_eq!(d.completions().len(), 1, "exactly one completion");
+        assert!(d.completions()[0].exit_normal);
+    }
+
+    #[test]
+    fn a_hedged_request_escapes_a_straggler_shard() {
+        let mut d = dispatcher(DispatcherConfig {
+            shards: 2,
+            ..DispatcherConfig::default()
+        });
+        let id = d.register(halt_spec("t")).unwrap();
+        let tenant = d.add_tenant(
+            TenantProfile::new("t").with_hedge(HedgePolicy::new().with_min_delay(0.0002)),
+        );
+        // Shard 0 (the least-loaded pick at t=0) wedges before the
+        // request's batch runs; the copy hedged at 200 µs lands on the
+        // healthy sibling and wins.
+        d.set_fault_plan(FaultPlan::new().hang_shard(0.0, 0, 0.01));
+        d.submit(Request::new(tenant, id, 0.0)).unwrap();
+        d.run_to_idle();
+
+        let s = d.stats();
+        assert_eq!(s.hedges_armed, 1);
+        assert_eq!(s.hedges_fired, 1);
+        assert_eq!(s.hedges_won, 1, "the copy beat the straggler");
+        assert_eq!(s.hedges_canceled, 1, "the primary was suppressed");
+        assert_eq!(s.served, 1, "first completion wins; one completion");
+        assert_eq!(d.completions().len(), 1);
+        let c = &d.completions()[0];
+        assert_eq!(c.shard, 1, "served by the sibling, not the straggler");
+        assert!(
+            c.finish < 0.01,
+            "finish {} must not wait out the 10 ms hang",
+            c.finish
+        );
+        assert_eq!(d.tenant_stats(tenant).in_flight, 0);
+
+        // A request with nothing to escape completes before its hedge
+        // delay: armed, never fired.
+        d.submit(Request::new(tenant, id, 0.02)).unwrap();
+        d.run_to_idle();
+        let s = d.stats();
+        assert_eq!(s.served, 2);
+        assert_eq!(s.hedges_armed, 2);
+        assert_eq!(s.hedges_fired, 1, "a fast request never hedges");
+        // Exactly once under hedging: distinct logical sequence numbers.
+        let seqs: std::collections::HashSet<u64> = d.completions().iter().map(|c| c.seq).collect();
+        assert_eq!(seqs.len(), 2);
+    }
+
+    #[test]
+    fn brownout_sheds_low_priority_work_while_the_pager_fires() {
+        use vtrace::slo::{BurnPolicy, SloEngine, SloSpec};
         let mut d = dispatcher(DispatcherConfig::default());
         let id = d.register(halt_spec("t")).unwrap();
-        let tenant = d.add_tenant(TenantProfile::new("t"));
-        d.submit(Request::new(tenant, id, 0.0)).unwrap();
-        d.drain();
-        assert_eq!(d.stats().served, 1);
+        let noisy = d.add_tenant(TenantProfile::new("noisy").with_rate(10.0, 2.0));
+        let victim = d.add_tenant(TenantProfile::new("victim"));
+        d.set_slo(SloEngine::new(
+            vec![SloSpec::availability("avail", 0.9)],
+            BurnPolicy {
+                fast_window: vclock::Cycles::from_micros(1_000.0),
+                slow_window: vclock::Cycles::from_micros(5_000.0),
+                page_burn: 3.0,
+                ticket_burn: 1.0,
+            },
+        ));
+        d.set_brownout(
+            BrownoutConfig::new()
+                .with_ladder(vec![1])
+                .with_holds(0.0005, 0.002),
+        );
+        assert_eq!(d.brownout_level(), 0);
+
+        // An overload burst: 2 admitted, the rest shed — burn rate 10×
+        // the 10% error budget, far past the page threshold. Every
+        // submit advances virtual time, so the pager fires and the door
+        // engages *mid-burst*: the first refusals are rate-limit sheds,
+        // the tail is browned out.
+        for _ in 0..20 {
+            let _ = d.submit(Request::new(noisy, id, 0.0));
+        }
+        d.run_until(0.0005);
+        assert_eq!(d.brownout_level(), 1, "the pager stepped the ladder");
+        let noisy_stats = d.tenant_stats(noisy);
+        assert_eq!(noisy_stats.shed(), 18);
+        assert!(noisy_stats.shed_rate_limit >= 1);
+        assert!(noisy_stats.shed_brownout >= 1, "the door closed mid-burst");
+
+        // Level 1 floor is priority 1: the victim's default-priority
+        // request is shed at the door, before any token-bucket charge; a
+        // boosted one passes.
+        assert_eq!(
+            d.submit(Request::new(victim, id, 0.0006)).unwrap_err(),
+            ShedReason::Brownout
+        );
+        assert!(d
+            .submit(Request::new(victim, id, 0.0006).with_boost(1))
+            .is_ok());
+        assert_eq!(d.tenant_stats(victim).shed_brownout, 1);
+        assert_eq!(d.tenant_stats(victim).shed_rate_limit, 0);
+
+        // Quiet: the burst ages out of the fast window, and after the
+        // 2 ms recovery hold the ladder steps back up.
+        d.run_until(0.004);
+        assert_eq!(d.brownout_level(), 1, "hysteresis holds the level");
+        d.run_until(0.007);
+        assert_eq!(d.brownout_level(), 0, "page-free quiet recovered it");
+        assert!(d.submit(Request::new(victim, id, 0.008)).is_ok());
+        d.run_to_idle();
+        assert_eq!(d.tenant_stats(victim).served, 2);
+        assert_eq!(d.tenant_stats(victim).shed(), 1);
+        assert_eq!(d.tenant_stats(victim).in_flight, 0);
     }
 }

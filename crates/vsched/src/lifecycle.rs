@@ -127,6 +127,11 @@ pub enum LifecycleAction {
     /// [`crate::ShedReason::Evicted`] — grace expired, or its shard
     /// failed.
     RunEvicted { seq: u64, shard: usize },
+    /// A run lost to a shard failure was scheduled for an exactly-once
+    /// re-submission under its tenant's [`crate::RetryPolicy`] instead
+    /// of being shed (`seq` is the logical request; `shard` the failed
+    /// shard that destroyed its last live copy).
+    RunRetried { seq: u64, shard: usize },
     /// A failed shard's pooled shells were destroyed (`count` of them).
     ShellsDropped { shard: usize, count: usize },
     /// A draining shard's evacuation converged; its state advanced to
@@ -143,6 +148,17 @@ pub enum FaultKind {
     /// One idle shell on the shard is destroyed (the cheapest clean one),
     /// modelling a single context loss the pool absorbs by re-creating.
     KillShell(usize),
+    /// The shard *wedges* without dying: it stops running batches and
+    /// firing parked-run timeouts, but stays `Active` and keeps being
+    /// scored by placement — a gray failure. Nothing in the lifecycle
+    /// machinery reacts to a hang; only the health detector
+    /// ([`crate::HealthConfig`]) can notice the missed heartbeats and
+    /// declare the shard failed.
+    HangShard(usize),
+    /// The wedged shard recovers: batches and timeouts resume. If the
+    /// detector declared it failed in the meantime, its half-open probes
+    /// start succeeding again and eventually restore it.
+    UnhangShard(usize),
 }
 
 /// One scheduled fault at a virtual instant.
@@ -191,6 +207,26 @@ impl FaultPlan {
         self.push(FaultEvent {
             at_s,
             kind: FaultKind::KillShell(shard),
+        });
+        self
+    }
+
+    /// Schedules a gray failure: `shard` hangs at `at_s` and recovers
+    /// `duration_s` later (builder style). The pair models a wedged
+    /// worker — a straggler the lifecycle machinery alone never notices,
+    /// which is exactly what the health detector exists to catch.
+    pub fn hang_shard(mut self, at_s: f64, shard: usize, duration_s: f64) -> FaultPlan {
+        assert!(
+            duration_s.is_finite() && duration_s >= 0.0,
+            "hang duration must be finite"
+        );
+        self.push(FaultEvent {
+            at_s,
+            kind: FaultKind::HangShard(shard),
+        });
+        self.push(FaultEvent {
+            at_s: at_s + duration_s,
+            kind: FaultKind::UnhangShard(shard),
         });
         self
     }
@@ -289,6 +325,20 @@ mod tests {
         );
         assert_eq!(plan.pending(), 0);
         assert!(plan.take_due(9.0).is_empty());
+    }
+
+    #[test]
+    fn hang_shard_schedules_the_hang_and_the_recovery() {
+        let mut plan = FaultPlan::new().hang_shard(0.3, 2, 0.2);
+        assert_eq!(plan.pending(), 2);
+        assert_eq!(plan.next_at(), Some(0.3));
+        let due = plan.take_due(1.0);
+        assert_eq!(
+            due.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            [FaultKind::HangShard(2), FaultKind::UnhangShard(2)],
+            "hang first, recovery duration_s later"
+        );
+        assert_eq!(due[1].at_s, 0.5);
     }
 
     #[test]

@@ -172,6 +172,12 @@ pub(crate) struct Shard {
     /// only while `state` is `Draining` (grace periods are measured from
     /// the later of this and the park).
     pub drain_since: u64,
+    /// Gray failure: the worker is wedged — it runs no batches and fires
+    /// no parked-run timeouts — but the shard stays `Active` and keeps
+    /// being scored by placement. Only [`crate::FaultKind::HangShard`]
+    /// sets this, only `UnhangShard` clears it, and only the health
+    /// detector can turn the hang into a declared failure.
+    pub hung: bool,
     pub stats: ShardStats,
 }
 
@@ -186,6 +192,7 @@ impl Shard {
             next_wake: u64::MAX,
             state: ShardState::Active,
             drain_since: 0,
+            hung: false,
             stats: ShardStats::default(),
         }
     }

@@ -59,6 +59,13 @@ pub enum ShedReason {
     /// requests, migratable suspensions, warm shells) is relocated by the
     /// reconciler instead and never sees this reason.
     Evicted,
+    /// The brownout controller ([`crate::BrownoutConfig`]) was holding a
+    /// degradation level whose priority floor the request's effective
+    /// priority fell below: the burn-rate pager was firing and the
+    /// dispatcher shed low-priority tiers at the door to protect the SLO
+    /// of the rest. Charged before any token bucket, so a browned-out
+    /// request burns no budget.
+    Brownout,
 }
 
 impl ShedReason {
@@ -74,6 +81,7 @@ impl ShedReason {
             ShedReason::DeadlineUnmeetable => "deadline_unmeetable",
             ShedReason::ByteBudget => "byte_budget",
             ShedReason::Evicted => "evicted",
+            ShedReason::Brownout => "brownout",
         }
     }
 }
@@ -87,7 +95,153 @@ impl std::fmt::Display for ShedReason {
             ShedReason::DeadlineUnmeetable => write!(f, "deadline unmeetable at admission"),
             ShedReason::ByteBudget => write!(f, "byte budget exhausted"),
             ShedReason::Evicted => write!(f, "evicted by shard lifecycle"),
+            ShedReason::Brownout => write!(f, "shed by overload brownout"),
         }
+    }
+}
+
+/// Exactly-once retry policy for one tenant: work this tenant has
+/// *admitted* that is then lost to a shard failure (queued work with no
+/// eligible sibling to evacuate to, or a parked run whose suspended state
+/// died with the shard) is re-submitted from scratch instead of being
+/// shed with [`ShedReason::Evicted`].
+///
+/// Re-submission is bounded three ways: a per-request attempt cap, an
+/// exponential backoff with seeded jitter (all randomness through
+/// `vclock::rng`, so retries replay bit-for-bit), and a tenant-wide retry
+/// *budget* token bucket — a failing shard cannot amplify a tenant's load
+/// unboundedly. Only requests whose inputs the dispatcher still holds can
+/// be re-run: a request bound to a live connection
+/// (`wasp::Invocation::conn`) has consumed bytes the dispatcher cannot
+/// replay, so it falls through to the normal eviction shed.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum total attempts per logical request, counting the first
+    /// run (so `max_attempts: 3` allows two retries). Must be ≥ 2 or the
+    /// policy retries nothing.
+    pub max_attempts: u32,
+    /// Backoff base: retry *n* (1-based) is released `backoff × 2^(n−1)`
+    /// after the loss, scaled by jitter.
+    pub backoff: Cycles,
+    /// Jitter fraction in `[0, 1)`: each delay is scaled by a seeded
+    /// uniform factor in `[1 − jitter_frac, 1 + jitter_frac)`.
+    pub jitter_frac: f64,
+    /// Sustained retry budget in retries per virtual second;
+    /// `f64::INFINITY` disables the budget.
+    pub budget_rps: f64,
+    /// Retry-budget bucket capacity (largest retry burst from full).
+    pub budget_burst: f64,
+}
+
+impl RetryPolicy {
+    /// A conservative default: 3 total attempts, 100 µs backoff base,
+    /// 10% jitter, 100 retries/s sustained with a burst of 16.
+    pub fn new() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Cycles::from_micros(100.0),
+            jitter_frac: 0.1,
+            budget_rps: 100.0,
+            budget_burst: 16.0,
+        }
+    }
+
+    /// Sets the total attempt cap (builder style).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> RetryPolicy {
+        assert!(max_attempts >= 2, "fewer than two attempts retries nothing");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Sets the backoff base in virtual seconds (builder style).
+    pub fn with_backoff(mut self, secs: f64) -> RetryPolicy {
+        assert!(secs >= 0.0, "backoff cannot be negative");
+        self.backoff = Cycles::from_micros(secs * 1e6);
+        self
+    }
+
+    /// Sets the jitter fraction (builder style).
+    pub fn with_jitter(mut self, frac: f64) -> RetryPolicy {
+        assert!(
+            (0.0..1.0).contains(&frac),
+            "jitter fraction must be in [0, 1)"
+        );
+        self.jitter_frac = frac;
+        self
+    }
+
+    /// Sets the retry-budget rate and burst (builder style).
+    pub fn with_budget(mut self, rps: f64, burst: f64) -> RetryPolicy {
+        assert!(burst >= 1.0, "a sub-one budget burst admits no retry");
+        self.budget_rps = rps;
+        self.budget_burst = burst;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::new()
+    }
+}
+
+/// Tail-hedging policy for one tenant: if a request has not completed
+/// within a delay derived from *observed* end-to-end latency (the same
+/// histograms Prometheus exports), a duplicate is submitted and the first
+/// completion wins — the loser is canceled and suppressed, so the request
+/// still completes (and is counted) exactly once.
+///
+/// Hedging only arms for requests whose inputs can be duplicated (no
+/// bound connection). The delay is `max(min_delay, quantile × multiplier)`
+/// over the tenant's own e2e histogram once it has enough samples, falling
+/// back to the dispatcher-wide histogram, then to `min_delay` on a cold
+/// start.
+#[derive(Debug, Clone, Copy)]
+pub struct HedgePolicy {
+    /// Which observed e2e quantile seeds the delay (e.g. 0.99).
+    pub quantile: f64,
+    /// Multiplier applied to the observed quantile (≥ 1.0 keeps the
+    /// hedge rate at roughly `1 − quantile` of traffic).
+    pub multiplier: f64,
+    /// Floor on the hedge delay, and the delay used while histograms are
+    /// still cold.
+    pub min_delay: Cycles,
+    /// Histogram sample count below which a histogram is considered cold.
+    pub min_samples: u64,
+}
+
+impl HedgePolicy {
+    /// Hedge at the observed p99 (×1), floored at 200 µs, trusting
+    /// histograms with at least 64 samples.
+    pub fn new() -> HedgePolicy {
+        HedgePolicy {
+            quantile: 0.99,
+            multiplier: 1.0,
+            min_delay: Cycles::from_micros(200.0),
+            min_samples: 64,
+        }
+    }
+
+    /// Sets the quantile and multiplier (builder style).
+    pub fn with_quantile(mut self, quantile: f64, multiplier: f64) -> HedgePolicy {
+        assert!((0.0..1.0).contains(&quantile), "quantile must be in [0, 1)");
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        self.quantile = quantile;
+        self.multiplier = multiplier;
+        self
+    }
+
+    /// Sets the delay floor in virtual seconds (builder style).
+    pub fn with_min_delay(mut self, secs: f64) -> HedgePolicy {
+        assert!(secs > 0.0, "a zero hedge delay duplicates every request");
+        self.min_delay = Cycles::from_micros(secs * 1e6);
+        self
+    }
+}
+
+impl Default for HedgePolicy {
+    fn default() -> HedgePolicy {
+        HedgePolicy::new()
     }
 }
 
@@ -130,6 +284,12 @@ pub struct TenantProfile {
     /// impossible — shed with [`ShedReason::Evicted`]. `None` falls back
     /// to [`crate::DispatcherConfig::drain_grace`].
     pub drain_grace: Option<Cycles>,
+    /// Exactly-once retry of work lost to shard failure; `None` (the
+    /// default) sheds lost work with [`ShedReason::Evicted`] as before.
+    pub retry: Option<RetryPolicy>,
+    /// Tail hedging from observed latency; `None` (the default) never
+    /// duplicates a request.
+    pub hedge: Option<HedgePolicy>,
 }
 
 impl TenantProfile {
@@ -149,6 +309,8 @@ impl TenantProfile {
             priority: 0,
             max_block: None,
             drain_grace: None,
+            retry: None,
+            hedge: None,
         }
     }
 
@@ -205,6 +367,19 @@ impl TenantProfile {
         self.drain_grace = Some(Cycles::from_micros(secs * 1e6));
         self
     }
+
+    /// Enables exactly-once retry of work lost to shard failure (builder
+    /// style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> TenantProfile {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Enables tail hedging from observed latency (builder style).
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> TenantProfile {
+        self.hedge = Some(hedge);
+        self
+    }
 }
 
 /// Per-tenant dispatcher statistics, surfaced like `wasp::PoolStats`.
@@ -246,6 +421,18 @@ pub struct TenantStats {
     /// were parked on a draining shard, or the shard they were parked on
     /// failed.
     pub shed_evicted: u64,
+    /// Requests shed at the door by the brownout controller
+    /// ([`ShedReason::Brownout`]): their priority fell below the active
+    /// degradation level's floor.
+    pub shed_brownout: u64,
+    /// Re-submissions performed by the retry machinery (attempts beyond
+    /// the first, summed over all logical requests).
+    pub retries: u64,
+    /// Logical requests currently waiting out a retry backoff: admitted,
+    /// not served, not shed — the third leg of the conservation identity
+    /// `admitted == served + shed() + retried_in_flight`. Zero whenever
+    /// the dispatcher is idle.
+    pub retried_in_flight: u64,
 }
 
 impl TenantStats {
@@ -257,6 +444,7 @@ impl TenantStats {
             + self.shed_deadline_unmeetable
             + self.shed_byte_budget
             + self.shed_evicted
+            + self.shed_brownout
     }
 }
 
@@ -322,6 +510,9 @@ pub(crate) struct TenantState {
     /// The byte-budget bucket beside the request bucket: charged the
     /// request's payload bytes at submit.
     pub(crate) byte_bucket: TokenBucket,
+    /// The retry-budget bucket, present only when the profile carries a
+    /// [`RetryPolicy`]: charged one token per re-submission.
+    pub(crate) retry_bucket: Option<TokenBucket>,
     pub(crate) stats: TenantStats,
     /// End-to-end latency distribution (cycles, arrival → finish) of
     /// this tenant's served requests — the `vsched_e2e_cycles{tenant=…}`
@@ -333,10 +524,14 @@ impl TenantState {
     pub(crate) fn new(profile: TenantProfile) -> TenantState {
         let bucket = TokenBucket::new(profile.rate_rps, profile.burst);
         let byte_bucket = TokenBucket::new(profile.byte_rate_bps, profile.byte_burst);
+        let retry_bucket = profile
+            .retry
+            .map(|r| TokenBucket::new(r.budget_rps, r.budget_burst));
         TenantState {
             profile,
             bucket,
             byte_bucket,
+            retry_bucket,
             stats: TenantStats::default(),
             e2e: Histogram::new(),
         }
@@ -411,5 +606,39 @@ mod tests {
             "evicted by shard lifecycle"
         );
         assert_eq!(ShedReason::Evicted.label(), "evicted");
+        assert_eq!(
+            ShedReason::Brownout.to_string(),
+            "shed by overload brownout"
+        );
+        assert_eq!(ShedReason::Brownout.label(), "brownout");
+    }
+
+    #[test]
+    fn retry_and_hedge_policies_build_and_default_off() {
+        let p = TenantProfile::new("t");
+        assert!(p.retry.is_none() && p.hedge.is_none());
+        let p = p
+            .with_retry(
+                RetryPolicy::new()
+                    .with_max_attempts(4)
+                    .with_backoff(0.0005)
+                    .with_jitter(0.25)
+                    .with_budget(50.0, 8.0),
+            )
+            .with_hedge(
+                HedgePolicy::new()
+                    .with_quantile(0.95, 1.5)
+                    .with_min_delay(0.001),
+            );
+        let r = p.retry.unwrap();
+        assert_eq!(r.max_attempts, 4);
+        assert_eq!(r.backoff, Cycles::from_micros(500.0));
+        assert_eq!(r.jitter_frac, 0.25);
+        assert_eq!((r.budget_rps, r.budget_burst), (50.0, 8.0));
+        let h = p.hedge.unwrap();
+        assert_eq!((h.quantile, h.multiplier), (0.95, 1.5));
+        assert_eq!(h.min_delay, Cycles::from_micros(1000.0));
+        let ts = TenantState::new(TenantProfile::new("r").with_retry(RetryPolicy::new()));
+        assert!(ts.retry_bucket.is_some(), "retry policy builds its bucket");
     }
 }

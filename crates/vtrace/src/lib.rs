@@ -30,9 +30,14 @@ use vclock::Cycles;
 pub struct TraceSpan {
     /// Span kind: `admit`, `queue_wait`, `shell_acquire`, `exec`,
     /// `park`, `resume`, `migrate`, `shed`, `reconcile` (a lifecycle
-    /// move off a draining shard), or `drain_evict` (a lifecycle
+    /// move off a draining shard), `drain_evict` (a lifecycle
     /// hard-stop; detail names the cause, `grace_expired` or
-    /// `shard_failed`).
+    /// `shard_failed`), `retry` (an exactly-once re-submission of work
+    /// lost to a shard failure; detail carries `attempt=`/`cause=` at
+    /// schedule time and `resubmit shard=` at release), or `hedge` (a
+    /// speculative tail-latency duplicate; detail links the logical
+    /// request and its copy via `of=`/`copy=`, and a suppressed loser
+    /// closes with outcome `hedge:canceled`).
     pub label: &'static str,
     /// Free-form detail, e.g. `warm(delta=3)` or `hop=cross_socket`.
     pub detail: String,

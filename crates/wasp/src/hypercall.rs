@@ -238,6 +238,21 @@ impl Invocation {
         }
     }
 
+    /// A fresh invocation carrying the same *inputs* — payload, bound
+    /// connection, host-wired channels — with virgin runtime state (no
+    /// result, no stdout, no open fds, no guest-opened channels). This is
+    /// the seed a dispatcher-level retry or hedge re-submits: `Invocation`
+    /// is deliberately not `Clone` (mid-run state must not be duplicated),
+    /// but its input half can be re-issued for an idempotent re-run.
+    pub fn respawn(&self) -> Invocation {
+        Invocation {
+            payload: self.payload.clone(),
+            conn: self.conn,
+            chans: self.chans.clone(),
+            ..Invocation::default()
+        }
+    }
+
     /// Binds pre-opened channels (builder style): the pipeline wiring a
     /// dispatcher performs before the virtine runs. Guest handle `i` is
     /// `chans[i]`.
