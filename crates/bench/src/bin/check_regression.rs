@@ -329,6 +329,50 @@ fn main() {
         num(&cur, "straggler.p99_factor", "current"),
     );
 
+    // -- ingress_fanout -------------------------------------------------------
+    let base = load_baseline("ingress_fanout");
+    let cur = load("BENCH_ingress_fanout.json");
+    // Cluster-scale exactly-once is correctness: nothing lost in any
+    // scenario, nothing double-run across a fence-and-replay failover,
+    // and the node-level detector neither misses nor invents failures.
+    for scenario in ["single", "fanout", "failover"] {
+        gate.exact(
+            &format!("ingress_fanout: zero lost connections ({scenario})"),
+            0.0,
+            num(&cur, &format!("{scenario}.lost"), "current"),
+        );
+    }
+    gate.exact(
+        "ingress_fanout: zero duplicates across cross-node failover",
+        0.0,
+        num(&cur, "failover.duplicates", "current"),
+    );
+    gate.exact(
+        "ingress_fanout: detector-declared node failures",
+        num(&base, "failover.detector.declared", "baseline"),
+        num(&cur, "failover.detector.declared", "current"),
+    );
+    gate.exact(
+        "ingress_fanout: probe-driven node restores",
+        num(&base, "failover.detector.restored", "baseline"),
+        num(&cur, "failover.detector.restored", "current"),
+    );
+    gate.exact(
+        "ingress_fanout: node-detector false positives",
+        0.0,
+        num(&cur, "failover.detector.false_positives", "current"),
+    );
+    gate.lower(
+        "ingress_fanout: fan-out p99 drift vs single-node (factor)",
+        num(&base, "fanout.p99_factor", "baseline"),
+        num(&cur, "fanout.p99_factor", "current"),
+    );
+    gate.lower(
+        "ingress_fanout: failover p99 (µs)",
+        num(&base, "failover.p99_us", "baseline"),
+        num(&cur, "failover.p99_us", "current"),
+    );
+
     println!("#");
     if gate.failures > 0 {
         println!(

@@ -1,0 +1,348 @@
+//! Cluster-scale serving: the Figure 15-style mix fanned out across
+//! 2–4 `vsched` nodes behind the `vhttp` ingress tier.
+//!
+//! The paper stops at one machine: virtines make isolated contexts
+//! cheap enough that a single host serves the §6.3 workload at native
+//! speed. This bench asks the platform question on top of that
+//! economics — what does the same mix look like behind an edge tier
+//! that routes connections across *nodes*? Three scenarios, one
+//! workload (snapshotted fast function at a fixed cadence with a
+//! no-snapshot slow spin riding along — the Figure 15 mix shape):
+//!
+//! * **single** — one node, the intra-node baseline;
+//! * **fanout** — the same offered load across `FANOUT_NODES` nodes,
+//!   each identical to the single-node config: the edge's least-loaded
+//!   routing (node-level `Candidate` rows, every node one `CrossNode`
+//!   hop) spreads the bursts, and the p99 drops;
+//! * **failover** — the fanout run with a mid-run gray failure: one
+//!   node goes silent with work queued, the node-level detector
+//!   declares it from observed silence alone, the cluster fences it
+//!   (every shard failed — no stranded copy can double-run), the edge
+//!   re-dispatches its unresolved requests cross-node (each charged
+//!   `VSCHED_TRANSFER_CROSS_NODE` cycles of arrival latency), and
+//!   half-open probes restore the node once the hang lifts.
+//!
+//! Acceptance:
+//! * zero lost connections in every scenario: every accepted request
+//!   ends in exactly one terminal completion or an accounted shed;
+//! * zero duplicates: first-terminal-outcome-wins at the edge, fencing
+//!   before re-dispatch — the exactly-once tripwire stays at zero;
+//! * the failover is detector-declared (`declared == 1`, no operator
+//!   call, no kill in the plan), actually exercises the replay path
+//!   (`redispatched >= 1`), and is probe-restored (`restored == 1`)
+//!   with zero false positives;
+//! * fan-out helps: the fanout p99 stays below the single-node p99
+//!   (the committed `p99_factor` gates its drift);
+//! * the whole failover scenario replays bit-for-bit: two runs under
+//!   one seed produce identical (edge seq, node, finish) streams.
+//!
+//! Writes `BENCH_ingress_fanout.json` for the CI gate.
+
+use std::fmt::Write as _;
+
+use vclock::stats::percentile;
+use vhttp::ingress::{EdgeCompletion, Ingress, IngressRun};
+use vsched::HealthConfig;
+use wasp::VirtineSpec;
+
+const MEM: usize = 64 * 1024;
+const SHARDS_PER_NODE: usize = 2;
+const FANOUT_NODES: usize = 3;
+
+/// Offered load: a burst of fast connections every 100 µs, with a slow
+/// one riding along every other round. Heavy enough that queues form on
+/// one node (the fan-out has something to win) while a three-node
+/// cluster stays comfortable.
+const CADENCE_S: f64 = 0.0001;
+const FAST_PER_ROUND: usize = 3;
+const SLOW_EVERY: usize = 2;
+const ROUNDS: usize = 200;
+
+/// Detector randomness (probe jitter) — the replay gate runs the whole
+/// failover scenario twice under this one seed.
+const HEALTH_SEED: u64 = 0xFA90;
+
+/// The failover hang: node 0 goes silent for 8 ms starting 4 ms in —
+/// an eternity against the 500 µs heartbeat interval, lifted early
+/// enough that recovery probes restore the node inside the run.
+const FAIL_NODE: usize = 0;
+const HANG_AT_S: f64 = 0.004;
+const HANG_S: f64 = 0.008;
+
+/// The §5.2 snapshotted fast function (same shape as the
+/// fault_recovery mix).
+fn fast_image() -> visa::asm::Image {
+    visa::assemble(
+        "
+.org 0x8000
+  mov r1, 0xA000
+  mov r2, 0
+fill:
+  store.q [r1], r2
+  add r1, 8
+  add r2, 1
+  cmp r2, 512
+  jl fill
+  mov r0, 8            ; snapshot()
+  out 0x1, r0
+  mov r6, 0xC000
+  store.q [r6], r2
+  hlt
+",
+    )
+    .expect("assemble")
+}
+
+/// The slow function: ~40k iterations of real work on every invocation
+/// (no snapshot, so warm re-arms cannot shortcut it) — the mix's tail
+/// and the queue-builder that gives fan-out something to win.
+fn slow_image() -> visa::asm::Image {
+    visa::assemble(
+        "
+.org 0x8000
+  mov r1, 0xA000
+  mov r2, 0
+spin:
+  store.q [r1], r2
+  add r2, 1
+  cmp r2, 40000
+  jl spin
+  hlt
+",
+    )
+    .expect("assemble")
+}
+
+struct Outcome {
+    run: IngressRun,
+    nodes: usize,
+    routed: Vec<u64>,
+    declared_mid_run: bool,
+    /// Replay fingerprint: every completion as (edge seq, node, finish
+    /// bits).
+    trace: Vec<(u64, usize, u64)>,
+}
+
+impl Outcome {
+    fn p99_us(&self) -> f64 {
+        let lat: Vec<f64> = self
+            .run
+            .completions
+            .iter()
+            .map(|c: &EdgeCompletion| (c.finish - c.arrival) * 1e6)
+            .collect();
+        percentile(&lat, 99.0)
+    }
+}
+
+fn run_scenario(nodes: usize, with_fault: bool) -> Outcome {
+    let mut ing = Ingress::new(nodes, SHARDS_PER_NODE);
+    let fast = ing.register(VirtineSpec::new("fast", fast_image(), MEM));
+    let slow = ing.register(VirtineSpec::new("slow", slow_image(), MEM).with_snapshot(false));
+    let tenant = ing.add_tenant(
+        vsched::TenantProfile::new("app"),
+        f64::INFINITY,
+        f64::INFINITY,
+    );
+    ing.set_health(HealthConfig::new().with_seed(HEALTH_SEED));
+    if with_fault {
+        ing.cluster_mut().hang_node_at(HANG_AT_S, FAIL_NODE, HANG_S);
+    }
+
+    let mut declared_mid_run = false;
+    let mut client: u64 = 0;
+    let mut t = 0.0;
+    for round in 0..ROUNDS {
+        t += CADENCE_S;
+        for _ in 0..FAST_PER_ROUND {
+            client += 1;
+            ing.offer(tenant, client, fast, b"", t).expect("edge admit");
+        }
+        if round % SLOW_EVERY == 0 {
+            client += 1;
+            ing.offer(tenant, client, slow, b"", t).expect("edge admit");
+        }
+        ing.advance(t);
+        // Declarations fire inside advance calls (including the ones
+        // `offer` makes); the stats counter sees them all.
+        declared_mid_run |= ing.cluster().health_stats().is_some_and(|h| h.declared > 0);
+    }
+    // Settle window: lets the last bursts drain and — in the failover
+    // scenario — gives the recovery probes room after the hang lifts.
+    ing.advance(t + 0.005);
+    let routed = (0..nodes).map(|i| ing.cluster().routed_to(i)).collect();
+    let run = ing.finish();
+    let trace = run
+        .completions
+        .iter()
+        .map(|c| (c.edge_seq, c.node, c.finish.to_bits()))
+        .collect();
+    Outcome {
+        run,
+        nodes,
+        routed,
+        declared_mid_run,
+        trace,
+    }
+}
+
+fn main() {
+    bench::header(
+        "Cluster fan-out: the Figure 15-style mix across nodes behind the vhttp ingress",
+        "one edge tier routes the mix across identical vsched nodes by health \
+         and load; a mid-run node failure is detector-declared, fenced, \
+         replayed cross-node exactly once, and probe-restored — bit-for-bit \
+         reproducibly",
+    );
+    println!(
+        "# {FAST_PER_ROUND} fast (+ slow every {SLOW_EVERY} rounds) per {:.0} µs round, \
+         {ROUNDS} rounds; {SHARDS_PER_NODE} shards/node; failover: node {FAIL_NODE} hangs \
+         {:.0} ms at t={:.0} ms",
+        CADENCE_S * 1e6,
+        HANG_S * 1e3,
+        HANG_AT_S * 1e3,
+    );
+
+    let single = run_scenario(1, false);
+    let fanout = run_scenario(FANOUT_NODES, false);
+    let failover = run_scenario(FANOUT_NODES, true);
+    let replay = run_scenario(FANOUT_NODES, true);
+    assert_eq!(
+        failover.trace, replay.trace,
+        "two invocations of the same seed must replay bit-for-bit"
+    );
+
+    println!(
+        "{:<10} | {:>5} {:>6} {:>10} {:>6} {:>12} {:>9}",
+        "scenario", "nodes", "served", "p99(µs)", "lost", "redispatched", "declared"
+    );
+    for (label, o) in [
+        ("single", &single),
+        ("fanout", &fanout),
+        ("failover", &failover),
+    ] {
+        let h = o.run.health.as_ref().expect("detector installed");
+        println!(
+            "{label:<10} | {:>5} {:>6} {:>10.2} {:>6} {:>12} {:>9}",
+            o.nodes,
+            o.run.completions.len(),
+            o.p99_us(),
+            o.run.lost,
+            o.run.stats.redispatched,
+            h.declared,
+        );
+    }
+    let p99_factor = fanout.p99_us() / single.p99_us();
+    let h = failover.run.health.as_ref().expect("detector installed");
+    println!("#");
+    println!(
+        "# fanout p99 ×{p99_factor:.2} of single-node; failover: declared {} restored {} \
+         false-positives {} redispatched {} duplicates {}; replay ok",
+        h.declared,
+        h.restored,
+        h.false_positives,
+        failover.run.stats.redispatched,
+        failover.run.stats.duplicates,
+    );
+
+    // Acceptance.
+    for (label, o) in [
+        ("single", &single),
+        ("fanout", &fanout),
+        ("failover", &failover),
+    ] {
+        assert_eq!(o.run.lost, 0, "{label}: accepted connections lost");
+        assert_eq!(
+            o.run.stats.duplicates, 0,
+            "{label}: a connection completed twice"
+        );
+        assert!(
+            o.run.stats.acceptor_wakes > 0,
+            "{label}: the accept-loop virtine never woke"
+        );
+        assert!(o.run.acceptor.exit_normal, "{label}: acceptor died");
+    }
+    assert_eq!(
+        single.run.health.as_ref().unwrap().declared + fanout.run.health.as_ref().unwrap().declared,
+        0,
+        "no declarations without a fault"
+    );
+    assert!(failover.declared_mid_run, "the failure must land mid-run");
+    assert_eq!(
+        h.declared, 1,
+        "exactly the hung node must be declared — by the detector, not a plan"
+    );
+    assert_eq!(h.restored, 1, "the recovered node must be probed back in");
+    assert_eq!(h.false_positives, 0, "the detector paged on a live node");
+    assert!(
+        failover.run.stats.redispatched >= 1,
+        "the failover must exercise the cross-node replay path"
+    );
+    assert!(
+        failover
+            .run
+            .completions
+            .iter()
+            .any(|c| c.evacuated && c.node != FAIL_NODE),
+        "an evacuated connection should finish on a survivor"
+    );
+    assert!(
+        fanout.routed.iter().all(|&r| r > 0),
+        "fan-out must spread the load across every node (got {:?})",
+        fanout.routed
+    );
+    assert!(
+        p99_factor <= 1.0,
+        "spreading the same load across {FANOUT_NODES} nodes must not raise \
+         the p99 (got ×{p99_factor:.2})"
+    );
+
+    let routed_json = |o: &Outcome| {
+        let items: Vec<String> = o.routed.iter().map(u64::to_string).collect();
+        format!("[{}]", items.join(", "))
+    };
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"single\": {{\"served\": {}, \"p99_us\": {:.4}, \"lost\": {}}},",
+        single.run.completions.len(),
+        single.p99_us(),
+        single.run.lost
+    );
+    let _ = writeln!(
+        json,
+        "  \"fanout\": {{\"nodes\": {}, \"served\": {}, \"p99_us\": {:.4}, \
+         \"p99_factor\": {:.4}, \"lost\": {}, \"routed\": {}}},",
+        fanout.nodes,
+        fanout.run.completions.len(),
+        fanout.p99_us(),
+        p99_factor,
+        fanout.run.lost,
+        routed_json(&fanout)
+    );
+    let _ = writeln!(
+        json,
+        "  \"failover\": {{\"served\": {}, \"p99_us\": {:.4}, \"lost\": {}, \
+         \"duplicates\": {}, \"redispatched\": {}, \"transfer_cycles\": {},",
+        failover.run.completions.len(),
+        failover.p99_us(),
+        failover.run.lost,
+        failover.run.stats.duplicates,
+        failover.run.stats.redispatched,
+        failover.run.stats.redispatched * vclock::costs::VSCHED_TRANSFER_CROSS_NODE
+    );
+    let _ = writeln!(
+        json,
+        "    \"detector\": {{\"declared\": {}, \"restored\": {}, \"false_positives\": {}, \
+         \"probes\": {}}}}},",
+        h.declared, h.restored, h.false_positives, h.probes
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"fanout_nodes\": {FANOUT_NODES}, \"shards_per_node\": {SHARDS_PER_NODE}, \
+         \"cadence_s\": {CADENCE_S}, \"fast_per_round\": {FAST_PER_ROUND}, \
+         \"slow_every\": {SLOW_EVERY}, \"rounds\": {ROUNDS}, \"health_seed\": {HEALTH_SEED}}}\n}}"
+    );
+    std::fs::write("BENCH_ingress_fanout.json", &json).expect("write JSON artifact");
+    println!("# wrote BENCH_ingress_fanout.json");
+}

@@ -259,6 +259,17 @@ pub const VSCHED_TRANSFER_CROSS_CCX: u64 = 3_400;
 /// distance a topology-aware policy exists to avoid.
 pub const VSCHED_TRANSFER_CROSS_SOCKET: u64 = 9_800;
 
+/// Transfer between *nodes*: the run's state (arguments, suspended-run
+/// image, admission record) leaves shared memory entirely and crosses
+/// the cluster network — one simulated-net RPC round trip plus
+/// serialization, ~8.5x the cross-socket hop. Kept below
+/// [`KVM_CREATE_VM`] on purpose: evacuating a queued run to a healthy
+/// node is still cheaper than letting the work die and re-minting a
+/// cold VM for its retry, which is why cross-node evacuation rides the
+/// same priced `Candidate` machinery as a steal instead of a bespoke
+/// recovery path.
+pub const VSCHED_TRANSFER_CROSS_NODE: u64 = 84_000;
+
 /// Recording one trace span into the bounded in-memory ring when
 /// invocation tracing is enabled: a timestamp read, a bucket index, and
 /// a ring slot write (~two cache lines). Charged per span so the
@@ -318,6 +329,11 @@ mod tests {
         assert!(VSCHED_TRANSFER_SAME_CCX < VSCHED_TRANSFER_CROSS_CCX);
         assert!(VSCHED_TRANSFER_CROSS_CCX < VSCHED_TRANSFER_CROSS_SOCKET);
         assert!(VSCHED_TRANSFER_CROSS_SOCKET < KVM_CREATE_VM / 10);
+        // The node hop leaves shared memory for the network: far above
+        // any intra-node hop, but still below minting a cold VM, so
+        // evacuating work off a failing node beats abandoning it.
+        assert!(VSCHED_TRANSFER_CROSS_SOCKET < VSCHED_TRANSFER_CROSS_NODE);
+        assert!(VSCHED_TRANSFER_CROSS_NODE < KVM_CREATE_VM);
     }
 
     #[test]

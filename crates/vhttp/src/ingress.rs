@@ -1,0 +1,977 @@
+//! Cluster ingress: the edge tier in front of a multi-node
+//! [`vsched::Cluster`].
+//!
+//! [`dispatch`](crate::dispatch) scales the paper's §6.3 server across
+//! the shards of *one* dispatcher. This module scales it across
+//! dispatchers: an [`Ingress`] owns a [`Cluster`] of backend nodes and
+//! everything that belongs at the edge rather than on any node —
+//!
+//! * **The accept-loop virtine.** The front door is itself a virtine:
+//!   a long-lived acceptor whose guest loops on a *blocking* `recv`
+//!   over the simulated-net doorbell connection, so between
+//!   connections it is parked (the `WaitReason` machinery — holding a
+//!   shell but no worker) rather than spinning, and each arriving
+//!   connection wakes it exactly like §6.3's blocking `recv` wakes a
+//!   handler. Eight zero bytes on the doorbell make it fall out of the
+//!   loop and `hlt` at shutdown.
+//! * **Client attribution.** Each connection's first line is a
+//!   PROXY-protocol-style header (`PROXY VSIM <tenant> <client>`)
+//!   carried on the simulated-net connection; the acceptor consumes it
+//!   and the edge parses it ([`encode_proxy`] / [`parse_proxy`]), so
+//!   admission is charged to the *originating* client class, not to
+//!   whatever hop delivered the connection.
+//! * **Edge admission accounting.** Per-tenant [`TokenBucket`]s refill
+//!   in virtual time at the ingress, so an over-budget tenant is shed
+//!   at the edge ([`IngressShed::EdgeRate`]) and never consumes node
+//!   queue space, node rate tokens, or a cross-node hop.
+//! * **Health- and load-aware routing.** Every accepted connection is
+//!   routed by [`Cluster::route`] — node-level [`vsched::Candidate`]
+//!   rows under the same lexicographic key that places work inside a
+//!   node, every node one `CrossNode` hop from the edge — and a node
+//!   the detector suspects ([`Cluster::routable`] false) stops
+//!   receiving new work while it is fenced and evacuated.
+//! * **Exactly-once failover.** The edge keeps each request's pristine
+//!   inputs (per-request `EdgeReq` records) and the `(node, node seq)` it
+//!   was routed to. When the detector declares a node, the cluster
+//!   fences it (every shard failed — queued copies shed, nothing
+//!   stranded can run later), and the ingress re-dispatches the node's
+//!   unresolved requests to [`Cluster::evacuation_target`], charging
+//!   each one `VSCHED_TRANSFER_CROSS_NODE` cycles of cross-node
+//!   latency. A first-terminal-outcome-wins record per request makes
+//!   double completion structurally countable (and the `ingress_fanout`
+//!   bench gates it at zero).
+//!
+//! The whole tier runs on the virtual clock: routing, suspicion,
+//! fencing, evacuation, and replay are deterministic bit-for-bit. See
+//! `docs/cluster.md` for the routing rules and the handover sequence
+//! diagram.
+
+use std::collections::HashMap;
+
+use hostsim::{HostKernel, SockId};
+use kvmsim::Hypervisor;
+use vclock::{costs, Clock, Cycles};
+use vsched::{
+    Cluster, ClusterAction, Completion, Dispatcher, DispatcherConfig, HealthConfig, HealthStats,
+    Request, ShedReason, TenantId, TenantProfile, TokenBucket,
+};
+use vtrace::TraceCollector;
+use wasp::{HypercallMask, Invocation, VirtineId, VirtineSpec, Wasp, WaspConfig};
+
+/// Port the edge doorbell connection rides on.
+const DOORBELL_PORT: u16 = 79;
+/// Guest memory for the acceptor virtine.
+const ACCEPTOR_MEM: usize = 64 * 1024;
+/// Virtual slack given to the edge dispatcher after a doorbell ring so
+/// the acceptor's wake lands on a batch tick (edge ticks are 50 µs).
+const ACCEPT_SLACK_S: f64 = 0.000_2;
+
+/// Builds the PROXY-style attribution line a connection carries as its
+/// first bytes: `PROXY VSIM <tenant index> <client id>\r\n`.
+pub fn encode_proxy(tenant: usize, client: u64) -> Vec<u8> {
+    format!("PROXY VSIM {tenant} {client}\r\n").into_bytes()
+}
+
+/// Parses an [`encode_proxy`] attribution line back into
+/// `(tenant index, client id, header length)`. `None` on anything that
+/// is not a well-formed header — the edge sheds such connections rather
+/// than guessing an attribution.
+pub fn parse_proxy(bytes: &[u8]) -> Option<(usize, u64, usize)> {
+    let end = bytes.windows(2).position(|w| w == b"\r\n")?;
+    let line = std::str::from_utf8(&bytes[..end]).ok()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "PROXY" || parts.next()? != "VSIM" {
+        return None;
+    }
+    let tenant = parts.next()?.parse().ok()?;
+    let client = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((tenant, client, end + 2))
+}
+
+/// Why the ingress refused or abandoned a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressShed {
+    /// The tenant's *edge* token bucket was empty: shed at the front
+    /// door, no node ever saw the request.
+    EdgeRate,
+    /// The attribution header did not parse; the connection cannot be
+    /// charged to anyone, so it is refused.
+    BadAttribution,
+    /// No routable node (every node drained, failed, or held open by
+    /// the detector).
+    NoHealthyNode,
+    /// A backend node's own admission shed it (its [`ShedReason`]).
+    Node(ShedReason),
+}
+
+impl IngressShed {
+    /// Stable label for stats surfaces.
+    pub fn label(self) -> &'static str {
+        match self {
+            IngressShed::EdgeRate => "edge_rate",
+            IngressShed::BadAttribution => "bad_attribution",
+            IngressShed::NoHealthyNode => "no_healthy_node",
+            IngressShed::Node(_) => "node",
+        }
+    }
+}
+
+/// Edge counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Connections offered to the edge.
+    pub offered: u64,
+    /// Connections that passed edge admission and were routed to a
+    /// node.
+    pub accepted: u64,
+    /// Connections shed by the edge rate bucket.
+    pub shed_edge_rate: u64,
+    /// Connections refused for an unparseable attribution header.
+    pub shed_bad_attribution: u64,
+    /// Connections (or failover re-dispatches) dropped because no node
+    /// was routable.
+    pub shed_no_node: u64,
+    /// Requests a backend node's own admission shed.
+    pub shed_node: u64,
+    /// Failover re-dispatches to a surviving node after a declaration.
+    pub redispatched: u64,
+    /// Terminal completions delivered to the edge.
+    pub completed: u64,
+    /// Completions that arrived for an already-resolved request — the
+    /// exactly-once tripwire; the bench gates it at zero.
+    pub duplicates: u64,
+    /// Times the parked acceptor virtine was woken by a doorbell ring.
+    pub acceptor_wakes: u64,
+}
+
+impl IngressStats {
+    /// Total edge-or-node sheds across every cause.
+    pub fn shed(&self) -> u64 {
+        self.shed_edge_rate + self.shed_bad_attribution + self.shed_no_node + self.shed_node
+    }
+}
+
+/// The pristine record the edge keeps per accepted connection — enough
+/// to re-run the request from scratch on another node.
+#[derive(Debug)]
+struct EdgeReq {
+    tenant: TenantId,
+    client: u64,
+    virtine: VirtineId,
+    args: Vec<u8>,
+    arrival: f64,
+    /// Node currently responsible and the seq its dispatcher assigned.
+    node: usize,
+    attempts: u32,
+    /// Terminal: a completion was recorded or the request was shed
+    /// during failover.
+    resolved: bool,
+    completion: Option<EdgeCompletion>,
+}
+
+/// A terminal completion as the edge saw it.
+#[derive(Debug, Clone)]
+pub struct EdgeCompletion {
+    /// Edge-assigned sequence number (offer order).
+    pub edge_seq: u64,
+    /// Originating tenant.
+    pub tenant: TenantId,
+    /// Attributed client id.
+    pub client: u64,
+    /// Node that served the request.
+    pub node: usize,
+    /// Arrival at the edge (virtual seconds).
+    pub arrival: f64,
+    /// Completion instant on the serving node.
+    pub finish: f64,
+    /// Pure service time on the serving node.
+    pub service: f64,
+    /// Submissions it took (1 = no failover).
+    pub attempts: u32,
+    /// Whether any attempt crossed nodes after a declaration.
+    pub evacuated: bool,
+}
+
+/// The settled outcome of an ingress run ([`Ingress::finish`]).
+#[derive(Debug)]
+pub struct IngressRun {
+    /// Terminal completions in edge-arrival order.
+    pub completions: Vec<EdgeCompletion>,
+    /// Accepted requests that ended with neither a completion nor a
+    /// shed — must be zero.
+    pub lost: u64,
+    /// Edge counters at the end of the run.
+    pub stats: IngressStats,
+    /// Node-level detector counters, when health was installed.
+    pub health: Option<HealthStats>,
+    /// The acceptor virtine's own completion (normal exit after the
+    /// shutdown doorbell).
+    pub acceptor: Completion,
+}
+
+/// The edge tier: accept-loop virtine, attribution, per-tenant edge
+/// admission, health/load routing, and exactly-once failover over an
+/// owned [`Cluster`].
+pub struct Ingress {
+    kernel: HostKernel,
+    edge: Dispatcher,
+    doorbell: SockId,
+    cluster: Cluster,
+    tenants: Vec<EdgeTenant>,
+    reqs: Vec<EdgeReq>,
+    /// `(node, node seq) → edge seq` for completion attribution.
+    index: HashMap<(usize, u64), usize>,
+    stats: IngressStats,
+    trace: TraceCollector,
+    now_s: f64,
+}
+
+struct EdgeTenant {
+    id: TenantId,
+    name: String,
+    bucket: TokenBucket,
+}
+
+impl Ingress {
+    /// An ingress over `nodes` backend nodes of `shards_per_node`
+    /// shards each, with the acceptor virtine already parked on the
+    /// doorbell.
+    pub fn new(nodes: usize, shards_per_node: usize) -> Ingress {
+        assert!(nodes >= 1, "need at least one backend node");
+        let clock = Clock::new();
+        let kernel = HostKernel::new(clock, None);
+        kernel.net_listen(DOORBELL_PORT).expect("listen");
+        let doorbell = kernel.net_connect(DOORBELL_PORT).expect("connect");
+        let server = kernel
+            .net_accept(DOORBELL_PORT)
+            .expect("accept")
+            .expect("pending doorbell");
+
+        // The edge's own dispatcher: one shard, one tenant, one
+        // long-lived virtine. The acceptor loops on a blocking recv —
+        // empty doorbell parks it; any ring wakes it; a zero qword is
+        // the shutdown pill.
+        let wasp = Wasp::new(Hypervisor::kvm(kernel.clone()), WaspConfig::default());
+        let mut edge = Dispatcher::new(
+            wasp,
+            DispatcherConfig {
+                shards: 1,
+                ..DispatcherConfig::default()
+            },
+        );
+        let img = visa::assemble(
+            "
+.org 0x8000
+accept:
+  mov r0, 7            ; recv
+  mov r1, 0x4000
+  mov r2, 64
+  mov r3, 0            ; flags: blocking
+  out 0x1, r0
+  mov r4, 0x4000
+  load.q r5, [r4]      ; first qword of the line
+  cmp r5, 0
+  jne accept           ; attribution line: consume and re-park
+  hlt                  ; zero qword: shutdown
+",
+        )
+        .expect("acceptor image");
+        let spec = VirtineSpec::new("acceptor", img, ACCEPTOR_MEM)
+            .with_policy(HypercallMask::allowing(&[wasp::nr::RECV]))
+            .with_snapshot(false);
+        let acceptor = edge.register(spec).expect("register acceptor");
+        let edge_tenant = edge.add_tenant(
+            TenantProfile::new("ingress").with_mask(HypercallMask::allowing(&[wasp::nr::RECV])),
+        );
+        edge.submit(
+            Request::new(edge_tenant, acceptor, 0.0).with_invocation(Invocation::with_conn(server)),
+        )
+        .expect("park acceptor");
+
+        let mut cluster = Cluster::new();
+        for _ in 0..nodes {
+            cluster.add_node(Dispatcher::new(
+                Wasp::new_kvm_default(),
+                DispatcherConfig {
+                    shards: shards_per_node,
+                    ..DispatcherConfig::default()
+                },
+            ));
+        }
+
+        Ingress {
+            kernel,
+            edge,
+            doorbell,
+            cluster,
+            tenants: Vec::new(),
+            reqs: Vec::new(),
+            index: HashMap::new(),
+            stats: IngressStats::default(),
+            trace: TraceCollector::disabled(),
+            now_s: 0.0,
+        }
+    }
+
+    /// Registers a virtine spec on *every* node, asserting the nodes
+    /// hand back the same id (the edge keys its records by one id).
+    pub fn register(&mut self, spec: VirtineSpec) -> VirtineId {
+        let mut id = None;
+        for i in 0..self.cluster.len() {
+            let got = self
+                .cluster
+                .node_mut(i)
+                .register(spec.clone())
+                .expect("register on node");
+            assert!(id.is_none() || id == Some(got), "node ids diverged");
+            id = Some(got);
+        }
+        id.expect("at least one node")
+    }
+
+    /// Registers a tenant on every node with `profile`, and at the edge
+    /// with a `rate_rps`/`burst` token bucket. Edge and node accounting
+    /// are deliberately separate layers: the edge bucket is the
+    /// platform's admission contract (shed before any node is touched),
+    /// while the node profile bounds what one node will take on — keep
+    /// node rates unlimited unless a test wants node-level sheds.
+    pub fn add_tenant(&mut self, profile: TenantProfile, rate_rps: f64, burst: f64) -> TenantId {
+        let mut id = None;
+        for i in 0..self.cluster.len() {
+            let got = self.cluster.node_mut(i).add_tenant(profile.clone());
+            assert!(id.is_none() || id == Some(got), "tenant ids diverged");
+            id = Some(got);
+        }
+        let id = id.expect("at least one node");
+        assert_eq!(id.index(), self.tenants.len(), "edge table out of step");
+        self.tenants.push(EdgeTenant {
+            id,
+            name: profile.name.clone(),
+            bucket: TokenBucket::new(rate_rps, burst),
+        });
+        id
+    }
+
+    /// Installs the node-level failure detector on the cluster.
+    pub fn set_health(&mut self, config: HealthConfig) {
+        self.cluster.set_health(config);
+    }
+
+    /// Retains the last `capacity` finished edge traces (offer →
+    /// route → complete/shed spans on the virtual clock).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = TraceCollector::with_capacity(capacity);
+    }
+
+    /// The cluster underneath.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the cluster (fault planning, operator
+    /// lifecycle, per-node knobs).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Edge counters.
+    pub fn stats(&self) -> IngressStats {
+        self.stats
+    }
+
+    /// Finished edge traces as JSON lines, newest first.
+    pub fn trace_json(&self, limit: usize) -> String {
+        self.trace.json_lines(None, limit, &|t| {
+            self.tenants
+                .get(t)
+                .map_or_else(|| format!("tenant{t}"), |e| e.name.clone())
+        })
+    }
+
+    fn ring_doorbell(&mut self, line: &[u8], at_s: f64) {
+        let before = self.edge.stats().resumed;
+        self.kernel.net_send(self.doorbell, line).expect("doorbell");
+        self.edge.run_until(at_s + ACCEPT_SLACK_S);
+        self.stats.acceptor_wakes += self.edge.stats().resumed - before;
+    }
+
+    /// Offers a connection to the edge at `arrival_s`: the doorbell
+    /// wakes the parked acceptor with the attribution line, the edge
+    /// parses the same line, charges the tenant's edge bucket, routes
+    /// by health and load, and submits to the chosen node. Returns the
+    /// edge sequence number, or why the connection was shed.
+    ///
+    /// `args` are the pristine request inputs; the edge keeps a copy so
+    /// failover can re-run the request on another node. Attribution
+    /// (`PROXY VSIM <tenant> <client>`) is prepended to the submitted
+    /// args, so the backend sees exactly what a proxied connection
+    /// would carry.
+    pub fn offer(
+        &mut self,
+        tenant: TenantId,
+        client: u64,
+        virtine: VirtineId,
+        args: &[u8],
+        arrival_s: f64,
+    ) -> Result<u64, IngressShed> {
+        self.stats.offered += 1;
+        self.advance(arrival_s.max(self.now_s));
+        let edge_seq = self.reqs.len() as u64;
+        let now = Cycles::from_micros(arrival_s * 1e6);
+
+        // The connection's first bytes carry the attribution; the
+        // acceptor virtine consumes them off the wire and the edge
+        // parses its own copy — one line, two readers.
+        let line = encode_proxy(tenant.index(), client);
+        self.ring_doorbell(&line, arrival_s);
+        let Some((t_idx, parsed_client, _)) = parse_proxy(&line) else {
+            self.stats.shed_bad_attribution += 1;
+            return Err(IngressShed::BadAttribution);
+        };
+        debug_assert_eq!((t_idx, parsed_client), (tenant.index(), client));
+
+        if self.trace.enabled() {
+            self.trace
+                .begin(edge_seq, t_idx, virtine.into_raw() as u64, now);
+            self.trace.span(
+                edge_seq,
+                "ingress_accept",
+                format!("client={client}"),
+                now,
+                now,
+            );
+        }
+
+        let edge_tenant = &mut self.tenants[t_idx];
+        assert_eq!(edge_tenant.id, tenant, "unknown tenant");
+        if !edge_tenant.bucket.admit(now) {
+            self.stats.shed_edge_rate += 1;
+            if self.trace.enabled() {
+                self.trace.finish(edge_seq, "shed:edge_rate", now);
+            }
+            return Err(IngressShed::EdgeRate);
+        }
+
+        let Some(node) = self.cluster.route(arrival_s) else {
+            self.stats.shed_no_node += 1;
+            if self.trace.enabled() {
+                self.trace.finish(edge_seq, "shed:no_healthy_node", now);
+            }
+            return Err(IngressShed::NoHealthyNode);
+        };
+
+        let mut full_args = line;
+        full_args.extend_from_slice(args);
+        let node_seq = match self
+            .cluster
+            .node_mut(node)
+            .submit(Request::new(tenant, virtine, arrival_s).with_args(full_args.clone()))
+        {
+            Ok(seq) => seq,
+            Err(reason) => {
+                self.stats.shed_node += 1;
+                if self.trace.enabled() {
+                    self.trace
+                        .finish(edge_seq, &format!("shed:node:{reason:?}"), now);
+                }
+                return Err(IngressShed::Node(reason));
+            }
+        };
+
+        if self.trace.enabled() {
+            self.trace.span(
+                edge_seq,
+                "ingress_route",
+                format!("node={node} node_seq={node_seq}"),
+                now,
+                now,
+            );
+        }
+        self.stats.accepted += 1;
+        self.index.insert((node, node_seq), self.reqs.len());
+        self.reqs.push(EdgeReq {
+            tenant,
+            client,
+            virtine,
+            args: args.to_vec(),
+            arrival: arrival_s,
+            node,
+            attempts: 1,
+            resolved: false,
+            completion: None,
+        });
+        Ok(edge_seq)
+    }
+
+    /// Drains terminal completions from every node into the edge
+    /// records. First terminal outcome wins; anything after it counts
+    /// as a duplicate (the exactly-once tripwire).
+    fn collect_completions(&mut self) {
+        for node in 0..self.cluster.len() {
+            for c in self.cluster.node_mut(node).take_completions() {
+                let Some(&idx) = self.index.get(&(node, c.seq)) else {
+                    continue;
+                };
+                let req = &mut self.reqs[idx];
+                if req.resolved {
+                    self.stats.duplicates += 1;
+                    continue;
+                }
+                req.resolved = true;
+                self.stats.completed += 1;
+                req.completion = Some(EdgeCompletion {
+                    edge_seq: idx as u64,
+                    tenant: req.tenant,
+                    client: req.client,
+                    node,
+                    arrival: req.arrival,
+                    finish: c.finish,
+                    service: c.service,
+                    attempts: req.attempts,
+                    evacuated: req.attempts > 1,
+                });
+                if self.trace.enabled() {
+                    self.trace.span(
+                        idx as u64,
+                        "ingress_complete",
+                        format!("node={node} attempts={}", req.attempts),
+                        Cycles::from_micros(c.finish * 1e6),
+                        Cycles::from_micros(c.finish * 1e6),
+                    );
+                    self.trace
+                        .finish(idx as u64, "ok", Cycles::from_micros(c.finish * 1e6));
+                }
+            }
+        }
+    }
+
+    /// Re-dispatches every unresolved request routed to a declared
+    /// node. The node was fenced before this runs (all shards failed),
+    /// so no copy of this work can still execute there — re-running the
+    /// pristine inputs elsewhere cannot double-run. Each re-dispatch
+    /// pays the cross-node transfer as arrival latency.
+    fn redispatch_from(&mut self, failed: usize, t_s: f64) {
+        let transfer_s = Cycles(costs::VSCHED_TRANSFER_CROSS_NODE).as_secs();
+        let pending: Vec<usize> = self
+            .reqs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.resolved && r.node == failed)
+            .map(|(i, _)| i)
+            .collect();
+        let mut moved = 0;
+        for idx in pending {
+            let Some(dst) = self.cluster.evacuation_target(failed, t_s) else {
+                self.reqs[idx].resolved = true;
+                self.stats.shed_no_node += 1;
+                if self.trace.enabled() {
+                    self.trace.finish(
+                        idx as u64,
+                        "shed:no_healthy_node",
+                        Cycles::from_micros(t_s * 1e6),
+                    );
+                }
+                continue;
+            };
+            let req = &self.reqs[idx];
+            let mut full_args = encode_proxy(req.tenant.index(), req.client);
+            full_args.extend_from_slice(&req.args);
+            let resubmit =
+                Request::new(req.tenant, req.virtine, t_s + transfer_s).with_args(full_args);
+            match self.cluster.node_mut(dst).submit(resubmit) {
+                Ok(node_seq) => {
+                    self.index.insert((dst, node_seq), idx);
+                    let req = &mut self.reqs[idx];
+                    req.node = dst;
+                    req.attempts += 1;
+                    moved += 1;
+                    self.stats.redispatched += 1;
+                    if self.trace.enabled() {
+                        self.trace.span(
+                            idx as u64,
+                            "ingress_evacuate",
+                            format!("from={failed} to={dst}"),
+                            Cycles::from_micros(t_s * 1e6),
+                            Cycles::from_micros((t_s + transfer_s) * 1e6),
+                        );
+                    }
+                }
+                Err(reason) => {
+                    self.reqs[idx].resolved = true;
+                    self.stats.shed_node += 1;
+                    if self.trace.enabled() {
+                        self.trace.finish(
+                            idx as u64,
+                            &format!("shed:node:{reason:?}"),
+                            Cycles::from_micros(t_s * 1e6),
+                        );
+                    }
+                }
+            }
+        }
+        self.cluster.note_evacuations(moved);
+    }
+
+    /// Advances the whole tier — edge dispatcher and cluster — to
+    /// virtual second `t_s`, collecting completions and handling any
+    /// node declarations with cross-node failover. Returns the
+    /// cluster's lifecycle actions.
+    pub fn advance(&mut self, t_s: f64) -> Vec<ClusterAction> {
+        if t_s <= self.now_s {
+            return Vec::new();
+        }
+        self.edge.run_until(t_s);
+        let actions = self.cluster.advance_to(t_s);
+        // Completions first: work that finished before a declaration is
+        // terminal and must not be re-run.
+        self.collect_completions();
+        for a in &actions {
+            if let ClusterAction::NodeDeclared { node } = a {
+                self.redispatch_from(*node, t_s);
+            }
+        }
+        self.now_s = t_s;
+        actions
+    }
+
+    /// Shuts the tier down: the doorbell gets the zero pill (the
+    /// acceptor falls out of its loop and halts), every node settles,
+    /// and the edge records reconcile. Panics if the acceptor did not
+    /// exit normally — a parked or killed acceptor means the front door
+    /// machinery is broken.
+    pub fn finish(mut self) -> IngressRun {
+        // Let in-flight work land before the pill, then stop the
+        // acceptor and settle the backends.
+        self.edge.run_until(self.now_s);
+        self.kernel
+            .net_send(self.doorbell, &0u64.to_le_bytes())
+            .expect("shutdown pill");
+        self.edge.run_to_idle();
+        let acceptor = self
+            .edge
+            .take_completions()
+            .pop()
+            .expect("acceptor completion");
+        assert!(acceptor.exit_normal, "acceptor died abnormally");
+
+        self.cluster.settle();
+        self.collect_completions();
+
+        let mut completions: Vec<EdgeCompletion> = self
+            .reqs
+            .iter()
+            .filter_map(|r| r.completion.clone())
+            .collect();
+        completions.sort_by_key(|c| c.edge_seq);
+        let lost = self.reqs.iter().filter(|r| !r.resolved).count() as u64;
+        IngressRun {
+            completions,
+            lost,
+            stats: self.stats,
+            health: self.cluster.health_stats(),
+            acceptor,
+        }
+    }
+
+    /// The Prometheus text rendering of the edge tier: ingress counters
+    /// plus per-node routing, lifecycle, and suspicion gauges. Backend
+    /// node internals are each node's own
+    /// [`prometheus_text`](crate::dispatch::prometheus_text) surface;
+    /// this is the layer above it.
+    pub fn metrics(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut metric = |name: &str, kind: &str, help: &str, series: &[(String, u64)]| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, value) in series {
+                let _ = writeln!(out, "{name}{labels} {value}");
+            }
+        };
+        let s = self.stats;
+        metric(
+            "vsched_ingress_offered_total",
+            "counter",
+            "Connections offered to the edge",
+            &[(String::new(), s.offered)],
+        );
+        metric(
+            "vsched_ingress_accepted_total",
+            "counter",
+            "Connections that passed edge admission and were routed",
+            &[(String::new(), s.accepted)],
+        );
+        metric(
+            "vsched_ingress_edge_shed_total",
+            "counter",
+            "Connections shed at the edge, by cause",
+            &[
+                (r#"{reason="edge_rate"}"#.to_string(), s.shed_edge_rate),
+                (
+                    r#"{reason="bad_attribution"}"#.to_string(),
+                    s.shed_bad_attribution,
+                ),
+                (r#"{reason="no_healthy_node"}"#.to_string(), s.shed_no_node),
+                (r#"{reason="node"}"#.to_string(), s.shed_node),
+            ],
+        );
+        metric(
+            "vsched_ingress_redispatched_total",
+            "counter",
+            "Failover re-dispatches to a surviving node",
+            &[(String::new(), s.redispatched)],
+        );
+        metric(
+            "vsched_ingress_completed_total",
+            "counter",
+            "Terminal completions delivered to the edge",
+            &[(String::new(), s.completed)],
+        );
+        metric(
+            "vsched_ingress_duplicates_total",
+            "counter",
+            "Completions for an already-resolved request (must be 0)",
+            &[(String::new(), s.duplicates)],
+        );
+        metric(
+            "vsched_ingress_acceptor_wakes_total",
+            "counter",
+            "Doorbell rings that woke the parked acceptor virtine",
+            &[(String::new(), s.acceptor_wakes)],
+        );
+        metric(
+            "vsched_ingress_transfer_cycles_total",
+            "counter",
+            "Virtual cycles charged to cross-node transfers",
+            &[(String::new(), self.cluster.stats().transfer_cycles)],
+        );
+        let routed: Vec<(String, u64)> = (0..self.cluster.len())
+            .map(|i| (format!("{{node=\"{i}\"}}"), self.cluster.routed_to(i)))
+            .collect();
+        metric(
+            "vsched_ingress_routed_total",
+            "counter",
+            "Connections routed per backend node",
+            &routed,
+        );
+        let states: Vec<(String, u64)> = (0..self.cluster.len())
+            .map(|i| {
+                (
+                    format!("{{node=\"{i}\"}}"),
+                    self.cluster.node_state(i).gauge(),
+                )
+            })
+            .collect();
+        metric(
+            "vsched_ingress_node_state",
+            "gauge",
+            "Lifecycle state per node: 0 = active, 1 = draining, \
+             2 = drained, 3 = failed",
+            &states,
+        );
+        if let Some(health) = self.cluster.node_health() {
+            let suspicion: Vec<(String, u64)> = health
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    (
+                        format!("{{node=\"{i}\"}}"),
+                        (h.suspicion * 1000.0).round() as u64,
+                    )
+                })
+                .collect();
+            metric(
+                "vsched_ingress_suspicion",
+                "gauge",
+                "Node suspicion score in millis (silence / heartbeat interval x 1000)",
+                &suspicion,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn halt_spec(name: &str) -> VirtineSpec {
+        let img = visa::assemble(".org 0x8000\n mov r0, 7\n hlt\n").unwrap();
+        VirtineSpec::new(name, img, 64 * 1024).with_snapshot(false)
+    }
+
+    fn ingress(nodes: usize) -> (Ingress, TenantId, VirtineId) {
+        let mut ing = Ingress::new(nodes, 2);
+        let v = ing.register(halt_spec("f"));
+        let t = ing.add_tenant(TenantProfile::new("app"), f64::INFINITY, f64::INFINITY);
+        (ing, t, v)
+    }
+
+    #[test]
+    fn proxy_attribution_round_trips() {
+        let line = encode_proxy(3, 0xDEAD_BEEF);
+        let (tenant, client, len) = parse_proxy(&line).unwrap();
+        assert_eq!((tenant, client, len), (3, 0xDEAD_BEEF, line.len()));
+        // Prefixed payload still parses: header length delimits it.
+        let mut framed = line.clone();
+        framed.extend_from_slice(b"GET / HTTP/1.0\r\n");
+        let (_, _, len) = parse_proxy(&framed).unwrap();
+        assert_eq!(&framed[len..], b"GET / HTTP/1.0\r\n");
+        // Garbage is refused, not guessed.
+        assert!(parse_proxy(b"PROXY TCP4 1 2\r\n").is_none());
+        assert!(parse_proxy(b"PROXY VSIM 1\r\n").is_none());
+        assert!(parse_proxy(b"PROXY VSIM 1 2 3\r\n").is_none());
+        assert!(parse_proxy(b"no header at all").is_none());
+    }
+
+    #[test]
+    fn connections_complete_across_nodes_and_the_acceptor_parks_between() {
+        let (mut ing, t, v) = ingress(2);
+        // One burst: queue depth grows as the burst lands, so
+        // least-loaded routing alternates nodes.
+        for i in 0..6 {
+            ing.offer(t, i, v, b"", 0.001).unwrap();
+        }
+        ing.advance(0.05);
+        // The front door was woken per ring and is parked again now.
+        assert!(ing.stats().acceptor_wakes >= 1);
+        let run = ing.finish();
+        assert_eq!(run.completions.len(), 6);
+        assert_eq!(run.lost, 0);
+        assert_eq!(run.stats.duplicates, 0);
+        assert!(run.acceptor.exit_normal);
+        assert!(run.acceptor.resumes >= 1, "acceptor never parked");
+        // Both nodes saw work: least-loaded routing spreads the burst.
+        assert!(run.completions.iter().any(|c| c.node == 0));
+        assert!(run.completions.iter().any(|c| c.node == 1));
+    }
+
+    #[test]
+    fn edge_budget_exhaustion_sheds_before_any_node() {
+        let (mut ing, t, v) = ingress(2);
+        // Re-register a tight tenant: 2-token burst, slow refill.
+        let tight = ing.add_tenant(TenantProfile::new("tight"), 10.0, 2.0);
+        let mut shed = 0;
+        for i in 0..5 {
+            match ing.offer(tight, i, v, b"", 0.0001 * (i + 1) as f64) {
+                Ok(_) => {}
+                Err(IngressShed::EdgeRate) => shed += 1,
+                Err(other) => panic!("unexpected shed {other:?}"),
+            }
+        }
+        assert_eq!(shed, 3, "burst of 2 admits 2 of 5");
+        // The shed connections never reached a node: node-side
+        // submitted counts equal the accepted connections exactly.
+        let node_submitted: u64 = (0..ing.cluster().len())
+            .map(|i| ing.cluster().node(i).stats().submitted)
+            .sum();
+        assert_eq!(node_submitted, ing.stats().accepted);
+        assert_eq!(ing.stats().shed_edge_rate, 3);
+        let run = ing.finish();
+        assert_eq!(run.completions.len(), 2);
+        assert_eq!(run.lost, 0);
+        let _ = t;
+    }
+
+    #[test]
+    fn connection_arriving_during_node_drain_routes_around_it() {
+        let (mut ing, t, v) = ingress(2);
+        // Two pre-drain offers (empty-cluster ties route to node 0),
+        // then drain node 0 mid-run.
+        ing.offer(t, 0, v, b"", 0.001).unwrap();
+        ing.offer(t, 1, v, b"", 0.002).unwrap();
+        assert_eq!(ing.cluster().routed_to(0), 2, "ties route to node 0");
+        ing.cluster_mut().drain_node(0);
+        // Every connection arriving mid-drain lands on node 1.
+        for i in 2..6 {
+            ing.offer(t, i, v, b"", 0.003 + 0.001 * i as f64).unwrap();
+        }
+        assert_eq!(ing.cluster().routed_to(0), 2, "no routes after drain");
+        assert_eq!(ing.cluster().routed_to(1), 4);
+        let run = ing.finish();
+        // Nothing was lost: in-flight work on the draining node
+        // completed in place.
+        assert_eq!(run.completions.len(), 6);
+        assert_eq!(run.lost, 0);
+    }
+
+    #[test]
+    fn declared_node_is_fenced_and_its_work_replayed_cross_node() {
+        let (mut ing, t, _) = ingress(2);
+        // Slow spins: work routed to node 0 is still queued when the
+        // node wedges, so the replay path must actually fire.
+        let slow = visa::assemble(
+            "
+.org 0x8000
+  mov r1, 0xA000
+  mov r2, 0
+spin:
+  store.q [r1], r2
+  add r2, 1
+  cmp r2, 40000
+  jl spin
+  hlt
+",
+        )
+        .unwrap();
+        let v = ing.register(VirtineSpec::new("slow", slow, 64 * 1024).with_snapshot(false));
+        ing.set_health(HealthConfig::new().with_seed(0x1A6));
+        // A burst at t=0.0002: least-loaded routing splits it between
+        // the nodes, and every request needs milliseconds of spin.
+        for i in 0..4 {
+            ing.offer(t, i, v, b"", 0.0002).unwrap();
+        }
+        let on_zero = ing.cluster().routed_to(0);
+        assert!(on_zero >= 1, "burst must land work on node 0");
+        // Node 0 wedges before its first batch tick, queue still full;
+        // the detector declares it; the edge replays its unresolved
+        // work on node 1.
+        ing.cluster_mut().hang_node_at(0.0003, 0, 0.200);
+        let mut declared = false;
+        for step in 1..=12 {
+            for a in ing.advance(0.001 * step as f64) {
+                declared |= matches!(a, ClusterAction::NodeDeclared { node: 0 });
+            }
+        }
+        assert!(declared, "detector never declared the hung node");
+        assert!(!ing.cluster().routable(0));
+        assert!(ing.stats().redispatched >= 1, "replay path never fired");
+        let run = ing.finish();
+        assert_eq!(run.lost, 0, "fenced work must be replayed, not lost");
+        assert_eq!(run.stats.duplicates, 0, "replay must not double-run");
+        assert_eq!(run.completions.len(), 4);
+        assert_eq!(run.health.unwrap().declared, 1);
+        assert!(
+            run.completions.iter().any(|c| c.evacuated && c.node == 1),
+            "an evacuated request should finish on the survivor"
+        );
+    }
+
+    #[test]
+    fn metrics_surface_ingress_series() {
+        let (mut ing, t, v) = ingress(2);
+        ing.offer(t, 7, v, b"", 0.001).unwrap();
+        ing.advance(0.01);
+        let m = ing.metrics();
+        assert!(m.contains("vsched_ingress_offered_total 1"));
+        assert!(m.contains("vsched_ingress_accepted_total 1"));
+        assert!(m.contains("vsched_ingress_routed_total{node=\"0\"}"));
+        assert!(m.contains("vsched_ingress_node_state{node=\"1\"} 0"));
+        assert!(m.contains("vsched_ingress_duplicates_total 0"));
+    }
+
+    #[test]
+    fn edge_traces_record_the_route_and_completion() {
+        let (mut ing, t, v) = ingress(2);
+        ing.enable_tracing(16);
+        ing.offer(t, 1, v, b"", 0.001).unwrap();
+        ing.advance(0.01);
+        let json = ing.trace_json(16);
+        assert!(json.contains("ingress_accept"));
+        assert!(json.contains("ingress_route"));
+        assert!(json.contains("ingress_complete"));
+    }
+}

@@ -18,10 +18,15 @@
 //! per-client-class admission control) instead of one blocking loop.
 //! [`pipeline`] splits the request path into a parser virtine → handler
 //! virtine chain over a cross-virtine channel, each stage under a
-//! strictly narrower hypercall mask.
+//! strictly narrower hypercall mask. [`ingress`] scales past one
+//! dispatcher entirely: an edge tier (accept-loop virtine,
+//! PROXY-style client attribution, per-tenant edge admission) routing
+//! connections across a multi-node `vsched::cluster` with exactly-once
+//! failover.
 
 pub mod dispatch;
 pub mod echo;
+pub mod ingress;
 pub mod pipeline;
 pub mod server;
 

@@ -1,0 +1,630 @@
+//! Multi-node fabric: N `Topology`-described dispatchers behind one
+//! routing surface, with node-scale lifecycle and health.
+//!
+//! The single-node story prices every shell movement — steal, resume
+//! migration, drain evacuation — through one [`Candidate`] cost model
+//! over intra-node hops (`SameCcx < SameSocket < CrossSocket`). This
+//! module lifts that model one tier: a [`Cluster`] owns N [`Dispatcher`]
+//! *nodes*, and moving work between them is just another hop,
+//! [`Hop::CrossNode`], priced by
+//! `vclock::costs::VSCHED_TRANSFER_CROSS_NODE` (the run's state leaves
+//! shared memory and crosses the simulated cluster network). Routing a
+//! fresh request from the edge and choosing the destination for a
+//! failover evacuation both go through [`PlacementEngine::evacuate`]
+//! over node-level [`Candidate`] rows — the same lexicographic
+//! `(queue_depth, free_at, transfer_cost, index)` key that places work
+//! inside a node places it across nodes.
+//!
+//! **Lifecycle, lifted.** Nodes reuse the shard state machine
+//! ([`ShardState`]): an operator drains a node (`Active → Draining`,
+//! the edge stops routing to it, in-flight work completes, `Drained`
+//! once empty), restores it, or fails it outright. Failing a node
+//! *fences* it — every shard inside is failed, so no stranded copy can
+//! run later and double-count against the edge's exactly-once
+//! accounting (the cluster-scale analogue of wiping a stolen shell).
+//!
+//! **Health, lifted.** The PR 8 heartbeat/suspicion detector
+//! ([`HealthDetector`]) is index-generic, so the cluster runs a second
+//! instance with *nodes* as the monitored population: every advance
+//! step an alive node heartbeats, a partitioned/hung node goes silent,
+//! probes confirm the silence, and crossing the threshold declares the
+//! node — which fences it and tells the edge to re-dispatch its
+//! unresolved work cross-node. Half-open probes restore the node once
+//! it answers again. Determinism is preserved end to end: node faults
+//! are scheduled at virtual instants ([`Cluster::hang_node_at`] /
+//! [`Cluster::kill_node_at`]), and the detector's only randomness is
+//! its seeded probe jitter, so a whole partition → declare → evacuate →
+//! restore arc replays bit-for-bit.
+//!
+//! What does *not* cross nodes: suspended (parked) runs and
+//! connection-bound invocations. A suspension's hardware state lives in
+//! the node's hypervisor and a connection lives in the node's kernel —
+//! neither survives the node, exactly as PR 8's retry machinery
+//! excludes conn-bound work. The edge re-runs lost work from pristine
+//! inputs instead (see `vhttp::ingress`); `docs/cluster.md` shows the
+//! full handover sequence.
+
+use vclock::Cycles;
+
+use crate::dispatcher::{Dispatcher, Placement};
+use crate::health::{HealthAction, HealthConfig, HealthDetector, HealthStats, ShardHealth};
+use crate::lifecycle::ShardState;
+use crate::placement::{Candidate, CostEngine, PlacementEngine, WarmPolicy};
+use crate::topology::{Hop, Topology};
+
+/// Seconds → virtual cycles, matching the dispatcher's own conversion.
+fn cyc(s: f64) -> u64 {
+    Cycles::from_micros(s * 1e6).get()
+}
+
+/// One backend node: a topology-described dispatcher plus the cluster's
+/// view of its lifecycle and scheduled faults.
+struct Node {
+    d: Dispatcher,
+    /// Node-scale lifecycle state (the shard state machine, lifted).
+    state: ShardState,
+    /// The node is unreachable (partitioned or wedged) until this
+    /// virtual instant: it is not advanced and emits no heartbeats.
+    /// `NEG_INFINITY` = healthy, `INFINITY` = killed for good.
+    hung_until_s: f64,
+    /// Requests the cluster routed here.
+    routed: u64,
+}
+
+/// A scheduled node fault, applied as virtual time advances past
+/// `at_s`. `duration_s == None` kills the node permanently.
+struct NodeFault {
+    at_s: f64,
+    node: usize,
+    duration_s: Option<f64>,
+    applied: bool,
+}
+
+/// What [`Cluster::advance_to`] did, for logs and bench assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterAction {
+    /// The node-level detector declared this node failed; it has been
+    /// fenced (every shard failed) and left the routable set. The edge
+    /// must now re-dispatch its unresolved work cross-node.
+    NodeDeclared { node: usize },
+    /// A full half-open probe streak restored this node: shards
+    /// restored, routable again.
+    NodeRestored { node: usize },
+    /// A draining node finished its in-flight work and converged to
+    /// `Drained`.
+    NodeDrained { node: usize },
+}
+
+/// Cluster-level counters (the node-scale complement of
+/// [`crate::DispatcherStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Requests routed to a node by [`Cluster::route`].
+    pub routed: u64,
+    /// Edge re-dispatches of work lost to a declared node, each charged
+    /// one [`Hop::CrossNode`] transfer (reported via
+    /// [`Cluster::note_evacuations`]).
+    pub evacuated: u64,
+    /// Virtual cycles charged for those cross-node transfers.
+    pub transfer_cycles: u64,
+}
+
+/// N dispatcher nodes behind one priced routing surface.
+///
+/// The cluster is deliberately *not* an admission layer — per-tenant
+/// edge accounting, attribution, and re-dispatch bookkeeping live in
+/// the ingress (`vhttp::ingress`), which owns the pristine request
+/// inputs. The cluster supplies the fabric: lockstep virtual-time
+/// advancement, node lifecycle, the node-level failure detector, and
+/// `Candidate`-priced node selection.
+pub struct Cluster {
+    nodes: Vec<Node>,
+    detector: Option<HealthDetector>,
+    health_config: Option<HealthConfig>,
+    faults: Vec<NodeFault>,
+    engine: Box<dyn PlacementEngine>,
+    now_s: f64,
+    stats: ClusterStats,
+}
+
+impl Cluster {
+    /// An empty cluster; add nodes with [`Cluster::add_node`].
+    pub fn new() -> Cluster {
+        Cluster {
+            nodes: Vec::new(),
+            detector: None,
+            health_config: None,
+            faults: Vec::new(),
+            engine: Box::new(CostEngine::new(
+                Placement::LeastLoaded,
+                Topology::flat(1),
+                1,
+                WarmPolicy::default(),
+            )),
+            now_s: 0.0,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Adds a backend node (an owned, fully configured dispatcher) and
+    /// returns its index. Register identical specs and tenants on every
+    /// node in the same order so ids agree cluster-wide — the ingress
+    /// asserts this.
+    pub fn add_node(&mut self, d: Dispatcher) -> usize {
+        assert!(
+            self.detector.is_none(),
+            "add every node before installing the health detector"
+        );
+        self.nodes.push(Node {
+            d,
+            state: ShardState::Active,
+            hung_until_s: f64::NEG_INFINITY,
+            routed: 0,
+        });
+        let n = self.nodes.len();
+        self.engine = Box::new(CostEngine::new(
+            Placement::LeastLoaded,
+            Topology::flat(n),
+            1,
+            WarmPolicy::default(),
+        ));
+        n - 1
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The dispatcher behind node `i`.
+    pub fn node(&self, i: usize) -> &Dispatcher {
+        &self.nodes[i].d
+    }
+
+    /// Mutable access to node `i`'s dispatcher (submissions, completion
+    /// draining, operator knobs).
+    pub fn node_mut(&mut self, i: usize) -> &mut Dispatcher {
+        &mut self.nodes[i].d
+    }
+
+    /// Installs the node-level failure detector (one monitor slot per
+    /// node). Absent, nodes are never declared — lifecycle is purely
+    /// operator-driven, and runs stay bit-identical to a detector-free
+    /// cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cluster.
+    pub fn set_health(&mut self, config: HealthConfig) {
+        assert!(!self.nodes.is_empty(), "install health after adding nodes");
+        self.detector = Some(HealthDetector::new(config, self.nodes.len()));
+        self.health_config = Some(config);
+    }
+
+    /// Node `i`'s lifecycle state.
+    pub fn node_state(&self, i: usize) -> ShardState {
+        self.nodes[i].state
+    }
+
+    /// Every node's lifecycle state, by index.
+    pub fn node_states(&self) -> Vec<ShardState> {
+        self.nodes.iter().map(|n| n.state).collect()
+    }
+
+    /// Whether the edge may route new work to node `i`: lifecycle
+    /// `Active` and not held open by the detector's breaker.
+    pub fn routable(&self, i: usize) -> bool {
+        self.nodes[i].state.is_active() && !self.detector.as_ref().is_some_and(|h| h.holds_open(i))
+    }
+
+    /// Marks node `i` draining: the edge stops routing to it, in-flight
+    /// work completes in place, and [`Cluster::advance_to`] converges it
+    /// to `Drained` once empty.
+    pub fn drain_node(&mut self, i: usize) {
+        if self.nodes[i].state.is_active() {
+            self.nodes[i].state = ShardState::Draining;
+        }
+    }
+
+    /// Returns node `i` to `Active` (routable again).
+    pub fn restore_node(&mut self, i: usize) {
+        self.nodes[i].state = ShardState::Active;
+        let shards = self.nodes[i].d.config().shards;
+        for s in 0..shards {
+            if self.nodes[i].d.shard_state(s) == ShardState::Failed {
+                self.nodes[i].d.restore_shard(s);
+            }
+        }
+    }
+
+    /// Fails node `i` and fences it: every shard inside is failed, so
+    /// queued work sheds deterministically and no stranded copy can run
+    /// later — the edge then re-dispatches from pristine inputs.
+    /// Idempotent.
+    pub fn fail_node(&mut self, i: usize) {
+        if self.nodes[i].state == ShardState::Failed {
+            return;
+        }
+        self.nodes[i].state = ShardState::Failed;
+        let shards = self.nodes[i].d.config().shards;
+        for s in 0..shards {
+            self.nodes[i].d.fail_shard(s);
+        }
+    }
+
+    /// Schedules a gray failure: node `node` becomes unreachable at
+    /// virtual second `at_s` for `duration_s` (no heartbeats, no
+    /// progress), then answers probes again. The detector — not this
+    /// call — declares the failure.
+    pub fn hang_node_at(&mut self, at_s: f64, node: usize, duration_s: f64) {
+        assert!(node < self.nodes.len(), "unknown node");
+        self.faults.push(NodeFault {
+            at_s,
+            node,
+            duration_s: Some(duration_s),
+            applied: false,
+        });
+    }
+
+    /// Schedules a permanent node death at virtual second `at_s`.
+    pub fn kill_node_at(&mut self, at_s: f64, node: usize) {
+        assert!(node < self.nodes.len(), "unknown node");
+        self.faults.push(NodeFault {
+            at_s,
+            node,
+            duration_s: None,
+            applied: false,
+        });
+    }
+
+    /// Node-level [`Candidate`] rows at virtual second `now_s`, index-
+    /// aligned with the node list. `anchor` is the node work would leave
+    /// ([`Hop::Local`], never picked by evacuation); every other node is
+    /// one [`Hop::CrossNode`] away — routing from the edge passes `None`
+    /// and sees a uniform cross-node price, so the decision reduces to
+    /// health and load exactly as the lexicographic key orders them.
+    pub fn candidates(&self, anchor: Option<usize>, now_s: f64) -> Vec<Candidate> {
+        let now = cyc(now_s);
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let snaps = n.d.shard_snapshots();
+                let queue_depth: usize = snaps.iter().map(|s| s.queue_depth).sum();
+                let idle_shells: usize = snaps.iter().map(|s| s.idle_shells).sum();
+                let warm_shells: usize = snaps.iter().map(|s| s.warm_shells).sum();
+                let free_at = snaps
+                    .iter()
+                    .map(|s| cyc(s.free_at_s))
+                    .min()
+                    .unwrap_or(0)
+                    .max(now);
+                let hop = if anchor == Some(i) {
+                    Hop::Local
+                } else {
+                    Hop::CrossNode
+                };
+                Candidate {
+                    shard: i,
+                    queue_depth,
+                    free_at,
+                    idle_shells,
+                    warm_shells,
+                    hop,
+                    transfer_cost: hop.transfer_cost(),
+                    eligible: self.routable(i),
+                }
+            })
+            .collect()
+    }
+
+    /// Picks the node for a fresh edge request at `now_s` — the least
+    /// loaded routable node under the engine's evacuation key (from the
+    /// edge, every node is one `CrossNode` hop). `None` when no node is
+    /// routable; the edge sheds.
+    pub fn route(&mut self, now_s: f64) -> Option<usize> {
+        let c = self.candidates(None, now_s);
+        let picked = self.engine.evacuate(&c)?;
+        self.stats.routed += 1;
+        self.nodes[picked].routed += 1;
+        Some(picked)
+    }
+
+    /// Picks the destination for work evacuating off node `from` —
+    /// same key, `from` anchored [`Hop::Local`] so it can never receive
+    /// its own evacuation. `None` when no other node is routable.
+    pub fn evacuation_target(&self, from: usize, now_s: f64) -> Option<usize> {
+        self.engine.evacuate(&self.candidates(Some(from), now_s))
+    }
+
+    /// Records `n` cross-node re-dispatches performed by the edge, each
+    /// charged one [`Hop::CrossNode`] transfer.
+    pub fn note_evacuations(&mut self, n: u64) {
+        self.stats.evacuated += n;
+        self.stats.transfer_cycles += n * Hop::CrossNode.transfer_cost();
+    }
+
+    /// Requests routed to node `i` so far.
+    pub fn routed_to(&self, i: usize) -> u64 {
+        self.nodes[i].routed
+    }
+
+    /// Cluster counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// Node-level detector counters, when a detector is installed.
+    pub fn health_stats(&self) -> Option<HealthStats> {
+        self.detector.as_ref().map(HealthDetector::stats)
+    }
+
+    /// Per-node detector view (suspicion, breaker, last heartbeat),
+    /// index-aligned with the node list.
+    pub fn node_health(&self) -> Option<Vec<ShardHealth>> {
+        self.detector
+            .as_ref()
+            .map(|h| (0..self.nodes.len()).map(|i| h.shard_health(i)).collect())
+    }
+
+    /// The cluster's virtual-time cursor (the latest `advance_to`).
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Whether node `i` would answer a probe at `t_s` (not hung, not
+    /// killed).
+    fn node_alive(&self, i: usize, t_s: f64) -> bool {
+        t_s >= self.nodes[i].hung_until_s
+    }
+
+    /// Advances every node in lockstep virtual time to `t_s`, applying
+    /// due faults, feeding node heartbeats, polling the detector, and
+    /// converging draining nodes. Returns every lifecycle action taken.
+    ///
+    /// Alive nodes advance and heartbeat once per step (half the
+    /// detector's heartbeat interval, so silence is observed promptly);
+    /// a hung node is frozen — its dispatcher does not advance and its
+    /// monitor slot goes silent, which is exactly what a partitioned
+    /// node looks like from a control plane.
+    pub fn advance_to(&mut self, t_s: f64) -> Vec<ClusterAction> {
+        let mut actions = Vec::new();
+        if t_s <= self.now_s {
+            return actions;
+        }
+        let step_s = match &self.health_config {
+            Some(c) => (c.heartbeat_interval.as_secs() / 2.0).max(1e-6),
+            None => t_s - self.now_s,
+        };
+        let mut ts = self.now_s;
+        while ts < t_s {
+            ts = (ts + step_s).min(t_s);
+
+            for f in &mut self.faults {
+                if !f.applied && f.at_s <= ts {
+                    f.applied = true;
+                    let until = f.duration_s.map_or(f64::INFINITY, |d| f.at_s + d);
+                    let n = &mut self.nodes[f.node];
+                    n.hung_until_s = n.hung_until_s.max(until);
+                }
+            }
+
+            for i in 0..self.nodes.len() {
+                if self.node_alive(i, ts) {
+                    self.nodes[i].d.run_until(ts);
+                    if let Some(h) = &mut self.detector {
+                        h.heartbeat(i, cyc(ts));
+                    }
+                }
+            }
+
+            if self.detector.is_some() {
+                let alive: Vec<bool> = (0..self.nodes.len())
+                    .map(|i| self.node_alive(i, ts))
+                    .collect();
+                let monitored: Vec<bool> = self.nodes.iter().map(|n| n.state.is_active()).collect();
+                let polled =
+                    self.detector
+                        .as_mut()
+                        .expect("checked")
+                        .poll(cyc(ts), &alive, &monitored);
+                for a in polled {
+                    match a {
+                        HealthAction::Declare(i) => {
+                            self.fail_node(i);
+                            actions.push(ClusterAction::NodeDeclared { node: i });
+                        }
+                        HealthAction::Restore(i) => {
+                            self.restore_node(i);
+                            actions.push(ClusterAction::NodeRestored { node: i });
+                        }
+                    }
+                }
+            }
+
+            for i in 0..self.nodes.len() {
+                if self.nodes[i].state == ShardState::Draining {
+                    let snaps = self.nodes[i].d.shard_snapshots();
+                    let empty = snaps.iter().all(|s| s.queue_depth == 0 && s.parked == 0);
+                    if empty {
+                        self.nodes[i].state = ShardState::Drained;
+                        actions.push(ClusterAction::NodeDrained { node: i });
+                    }
+                }
+            }
+        }
+        self.now_s = t_s;
+        actions
+    }
+
+    /// Runs every reachable node to idle (end-of-run settling; any
+    /// scheduled hang must already have lifted).
+    pub fn settle(&mut self) {
+        for i in 0..self.nodes.len() {
+            if self.node_alive(i, self.now_s) {
+                self.nodes[i].d.run_to_idle();
+            }
+        }
+    }
+}
+
+impl Default for Cluster {
+    fn default() -> Cluster {
+        Cluster::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::{DispatcherConfig, Request};
+    use crate::tenant::TenantProfile;
+    use vclock::costs;
+    use wasp::{VirtineSpec, Wasp};
+
+    const MEM: usize = 64 * 1024;
+
+    fn node() -> Dispatcher {
+        Dispatcher::new(
+            Wasp::new_kvm_default(),
+            DispatcherConfig {
+                shards: 2,
+                ..DispatcherConfig::default()
+            },
+        )
+    }
+
+    fn spec(name: &str) -> VirtineSpec {
+        let img = visa::assemble(".org 0x8000\n mov r0, 7\n hlt\n").unwrap();
+        VirtineSpec::new(name, img, MEM).with_snapshot(false)
+    }
+
+    fn two_node_cluster() -> (Cluster, crate::TenantId, wasp::VirtineId) {
+        let mut c = Cluster::new();
+        let mut tenant = None;
+        let mut virtine = None;
+        for _ in 0..2 {
+            let mut d = node();
+            let v = d.register(spec("f")).unwrap();
+            let t = d.add_tenant(TenantProfile::new("app"));
+            assert!(virtine.is_none() || virtine == Some(v), "ids must agree");
+            tenant = Some(t);
+            virtine = Some(v);
+            c.add_node(d);
+        }
+        (c, tenant.unwrap(), virtine.unwrap())
+    }
+
+    #[test]
+    fn candidates_price_every_remote_node_one_cross_node_hop() {
+        let (c, _, _) = two_node_cluster();
+        let rows = c.candidates(Some(0), 0.0);
+        assert_eq!(rows[0].hop, Hop::Local);
+        assert_eq!(rows[0].transfer_cost, 0);
+        assert_eq!(rows[1].hop, Hop::CrossNode);
+        assert_eq!(rows[1].transfer_cost, costs::VSCHED_TRANSFER_CROSS_NODE);
+        assert!(rows.iter().all(|r| r.eligible));
+    }
+
+    #[test]
+    fn route_prefers_the_less_loaded_node() {
+        let (mut c, tenant, virtine) = two_node_cluster();
+        // Load node 0 with queued work it has not run yet.
+        for _ in 0..4 {
+            c.node_mut(0)
+                .submit(Request::new(tenant, virtine, 0.0))
+                .unwrap();
+        }
+        assert_eq!(c.route(0.0), Some(1), "deeper queue must lose the route");
+        assert_eq!(c.stats().routed, 1);
+        assert_eq!(c.routed_to(1), 1);
+    }
+
+    #[test]
+    fn drained_node_leaves_the_routable_set_and_returns_on_restore() {
+        let (mut c, _, _) = two_node_cluster();
+        c.drain_node(0);
+        assert!(!c.routable(0));
+        assert_eq!(c.route(0.0), Some(1));
+        // An empty draining node converges to Drained on the next tick.
+        let actions = c.advance_to(0.001);
+        assert!(actions.contains(&ClusterAction::NodeDrained { node: 0 }));
+        assert_eq!(c.node_state(0), ShardState::Drained);
+        c.restore_node(0);
+        assert!(c.routable(0));
+    }
+
+    #[test]
+    fn evacuation_target_never_picks_the_failed_node() {
+        let (mut c, _, _) = two_node_cluster();
+        c.fail_node(0);
+        assert_eq!(c.evacuation_target(0, 0.0), Some(1));
+        assert_eq!(c.evacuation_target(1, 0.0), None, "only the anchor is left");
+    }
+
+    #[test]
+    fn detector_declares_a_hung_node_and_probes_it_back() {
+        let (mut c, tenant, virtine) = two_node_cluster();
+        c.set_health(HealthConfig::new().with_seed(0xC1));
+        // Queue work on node 1 so fencing has something to shed.
+        c.node_mut(1)
+            .submit(Request::new(tenant, virtine, 0.0))
+            .unwrap();
+        // Node 1 partitions for 10 ms — an eternity against the 500 µs
+        // heartbeat interval and threshold 4.
+        c.hang_node_at(0.001, 1, 0.010);
+        let actions = c.advance_to(0.008);
+        assert!(actions.contains(&ClusterAction::NodeDeclared { node: 1 }));
+        assert!(!c.routable(1));
+        assert_eq!(c.node_state(1), ShardState::Failed);
+        assert_eq!(c.health_stats().unwrap().declared, 1);
+        assert_eq!(c.health_stats().unwrap().false_positives, 0);
+        // Fencing failed every shard inside.
+        assert!(c
+            .node(1)
+            .shard_states()
+            .iter()
+            .all(|s| *s == ShardState::Failed));
+        // The hang lifts; recovery probes restore the node.
+        let actions = c.advance_to(0.030);
+        assert!(actions.contains(&ClusterAction::NodeRestored { node: 1 }));
+        assert!(c.routable(1));
+        assert_eq!(c.health_stats().unwrap().restored, 1);
+        // The whole arc replays bit-for-bit under the same seed.
+        let run = |seed: u64| {
+            let (mut c, t, v) = two_node_cluster();
+            c.set_health(HealthConfig::new().with_seed(seed));
+            c.node_mut(1).submit(Request::new(t, v, 0.0)).unwrap();
+            c.hang_node_at(0.001, 1, 0.010);
+            let mut log = Vec::new();
+            log.extend(c.advance_to(0.008));
+            log.extend(c.advance_to(0.030));
+            (log, c.health_stats().unwrap().probes)
+        };
+        assert_eq!(run(0xC1), run(0xC1));
+    }
+
+    #[test]
+    fn kill_is_permanent_and_evacuation_counts_transfers() {
+        let (mut c, _, _) = two_node_cluster();
+        c.set_health(HealthConfig::new().with_seed(0xC2));
+        c.kill_node_at(0.001, 0);
+        let actions = c.advance_to(0.010);
+        assert!(actions.contains(&ClusterAction::NodeDeclared { node: 0 }));
+        c.note_evacuations(3);
+        assert_eq!(c.stats().evacuated, 3);
+        assert_eq!(
+            c.stats().transfer_cycles,
+            3 * costs::VSCHED_TRANSFER_CROSS_NODE
+        );
+        // Dead for good: far later, still not routable.
+        c.advance_to(0.100);
+        assert!(!c.routable(0));
+        assert_eq!(c.health_stats().unwrap().restored, 0);
+    }
+}

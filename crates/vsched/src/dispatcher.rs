@@ -1247,6 +1247,7 @@ impl Dispatcher {
             Hop::SameCcx => self.stats.stolen_same_ccx += 1,
             Hop::SameSocket => self.stats.stolen_cross_ccx += 1,
             Hop::CrossSocket => self.stats.stolen_cross_socket += 1,
+            Hop::CrossNode => unreachable!("intra-node topology never yields a node hop"),
         }
     }
 

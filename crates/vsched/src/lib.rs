@@ -129,6 +129,17 @@
 //!   dedup, and a pager-driven brownout ladder sheds the lowest
 //!   priority tiers under overload. See `docs/reliability.md` and the
 //!   `fault_recovery` bench.
+//! * **Cluster-scale serving** ([`cluster`]) — N topology-described
+//!   dispatchers become *nodes* behind one routing surface. Node
+//!   selection and failover evacuation ride the same priced
+//!   [`Candidate`] machinery as intra-node steals, one
+//!   [`Hop::CrossNode`] further out
+//!   (`vclock::costs::VSCHED_TRANSFER_CROSS_NODE`); the [`health`]
+//!   detector runs a second instance with nodes as the monitored
+//!   population, fencing a declared node (every shard failed, no
+//!   stranded copy can double-run) while the `vhttp` ingress
+//!   re-dispatches its unresolved work from pristine edge inputs. See
+//!   `docs/cluster.md` and the `ingress_fanout` bench.
 //!
 //! ## Example
 //!
@@ -147,6 +158,7 @@
 //! assert!(d.completions()[0].exit_normal);
 //! ```
 
+pub mod cluster;
 pub mod dispatcher;
 pub mod health;
 pub mod lifecycle;
@@ -155,6 +167,7 @@ pub mod shard;
 pub mod tenant;
 pub mod topology;
 
+pub use cluster::{Cluster, ClusterAction, ClusterStats};
 pub use dispatcher::{
     BlockMode, Completion, Dispatcher, DispatcherConfig, DispatcherStats, Placement, Request,
 };
@@ -162,7 +175,9 @@ pub use health::{BrownoutConfig, CircuitState, HealthConfig, HealthStats, ShardH
 pub use lifecycle::{FaultEvent, FaultKind, FaultPlan, LifecycleAction, ShardState};
 pub use placement::{Candidate, CostEngine, PlacementEngine, WarmPolicy, WarmVerdict};
 pub use shard::{ShardSnapshot, ShardStats};
-pub use tenant::{HedgePolicy, RetryPolicy, ShedReason, TenantId, TenantProfile, TenantStats};
+pub use tenant::{
+    HedgePolicy, RetryPolicy, ShedReason, TenantId, TenantProfile, TenantStats, TokenBucket,
+};
 pub use topology::{Hop, Topology};
 
 #[cfg(test)]

@@ -448,9 +448,12 @@ impl TenantStats {
     }
 }
 
-/// A token bucket refilled in virtual time.
+/// A token bucket refilled in virtual time. Public because edge layers
+/// (the `vhttp` ingress) reuse it for per-tenant admission accounting
+/// *in front of* the cluster, so a tenant over budget is shed at the
+/// edge with the same refill semantics the dispatcher would apply.
 #[derive(Debug, Clone)]
-pub(crate) struct TokenBucket {
+pub struct TokenBucket {
     tokens: f64,
     rate_rps: f64,
     burst: f64,
@@ -458,7 +461,9 @@ pub(crate) struct TokenBucket {
 }
 
 impl TokenBucket {
-    pub(crate) fn new(rate_rps: f64, burst: f64) -> TokenBucket {
+    /// A bucket holding `burst` tokens, refilled at `rate_rps` tokens
+    /// per virtual second. A non-finite rate means unlimited.
+    pub fn new(rate_rps: f64, burst: f64) -> TokenBucket {
         TokenBucket {
             tokens: burst,
             rate_rps,
@@ -468,10 +473,10 @@ impl TokenBucket {
     }
 
     /// Refills up to `now` and tries to charge one token (the
-    /// one-bucket convenience over `can_admit` + `take`; production
-    /// admission checks the request and byte buckets jointly instead).
-    #[cfg(test)]
-    pub(crate) fn admit(&mut self, now: Cycles) -> bool {
+    /// one-bucket convenience over `can_admit` + `take`; the
+    /// dispatcher's admission checks the request and byte buckets
+    /// jointly instead, and the edge uses this form directly).
+    pub fn admit(&mut self, now: Cycles) -> bool {
         if !self.can_admit(now, 1.0) {
             return false;
         }
@@ -483,7 +488,7 @@ impl TokenBucket {
     /// available, without charging — `submit` checks the request and the
     /// byte bucket jointly before charging either, so a request refused
     /// by one bucket never burns tokens from the other.
-    pub(crate) fn can_admit(&mut self, now: Cycles, cost: f64) -> bool {
+    pub fn can_admit(&mut self, now: Cycles, cost: f64) -> bool {
         if !self.rate_rps.is_finite() {
             return true;
         }
@@ -495,7 +500,7 @@ impl TokenBucket {
 
     /// Charges `cost` tokens the caller just checked with
     /// [`TokenBucket::can_admit`].
-    pub(crate) fn take(&mut self, cost: f64) {
+    pub fn take(&mut self, cost: f64) {
         if self.rate_rps.is_finite() {
             self.tokens -= cost;
         }

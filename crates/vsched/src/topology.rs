@@ -47,6 +47,13 @@ pub enum Hop {
     SameSocket,
     /// Different socket (inter-socket interconnect, NUMA-remote).
     CrossSocket,
+    /// Different *node*: the run leaves shared memory entirely and
+    /// crosses the cluster network. [`Topology::hop`] never returns this
+    /// — a single dispatcher's shards all share one node — it exists so
+    /// the cluster layer ([`crate::cluster`]) can price node-to-node
+    /// evacuation through the same [`crate::placement::Candidate`]
+    /// machinery as any other hop.
+    CrossNode,
 }
 
 impl Hop {
@@ -58,6 +65,7 @@ impl Hop {
             Hop::SameCcx => costs::VSCHED_TRANSFER_SAME_CCX,
             Hop::SameSocket => costs::VSCHED_TRANSFER_CROSS_CCX,
             Hop::CrossSocket => costs::VSCHED_TRANSFER_CROSS_SOCKET,
+            Hop::CrossNode => costs::VSCHED_TRANSFER_CROSS_NODE,
         }
     }
 
@@ -68,6 +76,7 @@ impl Hop {
             Hop::SameCcx => "same_ccx",
             Hop::SameSocket => "cross_ccx",
             Hop::CrossSocket => "cross_socket",
+            Hop::CrossNode => "cross_node",
         }
     }
 }
@@ -215,10 +224,17 @@ mod tests {
         assert!(Hop::Local < Hop::SameCcx);
         assert!(Hop::SameCcx < Hop::SameSocket);
         assert!(Hop::SameSocket < Hop::CrossSocket);
-        let costs: Vec<u64> = [Hop::Local, Hop::SameCcx, Hop::SameSocket, Hop::CrossSocket]
-            .iter()
-            .map(|h| h.transfer_cost())
-            .collect();
+        assert!(Hop::CrossSocket < Hop::CrossNode);
+        let costs: Vec<u64> = [
+            Hop::Local,
+            Hop::SameCcx,
+            Hop::SameSocket,
+            Hop::CrossSocket,
+            Hop::CrossNode,
+        ]
+        .iter()
+        .map(|h| h.transfer_cost())
+        .collect();
         assert!(costs.windows(2).all(|w| w[0] < w[1]));
     }
 

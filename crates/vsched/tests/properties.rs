@@ -842,6 +842,7 @@ fn distance_biased_steals_pick_the_nearest_donor_and_never_leak() {
             Hop::SameSocket => (0, 1, 0),
             Hop::CrossSocket => (0, 0, 1),
             Hop::Local => unreachable!("supply excludes the thief"),
+            Hop::CrossNode => unreachable!("intra-node topology never yields a node hop"),
         };
         assert_eq!(
             by_class, expected_class,
