@@ -165,6 +165,7 @@ fn run(label: &'static str, block: BlockMode, with_slow: bool) -> RunResultRow {
 }
 
 fn main() {
+    let host = bench::HostTimer::start();
     bench::header(
         "Event-driven blocked I/O: slowloris clients vs fast tenants",
         "suspending virtines parked in recv keeps fast-tenant p99 near the \
@@ -268,6 +269,5 @@ fn main() {
          \"slow_chunks\": {SLOW_CHUNKS}, \"slow_spread_s\": {SLOW_SPREAD_S}, \
          \"fast_requests\": {FAST_REQUESTS}, \"fast_window_s\": {FAST_WINDOW_S}}}\n}}"
     );
-    std::fs::write("BENCH_blocked_io.json", &json).expect("write JSON artifact");
-    println!("# wrote BENCH_blocked_io.json");
+    bench::write_artifact("blocked_io", &json, &host);
 }

@@ -308,6 +308,7 @@ fn run_skew() -> (u64, usize, u64) {
 }
 
 fn main() {
+    let host = bench::HostTimer::start();
     bench::header(
         "Cross-virtine channel pipeline: producer/consumer stages at 4 shards",
         "pipeline stages exchange bytes over host-mediated channels; a \
@@ -408,6 +409,5 @@ fn main() {
         "  \"skew\": {{\"migrations\": {migrations}, \"landed_shard\": {landed}, \
          \"exec_cycles\": {skew_cycles}}}\n}}"
     );
-    std::fs::write("BENCH_chan_pipeline.json", &json).expect("write JSON artifact");
-    println!("# wrote BENCH_chan_pipeline.json");
+    bench::write_artifact("chan_pipeline", &json, &host);
 }

@@ -52,6 +52,11 @@ impl Gate {
         self.report(what, baseline, current, current == baseline);
     }
 
+    /// One baseline-independent floor: `current` must be at least `floor`.
+    fn at_least(&mut self, what: &str, floor: f64, current: f64) {
+        self.report(what, floor, current, current >= floor);
+    }
+
     fn report(&mut self, what: &str, baseline: f64, current: f64, ok: bool) {
         self.checks += 1;
         let delta = if baseline != 0.0 {
@@ -372,6 +377,36 @@ fn main() {
         num(&base, "failover.p99_us", "baseline"),
         num(&cur, "failover.p99_us", "current"),
     );
+
+    // -- interp_speed ---------------------------------------------------------
+    let base = load_baseline("interp_speed");
+    let cur = load("BENCH_interp_speed.json");
+    for (i, kernel) in ["fib", "http"].iter().enumerate() {
+        // Retired instructions and virtual cycles are the deterministic
+        // guest-side observables: any drift means the interpreter's
+        // semantics or cost model changed, not the host machine.
+        for field in ["insts", "virt_cycles"] {
+            gate.exact(
+                &format!("interp_speed: {kernel} {field}"),
+                num(&base, &format!("kernels.{i}.{field}"), "baseline"),
+                num(&cur, &format!("kernels.{i}.{field}"), "current"),
+            );
+        }
+        // The cycle-identity contract: fast and reference engines agree on
+        // instructions, cycles, and the computed result, bit for bit.
+        gate.exact(
+            &format!("interp_speed: {kernel} engines byte- and cycle-identical"),
+            1.0,
+            num(&cur, &format!("kernels.{i}.cycle_identical"), "current"),
+        );
+        // Host wall-clock is nondeterministic, so the speedup is gated as a
+        // floor against the PR's >=2x claim, not against the baseline.
+        gate.at_least(
+            &format!("interp_speed: {kernel} fast-over-reference speedup >= 2x"),
+            2.0,
+            num(&cur, &format!("kernels.{i}.speedup"), "current"),
+        );
+    }
 
     println!("#");
     if gate.failures > 0 {

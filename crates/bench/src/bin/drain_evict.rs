@@ -92,6 +92,7 @@ impl Phase {
 }
 
 fn main() {
+    let host = bench::HostTimer::start();
     bench::header(
         "Shard lifecycle: rolling drain/restore and fault injection under live traffic",
         "draining half the shards one at a time loses nothing, double-runs \
@@ -338,6 +339,5 @@ fn main() {
          \"steady_rounds\": {STEADY_ROUNDS}, \"drain_rounds_each\": {DRAIN_ROUNDS_EACH}, \
          \"recover_rounds\": {RECOVER_ROUNDS}, \"fault_rounds\": {FAULT_ROUNDS}}}\n}}"
     );
-    std::fs::write("BENCH_drain_evict.json", &json).expect("write JSON artifact");
-    println!("# wrote BENCH_drain_evict.json");
+    bench::write_artifact("drain_evict", &json, &host);
 }

@@ -295,6 +295,7 @@ fn run_scenario() -> Outcome {
 }
 
 fn main() {
+    let host = bench::HostTimer::start();
     bench::header(
         "Health-driven failover: detector-declared failure, hedged straggler, probe-driven restore",
         "a wedged shard is declared failed from observed silence alone, its \
@@ -415,6 +416,5 @@ fn main() {
          \"straggler_rounds\": {STRAGGLER_ROUNDS}, \"failover_rounds\": {FAILOVER_ROUNDS}, \
          \"health_seed\": {HEALTH_SEED}}}\n}}"
     );
-    std::fs::write("BENCH_fault_recovery.json", &json).expect("write JSON artifact");
-    println!("# wrote BENCH_fault_recovery.json");
+    bench::write_artifact("fault_recovery", &json, &host);
 }

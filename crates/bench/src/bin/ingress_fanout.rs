@@ -187,6 +187,7 @@ fn run_scenario(nodes: usize, with_fault: bool) -> Outcome {
 }
 
 fn main() {
+    let host = bench::HostTimer::start();
     bench::header(
         "Cluster fan-out: the Figure 15-style mix across nodes behind the vhttp ingress",
         "one edge tier routes the mix across identical vsched nodes by health \
@@ -343,6 +344,5 @@ fn main() {
          \"cadence_s\": {CADENCE_S}, \"fast_per_round\": {FAST_PER_ROUND}, \
          \"slow_every\": {SLOW_EVERY}, \"rounds\": {ROUNDS}, \"health_seed\": {HEALTH_SEED}}}\n}}"
     );
-    std::fs::write("BENCH_ingress_fanout.json", &json).expect("write JSON artifact");
-    println!("# wrote BENCH_ingress_fanout.json");
+    bench::write_artifact("ingress_fanout", &json, &host);
 }

@@ -209,6 +209,7 @@ fn run(traced: bool) -> RunOut {
 }
 
 fn main() {
+    let host = bench::HostTimer::start();
     bench::header(
         "SLO observability: burn-rate paging over an injected warm-budget incident",
         "multiwindow burn-rate alerts page within bounded virtual time of a \
@@ -308,7 +309,7 @@ fn main() {
          \"healthy_rounds\": {HEALTHY_ROUNDS}, \"degraded_rounds\": {DEGRADED_ROUNDS}, \
          \"recovered_rounds\": {RECOVERED_ROUNDS}, \"e2e_threshold_us\": {E2E_THRESHOLD_US}}}\n}}"
     );
-    std::fs::write("BENCH_slo_observe.json", &json).expect("write JSON artifact");
+    bench::write_artifact("slo_observe", &json, &host);
     std::fs::write("TRACE_slo_observe.jsonl", &traced.trace_lines).expect("write trace artifact");
-    println!("# wrote BENCH_slo_observe.json and TRACE_slo_observe.jsonl");
+    println!("# wrote TRACE_slo_observe.jsonl");
 }

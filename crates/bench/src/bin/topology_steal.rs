@@ -247,6 +247,7 @@ fn warm_run(
 }
 
 fn main() {
+    let host = bench::HostTimer::start();
     bench::header(
         "Topology-aware placement: near-first steals + warm budget/quota (8 shards, 2 sockets)",
         "steals drain same-CCX, then same-socket, then cross-socket donors; \
@@ -356,6 +357,5 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ]\n}}");
-    std::fs::write("BENCH_topology_steal.json", &json).expect("write JSON artifact");
-    println!("# wrote BENCH_topology_steal.json");
+    bench::write_artifact("topology_steal", &json, &host);
 }

@@ -210,6 +210,7 @@ fn macro_run(
 }
 
 fn main() {
+    let host = bench::HostTimer::start();
     bench::header(
         "Warm-shell snapshot cache + snapshot-aware placement (Fig. 15 bursts)",
         "warm-hit re-arm lands near the bare-vmrun floor (within 4% of vmrun, \
@@ -376,6 +377,5 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ]\n}}");
-    std::fs::write("BENCH_warm_placement.json", &json).expect("write JSON artifact");
-    println!("# wrote BENCH_warm_placement.json");
+    bench::write_artifact("warm_placement", &json, &host);
 }

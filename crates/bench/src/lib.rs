@@ -71,6 +71,73 @@ pub fn hist_percentile_ms(h: &Histogram, p: f64) -> f64 {
     Cycles(h.quantile(p / 100.0)).as_millis()
 }
 
+/// Host-side wall-clock attribution for a bench run.
+///
+/// Everything above reports *virtual* time (guest cycles at 2.69 GHz); this
+/// measures what the simulation costs the *host* — wall time elapsed and
+/// host nanoseconds per retired guest instruction, from the process-wide
+/// [`visa::pred::counters`] retired totals. Started at the top of a bench's
+/// `main` and folded into its JSON artifact by [`write_artifact`], so every
+/// `BENCH_*.json` carries a `host` object tracking interpreter speed.
+pub struct HostTimer {
+    start: std::time::Instant,
+    retired0: u64,
+}
+
+impl HostTimer {
+    /// Starts the timer and snapshots the retired-instruction counters.
+    pub fn start() -> Self {
+        let c = visa::pred::counters();
+        Self {
+            start: std::time::Instant::now(),
+            retired0: c.retired_fast + c.retired_ref,
+        }
+    }
+
+    /// Wall nanoseconds elapsed since [`HostTimer::start`].
+    pub fn wall_ns(&self) -> f64 {
+        self.start.elapsed().as_nanos() as f64
+    }
+
+    /// Guest instructions retired (both engines) since the timer started.
+    pub fn guest_insts(&self) -> u64 {
+        let c = visa::pred::counters();
+        (c.retired_fast + c.retired_ref).saturating_sub(self.retired0)
+    }
+
+    /// The `"host": {...}` JSON fragment: wall ms, retired guest
+    /// instructions, and host ns per guest instruction (0 when the bench
+    /// ran no guest code).
+    pub fn json(&self) -> String {
+        let wall_ns = self.wall_ns();
+        let insts = self.guest_insts();
+        let ns_per_inst = if insts == 0 {
+            0.0
+        } else {
+            wall_ns / insts as f64
+        };
+        format!(
+            "\"host\": {{\"wall_ms\": {:.3}, \"guest_insts\": {insts}, \"ns_per_inst\": {ns_per_inst:.2}}}",
+            wall_ns / 1e6
+        )
+    }
+}
+
+/// Writes `BENCH_<name>.json`, appending the [`HostTimer`]'s `host` object
+/// as a final top-level field. `json` must be a complete object (ending in
+/// `}`); the regression gate ignores keys it doesn't check, so the
+/// wall-clock numbers ride along without perturbing any committed baseline.
+pub fn write_artifact(name: &str, json: &str, host: &HostTimer) {
+    let body = json
+        .trim_end()
+        .strip_suffix('}')
+        .expect("artifact JSON must end with `}`")
+        .trim_end();
+    let out = format!("{body},\n  {}\n}}\n", host.json());
+    std::fs::write(format!("BENCH_{name}.json"), out).expect("write JSON artifact");
+    println!("# wrote BENCH_{name}.json");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +149,15 @@ mod tests {
         if std::env::var("TRIALS").is_err() {
             assert_eq!(trials(123), 123);
         }
+    }
+
+    #[test]
+    fn host_timer_emits_a_json_object() {
+        let t = HostTimer::start();
+        let j = t.json();
+        assert!(j.starts_with("\"host\": {"));
+        assert!(j.contains("\"wall_ms\""));
+        assert!(j.contains("\"ns_per_inst\""));
     }
 
     #[test]

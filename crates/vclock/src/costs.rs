@@ -100,6 +100,30 @@ pub const MODE_CR0_PG: u64 = 400;
 /// this constant is the KVM-side share.
 pub const KVM_EPT_BUILD: u64 = 22_000;
 
+/// Base cycle cost per guest instruction *class*, indexed by the
+/// discriminant of `visa::inst::OpClass` (Alu, Mul, Div, Mem, Branch,
+/// CallRet, Stack, Pio, Halt, System, Mark — in that order).
+///
+/// This is the per-class cost table the predecoded interpreter dispatches
+/// from; the constants are exactly the per-instruction `GUEST_*` ticks the
+/// reference interpreter charges, so the two engines stay cycle-identical.
+/// Classes whose timing lives elsewhere carry zero here: `Mem` ticks
+/// [`GUEST_MEM`] inside the access helper, `System` costs depend on the
+/// processor mode and the bits written, and `Mark` is free by design.
+pub const GUEST_CLASS_BASE: [u64; 11] = [
+    GUEST_ALU,     // Alu
+    GUEST_MUL,     // Mul
+    GUEST_DIV,     // Div
+    0,             // Mem (charged per access by the helper)
+    GUEST_BRANCH,  // Branch (+GUEST_BRANCH_TAKEN when taken)
+    GUEST_CALLRET, // CallRet
+    GUEST_STACK,   // Stack
+    GUEST_PIO,     // Pio
+    GUEST_HLT,     // Halt
+    0,             // System (mode-dependent MODE_* costs)
+    0,             // Mark (free rdtsc stand-in)
+];
+
 /// Pipeline-fill cost of the first instruction after VM entry.
 ///
 /// Table 1 reports "First Instruction" at 74 cycles.
@@ -334,6 +358,25 @@ mod tests {
         // evacuating work off a failing node beats abandoning it.
         assert!(VSCHED_TRANSFER_CROSS_SOCKET < VSCHED_TRANSFER_CROSS_NODE);
         assert!(VSCHED_TRANSFER_CROSS_NODE < KVM_CREATE_VM);
+    }
+
+    #[test]
+    fn class_table_uses_the_per_instruction_constants() {
+        // The predecoded interpreter indexes this table by OpClass
+        // discriminant; the entries must stay byte-for-byte the ticks the
+        // reference interpreter charges or cycle-identity breaks.
+        assert_eq!(GUEST_CLASS_BASE.len(), 11);
+        assert_eq!(GUEST_CLASS_BASE[0], GUEST_ALU);
+        assert_eq!(GUEST_CLASS_BASE[1], GUEST_MUL);
+        assert_eq!(GUEST_CLASS_BASE[2], GUEST_DIV);
+        assert_eq!(GUEST_CLASS_BASE[3], 0); // Mem: helper-charged.
+        assert_eq!(GUEST_CLASS_BASE[4], GUEST_BRANCH);
+        assert_eq!(GUEST_CLASS_BASE[5], GUEST_CALLRET);
+        assert_eq!(GUEST_CLASS_BASE[6], GUEST_STACK);
+        assert_eq!(GUEST_CLASS_BASE[7], GUEST_PIO);
+        assert_eq!(GUEST_CLASS_BASE[8], GUEST_HLT);
+        assert_eq!(GUEST_CLASS_BASE[9], 0); // System: mode-dependent.
+        assert_eq!(GUEST_CLASS_BASE[10], 0); // Mark: free.
     }
 
     #[test]

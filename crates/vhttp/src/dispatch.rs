@@ -148,6 +148,37 @@ pub fn prometheus_text(d: &Dispatcher) -> String {
             ("{distance=\"cross_socket\"}".into(), s.stolen_cross_socket),
         ],
     );
+    let guest = visa::pred::counters();
+    metric(
+        "visa_insts_retired_total",
+        "counter",
+        "Guest instructions retired process-wide, by interpreter engine: \
+         fast (the predecoded basic-block engine, the default), ref (the \
+         reference single-step oracle, selected by VISA_REF_INTERP=1)",
+        &[
+            ("{engine=\"fast\"}".into(), guest.retired_fast),
+            ("{engine=\"ref\"}".into(), guest.retired_ref),
+        ],
+    );
+    metric(
+        "visa_predecode_blocks",
+        "counter",
+        "Predecoded basic blocks, by event: built (decoded, fused, and \
+         cached), invalidated (dropped for stale bytes after a write to a \
+         cached page, a self-modifying store, a snapshot restore, or a \
+         cache flush)",
+        &[
+            ("{event=\"built\"}".into(), guest.blocks_built),
+            ("{event=\"invalidated\"}".into(), guest.blocks_invalidated),
+        ],
+    );
+    metric(
+        "visa_superinsts_fused_total",
+        "counter",
+        "Superinstructions fused at predecode time (cmp+jcc, \
+         mov-ri+alu-rr, and push-pair prologue patterns)",
+        &plain(guest.superinsts_fused),
+    );
     let topo = d.topology();
     metric(
         "vsched_topology",

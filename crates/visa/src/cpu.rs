@@ -18,9 +18,37 @@ use std::collections::HashMap;
 use vclock::{costs, Clock, Cycles};
 
 use crate::inst::{
-    Alu, Cond, CrReg, Inst, JmpMode, Reg, Width, CR0_PE, CR0_PG, CR4_PAE, EFER_LME, MSR_EFER,
+    Alu, Cond, CrReg, DecodeError, Inst, JmpMode, Reg, Width, CR0_PE, CR0_PG, CR4_PAE, EFER_LME,
+    MSR_EFER,
 };
 use crate::mem::Memory;
+use crate::pred;
+
+/// Which interpreter executes guest code in [`Cpu::run`].
+///
+/// The predecoded engine is the default; the reference engine is the
+/// original fetch→decode→execute loop kept as the differential oracle.
+/// Setting `VISA_REF_INTERP=1` in the environment flips every new CPU to
+/// the reference engine (the escape hatch for bisecting fast-path bugs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Predecoded basic-block interpreter ([`crate::pred`]).
+    Fast,
+    /// The original single-step loop (the differential oracle).
+    Reference,
+}
+
+impl Engine {
+    /// The process-wide default: [`Engine::Fast`] unless `VISA_REF_INTERP=1`.
+    pub fn from_env() -> Engine {
+        use std::sync::OnceLock;
+        static DEFAULT: OnceLock<Engine> = OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("VISA_REF_INTERP") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Engine::Reference,
+            _ => Engine::Fast,
+        })
+    }
+}
 
 /// Processor execution mode (§4.2 "the three classic operating modes").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -189,24 +217,28 @@ pub struct Cpu {
     pub regs: [u64; Reg::COUNT],
     /// Program counter (virtual address).
     pub pc: u64,
-    mode: Mode,
+    pub(crate) mode: Mode,
     cr0: u64,
     cr3: u64,
     cr4: u64,
     efer: u64,
     gdt_base: Option<u64>,
-    flags: Flags,
-    clock: Clock,
+    pub(crate) flags: Flags,
+    pub(crate) clock: Clock,
     config: CpuConfig,
     /// Milestones recorded by `mark` (id, timestamp).
     pub marks: Vec<(u8, Cycles)>,
-    /// 2 MiB-page TLB: virtual page number → physical frame base.
-    tlb: HashMap<u64, u64>,
+    /// 2 MiB-page TLB: virtual page number → physical frame base. Keyed
+    /// with the predecoder's multiply hasher — this map sits on every
+    /// long-mode memory access, where SipHash would dominate the walk.
+    tlb: HashMap<u64, u64, pred::FxBuild>,
     /// Destination register of an in-flight `in` instruction.
-    pending_in: Option<Reg>,
-    first_inst_pending: bool,
+    pub(crate) pending_in: Option<Reg>,
+    pub(crate) first_inst_pending: bool,
     ept_built: bool,
-    insts_retired: u64,
+    pub(crate) insts_retired: u64,
+    engine: Engine,
+    pub(crate) pred: pred::PredCache,
 }
 
 const PAGE_2M_SHIFT: u64 = 21;
@@ -235,17 +267,30 @@ impl Cpu {
             clock,
             config,
             marks: Vec::new(),
-            tlb: HashMap::new(),
+            tlb: HashMap::default(),
             pending_in: None,
             first_inst_pending: false,
             ept_built: false,
             insts_retired: 0,
+            engine: Engine::from_env(),
+            pred: pred::PredCache::new(),
         }
     }
 
     /// Current processor mode.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// Which interpreter engine [`Cpu::run`] uses.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Overrides the interpreter engine (benchmarks and the differential
+    /// harness; production paths inherit the [`Engine::from_env`] default).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
     }
 
     /// Total instructions retired by this CPU.
@@ -319,10 +364,13 @@ impl Cpu {
         // A restored context was already warmed past its first instruction.
         self.first_inst_pending = false;
         self.ept_built = true;
+        // Restores can swap in arbitrary memory contents; drop every
+        // predecoded block rather than trusting the dirty-page snoop.
+        self.pred.flush();
     }
 
     /// Translates a virtual address for an access of `len` bytes.
-    fn translate(&mut self, mem: &Memory, vaddr: u64, len: u64) -> Result<u64, Fault> {
+    pub(crate) fn translate(&mut self, mem: &Memory, vaddr: u64, len: u64) -> Result<u64, Fault> {
         match self.mode {
             Mode::Real16 => {
                 if vaddr.saturating_add(len) > REAL_MODE_LIMIT {
@@ -364,6 +412,17 @@ impl Cpu {
         }
     }
 
+    /// In long mode: whether `vaddr`'s 2 MiB page is both already in the
+    /// TLB (so instruction fetches from it are walk-free and tick-free) and
+    /// identity-mapped (so virtual code addresses are physical addresses,
+    /// which the predecoder's byte-revalidation machinery requires).
+    /// Returns the page's end (exclusive) virtual address when cacheable.
+    pub(crate) fn long_identity_page_end(&self, vaddr: u64) -> Option<u64> {
+        let vpn = vaddr >> PAGE_2M_SHIFT;
+        let &frame = self.tlb.get(&vpn)?;
+        (frame == vpn << PAGE_2M_SHIFT).then_some((vpn + 1) << PAGE_2M_SHIFT)
+    }
+
     /// Walks the guest page tables for one address (long mode only).
     fn translate_page(&mut self, mem: &Memory, vaddr: u64) -> Result<u64, Fault> {
         let vpn = vaddr >> PAGE_2M_SHIFT;
@@ -401,34 +460,40 @@ impl Cpu {
         Ok(frame | (vaddr & PAGE_2M_MASK))
     }
 
-    fn load(&mut self, mem: &Memory, vaddr: u64, w: Width) -> Result<u64, Fault> {
+    pub(crate) fn load(&mut self, mem: &Memory, vaddr: u64, w: Width) -> Result<u64, Fault> {
         self.clock.tick(costs::GUEST_MEM);
         let paddr = self.translate(mem, vaddr, w.bytes())?;
         mem.read(paddr, w)
             .map_err(|e| Fault::PhysOutOfBounds { paddr: e.paddr })
     }
 
-    fn store(&mut self, mem: &mut Memory, vaddr: u64, w: Width, v: u64) -> Result<(), Fault> {
+    pub(crate) fn store(
+        &mut self,
+        mem: &mut Memory,
+        vaddr: u64,
+        w: Width,
+        v: u64,
+    ) -> Result<(), Fault> {
         self.clock.tick(costs::GUEST_MEM);
         let paddr = self.translate(mem, vaddr, w.bytes())?;
         mem.write(paddr, w, v)
             .map_err(|e| Fault::PhysOutOfBounds { paddr: e.paddr })
     }
 
-    fn push(&mut self, mem: &mut Memory, v: u64) -> Result<(), Fault> {
+    pub(crate) fn push(&mut self, mem: &mut Memory, v: u64) -> Result<(), Fault> {
         let sp = self.reg(Reg::SP).wrapping_sub(8);
         self.set_reg(Reg::SP, sp);
         self.store(mem, sp, Width::Q, v)
     }
 
-    fn pop(&mut self, mem: &Memory) -> Result<u64, Fault> {
+    pub(crate) fn pop(&mut self, mem: &Memory) -> Result<u64, Fault> {
         let sp = self.reg(Reg::SP);
         let v = self.load(mem, sp, Width::Q)?;
         self.set_reg(Reg::SP, sp.wrapping_add(8));
         Ok(v)
     }
 
-    fn cond_holds(&self, c: Cond) -> bool {
+    pub(crate) fn cond_holds(&self, c: Cond) -> bool {
         let f = self.flags;
         match c {
             Cond::Eq => f.eq,
@@ -444,7 +509,7 @@ impl Cpu {
         }
     }
 
-    fn set_cmp_flags(&mut self, a: u64, b: u64) {
+    pub(crate) fn set_cmp_flags(&mut self, a: u64, b: u64) {
         self.flags = Flags {
             eq: a == b,
             lt_signed: (a as i64) < (b as i64),
@@ -452,7 +517,7 @@ impl Cpu {
         };
     }
 
-    fn alu(&mut self, op: Alu, a: u64, b: u64, pc: u64) -> Result<u64, Fault> {
+    pub(crate) fn alu(&mut self, op: Alu, a: u64, b: u64, pc: u64) -> Result<u64, Fault> {
         let v = match op {
             Alu::Add => a.wrapping_add(b),
             Alu::Sub => a.wrapping_sub(b),
@@ -485,7 +550,7 @@ impl Cpu {
 
     /// Writes CR0/CR3/CR4, charging transition costs and enforcing
     /// prerequisites for the bits that matter.
-    fn write_cr(&mut self, cr: CrReg, value: u64) -> Result<(), Fault> {
+    pub(crate) fn write_cr(&mut self, cr: CrReg, value: u64) -> Result<(), Fault> {
         match cr {
             CrReg::Cr0 => {
                 let was_pe = self.cr0 & CR0_PE != 0;
@@ -531,7 +596,7 @@ impl Cpu {
         Ok(())
     }
 
-    fn read_cr(&self, cr: CrReg) -> u64 {
+    pub(crate) fn read_cr(&self, cr: CrReg) -> u64 {
         match cr {
             CrReg::Cr0 => self.cr0,
             CrReg::Cr3 => self.cr3,
@@ -540,7 +605,7 @@ impl Cpu {
     }
 
     /// Performs a far jump, enforcing the x86 mode-transition prerequisites.
-    fn far_jump(&mut self, mode: JmpMode, target: u64) -> Result<(), Fault> {
+    pub(crate) fn far_jump(&mut self, mode: JmpMode, target: u64) -> Result<(), Fault> {
         match mode {
             JmpMode::Real16 => {
                 return Err(Fault::ModeViolation {
@@ -584,6 +649,62 @@ impl Cpu {
         Ok(())
     }
 
+    /// Fetches and decodes the instruction at `pc` without reading bytes
+    /// the guest cannot legally see.
+    ///
+    /// The fetch window is clipped to the current mode's reach — the
+    /// address-space limit in real/protected mode, the current 2 MiB page
+    /// in long mode. An instruction that would run past a long-mode page
+    /// boundary is only decoded after the *next* page translates (charging
+    /// the TLB walk the reference hardware would pay), by reassembling the
+    /// straddling bytes from both physical pages; the pages need not be
+    /// physically contiguous.
+    pub(crate) fn fetch_decode(&mut self, mem: &Memory, pc: u64) -> Result<(Inst, u64), Fault> {
+        const MAX_INST_LEN: usize = 10;
+        let fetch_paddr = self.translate(mem, pc, 1)?;
+        let window = mem
+            .tail(fetch_paddr)
+            .map_err(|e| Fault::PhysOutOfBounds { paddr: e.paddr })?;
+        // Bytes the guest may fetch from `pc` before hitting a virtual
+        // boundary (mode limit or long-mode page end).
+        let visible = match self.mode {
+            Mode::Real16 => REAL_MODE_LIMIT - pc,
+            Mode::Prot32 => (u32::MAX as u64 + 1) - pc,
+            Mode::Long64 => (PAGE_2M_MASK + 1) - (pc & PAGE_2M_MASK),
+        };
+        let win = &window[..window.len().min(visible as usize)];
+        match Inst::decode(win) {
+            Ok(ok) => Ok(ok),
+            Err(DecodeError::Truncated) if win.len() as u64 == visible => {
+                // Clipped by a *virtual* boundary, not by physical memory.
+                match self.mode {
+                    Mode::Real16 | Mode::Prot32 => Err(Fault::AddressBeyondMode {
+                        vaddr: pc,
+                        mode: self.mode,
+                    }),
+                    Mode::Long64 => {
+                        // The instruction straddles a 2 MiB page. Translate
+                        // the next page before touching its bytes, then
+                        // reassemble the split encoding.
+                        let next_vpage = (pc | PAGE_2M_MASK) + 1;
+                        let next_paddr = self.translate_page(mem, next_vpage)?;
+                        let rest = mem
+                            .tail(next_paddr)
+                            .map_err(|e| Fault::PhysOutOfBounds { paddr: e.paddr })?;
+                        let mut buf = [0u8; MAX_INST_LEN];
+                        let head = win.len().min(MAX_INST_LEN);
+                        buf[..head].copy_from_slice(&win[..head]);
+                        let tail_len = rest.len().min(MAX_INST_LEN - head);
+                        buf[head..head + tail_len].copy_from_slice(&rest[..tail_len]);
+                        Inst::decode(&buf[..head + tail_len])
+                            .map_err(|cause| Fault::Decode { pc, cause })
+                    }
+                }
+            }
+            Err(cause) => Err(Fault::Decode { pc, cause }),
+        }
+    }
+
     /// Executes a single instruction.
     ///
     /// Returns `Ok(None)` to continue, `Ok(Some(exit))` when the guest
@@ -594,15 +715,7 @@ impl Cpu {
             self.clock.tick(costs::GUEST_FIRST_INSTRUCTION);
         }
         let pc = self.pc;
-        let fetch_paddr = self.translate(mem, pc, 1)?;
-        let window = mem
-            .tail(fetch_paddr)
-            .map_err(|e| Fault::PhysOutOfBounds { paddr: e.paddr })?;
-        let (inst, len) = Inst::decode(window).map_err(|cause| Fault::Decode { pc, cause })?;
-        // In long mode, make sure the full instruction is mapped.
-        if len > 1 {
-            self.translate(mem, pc, len)?;
-        }
+        let (inst, len) = self.fetch_decode(mem, pc)?;
         self.pc = pc.wrapping_add(len);
         self.insts_retired += 1;
 
@@ -746,8 +859,22 @@ impl Cpu {
         Ok(None)
     }
 
-    /// Runs until an exit, a fault, or `max_steps` instructions.
+    /// Runs until an exit, a fault, or `max_steps` instructions, using the
+    /// configured [`Engine`].
     pub fn run(&mut self, mem: &mut Memory, max_steps: u64) -> Result<CpuExit, Fault> {
+        let before = self.insts_retired;
+        let result = match self.engine {
+            Engine::Fast => pred::run_fast(self, mem, max_steps),
+            Engine::Reference => self.run_ref(mem, max_steps),
+        };
+        pred::note_retired(self.engine, self.insts_retired - before);
+        result
+    }
+
+    /// The reference interpreter loop: one full fetch→decode→execute per
+    /// instruction. Kept verbatim as the differential oracle for the
+    /// predecoded engine.
+    pub fn run_ref(&mut self, mem: &mut Memory, max_steps: u64) -> Result<CpuExit, Fault> {
         for _ in 0..max_steps {
             if let Some(exit) = self.step(mem)? {
                 return Ok(exit);
@@ -1139,6 +1266,107 @@ gdt: .dq 0
         m.cpu.restore_state(&state);
         assert_eq!(m.cpu.reg(Reg(0)), 9);
         assert_eq!(m.cpu.save_state(), state);
+    }
+
+    #[test]
+    fn fetch_straddling_contiguous_2m_pages_decodes() {
+        // A 10-byte mov whose encoding crosses the 2 MiB page boundary at
+        // 0x400000; the identity map makes the two pages physically
+        // contiguous, but the fetch still goes through the two-page path.
+        let src = long_mode_boot("  mov r1, 0x3FFFFC\n  jmp r1\n");
+        let img = assemble(&src).unwrap();
+        let mut m = Machine::new(
+            Clock::new(),
+            CpuConfig::default(),
+            8 * 1024 * 1024,
+            img.entry,
+        );
+        m.load_image(&img);
+        let mut bytes = Vec::new();
+        Inst::MovRI(Reg(9), 0xFEED_F00D).encode(&mut bytes);
+        Inst::Hlt.encode(&mut bytes);
+        m.mem.write_bytes(0x3F_FFFC, &bytes).unwrap();
+        assert_eq!(m.run(10_000).unwrap(), CpuExit::Hlt);
+        assert_eq!(m.cpu.reg(Reg(9)), 0xFEED_F00D);
+    }
+
+    #[test]
+    fn fetch_straddling_noncontiguous_2m_pages_decodes() {
+        // Remap the virtual page at 0x400000 to physical 0x800000: the
+        // instruction's head and tail live in unrelated frames, so a fetch
+        // that read physically-contiguous bytes would decode garbage.
+        let extra = "
+  mov r1, 0x3010       ; PD entry 2 (virtual 0x400000)
+  mov r2, 0x800083     ; frame 0x800000 | PS | present | rw
+  store.q [r1], r2
+  mov r1, 0x3FFFFC
+  jmp r1
+";
+        let src = long_mode_boot(extra);
+        let img = assemble(&src).unwrap();
+        let mut m = Machine::new(
+            Clock::new(),
+            CpuConfig::default(),
+            16 * 1024 * 1024,
+            img.entry,
+        );
+        m.load_image(&img);
+        let mut head = Vec::new();
+        Inst::MovRI(Reg(9), 0xABCD_1234).encode(&mut head);
+        let tail = head.split_off(4);
+        m.mem.write_bytes(0x3F_FFFC, &head).unwrap();
+        m.mem.write_bytes(0x80_0000, &tail).unwrap();
+        let mut hlt = Vec::new();
+        Inst::Hlt.encode(&mut hlt);
+        m.mem.write_bytes(0x80_0006, &hlt).unwrap();
+        assert_eq!(m.run(10_000).unwrap(), CpuExit::Hlt);
+        assert_eq!(m.cpu.reg(Reg(9)), 0xABCD_1234);
+    }
+
+    #[test]
+    fn real_mode_fetch_clips_at_the_1mib_limit() {
+        // Physical memory extends past 1 MiB, but real mode must not fetch
+        // bytes beyond its reach: the truncated decode is an address fault,
+        // not a read of invisible bytes. Identical on both engines.
+        for engine in [Engine::Fast, Engine::Reference] {
+            let mut m = Machine::new(
+                Clock::new(),
+                CpuConfig::default(),
+                2 * 1024 * 1024,
+                0xF_FFFC,
+            );
+            let mut bytes = Vec::new();
+            Inst::MovRI(Reg(9), 42).encode(&mut bytes);
+            m.mem.write_bytes(0xF_FFFC, &bytes).unwrap();
+            m.cpu.set_engine(engine);
+            let f = m.run(10).unwrap_err();
+            assert_eq!(
+                f,
+                Fault::AddressBeyondMode {
+                    vaddr: 0xF_FFFC,
+                    mode: Mode::Real16,
+                },
+                "{engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_truncated_by_physical_memory_is_a_decode_fault() {
+        // The instruction runs off the end of guest-physical memory (well
+        // below the mode limit): that is a decode fault, not a mode fault.
+        let mut m = Machine::new(Clock::new(), CpuConfig::default(), 4096, 4090);
+        let mut bytes = Vec::new();
+        Inst::MovRI(Reg(9), 42).encode(&mut bytes);
+        m.mem.write_bytes(4090, &bytes[..6]).unwrap();
+        let f = m.run(10).unwrap_err();
+        assert_eq!(
+            f,
+            Fault::Decode {
+                pc: 4090,
+                cause: DecodeError::Truncated,
+            }
+        );
     }
 
     #[test]

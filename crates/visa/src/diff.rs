@@ -1,0 +1,188 @@
+//! The differential harness: runs the same image on both interpreter
+//! engines and demands bit- and cycle-identical behaviour.
+//!
+//! This is the enforcement arm of the [`pred`](crate::pred) cycle-identity
+//! contract. [`run_one`] drives a fresh [`Machine`] with one engine,
+//! feeding seeded values to every `in` hypercall and recording every
+//! externally visible event; [`compare`] runs both engines and diffs the
+//! event streams, final architected state, full memory, virtual clock,
+//! `mark` timelines, and retired-instruction counts. Any mismatch is a
+//! fast-path bug, reported with enough context to reproduce
+//! (`visa/tests/differential.rs` and the `diff_fuzz` binary both call
+//! [`compare`]).
+
+use vclock::rng::Rng;
+use vclock::{Clock, Cycles};
+
+use crate::asm::Image;
+use crate::cpu::{CpuConfig, CpuExit, CpuState, Engine, Fault, Machine};
+
+/// One externally visible event from a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `out port, value`.
+    Out {
+        /// Port written.
+        port: u16,
+        /// Value written.
+        value: u64,
+    },
+    /// `in` satisfied with a seeded value.
+    In {
+        /// Port read.
+        port: u16,
+        /// Value supplied by the harness.
+        value: u64,
+    },
+    /// The guest halted.
+    Hlt,
+    /// The step budget ran out.
+    StepLimit,
+    /// The guest faulted.
+    Fault(Fault),
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Event stream in order.
+    pub events: Vec<Event>,
+    /// Final architected CPU state.
+    pub state: CpuState,
+    /// Final guest memory contents.
+    pub mem: Vec<u8>,
+    /// Final virtual clock.
+    pub clock: Cycles,
+    /// `mark` milestones (id, timestamp) — mid-run clock observations.
+    pub marks: Vec<(u8, Cycles)>,
+    /// Instructions retired.
+    pub retired: u64,
+}
+
+/// Runs `img` on a fresh machine with the given engine until halt, fault,
+/// or `budget` retired instructions. Every `in` is answered from a
+/// [`Rng`] seeded with `io_seed`, so two runs with the same seed see the
+/// same inputs.
+pub fn run_one(engine: Engine, img: &Image, mem_size: usize, budget: u64, io_seed: u64) -> Outcome {
+    run_one_with(engine, img, mem_size, budget, io_seed, &[])
+}
+
+/// [`run_one`] with pre-loaded memory regions (e.g. marshalled virtine
+/// arguments), written after the image and before the first instruction.
+pub fn run_one_with(
+    engine: Engine,
+    img: &Image,
+    mem_size: usize,
+    budget: u64,
+    io_seed: u64,
+    prewrites: &[(u64, Vec<u8>)],
+) -> Outcome {
+    let mut m = Machine::new(Clock::new(), CpuConfig::default(), mem_size, img.entry);
+    m.load_image(img);
+    for (addr, bytes) in prewrites {
+        m.mem
+            .write_bytes(*addr, bytes)
+            .expect("prewrite must fit in guest memory");
+    }
+    m.cpu.set_engine(engine);
+    m.cpu.note_vmentry();
+    let mut rng = Rng::seeded(io_seed);
+    let mut events = Vec::new();
+    loop {
+        let remaining = budget.saturating_sub(m.cpu.insts_retired());
+        if remaining == 0 {
+            events.push(Event::StepLimit);
+            break;
+        }
+        match m.run(remaining) {
+            Ok(CpuExit::Hlt) => {
+                events.push(Event::Hlt);
+                break;
+            }
+            Ok(CpuExit::IoOut { port, value }) => events.push(Event::Out { port, value }),
+            Ok(CpuExit::IoIn { port }) => {
+                let value = rng.next_u64();
+                m.cpu.provide_in(value);
+                events.push(Event::In { port, value });
+            }
+            Ok(CpuExit::StepLimit) => {
+                events.push(Event::StepLimit);
+                break;
+            }
+            Err(fault) => {
+                events.push(Event::Fault(fault));
+                break;
+            }
+        }
+    }
+    Outcome {
+        events,
+        state: m.cpu.save_state(),
+        mem: m.mem.as_slice().to_vec(),
+        clock: m.cpu.clock().now(),
+        marks: m.cpu.marks.clone(),
+        retired: m.cpu.insts_retired(),
+    }
+}
+
+/// Runs `img` on both engines and returns a description of the first
+/// divergence, or `Ok(())` when the runs are identical in every observable
+/// dimension.
+pub fn compare(img: &Image, mem_size: usize, budget: u64, io_seed: u64) -> Result<(), String> {
+    compare_with(img, mem_size, budget, io_seed, &[])
+}
+
+/// [`compare`] with pre-loaded memory regions applied to both machines.
+pub fn compare_with(
+    img: &Image,
+    mem_size: usize,
+    budget: u64,
+    io_seed: u64,
+    prewrites: &[(u64, Vec<u8>)],
+) -> Result<(), String> {
+    let fast = run_one_with(Engine::Fast, img, mem_size, budget, io_seed, prewrites);
+    let reference = run_one_with(Engine::Reference, img, mem_size, budget, io_seed, prewrites);
+    if fast == reference {
+        return Ok(());
+    }
+    let mut out = String::from("fast and reference engines diverged:\n");
+    if fast.events != reference.events {
+        out.push_str(&format!(
+            "  events:\n    fast: {:?}\n    ref:  {:?}\n",
+            fast.events, reference.events
+        ));
+    }
+    if fast.state != reference.state {
+        out.push_str(&format!(
+            "  state:\n    fast: {:?}\n    ref:  {:?}\n",
+            fast.state, reference.state
+        ));
+    }
+    if fast.mem != reference.mem {
+        let first = fast
+            .mem
+            .iter()
+            .zip(reference.mem.iter())
+            .position(|(a, b)| a != b);
+        out.push_str(&format!("  memory differs first at {first:?}\n"));
+    }
+    if fast.clock != reference.clock {
+        out.push_str(&format!(
+            "  clock: fast={:?} ref={:?}\n",
+            fast.clock, reference.clock
+        ));
+    }
+    if fast.marks != reference.marks {
+        out.push_str(&format!(
+            "  marks:\n    fast: {:?}\n    ref:  {:?}\n",
+            fast.marks, reference.marks
+        ));
+    }
+    if fast.retired != reference.retired {
+        out.push_str(&format!(
+            "  retired: fast={} ref={}\n",
+            fast.retired, reference.retired
+        ));
+    }
+    Err(out)
+}

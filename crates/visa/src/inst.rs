@@ -662,6 +662,77 @@ impl Inst {
     }
 }
 
+/// Coarse execution class of an instruction — the "decode split" consumed
+/// by the predecoded interpreter ([`crate::pred`]).
+///
+/// Each class maps to one base cycle cost in
+/// [`vclock::costs::GUEST_CLASS_BASE`]; the discriminant is the index into
+/// that table. Classes whose timing is charged inside a helper (memory
+/// accesses tick [`vclock::costs::GUEST_MEM`] in the load/store path) or is
+/// mode-dependent (`System`) carry a base cost of zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpClass {
+    /// Simple single-cycle ALU work: `nop`, `mov`, add/sub/logic/shifts,
+    /// `neg`, `not`, `cmp`, and control-register reads.
+    Alu = 0,
+    /// Integer multiply.
+    Mul = 1,
+    /// Integer divide / remainder.
+    Div = 2,
+    /// Memory loads and stores (cost charged by the access helper).
+    Mem = 3,
+    /// Branches: `jmp`, conditional jumps, indirect jumps.
+    Branch = 4,
+    /// `call` / `ret`.
+    CallRet = 5,
+    /// `push` / `pop`.
+    Stack = 6,
+    /// Port I/O (`in` / `out`).
+    Pio = 7,
+    /// `hlt`.
+    Halt = 8,
+    /// Mode-transition machinery: `lgdt`, control-register writes, `wrmsr`,
+    /// far jumps. Costs depend on mode and the bits written.
+    System = 9,
+    /// `mark` — the free rdtsc stand-in.
+    Mark = 10,
+}
+
+impl OpClass {
+    /// Number of classes (the length of the cost table).
+    pub const COUNT: usize = 11;
+}
+
+impl Inst {
+    /// The execution class of this instruction.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Inst::Nop
+            | Inst::MovRR(..)
+            | Inst::MovRI(..)
+            | Inst::Neg(_)
+            | Inst::Not(_)
+            | Inst::CmpRR(..)
+            | Inst::CmpRI(..)
+            | Inst::MovRCr(..) => OpClass::Alu,
+            Inst::AluRR(op, ..) | Inst::AluRI(op, ..) => match op {
+                Alu::Mul => OpClass::Mul,
+                Alu::Div | Alu::Mod => OpClass::Div,
+                _ => OpClass::Alu,
+            },
+            Inst::Load(..) | Inst::Store(..) => OpClass::Mem,
+            Inst::Jmp(_) | Inst::Jcc(..) | Inst::JmpR(_) => OpClass::Branch,
+            Inst::Call(_) | Inst::CallR(_) | Inst::Ret => OpClass::CallRet,
+            Inst::Push(_) | Inst::Pop(_) => OpClass::Stack,
+            Inst::In(..) | Inst::Out(..) => OpClass::Pio,
+            Inst::Hlt => OpClass::Halt,
+            Inst::Lgdt(_) | Inst::MovCr(..) | Inst::Wrmsr(..) | Inst::Ljmp(..) => OpClass::System,
+            Inst::Mark(_) => OpClass::Mark,
+        }
+    }
+}
+
 /// The model-specific register number for EFER (matches x86).
 pub const MSR_EFER: u32 = 0xC000_0080;
 

@@ -15,16 +15,23 @@
 //! * [`asm`] — the two-pass assembler producing loadable [`asm::Image`]s.
 //! * [`mem`] — flat guest-physical memory.
 //! * [`cpu`] — the interpreter: modes, control registers, paging, costs.
+//! * [`pred`] — the predecoded basic-block fast engine.
+//! * [`corpus`] — seeded random-program generation for the differential
+//!   fuzzer and round-trip property tests.
+//! * [`diff`] — the fast-vs-reference differential harness.
 //!
 //! All cycle charging flows to a shared [`vclock::Clock`]; costs are the
 //! calibrated constants of [`vclock::costs`].
 
 pub mod asm;
+pub mod corpus;
 pub mod cpu;
+pub mod diff;
 pub mod inst;
 pub mod mem;
+pub mod pred;
 
 pub use asm::{assemble, AsmError, Image};
-pub use cpu::{Cpu, CpuConfig, CpuExit, CpuState, Fault, Machine, Mode};
-pub use inst::{Alu, Cond, CrReg, Inst, JmpMode, Reg, Width};
+pub use cpu::{Cpu, CpuConfig, CpuExit, CpuState, Engine, Fault, Machine, Mode};
+pub use inst::{Alu, Cond, CrReg, Inst, JmpMode, OpClass, Reg, Width};
 pub use mem::Memory;

@@ -68,7 +68,7 @@ pub const PAGE_SIZE: u64 = 4096;
 ///   [`Memory::reset_dirty_pages`] and models hardware dirty logging: a
 ///   warm-shell re-arm copies back *exactly* these pages from the snapshot
 ///   instead of the full sparse image.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
     dirty_low_end: u64,
@@ -76,7 +76,26 @@ pub struct Memory {
     /// One bit per [`PAGE_SIZE`] page, set on write, cleared by
     /// [`Memory::reset_dirty_pages`].
     dirty_pages: Vec<u64>,
+    /// A second, independently cleared page bitmap consumed by the
+    /// predecoded interpreter's block cache: set on every write (including
+    /// the bulk restore/clear paths, which fill it wholesale), cleared
+    /// page-by-page once the cache has revalidated the blocks on that page.
+    code_dirty: Vec<u64>,
 }
+
+// `code_dirty` is cache-coherency bookkeeping, not architected state: the
+// fast and reference interpreters drain it differently while leaving the
+// bytes identical, so equality deliberately ignores it.
+impl PartialEq for Memory {
+    fn eq(&self, other: &Memory) -> bool {
+        self.bytes == other.bytes
+            && self.dirty_low_end == other.dirty_low_end
+            && self.dirty_high_start == other.dirty_high_start
+            && self.dirty_pages == other.dirty_pages
+    }
+}
+
+impl Eq for Memory {}
 
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -93,6 +112,7 @@ impl Memory {
             dirty_low_end: 0,
             dirty_high_start: size as u64,
             dirty_pages: vec![0; pages.div_ceil(64)],
+            code_dirty: vec![0; pages.div_ceil(64)],
         }
     }
 
@@ -151,6 +171,30 @@ impl Memory {
         self.dirty_pages.fill(0);
     }
 
+    /// Whether `page` has been written since the block cache last cleared
+    /// its bit ([`Memory::clear_code_dirty_page`]). Pages past the end of
+    /// memory read as clean.
+    pub fn code_page_dirty(&self, page: u64) -> bool {
+        self.code_dirty
+            .get(page as usize / 64)
+            .is_some_and(|w| w & (1 << (page % 64)) != 0)
+    }
+
+    /// Acknowledges writes to `page`: called by the predecode block cache
+    /// after revalidating (or discarding) every cached block on that page.
+    pub fn clear_code_dirty_page(&mut self, page: u64) {
+        if let Some(w) = self.code_dirty.get_mut(page as usize / 64) {
+            *w &= !(1 << (page % 64));
+        }
+    }
+
+    /// Marks every page as touched for the block cache. The bulk mutation
+    /// paths (clear, sparse/full restore) rewrite bytes without going
+    /// through `mark_dirty`, so they pessimize the whole bitmap instead.
+    fn mark_all_code_dirty(&mut self) {
+        self.code_dirty.fill(!0);
+    }
+
     fn mark_dirty(&mut self, start: u64, len: u64) {
         if len == 0 {
             return;
@@ -158,6 +202,7 @@ impl Memory {
         let end = start + len;
         for page in start / PAGE_SIZE..=(end - 1) / PAGE_SIZE {
             self.dirty_pages[page as usize / 64] |= 1 << (page % 64);
+            self.code_dirty[page as usize / 64] |= 1 << (page % 64);
         }
         let mid = (self.bytes.len() as u64) / 2;
         if end <= mid {
@@ -247,6 +292,7 @@ impl Memory {
         self.dirty_low_end = 0;
         self.dirty_high_start = self.bytes.len() as u64;
         self.reset_dirty_pages();
+        self.mark_all_code_dirty();
     }
 
     /// Whole memory as a slice (snapshots).
@@ -297,6 +343,7 @@ impl Memory {
         self.dirty_low_end = low.len() as u64;
         self.dirty_high_start = high_start;
         self.reset_dirty_pages();
+        self.mark_all_code_dirty();
     }
 
     /// Delta re-arm: restores `pages` (indices into [`PAGE_SIZE`] pages) to
@@ -335,6 +382,7 @@ impl Memory {
         self.dirty_low_end = low.len() as u64;
         self.dirty_high_start = high_start;
         self.reset_dirty_pages();
+        self.mark_all_code_dirty();
     }
 }
 
@@ -510,6 +558,39 @@ mod tests {
         assert_eq!(m.as_slice(), reference.as_slice(), "delta != full restore");
         assert_eq!(m.dirty_extent(), reference.dirty_extent());
         assert_eq!(m.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn code_dirty_is_set_by_writes_and_cleared_per_page() {
+        let mut m = Memory::new(8 * PAGE_SIZE as usize);
+        assert!(!m.code_page_dirty(2));
+        m.write(2 * PAGE_SIZE + 10, Width::Q, 7).unwrap();
+        assert!(m.code_page_dirty(2));
+        assert!(!m.code_page_dirty(3));
+        m.clear_code_dirty_page(2);
+        assert!(!m.code_page_dirty(2));
+        // Clearing the snapshot bitmap leaves the code bitmap alone and
+        // vice versa.
+        m.write(0, Width::B, 1).unwrap();
+        m.reset_dirty_pages();
+        assert!(m.code_page_dirty(0));
+        // Bulk ops pessimize every page.
+        m.clear_code_dirty_page(0);
+        m.clear();
+        assert!(m.code_page_dirty(0) && m.code_page_dirty(7));
+        // Out-of-range pages read clean and clear without panicking.
+        assert!(!m.code_page_dirty(1 << 40));
+        m.clear_code_dirty_page(1 << 40);
+    }
+
+    #[test]
+    fn equality_ignores_the_code_dirty_bitmap() {
+        let mut a = Memory::new(PAGE_SIZE as usize);
+        let mut b = Memory::new(PAGE_SIZE as usize);
+        a.write(0, Width::Q, 42).unwrap();
+        b.write(0, Width::Q, 42).unwrap();
+        a.clear_code_dirty_page(0);
+        assert_eq!(a, b);
     }
 
     #[test]

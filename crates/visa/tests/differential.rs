@@ -1,0 +1,254 @@
+//! Differential tests: the predecoded fast engine must be byte- and
+//! cycle-identical to the reference interpreter.
+
+use vclock::rng::Rng;
+use vclock::{Clock, Cycles};
+use visa::cpu::{CpuConfig, CpuExit, Engine, Machine};
+use visa::{assemble, corpus, diff};
+
+const MEM: usize = 1 << 20;
+
+fn check(src: &str, budget: u64) {
+    let img = assemble(src).expect("assemble");
+    if let Err(d) = diff::compare(&img, MEM, budget, 0xD1FF) {
+        panic!("{d}\nsource:\n{src}");
+    }
+}
+
+#[test]
+fn random_programs_are_engine_identical() {
+    let mut rng = Rng::seeded(0x5EED_0001);
+    for case in 0..200 {
+        let src = corpus::random_source(&mut rng, 60);
+        let img = assemble(&src).expect("assemble");
+        if let Err(d) = diff::compare(&img, MEM, 20_000, case) {
+            panic!("case {case}: {d}\nsource:\n{src}");
+        }
+    }
+}
+
+#[test]
+fn longer_random_programs_with_tiny_budgets() {
+    // Small budgets stress the StepLimit boundary, including budgets that
+    // land in the middle of a fused superinstruction.
+    let mut rng = Rng::seeded(0x5EED_0002);
+    for case in 0..50 {
+        let src = corpus::random_source(&mut rng, 30);
+        let img = assemble(&src).expect("assemble");
+        for budget in [1, 2, 3, 5, 7, 11, 17] {
+            if let Err(d) = diff::compare(&img, MEM, budget, case) {
+                panic!("case {case} budget {budget}: {d}\nsource:\n{src}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fib_loop_is_engine_identical() {
+    check(
+        ".org 0x100\n\
+         \x20 mov sp, 0xF000\n\
+         \x20 mov r0, 0\n mov r1, 1\n mov r2, 25\n\
+         loop:\n\
+         \x20 mov r3, r0\n add r3, r1\n mov r0, r1\n mov r1, r3\n\
+         \x20 sub r2, 1\n cmp r2, 0\n jne loop\n\
+         \x20 mark 1\n hlt\n",
+        100_000,
+    );
+}
+
+#[test]
+fn call_ret_and_stack_are_engine_identical() {
+    check(
+        ".org 0x100\n\
+         \x20 mov sp, 0xF000\n\
+         \x20 mov r0, 5\n\
+         \x20 call double\n\
+         \x20 call double\n\
+         \x20 hlt\n\
+         double:\n\
+         \x20 push fp\n mov fp, sp\n\
+         \x20 add r0, r0\n\
+         \x20 pop fp\n ret\n",
+        100_000,
+    );
+}
+
+#[test]
+fn faults_are_engine_identical() {
+    // Divide by zero, decode fault, out-of-mode access: all must match in
+    // kind, payload, clock, and retired count.
+    check(
+        ".org 0x100\n mov r0, 9\n mov r1, 0\n div r0, r1\n hlt\n",
+        100,
+    );
+    check(
+        ".org 0x100\n mov r0, 77\n jmp r0\n .dq 0xFFFFFFFFFFFFFFFF\n",
+        100,
+    );
+    check(
+        ".org 0x100\n mov r0, 2000000\n load.q r1, [r0 + 0]\n hlt\n",
+        100,
+    );
+}
+
+#[test]
+fn self_modifying_code_is_engine_identical() {
+    // Overwrite the `add r0, 1` (0x20 opcode region) in the loop body with
+    // a nop-like encoding mid-run; both engines must see the new bytes.
+    check(
+        ".org 0x100\n\
+         \x20 mov sp, 0xF000\n\
+         \x20 mov r5, patch\n\
+         \x20 mov r6, 0\n\
+         loop:\n\
+         patch:\n\
+         \x20 add r0, 1\n\
+         \x20 add r6, 1\n\
+         \x20 cmp r6, 6\n\
+         \x20 je done\n\
+         \x20 cmp r6, 3\n\
+         \x20 jne loop\n\
+         \x20 store.b [r5 + 0], r6\n\
+         \x20 jmp loop\n\
+         done:\n\
+         \x20 mark 2\n\
+         \x20 hlt\n",
+        100_000,
+    );
+}
+
+#[test]
+fn io_round_trips_are_engine_identical() {
+    check(
+        ".org 0x100\n\
+         \x20 mov sp, 0xF000\n\
+         \x20 in r0, 1\n\
+         \x20 and r0, 0xFF\n\
+         \x20 out 2, r0\n\
+         \x20 in r1, 1\n\
+         \x20 add r1, r0\n\
+         \x20 out 2, r1\n\
+         \x20 hlt\n",
+        100_000,
+    );
+}
+
+#[test]
+fn mode_bringup_is_engine_identical() {
+    // The full real → protected → long bring-up: system instructions run on
+    // the reference path inside the fast engine, and long mode falls back
+    // entirely — clock and state must still match exactly.
+    let src = "\
+        .org 0x1000\n\
+        .equ GDT, 0x200\n\
+        .equ PT_BASE, 0x10000\n\
+        start:\n\
+        \x20 mov sp, 0xF000\n\
+        \x20 lgdt GDT\n\
+        \x20 mov r0, cr0\n\
+        \x20 or r0, 1\n\
+        \x20 mov cr0, r0\n\
+        \x20 ljmp32 prot\n\
+        prot:\n\
+        \x20 mov r1, PT_BASE\n\
+        \x20 mov r2, PT_BASE + 0x1000\n\
+        \x20 or r2, 1\n\
+        \x20 store.q [r1 + 0], r2\n\
+        \x20 mov r3, PT_BASE + 0x2000\n\
+        \x20 or r3, 1\n\
+        \x20 mov r4, PT_BASE + 0x1000\n\
+        \x20 store.q [r4 + 0], r3\n\
+        \x20 mov r5, 0x83\n\
+        \x20 mov r6, PT_BASE + 0x2000\n\
+        \x20 store.q [r6 + 0], r5\n\
+        \x20 mov r7, PT_BASE\n\
+        \x20 mov cr3, r7\n\
+        \x20 mov r8, cr4\n\
+        \x20 or r8, 0x20\n\
+        \x20 mov cr4, r8\n\
+        \x20 mov r9, 0x100\n\
+        \x20 wrmsr 0xC0000080, r9\n\
+        \x20 mov r10, cr0\n\
+        \x20 or r10, 0x80000000\n\
+        \x20 mov cr0, r10\n\
+        \x20 ljmp64 long\n\
+        long:\n\
+        \x20 mov r0, 40\n\
+        \x20 add r0, 2\n\
+        \x20 mark 3\n\
+        \x20 hlt\n";
+    check(src, 100_000);
+}
+
+#[test]
+fn fast_engine_is_default_and_env_overridable() {
+    // The env var is latched per process on first use; here we only check
+    // the programmatic default resolution path.
+    let img = assemble(".org 0x100\n mov r0, 1\n hlt\n").expect("assemble");
+    let mut m = Machine::new(Clock::new(), CpuConfig::default(), MEM, img.entry);
+    m.load_image(&img);
+    assert_eq!(m.cpu.engine(), Engine::from_env());
+    assert_eq!(m.run(10).unwrap(), CpuExit::Hlt);
+}
+
+#[test]
+fn fast_engine_populates_block_and_fusion_counters() {
+    let before = visa::pred::counters();
+    let img = assemble(
+        ".org 0x100\n mov sp, 0xF000\n mov r0, 0\n\
+         loop:\n add r0, 1\n cmp r0, 50\n jne loop\n hlt\n",
+    )
+    .expect("assemble");
+    let mut m = Machine::new(Clock::new(), CpuConfig::default(), MEM, img.entry);
+    m.load_image(&img);
+    m.cpu.set_engine(Engine::Fast);
+    assert_eq!(m.run(10_000).unwrap(), CpuExit::Hlt);
+    let after = visa::pred::counters();
+    assert!(after.blocks_built > before.blocks_built, "no blocks built");
+    assert!(
+        after.superinsts_fused > before.superinsts_fused,
+        "cmp+jne did not fuse"
+    );
+    assert!(after.retired_fast > before.retired_fast);
+}
+
+#[test]
+fn snapshot_restore_flushes_predecode_state() {
+    // Build blocks, snapshot, mutate code, restore: the fast engine must
+    // re-decode from the restored bytes, identically to the reference.
+    let src = ".org 0x100\n mov sp, 0xF000\n mov r0, 0\n\
+               loop:\n add r0, 7\n cmp r0, 70\n jne loop\n hlt\n";
+    let img = assemble(src).expect("assemble");
+    for engine in [Engine::Fast, Engine::Reference] {
+        let mut m = Machine::new(Clock::new(), CpuConfig::default(), MEM, img.entry);
+        m.load_image(&img);
+        m.cpu.set_engine(engine);
+        assert_eq!(m.run(10_000).unwrap(), CpuExit::Hlt);
+        let snap_cpu = m.cpu.save_state();
+        let snap_mem = m.mem.as_slice().to_vec();
+        // Wreck the code, then restore and re-run from the entry point.
+        m.mem.write_bytes(0x100, &[0xFF; 16]).unwrap();
+        let mut restored = snap_cpu.clone();
+        restored.pc = img.entry;
+        restored.regs = [0; visa::Reg::COUNT];
+        m.cpu.restore_state(&restored);
+        m.mem.restore_from(&snap_mem);
+        assert_eq!(m.run(10_000).unwrap(), CpuExit::Hlt);
+        assert_eq!(m.cpu.reg(visa::Reg(0)), 70);
+    }
+}
+
+#[test]
+fn marks_observe_identical_mid_run_clocks() {
+    let src = ".org 0x100\n mov sp, 0xF000\n mov r0, 0\n\
+               loop:\n mark 9\n add r0, 1\n mul r0, 3\n div r0, 3\n\
+               \x20 cmp r0, 40\n jl loop\n hlt\n";
+    let img = assemble(src).expect("assemble");
+    let fast = diff::run_one(Engine::Fast, &img, MEM, 100_000, 1);
+    let reference = diff::run_one(Engine::Reference, &img, MEM, 100_000, 1);
+    assert!(!fast.marks.is_empty());
+    assert_eq!(fast.marks, reference.marks);
+    assert_eq!(fast.clock, reference.clock);
+    assert_ne!(fast.clock, Cycles(0));
+}

@@ -1,0 +1,80 @@
+//! Encode/decode round-trip property tests, seeded via `vclock::rng`.
+//!
+//! Three layers of identity:
+//! 1. `Inst::encode → Inst::decode → Inst::encode` over random instruction
+//!    forms (the binary alphabet is closed).
+//! 2. `assemble → decode → re-encode` over generated source programs (the
+//!    assembler emits exactly the binary encoding, instruction by
+//!    instruction).
+//! 3. Decode never panics on arbitrary byte soup (the fuzzer's decode
+//!    frontier is total).
+
+use vclock::rng::Rng;
+use visa::corpus;
+use visa::inst::Inst;
+
+#[test]
+fn random_insts_encode_decode_encode_identity() {
+    let mut rng = Rng::seeded(0xB0);
+    for _ in 0..20_000 {
+        let inst = corpus::random_inst(&mut rng);
+        let mut bytes = Vec::new();
+        inst.encode(&mut bytes);
+        assert_eq!(bytes.len() as u64, inst.len(), "len mismatch: {inst:?}");
+        let (decoded, len) = Inst::decode(&bytes).unwrap_or_else(|e| {
+            panic!("decode failed for {inst:?} ({bytes:02X?}): {e}");
+        });
+        assert_eq!(len, inst.len(), "decoded len mismatch: {inst:?}");
+        assert_eq!(decoded, inst, "round-trip mismatch");
+        let mut re = Vec::new();
+        decoded.encode(&mut re);
+        assert_eq!(re, bytes, "re-encode mismatch for {inst:?}");
+    }
+}
+
+#[test]
+fn assembled_programs_decode_and_reencode_identically() {
+    let mut rng = Rng::seeded(0xA5);
+    for _ in 0..64 {
+        let src = corpus::random_source(&mut rng, 50);
+        let img = visa::assemble(&src).expect("assemble");
+        // Walk the image instruction by instruction up to the data region
+        // (which starts with `.space` zeroes after the final hlt; stop at
+        // the first decode that runs past the text).
+        let mut off = 0usize;
+        while off < img.bytes.len() {
+            let Ok((inst, len)) = Inst::decode(&img.bytes[off..]) else {
+                break;
+            };
+            let mut re = Vec::new();
+            inst.encode(&mut re);
+            assert_eq!(
+                re,
+                &img.bytes[off..off + len as usize],
+                "assembler bytes differ from re-encoding at offset {off} ({inst:?})\n{src}"
+            );
+            off += len as usize;
+            if inst == Inst::Hlt {
+                // Reached the epilogue hlt; everything after is data.
+                break;
+            }
+        }
+        assert!(off > 0, "nothing decoded from generated image");
+    }
+}
+
+#[test]
+fn decode_is_total_over_byte_soup() {
+    let mut rng = Rng::seeded(0x50D4);
+    for _ in 0..2_000 {
+        let len = 1 + rng.below(16);
+        let soup = rng.bytes(len);
+        // Must never panic; any Ok decode must re-encode to a prefix.
+        if let Ok((inst, len)) = Inst::decode(&soup) {
+            let mut re = Vec::new();
+            inst.encode(&mut re);
+            assert_eq!(re.len() as u64, len);
+            assert_eq!(re, &soup[..len as usize]);
+        }
+    }
+}

@@ -52,11 +52,11 @@ if [ ! -f "$catalog" ]; then
     echo "MISSING: $catalog"
     exit 1
 fi
-# Metric names exported from code: string literals starting vsched_/vslo_.
-exported=$(grep -rhoE '"(vsched|vslo)_[a-z0-9_]+' crates --include='*.rs' |
+# Metric names exported from code: string literals starting vsched_/vslo_/visa_.
+exported=$(grep -rhoE '"(vsched|vslo|visa)_[a-z0-9_]+' crates --include='*.rs' |
     tr -d '"' | sort -u)
 # Documented wildcard prefixes (rows like `vsched_shard_*`).
-wildcards=$(grep -oE '(vsched|vslo)_[a-z0-9_]+_\*' "$catalog" | sed 's/\*$//' | sort -u)
+wildcards=$(grep -oE '(vsched|vslo|visa)_[a-z0-9_]+_\*' "$catalog" | sed 's/\*$//' | sort -u)
 for m in $exported; do
     if grep -q "$m" "$catalog"; then
         continue
